@@ -1,0 +1,1 @@
+bench/calibrate.ml: Array Ccc Ccc_paper_data Lazy List Printf Sys

@@ -1,0 +1,1 @@
+bench/calibrate.mli:

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Ccc Ccc_baseline Ccc_cm2 Ccc_compiler Ccc_paper_data Hashtbl List Measure Printf Staged String Sys Test Time Toolkit

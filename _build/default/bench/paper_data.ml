@@ -1,0 +1,112 @@
+(* The published measurements this reproduction targets.
+
+   Table 1 of the paper (section 7) groups its rows by stencil
+   pattern; the pattern pictures are illegible in the available scan,
+   so the assignment of groups to shapes is reconstructed in DESIGN.md
+   section 2 from the surrounding prose and from flop-count
+   self-consistency (Mflops x elapsed seconds / points / iterations
+   recovers the flops-per-point of each group: 9, 17, 17, 25, 25).
+
+   All rows ran on a 16-node single-board machine at 7 MHz except the
+   2,048-node production rows.  "Subgrid" is the per-node array
+   block. *)
+
+type row = {
+  pattern : string;  (** gallery name *)
+  tuned : bool;  (** 7 Dec 90 rows: strength-reduced run-time library *)
+  sub_rows : int;
+  sub_cols : int;
+  iterations : int;
+  elapsed_s : float;
+  mflops : float;  (** measured, 16 nodes *)
+  extrapolated_gflops : float;  (** paper's 2,048-node column *)
+  suspect : bool;
+      (** the first row's Mflops and extrapolation are internally
+          inconsistent in the source scan (44.6 x 4.54s does not match
+          9 flops/point, and 5.31/44.6 is not the x128 used
+          everywhere else); it is reproduced but excluded from error
+          scoring *)
+}
+
+let mk ?(tuned = false) ?(suspect = false) pattern sub_rows sub_cols iterations
+    elapsed_s mflops extrapolated_gflops =
+  {
+    pattern;
+    tuned;
+    sub_rows;
+    sub_cols;
+    iterations;
+    elapsed_s;
+    mflops;
+    extrapolated_gflops;
+    suspect;
+  }
+
+let table1 : row list =
+  [
+    (* Group 1: the 5-point cross (9 flops/point). *)
+    mk ~suspect:true "cross5" 64 128 250 4.54 44.6 5.31;
+    mk "cross5" 128 256 100 6.78 69.5 8.90;
+    mk "cross5" 256 256 100 13.00 72.8 9.29;
+    (* Group 2: the 9-point 3x3 box (17 flops/point). *)
+    mk "square9" 64 64 500 8.10 68.8 8.80;
+    mk "square9" 64 128 250 6.07 91.7 11.74;
+    mk "square9" 128 128 250 12.40 89.8 11.50;
+    mk "square9" 128 256 100 10.26 86.7 11.10;
+    mk "square9" 256 256 100 20.12 88.6 11.34;
+    (* Group 3: the 9-point axis cross, radius 2 (17 flops/point). *)
+    mk "cross9" 64 64 500 9.81 56.8 7.27;
+    mk "cross9" 64 128 250 8.19 68.0 8.70;
+    mk "cross9" 128 128 250 15.30 72.9 9.34;
+    mk "cross9" 128 256 100 10.44 85.3 10.92;
+    mk "cross9" 256 256 100 20.80 85.6 10.95;
+    (* Group 4: the 13-point diamond (25 flops/point). *)
+    mk "diamond13" 64 64 500 11.40 71.6 9.16;
+    mk "diamond13" 64 128 250 9.98 82.0 10.50;
+    mk "diamond13" 128 128 250 18.70 87.7 11.23;
+    mk "diamond13" 128 256 100 15.30 85.6 10.95;
+    mk "diamond13" 256 256 100 30.51 85.9 11.00;
+    (* Group 5, dated 7 Dec 90: the 13-point diamond again after the
+       run-time library recoding (strength reduction in the front-end
+       loops, section 7). *)
+    mk ~tuned:true "diamond13" 128 256 100 12.30 106.6 13.65;
+    mk ~tuned:true "diamond13" 256 256 100 22.43 116.8 14.95;
+  ]
+
+(* Section 7's production numbers: 2,048 nodes, 64x128 subgrid per
+   node, the seismic kernel. *)
+type gordon_bell_row = {
+  label : string;
+  rolled : bool;
+  gb_iterations : int;
+  gb_elapsed_s : float;
+  gb_gflops : float;
+}
+
+let gordon_bell : gordon_bell_row list =
+  [
+    {
+      label = "main loop with copy assignments";
+      rolled = true;
+      gb_iterations = 35000;
+      gb_elapsed_s = 1919.41;
+      gb_gflops = 11.62;
+    };
+    {
+      label = "unrolled by three (trial 1)";
+      rolled = false;
+      gb_iterations = 38001;
+      gb_elapsed_s = 1643.79;
+      gb_gflops = 14.73;
+    };
+    {
+      label = "unrolled by three (trial 2)";
+      rolled = false;
+      gb_iterations = 38001;
+      gb_elapsed_s = 1627.59;
+      gb_gflops = 14.88;
+    };
+  ]
+
+let headline_gflops = 10.0
+(* The title's claim: sustained Fortran performance above 10 Gflops. *)

@@ -1,0 +1,346 @@
+(* The command-line driver for the convolution compiler.
+
+   ccc compile  FILE        -- compile a Fortran subroutine (or, with
+                               --defstencil, a Lisp form) and print the
+                               compilation report or diagnostics
+   ccc run      FILE        -- compile and execute on synthetic data
+   ccc estimate FILE        -- predicted performance across subgrid sizes
+   ccc gallery              -- the built-in patterns, with pictures *)
+
+open Cmdliner
+
+let read_file path =
+  if path = "-" then In_channel.input_all stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let file_arg =
+  let doc = "Input file containing the stencil subroutine ('-' for stdin)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let defstencil_flag =
+  let doc = "Treat the input as a Lisp defstencil form (the version-1 \
+             front end) instead of a Fortran subroutine." in
+  Arg.(value & flag & info [ "defstencil"; "lisp" ] ~doc)
+
+let statement_flag =
+  let doc = "Treat the input as a bare assignment statement rather than a \
+             full SUBROUTINE." in
+  Arg.(value & flag & info [ "statement" ] ~doc)
+
+let nodes_arg =
+  let doc = "Node grid as ROWSxCOLS (default 4x4, the paper's 16-node test \
+             machine; the full CM-2 is 32x64)." in
+  Arg.(value & opt string "4x4" & info [ "nodes" ] ~doc)
+
+let tuned_flag =
+  let doc = "Use the strength-reduced (7 Dec 90) run-time library model." in
+  Arg.(value & flag & info [ "tuned" ] ~doc)
+
+let parse_nodes spec =
+  match String.split_on_char 'x' (String.lowercase_ascii spec) with
+  | [ r; c ] -> begin
+      match (int_of_string_opt r, int_of_string_opt c) with
+      | Some rows, Some cols when rows > 0 && cols > 0 -> Ok (rows, cols)
+      | _ -> Error (`Msg ("bad node grid: " ^ spec))
+    end
+  | _ -> Error (`Msg ("bad node grid: " ^ spec))
+
+let config_of ~nodes ~tuned =
+  match parse_nodes nodes with
+  | Error (`Msg m) -> Error m
+  | Ok (rows, cols) ->
+      let config = Ccc.Config.with_nodes ~rows ~cols Ccc.Config.default in
+      Ok (if tuned then Ccc.Config.tuned_runtime config else config)
+
+let compile_input config ~defstencil ~statement source =
+  if defstencil then Ccc.compile_defstencil config source
+  else if statement then Ccc.compile_fortran_statement config source
+  else Ccc.compile_fortran config source
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* compile *)
+
+let fused_flag =
+  let doc = "Use the multi-source (fused) compiler: terms may shift \
+             different arrays, as in the ten-term Gordon Bell statement. \
+             Implies --statement." in
+  Arg.(value & flag & info [ "fused" ] ~doc)
+
+let compile_cmd =
+  let run file defstencil statement fused nodes tuned render listing =
+    let config = or_die (config_of ~nodes ~tuned) in
+    let source = read_file file in
+    if fused then begin
+      match Ccc.compile_fortran_statement_multi config source with
+      | Error e ->
+          prerr_endline (Ccc.error_to_string e);
+          exit 1
+      | Ok f ->
+          print_endline (Ccc.fused_report f);
+          if listing then
+            Format.printf "%a@." Ccc.Plan.pp_listing (Ccc.Compile.fused_widest f)
+    end
+    else
+      match compile_input config ~defstencil ~statement source with
+      | Error e ->
+          prerr_endline (Ccc.error_to_string e);
+          exit 1
+      | Ok compiled ->
+          print_endline (Ccc.report compiled);
+          if render then begin
+            let p = compiled.Ccc.Compile.pattern in
+            print_endline "pattern:";
+            print_endline (Ccc.Render.pattern p);
+            let widest = Ccc.Compile.widest compiled in
+            Printf.printf "multistencil (width %d):\n" widest.Ccc.Plan.width;
+            print_endline
+              (Ccc.Render.multistencil (Ccc.Plan.primary_multistencil widest))
+          end;
+          if listing then
+            Format.printf "%a@." Ccc.Plan.pp_listing
+              (Ccc.Compile.widest compiled)
+  in
+  let render_flag =
+    Arg.(value & flag
+         & info [ "render" ] ~doc:"Also draw the stencil and multistencil.")
+  in
+  let listing_flag =
+    Arg.(value & flag
+         & info [ "listing" ]
+             ~doc:"Dump the widest plan's dynamic-part listing (the \
+                   register-access table loaded into sequencer scratch \
+                   memory).")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a stencil and print the report")
+    Term.(
+      const run $ file_arg $ defstencil_flag $ statement_flag $ fused_flag
+      $ nodes_arg $ tuned_flag $ render_flag $ listing_flag)
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let synthetic_env ~rows ~cols names =
+  List.mapi
+    (fun i n ->
+      ( n,
+        Ccc.Grid.init ~rows ~cols (fun r c ->
+            sin (float_of_int ((r * (i + 3)) + c) /. 9.0)) ))
+    names
+
+let run_cmd =
+  let run file defstencil statement fused nodes tuned rows cols iterations
+      simulate =
+    let config = or_die (config_of ~nodes ~tuned) in
+    let source = read_file file in
+    let mode = if simulate then Ccc.Exec.Simulate else Ccc.Exec.Fast in
+    if fused then begin
+      match Ccc.compile_fortran_statement_multi config source with
+      | Error e ->
+          prerr_endline (Ccc.error_to_string e);
+          exit 1
+      | Ok f ->
+          let multi = f.Ccc.Compile.multi in
+          let env =
+            synthetic_env ~rows ~cols (Ccc.Multi.referenced_arrays multi)
+          in
+          let { Ccc.Exec.output; stats } =
+            Ccc.apply_fused ~mode ~iterations config f env
+          in
+          let expected = Ccc.Exec.reference_fused multi env in
+          Format.printf "%a@." Ccc.Stats.pp stats;
+          Printf.printf "max |machine - reference| = %.3e\n"
+            (Ccc.Grid.max_abs_diff expected output)
+    end
+    else
+      match compile_input config ~defstencil ~statement source with
+      | Error e ->
+          prerr_endline (Ccc.error_to_string e);
+          exit 1
+      | Ok compiled ->
+          let pattern = compiled.Ccc.Compile.pattern in
+          let names =
+            Ccc.Pattern.source_var pattern
+            :: List.filter_map
+                 (fun t -> Ccc.Coeff.array_name t.Ccc.Tap.coeff)
+                 (Ccc.Pattern.taps pattern)
+            @ (match Ccc.Pattern.bias pattern with
+              | Some c -> Option.to_list (Ccc.Coeff.array_name c)
+              | None -> [])
+          in
+          let env = synthetic_env ~rows ~cols names in
+          let { Ccc.Exec.output; stats } =
+            Ccc.apply ~mode ~iterations config compiled env
+          in
+          let expected = Ccc.Reference.apply pattern env in
+          Format.printf "%a@." Ccc.Stats.pp stats;
+          Printf.printf "max |machine - reference| = %.3e\n"
+            (Ccc.Grid.max_abs_diff expected output)
+  in
+  let rows_arg =
+    Arg.(value & opt int 64 & info [ "rows" ] ~doc:"Global array rows.")
+  in
+  let cols_arg =
+    Arg.(value & opt int 64 & info [ "cols" ] ~doc:"Global array columns.")
+  in
+  let iters_arg =
+    Arg.(value & opt int 1 & info [ "iterations" ] ~doc:"Timed iterations.")
+  in
+  let simulate_flag =
+    Arg.(value & flag
+         & info [ "simulate" ]
+             ~doc:"Run the cycle-accurate microcode interpreter instead of \
+                   the fast inner loop.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a stencil on synthetic data")
+    Term.(
+      const run $ file_arg $ defstencil_flag $ statement_flag $ fused_flag
+      $ nodes_arg $ tuned_flag $ rows_arg $ cols_arg $ iters_arg
+      $ simulate_flag)
+
+(* ------------------------------------------------------------------ *)
+(* estimate *)
+
+let estimate_cmd =
+  let run file defstencil statement nodes tuned =
+    let config = or_die (config_of ~nodes ~tuned) in
+    match compile_input config ~defstencil ~statement (read_file file) with
+    | Error e ->
+        prerr_endline (Ccc.error_to_string e);
+        exit 1
+    | Ok compiled ->
+        Printf.printf "%-10s | %10s %10s %12s\n" "subgrid" "Mflops"
+          "Gflops" "Gflops@2048";
+        List.iter
+          (fun (r, c) ->
+            match
+              Ccc.Exec.estimate ~iterations:100 ~sub_rows:r ~sub_cols:c config
+                compiled
+            with
+            | stats ->
+                Printf.printf "%4dx%-5d | %10.1f %10.2f %12.2f\n" r c
+                  (Ccc.Stats.mflops stats) (Ccc.Stats.gflops stats)
+                  (Ccc.Stats.extrapolate stats ~nodes:2048)
+            | exception Ccc.Exec.Too_small m ->
+                Printf.printf "%4dx%-5d | %s\n" r c m)
+          [ (16, 16); (32, 32); (64, 64); (64, 128); (128, 128); (128, 256);
+            (256, 256) ]
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Predicted performance of a stencil across subgrid sizes")
+    Term.(
+      const run $ file_arg $ defstencil_flag $ statement_flag $ nodes_arg
+      $ tuned_flag)
+
+(* ------------------------------------------------------------------ *)
+(* trace: a cycle-by-cycle microcode trace on a sandbox node *)
+
+let trace_cmd =
+  let run file defstencil statement nodes tuned width lines =
+    let config = or_die (config_of ~nodes ~tuned) in
+    match compile_input config ~defstencil ~statement (read_file file) with
+    | Error e ->
+        prerr_endline (Ccc.error_to_string e);
+        exit 1
+    | Ok compiled ->
+        List.iter print_endline (Ccc.Exec.trace ?width ~lines config compiled)
+  in
+  let width_arg =
+    Arg.(value & opt (some int) None
+         & info [ "width" ] ~doc:"Trace the plan of this strip width.")
+  in
+  let lines_arg =
+    Arg.(value & opt int 3 & info [ "lines" ] ~doc:"Half-strip height.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Cycle-by-cycle issue trace of one half-strip on a sandbox node")
+    Term.(
+      const run $ file_arg $ defstencil_flag $ statement_flag $ nodes_arg
+      $ tuned_flag $ width_arg $ lines_arg)
+
+(* ------------------------------------------------------------------ *)
+(* program: whole-file compilation with directive feedback *)
+
+let program_cmd =
+  let run file nodes tuned =
+    let config = or_die (config_of ~nodes ~tuned) in
+    match Ccc.compile_program config (read_file file) with
+    | Error e ->
+        prerr_endline (Ccc.error_to_string e);
+        exit 1
+    | Ok units ->
+        let failures = ref 0 in
+        List.iter
+          (fun (u : Ccc.program_unit) ->
+            match u.Ccc.outcome with
+            | Ok compiled ->
+                Printf.printf
+                  "%s: compiled by the convolution module (widths %s)%s\n"
+                  u.Ccc.unit_name
+                  (String.concat ","
+                     (List.map
+                        (fun p -> string_of_int p.Ccc.Plan.width)
+                        compiled.Ccc.Compile.plans))
+                  (if u.Ccc.flagged then "" else "  [unflagged candidate]")
+            | Error e ->
+                if u.Ccc.flagged then begin
+                  (* The directive justifies loud feedback (section 6). *)
+                  incr failures;
+                  Printf.printf
+                    "%s: WARNING: flagged !CCC$ STENCIL but not processed:\n%s\n"
+                    u.Ccc.unit_name (Ccc.error_to_string e)
+                end
+                else
+                  Printf.printf "%s: general code path (%s)\n" u.Ccc.unit_name
+                    (match e with
+                    | Ccc.Rejected _ -> "not a stencil assignment"
+                    | Ccc.Resource_error _ -> "resource limits"
+                    | Ccc.Parse_error m -> m))
+          units;
+        if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "program"
+       ~doc:
+         "Compile every subroutine in a file, reporting which ones the \
+          convolution module takes and warning about flagged statements it \
+          cannot handle")
+    Term.(const run $ file_arg $ nodes_arg $ tuned_flag)
+
+(* ------------------------------------------------------------------ *)
+(* gallery *)
+
+let gallery_cmd =
+  let run () =
+    List.iter
+      (fun (name, p) ->
+        Printf.printf "%s: %d taps, %d flops/point, borders %s\n%s\n" name
+          (Ccc.Pattern.tap_count p)
+          (Ccc.Pattern.useful_flops_per_point p)
+          (Ccc.Render.borders p) (Ccc.Render.pattern p);
+        print_endline (Ccc.Pattern.to_fortran p);
+        print_newline ())
+      (Ccc.Pattern.gallery ())
+  in
+  Cmd.v
+    (Cmd.info "gallery" ~doc:"Show the built-in stencil patterns")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "ccc" ~version:"1.0.0"
+      ~doc:"The Connection Machine Convolution Compiler (simulated CM-2)"
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; program_cmd; gallery_cmd ]))

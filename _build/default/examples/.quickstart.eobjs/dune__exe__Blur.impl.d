@@ -1,0 +1,1 @@
+examples/blur.ml: Ccc Float Format Printf

@@ -1,0 +1,1 @@
+examples/fused.ml: Ccc List Printf

@@ -1,0 +1,1 @@
+examples/poisson.ml: Ccc Float Lazy Printf

@@ -1,0 +1,1 @@
+examples/seismic.ml: Buffer Ccc Float List Printf String

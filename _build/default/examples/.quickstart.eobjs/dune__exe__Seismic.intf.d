@@ -1,0 +1,1 @@
+examples/seismic.mli:

@@ -1,0 +1,1 @@
+lib/baseline/canned.ml: Ccc_compiler Ccc_runtime Ccc_stencil List Naive Offset Pattern

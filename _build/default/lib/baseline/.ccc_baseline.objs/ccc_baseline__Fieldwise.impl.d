@@ -1,0 +1,1 @@
+lib/baseline/fieldwise.ml: Ccc_cm2 Ccc_runtime Ccc_stencil Coeff List Offset Pattern Tap

@@ -1,0 +1,1 @@
+lib/baseline/fieldwise.mli: Ccc_cm2 Ccc_runtime Ccc_stencil

@@ -1,0 +1,34 @@
+(** The 1989 hand-coded library-routine path: the 5.6-gigaflop
+    Gordon Bell Prize configuration this work started from (section 1).
+
+    "Each library routine performs a fixed pattern of computation":
+    the user chooses from a preselected menu of stencil shapes instead
+    of writing Fortran.  We model those routines with the same
+    microcode engine but under the 1989 constraints:
+
+    - a fixed menu of shapes ({!menu}); anything else falls back to
+      the general code path ({!Naive});
+    - multistencil widths up to 4 only (the width-8 construction and
+      its register discipline are part of the 1990 work);
+    - the pre-existing processor-level grid communication (the
+      node-level four-neighbor primitive is also 1990 work). *)
+
+val menu : unit -> (string * Ccc_stencil.Pattern.t) list
+(** The preselected shapes: cross5, cross9, square9. *)
+
+val supports : Ccc_stencil.Pattern.t -> bool
+(** Is the pattern's shape (offsets, bias-freeness) on the menu?
+    Coefficient arrays may differ — the routines take them as
+    arguments. *)
+
+type outcome =
+  | Library of Ccc_runtime.Stats.t  (** served by a canned routine *)
+  | Fallback of Ccc_runtime.Stats.t  (** shape off menu: general path *)
+
+val estimate :
+  ?iterations:int ->
+  sub_rows:int ->
+  sub_cols:int ->
+  Ccc_cm2.Config.t ->
+  Ccc_stencil.Pattern.t ->
+  outcome

@@ -1,0 +1,67 @@
+open Ccc_stencil
+module Config = Ccc_cm2.Config
+module Stats = Ccc_runtime.Stats
+module Passes = Ccc_runtime.Passes
+
+(* One 32x32 bit transpose: the interface chip moves 32 slices in and
+   32 out; at one slice per memory cycle that is 64 cycles per batch
+   of 32 words (the 3% figure of section 4.3 concerned instruction
+   latching, not this data-path cost, which is why slicewise storage
+   was worth a compiler release). *)
+let transpose_cycles_per_batch = 2 * 32
+
+let batches elements = (elements + 31) / 32
+
+let elementwise_cycles (config : Config.t) ~elements ~reads =
+  let base = Passes.elementwise_cycles config ~elements ~reads in
+  (* Every operand stream and the result stream crosses the transposer
+     once per batch. *)
+  base + ((reads + 1) * batches elements * transpose_cycles_per_batch)
+
+let statement_cycles config pattern ~sub_rows ~sub_cols =
+  let elements = sub_rows * sub_cols in
+  let cycles = ref 0 and passes = ref 0 in
+  let add_pass c =
+    cycles := !cycles + c;
+    incr passes
+  in
+  List.iteri
+    (fun i tap ->
+      let { Offset.drow; dcol } = tap.Tap.offset in
+      if drow <> 0 then
+        add_pass
+          (Passes.whole_array_shift_cycles config ~elements ~amount:drow
+             ~sub_rows ~sub_cols ~dim:1);
+      if dcol <> 0 then
+        add_pass
+          (Passes.whole_array_shift_cycles config ~elements ~amount:dcol
+             ~sub_rows ~sub_cols ~dim:2);
+      (match tap.Tap.coeff with
+      | Coeff.One -> ()
+      | Coeff.Array _ | Coeff.Scalar _ ->
+          add_pass (elementwise_cycles config ~elements ~reads:2));
+      if i > 0 then add_pass (elementwise_cycles config ~elements ~reads:2))
+    (Pattern.taps pattern);
+  (match Pattern.bias pattern with
+  | Some _ -> add_pass (elementwise_cycles config ~elements ~reads:2)
+  | None -> ());
+  (!cycles, !passes)
+
+let estimate ?(iterations = 1) ~sub_rows ~sub_cols config pattern =
+  let compute_cycles, passes =
+    statement_cycles config pattern ~sub_rows ~sub_cols
+  in
+  {
+    Stats.iterations;
+    comm_cycles = 0;
+    compute_cycles;
+    frontend_s = float_of_int passes *. Passes.frontend_pass_overhead_s config;
+    useful_flops_per_iteration =
+      Pattern.useful_flops_per_point pattern
+      * (sub_rows * sub_cols * Config.node_count config);
+    madds_issued = 0;
+    strip_widths = [];
+    corners_skipped = false;
+    nodes = Config.node_count config;
+    clock_hz = config.Config.clock_hz;
+  }

@@ -1,0 +1,30 @@
+(** The oldest code path: fieldwise (processorwise) storage, the
+    format the slicewise release replaced (section 3).
+
+    With a 32-bit word stored bit-serially in one processor's memory,
+    every batch of 32 words must pass through the interface chip's
+    32x32 bit transpose before the floating-point chip can touch it,
+    and the batch size is locked to 32 — too coarse to keep several
+    batches in the register file.  This module prices the same
+    elementwise passes as {!Naive} under those constraints, completing
+    the lineage the paper sketches: fieldwise general code, slicewise
+    general code (~4 GF), the 1989 canned routines (5.6 GF), and the
+    convolution compiler (>10 GF). *)
+
+val transpose_cycles_per_batch : int
+(** Interface-chip cycles to transpose one batch of 32 words. *)
+
+val elementwise_cycles :
+  Ccc_cm2.Config.t -> elements:int -> reads:int -> int
+(** One arithmetic pass over [elements] per node in fieldwise format:
+    each operand batch is transposed in, the result batch transposed
+    out, on top of the slicewise pass cost. *)
+
+val estimate :
+  ?iterations:int ->
+  sub_rows:int ->
+  sub_cols:int ->
+  Ccc_cm2.Config.t ->
+  Ccc_stencil.Pattern.t ->
+  Ccc_runtime.Stats.t
+(** The whole-statement estimate, mirroring {!Naive.estimate}. *)

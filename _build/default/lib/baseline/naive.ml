@@ -1,0 +1,81 @@
+open Ccc_stencil
+module Config = Ccc_cm2.Config
+module Grid = Ccc_runtime.Grid
+module Reference = Ccc_runtime.Reference
+module Stats = Ccc_runtime.Stats
+module Passes = Ccc_runtime.Passes
+
+type result = { output : Grid.t; stats : Stats.t }
+
+(* Pass structure of the general path for one assignment:
+   per tap: |drow| is one shift statement, |dcol| another (CSHIFT
+   composes per dimension), a multiply pass (unless the coefficient is
+   the implicit 1.0), and an add pass into the accumulating temporary
+   (except the first term, which is a plain move the compiler folds
+   into the multiply).  The bias term is one add pass. *)
+let statement_cycles (config : Config.t) pattern ~sub_rows ~sub_cols =
+  let elements = sub_rows * sub_cols in
+  let cycles = ref 0 and passes = ref 0 in
+  let add_pass c =
+    cycles := !cycles + c;
+    incr passes
+  in
+  List.iteri
+    (fun i tap ->
+      let { Offset.drow; dcol } = tap.Tap.offset in
+      if drow <> 0 then
+        add_pass
+          (Passes.whole_array_shift_cycles config ~elements ~amount:drow
+             ~sub_rows ~sub_cols ~dim:1);
+      if dcol <> 0 then
+        add_pass
+          (Passes.whole_array_shift_cycles config ~elements ~amount:dcol
+             ~sub_rows ~sub_cols ~dim:2);
+      (match tap.Tap.coeff with
+      | Coeff.One -> ()
+      | Coeff.Array _ | Coeff.Scalar _ ->
+          add_pass (Passes.elementwise_cycles config ~elements ~reads:2));
+      if i > 0 then
+        add_pass (Passes.elementwise_cycles config ~elements ~reads:2))
+    (Pattern.taps pattern);
+  (match Pattern.bias pattern with
+  | Some _ -> add_pass (Passes.elementwise_cycles config ~elements ~reads:2)
+  | None -> ());
+  (!cycles, !passes)
+
+let make_stats ?(iterations = 1) ~sub_rows ~sub_cols config pattern =
+  let compute_cycles, passes =
+    statement_cycles config pattern ~sub_rows ~sub_cols
+  in
+  {
+    Stats.iterations;
+    comm_cycles = 0;
+    (* shifts are counted inside the passes: the whole array moves *)
+    compute_cycles;
+    frontend_s =
+      float_of_int passes *. Passes.frontend_pass_overhead_s config;
+    useful_flops_per_iteration =
+      Pattern.useful_flops_per_point pattern
+      * (sub_rows * sub_cols * Config.node_count config);
+    madds_issued = 0;
+    strip_widths = [];
+    corners_skipped = false;
+    nodes = Config.node_count config;
+    clock_hz = config.Config.clock_hz;
+  }
+
+let run ?(iterations = 1) config pattern env =
+  let source = Reference.lookup env (Pattern.source_var pattern) in
+  let nodes_r = config.Config.node_rows and nodes_c = config.Config.node_cols in
+  let rows = Grid.rows source and cols = Grid.cols source in
+  if rows mod nodes_r <> 0 || cols mod nodes_c <> 0 then
+    invalid_arg "Naive.run: array does not divide over the node grid";
+  let output = Reference.apply pattern env in
+  let stats =
+    make_stats ~iterations ~sub_rows:(rows / nodes_r) ~sub_cols:(cols / nodes_c)
+      config pattern
+  in
+  { output; stats }
+
+let estimate ?(iterations = 1) ~sub_rows ~sub_cols config pattern =
+  make_stats ~iterations ~sub_rows ~sub_cols config pattern

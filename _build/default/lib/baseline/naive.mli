@@ -1,0 +1,34 @@
+(** The general CM Fortran code path (the "around 4 gigaflops" class
+    of section 3): the comparison baseline the convolution compiler
+    improves on.
+
+    Without the convolution module, the compiler executes the
+    assignment term by term:
+
+    - each [CSHIFT] materializes a whole shifted copy of the array —
+      every element moves, not just the halo;
+    - each multiplication and each addition is a separate elementwise
+      pass through the vector units, with no register reuse between
+      array elements;
+    - every pass is a separately launched front-end statement.
+
+    The data semantics are identical (this module evaluates through
+    {!Ccc_runtime.Reference}); only the cost model differs. *)
+
+type result = { output : Ccc_runtime.Grid.t; stats : Ccc_runtime.Stats.t }
+
+val run :
+  ?iterations:int ->
+  Ccc_cm2.Config.t ->
+  Ccc_stencil.Pattern.t ->
+  Ccc_runtime.Reference.env ->
+  result
+
+val estimate :
+  ?iterations:int ->
+  sub_rows:int ->
+  sub_cols:int ->
+  Ccc_cm2.Config.t ->
+  Ccc_stencil.Pattern.t ->
+  Ccc_runtime.Stats.t
+(** Timing without data, mirroring {!Ccc_runtime.Exec.estimate}. *)

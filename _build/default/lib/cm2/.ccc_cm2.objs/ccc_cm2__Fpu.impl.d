@@ -1,0 +1,1 @@
+lib/cm2/fpu.ml: Array Fun Int32 List Printf

@@ -1,0 +1,1 @@
+lib/cm2/geometry.ml: Format List

@@ -1,0 +1,1 @@
+lib/cm2/machine.ml: Array Config Geometry Memory

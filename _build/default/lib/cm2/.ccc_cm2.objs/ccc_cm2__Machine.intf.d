@@ -1,0 +1,1 @@
+lib/cm2/machine.mli: Config Geometry Memory

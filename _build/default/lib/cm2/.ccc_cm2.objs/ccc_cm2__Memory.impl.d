@@ -1,0 +1,1 @@
+lib/cm2/memory.ml: Array Printf

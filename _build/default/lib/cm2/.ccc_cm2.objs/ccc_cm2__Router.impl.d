@@ -1,0 +1,1 @@
+lib/cm2/router.ml: Geometry Hashtbl List

@@ -1,0 +1,1 @@
+lib/cm2/slicewise.ml: Array Int32

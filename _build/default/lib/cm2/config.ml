@@ -1,0 +1,98 @@
+type t = {
+  node_rows : int;
+  node_cols : int;
+  clock_hz : float;
+  fpu_registers : int;
+  single_precision : bool;
+  madd_add_latency : int;
+  madd_writeback_latency : int;
+  load_latency : int;
+  static_issue_cycles : int;
+  memory_op_cycles : int;
+  madd_issue_cycles : int;
+  scratch_counter_reset_cycles : int;
+  loop_branch_cycles : int;
+  pipe_reversal_cycles : int;
+  line_overhead_cycles : int;
+  halfstrip_startup_cycles : int;
+  scratch_memory_words : int;
+  comm_cycles_per_word : int;
+  legacy_comm_cycles_per_word : int;
+  frontend_call_overhead_s : float;
+  frontend_dispatch_s : float;
+  frontend_word_cycles : float;
+  strength_reduced_frontend : bool;
+}
+
+let effective_call_s t =
+  if t.strength_reduced_frontend then t.frontend_call_overhead_s /. 4.0
+  else t.frontend_call_overhead_s
+
+let effective_dispatch_s t =
+  if t.strength_reduced_frontend then t.frontend_dispatch_s /. 8.0
+  else t.frontend_dispatch_s
+
+let effective_word_s t =
+  let cycles =
+    if t.strength_reduced_frontend then t.frontend_word_cycles /. 2.0
+    else t.frontend_word_cycles
+  in
+  cycles /. t.clock_hz
+
+(* Calibration notes: the FPU and sequencer latencies are taken
+   directly from the paper (sections 4.2 and 4.3).  The cost constants
+   (memory-op, line overhead, and the three front-end terms) were
+   fitted once against the paper's Table 1 with bench/calibrate.exe and
+   then frozen; the 21 Nov 90 rows come out front-end bound at ~1.8
+   cycles of host preparation per dynamic word — matching section 7's
+   remark that the front end was hard pressed to keep up — while the
+   7 Dec 90 strength-reduced rows and the Gordon Bell production runs
+   are machine-bound.  EXPERIMENTS.md records the per-row residuals. *)
+let default =
+  {
+    node_rows = 4;
+    node_cols = 4;
+    clock_hz = 7.0e6;
+    fpu_registers = 32;
+    single_precision = false;
+    madd_add_latency = 2;
+    madd_writeback_latency = 4;
+    load_latency = 1;
+    static_issue_cycles = 1;
+    memory_op_cycles = 1;
+    madd_issue_cycles = 1;
+    scratch_counter_reset_cycles = 1;
+    loop_branch_cycles = 2;
+    pipe_reversal_cycles = 2;
+    line_overhead_cycles = 12;
+    halfstrip_startup_cycles = 40;
+    scratch_memory_words = 4096;
+    comm_cycles_per_word = 8;
+    legacy_comm_cycles_per_word = 32;
+    frontend_call_overhead_s = 1500e-6;
+    frontend_dispatch_s = 100e-6;
+    frontend_word_cycles = 1.8;
+    strength_reduced_frontend = false;
+  }
+
+let with_nodes ~rows ~cols t =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg "Config.with_nodes: non-positive node grid";
+  { t with node_rows = rows; node_cols = cols }
+
+let full_machine = with_nodes ~rows:32 ~cols:64 default
+let tuned_runtime t = { t with strength_reduced_frontend = true }
+let node_count t = t.node_rows * t.node_cols
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>CM-2 model: %dx%d nodes @@ %.1f MHz@ registers=%d scratch=%d \
+     words@ comm=%d cyc/word (legacy %d)@ frontend: call=%.0fus \
+     dispatch=%.0fus word=%.2f cyc strength_reduced=%b@]"
+    t.node_rows t.node_cols
+    (t.clock_hz /. 1e6)
+    t.fpu_registers t.scratch_memory_words t.comm_cycles_per_word
+    t.legacy_comm_cycles_per_word
+    (t.frontend_call_overhead_s *. 1e6)
+    (t.frontend_dispatch_s *. 1e6)
+    t.frontend_word_cycles t.strength_reduced_frontend

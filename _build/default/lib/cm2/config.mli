@@ -1,0 +1,106 @@
+(** Machine-model parameters for the simulated Connection Machine CM-2.
+
+    Every cost in the cycle model is a named constant here, so that the
+    benchmark harness can calibrate the simulation against the paper's
+    published numbers and the ablation benches can flip individual design
+    choices (legacy communication primitive, front-end strength
+    reduction, ...) without touching the compiler or runtime. *)
+
+type t = {
+  node_rows : int;  (** rows of the 2-D node grid *)
+  node_cols : int;  (** columns of the 2-D node grid *)
+  clock_hz : float;
+      (** sequencer / FPU clock; the paper's measurements all ran at
+          7 MHz (section 7) *)
+  fpu_registers : int;  (** WTL3164 register-file size; 32 on the CM-2 *)
+  single_precision : bool;
+      (** round every product and sum to IEEE single precision, as the
+          32-bit WTL3164 did; off by default so simulated results
+          compare exactly against the double-precision oracle (see the
+          substitution table in DESIGN.md) *)
+  madd_add_latency : int;
+      (** cycles from issuing a multiply until the product enters the
+          adder; 2 on the WTL3164 (section 4.2) *)
+  madd_writeback_latency : int;
+      (** cycles from issuing a multiply until the chained sum lands in
+          its destination register; 4 on the WTL3164 (section 4.2) *)
+  load_latency : int;
+      (** cycles for a memory word to traverse the interface chip into a
+          register (section 5.3 mentions one cycle of latency) *)
+  static_issue_cycles : int;
+      (** cycles to latch the static part of a floating-point
+          instruction (section 4.3) *)
+  memory_op_cycles : int;
+      (** sequencer cycles consumed per load or store dynamic part,
+          including address generation by the sequencer ALU *)
+  madd_issue_cycles : int;
+      (** sequencer cycles per multiply-add dynamic part; the scratch
+          counter advances without the ALU, which is left free to
+          generate the streamed coefficient address (section 4.3) *)
+  scratch_counter_reset_cycles : int;
+      (** ALU cycles to load a new scratch-memory counter value *)
+  loop_branch_cycles : int;
+      (** extra cycles at each inner-loop end: a conditional branch
+          cannot share a cycle with a dynamic-part issue (section 4.3) *)
+  pipe_reversal_cycles : int;
+      (** penalty when the memory pipe changes direction between
+          loading and storing (section 5.3) *)
+  line_overhead_cycles : int;
+      (** fixed per-line sequencer cycles (line-start address setup) *)
+  halfstrip_startup_cycles : int;
+      (** fixed cost to enter the microcode loop for one half-strip *)
+  scratch_memory_words : int;
+      (** capacity of the sequencer scratch data memory available for
+          dynamic parts; bounds the register-access unrolling *)
+  comm_cycles_per_word : int;
+      (** node-level grid primitive: cycles per word moved, all four
+          directions concurrently (section 4.1) *)
+  legacy_comm_cycles_per_word : int;
+      (** pre-existing processor-level primitive: cycles per word in a
+          single direction (baseline for the ablation) *)
+  frontend_call_overhead_s : float;
+      (** front-end (host) time to launch one stencil call *)
+  frontend_dispatch_s : float;
+      (** front-end time to dispatch one half-strip of work *)
+  frontend_word_cycles : float;
+      (** front-end preparation time per dynamic-part word, expressed
+          in CM clock cycles.  The front end prepares the next
+          half-strip's parameters while the microcode runs; when this
+          exceeds the microcode's own pace the CM idles — section 7:
+          "the microcode loops are so fast that the front end computer
+          is hard pressed to keep up" *)
+  strength_reduced_frontend : bool;
+      (** section 7: careful recoding with strength reduction (no
+          integer multiplications) of the front-end inner loops;
+          shrinks the dispatch and per-word costs *)
+}
+
+val effective_call_s : t -> float
+(** {!frontend_call_overhead_s}, divided by 4 when strength-reduced. *)
+
+val effective_dispatch_s : t -> float
+(** {!frontend_dispatch_s}, divided by 8 when strength-reduced. *)
+
+val effective_word_s : t -> float
+(** Seconds of front-end preparation per dynamic word:
+    {!frontend_word_cycles} at the machine clock, halved when
+    strength-reduced. *)
+
+val default : t
+(** A 16-node (4 x 4) single-board test machine, the configuration used
+    for the paper's preliminary timings. *)
+
+val full_machine : t
+(** The full 65,536-processor CM-2: 2,048 nodes as a 32 x 64 grid. *)
+
+val with_nodes : rows:int -> cols:int -> t -> t
+(** [with_nodes ~rows ~cols t] is [t] resized to a [rows] x [cols] node
+    grid. Raises [Invalid_argument] unless both are positive. *)
+
+val tuned_runtime : t -> t
+(** Enable the December-1990 run-time library tuning (strength-reduced
+    front end); see the 7 Dec 90 rows of the paper's table. *)
+
+val node_count : t -> int
+
+val pp : Format.formatter -> t -> unit

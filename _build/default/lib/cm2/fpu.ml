@@ -1,0 +1,116 @@
+type pending_add = {
+  add_at : int;  (** cycle on which the adder reads the accumulator *)
+  land_at : int;  (** cycle on which the sum reaches [dst] *)
+  product : float;
+  acc : int;
+  dst : int;
+}
+
+type pending_write = { write_at : int; reg : int; value : float }
+
+type t = {
+  regs : float array;
+  add_latency : int;
+  writeback_latency : int;
+  round : float -> float;  (** identity, or IEEE single rounding *)
+  mutable cycle : int;
+  mutable adds : pending_add list;  (** sorted by [add_at] *)
+  mutable writes : pending_write list;  (** sorted by [write_at] *)
+  mutable flop_slots : int;
+}
+
+let round32 v = Int32.float_of_bits (Int32.bits_of_float v)
+
+let create ?(add_latency = 2) ?(writeback_latency = 4)
+    ?(single_precision = false) ~registers () =
+  if registers <= 0 then invalid_arg "Fpu.create: no registers";
+  if add_latency <= 0 || writeback_latency <= add_latency then
+    invalid_arg "Fpu.create: inconsistent latencies";
+  {
+    regs = Array.make registers 0.0;
+    add_latency;
+    writeback_latency;
+    round = (if single_precision then round32 else Fun.id);
+    cycle = 0;
+    adds = [];
+    writes = [];
+    flop_slots = 0;
+  }
+
+let registers t = Array.length t.regs
+let now t = t.cycle
+
+let check_reg t r name =
+  if r < 0 || r >= Array.length t.regs then
+    invalid_arg (Printf.sprintf "Fpu: %s register %d out of range" name r)
+
+let insert_sorted key x xs =
+  let rec go = function
+    | [] -> [ x ]
+    | y :: rest as l -> if key x <= key y then x :: l else y :: go rest
+  in
+  go xs
+
+(* One simulated cycle.  Ordering within the new cycle matters: writes
+   land first, then pending additions read their accumulator, so a read
+   on cycle [t] observes writes landed on cycles <= t. *)
+let tick t =
+  t.cycle <- t.cycle + 1;
+  let landed, still =
+    List.partition (fun w -> w.write_at <= t.cycle) t.writes
+  in
+  List.iter (fun w -> t.regs.(w.reg) <- w.value) landed;
+  t.writes <- still;
+  let due, waiting = List.partition (fun a -> a.add_at <= t.cycle) t.adds in
+  t.adds <- waiting;
+  let start_add a =
+    let sum = t.round (a.product +. t.regs.(a.acc)) in
+    t.writes <-
+      insert_sorted
+        (fun w -> w.write_at)
+        { write_at = a.land_at; reg = a.dst; value = sum }
+        t.writes
+  in
+  List.iter start_add due
+
+let advance_to t cycle = while t.cycle < cycle do tick t done
+
+let read t r =
+  check_reg t r "read";
+  t.regs.(r)
+
+let poke t r v =
+  check_reg t r "poke";
+  t.regs.(r) <- v
+
+let schedule_write t ~at ~reg v =
+  check_reg t reg "schedule_write";
+  if at <= t.cycle then invalid_arg "Fpu.schedule_write: not in the future";
+  t.writes <-
+    insert_sorted (fun w -> w.write_at) { write_at = at; reg; value = v }
+      t.writes
+
+let issue_madd t ~dst ~data ~coeff ~acc =
+  check_reg t dst "madd dst";
+  check_reg t data "madd data";
+  check_reg t acc "madd acc";
+  let product = t.round (t.regs.(data) *. coeff) in
+  t.flop_slots <- t.flop_slots + 2;
+  t.adds <-
+    insert_sorted
+      (fun a -> a.add_at)
+      {
+        add_at = t.cycle + t.add_latency;
+        land_at = t.cycle + t.writeback_latency;
+        product;
+        acc;
+        dst;
+      }
+      t.adds
+
+let pending_write t ~reg =
+  List.exists (fun w -> w.reg = reg) t.writes
+  || List.exists (fun a -> a.dst = reg) t.adds
+
+let drain t = while t.adds <> [] || t.writes <> [] do tick t done
+let total_flop_slots t = t.flop_slots

@@ -1,0 +1,80 @@
+(** Cycle-level model of the Weitek WTL3164 floating-point unit.
+
+    The constraints the compiler must work around (section 4.2):
+
+    - only chained multiply-add operations run at two flops per cycle;
+    - a multiplication issued on cycle [k] becomes an operand of the
+      addition started on cycle [k+2], and the sum lands in its
+      destination register on cycle [k+4];
+    - one operand of every multiplication must come from memory (the
+      streamed coefficient), not from a register;
+    - there are 32 internal registers.
+
+    Semantics of this model: a register read on cycle [t] observes
+    exactly the writes that have landed on cycles [<= t].  The
+    just-in-time register reuse of section 5.3 (using a data element
+    "just barely" before its register is overwritten by an accumulating
+    chain) is therefore expressible and checkable: reading on cycle
+    [k+3] a register whose write lands on [k+4] yields the old value.
+
+    The model also counts flop slots so the harness can separate useful
+    flops (the paper counts 5 multiplies + 4 adds for a 5-point stencil)
+    from the discarded multiply-add work performed during load/store
+    cycles (section 5.3: "there is no way not to store the result"). *)
+
+type t
+
+val create :
+  ?add_latency:int ->
+  ?writeback_latency:int ->
+  ?single_precision:bool ->
+  registers:int ->
+  unit ->
+  t
+(** Fresh FPU at cycle 0, all registers 0.0.  The latencies default to
+    the WTL3164 values (2 and 4).  With [single_precision] (default
+    false) every product and sum rounds to IEEE single precision, as
+    the 32-bit chip did; the default keeps double precision so results
+    compare exactly against the host-side oracle, per the substitution
+    note in DESIGN.md. *)
+
+val round32 : float -> float
+(** Round a value to the nearest IEEE single-precision number. *)
+
+val registers : t -> int
+val now : t -> int
+
+val tick : t -> unit
+(** Advance one cycle, landing any writes scheduled for the new cycle. *)
+
+val advance_to : t -> int -> unit
+(** Advance to an absolute cycle (no-op if already there or later). *)
+
+val read : t -> int -> float
+(** Value of a register as visible at the current cycle. *)
+
+val poke : t -> int -> float -> unit
+(** Set a register immediately; used only for initialization (pinning
+    the zero and one registers before the microcode loop starts). *)
+
+val schedule_write : t -> at:int -> reg:int -> float -> unit
+(** A value lands in [reg] at absolute cycle [at]; the load path uses
+    this because memory -> register transfers have their own latency
+    through the interface chip.  Raises [Invalid_argument] if [at] is
+    not in the future. *)
+
+val issue_madd : t -> dst:int -> data:int -> coeff:float -> acc:int -> unit
+(** Issue a chained multiply-add on the current cycle [k]:
+    [dst <- read data * coeff + read acc], where the data operand is
+    read at [k], the accumulator at [k] + add latency, and the result
+    lands at [k] + writeback latency.  The coefficient comes from
+    memory by construction of the type. *)
+
+val pending_write : t -> reg:int -> bool
+(** Is there an in-flight write to [reg] that has not landed yet? *)
+
+val drain : t -> unit
+(** Advance cycles until no writes or additions are in flight. *)
+
+val total_flop_slots : t -> int
+(** Two per multiply-add issued, useful or not. *)

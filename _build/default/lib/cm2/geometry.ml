@@ -1,0 +1,100 @@
+type t = { rows : int; cols : int }
+type direction = North | South | East | West
+
+let all_directions = [ North; South; East; West ]
+
+let opposite = function
+  | North -> South
+  | South -> North
+  | East -> West
+  | West -> East
+
+let pp_direction ppf d =
+  Format.pp_print_string ppf
+    (match d with
+    | North -> "North"
+    | South -> "South"
+    | East -> "East"
+    | West -> "West")
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg "Geometry.create: non-positive dimensions";
+  { rows; cols }
+
+let rows t = t.rows
+let cols t = t.cols
+let node_count t = t.rows * t.cols
+
+let node_of_coord t ~row ~col =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+    invalid_arg "Geometry.node_of_coord: out of range";
+  (row * t.cols) + col
+
+let coord_of_node t node =
+  if node < 0 || node >= node_count t then
+    invalid_arg "Geometry.coord_of_node: out of range";
+  (node / t.cols, node mod t.cols)
+
+(* Toroidal step: the CM-2 NEWS grid wraps around, matching the
+   circular semantics of Fortran CSHIFT.  North is toward smaller row
+   indices. *)
+let neighbor t node dir =
+  let row, col = coord_of_node t node in
+  let wrap v n = ((v mod n) + n) mod n in
+  let row', col' =
+    match dir with
+    | North -> (wrap (row - 1) t.rows, col)
+    | South -> (wrap (row + 1) t.rows, col)
+    | West -> (row, wrap (col - 1) t.cols)
+    | East -> (row, wrap (col + 1) t.cols)
+  in
+  node_of_coord t ~row:row' ~col:col'
+
+let diagonal_neighbor t node (vertical, horizontal) =
+  (match vertical with
+  | North | South -> ()
+  | East | West ->
+      invalid_arg "Geometry.diagonal_neighbor: first direction not vertical");
+  (match horizontal with
+  | East | West -> ()
+  | North | South ->
+      invalid_arg "Geometry.diagonal_neighbor: second direction not horizontal");
+  neighbor t (neighbor t node vertical) horizontal
+
+let gray n = n lxor (n lsr 1)
+
+let gray_inverse g =
+  let rec go acc g = if g = 0 then acc else go (acc lxor g) (g lsr 1) in
+  go 0 g
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let bits_for n =
+  let rec go b v = if v >= n then b else go (b + 1) (v * 2) in
+  go 0 1
+
+let hypercube_dimension t = bits_for t.rows + bits_for t.cols
+
+let hypercube_address t node =
+  let row, col = coord_of_node t node in
+  (gray row lsl bits_for t.cols) lor gray col
+
+let popcount n =
+  let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
+  go 0 n
+
+let grid_neighbors_are_hypercube_neighbors t =
+  if not (is_power_of_two t.rows && is_power_of_two t.cols) then false
+  else
+    let ok = ref true in
+    for node = 0 to node_count t - 1 do
+      let addr = hypercube_address t node in
+      let check dir =
+        let addr' = hypercube_address t (neighbor t node dir) in
+        (* A node on an axis of length 1 is its own neighbor. *)
+        if popcount (addr lxor addr') > 1 then ok := false
+      in
+      List.iter check all_directions
+    done;
+    !ok

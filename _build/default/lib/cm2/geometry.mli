@@ -1,0 +1,63 @@
+(** Node-grid geometry and its embedding in the CM-2 hypercube.
+
+    The run-time library arranges the 2,048 floating-point nodes of a
+    full CM-2 as a two-dimensional grid (section 5).  Grid neighbors are
+    hypercube neighbors thanks to a Gray-code embedding of each grid
+    axis, which is what makes the four-neighbor exchange primitive
+    effective (section 4.1).  This module provides the grid arithmetic
+    used by the distribution and halo-exchange code, plus the Gray-code
+    machinery so that tests can verify the embedding property. *)
+
+type t
+
+type direction = North | South | East | West
+
+val all_directions : direction list
+val opposite : direction -> direction
+val pp_direction : Format.formatter -> direction -> unit
+
+val create : rows:int -> cols:int -> t
+(** [create ~rows ~cols] is a [rows] x [cols] node grid.  Raises
+    [Invalid_argument] on non-positive dimensions. *)
+
+val rows : t -> int
+val cols : t -> int
+val node_count : t -> int
+
+val node_of_coord : t -> row:int -> col:int -> int
+(** Row-major node id of grid coordinate ([row], [col]).  Raises
+    [Invalid_argument] when out of range. *)
+
+val coord_of_node : t -> int -> int * int
+(** Inverse of {!node_of_coord}. *)
+
+val neighbor : t -> int -> direction -> int
+(** [neighbor t node dir] is the node adjacent to [node] in direction
+    [dir], with toroidal wraparound (the CM-2 NEWS grid is circular,
+    matching Fortran's [CSHIFT]). *)
+
+val diagonal_neighbor : t -> int -> direction * direction -> int
+(** [diagonal_neighbor t node (vertical, horizontal)] composes two
+    neighbor steps; used by the corner-exchange phase. *)
+
+val gray : int -> int
+(** Binary-reflected Gray code. *)
+
+val gray_inverse : int -> int
+(** Inverse of {!gray}: [gray_inverse (gray n) = n]. *)
+
+val hypercube_address : t -> int -> int
+(** The hypercube address of a node: the Gray codes of its grid
+    coordinates, concatenated.  Only meaningful when both grid
+    dimensions are powers of two (as on real hardware). *)
+
+val hypercube_dimension : t -> int
+(** Number of address bits used by {!hypercube_address}. *)
+
+val is_power_of_two : int -> bool
+
+val grid_neighbors_are_hypercube_neighbors : t -> bool
+(** Verify the embedding property: every pair of grid neighbors (other
+    than wraparound pairs on axes of length <= 2) differs in at most one
+    hypercube address bit, wraparound pairs included, because the
+    reflected Gray code is cyclic. *)

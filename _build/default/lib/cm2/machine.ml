@@ -1,0 +1,42 @@
+type t = {
+  config : Config.t;
+  geometry : Geometry.t;
+  memories : Memory.t array;
+}
+
+let create ?(memory_words = 1 lsl 20) config =
+  let geometry =
+    Geometry.create ~rows:config.Config.node_rows ~cols:config.Config.node_cols
+  in
+  let memories =
+    Array.init (Geometry.node_count geometry) (fun _ ->
+        Memory.create ~words:memory_words)
+  in
+  { config; geometry; memories }
+
+let config t = t.config
+let geometry t = t.geometry
+let node_count t = Array.length t.memories
+
+let memory t node =
+  if node < 0 || node >= Array.length t.memories then
+    invalid_arg "Machine.memory: node out of range";
+  t.memories.(node)
+
+let alloc_all t ~words =
+  if Array.length t.memories = 0 then invalid_arg "Machine.alloc_all: no nodes";
+  let first = Memory.alloc t.memories.(0) ~words in
+  Array.iteri
+    (fun i mem ->
+      if i > 0 then begin
+        let region = Memory.alloc mem ~words in
+        if region <> first then
+          failwith "Machine.alloc_all: node memory layouts diverged"
+      end)
+    t.memories;
+  first
+
+let free_all_after t region =
+  Array.iter (fun mem -> Memory.free_all_after mem region) t.memories
+
+let iter_nodes t f = Array.iteri f t.memories

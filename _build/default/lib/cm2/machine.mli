@@ -1,0 +1,33 @@
+(** A simulated CM-2: configuration, node-grid geometry, and one memory
+    per floating-point node.
+
+    The machine is SIMD: every node executes the same instruction
+    stream, so the microcode interpreter runs the data computation on
+    each node's memory but accounts cycles once.  Node memories are
+    sized generously; the paper's arrays (a 64 x 64 to 128 x 256
+    subgrid per node plus halo temporaries and coefficient arrays) fit
+    comfortably. *)
+
+type t
+
+val create : ?memory_words:int -> Config.t -> t
+(** Build a machine from a configuration.  [memory_words] is the
+    per-node memory size (default 1,048,576 words). *)
+
+val config : t -> Config.t
+val geometry : t -> Geometry.t
+val node_count : t -> int
+
+val memory : t -> int -> Memory.t
+(** Memory of a node by id.  Raises [Invalid_argument] out of range. *)
+
+val alloc_all : t -> words:int -> Memory.region
+(** Allocate the same region on every node (SIMD allocation: the
+    run-time library gives arrays identical layouts on all nodes).
+    Returns the common region; raises [Failure] if any node cannot
+    satisfy it or if layouts diverge. *)
+
+val free_all_after : t -> Memory.region -> unit
+(** Roll every node's allocator back past [region]. *)
+
+val iter_nodes : t -> (int -> Memory.t -> unit) -> unit

@@ -1,0 +1,46 @@
+type t = { store : float array; mutable next_free : int }
+type region = { base : int; words : int }
+
+let create ~words =
+  if words <= 0 then invalid_arg "Memory.create: non-positive size";
+  { store = Array.make words 0.0; next_free = 0 }
+
+let words t = Array.length t.store
+
+let read t addr =
+  if addr < 0 || addr >= Array.length t.store then
+    invalid_arg (Printf.sprintf "Memory.read: address %d out of bounds" addr);
+  t.store.(addr)
+
+let write t addr v =
+  if addr < 0 || addr >= Array.length t.store then
+    invalid_arg (Printf.sprintf "Memory.write: address %d out of bounds" addr);
+  t.store.(addr) <- v
+
+let alloc t ~words:n =
+  if n < 0 then invalid_arg "Memory.alloc: negative size";
+  if t.next_free + n > Array.length t.store then
+    failwith
+      (Printf.sprintf "Memory.alloc: out of node memory (%d requested, %d free)"
+         n
+         (Array.length t.store - t.next_free));
+  let region = { base = t.next_free; words = n } in
+  t.next_free <- t.next_free + n;
+  region
+
+let free_all_after t region =
+  let high = region.base + region.words in
+  if high > t.next_free then invalid_arg "Memory.free_all_after: stale region";
+  t.next_free <- high
+
+let words_free t = Array.length t.store - t.next_free
+
+let blit_out t region =
+  if region.base < 0 || region.base + region.words > Array.length t.store then
+    invalid_arg "Memory.blit_out: bad region";
+  Array.sub t.store region.base region.words
+
+let blit_in t region data =
+  if Array.length data <> region.words then
+    invalid_arg "Memory.blit_in: size mismatch";
+  Array.blit data 0 t.store region.base region.words

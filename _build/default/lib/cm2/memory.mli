@@ -1,0 +1,40 @@
+(** Per-node parallel memory.
+
+    Each CM-2 node owns the memory of its 32 bit-serial processors; in
+    slicewise format a 32-bit word occupies one memory slice and moves
+    to the floating-point chip in a single cycle (section 3).  We model
+    the node memory as a flat word-addressed store of floats with a
+    bump allocator, which is how the run-time library obtains subgrid
+    and halo-temporary storage. *)
+
+type t
+
+type region = { base : int; words : int }
+(** A contiguous allocation. *)
+
+val create : words:int -> t
+(** Fresh zero-filled memory of [words] words. *)
+
+val words : t -> int
+
+val read : t -> int -> float
+(** [read t addr].  Raises [Invalid_argument] out of bounds. *)
+
+val write : t -> int -> float -> unit
+
+val alloc : t -> words:int -> region
+(** Allocate a fresh region.  Raises [Failure] when memory is
+    exhausted. *)
+
+val free_all_after : t -> region -> unit
+(** Roll the bump allocator back so that [region] is the last live
+    allocation; models the run-time library releasing halo temporaries
+    after a stencil call. *)
+
+val words_free : t -> int
+
+val blit_out : t -> region -> float array
+(** Copy a region's contents to a fresh array. *)
+
+val blit_in : t -> region -> float array -> unit
+(** Fill a region from an array of exactly [region.words] elements. *)

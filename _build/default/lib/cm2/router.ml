@@ -1,0 +1,86 @@
+type t = { geometry : Geometry.t }
+
+let create geometry =
+  if
+    not
+      (Geometry.is_power_of_two (Geometry.rows geometry)
+      && Geometry.is_power_of_two (Geometry.cols geometry))
+  then
+    invalid_arg
+      "Router.create: hypercube addressing needs power-of-two grid dimensions";
+  { geometry }
+
+let dimension t = Geometry.hypercube_dimension t.geometry
+
+let address t node = Geometry.hypercube_address t.geometry node
+
+(* Node id with the given hypercube address: invert the Gray coding of
+   both coordinate fields. *)
+let node_of_address t addr =
+  let cols = Geometry.cols t.geometry in
+  let col_bits =
+    let rec go b v = if v >= cols then b else go (b + 1) (v * 2) in
+    go 0 1
+  in
+  let col_gray = addr land ((1 lsl col_bits) - 1) in
+  let row_gray = addr lsr col_bits in
+  Geometry.node_of_coord t.geometry
+    ~row:(Geometry.gray_inverse row_gray)
+    ~col:(Geometry.gray_inverse col_gray)
+
+let route t ~src ~dst =
+  let a = address t src and b = address t dst in
+  let rec go current acc bit =
+    if current = b then List.rev acc
+    else if bit >= dimension t then assert false
+    else
+      let mask = 1 lsl bit in
+      if current land mask <> b land mask then
+        let next = current lxor mask in
+        go next (node_of_address t next :: acc) (bit + 1)
+      else go current acc (bit + 1)
+  in
+  go a [] 0
+
+let popcount n =
+  let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
+  go 0 n
+
+let hops t ~src ~dst = popcount (address t src lxor address t dst)
+
+let wires_of_path t ~src path =
+  let rec go prev = function
+    | [] -> []
+    | node :: rest ->
+        let a = address t prev and b = address t node in
+        (min a b, max a b) :: go node rest
+  in
+  go src path
+
+let news_exchange_is_single_hop t =
+  let ok = ref true in
+  for node = 0 to Geometry.node_count t.geometry - 1 do
+    List.iter
+      (fun dir ->
+        let neighbor = Geometry.neighbor t.geometry node dir in
+        if neighbor <> node && hops t ~src:node ~dst:neighbor <> 1 then
+          ok := false)
+      Geometry.all_directions
+  done;
+  !ok
+
+let news_exchange_wire_disjoint t dir =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  for node = 0 to Geometry.node_count t.geometry - 1 do
+    let neighbor = Geometry.neighbor t.geometry node dir in
+    if neighbor <> node then begin
+      let path = route t ~src:node ~dst:neighbor in
+      List.iter
+        (fun wire ->
+          if Hashtbl.mem seen wire then ok := false
+          else Hashtbl.add seen wire ())
+        (wires_of_path t ~src:node path)
+    end
+  done;
+  !ok

@@ -1,0 +1,44 @@
+(** The CM-2 message router, at the level the communication model
+    depends on.
+
+    Section 3: processors communicate through a router that forwards
+    messages over a network logically structured as a boolean
+    hypercube; nodes (two processor chips + FPU) form an 11-dimensional
+    hypercube on a full machine.  The grid primitives owe their speed
+    to the Gray-code embedding: grid neighbors are hypercube neighbors,
+    so a NEWS exchange needs exactly one hop per message and never
+    contends for a wire in a synchronized SIMD exchange.
+
+    This module implements dimension-ordered (e-cube) routing over the
+    node hypercube so that the tests can {e derive} rather than assume
+    the communication costs: one hop for grid neighbors, up to the cube
+    dimension for arbitrary pairs, and wire-disjointness of the
+    four-direction exchange. *)
+
+type t
+
+val create : Geometry.t -> t
+(** Raises [Invalid_argument] unless both grid dimensions are powers
+    of two (hardware constraint: addresses are bit fields). *)
+
+val dimension : t -> int
+
+val route : t -> src:int -> dst:int -> int list
+(** The e-cube path as a list of intermediate node ids ending with
+    [dst] (empty when [src = dst]): correct one address bit at a time,
+    lowest dimension first. *)
+
+val hops : t -> src:int -> dst:int -> int
+(** Hamming distance of the hypercube addresses = path length. *)
+
+val wires_of_path : t -> src:int -> int list -> (int * int) list
+(** The undirected wires a path crosses, each as (low endpoint id,
+    high endpoint id) in hypercube-address space. *)
+
+val news_exchange_is_single_hop : t -> bool
+(** Every NEWS neighbor pair is one hop apart (the embedding
+    property, stated operationally). *)
+
+val news_exchange_wire_disjoint : t -> Geometry.direction -> bool
+(** In a machine-wide shift along one direction, no two messages share
+    a wire — what lets the grid primitive run at full wire bandwidth. *)

@@ -1,0 +1,36 @@
+type 'a t = {
+  capacity : int;
+  mutable table : 'a array;
+  mutable counter : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Sequencer.create: non-positive capacity";
+  { capacity; table = [||]; counter = 0 }
+
+let capacity t = t.capacity
+let loaded t = Array.length t.table
+
+let load t table =
+  if Array.length table > t.capacity then
+    failwith
+      (Printf.sprintf
+         "Sequencer.load: dynamic-part table of %d words exceeds scratch \
+          memory (%d words)"
+         (Array.length table) t.capacity);
+  t.table <- table;
+  t.counter <- 0
+
+let reset_counter t slot =
+  if slot < 0 || slot > Array.length t.table then
+    invalid_arg "Sequencer.reset_counter: outside loaded table";
+  t.counter <- slot
+
+let counter t = t.counter
+
+let next t =
+  if t.counter >= Array.length t.table then
+    invalid_arg "Sequencer.next: ran off the end of the loaded table";
+  let word = t.table.(t.counter) in
+  t.counter <- t.counter + 1;
+  word

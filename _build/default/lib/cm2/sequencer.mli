@@ -1,0 +1,39 @@
+(** The CM-2 instruction sequencer's scratch data memory.
+
+    Section 4.3: the winning strategy keeps the {e dynamic parts} of
+    floating-point instructions (register addresses and load/store
+    control) in the sequencer's scratch data memory and feeds them to
+    the floating-point units cycle by cycle.  The scratch memory is
+    addressed by a counter that advances to consecutive locations
+    without tying up the sequencer ALU; resetting the counter costs an
+    ALU cycle.  Its capacity is the resource the compiler's
+    LCM-minimization protects (section 5.4).
+
+    The element type is abstract because the sequencer does not
+    interpret dynamic parts; the microcode interpreter stores its
+    instruction words here. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Empty scratch memory holding at most [capacity] words. *)
+
+val capacity : 'a t -> int
+val loaded : 'a t -> int
+
+val load : 'a t -> 'a array -> unit
+(** Load a fresh table of dynamic parts (the run-time library does this
+    once per stencil call).  Raises [Failure] if the table exceeds
+    capacity — the compiler is responsible for never letting this
+    happen, and the register allocator's compression heuristic exists
+    precisely to keep unrolled tables small. *)
+
+val reset_counter : 'a t -> int -> unit
+(** Point the counter at an absolute slot.  Raises [Invalid_argument]
+    outside the loaded table. *)
+
+val counter : 'a t -> int
+
+val next : 'a t -> 'a
+(** Read the word under the counter and advance; raises
+    [Invalid_argument] past the end of the loaded table. *)

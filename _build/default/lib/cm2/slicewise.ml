@@ -1,0 +1,49 @@
+type slice = int32
+
+let processors = 32
+
+(* Values travel as IEEE single-precision bit patterns: the CM-2's
+   floating-point data is 32-bit. *)
+let bits_of_value v = Int32.bits_of_float v
+let value_of_bits b = Int32.float_of_bits b
+
+let get_bit word i = Int32.to_int (Int32.logand (Int32.shift_right_logical word i) 1l)
+
+let set_bit word i b =
+  if b = 0 then word else Int32.logor word (Int32.shift_left 1l i)
+
+let processorwise_store values =
+  if Array.length values <> processors then
+    invalid_arg "Slicewise.processorwise_store: need exactly 32 values";
+  let words = Array.map bits_of_value values in
+  Array.init 32 (fun i ->
+      (* Slice i holds bit i of every processor's word. *)
+      let rec go p acc =
+        if p = processors then acc
+        else go (p + 1) (set_bit acc p (get_bit words.(p) i))
+      in
+      go 0 0l)
+
+let processorwise_load slices =
+  if Array.length slices <> 32 then
+    invalid_arg "Slicewise.processorwise_load: need exactly 32 slices";
+  Array.init processors (fun p ->
+      let rec go i acc =
+        if i = 32 then acc else go (i + 1) (set_bit acc i (get_bit slices.(i) p))
+      in
+      value_of_bits (go 0 0l))
+
+let slicewise_store v = bits_of_value v
+let slicewise_load s = value_of_bits s
+
+let transpose slices =
+  if Array.length slices <> 32 then
+    invalid_arg "Slicewise.transpose: need exactly 32 slices";
+  Array.init 32 (fun i ->
+      let rec go j acc =
+        if j = 32 then acc else go (j + 1) (set_bit acc j (get_bit slices.(j) i))
+      in
+      go 0 0l)
+
+let processorwise_word_cycles = 32
+let slicewise_word_cycles = 1

@@ -1,0 +1,51 @@
+(** The two CM-2 storage formats for 32-bit data (section 3).
+
+    The bit-serial processors naturally store a 32-bit word entirely in
+    one processor's memory, one bit per cycle ({e processorwise}
+    format); the off-the-shelf floating-point chip wants a word
+    bit-parallel in one cycle.  The CM Fortran release the paper builds
+    on stores 32-bit data {e slicewise}: the 32 bits of a word spread
+    one per processor across a node's 32 processors, occupying one
+    addressable memory slice — so a word reaches the interface chip in
+    a single memory cycle and no transposition is ever needed, which is
+    what frees the compiler to process data in batches smaller than 32.
+
+    This module models both layouts bit-exactly over a node's memory
+    slices (a slice = 32 bits, one per processor) and the transpose the
+    old interface chip had to perform, so the format argument of
+    section 3 is executable: tests check the round-trips and count the
+    memory cycles each access pattern costs. *)
+
+type slice = int32
+(** One memory slice: bit [p] belongs to processor [p]. *)
+
+val processors : int
+(** 32 processors per node share one floating-point unit. *)
+
+val processorwise_store : float array -> slice array
+(** Store [processors] single-precision values the bit-serial way:
+    value [p] occupies bit [p] of 32 consecutive slices (slice [i]
+    holds bit [i] of every processor's word).  The array must have
+    exactly [processors] elements. *)
+
+val processorwise_load : slice array -> float array
+(** Inverse of {!processorwise_store}. *)
+
+val slicewise_store : float -> slice
+(** Store one value bit-parallel: its 32 bits spread one per
+    processor in a single slice. *)
+
+val slicewise_load : slice -> float
+
+val transpose : slice array -> slice array
+(** The 32x32 bit transpose between the two formats (its own
+    inverse); the fieldwise interface chip performed this for every
+    batch of 32 words. *)
+
+val processorwise_word_cycles : int
+(** Memory cycles for one processor to access its whole word in
+    processorwise format: 32 (one bit per cycle). *)
+
+val slicewise_word_cycles : int
+(** Memory cycles for the node to feed one word to the FPU in
+    slicewise format: 1. *)

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Ccc_cm2 Ccc_microcode Ccc_stencil Format List Printf Regalloc Schedule String

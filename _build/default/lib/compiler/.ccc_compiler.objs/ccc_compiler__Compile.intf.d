@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Ccc_cm2 Ccc_microcode Ccc_stencil Format

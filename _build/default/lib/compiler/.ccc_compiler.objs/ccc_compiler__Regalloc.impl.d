@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Ccc_stencil List

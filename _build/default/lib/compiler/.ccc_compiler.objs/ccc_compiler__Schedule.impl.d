@@ -1,0 +1,1 @@
+lib/compiler/schedule.ml: Array Ccc_cm2 Ccc_microcode Ccc_stencil Format Hashtbl List Multi Multistencil Offset Option Printf Regalloc Tap

@@ -1,0 +1,1 @@
+lib/compiler/schedule.mli: Ccc_cm2 Ccc_microcode Ccc_stencil Regalloc

@@ -1,0 +1,178 @@
+type t = {
+  pattern : Ccc_stencil.Pattern.t;
+  plans : Ccc_microcode.Plan.t list;
+  rejected : (int * string) list;
+}
+
+let candidate_widths = [ 8; 4; 2; 1 ]
+
+let try_width (config : Ccc_cm2.Config.t) pattern width =
+  let ms = Ccc_stencil.Multistencil.make pattern ~width in
+  let pinned = Ccc_stencil.Multistencil.pinned_registers ms in
+  let available = config.fpu_registers - pinned in
+  match Regalloc.allocate ms ~available with
+  | Error { needed; available } ->
+      Error
+        (Printf.sprintf
+           "register pressure: %d data registers needed, %d available" needed
+           available)
+  | Ok alloc -> begin
+      match Schedule.build config ms alloc with
+      | plan ->
+          if plan.Ccc_microcode.Plan.dynamic_words > config.scratch_memory_words
+          then
+            Error
+              (Printf.sprintf
+                 "scratch pressure: %d dynamic-part words exceed the %d-word \
+                  scratch memory"
+                 plan.Ccc_microcode.Plan.dynamic_words
+                 config.scratch_memory_words)
+          else begin
+            Schedule.check_hazards config plan;
+            Ok plan
+          end
+      | exception Schedule.Infeasible reason -> Error reason
+    end
+
+let compile ?(widths = candidate_widths) config pattern =
+  let widths = List.sort_uniq (fun a b -> compare b a) widths in
+  let plans, rejected =
+    List.fold_left
+      (fun (plans, rejected) width ->
+        match try_width config pattern width with
+        | Ok plan -> (plan :: plans, rejected)
+        | Error reason -> (plans, (width, reason) :: rejected))
+      ([], []) widths
+  in
+  match List.rev plans with
+  | [] ->
+      Error
+        (Printf.sprintf "no workable multistencil width: %s"
+           (String.concat "; "
+              (List.rev_map
+                 (fun (w, r) -> Printf.sprintf "width %d: %s" w r)
+                 rejected)))
+  | plans -> Ok { pattern; plans; rejected = List.rev rejected }
+
+let plan_for_width t width =
+  List.find_opt (fun p -> p.Ccc_microcode.Plan.width = width) t.plans
+
+let widest t =
+  match t.plans with
+  | p :: _ -> p
+  | [] -> assert false
+
+let best_width_at_most t limit =
+  List.find_opt (fun p -> p.Ccc_microcode.Plan.width <= limit) t.plans
+
+type fused = {
+  multi : Ccc_stencil.Multi.t;
+  fused_plans : Ccc_microcode.Plan.t list;
+  fused_rejected : (int * string) list;
+}
+
+let try_width_fused (config : Ccc_cm2.Config.t) multi width =
+  let nsources = Ccc_stencil.Multi.source_count multi in
+  let multistencils =
+    List.init nsources (fun src ->
+        ( src,
+          Ccc_stencil.Multistencil.make
+            (Ccc_stencil.Multi.source_pattern multi src)
+            ~width ))
+  in
+  let pinned =
+    match Ccc_stencil.Multi.bias multi with Some _ -> 2 | None -> 1
+  in
+  let available = config.fpu_registers - pinned in
+  match Regalloc.allocate_multi multistencils ~available with
+  | Error { Regalloc.needed; available } ->
+      Error
+        (Printf.sprintf
+           "register pressure: %d data registers needed across %d sources, \
+            %d available"
+           needed nsources available)
+  | Ok alloc -> begin
+      match Schedule.build_multi config multi multistencils alloc with
+      | plan ->
+          if plan.Ccc_microcode.Plan.dynamic_words > config.scratch_memory_words
+          then
+            Error
+              (Printf.sprintf
+                 "scratch pressure: %d dynamic-part words exceed the %d-word \
+                  scratch memory"
+                 plan.Ccc_microcode.Plan.dynamic_words
+                 config.scratch_memory_words)
+          else begin
+            Schedule.check_hazards config plan;
+            Ok plan
+          end
+      | exception Schedule.Infeasible reason -> Error reason
+    end
+
+let compile_fused ?(widths = candidate_widths) config multi =
+  let widths = List.sort_uniq (fun a b -> compare b a) widths in
+  let plans, rejected =
+    List.fold_left
+      (fun (plans, rejected) width ->
+        match try_width_fused config multi width with
+        | Ok plan -> (plan :: plans, rejected)
+        | Error reason -> (plans, (width, reason) :: rejected))
+      ([], []) widths
+  in
+  match List.rev plans with
+  | [] ->
+      Error
+        (Printf.sprintf "no workable multistencil width: %s"
+           (String.concat "; "
+              (List.rev_map
+                 (fun (w, r) -> Printf.sprintf "width %d: %s" w r)
+                 rejected)))
+  | fused_plans ->
+      Ok { multi; fused_plans; fused_rejected = List.rev rejected }
+
+let fused_widest t =
+  match t.fused_plans with
+  | p :: _ -> p
+  | [] -> assert false
+
+let fused_best_width_at_most t limit =
+  List.find_opt
+    (fun p -> p.Ccc_microcode.Plan.width <= limit)
+    t.fused_plans
+
+let pp_fused_report ppf t =
+  Format.fprintf ppf "@[<v>fused stencil over sources %s: %d taps%s@ %a@ "
+    (String.concat ", " (Ccc_stencil.Multi.sources t.multi))
+    (Ccc_stencil.Multi.tap_count t.multi)
+    (match Ccc_stencil.Multi.bias t.multi with
+    | Some _ -> " + bias"
+    | None -> "")
+    Ccc_stencil.Multi.pp t.multi;
+  List.iter
+    (fun plan ->
+      Format.fprintf ppf "  %a@ " Ccc_microcode.Plan.pp_summary plan)
+    t.fused_plans;
+  List.iter
+    (fun (width, reason) ->
+      Format.fprintf ppf "  width %d rejected: %s@ " width reason)
+    t.fused_rejected;
+  Format.fprintf ppf "@]"
+
+let pp_report ppf t =
+  Format.fprintf ppf "@[<v>stencil %s: %d taps%s, flops/point %d@ %a@ "
+    (Ccc_stencil.Pattern.result_var t.pattern)
+    (Ccc_stencil.Pattern.tap_count t.pattern)
+    (match Ccc_stencil.Pattern.bias t.pattern with
+    | Some _ -> " + bias"
+    | None -> "")
+    (Ccc_stencil.Pattern.useful_flops_per_point t.pattern)
+    Ccc_stencil.Pattern.pp t.pattern;
+  List.iter
+    (fun plan ->
+      Format.fprintf ppf "  %a@ " Ccc_microcode.Plan.pp_summary plan)
+    t.plans;
+  List.iter
+    (fun (width, reason) ->
+      Format.fprintf ppf "  width %d rejected: %s@ " width reason)
+    t.rejected;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,68 @@
+(** The compiler driver (section 5.3): attempt multistencil widths 8,
+    4, 2 and 1, keeping every width that fits the register file and
+    whose unrolled dynamic-part table fits the sequencer scratch
+    memory.  "It is all right if some of these don't work": the
+    run-time library shaves off, at each step, the widest strip for
+    which a workable multistencil exists. *)
+
+type t = {
+  pattern : Ccc_stencil.Pattern.t;
+  plans : Ccc_microcode.Plan.t list;
+      (** descending by width; never empty (width 1 always fits for
+          any pattern this compiler accepts) *)
+  rejected : (int * string) list;
+      (** widths that did not work, with the reason — the feedback of
+          section 6 *)
+}
+
+val candidate_widths : int list
+(** [8; 4; 2; 1] *)
+
+val compile :
+  ?widths:int list ->
+  Ccc_cm2.Config.t ->
+  Ccc_stencil.Pattern.t ->
+  (t, string) result
+(** [Error] only when every candidate width fails (a pattern so tall
+    that its single-stencil column spans exhaust the register file, or
+    whose table exceeds scratch memory).  [widths] defaults to
+    {!candidate_widths}; the 1989 library-routine baseline restricts it
+    to [4; 2; 1] (the width-8 multistencil construction postdates those
+    routines). *)
+
+val plan_for_width : t -> int -> Ccc_microcode.Plan.t option
+
+val widest : t -> Ccc_microcode.Plan.t
+
+val best_width_at_most : t -> int -> Ccc_microcode.Plan.t option
+(** The widest available plan not exceeding the remaining strip width;
+    the run-time library's shaving rule. *)
+
+val pp_report : Format.formatter -> t -> unit
+(** The per-width compilation report the CLI shows: registers, ring
+    sizes, unroll factors, scratch words, rejections. *)
+
+(** {1 Multi-source (fused) compilation}
+
+    The paper's future work (section 7): "future versions of the
+    compiler should be able to handle all ten terms as one stencil
+    pattern".  A fused compilation covers an assignment whose terms
+    shift several distinct arrays; each source contributes its own
+    multistencil and ring buffers to a shared register file, and the
+    run-time library exchanges one halo per source. *)
+
+type fused = {
+  multi : Ccc_stencil.Multi.t;
+  fused_plans : Ccc_microcode.Plan.t list;  (** descending by width *)
+  fused_rejected : (int * string) list;
+}
+
+val compile_fused :
+  ?widths:int list ->
+  Ccc_cm2.Config.t ->
+  Ccc_stencil.Multi.t ->
+  (fused, string) result
+
+val fused_widest : fused -> Ccc_microcode.Plan.t
+val fused_best_width_at_most : fused -> int -> Ccc_microcode.Plan.t option
+val pp_fused_report : Format.formatter -> fused -> unit

@@ -1,0 +1,86 @@
+type allocation = {
+  ring_sizes : (int * int) list;
+  unroll : int;
+  data_registers : int;
+}
+
+type merged_allocation = {
+  merged_sizes : ((int * int) * int) list;
+  merged_unroll : int;
+  merged_registers : int;
+}
+
+type failure = { needed : int; available : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = if a = 0 || b = 0 then 0 else a / gcd a b * b
+let lcm_list = List.fold_left lcm 1
+
+(* The shared sizing strategy over a list of ((source, column), natural
+   span) entries: start every multi-row ring at the global maximum
+   span (rings of natural size 1 stay at 1 — shrinking those always
+   saves registers and never enlarges the LCM); if over budget,
+   compress rings back to their natural spans from the smallest
+   natural size upward until the total fits. *)
+let size_rings natural ~available =
+  let needed = List.fold_left (fun acc (_, s) -> acc + s) 0 natural in
+  if needed > available then Error { needed; available }
+  else begin
+    let max_span = List.fold_left (fun acc (_, s) -> max acc s) 1 natural in
+    let sizes =
+      Array.of_list
+        (List.map
+           (fun (key, span) -> (key, span, if span = 1 then 1 else max_span))
+           natural)
+    in
+    let total () =
+      Array.fold_left (fun acc (_, _, size) -> acc + size) 0 sizes
+    in
+    let order =
+      sizes |> Array.to_list
+      |> List.mapi (fun i (_, span, _) -> (span, i))
+      |> List.sort compare
+    in
+    let rec compress = function
+      | [] -> ()
+      | (_, i) :: rest ->
+          if total () > available then begin
+            let key, span, _ = sizes.(i) in
+            sizes.(i) <- (key, span, span);
+            compress rest
+          end
+    in
+    compress order;
+    assert (total () <= available);
+    let sized =
+      Array.to_list sizes |> List.map (fun (key, _, size) -> (key, size))
+    in
+    Ok (sized, lcm_list (List.map snd sized), total ())
+  end
+
+let natural_of_multistencil ~src ms =
+  List.map
+    (fun (c : Ccc_stencil.Multistencil.column) -> ((src, c.dcol), c.span))
+    (Ccc_stencil.Multistencil.columns ms)
+
+let allocate ms ~available =
+  match size_rings (natural_of_multistencil ~src:0 ms) ~available with
+  | Error f -> Error f
+  | Ok (sized, unroll, data_registers) ->
+      Ok
+        {
+          ring_sizes = List.map (fun ((_, dcol), size) -> (dcol, size)) sized;
+          unroll;
+          data_registers;
+        }
+
+let allocate_multi multistencils ~available =
+  let natural =
+    List.concat_map
+      (fun (src, ms) -> natural_of_multistencil ~src ms)
+      multistencils
+  in
+  match size_rings natural ~available with
+  | Error f -> Error f
+  | Ok (merged_sizes, merged_unroll, merged_registers) ->
+      Ok { merged_sizes; merged_unroll; merged_registers }

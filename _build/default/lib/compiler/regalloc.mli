@@ -1,0 +1,57 @@
+(** Register allocation: per-column ring buffers (section 5.4).
+
+    Each multistencil column gets a ring buffer of registers; every
+    line loads one leading-edge element per column into the next slot
+    of its ring, so the register pattern rotates and no register
+    shuffling is ever needed.  Ring sizes need not equal the column's
+    natural size: padding a ring aligns its rotation period with the
+    others, and the unroll factor — the size of the register-access
+    table in scratch memory — is the LCM of the ring sizes.
+
+    The paper's sizing strategy, implemented here: start with every
+    ring at the maximum column size, except height-1 columns which stay
+    at 1 ("reducing a ring buffer to size 1 always saves registers and
+    never makes the LCM larger"); if the registers don't suffice,
+    compress columns from smallest to largest back toward their natural
+    sizes. *)
+
+type allocation = {
+  ring_sizes : (int * int) list;
+      (** (column offset, ring size), ascending by column — the
+          single-source view *)
+  unroll : int;  (** LCM of the ring sizes *)
+  data_registers : int;  (** sum of ring sizes *)
+}
+
+type merged_allocation = {
+  merged_sizes : ((int * int) * int) list;
+      (** ((source, column offset), ring size), ascending *)
+  merged_unroll : int;
+  merged_registers : int;
+}
+
+type failure = {
+  needed : int;  (** registers demanded by natural sizes *)
+  available : int;
+}
+
+val lcm_list : int list -> int
+
+val allocate :
+  Ccc_stencil.Multistencil.t ->
+  available:int ->
+  (allocation, failure) result
+(** [available] is the register budget for data elements (the file
+    size minus the pinned zero/one registers).  Fails when even the
+    natural spans do not fit, which is how a too-wide multistencil is
+    rejected (the 13-point diamond at width 8 wants 48 registers). *)
+
+val allocate_multi :
+  (int * Ccc_stencil.Multistencil.t) list ->
+  available:int ->
+  (merged_allocation, failure) result
+(** The multi-source generalization: every source's multistencil
+    columns join one pool of ring buffers sharing the register file;
+    the sizing strategy (pad toward the global maximum span, compress
+    smallest-first under pressure) treats them uniformly, so the LCM
+    discipline spans all sources. *)

@@ -1,0 +1,373 @@
+open Ccc_stencil
+module Plan = Ccc_microcode.Plan
+module Instr = Ccc_microcode.Instr
+
+exception Infeasible of string
+
+let infeasible fmt = Format.kasprintf (fun m -> raise (Infeasible m)) fmt
+
+(* The slots a chain occupies in the multiply-add section are fixed by
+   the pair structure alone (section 5.3: results are computed in
+   interleaved pairs), so issue cycles are known before tap ordering:
+   pair [p] starts after [p] full pairs, the two chains of a pair issue
+   on alternate slots, and a final unpartnered chain interleaves with
+   discarded-slot nops to preserve its own accumulate spacing. *)
+type chain_layout = {
+  first_issue : int array;  (** cycle of each chain's first multiply-add *)
+  section_cycles : int;  (** total length of the multiply-add section *)
+}
+
+let layout_chains (config : Ccc_cm2.Config.t) ~width ~chain_len =
+  let madd = config.madd_issue_cycles in
+  let first_issue = Array.make width 0 in
+  let cycle = ref 0 in
+  let emit_slot chain i =
+    if i = 0 then first_issue.(chain) <- !cycle;
+    cycle := !cycle + madd
+  in
+  let rec pairs j =
+    if j < width then
+      if j + 1 < width then begin
+        for i = 0 to chain_len - 1 do
+          emit_slot j i;
+          emit_slot (j + 1) i
+        done;
+        pairs (j + 2)
+      end
+      else
+        (* Lone final chain: a nop after each multiply-add keeps the
+           accumulator spacing; the trailing nop is dropped. *)
+        for i = 0 to chain_len - 1 do
+          emit_slot j i;
+          if i < chain_len - 1 then incr cycle
+        done
+  in
+  pairs 0;
+  { first_issue; section_cycles = !cycle }
+
+type ring_info = {
+  ring : Plan.ring;
+  occupied : int list;  (** row offsets present in this column *)
+}
+
+(* Lay the merged ring buffers out over the register file, source
+   after source, column after column, starting just past the pinned
+   registers. *)
+let build_rings multistencils (alloc : Regalloc.merged_allocation) ~first_data
+    =
+  let base = ref first_data in
+  List.map
+    (fun ((src, dcol), size) ->
+      let ms = List.assoc src multistencils in
+      let column =
+        List.find
+          (fun (c : Multistencil.column) -> c.dcol = dcol)
+          (Multistencil.columns ms)
+      in
+      let min_drow = List.hd column.Multistencil.occupied in
+      let ring = { Plan.src; dcol; base = !base; size; min_drow } in
+      base := !base + size;
+      { ring; occupied = column.Multistencil.occupied })
+    alloc.Regalloc.merged_sizes
+
+let build_multi config (multi : Multi.t) multistencils
+    (alloc : Regalloc.merged_allocation) =
+  let source_taps = Multi.taps multi in
+  let ntaps = List.length source_taps in
+  let bias = Multi.bias multi in
+  let zero_reg = 0 in
+  let one_reg = match bias with Some _ -> Some 1 | None -> None in
+  let first_data = match one_reg with Some _ -> 2 | None -> 1 in
+  let registers_used = first_data + alloc.Regalloc.merged_registers in
+  if registers_used > config.Ccc_cm2.Config.fpu_registers then
+    failwith
+      (Printf.sprintf
+         "Schedule.build: allocation needs %d registers but the file has %d"
+         registers_used config.Ccc_cm2.Config.fpu_registers);
+  let rings = build_rings multistencils alloc ~first_data in
+  let ring_of src dcol =
+    match
+      List.find_opt
+        (fun r -> r.ring.Plan.src = src && r.ring.Plan.dcol = dcol)
+        rings
+    with
+    | Some r -> r
+    | None -> infeasible "no ring buffer for source %d column %d" src dcol
+  in
+  let reg_of_position ~line ~src (off : Offset.t) =
+    let { ring; _ } = ring_of src off.dcol in
+    Plan.ring_register ring ~line ~depth:(off.drow - ring.Plan.min_drow)
+  in
+  let width =
+    match multistencils with
+    | (_, ms) :: _ -> Multistencil.width ms
+    | [] -> invalid_arg "Schedule.build_multi: no sources"
+  in
+  let chain_len = ntaps + (match bias with Some _ -> 1 | None -> 0) in
+  let layout = layout_chains config ~width ~chain_len in
+  let wb = config.Ccc_cm2.Config.madd_writeback_latency in
+  let primary = Multi.primary_source multi in
+  let primary_ms = List.assoc primary multistencils in
+  (* One chain element per term: a (source, position) data tap or the
+     bias.  Coefficient stream index = position in the Multi.taps
+     order, bias last. *)
+  let chain_elements occurrence =
+    List.mapi
+      (fun i (st : Multi.source_tap) ->
+        let position =
+          Offset.add st.Multi.tap.Tap.offset
+            (Offset.make ~drow:0 ~dcol:occurrence)
+        in
+        (Some (st.Multi.source, position), i))
+      source_taps
+    @ (match bias with Some _ -> [ (None, ntaps) ] | None -> [])
+  in
+  let make_phase p =
+    let tag_reg =
+      Array.init width (fun j ->
+          reg_of_position ~line:p ~src:primary
+            (Multistencil.tagged_position primary_ms ~occurrence:j))
+    in
+    (* Deadline: the cycle on which a register's first overwriting
+       accumulation lands, relative to the start of the madd section. *)
+    let deadline reg =
+      let dl = ref max_int in
+      Array.iteri
+        (fun j tag ->
+          if tag = reg then dl := min !dl (layout.first_issue.(j) + wb))
+        tag_reg;
+      !dl
+    in
+    let chain_madds j =
+      let keyed =
+        List.map
+          (fun (position, coeff_index) ->
+            let data_reg =
+              match position with
+              | Some (src, pos) -> reg_of_position ~line:p ~src pos
+              | None -> Option.get one_reg
+            in
+            ((deadline data_reg, coeff_index), data_reg, coeff_index))
+          (chain_elements j)
+      in
+      let ordered =
+        List.sort (fun (ka, _, _) (kb, _, _) -> compare ka kb) keyed
+      in
+      List.mapi
+        (fun i (_, data_reg, coeff_index) ->
+          let issue =
+            layout.first_issue.(j) + (i * 2 * config.madd_issue_cycles)
+          in
+          let dl = deadline data_reg in
+          if issue >= dl then
+            infeasible
+              "phase %d chain %d: tap reading r%d issues on cycle %d but the \
+               register is overwritten on cycle %d"
+              p j data_reg issue dl;
+          Instr.Madd
+            {
+              dst = tag_reg.(j);
+              data = data_reg;
+              coeff_index;
+              coeff_dcol = j;
+              acc = (if i = 0 then zero_reg else tag_reg.(j));
+            })
+        ordered
+    in
+    let chains = Array.init width chain_madds in
+    (* Interleave per the fixed layout. *)
+    let madds = ref [] in
+    let rec emit_pairs j =
+      if j < width then
+        if j + 1 < width then begin
+          List.iter2
+            (fun a b -> madds := b :: a :: !madds)
+            chains.(j)
+            chains.(j + 1);
+          emit_pairs (j + 2)
+        end
+        else
+          List.iteri
+            (fun i m ->
+              madds := m :: !madds;
+              if i < chain_len - 1 then madds := Instr.Nop :: !madds)
+            chains.(j)
+    in
+    emit_pairs 0;
+    let loads =
+      List.map
+        (fun { ring; _ } ->
+          Instr.Load
+            {
+              reg = Plan.ring_register ring ~line:p ~depth:0;
+              src = ring.Plan.src;
+              drow = ring.Plan.min_drow;
+              dcol = ring.Plan.dcol;
+            })
+        rings
+    in
+    let stores =
+      List.init width (fun j -> Instr.Store { reg = tag_reg.(j); dcol = j })
+    in
+    { Plan.loads; madds = List.rev !madds; stores }
+  in
+  let unroll = alloc.Regalloc.merged_unroll in
+  let phases = Array.init unroll make_phase in
+  (* Warmup prologue: fill every ring down to its column's deepest
+     occupied element.  Warmup step i stands for virtual line i - len. *)
+  let span_of { occupied; ring } =
+    List.fold_left max min_int occupied - ring.Plan.min_drow + 1
+  in
+  let max_depth =
+    List.fold_left (fun acc info -> max acc (span_of info - 1)) 0 rings
+  in
+  let prologue =
+    Array.init max_depth (fun i ->
+        let v = i - max_depth in
+        List.filter_map
+          (fun ({ ring; _ } as info) ->
+            if span_of info > -v then
+              Some
+                (Instr.Load
+                   {
+                     reg = Plan.ring_register ring ~line:v ~depth:0;
+                     src = ring.Plan.src;
+                     drow = ring.Plan.min_drow;
+                     dcol = ring.Plan.dcol;
+                   })
+            else None)
+          rings)
+  in
+  let coeff_streams =
+    Array.of_list
+      (List.map (fun (st : Multi.source_tap) -> st.Multi.tap.Tap.coeff)
+         source_taps
+      @ match bias with Some c -> [ c ] | None -> [])
+  in
+  let dynamic_words =
+    Array.fold_left
+      (fun acc phase ->
+        acc
+        + List.length phase.Plan.loads
+        + List.length phase.Plan.madds
+        + List.length phase.Plan.stores)
+      0 phases
+    + Array.fold_left (fun acc l -> acc + List.length l) 0 prologue
+  in
+  {
+    Plan.width;
+    multi;
+    multistencils;
+    rings = List.map (fun r -> r.ring) rings;
+    unroll;
+    phases;
+    prologue;
+    zero_reg;
+    one_reg;
+    registers_used;
+    dynamic_words;
+    coeff_streams;
+  }
+
+let build config ms (alloc : Regalloc.allocation) =
+  let multi = Multi.of_pattern (Multistencil.pattern ms) in
+  let merged =
+    {
+      Regalloc.merged_sizes =
+        List.map
+          (fun (dcol, size) -> ((0, dcol), size))
+          alloc.Regalloc.ring_sizes;
+      merged_unroll = alloc.Regalloc.unroll;
+      merged_registers = alloc.Regalloc.data_registers;
+    }
+  in
+  build_multi config multi [ (0, ms) ] merged
+
+(* Static hazard verification, independent of the builder's own
+   bookkeeping: replay each phase's issue cycles and confirm reads beat
+   overwrites and stores follow landings. *)
+let check_hazards (config : Ccc_cm2.Config.t) (plan : Plan.t) =
+  let wb = config.madd_writeback_latency in
+  Array.iteri
+    (fun p phase ->
+      let fail fmt =
+        Format.kasprintf
+          (fun m -> failwith (Printf.sprintf "phase %d: %s" p m))
+          fmt
+      in
+      (* First pass: when does each register's first madd write land,
+         and when does its last write land? *)
+      let first_land = Hashtbl.create 16 in
+      let last_land = Hashtbl.create 16 in
+      let cycle = ref 0 in
+      List.iter
+        (fun slot ->
+          (match slot with
+          | Instr.Madd { dst; _ } ->
+              let lands_at = !cycle + wb in
+              if not (Hashtbl.mem first_land dst) then
+                Hashtbl.add first_land dst lands_at;
+              Hashtbl.replace last_land dst lands_at
+          | Instr.Load _ | Instr.Store _ | Instr.Nop -> ());
+          cycle := !cycle + Instr.cycles config slot)
+        phase.Plan.madds;
+      let madd_section = !cycle in
+      (* Second pass: verify data reads. *)
+      let cycle = ref 0 in
+      List.iter
+        (fun slot ->
+          (match slot with
+          | Instr.Madd { data; _ } -> begin
+              match Hashtbl.find_opt first_land data with
+              | Some lands_at when !cycle >= lands_at ->
+                  fail
+                    "madd on cycle %d reads r%d after its overwrite lands on \
+                     cycle %d"
+                    !cycle data lands_at
+              | Some _ | None -> ()
+            end
+          | Instr.Load _ | Instr.Store _ | Instr.Nop -> ());
+          cycle := !cycle + Instr.cycles config slot)
+        phase.Plan.madds;
+      (* Third pass: stores happen after the final landing. *)
+      let drain =
+        max 0 (config.madd_writeback_latency - config.pipe_reversal_cycles)
+      in
+      let store_cycle =
+        ref (madd_section + config.pipe_reversal_cycles + drain)
+      in
+      List.iter
+        (fun slot ->
+          (match slot with
+          | Instr.Store { reg; _ } -> begin
+              match Hashtbl.find_opt last_land reg with
+              | Some lands_at when !store_cycle < lands_at ->
+                  fail
+                    "store of r%d on cycle %d precedes its landing on cycle %d"
+                    reg !store_cycle lands_at
+              | Some _ -> ()
+              | None -> fail "store of r%d which no chain wrote" reg
+            end
+          | Instr.Load _ | Instr.Madd _ | Instr.Nop -> ());
+          store_cycle := !store_cycle + Instr.cycles config slot)
+        phase.Plan.stores;
+      (* Loads target the slot the ring rotation designates. *)
+      List.iter
+        (fun slot ->
+          match slot with
+          | Instr.Load { reg; src; dcol; _ } -> begin
+              match
+                List.find_opt
+                  (fun r -> r.Plan.src = src && r.Plan.dcol = dcol)
+                  plan.Plan.rings
+              with
+              | None -> fail "load for unknown column %d of source %d" dcol src
+              | Some ring ->
+                  let expected = Plan.ring_register ring ~line:p ~depth:0 in
+                  if reg <> expected then
+                    fail "load for column %d targets r%d, ring expects r%d"
+                      dcol reg expected
+            end
+          | Instr.Store _ | Instr.Madd _ | Instr.Nop -> ())
+        phase.Plan.loads)
+    plan.Plan.phases

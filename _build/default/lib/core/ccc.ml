@@ -1,0 +1,123 @@
+module Config = Ccc_cm2.Config
+module Geometry = Ccc_cm2.Geometry
+module Machine = Ccc_cm2.Machine
+module Offset = Ccc_stencil.Offset
+module Coeff = Ccc_stencil.Coeff
+module Tap = Ccc_stencil.Tap
+module Boundary = Ccc_stencil.Boundary
+module Pattern = Ccc_stencil.Pattern
+module Multi = Ccc_stencil.Multi
+module Multistencil = Ccc_stencil.Multistencil
+module Render = Ccc_stencil.Render
+module Parser = Ccc_frontend.Parser
+module Defstencil = Ccc_frontend.Defstencil
+module Recognize = Ccc_frontend.Recognize
+module Diagnostics = Ccc_frontend.Diagnostics
+module Compile = Ccc_compiler.Compile
+module Plan = Ccc_microcode.Plan
+module Cost = Ccc_microcode.Cost
+module Grid = Ccc_runtime.Grid
+module Dist = Ccc_runtime.Dist
+module Halo = Ccc_runtime.Halo
+module Reference = Ccc_runtime.Reference
+module Exec = Ccc_runtime.Exec
+module Stats = Ccc_runtime.Stats
+module Passes = Ccc_runtime.Passes
+module Seismic = Ccc_runtime.Seismic
+
+type error =
+  | Parse_error of string
+  | Rejected of Diagnostics.t list
+  | Resource_error of string
+
+let error_to_string = function
+  | Parse_error m -> "parse error: " ^ m
+  | Rejected diags ->
+      "not a recognizable stencil assignment:\n"
+      ^ String.concat "\n" (List.map Diagnostics.to_string diags)
+  | Resource_error m -> "resource limits: " ^ m
+
+let compile_pattern config pattern =
+  match Compile.compile config pattern with
+  | Ok compiled -> Ok compiled
+  | Error reason -> Error (Resource_error reason)
+
+let of_recognized config = function
+  | Ok pattern -> compile_pattern config pattern
+  | Error diags -> Error (Rejected diags)
+
+let compile_fortran config source =
+  match Parser.parse_subroutine source with
+  | sub -> of_recognized config (Recognize.subroutine sub)
+  | exception Parser.Error { line; message } ->
+      Error (Parse_error (Printf.sprintf "line %d: %s" line message))
+
+let compile_fortran_statement config source =
+  match Parser.parse_statement source with
+  | stmt -> of_recognized config (Recognize.statement stmt)
+  | exception Parser.Error { line; message } ->
+      Error (Parse_error (Printf.sprintf "line %d: %s" line message))
+
+let compile_defstencil config source =
+  match Defstencil.parse source with
+  | form ->
+      of_recognized config (Recognize.subroutine (Defstencil.to_subroutine form))
+  | exception Defstencil.Error message -> Error (Parse_error message)
+
+type program_unit = {
+  unit_name : string;
+  flagged : bool;
+  outcome : (Compile.t, error) result;
+}
+
+let compile_program config source =
+  match Parser.parse_program source with
+  | exception Parser.Error { line; message } ->
+      Error (Parse_error (Printf.sprintf "line %d: %s" line message))
+  | subs ->
+      Ok
+        (List.map
+           (fun (sub : Ccc_frontend.Ast.subroutine) ->
+             let flagged =
+               List.exists
+                 (fun (s : Ccc_frontend.Ast.stmt) -> s.Ccc_frontend.Ast.flagged)
+                 sub.Ccc_frontend.Ast.body
+             in
+             {
+               unit_name = sub.Ccc_frontend.Ast.sub_name;
+               flagged;
+               outcome = of_recognized config (Recognize.subroutine sub);
+             })
+           subs)
+
+let compile_fortran_exn config source =
+  match compile_fortran config source with
+  | Ok compiled -> compiled
+  | Error e -> failwith (error_to_string e)
+
+let compile_multi config multi =
+  match Compile.compile_fused config multi with
+  | Ok fused -> Ok fused
+  | Error reason -> Error (Resource_error reason)
+
+let compile_fortran_statement_multi config source =
+  match Parser.parse_statement source with
+  | stmt -> begin
+      match Recognize.statement_multi stmt with
+      | Ok multi -> compile_multi config multi
+      | Error diags -> Error (Rejected diags)
+    end
+  | exception Parser.Error { line; message } ->
+      Error (Parse_error (Printf.sprintf "line %d: %s" line message))
+
+let fused_report fused = Format.asprintf "%a" Compile.pp_fused_report fused
+
+let machine ?memory_words config = Machine.create ?memory_words config
+
+let apply ?mode ?iterations config compiled env =
+  Exec.run ?mode ?iterations (machine config) compiled env
+
+let apply_fused ?mode ?iterations config fused env =
+  Exec.run_fused ?mode ?iterations (machine config) fused env
+
+let report compiled = Format.asprintf "%a" Compile.pp_report compiled

@@ -1,0 +1,143 @@
+(** The Connection Machine Convolution Compiler — public API.
+
+    This is the user-level surface the paper promises: express a
+    stencil computation as an ordinary Fortran 90 array assignment (or
+    the Lisp [defstencil] of the first prototype), compile it once, and
+    apply it to arrays at better-than-library-routine speed, on any
+    stencil pattern rather than a preselected menu.
+
+    {[
+      let source = "SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)\n\
+                    REAL, ARRAY(:,:) :: R, X, C1, C2, C3, C4, C5\n\
+                    R = C1 * CSHIFT(X, 1, -1) &\n\
+                    \  + C2 * CSHIFT(X, 2, -1) &\n\
+                    \  + C3 * X &\n\
+                    \  + C4 * CSHIFT(X, 2, +1) &\n\
+                    \  + C5 * CSHIFT(X, 1, +1)\n\
+                    END\n"
+      in
+      let compiled = Ccc.compile_fortran_exn Ccc.Config.default source in
+      let machine = Ccc.machine Ccc.Config.default in
+      let { Ccc.Exec.output; stats } =
+        Ccc.Exec.run machine compiled env
+      in
+      ...
+    ]}
+
+    The submodule aliases expose each subsystem (machine model, stencil
+    IR, front ends, compiler, microcode, run time) under one roof. *)
+
+(** {1 Subsystems} *)
+
+module Config = Ccc_cm2.Config
+module Geometry = Ccc_cm2.Geometry
+module Machine = Ccc_cm2.Machine
+module Offset = Ccc_stencil.Offset
+module Coeff = Ccc_stencil.Coeff
+module Tap = Ccc_stencil.Tap
+module Boundary = Ccc_stencil.Boundary
+module Pattern = Ccc_stencil.Pattern
+module Multi = Ccc_stencil.Multi
+module Multistencil = Ccc_stencil.Multistencil
+module Render = Ccc_stencil.Render
+module Parser = Ccc_frontend.Parser
+module Defstencil = Ccc_frontend.Defstencil
+module Recognize = Ccc_frontend.Recognize
+module Diagnostics = Ccc_frontend.Diagnostics
+module Compile = Ccc_compiler.Compile
+module Plan = Ccc_microcode.Plan
+module Cost = Ccc_microcode.Cost
+module Grid = Ccc_runtime.Grid
+module Dist = Ccc_runtime.Dist
+module Halo = Ccc_runtime.Halo
+module Reference = Ccc_runtime.Reference
+module Exec = Ccc_runtime.Exec
+module Stats = Ccc_runtime.Stats
+module Passes = Ccc_runtime.Passes
+module Seismic = Ccc_runtime.Seismic
+
+(** {1 Compilation entry points} *)
+
+type error =
+  | Parse_error of string
+  | Rejected of Diagnostics.t list
+      (** the statement does not fit the stylized stencil form *)
+  | Resource_error of string
+      (** no multistencil width fits registers or scratch memory *)
+
+val error_to_string : error -> string
+
+val compile_pattern :
+  Config.t -> Pattern.t -> (Compile.t, error) result
+(** Compile a stencil given directly as IR. *)
+
+val compile_fortran :
+  Config.t -> string -> (Compile.t, error) result
+(** Compile an isolated Fortran subroutine containing one stencil
+    assignment (the paper's version-2 convention). *)
+
+val compile_fortran_statement :
+  Config.t -> string -> (Compile.t, error) result
+(** Compile a single bare assignment statement. *)
+
+val compile_defstencil :
+  Config.t -> string -> (Compile.t, error) result
+(** Compile a Lisp [defstencil] form (the version-1 convention). *)
+
+val compile_fortran_exn : Config.t -> string -> Compile.t
+(** Like {!compile_fortran} but raises [Failure]. *)
+
+type program_unit = {
+  unit_name : string;  (** subroutine name *)
+  flagged : bool;  (** carried a [!CCC$ STENCIL] directive *)
+  outcome : (Compile.t, error) result;
+}
+
+val compile_program : Config.t -> string -> (program_unit list, error) result
+(** Compile every subroutine in a source file — the section-6 workflow
+    for the production compiler.  A subroutine flagged with the
+    [!CCC$ STENCIL] structured comment that cannot be processed is a
+    reportable condition for the caller (the directive "justifies the
+    compiler in providing feedback to the user"); unflagged failures
+    are ordinary fallbacks to the general code path. *)
+
+(** {1 Fused multi-source compilation (future work, section 7)}
+
+    "Future versions of the compiler should be able to handle all ten
+    terms as one stencil pattern": these entry points accept
+    assignments whose terms shift several distinct arrays — e.g. the
+    Gordon Bell statement with its [C10 * CSHIFT(POLD, 1, 0)] tenth
+    term — and compile them into a single plan with one halo exchange
+    per source. *)
+
+val compile_multi : Config.t -> Multi.t -> (Compile.fused, error) result
+
+val compile_fortran_statement_multi :
+  Config.t -> string -> (Compile.fused, error) result
+
+val apply_fused :
+  ?mode:Exec.mode ->
+  ?iterations:int ->
+  Config.t ->
+  Compile.fused ->
+  Reference.env ->
+  Exec.result
+
+val fused_report : Compile.fused -> string
+
+(** {1 Convenience} *)
+
+val machine : ?memory_words:int -> Config.t -> Machine.t
+
+val apply :
+  ?mode:Exec.mode ->
+  ?iterations:int ->
+  Config.t ->
+  Compile.t ->
+  Reference.env ->
+  Exec.result
+(** One-shot: build a machine, run, return output and statistics. *)
+
+val report : Compile.t -> string
+(** The compilation report (widths, registers, rings, unroll factors,
+    rejections) as text. *)

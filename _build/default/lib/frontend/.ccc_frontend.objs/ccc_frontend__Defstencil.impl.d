@@ -1,0 +1,1 @@
+lib/frontend/defstencil.ml: Ast Format List Sexp String

@@ -1,0 +1,1 @@
+lib/frontend/defstencil.mli: Ast

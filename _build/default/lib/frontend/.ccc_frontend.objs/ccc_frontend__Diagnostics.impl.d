@@ -1,0 +1,1 @@
+lib/frontend/diagnostics.ml: Format

@@ -1,0 +1,1 @@
+lib/frontend/diagnostics.mli: Format

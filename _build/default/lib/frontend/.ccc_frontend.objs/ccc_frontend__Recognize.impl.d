@@ -1,0 +1,1 @@
+lib/frontend/recognize.ml: Ast Boundary Ccc_stencil Coeff Diagnostics Float Format List Multi Offset Option Pattern Printf String Tap

@@ -1,0 +1,1 @@
+lib/frontend/recognize.mli: Ast Ccc_stencil Diagnostics

@@ -1,0 +1,1 @@
+lib/frontend/sexp.ml: Format List String

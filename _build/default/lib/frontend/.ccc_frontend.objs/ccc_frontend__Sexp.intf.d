@@ -1,0 +1,1 @@
+lib/frontend/sexp.mli: Format

@@ -1,0 +1,69 @@
+type arg = Positional of expr | Keyword of string * expr
+
+and expr =
+  | Var of string
+  | Num of float
+  | Call of string * arg list
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+
+type stmt = { lhs : string; rhs : expr; line : int; flagged : bool }
+type decl = { decl_names : string list; rank : int }
+
+type subroutine = {
+  sub_name : string;
+  params : string list;
+  decls : decl list;
+  body : stmt list;
+}
+
+let rec pp_expr ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Num v -> Format.fprintf ppf "%g" v
+  | Call (name, args) ->
+      Format.fprintf ppf "%s(%a)" name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_arg)
+        args
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Format.fprintf ppf "%a * %a" pp_expr a pp_expr b
+  | Neg a -> Format.fprintf ppf "-%a" pp_expr a
+
+and pp_arg ppf = function
+  | Positional e -> pp_expr ppf e
+  | Keyword (k, e) -> Format.fprintf ppf "%s=%a" k pp_expr e
+
+let pp_stmt ppf s = Format.fprintf ppf "%s = %a" s.lhs pp_expr s.rhs
+
+let expr_variables expr =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let record v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      acc := v :: !acc
+    end
+  in
+  let rec go = function
+    | Var v -> record v
+    | Num _ -> ()
+    | Call (_, args) ->
+        List.iter
+          (function Positional e | Keyword (_, e) -> go e)
+          args
+    | Add (a, b) | Sub (a, b) | Mul (a, b) ->
+        go a;
+        go b
+    | Neg a -> go a
+  in
+  go expr;
+  List.rev !acc
+
+let declared_rank sub name =
+  List.find_map
+    (fun d -> if List.mem name d.decl_names then Some d.rank else None)
+    sub.decls

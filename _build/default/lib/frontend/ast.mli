@@ -1,0 +1,45 @@
+(** Abstract syntax of the Fortran 90 subset.
+
+    The parser is deliberately more liberal than the compiler module:
+    it accepts any sum/difference/product expression over array
+    references, literals and intrinsic calls, and the {!Recognize}
+    module is what decides whether a statement fits the stylized
+    convolution pattern, reporting a diagnostic when it does not
+    (section 6: a flagged statement that cannot be processed warrants a
+    warning rather than a parse failure). *)
+
+type arg = Positional of expr | Keyword of string * expr
+
+and expr =
+  | Var of string
+  | Num of float
+  | Call of string * arg list  (** e.g. [CSHIFT(X, DIM=1, SHIFT=-1)] *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+
+type stmt = {
+  lhs : string;
+  rhs : expr;
+  line : int;
+  flagged : bool;  (** preceded by a [!CCC$ STENCIL] directive *)
+}
+
+type decl = { decl_names : string list; rank : int }
+
+type subroutine = {
+  sub_name : string;
+  params : string list;
+  decls : decl list;
+  body : stmt list;
+}
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+
+val expr_variables : expr -> string list
+(** All variable names, in first-occurrence order, without duplicates. *)
+
+val declared_rank : subroutine -> string -> int option
+(** Rank a name was declared with, if any declaration mentions it. *)

@@ -1,0 +1,79 @@
+type t = {
+  name : string;
+  params : string list;
+  element_types : string list;
+  stmt : Ast.stmt;
+}
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+let upcase = String.uppercase_ascii
+
+let atom = function
+  | Sexp.Atom a -> a
+  | Sexp.List _ as l -> error "expected an atom, found %a" Sexp.pp l
+
+(* Prefix expression -> Ast.expr.  Addition is n-ary, multiplication
+   binary; [cshift x dim shift] and [eoshift x dim shift fill] become
+   calls with the paper's positional convention: dimension, then
+   shift. *)
+let rec expr_of_sexp s =
+  match s with
+  | Sexp.Atom a -> begin
+      match float_of_string_opt a with
+      | Some v -> Ast.Num v
+      | None -> Ast.Var (upcase a)
+    end
+  | Sexp.List (Sexp.Atom "+" :: args) when args <> [] ->
+      let exprs = List.map expr_of_sexp args in
+      List.fold_left
+        (fun acc e -> Ast.Add (acc, e))
+        (List.hd exprs) (List.tl exprs)
+  | Sexp.List [ Sexp.Atom "-"; a; b ] ->
+      Ast.Sub (expr_of_sexp a, expr_of_sexp b)
+  | Sexp.List [ Sexp.Atom "-"; a ] -> Ast.Neg (expr_of_sexp a)
+  | Sexp.List [ Sexp.Atom "*"; a; b ] ->
+      Ast.Mul (expr_of_sexp a, expr_of_sexp b)
+  | Sexp.List (Sexp.Atom (("cshift" | "CSHIFT" | "eoshift" | "EOSHIFT") as f)
+              :: array :: rest) ->
+      let name = upcase f in
+      let args =
+        Ast.Positional (expr_of_sexp array)
+        :: List.map (fun s -> Ast.Positional (expr_of_sexp s)) rest
+      in
+      Ast.Call (name, args)
+  | s -> error "unrecognized expression %a" Sexp.pp s
+
+let parse src =
+  match Sexp.parse src with
+  | Sexp.List
+      (Sexp.Atom ("defstencil" | "DEFSTENCIL")
+      :: Sexp.Atom name
+      :: Sexp.List params
+      :: Sexp.List types
+      :: [ Sexp.List [ Sexp.Atom ":="; Sexp.Atom lhs; rhs ] ]) ->
+      {
+        name = upcase name;
+        params = List.map (fun p -> upcase (atom p)) params;
+        element_types = List.map atom types;
+        stmt =
+          {
+            Ast.lhs = upcase lhs;
+            rhs = expr_of_sexp rhs;
+            line = 1;
+            flagged = true;
+          };
+      }
+  | s -> error "not a defstencil form: %a" Sexp.pp s
+  | exception Sexp.Error { pos; message } ->
+      error "parse error at offset %d: %s" pos message
+
+let to_subroutine t =
+  {
+    Ast.sub_name = t.name;
+    params = t.params;
+    decls = [ { Ast.decl_names = t.params; rank = 2 } ];
+    body = [ t.stmt ];
+  }

@@ -1,0 +1,39 @@
+(** The version-1 Lisp front end (section 6).
+
+    A [defstencil] form names a stencil, lists its parameter arrays
+    (result, source, coefficients), gives element types, and states the
+    assignment as a prefix expression:
+
+    {v
+    (defstencil cross (r x c1 c2 c3 c4 c5)
+      (single-float single-float)
+      (:= r (+ ( * c1 (cshift x 1 -1))
+               ( * c2 (cshift x 2 -1))
+               ( * c3 x)
+               ( * c4 (cshift x 2 +1))
+               ( * c5 (cshift x 1 +1)))))
+    v}
+
+    (The space after each open parenthesis above only protects this
+    OCaml comment; the reader accepts the usual Lisp spelling.)
+
+    We translate the form into the same {!Ast} the Fortran parser
+    produces, so recognition and compilation are shared between the two
+    front ends exactly as in the paper (the microcode and compilation
+    algorithms were common to both versions). *)
+
+type t = {
+  name : string;
+  params : string list;
+  element_types : string list;
+  stmt : Ast.stmt;
+}
+
+exception Error of string
+
+val parse : string -> t
+(** Raises {!Error} on a malformed form. *)
+
+val to_subroutine : t -> Ast.subroutine
+(** View the form through the Fortran convention (rank-2 REAL
+    parameters), for the shared recognition path. *)

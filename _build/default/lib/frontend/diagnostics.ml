@@ -1,0 +1,36 @@
+type code =
+  | Not_sum_of_products
+  | Subtraction
+  | Mixed_shift_kinds
+  | Multiple_shifted_variables
+  | No_shifted_variable
+  | Bad_shift_call
+  | Unsupported_dimension
+  | Duplicate_offset
+  | Multiple_bias_terms
+  | Not_an_array_coefficient
+  | Register_pressure
+  | Scratch_pressure
+
+type t = { code : code; message : string; line : int }
+
+let make code ~line message = { code; message; line }
+
+let code_name = function
+  | Not_sum_of_products -> "not-sum-of-products"
+  | Subtraction -> "subtraction"
+  | Mixed_shift_kinds -> "mixed-shift-kinds"
+  | Multiple_shifted_variables -> "multiple-shifted-variables"
+  | No_shifted_variable -> "no-shifted-variable"
+  | Bad_shift_call -> "bad-shift-call"
+  | Unsupported_dimension -> "unsupported-dimension"
+  | Duplicate_offset -> "duplicate-offset"
+  | Multiple_bias_terms -> "multiple-bias-terms"
+  | Not_an_array_coefficient -> "not-an-array-coefficient"
+  | Register_pressure -> "register-pressure"
+  | Scratch_pressure -> "scratch-pressure"
+
+let pp ppf t =
+  Format.fprintf ppf "line %d: [%s] %s" t.line (code_name t.code) t.message
+
+let to_string t = Format.asprintf "%a" pp t

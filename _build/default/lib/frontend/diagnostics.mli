@@ -1,0 +1,35 @@
+(** Compiler feedback for flagged stencil statements.
+
+    Section 6: the planned production compiler lets the user flag a
+    candidate assignment with a structured comment; the flag justifies
+    the compiler in reporting why a statement could {e not} be handled
+    by the convolution technique (for lack of registers, for example),
+    instead of silently falling back to the general code path. *)
+
+type code =
+  | Not_sum_of_products
+      (** the right-hand side is not a sum of recognizable terms *)
+  | Subtraction
+      (** the stylized grammar combines terms with [+] only *)
+  | Mixed_shift_kinds  (** CSHIFT and EOSHIFT mixed in one statement *)
+  | Multiple_shifted_variables
+      (** all shiftings must shift the same variable name (section 2) *)
+  | No_shifted_variable
+      (** no shift intrinsic: the source array cannot be identified *)
+  | Bad_shift_call  (** malformed CSHIFT/EOSHIFT argument list *)
+  | Unsupported_dimension  (** DIM other than 1 or 2 *)
+  | Duplicate_offset  (** two terms tap the same displacement *)
+  | Multiple_bias_terms  (** more than one bare-coefficient term *)
+  | Not_an_array_coefficient
+      (** a coefficient expression that is neither a name nor a literal *)
+  | Register_pressure
+      (** no multistencil width fits the register file *)
+  | Scratch_pressure
+      (** the unrolled dynamic-part table exceeds scratch memory *)
+
+type t = { code : code; message : string; line : int }
+
+val make : code -> line:int -> string -> t
+val code_name : code -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,192 @@
+exception Error of { line : int; col : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the current line's first character *)
+  mutable tokens : Token.t list;  (** reversed *)
+}
+
+let error st message =
+  raise (Error { line = st.line; col = st.pos - st.bol + 1; message })
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let is_ident_start c = ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+
+let is_ident_char c =
+  is_ident_start c || ('0' <= c && c <= '9') || c = '_' || c = '$'
+
+let is_digit c = '0' <= c && c <= '9'
+
+let emit st kind ~col = st.tokens <- { Token.kind; line = st.line; col } :: st.tokens
+
+let newline st =
+  st.line <- st.line + 1;
+  st.bol <- st.pos
+
+(* Skip to end of line without consuming the newline itself. *)
+let skip_line st =
+  let rec go () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+let read_while st pred =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when pred c ->
+        advance st;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub st.src start (st.pos - start)
+
+let read_number st ~col =
+  let intpart = read_while st is_digit in
+  let frac =
+    match peek st with
+    | Some '.' ->
+        (* Don't mistake '::' for part of a number; a '.' is only a
+           decimal point here, never an operator in this subset. *)
+        advance st;
+        "." ^ read_while st is_digit
+    | Some _ | None -> ""
+  in
+  let expo =
+    match peek st with
+    | Some ('e' | 'E' | 'd' | 'D') -> begin
+        let save = st.pos in
+        advance st;
+        let sign =
+          match peek st with
+          | Some (('+' | '-') as c) ->
+              advance st;
+              String.make 1 c
+          | Some _ | None -> ""
+        in
+        let digits = read_while st is_digit in
+        if digits = "" then begin
+          (* Not an exponent after all: e.g. the identifier boundary in
+             "2E" would be malformed Fortran anyway, but be safe. *)
+          st.pos <- save;
+          ""
+        end
+        else "e" ^ sign ^ digits
+      end
+    | Some _ | None -> ""
+  in
+  let text = intpart ^ frac ^ expo in
+  match float_of_string_opt text with
+  | Some v -> emit st (Token.Number v) ~col
+  | None -> error st (Printf.sprintf "malformed numeric literal %S" text)
+
+(* After a trailing '&', skip whitespace, comments and newlines, plus a
+   single leading '&' on the continued line (the paper's listings use
+   the leading-ampersand style). *)
+let skip_continuation st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\r') ->
+        advance st;
+        go ()
+    | Some '\n' ->
+        advance st;
+        newline st;
+        go ()
+    | Some '!' ->
+        skip_line st;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  match peek st with Some '&' -> advance st | Some _ | None -> ()
+
+let directive_prefix = "CCC$"
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0; tokens = [] } in
+  let rec loop () =
+    let col = st.pos - st.bol + 1 in
+    match peek st with
+    | None -> emit st Token.Eof ~col
+    | Some c -> begin
+        (match c with
+        | ' ' | '\t' | '\r' -> advance st
+        | '\n' ->
+            advance st;
+            emit st Token.Newline ~col;
+            newline st
+        | '&' ->
+            advance st;
+            skip_continuation st
+        | '!' -> begin
+            advance st;
+            let rest_start = st.pos in
+            skip_line st;
+            let body =
+              String.trim
+                (String.sub st.src rest_start (st.pos - rest_start))
+            in
+            let upper = String.uppercase_ascii body in
+            if String.length upper >= String.length directive_prefix
+               && String.sub upper 0 (String.length directive_prefix)
+                  = directive_prefix
+            then
+              let payload =
+                String.trim
+                  (String.sub upper
+                     (String.length directive_prefix)
+                     (String.length upper - String.length directive_prefix))
+              in
+              emit st (Token.Directive payload) ~col
+          end
+        | '+' ->
+            advance st;
+            emit st Token.Plus ~col
+        | '-' ->
+            advance st;
+            emit st Token.Minus ~col
+        | '*' ->
+            advance st;
+            emit st Token.Star ~col
+        | '=' ->
+            advance st;
+            emit st Token.Equal ~col
+        | '(' ->
+            advance st;
+            emit st Token.Lparen ~col
+        | ')' ->
+            advance st;
+            emit st Token.Rparen ~col
+        | ',' ->
+            advance st;
+            emit st Token.Comma ~col
+        | ':' ->
+            advance st;
+            if peek st = Some ':' then begin
+              advance st;
+              emit st Token.Double_colon ~col
+            end
+            else emit st Token.Colon ~col
+        | c when is_ident_start c ->
+            let name = read_while st is_ident_char in
+            emit st (Token.Ident (String.uppercase_ascii name)) ~col
+        | c when is_digit c || c = '.' -> read_number st ~col
+        | c -> error st (Printf.sprintf "unexpected character %C" c));
+        match st.tokens with
+        | { Token.kind = Token.Eof; _ } :: _ -> ()
+        | _ -> loop ()
+      end
+  in
+  loop ();
+  List.rev st.tokens

@@ -1,0 +1,14 @@
+(** Hand-written lexer for the Fortran 90 subset.
+
+    Handles free-form source: [!] comments to end of line, [&]
+    continuations (trailing and leading), case-insensitive identifiers,
+    and real literals with optional exponent.  A [!CCC$ ...] comment is
+    not discarded: it becomes a {!Token.Directive} token, the
+    structured comment of section 6 by which a user flags a stencil
+    assignment and asks for compiler feedback. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val tokenize : string -> Token.t list
+(** The token list always ends with [Eof].  Raises {!Error} on
+    malformed input (stray characters, bad numeric literals). *)

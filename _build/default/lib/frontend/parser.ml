@@ -1,0 +1,282 @@
+exception Error of { line : int; message : string }
+
+type cursor = { tokens : Token.t array; mutable index : int }
+
+let peek c = c.tokens.(c.index)
+
+let advance c =
+  let tok = c.tokens.(c.index) in
+  if tok.Token.kind <> Token.Eof then c.index <- c.index + 1;
+  tok
+
+let fail_at (tok : Token.t) fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { line = tok.Token.line; message }))
+    fmt
+
+let expect c kind =
+  let tok = advance c in
+  if tok.Token.kind <> kind then
+    fail_at tok "expected %s but found %s" (Token.describe kind)
+      (Token.describe tok.Token.kind)
+
+let expect_ident c =
+  let tok = advance c in
+  match tok.Token.kind with
+  | Token.Ident name -> name
+  | k -> fail_at tok "expected an identifier but found %s" (Token.describe k)
+
+let skip_newlines c =
+  while (peek c).Token.kind = Token.Newline do
+    ignore (advance c)
+  done
+
+let end_of_statement c =
+  match (peek c).Token.kind with
+  | Token.Newline | Token.Eof -> true
+  | _ -> false
+
+(* expr := term (('+'|'-') term)* *)
+let rec parse_expr c =
+  let lhs = parse_term c in
+  let rec go lhs =
+    match (peek c).Token.kind with
+    | Token.Plus ->
+        ignore (advance c);
+        go (Ast.Add (lhs, parse_term c))
+    | Token.Minus ->
+        ignore (advance c);
+        go (Ast.Sub (lhs, parse_term c))
+    | _ -> lhs
+  in
+  go lhs
+
+(* term := factor ('*' factor)* *)
+and parse_term c =
+  let lhs = parse_factor c in
+  let rec go lhs =
+    match (peek c).Token.kind with
+    | Token.Star ->
+        ignore (advance c);
+        go (Ast.Mul (lhs, parse_factor c))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_factor c =
+  let tok = advance c in
+  match tok.Token.kind with
+  | Token.Number v -> Ast.Num v
+  | Token.Minus -> Ast.Neg (parse_factor c)
+  | Token.Plus -> parse_factor c
+  | Token.Lparen ->
+      let e = parse_expr c in
+      expect c Token.Rparen;
+      e
+  | Token.Ident name ->
+      if (peek c).Token.kind = Token.Lparen then begin
+        ignore (advance c);
+        let args = parse_args c in
+        expect c Token.Rparen;
+        Ast.Call (name, args)
+      end
+      else Ast.Var name
+  | k -> fail_at tok "expected an expression but found %s" (Token.describe k)
+
+and parse_args c =
+  let parse_one () =
+    let next_kind =
+      if c.index + 1 < Array.length c.tokens then
+        c.tokens.(c.index + 1).Token.kind
+      else Token.Eof
+    in
+    match ((peek c).Token.kind, next_kind) with
+    | Token.Ident key, Token.Equal ->
+        ignore (advance c);
+        ignore (advance c);
+        Ast.Keyword (key, parse_expr c)
+    | _ -> Ast.Positional (parse_expr c)
+  in
+  let first = parse_one () in
+  let rec go acc =
+    match (peek c).Token.kind with
+    | Token.Comma ->
+        ignore (advance c);
+        go (parse_one () :: acc)
+    | _ -> List.rev acc
+  in
+  go [ first ]
+
+let parse_stmt c ~flagged =
+  let line = (peek c).Token.line in
+  let lhs = expect_ident c in
+  expect c Token.Equal;
+  let rhs = parse_expr c in
+  if not (end_of_statement c) then
+    fail_at (peek c) "trailing tokens after assignment: %s"
+      (Token.describe (peek c).Token.kind);
+  { Ast.lhs; rhs; line; flagged }
+
+(* Shapes: '(:, :)' or explicit bounds; we only record the rank. *)
+let parse_shape c =
+  expect c Token.Lparen;
+  let rank = ref 1 in
+  let depth = ref 0 in
+  let rec go () =
+    let tok = advance c in
+    match tok.Token.kind with
+    | Token.Rparen -> if !depth = 0 then () else (decr depth; go ())
+    | Token.Lparen ->
+        incr depth;
+        go ()
+    | Token.Comma ->
+        if !depth = 0 then incr rank;
+        go ()
+    | Token.Eof -> fail_at tok "unterminated shape declaration"
+    | Token.Newline -> fail_at tok "unterminated shape declaration"
+    | _ -> go ()
+  in
+  go ();
+  !rank
+
+(* decl := REAL [',' (ARRAY|DIMENSION) shape] '::' names
+         | REAL name shape (',' name shape)* *)
+let parse_decl c =
+  (* REAL has just been consumed. *)
+  match (peek c).Token.kind with
+  | Token.Comma ->
+      ignore (advance c);
+      let attr = expect_ident c in
+      if attr <> "ARRAY" && attr <> "DIMENSION" then
+        fail_at (peek c) "expected ARRAY or DIMENSION attribute, found %s" attr;
+      let rank = parse_shape c in
+      expect c Token.Double_colon;
+      let rec names acc =
+        let n = expect_ident c in
+        match (peek c).Token.kind with
+        | Token.Comma ->
+            ignore (advance c);
+            names (n :: acc)
+        | _ -> List.rev (n :: acc)
+      in
+      { Ast.decl_names = names []; rank }
+  | _ ->
+      let rec entries acc rank =
+        let n = expect_ident c in
+        let rank' =
+          if (peek c).Token.kind = Token.Lparen then parse_shape c else rank
+        in
+        match (peek c).Token.kind with
+        | Token.Comma ->
+            ignore (advance c);
+            entries (n :: acc) rank'
+        | _ -> (List.rev (n :: acc), rank')
+      in
+      let decl_names, rank = entries [] 2 in
+      { Ast.decl_names; rank }
+
+let parse_subroutine_at c =
+  skip_newlines c;
+  let kw = expect_ident c in
+  if kw <> "SUBROUTINE" then
+    fail_at (peek c) "expected SUBROUTINE, found %s" kw;
+  let sub_name = expect_ident c in
+  expect c Token.Lparen;
+  let rec params acc =
+    let n = expect_ident c in
+    match (peek c).Token.kind with
+    | Token.Comma ->
+        ignore (advance c);
+        params (n :: acc)
+    | _ -> List.rev (n :: acc)
+  in
+  let params = if (peek c).Token.kind = Token.Rparen then [] else params [] in
+  expect c Token.Rparen;
+  let decls = ref [] in
+  let body = ref [] in
+  let flagged = ref false in
+  let rec body_loop () =
+    skip_newlines c;
+    match (peek c).Token.kind with
+    | Token.Directive d ->
+        ignore (advance c);
+        if d = "STENCIL" then flagged := true;
+        body_loop ()
+    | Token.Ident "REAL" ->
+        ignore (advance c);
+        decls := parse_decl c :: !decls;
+        body_loop ()
+    | Token.Ident "END" ->
+        ignore (advance c);
+        (* END | END SUBROUTINE [name] *)
+        (match (peek c).Token.kind with
+        | Token.Ident "SUBROUTINE" ->
+            ignore (advance c);
+            (match (peek c).Token.kind with
+            | Token.Ident _ -> ignore (advance c)
+            | _ -> ())
+        | _ -> ())
+    | Token.Eof -> fail_at (peek c) "missing END"
+    | Token.Ident _ ->
+        let stmt = parse_stmt c ~flagged:!flagged in
+        flagged := false;
+        body := stmt :: !body;
+        body_loop ()
+    | k -> fail_at (peek c) "unexpected %s in subroutine body" (Token.describe k)
+  in
+  body_loop ();
+  {
+    Ast.sub_name;
+    params;
+    decls = List.rev !decls;
+    body = List.rev !body;
+  }
+
+let cursor_of_string src =
+  { tokens = Array.of_list (Lexer.tokenize src); index = 0 }
+
+let with_lexer_errors f =
+  try f () with
+  | Lexer.Error { line; message; _ } -> raise (Error { line; message })
+
+let parse_subroutine src =
+  with_lexer_errors (fun () ->
+      let c = cursor_of_string src in
+      let sub = parse_subroutine_at c in
+      skip_newlines c;
+      (match (peek c).Token.kind with
+      | Token.Eof -> ()
+      | k -> fail_at (peek c) "trailing input after END: %s" (Token.describe k));
+      sub)
+
+let parse_statement src =
+  with_lexer_errors (fun () ->
+      let c = cursor_of_string src in
+      skip_newlines c;
+      let flagged =
+        match (peek c).Token.kind with
+        | Token.Directive "STENCIL" ->
+            ignore (advance c);
+            skip_newlines c;
+            true
+        | _ -> false
+      in
+      let stmt = parse_stmt c ~flagged in
+      skip_newlines c;
+      (match (peek c).Token.kind with
+      | Token.Eof -> ()
+      | k ->
+          fail_at (peek c) "trailing input after statement: %s"
+            (Token.describe k));
+      stmt)
+
+let parse_program src =
+  with_lexer_errors (fun () ->
+      let c = cursor_of_string src in
+      let rec go acc =
+        skip_newlines c;
+        match (peek c).Token.kind with
+        | Token.Eof -> List.rev acc
+        | _ -> go (parse_subroutine_at c :: acc)
+      in
+      go [])

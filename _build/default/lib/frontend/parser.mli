@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the Fortran 90 subset.
+
+    The grammar (an LL(1) slice of Fortran 90, enough for the paper's
+    isolated-subroutine convention of section 6):
+
+    {v
+    subroutine := SUBROUTINE name '(' params ')' NL decls stmts END [SUBROUTINE [name]]
+    decl       := REAL [',' (ARRAY|DIMENSION) '(' shape ')'] '::' names NL
+                | REAL names-with-shapes NL
+    stmt       := [!CCC$ STENCIL] name '=' expr NL
+    expr       := term (('+'|'-') term)*
+    term       := factor ('*' factor)*
+    factor     := name ['(' args ')'] | number | '-' factor | '(' expr ')'
+    arg        := [name '='] expr
+    v} *)
+
+exception Error of { line : int; message : string }
+
+val parse_subroutine : string -> Ast.subroutine
+(** Parse one [SUBROUTINE ... END] unit.  Raises {!Error}. *)
+
+val parse_statement : string -> Ast.stmt
+(** Parse a single assignment statement (convenient for tests and for
+    the API's quick path). *)
+
+val parse_program : string -> Ast.subroutine list
+(** Parse a file containing any number of subroutines. *)

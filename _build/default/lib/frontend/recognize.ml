@@ -1,0 +1,529 @@
+open Ccc_stencil
+
+type shift_kind = Cshift | Eoshift
+
+type shifted = {
+  var : string;
+  offset : Offset.t;
+  kinds : shift_kind list;  (** one entry per shift application *)
+  fill : float option;  (** EOSHIFT BOUNDARY= value if given *)
+}
+
+(* One recognized term of the sum. *)
+type term =
+  | Tap_term of { shifted : shifted; coeff : Coeff.t }
+  | Bias_term of Coeff.t
+
+type context = { line : int; mutable diags : Diagnostics.t list }
+
+let report ctx code fmt =
+  Format.kasprintf
+    (fun message ->
+      ctx.diags <- Diagnostics.make code ~line:ctx.line message :: ctx.diags)
+    fmt
+
+let describe e = Format.asprintf "%a" Ast.pp_expr e
+
+(* Flatten the sum spine.  Subtraction is outside the grammar; report
+   it once per occurrence and continue so that other diagnostics can
+   still surface. *)
+let rec sum_terms ctx = function
+  | Ast.Add (a, b) -> sum_terms ctx a @ sum_terms ctx b
+  | Ast.Sub (a, b) ->
+      report ctx Diagnostics.Subtraction
+        "terms are combined with '+' only in the stylized pattern; rewrite \
+         '- %s' with a negated coefficient array"
+        (describe b);
+      sum_terms ctx a @ sum_terms ctx b
+  | e -> [ e ]
+
+(* Evaluate a compile-time integer argument (DIM/SHIFT amounts). *)
+let rec const_int = function
+  | Ast.Num v when Float.is_integer v -> Some (int_of_float v)
+  | Ast.Neg e -> Option.map (fun v -> -v) (const_int e)
+  | _ -> None
+
+let rec const_float = function
+  | Ast.Num v -> Some v
+  | Ast.Neg e -> Option.map (fun v -> -.v) (const_float e)
+  | _ -> None
+
+(* Parse one CSHIFT/EOSHIFT argument list into (array expr, dim, shift,
+   boundary).  Fortran 90 signature: CSHIFT(ARRAY, SHIFT, DIM) for the
+   positional form -- but the paper consistently writes
+   CSHIFT(X, DIM=k, SHIFT=m) or CSHIFT(X, k, m) with the dimension
+   first.  We follow the paper's convention for positional arguments
+   (dimension then shift), since that is the dialect the compiler
+   module was specified against, and accept the keyword forms
+   unambiguously. *)
+let shift_args ctx name args =
+  match args with
+  | Ast.Positional array_arg :: rest ->
+      let dim = ref None
+      and amount = ref None
+      and fill = ref None
+      and ok = ref true in
+      let positional = ref [] in
+      List.iter
+        (function
+          | Ast.Positional e -> positional := e :: !positional
+          | Ast.Keyword (k, e) -> (
+              match k with
+              | "DIM" -> dim := const_int e
+              | "SHIFT" -> amount := const_int e
+              | "BOUNDARY" -> fill := const_float e
+              | other ->
+                  report ctx Diagnostics.Bad_shift_call
+                    "unknown keyword %s in %s" other name;
+                  ok := false))
+        rest;
+      (match List.rev !positional with
+      | [] -> ()
+      | [ d; s ] ->
+          if !dim = None then dim := const_int d;
+          if !amount = None then amount := const_int s
+      | [ d ] -> if !dim = None then dim := const_int d
+      | _ ->
+          report ctx Diagnostics.Bad_shift_call
+            "too many positional arguments in %s" name;
+          ok := false);
+      if not !ok then None
+      else begin
+        match (!dim, !amount) with
+        | Some d, Some s -> Some (array_arg, d, s, !fill)
+        | _ ->
+            report ctx Diagnostics.Bad_shift_call
+              "%s needs compile-time DIM and SHIFT arguments" name;
+            None
+      end
+  | _ ->
+      report ctx Diagnostics.Bad_shift_call
+        "%s: first argument must be the shifted array" name;
+      None
+
+(* s(X) ::= X | CSHIFT(s(X), k, m) | EOSHIFT(s(X), k, m) *)
+let rec as_shifted ctx expr =
+  match expr with
+  | Ast.Var v -> Some { var = v; offset = Offset.zero; kinds = []; fill = None }
+  | Ast.Call ((("CSHIFT" | "EOSHIFT") as name), args) -> begin
+      match shift_args ctx name args with
+      | None -> None
+      | Some (inner_expr, dim, amount, fill) -> begin
+          match as_shifted ctx inner_expr with
+          | None -> None
+          | Some inner ->
+              if dim <> 1 && dim <> 2 then begin
+                report ctx Diagnostics.Unsupported_dimension
+                  "%s with DIM=%d: only two-dimensional stencils are \
+                   supported"
+                  name dim;
+                None
+              end
+              else
+                let kind = if name = "CSHIFT" then Cshift else Eoshift in
+                Some
+                  {
+                    var = inner.var;
+                    offset = Offset.add inner.offset (Offset.shift ~dim ~amount);
+                    kinds = kind :: inner.kinds;
+                    fill =
+                      (match fill with Some _ -> fill | None -> inner.fill);
+                  }
+        end
+    end
+  | _ -> None
+
+let is_shift_call = function
+  | Ast.Call (("CSHIFT" | "EOSHIFT"), _) -> true
+  | _ -> false
+
+(* Would this expression be a legal coefficient? *)
+let as_coeff expr =
+  match expr with
+  | Ast.Var v -> Some (Coeff.Array v)
+  | Ast.Num v -> Some (Coeff.Scalar v)
+  | Ast.Neg e ->
+      Option.map
+        (function
+          | Coeff.Scalar v -> Coeff.Scalar (-.v)
+          | c -> c (* cannot negate an array reference cheaply *))
+        (match e with Ast.Num v -> Some (Coeff.Scalar v) | _ -> None)
+  | _ -> None
+
+(* Classify one term.  [source] is the shifted variable when already
+   known; bare variables are ambiguous until the source is known, so
+   classification runs in two passes (see [statement]). *)
+let classify_term ctx ~source expr =
+  match expr with
+  | Ast.Mul (a, b) -> begin
+      let try_pair shifted_side coeff_side =
+        if is_shift_call shifted_side
+           || (match (shifted_side, source) with
+              | Ast.Var v, Some s -> v = s
+              | _ -> false)
+        then
+          match (as_shifted ctx shifted_side, as_coeff coeff_side) with
+          | Some shifted, Some coeff -> Some (Tap_term { shifted; coeff })
+          | Some _, None ->
+              report ctx Diagnostics.Not_an_array_coefficient
+                "coefficient %s is neither an array name nor a literal"
+                (describe coeff_side);
+              None
+          | None, _ -> None
+        else None
+      in
+      match try_pair a b with
+      | Some t -> Some t
+      | None -> begin
+          match try_pair b a with
+          | Some t -> Some t
+          | None ->
+              report ctx Diagnostics.Not_sum_of_products
+                "term %s is not of the form c * s(X)" (describe expr);
+              None
+        end
+    end
+  | Ast.Call (("CSHIFT" | "EOSHIFT"), _) ->
+      Option.map
+        (fun shifted -> Tap_term { shifted; coeff = Coeff.One })
+        (as_shifted ctx expr)
+  | Ast.Var v -> begin
+      match source with
+      | Some s when v = s ->
+          Some
+            (Tap_term
+               {
+                 shifted =
+                   { var = v; offset = Offset.zero; kinds = []; fill = None };
+                 coeff = Coeff.One;
+               })
+      | _ -> Some (Bias_term (Coeff.Array v))
+    end
+  | Ast.Num v -> Some (Bias_term (Coeff.Scalar v))
+  | Ast.Neg _ ->
+      report ctx Diagnostics.Subtraction
+        "negated term %s: rewrite with a negated coefficient" (describe expr);
+      None
+  | _ ->
+      report ctx Diagnostics.Not_sum_of_products
+        "term %s is not of the form c * s(X), s(X) or c" (describe expr);
+      None
+
+(* Find the shifted variable: every CSHIFT/EOSHIFT chain must bottom
+   out in the same name. *)
+let find_source ctx terms =
+  let vars = ref [] in
+  let record v = if not (List.mem v !vars) then vars := v :: !vars in
+  (* Bottom of a (possibly malformed) shift nest: the shifted name. *)
+  let rec chain_bottom = function
+    | Ast.Var v -> record v
+    | Ast.Call (("CSHIFT" | "EOSHIFT"), Ast.Positional inner :: _) ->
+        chain_bottom inner
+    | Ast.Num _ | Ast.Call _ | Ast.Add _ | Ast.Sub _ | Ast.Mul _ | Ast.Neg _ ->
+        ()
+  in
+  let rec scan = function
+    | Ast.Call (("CSHIFT" | "EOSHIFT"), _) as call -> begin
+        (* Walk without reporting; real diagnostics come later. *)
+        let quiet = { line = ctx.line; diags = [] } in
+        match as_shifted quiet call with
+        | Some s -> record s.var
+        | None ->
+            (* Malformed shift: still identify the variable so the
+               per-term diagnostics (bad-shift-call, ...) are reported
+               instead of a misleading no-shifted-variable. *)
+            chain_bottom call
+      end
+    | Ast.Mul (a, b) | Ast.Add (a, b) | Ast.Sub (a, b) ->
+        scan a;
+        scan b
+    | Ast.Neg a -> scan a
+    | Ast.Var _ | Ast.Num _ | Ast.Call _ -> ()
+  in
+  List.iter scan terms;
+  match List.rev !vars with
+  | [ v ] -> Some v
+  | [] ->
+      report ctx Diagnostics.No_shifted_variable
+        "no CSHIFT/EOSHIFT found: cannot identify the source array";
+      None
+  | v :: _ :: _ as all ->
+      report ctx Diagnostics.Multiple_shifted_variables
+        "all shiftings must shift the same variable name, found: %s"
+        (String.concat ", " all);
+      ignore v;
+      None
+
+let statement (stmt : Ast.stmt) =
+  let ctx = { line = stmt.Ast.line; diags = [] } in
+  let term_exprs = sum_terms ctx stmt.Ast.rhs in
+  match find_source ctx term_exprs with
+  | None -> Error (List.rev ctx.diags)
+  | Some source ->
+      let terms =
+        List.filter_map (classify_term ctx ~source:(Some source)) term_exprs
+      in
+      (* Shift-kind consistency. *)
+      let kinds =
+        List.concat_map
+          (function
+            | Tap_term { shifted; _ } -> shifted.kinds
+            | Bias_term _ -> [])
+          terms
+      in
+      let has k = List.mem k kinds in
+      if has Cshift && has Eoshift then
+        report ctx Diagnostics.Mixed_shift_kinds
+          "CSHIFT and EOSHIFT are mixed in one statement; compositions of \
+           circular and end-off shifts are outside the stylized pattern";
+      let boundary =
+        if has Eoshift then
+          let fill =
+            List.find_map
+              (function
+                | Tap_term { shifted = { fill = Some f; _ }; _ } -> Some f
+                | Tap_term _ | Bias_term _ -> None)
+              terms
+          in
+          Boundary.End_off (Option.value ~default:0.0 fill)
+        else Boundary.Circular
+      in
+      (* Taps and bias. *)
+      let taps = ref [] in
+      let bias = ref None in
+      List.iter
+        (function
+          | Tap_term { shifted; coeff } ->
+              if
+                List.exists
+                  (fun t -> Offset.equal t.Tap.offset shifted.offset)
+                  !taps
+              then
+                report ctx Diagnostics.Duplicate_offset
+                  "two terms tap offset %s; combine their coefficient arrays"
+                  (Offset.to_string shifted.offset)
+              else taps := Tap.make shifted.offset coeff :: !taps
+          | Bias_term c -> (
+              match !bias with
+              | None -> bias := Some c
+              | Some _ ->
+                  report ctx Diagnostics.Multiple_bias_terms
+                    "more than one bare-coefficient term"))
+        terms;
+      if ctx.diags <> [] then Error (List.rev ctx.diags)
+      else
+        Ok
+          (Pattern.create ?bias:!bias ~boundary ~source ~result:stmt.Ast.lhs
+             (List.rev !taps))
+
+(* ------------------------------------------------------------------ *)
+(* The multi-source generalization (the paper's future work): the
+   source set is the set of shifted variables, every term's data side
+   must be a shift chain or a known source, and taps are keyed by
+   (source, offset). *)
+
+let find_sources ctx terms =
+  let vars = ref [] in
+  let record v = if not (List.mem v !vars) then vars := v :: !vars in
+  let rec chain_bottom = function
+    | Ast.Var v -> record v
+    | Ast.Call (("CSHIFT" | "EOSHIFT"), Ast.Positional inner :: _) ->
+        chain_bottom inner
+    | Ast.Num _ | Ast.Call _ | Ast.Add _ | Ast.Sub _ | Ast.Mul _ | Ast.Neg _ ->
+        ()
+  in
+  let rec scan = function
+    | Ast.Call (("CSHIFT" | "EOSHIFT"), _) as call -> chain_bottom call
+    | Ast.Mul (a, b) | Ast.Add (a, b) | Ast.Sub (a, b) ->
+        scan a;
+        scan b
+    | Ast.Neg a -> scan a
+    | Ast.Var _ | Ast.Num _ | Ast.Call _ -> ()
+  in
+  List.iter scan terms;
+  match List.rev !vars with
+  | [] ->
+      report ctx Diagnostics.No_shifted_variable
+        "no CSHIFT/EOSHIFT found: cannot identify any source array";
+      None
+  | sources -> Some sources
+
+type multi_term =
+  | M_tap of { source : string; shifted : shifted; coeff : Coeff.t }
+  | M_bias of Coeff.t
+
+let classify_term_multi ctx ~sources expr =
+  let is_source = function
+    | Ast.Var v -> List.mem v sources
+    | _ -> false
+  in
+  let data_side e = is_shift_call e || is_source e in
+  match expr with
+  | Ast.Mul (a, b) -> begin
+      match (data_side a, data_side b) with
+      | true, true ->
+          report ctx Diagnostics.Not_sum_of_products
+            "both factors of %s are source arrays; one side must be a \
+             coefficient"
+            (describe expr);
+          None
+      | false, false ->
+          (* Could still be coeff * coeff (a bias-like product), which
+             the grammar has no place for. *)
+          report ctx Diagnostics.Not_sum_of_products
+            "term %s shifts no source array; write the data side as \
+             CSHIFT(Y, 1, 0) to mark it"
+            (describe expr);
+          None
+      | true, false | false, true ->
+          let data, coeff_expr = if data_side a then (a, b) else (b, a) in
+          (match (as_shifted ctx data, as_coeff coeff_expr) with
+          | Some shifted, Some coeff ->
+              Some (M_tap { source = shifted.var; shifted; coeff })
+          | Some _, None ->
+              report ctx Diagnostics.Not_an_array_coefficient
+                "coefficient %s is neither an array name nor a literal"
+                (describe coeff_expr);
+              None
+          | None, _ -> None)
+    end
+  | Ast.Call (("CSHIFT" | "EOSHIFT"), _) ->
+      Option.map
+        (fun shifted ->
+          M_tap { source = shifted.var; shifted; coeff = Coeff.One })
+        (as_shifted ctx expr)
+  | Ast.Var v when List.mem v sources ->
+      Some
+        (M_tap
+           {
+             source = v;
+             shifted = { var = v; offset = Offset.zero; kinds = []; fill = None };
+             coeff = Coeff.One;
+           })
+  | Ast.Var v -> Some (M_bias (Coeff.Array v))
+  | Ast.Num v -> Some (M_bias (Coeff.Scalar v))
+  | Ast.Neg _ ->
+      report ctx Diagnostics.Subtraction
+        "negated term %s: rewrite with a negated coefficient" (describe expr);
+      None
+  | Ast.Add _ | Ast.Sub _ | Ast.Call _ ->
+      report ctx Diagnostics.Not_sum_of_products
+        "term %s is not of the form c * s(Y), s(Y) or c" (describe expr);
+      None
+
+let statement_multi (stmt : Ast.stmt) =
+  let ctx = { line = stmt.Ast.line; diags = [] } in
+  let term_exprs = sum_terms ctx stmt.Ast.rhs in
+  match find_sources ctx term_exprs with
+  | None -> Error (List.rev ctx.diags)
+  | Some sources ->
+      let terms =
+        List.filter_map (classify_term_multi ctx ~sources) term_exprs
+      in
+      let kinds =
+        List.concat_map
+          (function
+            | M_tap { shifted; _ } -> shifted.kinds
+            | M_bias _ -> [])
+          terms
+      in
+      let has k = List.mem k kinds in
+      if has Cshift && has Eoshift then
+        report ctx Diagnostics.Mixed_shift_kinds
+          "CSHIFT and EOSHIFT are mixed in one statement; compositions of \
+           circular and end-off shifts are outside the stylized pattern";
+      let boundary =
+        if has Eoshift then
+          let fill =
+            List.find_map
+              (function
+                | M_tap { shifted = { fill = Some f; _ }; _ } -> Some f
+                | M_tap _ | M_bias _ -> None)
+              terms
+          in
+          Boundary.End_off (Option.value ~default:0.0 fill)
+        else Boundary.Circular
+      in
+      let source_index v =
+        let rec go i = function
+          | [] -> assert false
+          | s :: rest -> if String.equal s v then i else go (i + 1) rest
+        in
+        go 0 sources
+      in
+      let taps = ref [] in
+      let bias = ref None in
+      List.iter
+        (function
+          | M_tap { source; shifted; coeff } ->
+              let src = source_index source in
+              if
+                List.exists
+                  (fun (st : Multi.source_tap) ->
+                    st.Multi.source = src
+                    && Offset.equal st.Multi.tap.Tap.offset shifted.offset)
+                  !taps
+              then
+                report ctx Diagnostics.Duplicate_offset
+                  "two terms tap offset %s of %s; combine their coefficient \
+                   arrays"
+                  (Offset.to_string shifted.offset)
+                  source
+              else
+                taps :=
+                  { Multi.source = src; tap = Tap.make shifted.offset coeff }
+                  :: !taps
+          | M_bias c -> (
+              match !bias with
+              | None -> bias := Some c
+              | Some _ ->
+                  report ctx Diagnostics.Multiple_bias_terms
+                    "more than one bare-coefficient term"))
+        terms;
+      if ctx.diags <> [] then Error (List.rev ctx.diags)
+      else
+        Ok
+          (Multi.create ?bias:!bias ~boundary ~result:stmt.Ast.lhs ~sources
+             (List.rev !taps))
+
+let subroutine (sub : Ast.subroutine) =
+  match sub.Ast.body with
+  | [ stmt ] -> begin
+      match statement stmt with
+      | Error _ as e -> e
+      | Ok pattern ->
+          let used =
+            Pattern.source_var pattern :: Pattern.result_var pattern
+            :: List.filter_map
+                 (fun t -> Coeff.array_name t.Tap.coeff)
+                 (Pattern.taps pattern)
+            @ (match Pattern.bias pattern with
+              | Some c -> Option.to_list (Coeff.array_name c)
+              | None -> [])
+          in
+          let missing =
+            List.filter (fun v -> not (List.mem v sub.Ast.params)) used
+          in
+          if missing = [] then Ok pattern
+          else
+            Error
+              [
+                Diagnostics.make Diagnostics.Not_sum_of_products
+                  ~line:stmt.Ast.line
+                  (Printf.sprintf
+                     "array names not among the subroutine parameters: %s"
+                     (String.concat ", " missing));
+              ]
+    end
+  | stmts ->
+      let line =
+        match stmts with s :: _ -> s.Ast.line | [] -> 1
+      in
+      Error
+        [
+          Diagnostics.make Diagnostics.Not_sum_of_products ~line
+            (Printf.sprintf
+               "the stencil subroutine must contain exactly one assignment \
+                statement (found %d)"
+               (List.length stmts));
+        ]

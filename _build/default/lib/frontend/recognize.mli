@@ -1,0 +1,35 @@
+(** Recognition of stencil assignments (section 2 of the paper).
+
+    Decides whether a parsed assignment fits the stylized form
+
+    {v R = T + T + ... + T
+       T ::= c * s(X) | s(X) * c | s(X) | c
+       s(X) ::= X | CSHIFT(s(X), DIM=k, SHIFT=m) | EOSHIFT(...) v}
+
+    and, when it does, produces the {!Ccc_stencil.Pattern.t} the
+    compiler module consumes.  All shiftings within one statement must
+    shift the same variable name, as in the paper's implementation.
+    When the statement does not fit, the result is the list of
+    diagnostics that the production compiler would report for a flagged
+    statement. *)
+
+val statement :
+  Ast.stmt -> (Ccc_stencil.Pattern.t, Diagnostics.t list) result
+
+val subroutine :
+  Ast.subroutine ->
+  (Ccc_stencil.Pattern.t, Diagnostics.t list) result
+(** The isolated-subroutine convention of section 6: the subroutine
+    body must consist of exactly one recognizable assignment.  The
+    coefficient, source and result names must be parameters. *)
+
+val statement_multi :
+  Ast.stmt -> (Ccc_stencil.Multi.t, Diagnostics.t list) result
+(** The future-work generalization: terms may shift {e different}
+    variables, so the Gordon Bell statement's ten terms fit one
+    pattern.  The source set is the set of shifted variables; a bare
+    variable that never appears shifted is still a coefficient, so a
+    product of two unshifted names remains ambiguous and is reported —
+    write the data side as [CSHIFT(Y, 1, 0)] to mark it.  Statements
+    the single-source recognizer accepts produce the equivalent
+    one-source result here. *)

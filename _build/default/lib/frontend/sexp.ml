@@ -1,0 +1,70 @@
+type t = Atom of string | List of t list
+
+exception Error of { pos : int; message : string }
+
+let error pos message = raise (Error { pos; message })
+
+let is_atom_char c =
+  match c with
+  | '(' | ')' | ';' | ' ' | '\t' | '\n' | '\r' -> false
+  | _ -> true
+
+let parse_at src =
+  let n = String.length src in
+  let rec skip_ws pos =
+    if pos >= n then pos
+    else
+      match src.[pos] with
+      | ' ' | '\t' | '\n' | '\r' -> skip_ws (pos + 1)
+      | ';' ->
+          let rec eol p = if p >= n || src.[p] = '\n' then p else eol (p + 1) in
+          skip_ws (eol pos)
+      | _ -> pos
+  in
+  let rec expr pos =
+    let pos = skip_ws pos in
+    if pos >= n then error pos "unexpected end of input"
+    else
+      match src.[pos] with
+      | '(' -> list (pos + 1) []
+      | ')' -> error pos "unexpected ')'"
+      | _ ->
+          let stop = ref pos in
+          while !stop < n && is_atom_char src.[!stop] do
+            incr stop
+          done;
+          (Atom (String.sub src pos (!stop - pos)), !stop)
+  and list pos acc =
+    let pos = skip_ws pos in
+    if pos >= n then error pos "unterminated list"
+    else if src.[pos] = ')' then (List (List.rev acc), pos + 1)
+    else
+      let item, pos = expr pos in
+      list pos (item :: acc)
+  in
+  (expr, skip_ws)
+
+let parse src =
+  let expr, skip_ws = parse_at src in
+  let e, pos = expr 0 in
+  let pos = skip_ws pos in
+  if pos < String.length src then error pos "trailing input";
+  e
+
+let parse_many src =
+  let expr, skip_ws = parse_at src in
+  let rec go pos acc =
+    let pos = skip_ws pos in
+    if pos >= String.length src then List.rev acc
+    else
+      let e, pos = expr pos in
+      go pos (e :: acc)
+  in
+  go 0 []
+
+let rec pp ppf = function
+  | Atom a -> Format.pp_print_string ppf a
+  | List items ->
+      Format.fprintf ppf "(@[<hov>%a@])"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        items

@@ -1,0 +1,18 @@
+(** Minimal s-expression reader for the [defstencil] front end.
+
+    The first version of the convolution compiler was prototyped in
+    Lucid Common Lisp (section 6); its surface syntax was a
+    [defstencil] form.  This reader supports exactly what that form
+    needs: atoms (symbols, numbers, keywords such as [:=]), and
+    parenthesized lists, with [;] comments. *)
+
+type t = Atom of string | List of t list
+
+exception Error of { pos : int; message : string }
+
+val parse : string -> t
+(** Read one s-expression.  Raises {!Error}. *)
+
+val parse_many : string -> t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type kind =
+  | Ident of string
+  | Number of float
+  | Plus
+  | Minus
+  | Star
+  | Equal
+  | Lparen
+  | Rparen
+  | Comma
+  | Double_colon
+  | Colon
+  | Newline
+  | Directive of string
+  | Eof
+
+type t = { kind : kind; line : int; col : int }
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Number v -> Printf.sprintf "number %g" v
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Equal -> "'='"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Double_colon -> "'::'"
+  | Colon -> "':'"
+  | Newline -> "end of line"
+  | Directive d -> Printf.sprintf "directive !CCC$ %s" d
+  | Eof -> "end of input"
+
+let pp_kind ppf k = Format.pp_print_string ppf (describe k)

@@ -1,0 +1,27 @@
+(** Tokens of the Fortran 90 subset.
+
+    Fortran is case-insensitive; the lexer upcases identifiers and
+    keywords.  A [&] continuation (either at end of line, or leading
+    the continued line, as in the paper's listings) is consumed by the
+    lexer, so the parser sees one logical line per statement. *)
+
+type kind =
+  | Ident of string  (** upcased *)
+  | Number of float
+  | Plus
+  | Minus
+  | Star
+  | Equal
+  | Lparen
+  | Rparen
+  | Comma
+  | Double_colon
+  | Colon
+  | Newline
+  | Directive of string  (** a [!CCC$ ...] structured comment, upcased *)
+  | Eof
+
+type t = { kind : kind; line : int; col : int }
+
+val pp_kind : Format.formatter -> kind -> unit
+val describe : kind -> string

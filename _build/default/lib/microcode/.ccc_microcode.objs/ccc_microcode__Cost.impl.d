@@ -1,0 +1,1 @@
+lib/microcode/cost.ml: Array Ccc_cm2 Instr List Plan

@@ -1,0 +1,1 @@
+lib/microcode/cost.mli: Ccc_cm2 Plan

@@ -1,0 +1,1 @@
+lib/microcode/instr.ml: Ccc_cm2 Format

@@ -1,0 +1,1 @@
+lib/microcode/instr.mli: Ccc_cm2 Format

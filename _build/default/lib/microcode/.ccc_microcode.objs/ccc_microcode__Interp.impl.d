@@ -1,0 +1,1 @@
+lib/microcode/interp.ml: Array Ccc_cm2 Instr List Option Plan Printf

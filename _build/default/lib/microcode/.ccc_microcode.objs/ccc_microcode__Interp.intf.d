@@ -1,0 +1,1 @@
+lib/microcode/interp.mli: Ccc_cm2 Instr Plan

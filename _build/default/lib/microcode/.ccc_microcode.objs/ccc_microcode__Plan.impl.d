@@ -1,0 +1,1 @@
+lib/microcode/plan.ml: Array Ccc_stencil Format Instr List Printf String

@@ -1,0 +1,1 @@
+lib/microcode/plan.mli: Ccc_stencil Format Instr

@@ -1,0 +1,79 @@
+let slot_cycles config slots =
+  List.fold_left (fun acc slot -> acc + Instr.cycles config slot) 0 slots
+
+(* Phases differ only in register numbers, so any phase prices a line. *)
+let representative_phase (plan : Plan.t) = plan.Plan.phases.(0)
+
+let drain_cycles (config : Ccc_cm2.Config.t) =
+  max 0 (config.madd_writeback_latency - config.pipe_reversal_cycles)
+
+let line_cycles (config : Ccc_cm2.Config.t) plan =
+  let phase = representative_phase plan in
+  config.line_overhead_cycles
+  + slot_cycles config phase.Plan.loads
+  + config.pipe_reversal_cycles
+  + slot_cycles config phase.Plan.madds
+  + config.pipe_reversal_cycles + drain_cycles config
+  + slot_cycles config phase.Plan.stores
+  + config.loop_branch_cycles
+
+let prologue_cycles config (plan : Plan.t) =
+  Array.fold_left
+    (fun acc loads -> acc + slot_cycles config loads)
+    0 plan.Plan.prologue
+
+let startup_cycles (config : Ccc_cm2.Config.t) =
+  config.halfstrip_startup_cycles + config.static_issue_cycles
+  + config.scratch_counter_reset_cycles
+
+let halfstrip_cycles config plan ~lines =
+  if lines < 0 then invalid_arg "Cost.halfstrip_cycles: negative line count";
+  if lines = 0 then startup_cycles config
+  else
+    startup_cycles config + prologue_cycles config plan
+    + (lines * line_cycles config plan)
+
+let madds_per_line plan =
+  let phase = representative_phase plan in
+  List.length
+    (List.filter
+       (function Instr.Madd _ -> true | Instr.Load _ | Instr.Store _ | Instr.Nop -> false)
+       phase.Plan.madds)
+
+let slot_madds config slots =
+  List.fold_left
+    (fun acc slot ->
+      acc
+      +
+      match slot with
+      | Instr.Madd _ -> 1
+      | Instr.Load _ | Instr.Store _ | Instr.Nop -> Instr.cycles config slot)
+    0 slots
+
+let line_madds_total config plan =
+  let phase = representative_phase plan in
+  slot_madds config phase.Plan.loads
+  + slot_madds config phase.Plan.madds
+  + slot_madds config phase.Plan.stores
+
+let line_words (plan : Plan.t) =
+  let phase = representative_phase plan in
+  List.length phase.Plan.loads
+  + List.length phase.Plan.madds
+  + List.length phase.Plan.stores
+
+let halfstrip_words (plan : Plan.t) ~lines =
+  if lines <= 0 then 0
+  else
+    Array.fold_left
+      (fun acc loads -> acc + List.length loads)
+      0 plan.Plan.prologue
+    + (lines * line_words plan)
+
+let halfstrip_madds_total config (plan : Plan.t) ~lines =
+  if lines <= 0 then 0
+  else
+    Array.fold_left
+      (fun acc loads -> acc + slot_madds config loads)
+      0 plan.Plan.prologue
+    + (lines * line_madds_total config plan)

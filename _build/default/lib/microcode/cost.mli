@@ -1,0 +1,42 @@
+(** Closed-form cycle model for compiled plans.
+
+    The interpreter and this module price the same instruction streams
+    with the same configuration constants, so for any plan and line
+    count they must agree exactly — a property test asserts it.  The
+    benchmark harness uses this model to time runs that would be slow
+    to simulate element by element (the paper's production runs cover
+    10^13 flops). *)
+
+val line_cycles : Ccc_cm2.Config.t -> Plan.t -> int
+(** Sequencer cycles for one line of a half-strip: line overhead,
+    leading-edge loads, pipe reversal, multiply-add issues, reversal
+    and drain, stores, and the loop-end branch. *)
+
+val prologue_cycles : Ccc_cm2.Config.t -> Plan.t -> int
+val startup_cycles : Ccc_cm2.Config.t -> int
+
+val halfstrip_cycles : Ccc_cm2.Config.t -> Plan.t -> lines:int -> int
+(** Total for one half-strip of [lines] lines; zero lines still pay the
+    startup (the run-time library does not invoke empty half-strips,
+    but the identity keeps the algebra honest). *)
+
+val madds_per_line : Plan.t -> int
+(** Scheduled [Madd] dynamic parts per line — the useful chains only,
+    not the discarded multiply-adds that accompany loads and stores. *)
+
+val line_madds_total : Ccc_cm2.Config.t -> Plan.t -> int
+(** All multiply-adds the FPU performs per line: the scheduled chains
+    plus one discarded multiply-add per load/store/nop cycle ("there is
+    no way not to store the result"). *)
+
+val halfstrip_madds_total : Ccc_cm2.Config.t -> Plan.t -> lines:int -> int
+(** Total multiply-adds for a half-strip, prologue included.  Matches
+    {!Interp.outcome.madds} exactly (tested). *)
+
+val line_words : Plan.t -> int
+(** Dynamic-part words the sequencer streams per line (loads, madds,
+    nops, stores).  This is also the unit of front-end preparation
+    work: the host computes one parameter set per word. *)
+
+val halfstrip_words : Plan.t -> lines:int -> int
+(** Dynamic words for a whole half-strip, prologue included. *)

@@ -1,0 +1,30 @@
+type t =
+  | Load of { reg : int; src : int; drow : int; dcol : int }
+  | Store of { reg : int; dcol : int }
+  | Madd of {
+      dst : int;
+      data : int;
+      coeff_index : int;
+      coeff_dcol : int;
+      acc : int;
+    }
+  | Nop
+
+let pp ppf = function
+  | Load { reg; src; drow; dcol } ->
+      Format.fprintf ppf "load  r%-2d <- src%d(%+d,%+d)" reg src drow dcol
+  | Store { reg; dcol } ->
+      Format.fprintf ppf "store dst(+0,%+d) <- r%-2d" dcol reg
+  | Madd { dst; data; coeff_index; coeff_dcol; acc } ->
+      Format.fprintf ppf "madd  r%-2d <- r%d * coeff[%d](%+d) + r%d" dst data
+        coeff_index coeff_dcol acc
+  | Nop -> Format.pp_print_string ppf "nop"
+
+let cycles (config : Ccc_cm2.Config.t) = function
+  | Load _ | Store _ -> config.memory_op_cycles
+  | Madd _ -> config.madd_issue_cycles
+  | Nop -> 1
+
+let is_memory_op = function
+  | Load _ | Store _ -> true
+  | Madd _ | Nop -> false

@@ -1,0 +1,46 @@
+(** Dynamic instruction parts (section 4.3).
+
+    The fixed microcode loop issues one static part (the multiply-add
+    opcode) and then streams these dynamic parts — register addresses
+    and load/store control — from the sequencer's scratch data memory,
+    one per cycle.  Memory addresses are {e not} in the dynamic part;
+    the sequencer ALU generates them at run time from the loop
+    parameters, which is why the fields below are all {e relative}: row
+    and column displacements from the current line origin, and indices
+    into the coefficient-stream table that the run-time library binds
+    per call.
+
+    The compiler emits these; the interpreter executes them; the cost
+    model prices them. *)
+
+type t =
+  | Load of { reg : int; src : int; drow : int; dcol : int }
+      (** register <- element of source array [src] at (line row +
+          [drow], line column + [dcol]); every source array is
+          halo-padded.  Ordinary stencils have a single source 0; the
+          multi-source extension (the paper's future-work
+          generalization) indexes the run-time binding table *)
+  | Store of { reg : int; dcol : int }
+      (** result element at (line row, line column + [dcol]) <- register *)
+  | Madd of {
+      dst : int;
+      data : int;
+      coeff_index : int;
+          (** which coefficient stream: taps in pattern order, then the
+              bias stream *)
+      coeff_dcol : int;
+          (** the coefficient element sits at the output position, i.e.
+              line column + occurrence index *)
+      acc : int;
+    }
+  | Nop
+      (** a cycle with no useful work; the floating-point units still
+          execute a discarded multiply-add into the zero register
+          ("there is no way not to store the result", section 5.3) *)
+
+val pp : Format.formatter -> t -> unit
+
+val cycles : Ccc_cm2.Config.t -> t -> int
+(** Sequencer cycles consumed by one dynamic part. *)
+
+val is_memory_op : t -> bool

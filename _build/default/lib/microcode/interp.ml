@@ -1,0 +1,158 @@
+exception Hazard of string
+
+type source_binding = {
+  padded : Ccc_cm2.Memory.region;
+  padded_cols : int;
+  pad : int;
+}
+
+type bindings = {
+  memory : Ccc_cm2.Memory.t;
+  sources : source_binding array;
+  dst : Ccc_cm2.Memory.region;
+  dst_cols : int;
+  coeffs : Ccc_cm2.Memory.region array;
+}
+
+type outcome = { cycles : int; flop_slots : int; madds : int }
+
+let zero_outcome = { cycles = 0; flop_slots = 0; madds = 0 }
+
+let add_outcome a b =
+  {
+    cycles = a.cycles + b.cycles;
+    flop_slots = a.flop_slots + b.flop_slots;
+    madds = a.madds + b.madds;
+  }
+
+let src_addr b ~src ~row ~col =
+  if src < 0 || src >= Array.length b.sources then
+    raise (Hazard (Printf.sprintf "source %d unbound" src));
+  let s = b.sources.(src) in
+  let r = row + s.pad and c = col + s.pad in
+  if r < 0 || c < 0 || c >= s.padded_cols then
+    raise
+      (Hazard
+         (Printf.sprintf "source %d access (%d,%d) outside padded region" src
+            row col));
+  s.padded.Ccc_cm2.Memory.base + (r * s.padded_cols) + c
+
+let dst_addr b ~row ~col =
+  if row < 0 || col < 0 || col >= b.dst_cols then
+    raise
+      (Hazard (Printf.sprintf "result access (%d,%d) out of range" row col));
+  b.dst.Ccc_cm2.Memory.base + (row * b.dst_cols) + col
+
+let coeff_addr b ~index ~row ~col =
+  if index < 0 || index >= Array.length b.coeffs then
+    raise (Hazard (Printf.sprintf "coefficient stream %d unbound" index));
+  b.coeffs.(index).Ccc_cm2.Memory.base + (row * b.dst_cols) + col
+
+(* Execute one dynamic part at the FPU's current cycle, then advance
+   the sequencer by the part's cost.  Loads land through the interface
+   chip one cycle later; stores require the register value to have
+   landed (a pending write is a compile-time scheduling bug). *)
+let execute_slot (config : Ccc_cm2.Config.t) fpu b ~row ~col0 ~madd_count slot =
+  let module Fpu = Ccc_cm2.Fpu in
+  let module Memory = Ccc_cm2.Memory in
+  (match slot with
+  | Instr.Load { reg; src; drow; dcol } ->
+      let v =
+        Memory.read b.memory
+          (src_addr b ~src ~row:(row + drow) ~col:(col0 + dcol))
+      in
+      Fpu.schedule_write fpu ~at:(Fpu.now fpu + config.load_latency) ~reg v
+  | Instr.Store { reg; dcol } ->
+      if Fpu.pending_write fpu ~reg then
+        raise
+          (Hazard
+             (Printf.sprintf
+                "store of r%d while its accumulation is still in flight" reg));
+      Memory.write b.memory (dst_addr b ~row ~col:(col0 + dcol)) (Fpu.read fpu reg)
+  | Instr.Madd { dst; data; coeff_index; coeff_dcol; acc } ->
+      let coeff =
+        Memory.read b.memory
+          (coeff_addr b ~index:coeff_index ~row ~col:(col0 + coeff_dcol))
+      in
+      Fpu.issue_madd fpu ~dst ~data ~coeff ~acc;
+      incr madd_count
+  | Instr.Nop -> ());
+  (* The floating-point units perform a discarded multiply-add into the
+     zero register on every non-madd cycle (section 5.3). *)
+  let cost = Instr.cycles config slot in
+  (match slot with
+  | Instr.Madd _ -> ()
+  | Instr.Load _ | Instr.Store _ | Instr.Nop ->
+      for _ = 1 to cost do
+        Fpu.issue_madd fpu ~dst:0 ~data:0 ~coeff:0.0 ~acc:0;
+        incr madd_count
+      done);
+  Fpu.advance_to fpu (Fpu.now fpu + cost)
+
+let run_halfstrip ?(observer = fun ~cycle:_ ~row:_ _ -> ())
+    (config : Ccc_cm2.Config.t) (plan : Plan.t) b ~col0 ~rows =
+  let module Fpu = Ccc_cm2.Fpu in
+  let fpu =
+    Fpu.create ~add_latency:config.madd_add_latency
+      ~writeback_latency:config.madd_writeback_latency
+      ~single_precision:config.single_precision
+      ~registers:config.fpu_registers ()
+  in
+  Fpu.poke fpu plan.Plan.zero_reg 0.0;
+  Option.iter (fun r -> Fpu.poke fpu r 1.0) plan.Plan.one_reg;
+  let madd_count = ref 0 in
+  let burn cycles = Fpu.advance_to fpu (Fpu.now fpu + cycles) in
+  (* Startup: enter the microcode routine, latch the single static
+     part, point the scratch counter at the dynamic-part table. *)
+  burn
+    (config.halfstrip_startup_cycles + config.static_issue_cycles
+   + config.scratch_counter_reset_cycles);
+  let nlines = Array.length rows in
+  if nlines > 0 then begin
+    (* Prologue: fill the ring buffers.  Warmup step [i] stands for
+       virtual line [i - length]; its loads address rows relative to
+       the first real line's row plus the distance still to go. *)
+    let len = Array.length plan.Plan.prologue in
+    Array.iteri
+      (fun i loads ->
+        let virtual_line = i - len in
+        (* Virtual line t sits (-t) rows below line 0 in the sweep
+           (the sweep moves upward, one row per line). *)
+        let row = rows.(0) - virtual_line in
+        List.iter
+          (fun slot ->
+            observer ~cycle:(Fpu.now fpu) ~row slot;
+            execute_slot config fpu b ~row ~col0 ~madd_count slot)
+          loads)
+      plan.Plan.prologue;
+    Array.iteri
+      (fun t row ->
+        burn config.line_overhead_cycles;
+        let phase = plan.Plan.phases.(t mod plan.Plan.unroll) in
+        let run =
+          List.iter (fun slot ->
+              observer ~cycle:(Fpu.now fpu) ~row slot;
+              execute_slot config fpu b ~row ~col0 ~madd_count slot)
+        in
+        run phase.Plan.loads;
+        burn config.pipe_reversal_cycles;
+        run phase.Plan.madds;
+        burn config.pipe_reversal_cycles;
+        (* Wait for the final accumulations to land before storing; the
+           schedule counts these drain cycles too (Cost must agree). *)
+        let drain =
+          max 0 (config.madd_writeback_latency - config.pipe_reversal_cycles)
+        in
+        burn drain;
+        run phase.Plan.stores;
+        burn config.loop_branch_cycles)
+      rows
+  end;
+  (* No final drain: every useful accumulation landed before its store
+     (hazard-checked above); only discarded dummy writes to the zero
+     register remain in flight. *)
+  {
+    cycles = Fpu.now fpu;
+    flop_slots = Fpu.total_flop_slots fpu;
+    madds = !madd_count;
+  }

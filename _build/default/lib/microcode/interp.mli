@@ -1,0 +1,61 @@
+(** Cycle-accurate execution of a strip plan on one simulated node.
+
+    Runs the fixed microcode loop against the {!Ccc_cm2.Fpu} pipeline
+    model and the node's memory: prologue fills the ring buffers, then
+    each line streams its phase's dynamic parts — leading-edge loads,
+    interleaved multiply-add chains with the coefficient operand
+    fetched from memory, and the result stores from the recycled
+    tagged registers.
+
+    Because the machine is SIMD, the caller (the run-time library)
+    executes the same plan on every node but takes the cycle count
+    once.  Hazards are hard errors: storing a register whose write has
+    not landed raises {!Hazard}, so a mis-scheduled plan fails loudly
+    in tests rather than producing silently stale data. *)
+
+exception Hazard of string
+
+type source_binding = {
+  padded : Ccc_cm2.Memory.region;
+      (** the source subgrid with halo padding on all four sides *)
+  padded_cols : int;  (** row stride of [padded] *)
+  pad : int;  (** halo width of this source *)
+}
+
+type bindings = {
+  memory : Ccc_cm2.Memory.t;
+  sources : source_binding array;
+      (** indexed by [Instr.Load.src]; single-source stencils bind one *)
+  dst : Ccc_cm2.Memory.region;  (** result subgrid, [cols] wide *)
+  dst_cols : int;
+  coeffs : Ccc_cm2.Memory.region array;
+      (** one region per coefficient stream, laid out like [dst] *)
+}
+
+type outcome = {
+  cycles : int;  (** sequencer cycles consumed *)
+  flop_slots : int;  (** two per multiply-add issued, useful or not *)
+  madds : int;  (** multiply-adds issued, including discarded ones *)
+}
+
+val run_halfstrip :
+  ?observer:(cycle:int -> row:int -> Instr.t -> unit) ->
+  Ccc_cm2.Config.t ->
+  Plan.t ->
+  bindings ->
+  col0:int ->
+  rows:int array ->
+  outcome
+(** Execute one half-strip whose line origins are
+    [(rows.(t), col0) .. (rows.(t), col0 + width - 1)] in subgrid-local
+    coordinates, for [t = 0 ..].  [rows] must step by -1 (the sweep
+    moves upward; the plan's leading edge is its top row).  Includes
+    the startup cost (static-part latch, scratch-counter reset) and the
+    per-line loop overheads from the configuration.
+
+    [observer] is called for every dynamic part as it issues, with the
+    sequencer cycle and the line's subgrid row — the hook behind the
+    execution tracer (and handy for ad-hoc debugging). *)
+
+val zero_outcome : outcome
+val add_outcome : outcome -> outcome -> outcome

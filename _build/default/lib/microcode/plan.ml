@@ -1,0 +1,84 @@
+type phase = {
+  loads : Instr.t list;
+  madds : Instr.t list;
+  stores : Instr.t list;
+}
+
+type ring = { src : int; dcol : int; base : int; size : int; min_drow : int }
+
+type t = {
+  width : int;
+  multi : Ccc_stencil.Multi.t;
+  multistencils : (int * Ccc_stencil.Multistencil.t) list;
+  rings : ring list;
+  unroll : int;
+  phases : phase array;
+  prologue : Instr.t list array;
+  zero_reg : int;
+  one_reg : int option;
+  registers_used : int;
+  dynamic_words : int;
+  coeff_streams : Ccc_stencil.Coeff.t array;
+}
+
+let phase_instrs p = p.loads @ p.madds @ p.stores
+
+let ring_register ring ~line ~depth =
+  let m = (line - depth) mod ring.size in
+  ring.base + if m < 0 then m + ring.size else m
+
+let find_ring ?(src = 0) t ~dcol =
+  List.find (fun r -> r.src = src && r.dcol = dcol) t.rings
+
+let pattern t =
+  match Ccc_stencil.Multi.to_pattern t.multi with
+  | Some p -> p
+  | None -> invalid_arg "Plan.pattern: multi-source plan"
+
+let primary_multistencil t =
+  List.assoc (Ccc_stencil.Multi.primary_source t.multi) t.multistencils
+
+let source_count t = Ccc_stencil.Multi.source_count t.multi
+
+let pp_listing ppf t =
+  let section title slots =
+    if slots <> [] then begin
+      Format.fprintf ppf "  %s:@," title;
+      List.iter (fun s -> Format.fprintf ppf "    %a@," Instr.pp s) slots
+    end
+  in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i loads ->
+      section (Printf.sprintf "warmup %d" (i - Array.length t.prologue)) loads)
+    t.prologue;
+  Array.iteri
+    (fun p phase ->
+      Format.fprintf ppf "phase %d of %d:@," p t.unroll;
+      section "loads" phase.loads;
+      section "multiply-adds" phase.madds;
+      section "stores" phase.stores)
+    t.phases;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf t =
+  let ring_sizes =
+    t.rings |> List.map (fun r -> string_of_int r.size) |> String.concat " "
+  in
+  let positions =
+    List.fold_left
+      (fun acc (_, ms) -> acc + Ccc_stencil.Multistencil.position_count ms)
+      0 t.multistencils
+  in
+  Format.fprintf ppf
+    "@[<v>width %d: %d positions%s, %d registers (zero=r%d%s), rings [%s], \
+     unroll %d, %d scratch words@]"
+    t.width positions
+    (if source_count t > 1 then
+       Printf.sprintf " over %d sources" (source_count t)
+     else "")
+    t.registers_used t.zero_reg
+    (match t.one_reg with
+    | Some r -> Printf.sprintf ", one=r%d" r
+    | None -> "")
+    ring_sizes t.unroll t.dynamic_words

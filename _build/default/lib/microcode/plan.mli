@@ -1,0 +1,77 @@
+(** A compiled strip plan: the microcode routine selection plus the
+    unrolled register-access patterns for one multistencil width.
+
+    The microcode loop itself is fixed (section 5); what varies per
+    stencil is the table of dynamic parts, unrolled over [unroll]
+    phases because the per-column ring buffers rotate at different
+    rates (section 5.4: the LCM of the ring sizes).  Line [t] of a
+    half-strip executes phase [t mod unroll].
+
+    Relative addressing inside the instructions assumes the line origin
+    is the leftmost output position of the current line; lines advance
+    one row at a time toward decreasing row index (the paper's sweep
+    moves to "the line just above", so the leading edge is the
+    multistencil's top row and the recycled accumulators sit on its
+    bottom row). *)
+
+type phase = {
+  loads : Instr.t list;  (** the leading edge: one load per column *)
+  madds : Instr.t list;  (** interleaved chained multiply-add pairs *)
+  stores : Instr.t list;  (** the [width] results, tagged registers *)
+}
+
+type ring = { src : int; dcol : int; base : int; size : int; min_drow : int }
+(** One column's ring buffer for source [src]: registers
+    [base .. base+size-1]; the element at depth [d] (top row of the
+    column = depth 0) for line [t] lives in register
+    [base + ((t - d) mod size)]. *)
+
+type t = {
+  width : int;
+  multi : Ccc_stencil.Multi.t;
+      (** the compiled statement; ordinary stencils have one source *)
+  multistencils : (int * Ccc_stencil.Multistencil.t) list;
+      (** per-source multistencils, keyed by source index *)
+  rings : ring list;
+  unroll : int;
+  phases : phase array;  (** length [unroll] *)
+  prologue : Instr.t list array;
+      (** warmup lines that fill the rings before line 0; element [i]
+          holds the loads of warmup step [i - length], i.e. the array
+          is in execution order *)
+  zero_reg : int;
+  one_reg : int option;
+  registers_used : int;
+  dynamic_words : int;
+      (** scratch-memory footprint of the unrolled table *)
+  coeff_streams : Ccc_stencil.Coeff.t array;
+      (** stream [i] feeds [Madd.coeff_index = i]: taps in pattern
+          order, then the bias stream if any *)
+}
+
+val phase_instrs : phase -> Instr.t list
+(** Loads, then madds, then stores, in issue order. *)
+
+val ring_register : ring -> line:int -> depth:int -> int
+(** The register holding the element at [depth] for line [line]. *)
+
+val find_ring : ?src:int -> t -> dcol:int -> ring
+(** The ring of source [src] (default 0) at column [dcol].  Raises
+    [Not_found] if that multistencil has no such column. *)
+
+val pattern : t -> Ccc_stencil.Pattern.t
+(** The single-source view.  Raises [Invalid_argument] on a
+    multi-source plan. *)
+
+val primary_multistencil : t -> Ccc_stencil.Multistencil.t
+(** The multistencil of the primary (tag-owning) source. *)
+
+val source_count : t -> int
+
+val pp_summary : Format.formatter -> t -> unit
+
+val pp_listing : Format.formatter -> t -> unit
+(** The full dynamic-part listing: the warmup prologue and every
+    unrolled phase's loads, interleaved multiply-add chains and
+    stores — the table the run-time library would download into the
+    sequencer's scratch data memory. *)

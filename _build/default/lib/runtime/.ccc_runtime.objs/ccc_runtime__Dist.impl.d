@@ -1,0 +1,1 @@
+lib/runtime/dist.ml: Buffer Ccc_cm2 Grid Printf

@@ -1,0 +1,1 @@
+lib/runtime/dist.mli: Ccc_cm2 Grid

@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Ccc_cm2 Ccc_compiler Ccc_microcode Ccc_stencil Coeff Dist Float Format Fun Grid Halo Hashtbl List Offset Pattern Printf Reference Stats Stripmine Tap

@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Ccc_cm2 Ccc_compiler Ccc_stencil Grid Halo Reference Stats

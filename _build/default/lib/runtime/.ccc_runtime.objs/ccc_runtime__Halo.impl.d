@@ -1,0 +1,1 @@
+lib/runtime/halo.ml: Ccc_cm2 Ccc_stencil Dist Float Printf

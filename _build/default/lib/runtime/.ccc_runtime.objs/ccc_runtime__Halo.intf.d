@@ -1,0 +1,1 @@
+lib/runtime/halo.mli: Ccc_cm2 Ccc_stencil Dist

@@ -1,0 +1,1 @@
+lib/runtime/passes.ml: Ccc_cm2 Float

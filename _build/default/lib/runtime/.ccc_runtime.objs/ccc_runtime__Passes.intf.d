@@ -1,0 +1,1 @@
+lib/runtime/passes.mli: Ccc_cm2

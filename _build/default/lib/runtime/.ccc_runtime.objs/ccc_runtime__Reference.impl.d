@@ -1,0 +1,1 @@
+lib/runtime/reference.ml: Boundary Ccc_stencil Coeff Grid List Offset Option Pattern Printf Tap

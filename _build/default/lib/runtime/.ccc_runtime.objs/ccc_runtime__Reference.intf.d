@@ -1,0 +1,1 @@
+lib/runtime/reference.mli: Ccc_stencil Grid

@@ -1,0 +1,1 @@
+lib/runtime/seismic.ml: Ccc_cm2 Ccc_compiler Ccc_stencil Coeff Exec Grid List Offset Option Passes Pattern Printf Stats Tap

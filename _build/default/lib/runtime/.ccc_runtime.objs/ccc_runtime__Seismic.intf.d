@@ -1,0 +1,1 @@
+lib/runtime/seismic.mli: Ccc_cm2 Ccc_stencil Exec Grid Reference Stats

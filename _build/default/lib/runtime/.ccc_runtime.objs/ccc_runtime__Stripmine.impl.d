@@ -1,0 +1,1 @@
+lib/runtime/stripmine.ml: Array Ccc_compiler Ccc_microcode List

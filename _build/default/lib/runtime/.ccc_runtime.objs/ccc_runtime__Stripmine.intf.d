@@ -1,0 +1,1 @@
+lib/runtime/stripmine.mli: Ccc_compiler Ccc_microcode

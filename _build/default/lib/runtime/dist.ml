@@ -1,0 +1,85 @@
+module Machine = Ccc_cm2.Machine
+module Memory = Ccc_cm2.Memory
+module Geometry = Ccc_cm2.Geometry
+
+type t = {
+  machine : Machine.t;
+  region : Memory.region;
+  sub_rows : int;
+  sub_cols : int;
+}
+
+let create machine ~sub_rows ~sub_cols =
+  if sub_rows <= 0 || sub_cols <= 0 then
+    invalid_arg "Dist.create: non-positive subgrid";
+  let region = Machine.alloc_all machine ~words:(sub_rows * sub_cols) in
+  { machine; region; sub_rows; sub_cols }
+
+let geometry t = Machine.geometry t.machine
+let global_rows t = Geometry.rows (geometry t) * t.sub_rows
+let global_cols t = Geometry.cols (geometry t) * t.sub_cols
+
+let owner t ~grow ~gcol =
+  if grow < 0 || grow >= global_rows t || gcol < 0 || gcol >= global_cols t
+  then invalid_arg "Dist.owner: out of range";
+  let node_row = grow / t.sub_rows and node_col = gcol / t.sub_cols in
+  let node = Geometry.node_of_coord (geometry t) ~row:node_row ~col:node_col in
+  (node, grow mod t.sub_rows, gcol mod t.sub_cols)
+
+let local_addr t ~row ~col =
+  if row < 0 || row >= t.sub_rows || col < 0 || col >= t.sub_cols then
+    invalid_arg "Dist: local coordinate out of range";
+  t.region.Memory.base + (row * t.sub_cols) + col
+
+let local_get t ~node ~row ~col =
+  Memory.read (Machine.memory t.machine node) (local_addr t ~row ~col)
+
+let local_set t ~node ~row ~col v =
+  Memory.write (Machine.memory t.machine node) (local_addr t ~row ~col) v
+
+let scatter machine grid =
+  let geometry = Machine.geometry machine in
+  let grows = Grid.rows grid and gcols = Grid.cols grid in
+  let nrows = Geometry.rows geometry and ncols = Geometry.cols geometry in
+  if grows mod nrows <> 0 || gcols mod ncols <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Dist.scatter: %dx%d array does not divide over a %dx%d node grid"
+         grows gcols nrows ncols);
+  let t =
+    create machine ~sub_rows:(grows / nrows) ~sub_cols:(gcols / ncols)
+  in
+  for grow = 0 to grows - 1 do
+    for gcol = 0 to gcols - 1 do
+      let node, row, col = owner t ~grow ~gcol in
+      local_set t ~node ~row ~col (Grid.get grid grow gcol)
+    done
+  done;
+  t
+
+let gather t =
+  Grid.init ~rows:(global_rows t) ~cols:(global_cols t) (fun grow gcol ->
+      let node, row, col = owner t ~grow ~gcol in
+      local_get t ~node ~row ~col)
+
+let fill t v =
+  Machine.iter_nodes t.machine (fun _ mem ->
+      for i = 0 to t.region.Memory.words - 1 do
+        Memory.write mem (t.region.Memory.base + i) v
+      done)
+
+let read_description t =
+  let geometry = geometry t in
+  let buf = Buffer.create 256 in
+  for nr = 0 to Geometry.rows geometry - 1 do
+    for nc = 0 to Geometry.cols geometry - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "| A(%d:%d,%d:%d) "
+           ((nr * t.sub_rows) + 1)
+           ((nr + 1) * t.sub_rows)
+           ((nc * t.sub_cols) + 1)
+           ((nc + 1) * t.sub_cols))
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.contents buf

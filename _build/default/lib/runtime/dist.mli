@@ -1,0 +1,43 @@
+(** Distribution of arrays over the node grid (Figure 1).
+
+    All arrays in a stencil computation have the same shape and are
+    divided among the nodes the same way: the nodes form a
+    two-dimensional grid, each holding a contiguous subgrid.  For a
+    256 x 256 array on 16 nodes arranged 4 x 4, node (i, j) owns rows
+    [64 i .. 64 i + 63] and columns [64 j .. 64 j + 63]. *)
+
+type t = {
+  machine : Ccc_cm2.Machine.t;
+  region : Ccc_cm2.Memory.region;  (** identical on every node *)
+  sub_rows : int;
+  sub_cols : int;
+}
+
+val create : Ccc_cm2.Machine.t -> sub_rows:int -> sub_cols:int -> t
+(** Allocate an undistributed array of [sub_rows] x [sub_cols] per
+    node (global shape = node grid times subgrid). *)
+
+val global_rows : t -> int
+val global_cols : t -> int
+
+val owner : t -> grow:int -> gcol:int -> int * int * int
+(** [(node, local_row, local_col)] of a global position. *)
+
+val scatter : Ccc_cm2.Machine.t -> Grid.t -> t
+(** Allocate and fill from a host grid.  The grid's dimensions must be
+    divisible by the node grid's; raises [Invalid_argument] otherwise
+    (the run-time library handles ragged shapes by padding before the
+    call, which our examples do explicitly). *)
+
+val gather : t -> Grid.t
+(** Collect the distributed array back to the host. *)
+
+val fill : t -> float -> unit
+(** Set every element on every node (broadcast constant, used to
+    materialize scalar coefficient streams). *)
+
+val local_get : t -> node:int -> row:int -> col:int -> float
+val local_set : t -> node:int -> row:int -> col:int -> float -> unit
+
+val read_description : t -> string
+(** Human-readable ownership map, regenerating Figure 1. *)

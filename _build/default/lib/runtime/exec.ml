@@ -1,0 +1,560 @@
+open Ccc_stencil
+module Machine = Ccc_cm2.Machine
+module Memory = Ccc_cm2.Memory
+module Config = Ccc_cm2.Config
+module Compile = Ccc_compiler.Compile
+module Plan = Ccc_microcode.Plan
+module Interp = Ccc_microcode.Interp
+module Cost = Ccc_microcode.Cost
+
+type mode = Simulate | Fast
+type result = { output : Grid.t; stats : Stats.t }
+
+exception Too_small of string
+
+(* Per-iteration totals from the analytic model; the simulate path
+   asserts agreement with the interpreter.
+
+   The front end prepares each half-strip's dynamic-part parameters
+   (one unit of work per word) and dispatches it; preparation overlaps
+   the previous half-strip's microcode, so the machine stalls only
+   when the front end is slower.  [frontend_s] accumulates exactly the
+   stall time plus the per-call launch cost. *)
+let analytic_totals (config : Config.t) halfstrips =
+  let dispatch = Config.effective_dispatch_s config in
+  let word_s = Config.effective_word_s config in
+  List.fold_left
+    (fun (cycles, madds, stall) (hs : Stripmine.halfstrip) ->
+      let lines = Array.length hs.rows in
+      let cm_cycles = Cost.halfstrip_cycles config hs.strip.plan ~lines in
+      let fe_s =
+        dispatch
+        +. (float_of_int (Cost.halfstrip_words hs.strip.plan ~lines) *. word_s)
+      in
+      let cm_s = float_of_int cm_cycles /. config.clock_hz in
+      ( cycles + cm_cycles,
+        madds + Cost.halfstrip_madds_total config hs.strip.plan ~lines,
+        stall +. Float.max 0.0 (fe_s -. cm_s) ))
+    (0, 0, 0.0) halfstrips
+
+let build_stats (config : Config.t) ~iterations ~comm_cycles ~compute_cycles
+    ~madds ~frontend_stall_s ~flops_per_point ~global_points ~strip_widths
+    ~corners_skipped =
+  {
+    Stats.iterations;
+    comm_cycles;
+    compute_cycles;
+    frontend_s = Config.effective_call_s config +. frontend_stall_s;
+    useful_flops_per_iteration = flops_per_point * global_points;
+    madds_issued = madds;
+    strip_widths;
+    corners_skipped;
+    nodes = Config.node_count config;
+    clock_hz = config.clock_hz;
+  }
+
+let plan_streams compiled =
+  (Compile.widest compiled).Plan.coeff_streams
+
+let materialize_streams machine env ~sub_rows ~sub_cols streams =
+  let cache : (string, Dist.t) Hashtbl.t = Hashtbl.create 8 in
+  Array.map
+    (fun coeff ->
+      match coeff with
+      | Coeff.Array name -> begin
+          match Hashtbl.find_opt cache name with
+          | Some d -> d
+          | None ->
+              let d = Dist.scatter machine (Reference.lookup env name) in
+              Hashtbl.add cache name d;
+              d
+        end
+      | Coeff.Scalar v ->
+          let d = Dist.create machine ~sub_rows ~sub_cols in
+          Dist.fill d v;
+          d
+      | Coeff.One ->
+          let d = Dist.create machine ~sub_rows ~sub_cols in
+          Dist.fill d 1.0;
+          d)
+    streams
+
+(* Direct evaluation of one node's subgrid from its padded temporaries
+   and coefficient streams: the fast inner loop.  Reads exactly the
+   positions the microcode would. *)
+let fast_node_compute pattern ~(source : Halo.exchange) ~(dst : Dist.t)
+    ~(streams : Dist.t array) ~node mem =
+  let sub_rows = dst.Dist.sub_rows and sub_cols = dst.Dist.sub_cols in
+  let pad = source.Halo.pad and pcols = source.Halo.padded_cols in
+  let taps = Pattern.taps pattern in
+  let ntaps = List.length taps in
+  let padded_base = source.Halo.padded.Memory.base in
+  for r = 0 to sub_rows - 1 do
+    for c = 0 to sub_cols - 1 do
+      let sum = ref 0.0 in
+      List.iteri
+        (fun i tap ->
+          let { Offset.drow; dcol } = tap.Tap.offset in
+          let v =
+            Memory.read mem
+              (padded_base + ((r + drow + pad) * pcols) + (c + dcol + pad))
+          in
+          let coeff = Dist.local_get streams.(i) ~node ~row:r ~col:c in
+          sum := !sum +. (coeff *. v))
+        taps;
+      (match Pattern.bias pattern with
+      | Some _ ->
+          sum := !sum +. Dist.local_get streams.(ntaps) ~node ~row:r ~col:c
+      | None -> ());
+      Dist.local_set dst ~node ~row:r ~col:c !sum
+    done
+  done
+
+let run ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
+    machine compiled env =
+  if iterations < 1 then invalid_arg "Exec.run: iterations < 1";
+  let config = Machine.config machine in
+  let pattern = compiled.Compile.pattern in
+  Reference.check_env pattern env;
+  let source_grid = Reference.lookup env (Pattern.source_var pattern) in
+  let watermark = Machine.alloc_all machine ~words:0 in
+  Fun.protect
+    ~finally:(fun () -> Machine.free_all_after machine watermark)
+  @@ fun () ->
+  let source = Dist.scatter machine source_grid in
+  let sub_rows = source.Dist.sub_rows and sub_cols = source.Dist.sub_cols in
+  let pad = Pattern.max_border pattern in
+  if pad > sub_rows || pad > sub_cols then
+    raise
+      (Too_small
+         (Printf.sprintf
+            "border width %d exceeds the %dx%d per-node subgrid" pad sub_rows
+            sub_cols));
+  let streams =
+    materialize_streams machine env ~sub_rows ~sub_cols (plan_streams compiled)
+  in
+  let dst = Dist.create machine ~sub_rows ~sub_cols in
+  let halo =
+    Halo.exchange ~primitive ~source ~pad ~boundary:(Pattern.boundary pattern)
+      ~needs_corners:(Pattern.needs_corners pattern) ()
+  in
+  let strips = Stripmine.strips compiled ~sub_cols in
+  let halfstrips =
+    List.concat_map (fun s -> Stripmine.halfstrips s ~sub_rows) strips
+  in
+  let analytic_cycles, analytic_madds, frontend_stall_s =
+    analytic_totals config halfstrips
+  in
+  (match mode with
+  | Fast ->
+      Machine.iter_nodes machine (fun node mem ->
+          fast_node_compute pattern ~source:halo ~dst ~streams ~node mem)
+  | Simulate ->
+      Machine.iter_nodes machine (fun node mem ->
+          let bindings =
+            {
+              Interp.memory = mem;
+              sources =
+                [|
+                  {
+                    Interp.padded = halo.Halo.padded;
+                    padded_cols = halo.Halo.padded_cols;
+                    pad;
+                  };
+                |];
+              dst = dst.Dist.region;
+              dst_cols = sub_cols;
+              coeffs = Array.map (fun d -> d.Dist.region) streams;
+            }
+          in
+          let total =
+            List.fold_left
+              (fun acc (hs : Stripmine.halfstrip) ->
+                let outcome =
+                  Interp.run_halfstrip config hs.strip.plan bindings
+                    ~col0:hs.strip.col0 ~rows:hs.rows
+                in
+                Interp.add_outcome acc outcome)
+              Interp.zero_outcome halfstrips
+          in
+          if node = 0 then begin
+            (* The analytic model and the interpreter must agree; a
+               divergence is a bug in one of them. *)
+            if total.Interp.cycles <> analytic_cycles then
+              failwith
+                (Printf.sprintf
+                   "Exec.run: interpreter took %d cycles, model predicts %d"
+                   total.Interp.cycles analytic_cycles);
+            if total.Interp.madds <> analytic_madds then
+              failwith
+                (Printf.sprintf
+                   "Exec.run: interpreter issued %d madds, model predicts %d"
+                   total.Interp.madds analytic_madds)
+          end));
+  let output = Dist.gather dst in
+  let stats =
+    build_stats config ~iterations ~comm_cycles:halo.Halo.cycles
+      ~compute_cycles:analytic_cycles ~madds:analytic_madds ~frontend_stall_s
+      ~flops_per_point:(Pattern.useful_flops_per_point pattern)
+      ~global_points:(Dist.global_rows source * Dist.global_cols source)
+      ~strip_widths:(List.map (fun (s : Stripmine.strip) ->
+           s.plan.Plan.width) strips)
+      ~corners_skipped:(not (Pattern.needs_corners pattern))
+  in
+  { output; stats }
+
+let trace ?width ?(lines = 3) (config : Config.t) compiled =
+  let plan =
+    match width with
+    | Some w -> begin
+        match Compile.plan_for_width compiled w with
+        | Some p -> p
+        | None -> invalid_arg "Exec.trace: no plan of that width"
+      end
+    | None -> Compile.widest compiled
+  in
+  let pattern = compiled.Compile.pattern in
+  let pad = Pattern.max_border pattern in
+  let w = plan.Plan.width in
+  (* A one-node sandbox big enough for the half-strip plus halo. *)
+  let rows = lines + (2 * pad) + 4 and cols = w in
+  let mem = Memory.create ~words:(1 lsl 16) in
+  let pcols = cols + (2 * pad) in
+  let padded = Memory.alloc mem ~words:((rows + (2 * pad)) * pcols) in
+  let dst = Memory.alloc mem ~words:(rows * cols) in
+  let coeffs =
+    Array.map
+      (fun _ -> Memory.alloc mem ~words:(rows * cols))
+      plan.Plan.coeff_streams
+  in
+  let bindings =
+    {
+      Interp.memory = mem;
+      sources = [| { Interp.padded; padded_cols = pcols; pad } |];
+      dst;
+      dst_cols = cols;
+      coeffs;
+    }
+  in
+  let out = ref [] in
+  let observer ~cycle ~row slot =
+    out :=
+      Format.asprintf "cycle %4d  row %2d  %a" cycle row
+        Ccc_microcode.Instr.pp slot
+      :: !out
+  in
+  let sweep = Array.init lines (fun t -> pad + lines - 1 - t) in
+  ignore
+    (Interp.run_halfstrip ~observer config plan bindings ~col0:0 ~rows:sweep);
+  List.rev !out
+
+let run_padded ?mode ?primitive ?iterations machine compiled env =
+  let config = Machine.config machine in
+  let pattern = compiled.Compile.pattern in
+  let fill =
+    match Pattern.boundary pattern with
+    | Ccc_stencil.Boundary.End_off fill -> fill
+    | Ccc_stencil.Boundary.Circular ->
+        invalid_arg
+          "Exec.run_padded: a circular stencil would wrap through the \
+           padding; use Exec.run with evenly dividing shapes"
+  in
+  Reference.check_env pattern env;
+  let source = Reference.lookup env (Pattern.source_var pattern) in
+  let rows = Grid.rows source and cols = Grid.cols source in
+  let round_up v n = (v + n - 1) / n * n in
+  let rows' = round_up rows config.Config.node_rows in
+  let cols' = round_up cols config.Config.node_cols in
+  if rows' = rows && cols' = cols then
+    run ?mode ?primitive ?iterations machine compiled env
+  else begin
+    (* Grow every array with the boundary fill (the source) or zeros
+       (coefficients: padding points produce values we crop anyway). *)
+    let grow fill_value g =
+      Grid.init ~rows:rows' ~cols:cols' (fun r c ->
+          if r < rows && c < cols then Grid.get g r c else fill_value)
+    in
+    let source_name = Pattern.source_var pattern in
+    let env' =
+      List.map
+        (fun (name, g) ->
+          (name, grow (if name = source_name then fill else 0.0) g))
+        env
+    in
+    let { output; stats } = run ?mode ?primitive ?iterations machine compiled env' in
+    let cropped = Grid.init ~rows ~cols (fun r c -> Grid.get output r c) in
+    (* The padded points below/right of the true edge read the fill
+       value through EOSHIFT semantics either way, so the cropped
+       region is exact... except that true-edge points whose taps
+       reach into the padding must see [fill]; they do, because the
+       grown source holds [fill] there.  Flop accounting keeps the
+       padded size: the machine really computed those points. *)
+    { output = cropped; stats }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The fused multi-source path. *)
+
+let reference_fused (multi : Ccc_stencil.Multi.t) env =
+  let arrays = Ccc_stencil.Multi.referenced_arrays multi in
+  let first = Reference.lookup env (List.hd arrays) in
+  let rows = Grid.rows first and cols = Grid.cols first in
+  List.iter
+    (fun name ->
+      let g = Reference.lookup env name in
+      if Grid.rows g <> rows || Grid.cols g <> cols then
+        raise
+          (Reference.Shape_mismatch
+             (Printf.sprintf "%s is %dx%d, expected %dx%d" name (Grid.rows g)
+                (Grid.cols g) rows cols)))
+    arrays;
+  let sources =
+    Array.of_list
+      (List.map (Reference.lookup env) (Ccc_stencil.Multi.sources multi))
+  in
+  let read =
+    match Ccc_stencil.Multi.boundary multi with
+    | Ccc_stencil.Boundary.Circular ->
+        fun src r c -> Grid.get_circular sources.(src) r c
+    | Ccc_stencil.Boundary.End_off fill ->
+        fun src r c -> Grid.get_endoff sources.(src) ~fill r c
+  in
+  Grid.init ~rows ~cols (fun r c ->
+      let sum =
+        List.fold_left
+          (fun acc (st : Ccc_stencil.Multi.source_tap) ->
+            let { Ccc_stencil.Offset.drow; dcol } =
+              st.Ccc_stencil.Multi.tap.Ccc_stencil.Tap.offset
+            in
+            acc
+            +. Reference.coeff_value env
+                 st.Ccc_stencil.Multi.tap.Ccc_stencil.Tap.coeff r c
+               *. read st.Ccc_stencil.Multi.source (r + drow) (c + dcol))
+          0.0
+          (Ccc_stencil.Multi.taps multi)
+      in
+      match Ccc_stencil.Multi.bias multi with
+      | Some coeff -> sum +. Reference.coeff_value env coeff r c
+      | None -> sum)
+
+(* Direct evaluation of one node's subgrid from the per-source padded
+   temporaries: the fast inner loop of the fused path. *)
+let fast_node_compute_fused multi ~(halos : Halo.exchange array)
+    ~(dst : Dist.t) ~(streams : Dist.t array) ~node mem =
+  let sub_rows = dst.Dist.sub_rows and sub_cols = dst.Dist.sub_cols in
+  let taps = Ccc_stencil.Multi.taps multi in
+  let ntaps = List.length taps in
+  for r = 0 to sub_rows - 1 do
+    for c = 0 to sub_cols - 1 do
+      let sum = ref 0.0 in
+      List.iteri
+        (fun i (st : Ccc_stencil.Multi.source_tap) ->
+          let { Ccc_stencil.Offset.drow; dcol } =
+            st.Ccc_stencil.Multi.tap.Ccc_stencil.Tap.offset
+          in
+          let halo = halos.(st.Ccc_stencil.Multi.source) in
+          let pad = halo.Halo.pad and pcols = halo.Halo.padded_cols in
+          let v =
+            Memory.read mem
+              (halo.Halo.padded.Memory.base
+              + ((r + drow + pad) * pcols)
+              + (c + dcol + pad))
+          in
+          let coeff = Dist.local_get streams.(i) ~node ~row:r ~col:c in
+          sum := !sum +. (coeff *. v))
+        taps;
+      (match Ccc_stencil.Multi.bias multi with
+      | Some _ ->
+          sum := !sum +. Dist.local_get streams.(ntaps) ~node ~row:r ~col:c
+      | None -> ());
+      Dist.local_set dst ~node ~row:r ~col:c !sum
+    done
+  done
+
+let fused_comm ~primitive multi ~scattered () =
+  (* One exchange per source, serialized (the grid wires are shared);
+     a source with zero border still allocates its unpadded copy. *)
+  let halos =
+    Array.of_list
+      (List.mapi
+         (fun src source ->
+           Halo.exchange ~primitive ~source
+             ~pad:(Ccc_stencil.Multi.max_border multi src)
+             ~boundary:(Ccc_stencil.Multi.boundary multi)
+             ~needs_corners:(Ccc_stencil.Multi.needs_corners multi src)
+             ())
+         scattered)
+  in
+  let cycles = Array.fold_left (fun acc h -> acc + h.Halo.cycles) 0 halos in
+  (halos, cycles)
+
+let fused_comm_cycles ~primitive multi ~sub_rows ~sub_cols config =
+  List.fold_left ( + ) 0
+    (List.init (Ccc_stencil.Multi.source_count multi) (fun src ->
+         Halo.cycles_model ~primitive ~sub_rows ~sub_cols
+           ~pad:(Ccc_stencil.Multi.max_border multi src)
+           ~corners:(Ccc_stencil.Multi.needs_corners multi src)
+           config))
+
+let check_fused_fits multi ~sub_rows ~sub_cols =
+  List.iteri
+    (fun src _ ->
+      let pad = Ccc_stencil.Multi.max_border multi src in
+      if pad > sub_rows || pad > sub_cols then
+        raise
+          (Too_small
+             (Printf.sprintf
+                "source %s: border width %d exceeds the %dx%d per-node subgrid"
+                (List.nth (Ccc_stencil.Multi.sources multi) src)
+                pad sub_rows sub_cols)))
+    (Ccc_stencil.Multi.sources multi)
+
+let run_fused ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
+    machine (fused : Compile.fused) env =
+  if iterations < 1 then invalid_arg "Exec.run_fused: iterations < 1";
+  let config = Machine.config machine in
+  let multi = fused.Compile.multi in
+  let first_source = List.hd (Ccc_stencil.Multi.sources multi) in
+  let source_grid = Reference.lookup env first_source in
+  let watermark = Machine.alloc_all machine ~words:0 in
+  Fun.protect ~finally:(fun () -> Machine.free_all_after machine watermark)
+  @@ fun () ->
+  let scattered =
+    List.map
+      (fun name -> Dist.scatter machine (Reference.lookup env name))
+      (Ccc_stencil.Multi.sources multi)
+  in
+  let first = List.hd scattered in
+  let sub_rows = first.Dist.sub_rows and sub_cols = first.Dist.sub_cols in
+  check_fused_fits multi ~sub_rows ~sub_cols;
+  let streams =
+    materialize_streams machine env ~sub_rows ~sub_cols
+      (Compile.fused_widest fused).Plan.coeff_streams
+  in
+  let dst = Dist.create machine ~sub_rows ~sub_cols in
+  let halos, comm_cycles = fused_comm ~primitive multi ~scattered () in
+  let strips =
+    Stripmine.strips_of_plans fused.Compile.fused_plans ~sub_cols
+  in
+  let halfstrips =
+    List.concat_map (fun s -> Stripmine.halfstrips s ~sub_rows) strips
+  in
+  let analytic_cycles, analytic_madds, frontend_stall_s =
+    analytic_totals config halfstrips
+  in
+  (match mode with
+  | Fast ->
+      Machine.iter_nodes machine (fun node mem ->
+          fast_node_compute_fused multi ~halos ~dst ~streams ~node mem)
+  | Simulate ->
+      Machine.iter_nodes machine (fun node mem ->
+          let bindings =
+            {
+              Interp.memory = mem;
+              sources =
+                Array.map
+                  (fun (h : Halo.exchange) ->
+                    {
+                      Interp.padded = h.Halo.padded;
+                      padded_cols = h.Halo.padded_cols;
+                      pad = h.Halo.pad;
+                    })
+                  halos;
+              dst = dst.Dist.region;
+              dst_cols = sub_cols;
+              coeffs = Array.map (fun d -> d.Dist.region) streams;
+            }
+          in
+          let total =
+            List.fold_left
+              (fun acc (hs : Stripmine.halfstrip) ->
+                Interp.add_outcome acc
+                  (Interp.run_halfstrip config hs.strip.plan bindings
+                     ~col0:hs.strip.col0 ~rows:hs.rows))
+              Interp.zero_outcome halfstrips
+          in
+          if node = 0 && total.Interp.cycles <> analytic_cycles then
+            failwith
+              (Printf.sprintf
+                 "Exec.run_fused: interpreter took %d cycles, model predicts \
+                  %d"
+                 total.Interp.cycles analytic_cycles)));
+  let output = Dist.gather dst in
+  let corners_skipped =
+    not
+      (List.exists
+         (fun src -> Ccc_stencil.Multi.needs_corners multi src)
+         (List.init (Ccc_stencil.Multi.source_count multi) Fun.id))
+  in
+  let stats =
+    build_stats config ~iterations ~comm_cycles ~compute_cycles:analytic_cycles
+      ~madds:analytic_madds ~frontend_stall_s
+      ~flops_per_point:(Ccc_stencil.Multi.useful_flops_per_point multi)
+      ~global_points:(Grid.rows source_grid * Grid.cols source_grid)
+      ~strip_widths:
+        (List.map (fun (s : Stripmine.strip) -> s.plan.Plan.width) strips)
+      ~corners_skipped
+  in
+  { output; stats }
+
+let estimate_fused ?(primitive = Halo.Node_level) ?(iterations = 1) ~sub_rows
+    ~sub_cols config (fused : Compile.fused) =
+  if iterations < 1 then invalid_arg "Exec.estimate_fused: iterations < 1";
+  let multi = fused.Compile.multi in
+  check_fused_fits multi ~sub_rows ~sub_cols;
+  let strips =
+    Stripmine.strips_of_plans fused.Compile.fused_plans ~sub_cols
+  in
+  let halfstrips =
+    List.concat_map (fun s -> Stripmine.halfstrips s ~sub_rows) strips
+  in
+  let compute_cycles, madds, frontend_stall_s =
+    analytic_totals config halfstrips
+  in
+  let comm_cycles =
+    fused_comm_cycles ~primitive multi ~sub_rows ~sub_cols config
+  in
+  let corners_skipped =
+    not
+      (List.exists
+         (fun src -> Ccc_stencil.Multi.needs_corners multi src)
+         (List.init (Ccc_stencil.Multi.source_count multi) Fun.id))
+  in
+  build_stats config ~iterations ~comm_cycles ~compute_cycles ~madds
+    ~frontend_stall_s
+    ~flops_per_point:(Ccc_stencil.Multi.useful_flops_per_point multi)
+    ~global_points:(sub_rows * sub_cols * Config.node_count config)
+    ~strip_widths:
+      (List.map (fun (s : Stripmine.strip) -> s.plan.Plan.width) strips)
+    ~corners_skipped
+
+let estimate ?(primitive = Halo.Node_level) ?(iterations = 1) ~sub_rows
+    ~sub_cols config compiled =
+  if iterations < 1 then invalid_arg "Exec.estimate: iterations < 1";
+  let pattern = compiled.Compile.pattern in
+  let pad = Pattern.max_border pattern in
+  if pad > sub_rows || pad > sub_cols then
+    raise
+      (Too_small
+         (Printf.sprintf
+            "border width %d exceeds the %dx%d per-node subgrid" pad sub_rows
+            sub_cols));
+  let strips = Stripmine.strips compiled ~sub_cols in
+  let halfstrips =
+    List.concat_map (fun s -> Stripmine.halfstrips s ~sub_rows) strips
+  in
+  let compute_cycles, madds, frontend_stall_s =
+    analytic_totals config halfstrips
+  in
+  let needs_corners = Pattern.needs_corners pattern in
+  let comm_cycles =
+    Halo.cycles_model ~primitive ~sub_rows ~sub_cols ~pad
+      ~corners:needs_corners config
+  in
+  build_stats config ~iterations ~comm_cycles ~compute_cycles ~madds
+    ~frontend_stall_s
+    ~flops_per_point:(Pattern.useful_flops_per_point pattern)
+    ~global_points:(sub_rows * sub_cols * Config.node_count config)
+    ~strip_widths:(List.map (fun (s : Stripmine.strip) ->
+         s.plan.Plan.width) strips)
+    ~corners_skipped:(not needs_corners)

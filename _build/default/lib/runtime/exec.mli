@@ -1,0 +1,113 @@
+(** The run-time library's outer loop (section 5): distribute the
+    arrays, perform all interprocessor communication up front, then
+    drive the microcode over strips and half-strips.
+
+    Two execution modes share every phase except the inner loop:
+
+    - [Simulate] runs the cycle-accurate microcode interpreter against
+      the FPU pipeline model on every node — the mode the correctness
+      tests use, and the mode that validates the analytic cycle model;
+    - [Fast] computes the same data directly from each node's padded
+      temporaries and prices the inner loop with {!Ccc_microcode.Cost}
+      (which [Simulate] provably matches), so large benchmark
+      configurations run in reasonable host time.
+
+    Both modes report identical statistics. *)
+
+type mode = Simulate | Fast
+
+type result = { output : Grid.t; stats : Stats.t }
+
+exception Too_small of string
+(** The subgrid cannot accommodate the stencil (border width exceeds a
+    subgrid side, or fewer rows than the multistencil needs). *)
+
+val run :
+  ?mode:mode ->
+  ?primitive:Halo.primitive ->
+  ?iterations:int ->
+  Ccc_cm2.Machine.t ->
+  Ccc_compiler.Compile.t ->
+  Reference.env ->
+  result
+(** Execute one compiled stencil over host arrays.  [iterations]
+    (default 1) scales the timing statistics the way the paper's
+    sustained measurements loop the computation; the data result is
+    that of a single application.  All temporaries allocated on the
+    machine are released before returning. *)
+
+val run_padded :
+  ?mode:mode ->
+  ?primitive:Halo.primitive ->
+  ?iterations:int ->
+  Ccc_cm2.Machine.t ->
+  Ccc_compiler.Compile.t ->
+  Reference.env ->
+  result
+(** Like {!run} but accepts array shapes that do not divide evenly
+    over the node grid: the run-time library grows every array with
+    fill rows/columns to the next multiple of the node grid, computes,
+    and crops the result.  Sound for {!Ccc_stencil.Boundary.End_off}
+    patterns, whose taps past the true edge read the fill value either
+    way; a circular pattern would wrap through the padding, so [run]'s
+    divisibility requirement stands and this raises
+    [Invalid_argument]. *)
+
+val estimate :
+  ?primitive:Halo.primitive ->
+  ?iterations:int ->
+  sub_rows:int ->
+  sub_cols:int ->
+  Ccc_cm2.Config.t ->
+  Ccc_compiler.Compile.t ->
+  Stats.t
+(** Timing without data: the statistics [run] would report for a
+    per-node subgrid of the given shape on the configured machine.
+    The benchmark harness uses this for the paper's production-size
+    rows (10^13 flops would be unreasonable to move through the
+    simulator); tests pin it to [run]'s stats on small shapes. *)
+
+(** {1 Multi-source (fused) execution}
+
+    Executes a {!Ccc_compiler.Compile.fused} compilation — the
+    future-work generalization that handles "all ten terms as one
+    stencil pattern".  One halo exchange runs per source array, each
+    padded to that source's own border width; everything downstream of
+    communication (strips, half-strips, microcode, statistics) is the
+    shared machinery. *)
+
+val run_fused :
+  ?mode:mode ->
+  ?primitive:Halo.primitive ->
+  ?iterations:int ->
+  Ccc_cm2.Machine.t ->
+  Ccc_compiler.Compile.fused ->
+  Reference.env ->
+  result
+
+val estimate_fused :
+  ?primitive:Halo.primitive ->
+  ?iterations:int ->
+  sub_rows:int ->
+  sub_cols:int ->
+  Ccc_cm2.Config.t ->
+  Ccc_compiler.Compile.fused ->
+  Stats.t
+
+val reference_fused : Ccc_stencil.Multi.t -> Reference.env -> Grid.t
+(** Direct evaluation of a multi-source pattern: the oracle for
+    [run_fused]. *)
+
+val trace :
+  ?width:int ->
+  ?lines:int ->
+  Ccc_cm2.Config.t ->
+  Ccc_compiler.Compile.t ->
+  string list
+(** A cycle-by-cycle issue trace of one half-strip on a synthetic
+    one-node sandbox: each line shows the sequencer cycle, the subgrid
+    row being processed, and the dynamic part issued.  [width] selects
+    a plan (default: the widest); [lines] is the half-strip height
+    (default 3).  A debugging and teaching aid — the paper's authors
+    "tested the microcode loops thoroughly" in exactly this style
+    under the Lisp prototype's debugger. *)

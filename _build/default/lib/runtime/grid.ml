@@ -1,0 +1,78 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Grid.create: non-positive dims";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init ~rows ~cols f =
+  let t = create ~rows ~cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      t.data.((r * cols) + c) <- f r c
+    done
+  done;
+  t
+
+let constant ~rows ~cols v = init ~rows ~cols (fun _ _ -> v)
+let rows t = t.rows
+let cols t = t.cols
+
+let check t r c name =
+  if r < 0 || r >= t.rows || c < 0 || c >= t.cols then
+    invalid_arg
+      (Printf.sprintf "Grid.%s: (%d,%d) outside %dx%d" name r c t.rows t.cols)
+
+let get t r c =
+  check t r c "get";
+  t.data.((r * t.cols) + c)
+
+let set t r c v =
+  check t r c "set";
+  t.data.((r * t.cols) + c) <- v
+
+let wrap v n = ((v mod n) + n) mod n
+
+let get_circular t r c =
+  t.data.((wrap r t.rows * t.cols) + wrap c t.cols)
+
+let get_endoff t ~fill r c =
+  if r < 0 || r >= t.rows || c < 0 || c >= t.cols then fill
+  else t.data.((r * t.cols) + c)
+
+let copy t = { t with data = Array.copy t.data }
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Grid.map2: shape mismatch";
+  { a with data = Array.map2 f a.data b.data }
+
+let fold f init t = Array.fold_left f init t.data
+let to_flat_array t = Array.copy t.data
+
+let of_flat_array ~rows ~cols data =
+  if Array.length data <> rows * cols then
+    invalid_arg "Grid.of_flat_array: size mismatch";
+  { rows; cols; data = Array.copy data }
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Grid.max_abs_diff: shape mismatch";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let d = Float.abs (v -. b.data.(i)) in
+      if d > !worst then worst := d)
+    a.data;
+  !worst
+
+let equal_within ~tol a b = max_abs_diff a b <= tol
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      Format.fprintf ppf "%8.3f " t.data.((r * t.cols) + c)
+    done;
+    if r < t.rows - 1 then Format.fprintf ppf "@ "
+  done;
+  Format.fprintf ppf "@]"

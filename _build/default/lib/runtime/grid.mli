@@ -1,0 +1,37 @@
+(** Front-end (host) view of a two-dimensional real array.
+
+    The CM Fortran arrays of the paper live distributed across node
+    memories; this module is the host-side representation used to
+    initialize them, to gather results, and as the value domain of the
+    reference evaluator. Row-major, zero-based. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled. Raises [Invalid_argument] on non-positive dims. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val constant : rows:int -> cols:int -> float -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val get_circular : t -> int -> int -> float
+(** Indexing with wraparound in both dimensions (CSHIFT semantics). *)
+
+val get_endoff : t -> fill:float -> int -> int -> float
+(** Out-of-range indices read [fill] (EOSHIFT semantics). *)
+
+val copy : t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+val to_flat_array : t -> float array
+val of_flat_array : rows:int -> cols:int -> float array -> t
+
+val max_abs_diff : t -> t -> float
+(** Largest elementwise absolute difference; raises [Invalid_argument]
+    on shape mismatch. *)
+
+val equal_within : tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+module Machine = Ccc_cm2.Machine
+module Memory = Ccc_cm2.Memory
+module Geometry = Ccc_cm2.Geometry
+
+type primitive = Node_level | Legacy
+
+type exchange = {
+  padded : Memory.region;
+  padded_cols : int;
+  pad : int;
+  cycles : int;
+  corners_skipped : bool;
+}
+
+let cycles_model ~primitive ~sub_rows ~sub_cols ~pad ~corners
+    (config : Ccc_cm2.Config.t) =
+  if pad = 0 then 0
+  else
+    match primitive with
+    | Node_level ->
+        (* All four edge transfers run concurrently, so the edge phase
+           costs the longer side; the corner phase moves pad^2 words to
+           each of four diagonal neighbors, also concurrently but in a
+           separate (two-hop) step. *)
+        let edge = config.comm_cycles_per_word * pad * max sub_rows sub_cols in
+        let corner = if corners then config.comm_cycles_per_word * pad * pad * 2 else 0 in
+        edge + corner
+    | Legacy ->
+        (* One direction at a time at processor-level cost; corners
+           take two additional serialized hops. *)
+        let edges =
+          config.legacy_comm_cycles_per_word * pad * (2 * (sub_rows + sub_cols))
+        in
+        let corner =
+          if corners then config.legacy_comm_cycles_per_word * pad * pad * 8
+          else 0
+        in
+        edges + corner
+
+let exchange ?(primitive = Node_level) ~(source : Dist.t) ~pad ~boundary
+    ~needs_corners () =
+  if pad < 0 then invalid_arg "Halo.exchange: negative pad";
+  let { Dist.machine; sub_rows; sub_cols; _ } = source in
+  if pad > sub_rows || pad > sub_cols then
+    invalid_arg
+      (Printf.sprintf
+         "Halo.exchange: border width %d exceeds the %dx%d subgrid; the grid \
+          primitive reaches immediate neighbors only"
+         pad sub_rows sub_cols);
+  let padded_rows = sub_rows + (2 * pad) and padded_cols = sub_cols + (2 * pad) in
+  let padded = Machine.alloc_all machine ~words:(padded_rows * padded_cols) in
+  let geometry = Machine.geometry machine in
+  let grows = Dist.global_rows source and gcols = Dist.global_cols source in
+  let fill_value =
+    match boundary with
+    | Ccc_stencil.Boundary.Circular -> None
+    | Ccc_stencil.Boundary.End_off fill -> Some fill
+  in
+  let wrap v n = ((v mod n) + n) mod n in
+  Machine.iter_nodes machine (fun node mem ->
+      let node_row, node_col = Geometry.coord_of_node geometry node in
+      let base_grow = node_row * sub_rows and base_gcol = node_col * sub_cols in
+      for r = -pad to sub_rows + pad - 1 do
+        for c = -pad to sub_cols + pad - 1 do
+          let in_corner =
+            (r < 0 || r >= sub_rows) && (c < 0 || c >= sub_cols)
+          in
+          let value =
+            if in_corner && not needs_corners then Float.nan
+            else begin
+              let grow = base_grow + r and gcol = base_gcol + c in
+              let outside =
+                grow < 0 || grow >= grows || gcol < 0 || gcol >= gcols
+              in
+              match fill_value with
+              | Some fill when outside -> fill
+              | Some _ | None ->
+                  let node', row', col' =
+                    Dist.owner source ~grow:(wrap grow grows)
+                      ~gcol:(wrap gcol gcols)
+                  in
+                  Dist.local_get source ~node:node' ~row:row' ~col:col'
+            end
+          in
+          Memory.write mem
+            (padded.Memory.base + ((r + pad) * padded_cols) + (c + pad))
+            value
+        done
+      done);
+  let cycles =
+    cycles_model ~primitive ~sub_rows ~sub_cols ~pad ~corners:needs_corners
+      (Machine.config machine)
+  in
+  {
+    padded;
+    padded_cols;
+    pad;
+    cycles;
+    corners_skipped = not needs_corners;
+  }

@@ -1,0 +1,66 @@
+(** The three-step communication of section 5.1.
+
+    Before any arithmetic, every node obtains all the neighbor data the
+    whole convolution will need:
+
+    + allocate a temporary region padded on all four sides by the
+      largest of the four border widths (padding all sides costs a
+      little memory and usually nothing else, since most stencils have
+      fourfold symmetry);
+    + exchange edge sections with the four NEWS neighbors — the new
+      node-level primitive moves all four directions simultaneously, so
+      the time is proportional to the {e longer} side of the subgrid;
+    + exchange corner sections with diagonal neighbors (two hops).
+      This step is skipped when no tap needs data from a diagonal
+      neighbor — a quick test that saves a noticeable amount of time on
+      smaller arrays.
+
+    Boundary semantics: the node grid is toroidal, so step 2/3 copies
+    realize CSHIFT's circular wraparound for free; for EOSHIFT the
+    halo cells that cross the {e global} array edge are overwritten
+    with the fill value.
+
+    Timing is modeled, not measured: the data movement below is
+    performed by direct reads between simulated node memories, and the
+    cycle cost comes from the configuration's per-word constants (see
+    DESIGN.md's substitution table). *)
+
+type primitive =
+  | Node_level  (** the paper's new microcoded four-neighbor primitive *)
+  | Legacy
+      (** the pre-existing processor-level primitive: one direction at
+          a time, at bit-serial per-word cost (ablation baseline) *)
+
+type exchange = {
+  padded : Ccc_cm2.Memory.region;  (** (rows+2 pad) x (cols+2 pad) *)
+  padded_cols : int;
+  pad : int;
+  cycles : int;
+  corners_skipped : bool;
+}
+
+val exchange :
+  ?primitive:primitive ->
+  source:Dist.t ->
+  pad:int ->
+  boundary:Ccc_stencil.Boundary.t ->
+  needs_corners:bool ->
+  unit ->
+  exchange
+(** Allocate the padded temporaries on every node and run the
+    exchange.  [pad] must not exceed either subgrid side (the primitive
+    exchanges with immediate neighbors only); raises
+    [Invalid_argument] otherwise.  When corners are skipped the corner
+    cells are poisoned with NaN so that an erroneous read is caught by
+    the correctness oracle instead of silently reading zero. *)
+
+val cycles_model :
+  primitive:primitive ->
+  sub_rows:int ->
+  sub_cols:int ->
+  pad:int ->
+  corners:bool ->
+  Ccc_cm2.Config.t ->
+  int
+(** The closed-form cycle cost used by [exchange] (exposed for the
+    benchmark harness and its tests). *)

@@ -1,0 +1,54 @@
+(* The per-element costs below follow the machine model of lib/cm2:
+   every word that crosses the memory interface costs
+   [memory_op_cycles]; arithmetic is issued one dynamic part per
+   vector element.  Like the microcode path, a general pass can be
+   front-end bound: the host prepares one parameter word per dynamic
+   part, so the effective pace of a pass is the slower of the CM
+   cycles and the front-end preparation (section 7's "hard pressed to
+   keep up"). *)
+
+let frontend_bounded (config : Ccc_cm2.Config.t) ~cm_cycles ~words =
+  let word_cycles =
+    Ccc_cm2.Config.effective_word_s config *. config.clock_hz
+  in
+  max cm_cycles
+    (int_of_float (Float.ceil (float_of_int words *. word_cycles)))
+
+let copy_cycles (config : Ccc_cm2.Config.t) ~elements =
+  frontend_bounded config
+    ~cm_cycles:(elements * 2 * config.memory_op_cycles)
+    ~words:(elements * 2)
+
+let elementwise_cycles (config : Ccc_cm2.Config.t) ~elements ~reads =
+  frontend_bounded config
+    ~cm_cycles:
+      (elements
+      * (((reads + 1) * config.memory_op_cycles) + config.madd_issue_cycles))
+    ~words:(elements * (reads + 2))
+
+let madd_pass_cycles config ~elements =
+  elementwise_cycles config ~elements ~reads:3
+
+let whole_array_shift_cycles (config : Ccc_cm2.Config.t) ~elements ~amount
+    ~sub_rows ~sub_cols ~dim =
+  if amount = 0 then 0
+  else begin
+    (* Every element is read and rewritten; the slab that crosses the
+       node boundary (|amount| rows or columns of the subgrid, capped
+       at the whole subgrid) also crosses the network at grid-wire
+       cost, one hop per unit of shift distance. *)
+    let local =
+      frontend_bounded config
+        ~cm_cycles:(elements * 2 * config.memory_op_cycles)
+        ~words:(elements * 2)
+    in
+    let crossing =
+      let span = min (abs amount) (if dim = 1 then sub_rows else sub_cols) in
+      let words = span * if dim = 1 then sub_cols else sub_rows in
+      words * config.comm_cycles_per_word * abs amount
+    in
+    local + crossing
+  end
+
+let frontend_pass_overhead_s (config : Ccc_cm2.Config.t) =
+  Ccc_cm2.Config.effective_call_s config

@@ -1,0 +1,42 @@
+(** Cost model for general (non-stencil) elementwise array statements.
+
+    The CM Fortran compiler's ordinary code path executes an array
+    statement as a sequence of whole-array passes over the vector
+    units: each pass streams its operands from node memory through the
+    floating-point chips and back (section 3's slicewise model, vectors
+    of size 4).  Unlike the convolution microcode there is no register
+    reuse between array elements, so every operand word crosses the
+    memory interface every pass.
+
+    The run-time library shares this model between the naive baseline
+    (every term of a stencil as separate shift/multiply/add passes) and
+    the seismic driver's non-stencil statements (the tenth term and the
+    time-rotation copies of section 7). *)
+
+val frontend_bounded : Ccc_cm2.Config.t -> cm_cycles:int -> words:int -> int
+(** The effective duration (in machine cycles) of a pass that keeps
+    the CM busy for [cm_cycles] while the front end must prepare
+    [words] dynamic-part words: the slower of the two sides. *)
+
+val copy_cycles : Ccc_cm2.Config.t -> elements:int -> int
+(** [A = B] over [elements] array points per node: one load and one
+    store per element. *)
+
+val elementwise_cycles :
+  Ccc_cm2.Config.t -> elements:int -> reads:int -> int
+(** One arithmetic pass ([R = f(A, B, ...)]) with [reads] operand
+    arrays: [reads] loads, the operation, and one store per element. *)
+
+val madd_pass_cycles : Ccc_cm2.Config.t -> elements:int -> int
+(** [R = R + A * B]: three loads, a chained multiply-add and a store
+    per element — the tenth-term pass of the Gordon Bell code. *)
+
+val whole_array_shift_cycles :
+  Ccc_cm2.Config.t -> elements:int -> amount:int -> sub_rows:int -> sub_cols:int -> dim:int -> int
+(** A general [CSHIFT] of a whole distributed array by [amount] along
+    [dim]: every element moves, and elements crossing a node boundary
+    ride the grid network.  This is what the pre-convolution code path
+    paid per shifted term, and why moving only halos wins. *)
+
+val frontend_pass_overhead_s : Ccc_cm2.Config.t -> float
+(** Front-end launch cost of one whole-array statement. *)

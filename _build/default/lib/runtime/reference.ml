@@ -1,0 +1,61 @@
+open Ccc_stencil
+
+type env = (string * Grid.t) list
+
+exception Unbound of string
+exception Shape_mismatch of string
+
+let lookup env name =
+  match List.assoc_opt name env with
+  | Some grid -> grid
+  | None -> raise (Unbound name)
+
+let coeff_value env coeff r c =
+  match coeff with
+  | Coeff.Array name -> Grid.get (lookup env name) r c
+  | Coeff.Scalar v -> v
+  | Coeff.One -> 1.0
+
+let referenced_arrays pattern =
+  Pattern.source_var pattern
+  :: List.filter_map (fun t -> Coeff.array_name t.Tap.coeff)
+       (Pattern.taps pattern)
+  @ (match Pattern.bias pattern with
+    | Some c -> Option.to_list (Coeff.array_name c)
+    | None -> [])
+
+let check_env pattern env =
+  let source = lookup env (Pattern.source_var pattern) in
+  let rows = Grid.rows source and cols = Grid.cols source in
+  List.iter
+    (fun name ->
+      let g = lookup env name in
+      if Grid.rows g <> rows || Grid.cols g <> cols then
+        raise
+          (Shape_mismatch
+             (Printf.sprintf "%s is %dx%d but %s is %dx%d" name (Grid.rows g)
+                (Grid.cols g)
+                (Pattern.source_var pattern)
+                rows cols)))
+    (referenced_arrays pattern)
+
+let apply pattern env =
+  check_env pattern env;
+  let source = lookup env (Pattern.source_var pattern) in
+  let read =
+    match Pattern.boundary pattern with
+    | Boundary.Circular -> Grid.get_circular source
+    | Boundary.End_off fill -> Grid.get_endoff source ~fill
+  in
+  let taps = Pattern.taps pattern in
+  Grid.init ~rows:(Grid.rows source) ~cols:(Grid.cols source) (fun r c ->
+      let sum =
+        List.fold_left
+          (fun acc tap ->
+            let { Offset.drow; dcol } = tap.Tap.offset in
+            acc +. (coeff_value env tap.Tap.coeff r c *. read (r + drow) (c + dcol)))
+          0.0 taps
+      in
+      match Pattern.bias pattern with
+      | Some coeff -> sum +. coeff_value env coeff r c
+      | None -> sum)

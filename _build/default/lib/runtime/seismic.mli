@@ -1,0 +1,64 @@
+(** The Gordon Bell seismic main loop (section 7).
+
+    The prize-winning finite-difference code's inner computation is a
+    nine-point axis cross stencil (radius 2) plus a tenth term taken
+    from two time steps before the current one.  A product of two
+    different arrays is outside the stylized grammar, so — exactly as
+    in the paper — the tenth term is "added in separately" as a general
+    elementwise pass, and the time levels rotate in one of two ways:
+
+    - {!Rolled}: the main loop performs the stencil statement, the
+      tenth-term statement, and {e two whole-array copy assignments}
+      to shift the time-step data into the correct variables for the
+      next iteration (the version measured at 11.62 gigaflops);
+    - {!Unrolled3}: the loop body is unrolled by a factor of three so
+      the three variables exchange roles without copying (the 14.88
+      gigaflop version).
+
+    Flop accounting matches the stencil convention: 17 useful flops
+    for the nine-point cross plus 2 for the tenth term, i.e. 19 per
+    point per time step.  (The paper's own per-iteration flop count
+    works out to 38 per point, implying the production code swept two
+    coupled fields; rates are insensitive to this because time scales
+    with work — see EXPERIMENTS.md.) *)
+
+type version = Rolled | Unrolled3
+
+val kernel : unit -> Ccc_stencil.Pattern.t
+(** The nine-point cross over pressure [P] with coefficient arrays
+    [C1 .. C9]. *)
+
+val flops_per_point : int
+(** 19: the stencil's 17 plus the tenth term's multiply-add. *)
+
+type result = {
+  p : Grid.t;  (** final time level *)
+  p_old : Grid.t;  (** previous time level *)
+  stats : Stats.t;  (** aggregated over all steps *)
+}
+
+val simulate :
+  ?version:version ->
+  ?mode:Exec.mode ->
+  steps:int ->
+  c10:float ->
+  Ccc_cm2.Machine.t ->
+  Reference.env ->
+  p:Grid.t ->
+  p_old:Grid.t ->
+  result
+(** Run [steps] time steps of
+    [P_next = stencil9(P) + c10 * P_old] with the given coefficient
+    environment (arrays [C1 .. C9]).  Data is identical for both
+    versions; only the cycle accounting differs. *)
+
+val estimate :
+  ?version:version ->
+  sub_rows:int ->
+  sub_cols:int ->
+  steps:int ->
+  Ccc_cm2.Config.t ->
+  Stats.t
+(** Timing without data for a per-node subgrid, the form the
+    Gordon Bell benches use (the paper's production runs cover 35,000+
+    iterations). *)

@@ -1,0 +1,41 @@
+type t = {
+  iterations : int;
+  comm_cycles : int;
+  compute_cycles : int;
+  frontend_s : float;
+  useful_flops_per_iteration : int;
+  madds_issued : int;
+  strip_widths : int list;
+  corners_skipped : bool;
+  nodes : int;
+  clock_hz : float;
+}
+
+let elapsed_s t =
+  let per_iteration =
+    (float_of_int (t.comm_cycles + t.compute_cycles) /. t.clock_hz)
+    +. t.frontend_s
+  in
+  float_of_int t.iterations *. per_iteration
+
+let useful_flops t = t.iterations * t.useful_flops_per_iteration
+let mflops t = float_of_int (useful_flops t) /. elapsed_s t /. 1e6
+let gflops t = mflops t /. 1e3
+
+let extrapolate t ~nodes = gflops t *. float_of_int nodes /. float_of_int t.nodes
+
+let flop_efficiency t =
+  let slots = 2 * t.madds_issued * t.nodes * t.iterations in
+  if slots = 0 then 0.0
+  else float_of_int (useful_flops t) /. float_of_int slots
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d iteration(s) on %d nodes @@ %.1f MHz@ comm %d + compute %d \
+     cycles/iter, front end %.0f us/iter@ elapsed %.4f s, %.1f Mflops \
+     (%.2f Gflops; %.2f Gflops on 2048 nodes)@ strips %s%s@]"
+    t.iterations t.nodes (t.clock_hz /. 1e6) t.comm_cycles t.compute_cycles
+    (t.frontend_s *. 1e6) (elapsed_s t) (mflops t) (gflops t)
+    (extrapolate t ~nodes:2048)
+    (String.concat "+" (List.map string_of_int t.strip_widths))
+    (if t.corners_skipped then ", corner exchange skipped" else "")

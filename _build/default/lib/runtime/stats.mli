@@ -1,0 +1,38 @@
+(** Performance accounting, matching the paper's methodology (section
+    7): only useful floating-point operations are counted (5 multiplies
+    and 4 adds for a 5-point stencil, despite its 5 multiply-add
+    execution), measurements cover sustained multi-iteration runs, and
+    16-node results extrapolate linearly to the 2,048-node machine —
+    reliable because the CM-2 is fully synchronous, so per-node time
+    does not change with machine size. *)
+
+type t = {
+  iterations : int;
+  comm_cycles : int;  (** per iteration, one node (SIMD) *)
+  compute_cycles : int;  (** per iteration *)
+  frontend_s : float;  (** per iteration: call launch + strip dispatch *)
+  useful_flops_per_iteration : int;  (** whole machine *)
+  madds_issued : int;  (** per iteration per node, dummies included *)
+  strip_widths : int list;
+  corners_skipped : bool;
+  nodes : int;
+  clock_hz : float;
+}
+
+val elapsed_s : t -> float
+(** Total wall-clock for all iterations: (communication + compute)
+    cycles at the machine clock plus front-end overhead. *)
+
+val useful_flops : t -> int
+val mflops : t -> float
+val gflops : t -> float
+
+val extrapolate : t -> nodes:int -> float
+(** Gflops on a machine of [nodes] nodes with the same per-node
+    subgrid: linear scaling, the paper's extrapolation column. *)
+
+val flop_efficiency : t -> float
+(** Useful flops over flop slots actually burned (two per multiply-add
+    issued, dummies included). *)
+
+val pp : Format.formatter -> t -> unit

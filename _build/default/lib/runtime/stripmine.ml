@@ -1,0 +1,40 @@
+type strip = { col0 : int; plan : Ccc_microcode.Plan.t }
+type halfstrip = { strip : strip; rows : int array }
+
+let strips_of_plans plans ~sub_cols =
+  if sub_cols <= 0 then invalid_arg "Stripmine.strips: non-positive width";
+  let rec go col0 acc =
+    let remaining = sub_cols - col0 in
+    if remaining = 0 then List.rev acc
+    else
+      match
+        List.find_opt
+          (fun p -> p.Ccc_microcode.Plan.width <= remaining)
+          plans
+      with
+      | None ->
+          (* Width 1 always compiles for accepted patterns. *)
+          invalid_arg "Stripmine.strips: no plan fits the remaining width"
+      | Some plan ->
+          let width = plan.Ccc_microcode.Plan.width in
+          go (col0 + width) ({ col0; plan } :: acc)
+  in
+  go 0 []
+
+let strips compiled ~sub_cols =
+  strips_of_plans compiled.Ccc_compiler.Compile.plans ~sub_cols
+
+let halfstrips strip ~sub_rows =
+  if sub_rows <= 0 then invalid_arg "Stripmine.halfstrips: non-positive height";
+  let mid = sub_rows / 2 in
+  (* Lower half sweeps upward from the bottom edge to the center;
+     the upper half continues from the center to the top edge. *)
+  let lower = Array.init (sub_rows - mid) (fun t -> sub_rows - 1 - t) in
+  let upper = Array.init mid (fun t -> mid - 1 - t) in
+  if mid = 0 then [ { strip; rows = lower } ]
+  else [ { strip; rows = lower }; { strip; rows = upper } ]
+
+let strip_widths compiled ~sub_cols =
+  List.map
+    (fun s -> s.plan.Ccc_microcode.Plan.width)
+    (strips compiled ~sub_cols)

@@ -1,0 +1,32 @@
+(** Strip mining (section 5.2).
+
+    The run-time library logically partitions each node's subgrid into
+    vertical strips, shaving off at each step the widest strip for
+    which the compiler produced a workable multistencil (so a 21-wide
+    axis becomes 8 + 8 + 4 + 1).  Each strip is processed as two
+    half-strips, each swept from an edge of the subgrid toward the
+    center so the microcode handles a boundary condition at only one
+    end of the sweep. *)
+
+type strip = { col0 : int; plan : Ccc_microcode.Plan.t }
+
+type halfstrip = {
+  strip : strip;
+  rows : int array;  (** local row per line, in sweep (upward) order *)
+}
+
+val strips : Ccc_compiler.Compile.t -> sub_cols:int -> strip list
+(** Cover [0 .. sub_cols-1] left to right with the widest available
+    plans. *)
+
+val strips_of_plans :
+  Ccc_microcode.Plan.t list -> sub_cols:int -> strip list
+(** The same shaving rule over an explicit plan list (descending by
+    width); used by the fused multi-source path. *)
+
+val halfstrips : strip -> sub_rows:int -> halfstrip list
+(** The two sweeps of one strip: the lower half from the bottom edge up
+    to the center, then the upper half up to the top edge. *)
+
+val strip_widths : Ccc_compiler.Compile.t -> sub_cols:int -> int list
+(** Just the widths, for reporting (e.g. [8; 8; 4; 1] for 21). *)

@@ -1,0 +1,1 @@
+lib/stencil/boundary.ml: Float Format

@@ -1,0 +1,1 @@
+lib/stencil/coeff.ml: Float Format String

@@ -1,0 +1,1 @@
+lib/stencil/coeff.mli: Format

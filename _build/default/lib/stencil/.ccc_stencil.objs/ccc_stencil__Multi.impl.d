@@ -1,0 +1,1 @@
+lib/stencil/multi.ml: Boundary Coeff Format Int List Offset Option Pattern Printf String Tap

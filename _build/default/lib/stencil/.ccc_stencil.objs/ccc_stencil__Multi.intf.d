@@ -1,0 +1,1 @@
+lib/stencil/multi.mli: Boundary Coeff Format Pattern Tap

@@ -1,0 +1,1 @@
+lib/stencil/multistencil.ml: Int List Map Offset Option Pattern Set Tap

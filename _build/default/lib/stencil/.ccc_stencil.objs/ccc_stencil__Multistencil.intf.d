@@ -1,0 +1,1 @@
+lib/stencil/multistencil.mli: Offset Pattern Tap

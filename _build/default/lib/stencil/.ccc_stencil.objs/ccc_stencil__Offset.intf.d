@@ -1,0 +1,1 @@
+lib/stencil/offset.mli: Format

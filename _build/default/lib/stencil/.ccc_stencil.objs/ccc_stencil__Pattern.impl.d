@@ -1,0 +1,1 @@
+lib/stencil/pattern.ml: Boundary Coeff Format List Offset Option Printf String Tap

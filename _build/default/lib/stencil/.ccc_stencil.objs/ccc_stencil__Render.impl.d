@@ -1,0 +1,1 @@
+lib/stencil/render.ml: Buffer List Multistencil Offset Pattern Printf String

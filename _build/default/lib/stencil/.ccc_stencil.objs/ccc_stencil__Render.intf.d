@@ -1,0 +1,1 @@
+lib/stencil/render.mli: Multistencil Pattern

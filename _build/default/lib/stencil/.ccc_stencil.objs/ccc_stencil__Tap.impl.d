@@ -1,0 +1,1 @@
+lib/stencil/tap.ml: Coeff Format Offset

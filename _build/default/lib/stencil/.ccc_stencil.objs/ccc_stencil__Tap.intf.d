@@ -1,0 +1,1 @@
+lib/stencil/tap.mli: Coeff Format Offset

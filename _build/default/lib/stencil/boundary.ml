@@ -1,0 +1,11 @@
+type t = Circular | End_off of float
+
+let equal a b =
+  match (a, b) with
+  | Circular, Circular -> true
+  | End_off x, End_off y -> Float.equal x y
+  | (Circular | End_off _), _ -> false
+
+let pp ppf = function
+  | Circular -> Format.pp_print_string ppf "circular (CSHIFT)"
+  | End_off fill -> Format.fprintf ppf "end-off (EOSHIFT, fill %g)" fill

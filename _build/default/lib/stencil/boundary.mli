@@ -1,0 +1,19 @@
+(** Boundary semantics of the shift intrinsics.
+
+    [CSHIFT] is circular: taps that fall off one edge of the global
+    array wrap to the opposite edge, which the CM-2 NEWS grid provides
+    for free (the paper's pictures show the wraparound explicitly).
+    [EOSHIFT] is end-off: elements shifted in from outside the array
+    take a fill value, 0.0 by default in Fortran 90 for reals.
+
+    The recognizer requires a single statement to use one kind of shift
+    throughout; compositions of circular and end-off shifts do not
+    commute and fall outside the stylized pattern the compiler module
+    accepts (it reports a diagnostic instead, per section 6). *)
+
+type t =
+  | Circular  (** CSHIFT *)
+  | End_off of float  (** EOSHIFT with this fill value *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type t = Array of string | Scalar of float | One
+
+let equal a b =
+  match (a, b) with
+  | Array x, Array y -> String.equal x y
+  | Scalar x, Scalar y -> Float.equal x y
+  | One, One -> true
+  | (Array _ | Scalar _ | One), _ -> false
+
+let pp ppf = function
+  | Array name -> Format.pp_print_string ppf name
+  | Scalar v -> Format.fprintf ppf "%g" v
+  | One -> Format.pp_print_string ppf "1.0"
+
+let array_name = function Array name -> Some name | Scalar _ | One -> None

@@ -1,0 +1,19 @@
+(** Coefficients of stencil terms.
+
+    In the Fortran form every coefficient is a whole-array reference
+    ([C1 * CSHIFT(X, ...)]); a term with no coefficient multiplies by
+    an implicit 1.0, which costs nothing at run time because the
+    Weitek's multiply-add needs a memory operand anyway.  The Lisp
+    [defstencil] front end (and our examples) also allow literal
+    scalars, which the run time broadcasts. *)
+
+type t =
+  | Array of string  (** a coefficient array, e.g. [C1] *)
+  | Scalar of float  (** a literal, broadcast over the array shape *)
+  | One  (** implicit coefficient of a bare [s(X)] term *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val array_name : t -> string option
+(** The coefficient array's name, if it is one. *)

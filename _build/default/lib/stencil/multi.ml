@@ -1,0 +1,134 @@
+type source_tap = { source : int; tap : Tap.t }
+
+type t = {
+  sources : string list;
+  taps : source_tap list;  (** sorted by (source, offset), unique *)
+  bias : Coeff.t option;
+  boundary : Boundary.t;
+  result_var : string;
+}
+
+let compare_tap a b =
+  match Int.compare a.source b.source with
+  | 0 -> Tap.compare a.tap b.tap
+  | c -> c
+
+let create ?bias ?(boundary = Boundary.Circular) ?(result = "R") ~sources taps =
+  if taps = [] then invalid_arg "Multi.create: empty tap list";
+  if sources = [] then invalid_arg "Multi.create: no sources";
+  let n = List.length sources in
+  List.iter
+    (fun { source; _ } ->
+      if source < 0 || source >= n then
+        invalid_arg "Multi.create: tap references an unknown source")
+    taps;
+  let sorted = List.sort compare_tap taps in
+  let rec check_unique = function
+    | a :: (b :: _ as rest) ->
+        if a.source = b.source && Offset.equal a.tap.Tap.offset b.tap.Tap.offset
+        then
+          invalid_arg
+            (Printf.sprintf "Multi.create: duplicate tap at %s of source %d"
+               (Offset.to_string a.tap.Tap.offset)
+               a.source);
+        check_unique rest
+    | [ _ ] | [] -> ()
+  in
+  check_unique sorted;
+  List.iteri
+    (fun i _ ->
+      if not (List.exists (fun t -> t.source = i) sorted) then
+        invalid_arg (Printf.sprintf "Multi.create: source %d has no tap" i))
+    sources;
+  { sources; taps = sorted; bias; boundary; result_var = result }
+
+let of_pattern p =
+  create ?bias:(Pattern.bias p) ~boundary:(Pattern.boundary p)
+    ~result:(Pattern.result_var p)
+    ~sources:[ Pattern.source_var p ]
+    (List.map (fun tap -> { source = 0; tap }) (Pattern.taps p))
+
+let sources t = t.sources
+let source_count t = List.length t.sources
+let taps t = t.taps
+
+let source_taps t i =
+  List.filter_map
+    (fun st -> if st.source = i then Some st.tap else None)
+    t.taps
+
+let bias t = t.bias
+let boundary t = t.boundary
+let result_var t = t.result_var
+let tap_count t = List.length t.taps
+
+let useful_flops_per_point t =
+  let terms = tap_count t + (match t.bias with Some _ -> 1 | None -> 0) in
+  tap_count t + (terms - 1)
+
+let source_pattern t i =
+  Pattern.create ?bias:None ~boundary:t.boundary
+    ~source:(List.nth t.sources i) ~result:t.result_var (source_taps t i)
+
+let to_pattern t =
+  match t.sources with
+  | [ _ ] ->
+      Some
+        (Pattern.create ?bias:t.bias ~boundary:t.boundary
+           ~source:(List.hd t.sources) ~result:t.result_var
+           (List.map (fun st -> st.tap) t.taps))
+  | _ -> None
+
+let max_border t i = Pattern.max_border (source_pattern t i)
+let needs_corners t i = Pattern.needs_corners (source_pattern t i)
+
+(* The tagged accumulators must come from the source holding the
+   bottom-most tap row overall: within that source nothing below the
+   tag is ever needed again, and other sources live in disjoint
+   registers. *)
+let primary_source t =
+  let best = ref None in
+  List.iter
+    (fun st ->
+      let { Offset.drow; dcol } = st.tap.Tap.offset in
+      match !best with
+      | None -> best := Some (drow, dcol, st.source)
+      | Some (brow, bcol, _) ->
+          if drow > brow || (drow = brow && dcol < bcol) then
+            best := Some (drow, dcol, st.source))
+    t.taps;
+  match !best with Some (_, _, src) -> src | None -> assert false
+
+let referenced_arrays t =
+  t.sources
+  @ List.filter_map (fun st -> Coeff.array_name st.tap.Tap.coeff) t.taps
+  @ (match t.bias with
+    | Some c -> Option.to_list (Coeff.array_name c)
+    | None -> [])
+
+let equal a b =
+  List.length a.taps = List.length b.taps
+  && List.equal String.equal a.sources b.sources
+  && List.for_all2
+       (fun x y ->
+         x.source = y.source
+         && Offset.equal x.tap.Tap.offset y.tap.Tap.offset
+         && Coeff.equal x.tap.Tap.coeff y.tap.Tap.coeff)
+       a.taps b.taps
+  && Option.equal Coeff.equal a.bias b.bias
+  && Boundary.equal a.boundary b.boundary
+  && String.equal a.result_var b.result_var
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s = " t.result_var;
+  List.iteri
+    (fun i st ->
+      if i > 0 then Format.fprintf ppf "@ + ";
+      Format.fprintf ppf "%a*%s%a" Coeff.pp st.tap.Tap.coeff
+        (List.nth t.sources st.source)
+        Offset.pp st.tap.Tap.offset)
+    t.taps;
+  (match t.bias with
+  | Some c -> Format.fprintf ppf "@ + %a" Coeff.pp c
+  | None -> ());
+  Format.fprintf ppf "  [%a]@]" Boundary.pp t.boundary

@@ -1,0 +1,79 @@
+(** Multi-source stencils: the paper's stated future work.
+
+    The Gordon Bell code needed a tenth term [C10 * POLD] referencing a
+    {e different} array from the nine shifted [P] terms, and had to add
+    it in a separate pass because "the current implementation ...
+    requires that all shiftings within a given assignment statement
+    must shift the same variable name"; the authors note that "future
+    versions of the compiler should be able to handle all ten terms as
+    one stencil pattern" (section 7).  This module is that
+    generalization: a pattern whose taps draw from several source
+    arrays.
+
+    Everything in the compilation strategy survives the generalization:
+    each source contributes its own multistencil columns (hence its own
+    ring buffers), the register file is shared, the leading edge loads
+    one element per column {e per source} per line, and the accumulator
+    recycling discipline holds because the tagged position is taken
+    from the source owning the globally bottom-most tap row.  The
+    run-time library performs one halo exchange per source, each padded
+    to that source's own border width. *)
+
+type source_tap = { source : int; tap : Tap.t }
+(** A tap of source number [source] (an index into {!sources}). *)
+
+type t
+
+val create :
+  ?bias:Coeff.t ->
+  ?boundary:Boundary.t ->
+  ?result:string ->
+  sources:string list ->
+  source_tap list ->
+  t
+(** [sources] are the distinct source array names, in order.  Raises
+    [Invalid_argument] when a tap references a source out of range,
+    when some source has no tap, on duplicate (source, offset) pairs,
+    or on an empty tap list. *)
+
+val of_pattern : Pattern.t -> t
+(** View an ordinary single-source pattern as the one-source case. *)
+
+val to_pattern : t -> Pattern.t option
+(** The inverse, when there is exactly one source. *)
+
+val sources : t -> string list
+val source_count : t -> int
+val taps : t -> source_tap list
+val source_taps : t -> int -> Tap.t list
+(** Taps of one source (never empty). *)
+
+val bias : t -> Coeff.t option
+val boundary : t -> Boundary.t
+val result_var : t -> string
+val tap_count : t -> int
+
+val useful_flops_per_point : t -> int
+(** Same accounting as {!Pattern.useful_flops_per_point}: one multiply
+    per tap, terms-minus-one adds. *)
+
+val source_pattern : t -> int -> Pattern.t
+(** Source [i]'s taps as a single-source pattern (for multistencil
+    construction); its border widths are that source's halo needs. *)
+
+val max_border : t -> int -> int
+(** Halo padding for source [i]. *)
+
+val needs_corners : t -> int -> bool
+
+val primary_source : t -> int
+(** The source owning the globally bottom-most tap row (leftmost tap
+    of that row breaks ties): the tagged accumulator positions come
+    from this source, preserving the recycling argument of section
+    5.3. *)
+
+val referenced_arrays : t -> string list
+(** Sources, tap coefficient arrays, and the bias array. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type column = { dcol : int; occupied : int list; span : int }
+
+type t = {
+  pattern : Pattern.t;
+  width : int;
+  positions : Offset.t list;
+  columns : column list;
+}
+
+module Offset_set = Set.Make (Offset)
+
+let make pattern ~width =
+  if width < 1 then invalid_arg "Multistencil.make: width < 1";
+  let translated =
+    List.concat_map
+      (fun off ->
+        List.init width (fun j -> Offset.add off (Offset.make ~drow:0 ~dcol:j)))
+      (Pattern.offsets pattern)
+  in
+  let set = Offset_set.of_list translated in
+  let positions = Offset_set.elements set in
+  let module Int_map = Map.Make (Int) in
+  let by_col =
+    List.fold_left
+      (fun acc (off : Offset.t) ->
+        let rows = Option.value ~default:[] (Int_map.find_opt off.dcol acc) in
+        Int_map.add off.dcol (off.drow :: rows) acc)
+      Int_map.empty positions
+  in
+  let columns =
+    Int_map.bindings by_col
+    |> List.map (fun (dcol, rows) ->
+           let occupied = List.sort Int.compare rows in
+           let span =
+             match (occupied, List.rev occupied) with
+             | low :: _, high :: _ -> high - low + 1
+             | [], _ | _, [] -> assert false
+           in
+           { dcol; occupied; span })
+  in
+  { pattern; width; positions; columns }
+
+let pattern t = t.pattern
+let width t = t.width
+let positions t = t.positions
+let position_count t = List.length t.positions
+let columns t = t.columns
+let column_count t = List.length t.columns
+
+let max_span t =
+  List.fold_left (fun acc c -> max acc c.span) 1 t.columns
+
+let row_range t =
+  match t.positions with
+  | [] -> assert false
+  | first :: _ ->
+      List.fold_left
+        (fun (lo, hi) (off : Offset.t) -> (min lo off.drow, max hi off.drow))
+        (first.Offset.drow, first.Offset.drow)
+        t.positions
+
+let tagged_position t ~occurrence =
+  if occurrence < 0 || occurrence >= t.width then
+    invalid_arg "Multistencil.tagged_position: occurrence out of range";
+  let offs = Pattern.offsets t.pattern in
+  let bottom =
+    List.fold_left (fun acc (o : Offset.t) -> max acc o.drow) min_int offs
+  in
+  let leftmost_in_bottom =
+    List.filter (fun (o : Offset.t) -> o.drow = bottom) offs
+    |> List.fold_left
+         (fun acc (o : Offset.t) -> min acc o.dcol)
+         max_int
+  in
+  Offset.make ~drow:bottom ~dcol:(leftmost_in_bottom + occurrence)
+
+let occurrence_taps t ~occurrence =
+  if occurrence < 0 || occurrence >= t.width then
+    invalid_arg "Multistencil.occurrence_taps: occurrence out of range";
+  List.map
+    (fun tap ->
+      ( Offset.add tap.Tap.offset (Offset.make ~drow:0 ~dcol:occurrence),
+        tap ))
+    (Pattern.taps t.pattern)
+
+let pinned_registers t =
+  match Pattern.bias t.pattern with Some _ -> 2 | None -> 1
+
+let register_demand t =
+  List.fold_left (fun acc c -> acc + c.span) (pinned_registers t) t.columns

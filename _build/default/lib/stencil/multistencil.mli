@@ -1,0 +1,68 @@
+(** Multistencils: the composite pattern of a stencil replicated [w]
+    times with centers side by side (section 5.3).
+
+    The multistencil of width [w] is the union of the stencil's offsets
+    translated by [0 .. w-1] along the column axis.  Its positions are
+    exactly the data elements that must reside in registers to compute
+    [w] adjacent results at once, which is the saving in memory
+    bandwidth the paper builds on (26 loads instead of 40 for the
+    5-point cross at width 8).
+
+    Each column of the multistencil becomes one ring buffer in the
+    register allocator (section 5.4).  A column's {e span} — bottom row
+    minus top row plus one — is its natural ring size: the sweep loads
+    one leading-edge element per column per line, so an element passes
+    through depths [0 .. span-1] before it is dead.  For the patterns
+    in the paper every column is contiguous, making span equal to the
+    occupied count (the paper's "column height"); for a column with
+    holes the ring still needs span slots, which is one of the "more
+    clever strategies" cases the paper leaves open. *)
+
+type column = {
+  dcol : int;  (** column offset within the multistencil *)
+  occupied : int list;  (** row offsets present, ascending *)
+  span : int;  (** natural ring-buffer size *)
+}
+
+type t
+
+val make : Pattern.t -> width:int -> t
+(** Raises [Invalid_argument] if [width < 1]. *)
+
+val pattern : t -> Pattern.t
+val width : t -> int
+
+val positions : t -> Offset.t list
+(** All distinct positions, sorted row-major.  [List.length] of this is
+    the paper's register count for data elements (26 for cross5 at
+    width 8, 28 for diamond13 at width 4). *)
+
+val position_count : t -> int
+
+val columns : t -> column list
+(** Ascending by [dcol]. *)
+
+val column_count : t -> int
+val max_span : t -> int
+val row_range : t -> int * int
+(** Minimum and maximum row offset over all positions. *)
+
+val tagged_position : t -> occurrence:int -> Offset.t
+(** The tagged position of stencil occurrence [j] (0-based): the
+    leftmost position of the stencil's bottommost row, translated by
+    [j] columns.  Its register becomes the accumulator for result [j]
+    (section 5.3): because it is leftmost in the bottom row, no result
+    to the right — and no later line — can need that data element.
+    Raises [Invalid_argument] unless [0 <= occurrence < width]. *)
+
+val occurrence_taps : t -> occurrence:int -> (Offset.t * Tap.t) list
+(** The taps of occurrence [j] as (multistencil position, original tap)
+    pairs: position = tap offset translated by [j] columns. *)
+
+val register_demand : t -> int
+(** Registers needed with natural ring sizes: sum of column spans, plus
+    the pinned zero register, plus a pinned 1.0 register when the
+    pattern has a bias term. *)
+
+val pinned_registers : t -> int
+(** 1 (the zero register) or 2 (zero and one). *)

@@ -1,0 +1,22 @@
+type t = { drow : int; dcol : int }
+
+let zero = { drow = 0; dcol = 0 }
+let make ~drow ~dcol = { drow; dcol }
+
+let shift ~dim ~amount =
+  match dim with
+  | 1 -> { drow = amount; dcol = 0 }
+  | 2 -> { drow = 0; dcol = amount }
+  | _ -> invalid_arg (Printf.sprintf "Offset.shift: DIM=%d (expected 1 or 2)" dim)
+
+let add a b = { drow = a.drow + b.drow; dcol = a.dcol + b.dcol }
+let neg a = { drow = -a.drow; dcol = -a.dcol }
+
+let compare a b =
+  match Int.compare a.drow b.drow with
+  | 0 -> Int.compare a.dcol b.dcol
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf t = Format.fprintf ppf "(%+d,%+d)" t.drow t.dcol
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,30 @@
+(** A two-dimensional grid displacement.
+
+    Offsets follow Fortran [CSHIFT] semantics: for
+    [R = C * CSHIFT(X, DIM=d, SHIFT=s)], every result position reads
+    the source element displaced by [s] along dimension [d], so the tap
+    offset equals the shift amount.  Dimension 1 is rows ([drow]),
+    dimension 2 is columns ([dcol]); negative [drow] therefore reaches
+    North (toward smaller row indices), matching the paper's border
+    pictures. *)
+
+type t = { drow : int; dcol : int }
+
+val zero : t
+val make : drow:int -> dcol:int -> t
+
+val shift : dim:int -> amount:int -> t
+(** [shift ~dim ~amount] is the displacement of
+    [CSHIFT(_, DIM=dim, SHIFT=amount)].  Raises [Invalid_argument] if
+    [dim] is not 1 or 2 (the compiler handles two-dimensional arrays,
+    like the run-time library of section 5). *)
+
+val add : t -> t -> t
+(** Composition of two shifts: [CSHIFT(CSHIFT(X, ...), ...)] taps the
+    element displaced by the sum. *)
+
+val neg : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,198 @@
+type t = {
+  taps : Tap.t list;  (** sorted by offset, unique offsets *)
+  bias : Coeff.t option;
+  boundary : Boundary.t;
+  source_var : string;
+  result_var : string;
+}
+
+type borders = { north : int; south : int; east : int; west : int }
+
+let create ?bias ?(boundary = Boundary.Circular) ?(source = "X")
+    ?(result = "R") taps =
+  if taps = [] then invalid_arg "Pattern.create: empty tap list";
+  let sorted = List.sort Tap.compare taps in
+  let rec check_unique = function
+    | a :: (b :: _ as rest) ->
+        if Offset.equal a.Tap.offset b.Tap.offset then
+          invalid_arg
+            (Printf.sprintf "Pattern.create: duplicate tap at %s"
+               (Offset.to_string a.Tap.offset));
+        check_unique rest
+    | [ _ ] | [] -> ()
+  in
+  check_unique sorted;
+  { taps = sorted; bias; boundary; source_var = source; result_var = result }
+
+let taps t = t.taps
+let bias t = t.bias
+let boundary t = t.boundary
+let source_var t = t.source_var
+let result_var t = t.result_var
+let tap_count t = List.length t.taps
+
+let find_tap t offset =
+  List.find_opt (fun tap -> Offset.equal tap.Tap.offset offset) t.taps
+
+let offsets t = List.map (fun tap -> tap.Tap.offset) t.taps
+
+let borders t =
+  let fold f init = List.fold_left f init t.taps in
+  let north = fold (fun acc tap -> max acc (-tap.Tap.offset.Offset.drow)) 0 in
+  let south = fold (fun acc tap -> max acc tap.Tap.offset.Offset.drow) 0 in
+  let west = fold (fun acc tap -> max acc (-tap.Tap.offset.Offset.dcol)) 0 in
+  let east = fold (fun acc tap -> max acc tap.Tap.offset.Offset.dcol) 0 in
+  { north; south; east; west }
+
+let max_border t =
+  let b = borders t in
+  max (max b.north b.south) (max b.east b.west)
+
+let needs_corners t =
+  List.exists
+    (fun tap ->
+      tap.Tap.offset.Offset.drow <> 0 && tap.Tap.offset.Offset.dcol <> 0)
+    t.taps
+
+(* Section 7's accounting: each tap is one multiply, and the terms are
+   combined with (number of terms - 1) adds.  The multiply that pairs a
+   product with the pinned zero register is not counted (it "merely
+   adds a product to zero" -- the add is discarded, the multiply is the
+   tap's own).  A bias term contributes its combining add only. *)
+let useful_flops_per_point t =
+  let terms = tap_count t + (match t.bias with Some _ -> 1 | None -> 0) in
+  tap_count t + (terms - 1)
+
+let equal a b =
+  List.length a.taps = List.length b.taps
+  && List.for_all2
+       (fun x y ->
+         Offset.equal x.Tap.offset y.Tap.offset
+         && Coeff.equal x.Tap.coeff y.Tap.coeff)
+       a.taps b.taps
+  && Option.equal Coeff.equal a.bias b.bias
+  && Boundary.equal a.boundary b.boundary
+  && String.equal a.source_var b.source_var
+  && String.equal a.result_var b.result_var
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s = " t.result_var;
+  List.iteri
+    (fun i tap ->
+      if i > 0 then Format.fprintf ppf "@ + ";
+      Format.fprintf ppf "%a*%s%a" Coeff.pp tap.Tap.coeff t.source_var
+        Offset.pp tap.Tap.offset)
+    t.taps;
+  (match t.bias with
+  | Some c -> Format.fprintf ppf "@ + %a" Coeff.pp c
+  | None -> ());
+  Format.fprintf ppf "  [%a]@]" Boundary.pp t.boundary
+
+let to_fortran t =
+  let intrinsic =
+    match t.boundary with
+    | Boundary.Circular -> "CSHIFT"
+    | Boundary.End_off _ -> "EOSHIFT"
+  in
+  let boundary_arg =
+    match t.boundary with
+    | Boundary.Circular | Boundary.End_off 0.0 -> ""
+    | Boundary.End_off fill -> Printf.sprintf ", BOUNDARY=%g" fill
+  in
+  let shifted (off : Offset.t) =
+    let base = t.source_var in
+    let base =
+      if off.drow = 0 then base
+      else Printf.sprintf "%s(%s, 1, %+d%s)" intrinsic base off.drow boundary_arg
+    in
+    if off.dcol = 0 then base
+    else Printf.sprintf "%s(%s, 2, %+d%s)" intrinsic base off.dcol boundary_arg
+  in
+  let coeff_text = function
+    | Coeff.Array name -> Some name
+    | Coeff.Scalar v -> Some (Printf.sprintf "%.17g" v)
+    | Coeff.One -> None
+  in
+  let term tap =
+    match coeff_text tap.Tap.coeff with
+    | Some c -> Printf.sprintf "%s * %s" c (shifted tap.Tap.offset)
+    | None -> shifted tap.Tap.offset
+  in
+  let terms =
+    List.map term t.taps
+    @
+    match t.bias with
+    | Some c -> [ Option.value ~default:"1.0" (coeff_text c) ]
+    | None -> []
+  in
+  Printf.sprintf "%s = %s" t.result_var (String.concat " &\n  + " terms)
+
+(* The gallery.  Coefficient arrays are named C1..Cn in row-major tap
+   order, matching the Fortran examples in section 2 of the paper. *)
+let of_offsets offs =
+  let sorted = List.sort Offset.compare offs in
+  create
+    (List.mapi
+       (fun i off -> Tap.make off (Coeff.Array (Printf.sprintf "C%d" (i + 1))))
+       sorted)
+
+let cross5 () =
+  of_offsets
+    [
+      Offset.make ~drow:(-1) ~dcol:0;
+      Offset.make ~drow:0 ~dcol:(-1);
+      Offset.zero;
+      Offset.make ~drow:0 ~dcol:1;
+      Offset.make ~drow:1 ~dcol:0;
+    ]
+
+let square9 () =
+  let offs = ref [] in
+  for drow = -1 to 1 do
+    for dcol = -1 to 1 do
+      offs := Offset.make ~drow ~dcol :: !offs
+    done
+  done;
+  of_offsets !offs
+
+let cross9 () =
+  of_offsets
+    [
+      Offset.make ~drow:(-2) ~dcol:0;
+      Offset.make ~drow:(-1) ~dcol:0;
+      Offset.make ~drow:0 ~dcol:(-2);
+      Offset.make ~drow:0 ~dcol:(-1);
+      Offset.zero;
+      Offset.make ~drow:0 ~dcol:1;
+      Offset.make ~drow:0 ~dcol:2;
+      Offset.make ~drow:1 ~dcol:0;
+      Offset.make ~drow:2 ~dcol:0;
+    ]
+
+let diamond13 () =
+  let offs = ref [] in
+  for drow = -2 to 2 do
+    for dcol = -2 to 2 do
+      if abs drow + abs dcol <= 2 then offs := Offset.make ~drow ~dcol :: !offs
+    done
+  done;
+  of_offsets !offs
+
+let asymmetric5 () =
+  of_offsets
+    [
+      Offset.zero;
+      Offset.make ~drow:0 ~dcol:1;
+      Offset.make ~drow:1 ~dcol:(-1);
+      Offset.make ~drow:1 ~dcol:0;
+      Offset.make ~drow:1 ~dcol:2;
+    ]
+
+let gallery () =
+  [
+    ("cross5", cross5 ());
+    ("square9", square9 ());
+    ("cross9", cross9 ());
+    ("diamond13", diamond13 ());
+    ("asymmetric5", asymmetric5 ());
+  ]

@@ -1,0 +1,99 @@
+(** A stencil pattern: the IR between the front end and the compiler.
+
+    A pattern is a set of taps (offset, coefficient pairs) with at most
+    one tap per offset, an optional additive bias (a bare coefficient
+    term [+ C], executed by multiplying [C] against the pinned 1.0
+    register, section 5.3), and one boundary semantics.  Border widths
+    derive from tap extents exactly as in the paper's pictures: the
+    East border width is how far the pattern reaches toward larger
+    column indices, and so on. *)
+
+type t
+
+type borders = { north : int; south : int; east : int; west : int }
+
+val create :
+  ?bias:Coeff.t ->
+  ?boundary:Boundary.t ->
+  ?source:string ->
+  ?result:string ->
+  Tap.t list ->
+  t
+(** Build a pattern.  [boundary] defaults to {!Boundary.Circular},
+    [source]/[result] to ["X"]/["R"].  Raises [Invalid_argument] on an
+    empty tap list or duplicate offsets. *)
+
+val taps : t -> Tap.t list
+(** Sorted by offset, row-major. *)
+
+val bias : t -> Coeff.t option
+val boundary : t -> Boundary.t
+val source_var : t -> string
+val result_var : t -> string
+val tap_count : t -> int
+val find_tap : t -> Offset.t -> Tap.t option
+
+val borders : t -> borders
+(** Border widths in each direction (all non-negative). *)
+
+val max_border : t -> int
+(** The halo padding the run-time library uses on all four sides: the
+    largest of the four border widths (section 5.1's simplification). *)
+
+val needs_corners : t -> bool
+(** Does any tap have both a nonzero row and column offset?  When not,
+    the third (corner) communication step is skipped (section 5.1). *)
+
+val useful_flops_per_point : t -> int
+(** The paper's accounting (section 7): one multiply per tap plus the
+    adds that combine the terms; a 5-point stencil counts 9 even though
+    it executes as 5 multiply-add steps.  A bias term adds one add. *)
+
+val offsets : t -> Offset.t list
+
+val equal : t -> t -> bool
+(** Structural equality of taps, bias, boundary and variable names. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_fortran : t -> string
+(** Render the pattern back to the Fortran 90 assignment statement the
+    recognizer accepts (with [&] continuations, one term per line).
+    [Recognize.statement] of this text yields an equal pattern — the
+    round-trip property the test suite checks. *)
+
+(** {1 The pattern gallery}
+
+    The benchmarked patterns of the paper's Table 1 (reconstructed; see
+    DESIGN.md section 2) plus the running examples of section 2.  Each
+    takes the coefficient-array naming convention [C1 .. Cn] in
+    row-major tap order. *)
+
+val cross5 : unit -> t
+(** 5-point cross: the paper's first example. *)
+
+val square9 : unit -> t
+(** 9-point 3 x 3 box. *)
+
+val cross9 : unit -> t
+(** 9-point axis cross of radius 2: the paper's second example. *)
+
+val diamond13 : unit -> t
+(** 13-point diamond (|dr| + |dc| <= 2): the paper's register-pressure
+    example whose width-4 multistencil needs exactly 28 registers. *)
+
+val asymmetric5 : unit -> t
+(** The paper's third example: a stencil that is neither symmetrical
+    nor centered. *)
+
+val gallery : unit -> (string * t) list
+(** All of the above, keyed by name.
+
+    The Gordon Bell seismic kernel (section 7) is {!cross9} plus a
+    tenth term [C10 * POLD] referencing the time step before last; a
+    product of two arrays is outside the recognized grammar ("future
+    versions of the compiler should be able to handle all ten terms as
+    one stencil pattern"), so the run-time library executes it as a
+    separate fused pass — see lib/runtime/seismic.ml — and the
+    multi-source extension in lib/stencil/multi.ml implements the
+    future-work generalization. *)

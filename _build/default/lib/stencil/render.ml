@@ -1,0 +1,81 @@
+let grid_of_positions ~taps ~result ~tagged =
+  let all = result :: (taps @ tagged) in
+  let min_row =
+    List.fold_left (fun a (o : Offset.t) -> min a o.drow) max_int all
+  in
+  let max_row =
+    List.fold_left (fun a (o : Offset.t) -> max a o.drow) min_int all
+  in
+  let min_col =
+    List.fold_left (fun a (o : Offset.t) -> min a o.dcol) max_int all
+  in
+  let max_col =
+    List.fold_left (fun a (o : Offset.t) -> max a o.dcol) min_int all
+  in
+  let buf = Buffer.create 256 in
+  for drow = min_row to max_row do
+    for dcol = min_col to max_col do
+      let here = Offset.make ~drow ~dcol in
+      let is_tap = List.exists (Offset.equal here) taps in
+      let is_tagged = List.exists (Offset.equal here) tagged in
+      let is_result = Offset.equal here result in
+      let cell =
+        if is_tagged then 'A'
+        else if is_result && is_tap then '@'
+        else if is_result then 'o'
+        else if is_tap then '#'
+        else '.'
+      in
+      Buffer.add_char buf cell;
+      if dcol < max_col then Buffer.add_char buf ' '
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let pattern p =
+  grid_of_positions ~taps:(Pattern.offsets p) ~result:Offset.zero ~tagged:[]
+
+let multistencil m =
+  let tagged =
+    List.init (Multistencil.width m) (fun j ->
+        Multistencil.tagged_position m ~occurrence:j)
+  in
+  let taps =
+    List.filter
+      (fun p -> not (List.exists (Offset.equal p) tagged))
+      (Multistencil.positions m)
+  in
+  grid_of_positions ~taps ~result:Offset.zero ~tagged
+
+let borders p =
+  let b = Pattern.borders p in
+  Printf.sprintf "North=%d South=%d East=%d West=%d" b.Pattern.north
+    b.Pattern.south b.Pattern.east b.Pattern.west
+
+let column_profile m =
+  Multistencil.columns m
+  |> List.map (fun c -> string_of_int (List.length c.Multistencil.occupied))
+  |> String.concat " "
+
+let halo_sections p =
+  let b = Pattern.max_border p in
+  let corners = Pattern.needs_corners p in
+  if b = 0 then "no border: nothing to exchange\n"
+  else begin
+    let buf = Buffer.create 256 in
+    let line cells = Buffer.add_string buf (String.concat " | " cells ^ "\n") in
+    let corner label = if corners then label else "  .  " in
+    let rule () = Buffer.add_string buf (String.make 37 '-' ^ "\n") in
+    line [ corner "NW   "; "  N -> up      "; corner "NE" ];
+    rule ();
+    line [ "W->l "; "  center stays "; "E->r" ];
+    rule ();
+    line [ corner "SW   "; "  S -> down    "; corner "SE" ];
+    Buffer.add_string buf
+      (Printf.sprintf
+         "border width %d on all four sides; corner step %s\n" b
+         (if corners then "required (two hops via NEWS neighbors)"
+          else "skipped"));
+    Buffer.contents buf
+  end

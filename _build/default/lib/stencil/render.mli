@@ -1,0 +1,30 @@
+(** ASCII rendering of stencils and multistencils.
+
+    Reproduces the paper's pictorial notation: a bullet marks the
+    result position, shaded squares mark the contributing positions of
+    the source array.  We draw shaded squares as [#], the result
+    position as [o] (or [@] when the result position is itself a tap),
+    and empty grid cells as [.].  Used by the figure-regeneration bench
+    (FIG-ST, FIG-RB in DESIGN.md) and handy in diagnostics. *)
+
+val pattern : Pattern.t -> string
+(** Multi-line picture of a stencil pattern. *)
+
+val multistencil : Multistencil.t -> string
+(** Multi-line picture of a multistencil; the [width] tagged positions
+    are drawn as [A] (accumulator slots). *)
+
+val borders : Pattern.t -> string
+(** One-line summary of the four border widths, in the paper's
+    North/South/East/West vocabulary. *)
+
+val column_profile : Multistencil.t -> string
+(** The per-column heights line, e.g. "1 3 5 5 5 5 3 1" for the
+    13-point diamond at width 4. *)
+
+val halo_sections : Pattern.t -> string
+(** The nine-section exchange picture of section 5.1: a subgrid's
+    corner sections go to two neighbors (and ultimately a diagonal
+    one), edge sections to one, and the center stays home.  Corners
+    are drawn only when the pattern needs the third communication
+    step. *)

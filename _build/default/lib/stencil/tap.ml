@@ -1,0 +1,5 @@
+type t = { offset : Offset.t; coeff : Coeff.t }
+
+let make offset coeff = { offset; coeff }
+let compare a b = Offset.compare a.offset b.offset
+let pp ppf t = Format.fprintf ppf "%a@%a" Coeff.pp t.coeff Offset.pp t.offset

@@ -1,0 +1,9 @@
+(** One term of a stencil: a coefficient times a shifted source element. *)
+
+type t = { offset : Offset.t; coeff : Coeff.t }
+
+val make : Offset.t -> Coeff.t -> t
+val compare : t -> t -> int
+(** Ordered by offset; a stencil never has two taps at one offset. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Ccc Ccc_baseline List Printf Tutil

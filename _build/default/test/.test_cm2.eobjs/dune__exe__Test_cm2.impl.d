@@ -1,0 +1,1 @@
+test/test_cm2.ml: Alcotest Array Ccc_cm2 Float Hashtbl List Printf Tutil

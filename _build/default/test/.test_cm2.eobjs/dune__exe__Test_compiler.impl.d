@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Ccc_cm2 Ccc_compiler Ccc_microcode Ccc_stencil Format Hashtbl List Option String Tutil

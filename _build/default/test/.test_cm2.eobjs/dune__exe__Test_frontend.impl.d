@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Ccc Ccc_frontend Ccc_stencil Defstencil Diagnostics Format Lexer List Option Parser Recognize Result Sexp String Token

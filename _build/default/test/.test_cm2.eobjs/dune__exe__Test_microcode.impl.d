@@ -1,0 +1,1 @@
+test/test_microcode.ml: Alcotest Array Ccc_cm2 Ccc_compiler Ccc_microcode Ccc_runtime Ccc_stencil Format List Option Printf String Tutil

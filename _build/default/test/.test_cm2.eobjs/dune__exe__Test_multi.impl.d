@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Ccc Ccc_frontend List Printf String Tutil

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Ccc Ccc_paper_data Float Hashtbl List Printf Tutil

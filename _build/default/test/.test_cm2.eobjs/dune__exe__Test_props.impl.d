@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Ccc Ccc_cm2 Ccc_compiler Ccc_frontend Ccc_runtime Format List Printf QCheck2 QCheck_alcotest String Tutil

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Ccc Ccc_cm2 Ccc_microcode Ccc_runtime Ccc_stencil Float Fun List Printf String Tutil

@@ -1,0 +1,1 @@
+test/test_stencil.ml: Alcotest Ccc_stencil Coeff List Multistencil Offset Option Pattern Printf Render String Tap Tutil

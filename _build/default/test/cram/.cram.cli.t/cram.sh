@@ -1,0 +1,4 @@
+  $ ../../bin/ccc_cli.exe compile cross5.f
+  $ ../../bin/ccc_cli.exe compile bad.f
+  $ echo 'R = C1 * CSHIFT(X, 1, -1) + C2 * CSHIFT(Y, 1, +1)' | ../../bin/ccc_cli.exe compile - --fused
+  $ ../../bin/ccc_cli.exe gallery | grep taps

@@ -1,0 +1,8 @@
+SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+REAL, ARRAY(:,:) :: R, X, C1, C2, C3, C4, C5
+R = C1 * CSHIFT(X, 1, -1) &
+  + C2 * CSHIFT(X, 2, -1) &
+  + C3 * X &
+  + C4 * CSHIFT(X, 2, +1) &
+  + C5 * CSHIFT(X, 1, +1)
+END

@@ -1,0 +1,412 @@
+(* Unit tests for the compiler module: ring-buffer register
+   allocation with LCM minimization, the multiply-add scheduler, and
+   the width-selection driver. *)
+
+module Regalloc = Ccc_compiler.Regalloc
+module Schedule = Ccc_compiler.Schedule
+module Compile = Ccc_compiler.Compile
+module Pattern = Ccc_stencil.Pattern
+module Multistencil = Ccc_stencil.Multistencil
+module Plan = Ccc_microcode.Plan
+module Instr = Ccc_microcode.Instr
+module Config = Ccc_cm2.Config
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let config = Config.default
+
+let allocate_exn pattern ~width ~available =
+  let ms = Multistencil.make pattern ~width in
+  match Regalloc.allocate ms ~available with
+  | Ok a -> (ms, a)
+  | Error { Regalloc.needed; available } ->
+      Alcotest.failf "allocation failed: %d needed, %d available" needed
+        available
+
+(* ------------------------------------------------------------------ *)
+(* Regalloc *)
+
+let test_lcm () =
+  check_int "lcm 5 3 1" 15 (Regalloc.lcm_list [ 5; 3; 1 ]);
+  check_int "lcm of ones" 1 (Regalloc.lcm_list [ 1; 1; 1 ]);
+  check_int "lcm 4 6" 12 (Regalloc.lcm_list [ 4; 6 ]);
+  check_int "lcm empty" 1 (Regalloc.lcm_list [])
+
+let test_diamond13_width4_lcm15 () =
+  (* Section 5.4's worked example: ring sizes 5, 3 and 1 give an
+     unroll factor of LCM(5,3,1) = 15. *)
+  let _, a = allocate_exn (Pattern.diamond13 ()) ~width:4 ~available:31 in
+  check_int "unroll" 15 a.Regalloc.unroll;
+  check_bool "fits 31" true (a.Regalloc.data_registers <= 31)
+
+let test_diamond13_width8_rejected () =
+  (* 48 natural registers cannot fit. *)
+  let ms = Multistencil.make (Pattern.diamond13 ()) ~width:8 in
+  match Regalloc.allocate ms ~available:31 with
+  | Ok _ -> Alcotest.fail "should not fit"
+  | Error { Regalloc.needed; _ } -> check_int "needs 48" 48 needed
+
+let test_equal_rings_preferred_when_roomy () =
+  (* With plenty of registers, every multi-row ring is padded to the
+     maximum column size, so the unroll factor equals that size. *)
+  let _, a = allocate_exn (Pattern.cross5 ()) ~width:8 ~available:31 in
+  check_int "unroll = max span" 3 a.Regalloc.unroll;
+  List.iter
+    (fun (_, size) -> check_bool "size is 1 or max" true (size = 1 || size = 3))
+    a.Regalloc.ring_sizes
+
+let test_height1_columns_stay_at_1 () =
+  (* "Reducing a ring buffer to size 1 always saves registers and
+     never makes the LCM larger." *)
+  let _, a = allocate_exn (Pattern.cross5 ()) ~width:8 ~available:31 in
+  let sizes = List.map snd a.Regalloc.ring_sizes in
+  check_int "first column (height 1)" 1 (List.hd sizes);
+  check_int "last column (height 1)" 1 (List.nth sizes (List.length sizes - 1))
+
+let test_compression_under_pressure () =
+  (* square9 at width 8 has 10 columns of height 3: natural demand 30.
+     With exactly 30 available everything must compress to natural
+     size; the unroll factor stays 3. *)
+  let _, a = allocate_exn (Pattern.square9 ()) ~width:8 ~available:30 in
+  check_int "exactly natural" 30 a.Regalloc.data_registers;
+  check_int "unroll" 3 a.Regalloc.unroll
+
+let test_allocation_total_never_exceeds_budget () =
+  List.iter
+    (fun (_, p) ->
+      List.iter
+        (fun width ->
+          let ms = Multistencil.make p ~width in
+          match Regalloc.allocate ms ~available:31 with
+          | Ok a -> check_bool "within budget" true (a.Regalloc.data_registers <= 31)
+          | Error _ -> ())
+        [ 1; 2; 4; 8 ])
+    (Pattern.gallery ())
+
+let test_unroll_is_lcm_of_sizes () =
+  List.iter
+    (fun (_, p) ->
+      List.iter
+        (fun width ->
+          let ms = Multistencil.make p ~width in
+          match Regalloc.allocate ms ~available:31 with
+          | Ok a ->
+              check_int "unroll = lcm"
+                (Regalloc.lcm_list (List.map snd a.Regalloc.ring_sizes))
+                a.Regalloc.unroll
+          | Error _ -> ())
+        [ 1; 2; 4; 8 ])
+    (Pattern.gallery ())
+
+(* ------------------------------------------------------------------ *)
+(* Schedule *)
+
+let build_plan pattern width =
+  let ms = Multistencil.make pattern ~width in
+  let pinned = Multistencil.pinned_registers ms in
+  match Regalloc.allocate ms ~available:(config.Config.fpu_registers - pinned) with
+  | Ok alloc -> Schedule.build config ms alloc
+  | Error _ -> Alcotest.fail "allocation failed"
+
+let test_hazard_checker_catches_sabotage () =
+  (* The static checker must reject a plan whose tap ordering violates
+     the just-in-time discipline: reverse a chain so its tag-reading
+     tap issues after the tag's first overwrite lands. *)
+  let plan = build_plan (Pattern.cross5 ()) 8 in
+  let sabotage (phase : Plan.phase) =
+    { phase with Plan.madds = List.rev phase.Plan.madds }
+  in
+  let bad = { plan with Plan.phases = Array.map sabotage plan.Plan.phases } in
+  match Schedule.check_hazards config bad with
+  | () -> Alcotest.fail "reversed chains must fail the hazard check"
+  | exception Failure _ -> ()
+
+let test_hazard_checker_catches_early_store () =
+  let plan = build_plan (Pattern.cross5 ()) 4 in
+  (* A store of a register no chain wrote is equally rejected. *)
+  let sabotage (phase : Plan.phase) =
+    {
+      phase with
+      Plan.stores = Ccc_microcode.Instr.Store { reg = 0; dcol = 0 } :: phase.Plan.stores;
+    }
+  in
+  let bad = { plan with Plan.phases = Array.map sabotage plan.Plan.phases } in
+  match Schedule.check_hazards config bad with
+  | () -> Alcotest.fail "store of an unwritten register must fail"
+  | exception Failure _ -> ()
+
+let test_hazard_check_gallery () =
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun width ->
+          let ms = Multistencil.make p ~width in
+          let pinned = Multistencil.pinned_registers ms in
+          match
+            Regalloc.allocate ms
+              ~available:(config.Config.fpu_registers - pinned)
+          with
+          | Ok alloc ->
+              let plan = Schedule.build config ms alloc in
+              (try Schedule.check_hazards config plan
+               with Failure m ->
+                 Alcotest.failf "%s width %d: %s" name width m)
+          | Error _ -> ())
+        [ 1; 2; 4; 8 ])
+    (Pattern.gallery ())
+
+let test_phase_shape () =
+  (* Every phase has one load per column, width stores, and
+     width * taps multiply-adds (plus interleave nops only for odd
+     widths). *)
+  let p = Pattern.square9 () in
+  let plan = build_plan p 8 in
+  check_int "unroll phases" plan.Plan.unroll (Array.length plan.Plan.phases);
+  Array.iter
+    (fun phase ->
+      check_int "loads = columns" 10 (List.length phase.Plan.loads);
+      check_int "stores = width" 8 (List.length phase.Plan.stores);
+      check_int "madds = width * taps" 72 (List.length phase.Plan.madds))
+    plan.Plan.phases
+
+let test_odd_width_has_nops () =
+  let plan = build_plan (Pattern.cross5 ()) 1 in
+  let phase = plan.Plan.phases.(0) in
+  let nops =
+    List.length
+      (List.filter (function Instr.Nop -> true | _ -> false) phase.Plan.madds)
+  in
+  (* chain of 5 madds with a nop between consecutive ones: 4 nops. *)
+  check_int "spacing nops" 4 nops
+
+let test_chains_accumulate_into_tags () =
+  let plan = build_plan (Pattern.cross5 ()) 4 in
+  Array.iter
+    (fun phase ->
+      (* Exactly [width] distinct destination registers, each written
+         [taps] times, and each is also a store source. *)
+      let dsts = Hashtbl.create 8 in
+      List.iter
+        (function
+          | Instr.Madd { dst; _ } ->
+              Hashtbl.replace dsts dst
+                (1 + Option.value ~default:0 (Hashtbl.find_opt dsts dst))
+          | _ -> ())
+        phase.Plan.madds;
+      check_int "four accumulators" 4 (Hashtbl.length dsts);
+      Hashtbl.iter (fun _ n -> check_int "five madds each" 5 n) dsts;
+      List.iter
+        (function
+          | Instr.Store { reg; _ } ->
+              check_bool "store reads an accumulator" true (Hashtbl.mem dsts reg)
+          | _ -> ())
+        phase.Plan.stores)
+    plan.Plan.phases
+
+let test_first_madd_seeds_from_zero () =
+  let plan = build_plan (Pattern.cross9 ()) 4 in
+  Array.iter
+    (fun phase ->
+      let first_acc = Hashtbl.create 8 in
+      List.iter
+        (function
+          | Instr.Madd { dst; acc; _ } ->
+              if not (Hashtbl.mem first_acc dst) then
+                Hashtbl.add first_acc dst acc
+              else
+                check_int "later madds accumulate in place" dst
+                  (if acc = dst then dst else acc)
+          | _ -> ())
+        phase.Plan.madds;
+      Hashtbl.iter
+        (fun _ acc -> check_int "seeded from the zero register"
+            plan.Plan.zero_reg acc)
+        first_acc)
+    plan.Plan.phases
+
+let test_prologue_depth () =
+  (* cross9 columns span up to 5 rows; the prologue needs span-1 = 4
+     warmup lines. *)
+  let plan = build_plan (Pattern.cross9 ()) 4 in
+  check_int "warmup lines" 4 (Array.length plan.Plan.prologue);
+  (* The deepest warmup line loads only the span-5 columns (there are
+     four of them at width 4); shallower columns join later. *)
+  check_int "first warmup loads" 4 (List.length plan.Plan.prologue.(0));
+  (* The final warmup line loads every column of span > 1. *)
+  check_int "last warmup loads" 4
+    (List.length plan.Plan.prologue.(Array.length plan.Plan.prologue - 1))
+
+let test_ring_register_rotation () =
+  let plan = build_plan (Pattern.cross5 ()) 8 in
+  let ring = Plan.find_ring plan ~dcol:0 in
+  (* size-3 ring: the slot advances with the line and wraps. *)
+  let r0 = Plan.ring_register ring ~line:0 ~depth:0 in
+  let r3 = Plan.ring_register ring ~line:3 ~depth:0 in
+  check_int "period 3" r0 r3;
+  let r1d1 = Plan.ring_register ring ~line:1 ~depth:1 in
+  check_int "depth 1 at line 1 = depth 0 at line 0" r0 r1d1
+
+let test_registers_within_file () =
+  List.iter
+    (fun (_, p) ->
+      match Compile.compile config p with
+      | Ok { Compile.plans; _ } ->
+          List.iter
+            (fun plan ->
+              check_bool "within 32" true
+                (plan.Plan.registers_used <= config.Config.fpu_registers);
+              List.iter
+                (fun r ->
+                  check_bool "ring registers in range" true
+                    (r.Plan.base >= 0
+                    && r.Plan.base + r.Plan.size
+                       <= config.Config.fpu_registers))
+                plan.Plan.rings)
+            plans
+      | Error e -> Alcotest.fail e)
+    (Pattern.gallery ())
+
+let test_bias_uses_one_register () =
+  let p =
+    Pattern.create ~bias:(Ccc_stencil.Coeff.Array "B")
+      [ Ccc_stencil.Tap.make Ccc_stencil.Offset.zero (Ccc_stencil.Coeff.Array "C1") ]
+  in
+  let plan = build_plan p 4 in
+  (match plan.Plan.one_reg with
+  | Some r -> check_int "one register is r1" 1 r
+  | None -> Alcotest.fail "one register missing");
+  (* The bias madd reads the pinned 1.0 register. *)
+  let phase = plan.Plan.phases.(0) in
+  check_bool "bias madd present" true
+    (List.exists
+       (function
+         | Instr.Madd { data; coeff_index; _ } ->
+             data = 1 && coeff_index = Pattern.tap_count p
+         | _ -> false)
+       phase.Plan.madds)
+
+let test_coeff_streams_order () =
+  let plan = build_plan (Pattern.cross5 ()) 2 in
+  check_int "five streams" 5 (Array.length plan.Plan.coeff_streams);
+  (match plan.Plan.coeff_streams.(0) with
+  | Ccc_stencil.Coeff.Array "C1" -> ()
+  | _ -> Alcotest.fail "stream 0 should be C1")
+
+(* ------------------------------------------------------------------ *)
+(* Compile driver *)
+
+let test_width_selection_matches_paper () =
+  (* The register-pressure predictions deduced from Table 1: square9
+     fits width 8; cross9 and diamond13 top out at width 4. *)
+  let widths name =
+    match Compile.compile config (List.assoc name (Pattern.gallery ())) with
+    | Ok { Compile.plans; _ } -> List.map (fun p -> p.Plan.width) plans
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (list int)) "cross5" [ 8; 4; 2; 1 ] (widths "cross5");
+  Alcotest.(check (list int)) "square9" [ 8; 4; 2; 1 ] (widths "square9");
+  Alcotest.(check (list int)) "cross9" [ 4; 2; 1 ] (widths "cross9");
+  Alcotest.(check (list int)) "diamond13" [ 4; 2; 1 ] (widths "diamond13")
+
+let test_rejection_reasons_recorded () =
+  match Compile.compile config (Pattern.diamond13 ()) with
+  | Ok { Compile.rejected; _ } ->
+      check_int "one rejection" 1 (List.length rejected);
+      let width, reason = List.hd rejected in
+      check_int "width 8 rejected" 8 width;
+      check_bool "mentions register pressure" true
+        (String.length reason > 0)
+  | Error e -> Alcotest.fail e
+
+let test_best_width_at_most () =
+  match Compile.compile config (Pattern.cross5 ()) with
+  | Error e -> Alcotest.fail e
+  | Ok compiled ->
+      let w limit =
+        match Compile.best_width_at_most compiled limit with
+        | Some p -> p.Plan.width
+        | None -> -1
+      in
+      check_int "limit 21 -> 8" 8 (w 21);
+      check_int "limit 7 -> 4" 4 (w 7);
+      check_int "limit 3 -> 2" 2 (w 3);
+      check_int "limit 1 -> 1" 1 (w 1)
+
+let test_scratch_pressure_rejection () =
+  (* A tiny scratch memory forces rejections. *)
+  let tight = { config with Config.scratch_memory_words = 60 } in
+  match Compile.compile tight (Pattern.diamond13 ()) with
+  | Ok { Compile.plans; rejected; _ } ->
+      check_bool "something was rejected for scratch" true
+        (List.exists
+           (fun (_, reason) ->
+             String.length reason >= 7 && String.sub reason 0 7 = "scratch")
+           rejected);
+      check_bool "width 1 may still fit" true (List.length plans >= 0)
+  | Error _ -> ()
+
+let test_tall_pattern_fails_entirely () =
+  (* A 33-row column cannot fit the register file at any width. *)
+  let offs = List.init 33 (fun i -> (i - 16, 0)) in
+  let p = Tutil.pattern_of_offsets offs in
+  match Compile.compile config p with
+  | Ok _ -> Alcotest.fail "should fail: column span 33 > 31 registers"
+  | Error _ -> ()
+
+let test_report_mentions_rejections () =
+  match Compile.compile config (Pattern.diamond13 ()) with
+  | Ok compiled ->
+      let report = Format.asprintf "%a" Compile.pp_report compiled in
+      check_bool "mentions width 8" true
+        (String.length report > 0
+        &&
+        let re = "width 8 rejected" in
+        let rec contains i =
+          i + String.length re <= String.length report
+          && (String.sub report i (String.length re) = re || contains (i + 1))
+        in
+        contains 0)
+  | Error e -> Alcotest.fail e
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "compiler"
+    [
+      ( "regalloc",
+        [
+          tc "lcm" test_lcm;
+          tc "diamond13 width 4 unrolls 15x" test_diamond13_width4_lcm15;
+          tc "diamond13 width 8 rejected (48 regs)" test_diamond13_width8_rejected;
+          tc "rings padded to max when roomy" test_equal_rings_preferred_when_roomy;
+          tc "height-1 columns stay at 1" test_height1_columns_stay_at_1;
+          tc "compression under pressure" test_compression_under_pressure;
+          tc "never exceeds budget" test_allocation_total_never_exceeds_budget;
+          tc "unroll = LCM of ring sizes" test_unroll_is_lcm_of_sizes;
+        ] );
+      ( "schedule",
+        [
+          tc "hazard check over the gallery" test_hazard_check_gallery;
+          tc "hazard checker catches reversed chains"
+            test_hazard_checker_catches_sabotage;
+          tc "hazard checker catches unwritten stores"
+            test_hazard_checker_catches_early_store;
+          tc "phase shape" test_phase_shape;
+          tc "odd width has spacing nops" test_odd_width_has_nops;
+          tc "chains accumulate into tags" test_chains_accumulate_into_tags;
+          tc "first madd seeds from zero" test_first_madd_seeds_from_zero;
+          tc "prologue depth" test_prologue_depth;
+          tc "ring register rotation" test_ring_register_rotation;
+          tc "registers within the file" test_registers_within_file;
+          tc "bias uses the pinned 1.0 register" test_bias_uses_one_register;
+          tc "coefficient stream order" test_coeff_streams_order;
+        ] );
+      ( "driver",
+        [
+          tc "width selection matches the paper" test_width_selection_matches_paper;
+          tc "rejection reasons recorded" test_rejection_reasons_recorded;
+          tc "best width at most" test_best_width_at_most;
+          tc "scratch pressure rejection" test_scratch_pressure_rejection;
+          tc "hopeless pattern fails entirely" test_tall_pattern_fails_entirely;
+          tc "report mentions rejections" test_report_mentions_rejections;
+        ] );
+    ]

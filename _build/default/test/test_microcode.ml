@@ -1,0 +1,293 @@
+(* Unit tests for the microcode layer: dynamic-part pricing, the
+   cycle-accurate interpreter, its agreement with the closed-form cost
+   model, and hazard detection. *)
+
+module Config = Ccc_cm2.Config
+module Machine = Ccc_cm2.Machine
+module Memory = Ccc_cm2.Memory
+module Instr = Ccc_microcode.Instr
+module Plan = Ccc_microcode.Plan
+module Interp = Ccc_microcode.Interp
+module Cost = Ccc_microcode.Cost
+module Pattern = Ccc_stencil.Pattern
+module Multistencil = Ccc_stencil.Multistencil
+
+let check_int = Alcotest.(check int)
+let config = Config.default
+
+let compile_plan pattern width =
+  let ms = Multistencil.make pattern ~width in
+  let pinned = Multistencil.pinned_registers ms in
+  match
+    Ccc_compiler.Regalloc.allocate ms
+      ~available:(config.Config.fpu_registers - pinned)
+  with
+  | Ok alloc -> Ccc_compiler.Schedule.build config ms alloc
+  | Error _ -> Alcotest.fail "allocation failed"
+
+(* A one-node sandbox with a padded source, destination, and constant
+   coefficient streams. *)
+let sandbox pattern width ~rows ~cols =
+  let machine =
+    Machine.create ~memory_words:(1 lsl 16)
+      (Config.with_nodes ~rows:1 ~cols:1 config)
+  in
+  let mem = Machine.memory machine 0 in
+  let plan = compile_plan pattern width in
+  let pad = Pattern.max_border pattern in
+  let pcols = cols + (2 * pad) in
+  let padded = Memory.alloc mem ~words:((rows + (2 * pad)) * pcols) in
+  (* Fill the padded source with a position-dependent value. *)
+  for r = 0 to rows + (2 * pad) - 1 do
+    for c = 0 to pcols - 1 do
+      Memory.write mem
+        (padded.Memory.base + (r * pcols) + c)
+        (float_of_int (((r - pad) * 100) + (c - pad)))
+    done
+  done;
+  let dst = Memory.alloc mem ~words:(rows * cols) in
+  let streams = plan.Plan.coeff_streams in
+  let coeffs =
+    Array.map
+      (fun _ ->
+        let region = Memory.alloc mem ~words:(rows * cols) in
+        for i = 0 to (rows * cols) - 1 do
+          Memory.write mem (region.Memory.base + i) 1.0
+        done;
+        region)
+      streams
+  in
+  let bindings =
+    {
+      Interp.memory = mem;
+      sources = [| { Interp.padded; padded_cols = pcols; pad } |];
+      dst;
+      dst_cols = cols;
+      coeffs;
+    }
+  in
+  (plan, bindings, mem, dst)
+
+let sweep_rows rows = Array.init rows (fun t -> rows - 1 - t)
+
+let test_instr_cycles () =
+  check_int "load" config.Config.memory_op_cycles
+    (Instr.cycles config (Instr.Load { reg = 2; src = 0; drow = 0; dcol = 0 }));
+  check_int "store" config.Config.memory_op_cycles
+    (Instr.cycles config (Instr.Store { reg = 2; dcol = 0 }));
+  check_int "madd" config.Config.madd_issue_cycles
+    (Instr.cycles config
+       (Instr.Madd { dst = 2; data = 3; coeff_index = 0; coeff_dcol = 0; acc = 0 }));
+  check_int "nop" 1 (Instr.cycles config Instr.Nop)
+
+let test_interp_matches_cost_model () =
+  (* The central consistency property: interpreter cycles equal the
+     closed-form model, for several patterns, widths and heights. *)
+  List.iter
+    (fun (pattern, width, rows) ->
+      let plan, bindings, _, _ =
+        sandbox pattern width ~rows:(max rows 8) ~cols:width
+      in
+      let outcome =
+        Interp.run_halfstrip config plan bindings ~col0:0
+          ~rows:(sweep_rows rows)
+      in
+      check_int
+        (Printf.sprintf "cycles (width %d, rows %d)" width rows)
+        (Cost.halfstrip_cycles config plan ~lines:rows)
+        outcome.Interp.cycles;
+      check_int "madds"
+        (Cost.halfstrip_madds_total config plan ~lines:rows)
+        outcome.Interp.madds;
+      check_int "flop slots are 2 per madd" (2 * outcome.Interp.madds)
+        outcome.Interp.flop_slots)
+    [
+      (Pattern.cross5 (), 8, 6);
+      (Pattern.cross5 (), 1, 5);
+      (Pattern.square9 (), 8, 4);
+      (Pattern.cross9 (), 4, 8);
+      (Pattern.diamond13 (), 4, 7);
+      (Pattern.asymmetric5 (), 2, 6);
+    ]
+
+let test_interp_computes_correct_values () =
+  (* With all coefficients 1.0 the result is the sum of the tapped
+     source elements; check one full half-strip against arithmetic. *)
+  let pattern = Pattern.cross5 () in
+  let rows = 6 and width = 4 in
+  let plan, bindings, mem, dst = sandbox pattern width ~rows ~cols:width in
+  ignore
+    (Interp.run_halfstrip config plan bindings ~col0:0 ~rows:(sweep_rows rows));
+  let src r c = float_of_int ((r * 100) + c) in
+  for r = 0 to rows - 1 do
+    for c = 0 to width - 1 do
+      let expected =
+        src (r - 1) c +. src r (c - 1) +. src r c +. src r (c + 1)
+        +. src (r + 1) c
+      in
+      let actual = Memory.read mem (dst.Memory.base + (r * width) + c) in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "dst(%d,%d)" r c)
+        expected actual
+    done
+  done
+
+let test_interp_zero_lines_costs_startup () =
+  let pattern = Pattern.cross5 () in
+  let plan, bindings, _, _ = sandbox pattern 2 ~rows:4 ~cols:2 in
+  let outcome = Interp.run_halfstrip config plan bindings ~col0:0 ~rows:[||] in
+  check_int "startup only" (Cost.startup_cycles config) outcome.Interp.cycles
+
+let test_interp_detects_store_hazard () =
+  (* Corrupt a plan so a store happens while the accumulation is in
+     flight: the interpreter must refuse. *)
+  let pattern = Pattern.cross5 () in
+  let plan, bindings, _, _ = sandbox pattern 2 ~rows:4 ~cols:2 in
+  let sabotage (phase : Plan.phase) =
+    (* Fold the stores into the multiply-add section: they then issue
+       immediately after the final accumulations, without the reversal
+       and drain cycles, while the writes are still in flight. *)
+    { phase with Plan.madds = phase.Plan.madds @ phase.Plan.stores; stores = [] }
+  in
+  let bad =
+    { plan with Plan.phases = Array.map sabotage plan.Plan.phases }
+  in
+  match
+    Interp.run_halfstrip config bad bindings ~col0:0 ~rows:(sweep_rows 4)
+  with
+  | _ -> Alcotest.fail "expected a hazard"
+  | exception Interp.Hazard _ -> ()
+
+let test_interp_detects_out_of_range () =
+  let pattern = Pattern.cross5 () in
+  let plan, bindings, _, _ = sandbox pattern 2 ~rows:4 ~cols:2 in
+  (* Ask for a column origin beyond the padded region. *)
+  match
+    Interp.run_halfstrip config plan bindings ~col0:1000 ~rows:(sweep_rows 4)
+  with
+  | _ -> Alcotest.fail "expected a hazard"
+  | exception Interp.Hazard _ -> ()
+
+let test_trace_structure () =
+  (* The trace of two width-2 lines: per line 3 loads (columns -1..2
+     of cross5 at width 2 span 4 columns), 10 madds, 2 stores, with
+     cycles strictly increasing. *)
+  let compiled =
+    match Ccc_compiler.Compile.compile config (Pattern.cross5 ()) with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let lines = Ccc_runtime.Exec.trace ~width:2 ~lines:2 config compiled in
+  let count needle =
+    List.length
+      (List.filter
+         (fun l ->
+           let rec contains i =
+             i + String.length needle <= String.length l
+             && (String.sub l i (String.length needle) = needle
+                || contains (i + 1))
+           in
+           contains 0)
+         lines)
+  in
+  (* Prologue fills the size-3 rings (2 warmup loads for the two
+     spanning columns... cross5 w2 columns: -1,0,1,2 with spans
+     1,3,3,1: warmup = 2 lines x 2 loads), then 2 real lines x 4
+     loads. *)
+  check_int "loads" ((2 * 2) + (2 * 4)) (count "load ");
+  check_int "madds" (2 * 10) (count "madd ");
+  check_int "stores" (2 * 2) (count "store");
+  (* Cycles non-decreasing. *)
+  let cycles =
+    List.filter_map
+      (fun l -> int_of_string_opt (String.trim (String.sub l 6 5)))
+      lines
+  in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a <= b && ascending rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "cycles ascend" true (ascending cycles)
+
+let test_listing_is_stable () =
+  (* A small golden listing pins the scheduler's output shape: any
+     change to tap ordering, ring rotation or interleaving shows up
+     here first. *)
+  let compiled =
+    match
+      Ccc_compiler.Compile.compile config
+        (Tutil.pattern_of_offsets [ (0, -1); (0, 0) ])
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let plan = Option.get (Ccc_compiler.Compile.plan_for_width compiled 2) in
+  let listing = Format.asprintf "%a" Plan.pp_listing plan in
+  let expected =
+    "phase 0 of 1:\n\
+    \  loads:\n\
+    \    load  r1  <- src0(+0,-1)\n\
+    \    load  r2  <- src0(+0,+0)\n\
+    \    load  r3  <- src0(+0,+1)\n\
+    \  multiply-adds:\n\
+    \    madd  r1  <- r1 * coeff[0](+0) + r0\n\
+    \    madd  r2  <- r2 * coeff[0](+1) + r0\n\
+    \    madd  r1  <- r2 * coeff[1](+0) + r1\n\
+    \    madd  r2  <- r3 * coeff[1](+1) + r2\n\
+    \  stores:\n\
+    \    store dst(+0,+0) <- r1 \n\
+    \    store dst(+0,+1) <- r2 \n"
+  in
+  Alcotest.(check string) "golden listing" expected listing
+
+let test_cost_line_formula_components () =
+  (* line cycles = overhead + loads + reversal + madds + reversal +
+     drain + stores + branch, with the default constants. *)
+  let plan = compile_plan (Pattern.cross5 ()) 8 in
+  let loads = 10 * config.Config.memory_op_cycles in
+  let madds = 40 * config.Config.madd_issue_cycles in
+  let stores = 8 * config.Config.memory_op_cycles in
+  let drain =
+    max 0 (config.Config.madd_writeback_latency - config.Config.pipe_reversal_cycles)
+  in
+  let expected =
+    config.Config.line_overhead_cycles + loads
+    + (2 * config.Config.pipe_reversal_cycles)
+    + madds + drain + stores + config.Config.loop_branch_cycles
+  in
+  check_int "line formula" expected (Cost.line_cycles config plan)
+
+let test_cost_scratch_words_match_plan () =
+  let plan = compile_plan (Pattern.diamond13 ()) 4 in
+  let per_phase = 8 + 52 + 4 in
+  let prologue =
+    Array.fold_left (fun a l -> a + List.length l) 0 plan.Plan.prologue
+  in
+  check_int "dynamic words" ((15 * per_phase) + prologue)
+    plan.Plan.dynamic_words
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "microcode"
+    [
+      ( "instr",
+        [ tc "cycle pricing" test_instr_cycles ] );
+      ( "interp",
+        [
+          tc "matches the cost model" test_interp_matches_cost_model;
+          tc "computes correct values" test_interp_computes_correct_values;
+          tc "zero lines costs startup" test_interp_zero_lines_costs_startup;
+          tc "detects store hazards" test_interp_detects_store_hazard;
+          tc "detects out-of-range accesses" test_interp_detects_out_of_range;
+        ] );
+      ( "cost",
+        [
+          tc "line formula components" test_cost_line_formula_components;
+          tc "scratch words match the plan" test_cost_scratch_words_match_plan;
+        ] );
+      ( "trace",
+        [
+          tc "trace structure" test_trace_structure;
+          tc "golden listing" test_listing_is_stable;
+        ] );
+    ]

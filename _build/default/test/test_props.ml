@@ -1,0 +1,348 @@
+(* Property-based tests (qcheck, registered as alcotest cases).
+
+   The generators build random stencil patterns within the machine's
+   register budget and random array data; the properties pin the
+   system's core invariants:
+
+   - compiled execution (both modes) agrees with the reference
+     evaluator for arbitrary patterns, shapes and boundary semantics;
+   - the analytic cycle model agrees with the cycle-accurate
+     interpreter (asserted inside Exec.run's simulate path);
+   - the halo exchange reproduces global circular indexing;
+   - register allocation respects the budget and the LCM law;
+   - strip mining tiles the axis exactly;
+   - a pattern rendered to Fortran and recognized again is unchanged. *)
+
+module Q = QCheck2
+module Gen = QCheck2.Gen
+module Pattern = Ccc.Pattern
+module Offset = Ccc.Offset
+module Coeff = Ccc.Coeff
+module Tap = Ccc.Tap
+module Boundary = Ccc.Boundary
+module Grid = Ccc.Grid
+module Stats = Ccc.Stats
+module Exec = Ccc.Exec
+
+let config = Ccc.Config.default
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let gen_offset =
+  Gen.map2 (fun drow dcol -> Offset.make ~drow ~dcol)
+    (Gen.int_range (-2) 2) (Gen.int_range (-2) 2)
+
+let gen_offsets =
+  (* 1..7 distinct offsets. *)
+  Gen.map
+    (fun offs ->
+      List.sort_uniq Offset.compare offs)
+    (Gen.list_size (Gen.int_range 1 7) gen_offset)
+
+let gen_coeff index =
+  Gen.oneof
+    [
+      Gen.return (Coeff.Array (Printf.sprintf "C%d" (index + 1)));
+      Gen.map (fun v -> Coeff.Scalar v)
+        (Gen.map (fun i -> float_of_int i /. 4.0) (Gen.int_range (-8) 8));
+      Gen.return Coeff.One;
+    ]
+
+let gen_boundary =
+  Gen.oneof
+    [
+      Gen.return Boundary.Circular;
+      Gen.map (fun i -> Boundary.End_off (float_of_int i /. 2.0))
+        (Gen.int_range (-2) 2);
+    ]
+
+let gen_pattern =
+  let open Gen in
+  gen_offsets >>= fun offsets ->
+  gen_boundary >>= fun boundary ->
+  Gen.flatten_l (List.mapi (fun i _ -> gen_coeff i) offsets) >>= fun coeffs ->
+  Gen.bool >>= fun with_bias ->
+  let taps = List.map2 Tap.make offsets coeffs in
+  let bias = if with_bias then Some (Coeff.Array "BB") else None in
+  return (Pattern.create ?bias ~boundary taps)
+
+let print_pattern p = Format.asprintf "%a" Pattern.pp p
+
+(* Deterministic data environment for a generated pattern. *)
+let env_of_pattern ~rows ~cols p = Tutil.env_for ~rows ~cols p
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_fast_matches_reference =
+  Q.Test.make ~name:"fast execution = reference evaluation" ~count:120
+    ~print:print_pattern gen_pattern (fun p ->
+      match Ccc.compile_pattern config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok compiled ->
+          let env = env_of_pattern ~rows:(4 * 6) ~cols:(4 * 6) p in
+          let expected = Ccc.Reference.apply p env in
+          let { Exec.output; _ } = Ccc.apply ~mode:Exec.Fast config compiled env in
+          Grid.max_abs_diff expected output < 1e-9)
+
+let prop_simulate_matches_reference =
+  Q.Test.make ~name:"simulated execution = reference evaluation" ~count:40
+    ~print:print_pattern gen_pattern (fun p ->
+      match Ccc.compile_pattern config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok compiled ->
+          let env = env_of_pattern ~rows:(4 * 5) ~cols:(4 * 5) p in
+          let expected = Ccc.Reference.apply p env in
+          let { Exec.output; _ } =
+            Ccc.apply ~mode:Exec.Simulate config compiled env
+          in
+          Grid.max_abs_diff expected output < 1e-9)
+
+let prop_modes_agree_on_cycles =
+  Q.Test.make ~name:"simulate and fast report identical cycles" ~count:40
+    ~print:print_pattern gen_pattern (fun p ->
+      match Ccc.compile_pattern config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok compiled ->
+          let env = env_of_pattern ~rows:(4 * 5) ~cols:(4 * 5) p in
+          let s, f = Tutil.run_both_modes ~config compiled env in
+          s.Exec.stats.Stats.compute_cycles = f.Exec.stats.Stats.compute_cycles
+          && s.Exec.stats.Stats.madds_issued = f.Exec.stats.Stats.madds_issued)
+
+let prop_halo_is_global_circular =
+  let gen =
+    Gen.tup3 (Gen.int_range 2 7) (Gen.int_range 2 7) (Gen.int_range 0 2)
+  in
+  Q.Test.make ~name:"halo exchange = global circular indexing" ~count:60
+    ~print:(fun (r, c, p) -> Printf.sprintf "sub %dx%d pad %d" r c p)
+    gen
+    (fun (sub_rows, sub_cols, pad) ->
+      Q.assume (pad <= sub_rows && pad <= sub_cols);
+      let machine = Ccc.machine config in
+      let g =
+        Tutil.mixed_grid ~seed:42 ~rows:(4 * sub_rows) ~cols:(4 * sub_cols)
+      in
+      let d = Ccc.Dist.scatter machine g in
+      let x =
+        Ccc.Halo.exchange ~source:d ~pad ~boundary:Boundary.Circular
+          ~needs_corners:true ()
+      in
+      let ok = ref true in
+      for node = 0 to 15 do
+        let nr, nc =
+          Ccc.Geometry.coord_of_node (Ccc.Machine.geometry machine) node
+        in
+        for r = -pad to sub_rows + pad - 1 do
+          for c = -pad to sub_cols + pad - 1 do
+            let expected =
+              Grid.get_circular g ((nr * sub_rows) + r) ((nc * sub_cols) + c)
+            in
+            let actual =
+              Ccc_cm2.Memory.read
+                (Ccc.Machine.memory machine node)
+                (x.Ccc.Halo.padded.Ccc_cm2.Memory.base
+                + ((r + pad) * x.Ccc.Halo.padded_cols)
+                + c + pad)
+            in
+            if expected <> actual then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_regalloc_budget_and_lcm =
+  Q.Test.make ~name:"allocation: budget respected, unroll = LCM, rings >= span"
+    ~count:200 ~print:print_pattern gen_pattern (fun p ->
+      List.for_all
+        (fun width ->
+          let ms = Ccc.Multistencil.make p ~width in
+          match Ccc_compiler.Regalloc.allocate ms ~available:31 with
+          | Error _ -> true
+          | Ok a ->
+              a.Ccc_compiler.Regalloc.data_registers <= 31
+              && a.Ccc_compiler.Regalloc.unroll
+                 = Ccc_compiler.Regalloc.lcm_list
+                     (List.map snd a.Ccc_compiler.Regalloc.ring_sizes)
+              && List.for_all2
+                   (fun (col : Ccc.Multistencil.column) (dcol, size) ->
+                     col.Ccc.Multistencil.dcol = dcol
+                     && size >= col.Ccc.Multistencil.span)
+                   (Ccc.Multistencil.columns ms)
+                   a.Ccc_compiler.Regalloc.ring_sizes)
+        [ 1; 2; 4; 8 ])
+
+let prop_strips_tile_axis =
+  let gen = Gen.tup2 gen_pattern (Gen.int_range 1 64) in
+  Q.Test.make ~name:"strip widths tile the axis" ~count:150
+    ~print:(fun (p, w) -> Printf.sprintf "%s cols=%d" (print_pattern p) w)
+    gen
+    (fun (p, sub_cols) ->
+      match Ccc.compile_pattern config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok compiled ->
+          let widths =
+            Ccc_runtime.Stripmine.strip_widths compiled ~sub_cols
+          in
+          List.fold_left ( + ) 0 widths = sub_cols
+          && List.for_all (fun w -> w = 8 || w = 4 || w = 2 || w = 1) widths
+          (* Greedy shaving: widths never increase along the axis. *)
+          && List.for_all2 ( >= ) widths (List.tl widths @ [ 1 ]))
+
+let prop_fortran_roundtrip =
+  Q.Test.make ~name:"pattern -> Fortran -> recognizer roundtrip" ~count:200
+    ~print:print_pattern gen_pattern (fun p ->
+      (* A pattern with no shifted tap renders without any CSHIFT, and
+         the recognizer (correctly) cannot identify the source array. *)
+      Q.assume
+        (List.exists
+           (fun t -> not (Offset.equal t.Tap.offset Offset.zero))
+           (Pattern.taps p));
+      let text = Pattern.to_fortran p in
+      match Ccc_frontend.Parser.parse_statement text with
+      | exception Ccc_frontend.Parser.Error { message; _ } ->
+          Q.Test.fail_report ("parse: " ^ message)
+      | stmt -> begin
+          match Ccc_frontend.Recognize.statement stmt with
+          | Error ds ->
+              Q.Test.fail_report
+                (String.concat "; "
+                   (List.map Ccc_frontend.Diagnostics.to_string ds))
+          | Ok p' -> Pattern.equal p p'
+        end)
+
+let prop_useful_flops_formula =
+  Q.Test.make ~name:"flop accounting: taps + terms - 1" ~count:200
+    ~print:print_pattern gen_pattern (fun p ->
+      let taps = Pattern.tap_count p in
+      let bias = match Pattern.bias p with Some _ -> 1 | None -> 0 in
+      Pattern.useful_flops_per_point p = (2 * taps) + bias - 1)
+
+(* Multi-source generator: 2 or 3 sources, each with 1..3 distinct
+   taps within the +-2 window. *)
+let gen_multi =
+  let open Gen in
+  int_range 2 3 >>= fun nsources ->
+  gen_boundary >>= fun boundary ->
+  let gen_source_offsets =
+    map (List.sort_uniq Offset.compare) (list_size (int_range 1 3) gen_offset)
+  in
+  flatten_l (List.init nsources (fun _ -> gen_source_offsets))
+  >>= fun per_source ->
+  let taps =
+    List.concat
+      (List.mapi
+         (fun src offs ->
+           List.mapi
+             (fun i off ->
+               {
+                 Ccc.Multi.source = src;
+                 tap =
+                   Tap.make off
+                     (Coeff.Array (Printf.sprintf "K%d_%d" src i));
+               })
+             offs)
+         per_source)
+  in
+  let sources = List.init nsources (fun i -> Printf.sprintf "S%d" i) in
+  return (Ccc.Multi.create ~boundary ~sources taps)
+
+let print_multi m = Format.asprintf "%a" Ccc.Multi.pp m
+
+let prop_fused_matches_reference =
+  Q.Test.make ~name:"fused execution = multi-source reference" ~count:80
+    ~print:print_multi gen_multi (fun m ->
+      match Ccc.compile_multi config m with
+      | Error _ -> Q.assume_fail ()
+      | Ok fused ->
+          let env =
+            List.mapi
+              (fun i name ->
+                (name, Tutil.mixed_grid ~seed:(50 + i) ~rows:24 ~cols:24))
+              (Ccc.Multi.referenced_arrays m)
+          in
+          let expected = Exec.reference_fused m env in
+          let { Exec.output; _ } = Ccc.apply_fused config fused env in
+          Grid.max_abs_diff expected output < 1e-9)
+
+let prop_fused_simulate_matches_reference =
+  Q.Test.make ~name:"fused cycle-accurate execution = reference" ~count:25
+    ~print:print_multi gen_multi (fun m ->
+      match Ccc.compile_multi config m with
+      | Error _ -> Q.assume_fail ()
+      | Ok fused ->
+          let env =
+            List.mapi
+              (fun i name ->
+                (name, Tutil.mixed_grid ~seed:(70 + i) ~rows:20 ~cols:20))
+              (Ccc.Multi.referenced_arrays m)
+          in
+          let expected = Exec.reference_fused m env in
+          let { Exec.output; _ } =
+            Ccc.apply_fused ~mode:Exec.Simulate config fused env
+          in
+          Grid.max_abs_diff expected output < 1e-9)
+
+let prop_estimate_consistent_with_run =
+  Q.Test.make ~name:"estimate = run statistics" ~count:40
+    ~print:print_pattern gen_pattern (fun p ->
+      match Ccc.compile_pattern config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok compiled ->
+          let sub_rows = 6 and sub_cols = 9 in
+          let env =
+            env_of_pattern ~rows:(4 * sub_rows) ~cols:(4 * sub_cols) p
+          in
+          let { Exec.stats = r; _ } = Ccc.apply config compiled env in
+          let e = Exec.estimate ~sub_rows ~sub_cols config compiled in
+          r.Stats.comm_cycles = e.Stats.comm_cycles
+          && r.Stats.compute_cycles = e.Stats.compute_cycles
+          && r.Stats.useful_flops_per_iteration
+             = e.Stats.useful_flops_per_iteration)
+
+let prop_machine_reuse_is_leak_free =
+  (* A long-lived machine services many different stencils: every call
+     must release its temporaries and keep matching the oracle. *)
+  Q.Test.make ~name:"machine reuse across random patterns leaks nothing"
+    ~count:30 ~print:print_pattern gen_pattern
+    (let machine = Ccc.machine config in
+     let free0 =
+       Ccc_cm2.Memory.words_free (Ccc.Machine.memory machine 0)
+     in
+     fun p ->
+       match Ccc.compile_pattern config p with
+       | Error _ -> Q.assume_fail ()
+       | Ok compiled ->
+           let env = env_of_pattern ~rows:(4 * 5) ~cols:(4 * 5) p in
+           let expected = Ccc.Reference.apply p env in
+           let { Exec.output; _ } = Exec.run machine compiled env in
+           Grid.max_abs_diff expected output < 1e-9
+           && Ccc_cm2.Memory.words_free (Ccc.Machine.memory machine 0) = free0)
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ( "execution",
+        List.map to_alcotest
+          [
+            prop_fast_matches_reference;
+            prop_simulate_matches_reference;
+            prop_modes_agree_on_cycles;
+            prop_estimate_consistent_with_run;
+            prop_machine_reuse_is_leak_free;
+          ] );
+      ( "communication",
+        List.map to_alcotest [ prop_halo_is_global_circular ] );
+      ( "fused",
+        List.map to_alcotest
+          [ prop_fused_matches_reference; prop_fused_simulate_matches_reference ]
+      );
+      ( "compiler",
+        List.map to_alcotest
+          [ prop_regalloc_budget_and_lcm; prop_strips_tile_axis ] );
+      ( "frontend",
+        List.map to_alcotest [ prop_fortran_roundtrip ] );
+      ( "accounting",
+        List.map to_alcotest [ prop_useful_flops_formula ] );
+    ]

@@ -1,0 +1,311 @@
+(* Unit tests for the stencil IR: offsets, taps, patterns (borders,
+   flop accounting, corner detection), multistencils (including the
+   paper's quoted register counts), and ASCII rendering. *)
+
+open Ccc_stencil
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let off = Offset.make
+
+(* ------------------------------------------------------------------ *)
+(* Offset *)
+
+let test_shift_dims () =
+  Alcotest.(check bool)
+    "dim 1 is rows" true
+    (Offset.equal (Offset.shift ~dim:1 ~amount:(-1)) (off ~drow:(-1) ~dcol:0));
+  Alcotest.(check bool)
+    "dim 2 is cols" true
+    (Offset.equal (Offset.shift ~dim:2 ~amount:3) (off ~drow:0 ~dcol:3));
+  Alcotest.check_raises "dim 3 rejected"
+    (Invalid_argument "Offset.shift: DIM=3 (expected 1 or 2)") (fun () ->
+      ignore (Offset.shift ~dim:3 ~amount:1))
+
+let test_offset_compose () =
+  (* CSHIFT(CSHIFT(X,1,-1),2,+1) taps (-1,+1): shifts compose by
+     addition. *)
+  let composed =
+    Offset.add (Offset.shift ~dim:1 ~amount:(-1)) (Offset.shift ~dim:2 ~amount:1)
+  in
+  check_bool "composition" true (Offset.equal composed (off ~drow:(-1) ~dcol:1))
+
+let test_offset_neg_add_zero () =
+  let o = off ~drow:2 ~dcol:(-3) in
+  check_bool "o + (-o) = 0" true (Offset.equal (Offset.add o (Offset.neg o)) Offset.zero)
+
+let test_offset_order_row_major () =
+  let sorted =
+    List.sort Offset.compare
+      [ off ~drow:1 ~dcol:0; off ~drow:0 ~dcol:5; off ~drow:0 ~dcol:(-1) ]
+  in
+  Alcotest.(check (list string)) "row-major order"
+    [ "(+0,-1)"; "(+0,+5)"; "(+1,+0)" ]
+    (List.map Offset.to_string sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Pattern *)
+
+let test_create_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Pattern.create: empty tap list")
+    (fun () -> ignore (Pattern.create []))
+
+let test_create_rejects_duplicates () =
+  match
+    Pattern.create
+      [ Tap.make Offset.zero (Coeff.Array "A"); Tap.make Offset.zero Coeff.One ]
+  with
+  | _ -> Alcotest.fail "expected duplicate rejection"
+  | exception Invalid_argument _ -> ()
+
+let test_borders_asymmetric () =
+  (* The paper's border-width example: a stencil with East 1, North 2,
+     South 0, West 3. *)
+  let p = Tutil.pattern_of_offsets [ (0, -3); (-2, 0); (0, 1); (0, 0) ] in
+  let b = Pattern.borders p in
+  check_int "north" 2 b.Pattern.north;
+  check_int "south" 0 b.Pattern.south;
+  check_int "east" 1 b.Pattern.east;
+  check_int "west" 3 b.Pattern.west;
+  check_int "max border pads all four sides" 3 (Pattern.max_border p)
+
+let test_useful_flops_cross5 () =
+  (* Section 7: the 5-point pattern counts 9 flops (5 multiplies and 4
+     adds) despite executing as 5 multiply-add steps. *)
+  check_int "cross5" 9 (Pattern.useful_flops_per_point (Pattern.cross5 ()))
+
+let test_useful_flops_gallery () =
+  let flops name =
+    Pattern.useful_flops_per_point (List.assoc name (Pattern.gallery ()))
+  in
+  check_int "square9" 17 (flops "square9");
+  check_int "cross9" 17 (flops "cross9");
+  check_int "diamond13" 25 (flops "diamond13");
+  check_int "asymmetric5" 9 (flops "asymmetric5")
+
+let test_useful_flops_bias () =
+  (* A bias term contributes its combining add only. *)
+  let p =
+    Pattern.create ~bias:(Coeff.Array "B")
+      [ Tap.make Offset.zero (Coeff.Array "C1") ]
+  in
+  check_int "1 multiply + 1 add" 2 (Pattern.useful_flops_per_point p)
+
+let test_needs_corners () =
+  check_bool "cross5 has no diagonal taps" false
+    (Pattern.needs_corners (Pattern.cross5 ()));
+  check_bool "cross9 has no diagonal taps" false
+    (Pattern.needs_corners (Pattern.cross9 ()));
+  check_bool "square9 needs corners" true
+    (Pattern.needs_corners (Pattern.square9 ()));
+  check_bool "diamond13 needs corners" true
+    (Pattern.needs_corners (Pattern.diamond13 ()))
+
+let test_gallery_tap_counts () =
+  let count name = Pattern.tap_count (List.assoc name (Pattern.gallery ())) in
+  check_int "cross5" 5 (count "cross5");
+  check_int "square9" 9 (count "square9");
+  check_int "cross9" 9 (count "cross9");
+  check_int "diamond13" 13 (count "diamond13");
+  check_int "asymmetric5" 5 (count "asymmetric5")
+
+let test_find_tap () =
+  let p = Pattern.cross5 () in
+  check_bool "center tap present" true
+    (Option.is_some (Pattern.find_tap p Offset.zero));
+  check_bool "no diagonal tap" true
+    (Option.is_none (Pattern.find_tap p (off ~drow:1 ~dcol:1)))
+
+let test_pattern_equal () =
+  check_bool "cross5 = cross5" true
+    (Pattern.equal (Pattern.cross5 ()) (Pattern.cross5 ()));
+  check_bool "cross5 <> square9" false
+    (Pattern.equal (Pattern.cross5 ()) (Pattern.square9 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Multistencil *)
+
+let test_cross5_width8_positions () =
+  (* Section 5.3: the width-8 multistencil of the 5-point cross spans
+     26 positions, so 26 loads compute 8 results (vs 40 naively). *)
+  let ms = Multistencil.make (Pattern.cross5 ()) ~width:8 in
+  check_int "26 positions" 26 (Multistencil.position_count ms)
+
+let test_diamond13_register_demand () =
+  (* Section 5.3: a width-8 multistencil of the 13-point diamond would
+     require 48 registers; the width-4 one requires only 28. *)
+  let w8 = Multistencil.make (Pattern.diamond13 ()) ~width:8 in
+  let w4 = Multistencil.make (Pattern.diamond13 ()) ~width:4 in
+  check_int "width 8 wants 48 data registers + zero" 49
+    (Multistencil.register_demand w8);
+  check_int "width 4 wants 28 data registers + zero" 29
+    (Multistencil.register_demand w4);
+  check_int "width 4 has 28 positions" 28 (Multistencil.position_count w4)
+
+let test_diamond13_column_profile () =
+  (* Section 5.4: column heights 1 3 5 5 5 5 3 1 for width 4. *)
+  let ms = Multistencil.make (Pattern.diamond13 ()) ~width:4 in
+  Alcotest.(check string)
+    "column profile" "1 3 5 5 5 5 3 1" (Render.column_profile ms)
+
+let test_width1_is_base_pattern () =
+  let p = Pattern.square9 () in
+  let ms = Multistencil.make p ~width:1 in
+  check_int "positions = taps" (Pattern.tap_count p)
+    (Multistencil.position_count ms)
+
+let test_columns_sorted_and_complete () =
+  let ms = Multistencil.make (Pattern.cross5 ()) ~width:8 in
+  let cols = Multistencil.columns ms in
+  check_int "10 columns" 10 (List.length cols);
+  let dcols = List.map (fun c -> c.Multistencil.dcol) cols in
+  Alcotest.(check (list int)) "ascending -1..8"
+    [ -1; 0; 1; 2; 3; 4; 5; 6; 7; 8 ] dcols;
+  let total =
+    List.fold_left (fun a c -> a + List.length c.Multistencil.occupied) 0 cols
+  in
+  check_int "columns partition the positions" 26 total
+
+let test_tagged_positions () =
+  (* Bottom row, leftmost, translated by the occurrence index. *)
+  let ms = Multistencil.make (Pattern.cross5 ()) ~width:4 in
+  for j = 0 to 3 do
+    let t = Multistencil.tagged_position ms ~occurrence:j in
+    check_bool
+      (Printf.sprintf "occurrence %d" j)
+      true
+      (Offset.equal t (off ~drow:1 ~dcol:j))
+  done
+
+let test_tagged_position_asymmetric () =
+  (* asymmetric5's bottom row holds columns {-1, 0, +2}; leftmost is
+     -1. *)
+  let ms = Multistencil.make (Pattern.asymmetric5 ()) ~width:2 in
+  check_bool "tag at (1,-1)" true
+    (Offset.equal
+       (Multistencil.tagged_position ms ~occurrence:0)
+       (off ~drow:1 ~dcol:(-1)));
+  check_bool "occurrence 1 shifts east" true
+    (Offset.equal
+       (Multistencil.tagged_position ms ~occurrence:1)
+       (off ~drow:1 ~dcol:0))
+
+let test_tags_never_needed_to_the_right () =
+  (* The property that justifies accumulator recycling: no occurrence
+     j' > j taps the tagged position of occurrence j. *)
+  List.iter
+    (fun (_, p) ->
+      let width = 8 in
+      let ms = Multistencil.make p ~width in
+      for j = 0 to width - 1 do
+        let tag = Multistencil.tagged_position ms ~occurrence:j in
+        for j' = j + 1 to width - 1 do
+          let taps = Multistencil.occurrence_taps ms ~occurrence:j' in
+          check_bool
+            (Printf.sprintf "tag %d untouched by occurrence %d" j j')
+            false
+            (List.exists (fun (pos, _) -> Offset.equal pos tag) taps)
+        done
+      done)
+    (Pattern.gallery ())
+
+let test_occurrence_taps_translate () =
+  let ms = Multistencil.make (Pattern.cross5 ()) ~width:3 in
+  let taps = Multistencil.occurrence_taps ms ~occurrence:2 in
+  check_int "five taps" 5 (List.length taps);
+  check_bool "center translated to (0,2)" true
+    (List.exists (fun (pos, _) -> Offset.equal pos (off ~drow:0 ~dcol:2)) taps)
+
+let test_row_range () =
+  let ms = Multistencil.make (Pattern.cross9 ()) ~width:4 in
+  let lo, hi = Multistencil.row_range ms in
+  check_int "top" (-2) lo;
+  check_int "bottom" 2 hi
+
+let test_pinned_registers () =
+  let plain = Multistencil.make (Pattern.cross5 ()) ~width:2 in
+  check_int "zero only" 1 (Multistencil.pinned_registers plain);
+  let biased =
+    Multistencil.make
+      (Pattern.create ~bias:(Coeff.Array "B") [ Tap.make Offset.zero Coeff.One ])
+      ~width:2
+  in
+  check_int "zero and one" 2 (Multistencil.pinned_registers biased)
+
+let test_width_validation () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Multistencil.make: width < 1")
+    (fun () -> ignore (Multistencil.make (Pattern.cross5 ()) ~width:0))
+
+(* ------------------------------------------------------------------ *)
+(* Render *)
+
+let test_render_cross5 () =
+  let picture = Render.pattern (Pattern.cross5 ()) in
+  Alcotest.(check string) "cross picture" ". # .\n# @ #\n. # .\n" picture
+
+let test_render_asymmetric () =
+  (* The result position is not a tap in patterns that skip the
+     center; the picture marks it with 'o'. *)
+  let p = Tutil.pattern_of_offsets [ (0, 1); (0, 2) ] in
+  Alcotest.(check string) "o marks result" "o # #\n" (Render.pattern p)
+
+let test_render_multistencil_tags () =
+  let ms = Multistencil.make (Pattern.cross5 ()) ~width:2 in
+  let picture = Render.multistencil ms in
+  check_bool "has tagged cells" true
+    (String.exists (fun c -> c = 'A') picture)
+
+let test_render_borders_line () =
+  Alcotest.(check string)
+    "borders summary" "North=2 South=2 East=2 West=2"
+    (Render.borders (Pattern.diamond13 ()))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "stencil"
+    [
+      ( "offset",
+        [
+          tc "shift dims" test_shift_dims;
+          tc "composition" test_offset_compose;
+          tc "neg/add/zero" test_offset_neg_add_zero;
+          tc "row-major order" test_offset_order_row_major;
+        ] );
+      ( "pattern",
+        [
+          tc "rejects empty" test_create_rejects_empty;
+          tc "rejects duplicate offsets" test_create_rejects_duplicates;
+          tc "asymmetric borders" test_borders_asymmetric;
+          tc "cross5 counts 9 flops" test_useful_flops_cross5;
+          tc "gallery flop counts" test_useful_flops_gallery;
+          tc "bias flop count" test_useful_flops_bias;
+          tc "corner detection" test_needs_corners;
+          tc "gallery tap counts" test_gallery_tap_counts;
+          tc "find_tap" test_find_tap;
+          tc "structural equality" test_pattern_equal;
+        ] );
+      ( "multistencil",
+        [
+          tc "cross5 width 8 has 26 positions" test_cross5_width8_positions;
+          tc "diamond13 register demand (48 vs 28)" test_diamond13_register_demand;
+          tc "diamond13 column profile 1 3 5 5 5 5 3 1"
+            test_diamond13_column_profile;
+          tc "width 1 is the base pattern" test_width1_is_base_pattern;
+          tc "columns sorted and complete" test_columns_sorted_and_complete;
+          tc "tagged positions" test_tagged_positions;
+          tc "tagged position of asymmetric pattern"
+            test_tagged_position_asymmetric;
+          tc "tags never needed to the right" test_tags_never_needed_to_the_right;
+          tc "occurrence taps translate" test_occurrence_taps_translate;
+          tc "row range" test_row_range;
+          tc "pinned registers" test_pinned_registers;
+          tc "width validation" test_width_validation;
+        ] );
+      ( "render",
+        [
+          tc "cross5 picture" test_render_cross5;
+          tc "result position marker" test_render_asymmetric;
+          tc "multistencil tags" test_render_multistencil_tags;
+          tc "borders line" test_render_borders_line;
+        ] );
+    ]
