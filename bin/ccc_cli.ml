@@ -5,6 +5,7 @@
                                compilation report or diagnostics
    ccc run      FILE        -- compile and execute on synthetic data
    ccc estimate FILE        -- predicted performance across subgrid sizes
+   ccc lint                 -- standalone analyzer over compiled plans
    ccc gallery              -- the built-in patterns, with pictures *)
 
 open Cmdliner
@@ -320,6 +321,115 @@ let program_cmd =
     Term.(const run $ file_arg $ nodes_arg $ tuned_flag)
 
 (* ------------------------------------------------------------------ *)
+(* lint: run the standalone plan analyzer over compiled plans *)
+
+let lint_cmd =
+  let lint_plan config ~ok name (plan : Ccc.Plan.t) =
+    match Ccc.Verify.verify config plan with
+    | [] ->
+        Printf.printf "%s width %d: clean (%d registers, unroll %d, %d scratch words)\n"
+          name plan.Ccc.Plan.width plan.Ccc.Plan.registers_used
+          plan.Ccc.Plan.unroll plan.Ccc.Plan.dynamic_words
+    | findings ->
+        ok := false;
+        List.iter
+          (fun f ->
+            Printf.printf "%s width %d: %s\n" name plan.Ccc.Plan.width
+              (Ccc.Finding.to_string f))
+          findings
+  in
+  let keep width w = match width with None -> true | Some w' -> w = w' in
+  let lint_plans config ~ok ~width name plans rejected =
+    List.iter
+      (fun (plan : Ccc.Plan.t) ->
+        if keep width plan.Ccc.Plan.width then lint_plan config ~ok name plan)
+      plans;
+    List.iter
+      (fun (w, f) ->
+        if keep width w then
+          Printf.printf "%s width %d: %s\n" name w (Ccc.Finding.to_string f))
+      rejected
+  in
+  let lint_pattern config ~ok ~width name p =
+    match Ccc.Compile.compile config p with
+    | Error e ->
+        ok := false;
+        Printf.printf "%s: %s\n" name e
+    | Ok c ->
+        lint_plans config ~ok ~width name c.Ccc.Compile.plans
+          c.Ccc.Compile.rejected
+  in
+  let lint_fused_seismic config ~ok ~width =
+    match Ccc.Compile.compile_fused config (Ccc.Seismic.fused_kernel ()) with
+    | Error e ->
+        ok := false;
+        Printf.printf "seismic-fused: %s\n" e
+    | Ok f ->
+        lint_plans config ~ok ~width "seismic-fused" f.Ccc.Compile.fused_plans
+          f.Ccc.Compile.fused_rejected
+  in
+  let run pattern width all nodes tuned =
+    let config = or_die (config_of ~nodes ~tuned) in
+    (match width with
+    | Some w when not (List.mem w Ccc.Compile.candidate_widths) ->
+        prerr_endline
+          ("no such multistencil width: " ^ string_of_int w
+         ^ " (candidates: "
+          ^ String.concat ", "
+              (List.map string_of_int Ccc.Compile.candidate_widths)
+          ^ ")");
+        exit 2
+    | _ -> ());
+    let ok = ref true in
+    (match (all, pattern) with
+    | true, _ ->
+        List.iter
+          (fun (name, p) -> lint_pattern config ~ok ~width name p)
+          (Ccc.Pattern.gallery ());
+        lint_fused_seismic config ~ok ~width
+    | false, Some name -> begin
+        match List.assoc_opt name (Ccc.Pattern.gallery ()) with
+        | Some p -> lint_pattern config ~ok ~width name p
+        | None when name = "seismic-fused" -> lint_fused_seismic config ~ok ~width
+        | None ->
+            prerr_endline
+              ("unknown pattern: " ^ name
+             ^ " (try one of the gallery names, or seismic-fused)");
+            exit 2
+      end
+    | false, None ->
+        prerr_endline "lint: specify --pattern NAME or --all";
+        exit 2);
+    if not !ok then exit 1
+  in
+  let pattern_arg =
+    Arg.(value & opt (some string) None
+         & info [ "pattern" ] ~docv:"NAME"
+             ~doc:"Lint the plans of this gallery pattern (or \
+                   $(b,seismic-fused) for the ten-term fused kernel).")
+  in
+  let width_arg =
+    Arg.(value & opt (some int) None
+         & info [ "width" ] ~doc:"Restrict to this multistencil width.")
+  in
+  let all_flag =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Lint every gallery pattern at every candidate width, plus \
+                   the fused seismic kernel.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Re-derive and check every compiled plan with the standalone \
+          dataflow analyzer: pipeline hazards, register-file invariants, \
+          liveness, coverage and budgets.  Width rejections are reported \
+          as findings but are not failures; analyzer findings on an \
+          emitted plan exit nonzero (they indicate a compiler bug).")
+    Term.(
+      const run $ pattern_arg $ width_arg $ all_flag $ nodes_arg $ tuned_flag)
+
+(* ------------------------------------------------------------------ *)
 (* gallery *)
 
 let gallery_cmd =
@@ -343,4 +453,4 @@ let () =
     Cmd.info "ccc" ~version:"1.0.0"
       ~doc:"The Connection Machine Convolution Compiler (simulated CM-2)"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; program_cmd; gallery_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; program_cmd; lint_cmd; gallery_cmd ]))

@@ -1,0 +1,69 @@
+type severity = Error | Warning
+
+type check =
+  | Hazard
+  | Unwritten_read
+  | Wrong_element
+  | Chain_shape
+  | Store_mismatch
+  | Coverage
+  | Dead_code
+  | Pinned_write
+  | Register_range
+  | Ring_layout
+  | Phase_shape
+  | Coeff_streams
+  | Budget
+  | Cost_model
+  | Register_pressure
+  | Scratch_pressure
+  | Infeasible
+
+type t = {
+  severity : severity;
+  check : check;
+  phase : int option;
+  cycle : int option;
+  instr : Ccc_microcode.Instr.t option;
+  message : string;
+}
+
+let make ?(severity = Error) ?phase ?cycle ?instr check message =
+  { severity; check; phase; cycle; instr; message }
+
+let makef ?severity ?phase ?cycle ?instr check fmt =
+  Format.kasprintf (make ?severity ?phase ?cycle ?instr check) fmt
+
+let check_name = function
+  | Hazard -> "hazard"
+  | Unwritten_read -> "unwritten-read"
+  | Wrong_element -> "wrong-element"
+  | Chain_shape -> "chain-shape"
+  | Store_mismatch -> "store-mismatch"
+  | Coverage -> "coverage"
+  | Dead_code -> "dead-code"
+  | Pinned_write -> "pinned-write"
+  | Register_range -> "register-range"
+  | Ring_layout -> "ring-layout"
+  | Phase_shape -> "phase-shape"
+  | Coeff_streams -> "coeff-streams"
+  | Budget -> "budget"
+  | Cost_model -> "cost-model"
+  | Register_pressure -> "register-pressure"
+  | Scratch_pressure -> "scratch-pressure"
+  | Infeasible -> "infeasible"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%s]" (severity_name t.severity) (check_name t.check);
+  (match (t.phase, t.cycle) with
+  | Some p, Some c -> Format.fprintf ppf " phase %d, cycle %d" p c
+  | Some p, None -> Format.fprintf ppf " phase %d" p
+  | None, Some c -> Format.fprintf ppf " cycle %d" c
+  | None, None -> ());
+  Format.fprintf ppf ": %s" t.message
+
+let to_string t = Format.asprintf "%a" pp t
+
+exception Failed of t list

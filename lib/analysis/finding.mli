@@ -1,0 +1,94 @@
+(** Structured findings for the standalone plan analyzer.
+
+    The compilation strategy stands on hazard-exact register access
+    (section 5.3: deadline-ordered taps, just-in-time accumulator
+    recycling; section 5.4: LCM ring rotation) — output that corrupts
+    results silently if any invariant slips.  Both the independent
+    verifier ({!Verify}) and the compiler's own checks
+    ([Schedule.check_hazards], the width-rejection feedback of
+    section 6) report through this one type, so the CLI renders every
+    complaint about a plan uniformly, in the spirit of
+    [Ccc_frontend.Diagnostics]. *)
+
+type severity = Error | Warning
+
+(** What rule a finding violates.  One constructor per analyzer pass;
+    [Register_pressure] and [Scratch_pressure] mirror the section-6
+    feedback codes of [Ccc_frontend.Diagnostics] so width rejections
+    keep their familiar names. *)
+type check =
+  | Hazard  (** a read races an in-flight or landed overwrite (5.3) *)
+  | Unwritten_read  (** a register read before any write lands *)
+  | Wrong_element
+      (** a data register holds a different grid element than the
+          coefficient stream calls for *)
+  | Chain_shape
+      (** an accumulator is neither zero-seeded nor the chain's own
+          partial sum (5.3) *)
+  | Store_mismatch
+      (** a store writes something other than that line and column's
+          completed accumulation *)
+  | Coverage
+      (** over one unroll period, an output column or a
+          (tap x occurrence) contribution is missing or duplicated *)
+  | Dead_code
+      (** a load or accumulation whose value is never consumed *)
+  | Pinned_write  (** a write targets the pinned 0.0 / 1.0 register *)
+  | Register_range  (** a register index outside the file or the
+                        plan's declared allocation *)
+  | Ring_layout
+      (** a load disagrees with its column's ring rotation (5.4) *)
+  | Phase_shape
+      (** malformed plan structure: wrong section contents, phase
+          count, or per-phase instruction counts *)
+  | Coeff_streams
+      (** the coefficient-stream table disagrees with the pattern *)
+  | Budget  (** dynamic-word accounting or the branch-cycle rule (4.3) *)
+  | Cost_model
+      (** the analyzer's independent cycle count disagrees with
+          [Ccc_microcode.Cost] *)
+  | Register_pressure  (** allocation exceeds the register file *)
+  | Scratch_pressure  (** the unrolled table exceeds scratch memory *)
+  | Infeasible  (** the scheduler could not meet a deadline (5.3) *)
+
+type t = {
+  severity : severity;
+  check : check;
+  phase : int option;  (** unroll phase index, when attributable *)
+  cycle : int option;
+      (** issue cycle within the modeled half-strip, when attributable *)
+  instr : Ccc_microcode.Instr.t option;  (** the offending dynamic part *)
+  message : string;
+}
+
+val make :
+  ?severity:severity ->
+  ?phase:int ->
+  ?cycle:int ->
+  ?instr:Ccc_microcode.Instr.t ->
+  check ->
+  string ->
+  t
+(** [severity] defaults to [Error]. *)
+
+val makef :
+  ?severity:severity ->
+  ?phase:int ->
+  ?cycle:int ->
+  ?instr:Ccc_microcode.Instr.t ->
+  check ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val check_name : check -> string
+(** Kebab-case, e.g. ["register-pressure"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [error[hazard] phase 2, cycle 141: <message>], location parts
+    present only when attributable. *)
+
+val to_string : t -> string
+
+exception Failed of t list
+(** Raised by {!Verify.verify_exn} and by [Schedule.check_hazards]
+    when a plan violates an invariant.  Never empty. *)

@@ -1,0 +1,190 @@
+module Plan = Ccc_microcode.Plan
+module Instr = Ccc_microcode.Instr
+
+type mclass =
+  | Register_swap
+  | Dropped_load
+  | Retargeted_store
+  | Rotation_skew
+  | Pair_reorder
+
+let class_name = function
+  | Register_swap -> "register-swap"
+  | Dropped_load -> "dropped-load"
+  | Retargeted_store -> "retargeted-store"
+  | Rotation_skew -> "rotation-skew"
+  | Pair_reorder -> "pair-reorder"
+
+let all_classes =
+  [ Register_swap; Dropped_load; Retargeted_store; Rotation_skew; Pair_reorder ]
+
+type mutant = {
+  mclass : mclass;
+  description : string;
+  plan : Plan.t;
+}
+
+let with_phase (plan : Plan.t) p f =
+  {
+    plan with
+    Plan.phases =
+      Array.mapi
+        (fun i ph -> if i = p then f ph else ph)
+        plan.Plan.phases;
+  }
+
+let madd_count (ph : Plan.phase) =
+  List.length
+    (List.filter (function Instr.Madd _ -> true | _ -> false) ph.Plan.madds)
+
+(* One multiply-add's data register replaced by a later one's. *)
+let register_swap (plan : Plan.t) p =
+  let ph = plan.Plan.phases.(p) in
+  let madds = Array.of_list ph.Plan.madds in
+  let sites =
+    List.filter_map
+      (fun (i, slot) ->
+        match slot with Instr.Madd m -> Some (i, m.data) | _ -> None)
+      (List.mapi (fun i s -> (i, s)) (Array.to_list madds))
+  in
+  let rec first_differing = function
+    | [] -> None
+    | (i, di) :: rest -> (
+        match List.find_opt (fun (_, dj) -> dj <> di) rest with
+        | Some (j, dj) -> Some (i, j, dj)
+        | None -> first_differing rest)
+  in
+  Option.map
+    (fun (i, j, data') ->
+      (match madds.(i) with
+      | Instr.Madd m -> madds.(i) <- Instr.Madd { m with data = data' }
+      | _ -> assert false);
+      {
+        mclass = Register_swap;
+        description =
+          Printf.sprintf
+            "phase %d: multiply-add %d reads multiply-add %d's data register"
+            p i j;
+        plan =
+          with_phase plan p (fun ph ->
+              { ph with Plan.madds = Array.to_list madds });
+      })
+    (first_differing sites)
+
+(* One leading-edge load deleted from one phase. *)
+let dropped_load (plan : Plan.t) p =
+  match plan.Plan.phases.(p).Plan.loads with
+  | [] -> None
+  | _ :: rest ->
+      Some
+        {
+          mclass = Dropped_load;
+          description = Printf.sprintf "phase %d: first load dropped" p;
+          plan = with_phase plan p (fun ph -> { ph with Plan.loads = rest });
+        }
+
+(* One store sent to the wrong output column (out of range when the
+   strip has only one column). *)
+let retargeted_store (plan : Plan.t) p =
+  match plan.Plan.phases.(p).Plan.stores with
+  | Instr.Store { reg; dcol } :: rest ->
+      let dcol' =
+        if plan.Plan.width > 1 then (dcol + 1) mod plan.Plan.width
+        else plan.Plan.width
+      in
+      Some
+        {
+          mclass = Retargeted_store;
+          description =
+            Printf.sprintf "phase %d: first store retargeted to column %d" p
+              dcol';
+          plan =
+            with_phase plan p (fun ph ->
+                {
+                  ph with
+                  Plan.stores = Instr.Store { reg; dcol = dcol' } :: rest;
+                });
+        }
+  | _ -> None
+
+(* Every load of one ring bumped one slot forward, while the
+   multiply-adds keep reading the original rotation. *)
+let rotation_skew (plan : Plan.t) =
+  match
+    List.find_opt (fun (r : Plan.ring) -> r.Plan.size >= 2) plan.Plan.rings
+  with
+  | None -> None
+  | Some ring ->
+      let skew = function
+        | Instr.Load { reg; src; drow; dcol }
+          when src = ring.Plan.src && dcol = ring.Plan.dcol ->
+            Instr.Load
+              {
+                reg =
+                  ring.Plan.base
+                  + ((reg - ring.Plan.base + 1) mod ring.Plan.size);
+                src;
+                drow;
+                dcol;
+              }
+        | slot -> slot
+      in
+      Some
+        {
+          mclass = Rotation_skew;
+          description =
+            Printf.sprintf
+              "loads of source %d column %+d rotated one slot ahead of the \
+               multiply-adds"
+              ring.Plan.src ring.Plan.dcol;
+          plan =
+            {
+              plan with
+              Plan.phases =
+                Array.map
+                  (fun (ph : Plan.phase) ->
+                    { ph with Plan.loads = List.map skew ph.Plan.loads })
+                  plan.Plan.phases;
+            };
+        }
+
+(* Two adjacent multiply-adds swapped.  With interleaved pairs the
+   swap of slots 1 and 2 puts a chain's second element one cycle after
+   its first, inside the accumulator latency; a lone chain (width 1)
+   gets its leading nop spacing broken instead.  A one-element chain
+   has no reorder that changes semantics, so the class is omitted. *)
+let pair_reorder (plan : Plan.t) =
+  let ph = plan.Plan.phases.(0) in
+  let chain_len =
+    if plan.Plan.width = 0 then 0 else madd_count ph / plan.Plan.width
+  in
+  if chain_len < 2 then None
+  else
+    let madds = Array.of_list ph.Plan.madds in
+    let i, j = if plan.Plan.width >= 2 then (1, 2) else (0, 1) in
+    if j >= Array.length madds then None
+    else begin
+      let tmp = madds.(i) in
+      madds.(i) <- madds.(j);
+      madds.(j) <- tmp;
+      Some
+        {
+          mclass = Pair_reorder;
+          description =
+            Printf.sprintf "phase 0: multiply-add slots %d and %d swapped" i j;
+          plan =
+            with_phase plan 0 (fun ph ->
+                { ph with Plan.madds = Array.to_list madds });
+        }
+    end
+
+let mutants (plan : Plan.t) =
+  let phases =
+    if plan.Plan.unroll > 1 then [ 0; plan.Plan.unroll - 1 ] else [ 0 ]
+  in
+  List.filter_map Fun.id
+    (List.concat_map
+       (fun p ->
+         [ register_swap plan p; dropped_load plan p; retargeted_store plan p ])
+       phases
+    @ [ rotation_skew plan; pair_reorder plan ])

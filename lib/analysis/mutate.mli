@@ -1,0 +1,42 @@
+(** The mutation harness: proof the verifier has teeth.
+
+    Each mutant perturbs a valid plan the way a one-line compiler bug
+    would — exactly the silent-corruption failures the hazard-exact
+    discipline of sections 5.3–5.4 is vulnerable to.  The test suite
+    requires {!Verify.verify} to reject every mutant (kill rate 100%)
+    while accepting the unmutated plan. *)
+
+(** The built-in mutant classes.
+
+    - [Register_swap]: one multiply-add's data register replaced by
+      another chain's (a mis-ordered tap table);
+    - [Dropped_load]: a leading-edge load deleted from one phase (a
+      ring slot goes stale);
+    - [Retargeted_store]: one store's output column changed (results
+      land in the wrong place);
+    - [Rotation_skew]: every load of one ring bumped one slot forward
+      while the multiply-adds keep the original rotation (an
+      off-by-one in the section-5.4 table);
+    - [Pair_reorder]: two adjacent multiply-adds of an interleaved
+      pair swapped, breaking the section-5.3 issue spacing the
+      accumulator latency depends on. *)
+type mclass =
+  | Register_swap
+  | Dropped_load
+  | Retargeted_store
+  | Rotation_skew
+  | Pair_reorder
+
+val class_name : mclass -> string
+val all_classes : mclass list
+
+type mutant = {
+  mclass : mclass;
+  description : string;
+  plan : Ccc_microcode.Plan.t;
+}
+
+val mutants : Ccc_microcode.Plan.t -> mutant list
+(** Every applicable mutant of [plan], deterministically.  A class is
+    omitted only when the plan has no site for it (e.g. [Pair_reorder]
+    on a one-term chain, where any reorder is a no-op). *)

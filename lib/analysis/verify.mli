@@ -1,0 +1,42 @@
+(** The standalone dataflow verifier for compiled plans.
+
+    An independent re-derivation of what a correct plan must look like,
+    with no knowledge of how [Schedule] builds one — N-version
+    assurance for the hazard-exact output of sections 5.3–5.4, the way
+    the runtime's reference evaluator independently checks the numbers.
+
+    The verifier abstractly interprets the dynamic-part table on the
+    WTL3164 issue timeline (multiply at [k], accumulator read at
+    [k + add_latency], writeback at [k + writeback_latency]; a read on
+    cycle [t] observes writes landed on cycles [<= t], exactly the
+    [Ccc_cm2.Fpu] contract), tracking the symbolic grid element or
+    partial sum every register holds.  Over the warmup prologue plus
+    one full unroll period it proves:
+
+    - {b pipeline dataflow}: every multiply reads the grid element its
+      coefficient stream calls for, every accumulator operand is the
+      pinned zero or the chain's own partial sum, and every read beats
+      the landing of any overwriting write — including the "just
+      barely" reuse of a pair partner's tagged register (5.3);
+    - {b register-file invariants}: allocation within the file, the
+      pinned 0.0/1.0 registers never written, no read before a write
+      lands;
+    - {b liveness}: no load and no accumulation is overwritten without
+      having been consumed (dead code is reported as a warning);
+    - {b coverage}: per line, every output column stored exactly once
+      and every (tap x occurrence) pair contributing exactly one
+      multiply-add;
+    - {b layout and budget}: loads target exactly the slot their
+      column's ring rotation designates (5.4), the dynamic-word count
+      is honest and fits scratch memory, the loop branch keeps its own
+      cycles (4.3), and an independently-accumulated cycle count
+      equals [Ccc_microcode.Cost] line by line. *)
+
+val verify : Ccc_cm2.Config.t -> Ccc_microcode.Plan.t -> Finding.t list
+(** All findings, in discovery order: plan-level checks first, then
+    the abstract interpretation, then the liveness scan.  Empty for
+    every plan the compiler emits. *)
+
+val verify_exn : Ccc_cm2.Config.t -> Ccc_microcode.Plan.t -> unit
+(** Raises {!Finding.Failed} with every finding (warnings included)
+    unless the plan is clean. *)

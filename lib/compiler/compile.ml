@@ -1,10 +1,20 @@
+module Finding = Ccc_analysis.Finding
+module Verify = Ccc_analysis.Verify
+
 type t = {
   pattern : Ccc_stencil.Pattern.t;
   plans : Ccc_microcode.Plan.t list;
-  rejected : (int * string) list;
+  rejected : (int * Finding.t) list;
 }
 
 let candidate_widths = [ 8; 4; 2; 1 ]
+
+(* Every plan this driver returns has passed both the scheduler's own
+   hazard check and the standalone analyzer — a plan either side
+   rejects is a compiler bug, reported loudly as Finding.Failed. *)
+let post_check config plan =
+  Schedule.check_hazards config plan;
+  Verify.verify_exn config plan
 
 let try_width (config : Ccc_cm2.Config.t) pattern width =
   let ms = Ccc_stencil.Multistencil.make pattern ~width in
@@ -13,7 +23,7 @@ let try_width (config : Ccc_cm2.Config.t) pattern width =
   match Regalloc.allocate ms ~available with
   | Error { needed; available } ->
       Error
-        (Printf.sprintf
+        (Finding.makef Finding.Register_pressure
            "register pressure: %d data registers needed, %d available" needed
            available)
   | Ok alloc -> begin
@@ -22,17 +32,24 @@ let try_width (config : Ccc_cm2.Config.t) pattern width =
           if plan.Ccc_microcode.Plan.dynamic_words > config.scratch_memory_words
           then
             Error
-              (Printf.sprintf
+              (Finding.makef Finding.Scratch_pressure
                  "scratch pressure: %d dynamic-part words exceed the %d-word \
                   scratch memory"
                  plan.Ccc_microcode.Plan.dynamic_words
                  config.scratch_memory_words)
           else begin
-            Schedule.check_hazards config plan;
+            post_check config plan;
             Ok plan
           end
-      | exception Schedule.Infeasible reason -> Error reason
+      | exception Schedule.Infeasible finding -> Error finding
     end
+
+let no_workable rejected =
+  Printf.sprintf "no workable multistencil width: %s"
+    (String.concat "; "
+       (List.rev_map
+          (fun (w, f) -> Printf.sprintf "width %d: %s" w f.Finding.message)
+          rejected))
 
 let compile ?(widths = candidate_widths) config pattern =
   let widths = List.sort_uniq (fun a b -> compare b a) widths in
@@ -41,17 +58,11 @@ let compile ?(widths = candidate_widths) config pattern =
       (fun (plans, rejected) width ->
         match try_width config pattern width with
         | Ok plan -> (plan :: plans, rejected)
-        | Error reason -> (plans, (width, reason) :: rejected))
+        | Error finding -> (plans, (width, finding) :: rejected))
       ([], []) widths
   in
   match List.rev plans with
-  | [] ->
-      Error
-        (Printf.sprintf "no workable multistencil width: %s"
-           (String.concat "; "
-              (List.rev_map
-                 (fun (w, r) -> Printf.sprintf "width %d: %s" w r)
-                 rejected)))
+  | [] -> Error (no_workable rejected)
   | plans -> Ok { pattern; plans; rejected = List.rev rejected }
 
 let plan_for_width t width =
@@ -68,7 +79,7 @@ let best_width_at_most t limit =
 type fused = {
   multi : Ccc_stencil.Multi.t;
   fused_plans : Ccc_microcode.Plan.t list;
-  fused_rejected : (int * string) list;
+  fused_rejected : (int * Finding.t) list;
 }
 
 let try_width_fused (config : Ccc_cm2.Config.t) multi width =
@@ -87,7 +98,7 @@ let try_width_fused (config : Ccc_cm2.Config.t) multi width =
   match Regalloc.allocate_multi multistencils ~available with
   | Error { Regalloc.needed; available } ->
       Error
-        (Printf.sprintf
+        (Finding.makef Finding.Register_pressure
            "register pressure: %d data registers needed across %d sources, \
             %d available"
            needed nsources available)
@@ -97,16 +108,16 @@ let try_width_fused (config : Ccc_cm2.Config.t) multi width =
           if plan.Ccc_microcode.Plan.dynamic_words > config.scratch_memory_words
           then
             Error
-              (Printf.sprintf
+              (Finding.makef Finding.Scratch_pressure
                  "scratch pressure: %d dynamic-part words exceed the %d-word \
                   scratch memory"
                  plan.Ccc_microcode.Plan.dynamic_words
                  config.scratch_memory_words)
           else begin
-            Schedule.check_hazards config plan;
+            post_check config plan;
             Ok plan
           end
-      | exception Schedule.Infeasible reason -> Error reason
+      | exception Schedule.Infeasible finding -> Error finding
     end
 
 let compile_fused ?(widths = candidate_widths) config multi =
@@ -116,17 +127,11 @@ let compile_fused ?(widths = candidate_widths) config multi =
       (fun (plans, rejected) width ->
         match try_width_fused config multi width with
         | Ok plan -> (plan :: plans, rejected)
-        | Error reason -> (plans, (width, reason) :: rejected))
+        | Error finding -> (plans, (width, finding) :: rejected))
       ([], []) widths
   in
   match List.rev plans with
-  | [] ->
-      Error
-        (Printf.sprintf "no workable multistencil width: %s"
-           (String.concat "; "
-              (List.rev_map
-                 (fun (w, r) -> Printf.sprintf "width %d: %s" w r)
-                 rejected)))
+  | [] -> Error (no_workable rejected)
   | fused_plans ->
       Ok { multi; fused_plans; fused_rejected = List.rev rejected }
 
@@ -153,8 +158,8 @@ let pp_fused_report ppf t =
       Format.fprintf ppf "  %a@ " Ccc_microcode.Plan.pp_summary plan)
     t.fused_plans;
   List.iter
-    (fun (width, reason) ->
-      Format.fprintf ppf "  width %d rejected: %s@ " width reason)
+    (fun (width, f) ->
+      Format.fprintf ppf "  width %d rejected: %s@ " width f.Finding.message)
     t.fused_rejected;
   Format.fprintf ppf "@]"
 
@@ -172,7 +177,7 @@ let pp_report ppf t =
       Format.fprintf ppf "  %a@ " Ccc_microcode.Plan.pp_summary plan)
     t.plans;
   List.iter
-    (fun (width, reason) ->
-      Format.fprintf ppf "  width %d rejected: %s@ " width reason)
+    (fun (width, f) ->
+      Format.fprintf ppf "  width %d rejected: %s@ " width f.Finding.message)
     t.rejected;
   Format.fprintf ppf "@]"

@@ -9,10 +9,16 @@ type t = {
   pattern : Ccc_stencil.Pattern.t;
   plans : Ccc_microcode.Plan.t list;
       (** descending by width; never empty (width 1 always fits for
-          any pattern this compiler accepts) *)
-  rejected : (int * string) list;
+          any pattern this compiler accepts).  Every plan here has
+          passed [Schedule.check_hazards] {e and} the standalone
+          analyzer ([Ccc_analysis.Verify]) — an analyzer finding on
+          compiler output raises {!Ccc_analysis.Finding.Failed}
+          instead of rejecting the width, because it means a compiler
+          bug, not an infeasible stencil *)
+  rejected : (int * Ccc_analysis.Finding.t) list;
       (** widths that did not work, with the reason — the feedback of
-          section 6 *)
+          section 6, as structured findings
+          ([Register_pressure] / [Scratch_pressure] / [Infeasible]) *)
 }
 
 val candidate_widths : int list
@@ -54,7 +60,7 @@ val pp_report : Format.formatter -> t -> unit
 type fused = {
   multi : Ccc_stencil.Multi.t;
   fused_plans : Ccc_microcode.Plan.t list;  (** descending by width *)
-  fused_rejected : (int * string) list;
+  fused_rejected : (int * Ccc_analysis.Finding.t) list;
 }
 
 val compile_fused :

@@ -2,9 +2,15 @@ open Ccc_stencil
 module Plan = Ccc_microcode.Plan
 module Instr = Ccc_microcode.Instr
 
-exception Infeasible of string
+module Finding = Ccc_analysis.Finding
 
-let infeasible fmt = Format.kasprintf (fun m -> raise (Infeasible m)) fmt
+exception Infeasible of Finding.t
+
+let infeasible ?phase ?cycle fmt =
+  Format.kasprintf
+    (fun m ->
+      raise (Infeasible (Finding.make ?phase ?cycle Finding.Infeasible m)))
+    fmt
 
 (* The slots a chain occupies in the multiply-add section are fixed by
    the pair structure alone (section 5.3: results are computed in
@@ -160,10 +166,10 @@ let build_multi config (multi : Multi.t) multistencils
           in
           let dl = deadline data_reg in
           if issue >= dl then
-            infeasible
-              "phase %d chain %d: tap reading r%d issues on cycle %d but the \
-               register is overwritten on cycle %d"
-              p j data_reg issue dl;
+            infeasible ~phase:p ~cycle:issue
+              "chain %d: tap reading r%d issues on cycle %d but the register \
+               is overwritten on cycle %d"
+              j data_reg issue dl;
           Instr.Madd
             {
               dst = tag_reg.(j);
@@ -290,9 +296,10 @@ let check_hazards (config : Ccc_cm2.Config.t) (plan : Plan.t) =
   let wb = config.madd_writeback_latency in
   Array.iteri
     (fun p phase ->
-      let fail fmt =
+      let fail ?cycle check fmt =
         Format.kasprintf
-          (fun m -> failwith (Printf.sprintf "phase %d: %s" p m))
+          (fun m ->
+            raise (Finding.Failed [ Finding.make ~phase:p ?cycle check m ]))
           fmt
       in
       (* First pass: when does each register's first madd write land,
@@ -320,7 +327,7 @@ let check_hazards (config : Ccc_cm2.Config.t) (plan : Plan.t) =
           | Instr.Madd { data; _ } -> begin
               match Hashtbl.find_opt first_land data with
               | Some lands_at when !cycle >= lands_at ->
-                  fail
+                  fail ~cycle:!cycle Finding.Hazard
                     "madd on cycle %d reads r%d after its overwrite lands on \
                      cycle %d"
                     !cycle data lands_at
@@ -342,11 +349,13 @@ let check_hazards (config : Ccc_cm2.Config.t) (plan : Plan.t) =
           | Instr.Store { reg; _ } -> begin
               match Hashtbl.find_opt last_land reg with
               | Some lands_at when !store_cycle < lands_at ->
-                  fail
+                  fail ~cycle:!store_cycle Finding.Hazard
                     "store of r%d on cycle %d precedes its landing on cycle %d"
                     reg !store_cycle lands_at
               | Some _ -> ()
-              | None -> fail "store of r%d which no chain wrote" reg
+              | None ->
+                  fail ~cycle:!store_cycle Finding.Store_mismatch
+                    "store of r%d which no chain wrote" reg
             end
           | Instr.Load _ | Instr.Madd _ | Instr.Nop -> ());
           store_cycle := !store_cycle + Instr.cycles config slot)
@@ -361,12 +370,15 @@ let check_hazards (config : Ccc_cm2.Config.t) (plan : Plan.t) =
                   (fun r -> r.Plan.src = src && r.Plan.dcol = dcol)
                   plan.Plan.rings
               with
-              | None -> fail "load for unknown column %d of source %d" dcol src
+              | None ->
+                  fail Finding.Ring_layout
+                    "load for unknown column %d of source %d" dcol src
               | Some ring ->
                   let expected = Plan.ring_register ring ~line:p ~depth:0 in
                   if reg <> expected then
-                    fail "load for column %d targets r%d, ring expects r%d"
-                      dcol reg expected
+                    fail Finding.Ring_layout
+                      "load for column %d targets r%d, ring expects r%d" dcol
+                      reg expected
             end
           | Instr.Store _ | Instr.Madd _ | Instr.Nop -> ())
         phase.Plan.loads)

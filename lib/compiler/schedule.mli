@@ -22,7 +22,10 @@
     the pair structure makes impossible for left-to-right processing —
     but the checker verifies rather than assumes. *)
 
-exception Infeasible of string
+exception Infeasible of Ccc_analysis.Finding.t
+(** A deadline the scheduler could not meet, as a structured finding
+    (check {!Ccc_analysis.Finding.Infeasible}), so the compiler driver
+    and CLI report it uniformly with the analyzer's own output. *)
 
 val build :
   Ccc_cm2.Config.t ->
@@ -52,5 +55,10 @@ val check_hazards : Ccc_cm2.Config.t -> Ccc_microcode.Plan.t -> unit
     phase and confirm that each data-register read occurs strictly
     before the first in-flight write to that register lands, that
     stores read landed values, and that loads target exactly the slot
-    their column's ring rotation designates.  Raises [Failure] with a
-    description on violation. *)
+    their column's ring rotation designates.  Raises
+    {!Ccc_analysis.Finding.Failed} on violation.
+
+    This is the builder's own inline check; the standalone analyzer
+    ([Ccc_analysis.Verify], run by [Compile] on every produced plan)
+    re-proves the same properties — and more — from an independent
+    abstract interpretation. *)

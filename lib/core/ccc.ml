@@ -13,6 +13,9 @@ module Parser = Ccc_frontend.Parser
 module Defstencil = Ccc_frontend.Defstencil
 module Recognize = Ccc_frontend.Recognize
 module Diagnostics = Ccc_frontend.Diagnostics
+module Finding = Ccc_analysis.Finding
+module Verify = Ccc_analysis.Verify
+module Mutate = Ccc_analysis.Mutate
 module Compile = Ccc_compiler.Compile
 module Plan = Ccc_microcode.Plan
 module Cost = Ccc_microcode.Cost

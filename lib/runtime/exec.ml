@@ -150,6 +150,10 @@ let run ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
       Machine.iter_nodes machine (fun node mem ->
           fast_node_compute pattern ~source:halo ~dst ~streams ~node mem)
   | Simulate ->
+      (* Simulation is the checking mode: beyond Cost = Interp below,
+         every plan the strips draw on must be clean under the
+         standalone analyzer. *)
+      List.iter (Ccc_analysis.Verify.verify_exn config) compiled.Compile.plans;
       Machine.iter_nodes machine (fun node mem ->
           let bindings =
             {
@@ -447,6 +451,9 @@ let run_fused ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
       Machine.iter_nodes machine (fun node mem ->
           fast_node_compute_fused multi ~halos ~dst ~streams ~node mem)
   | Simulate ->
+      List.iter
+        (Ccc_analysis.Verify.verify_exn config)
+        fused.Compile.fused_plans;
       Machine.iter_nodes machine (fun node mem ->
           let bindings =
             {

@@ -17,6 +17,17 @@ let kernel () =
            (Coeff.Array (Printf.sprintf "C%d" (i + 1))))
        (List.sort compare offsets))
 
+let fused_kernel () =
+  let nine =
+    List.map
+      (fun tap -> { Multi.source = 0; tap })
+      (Pattern.taps (kernel ()))
+  in
+  let tenth =
+    { Multi.source = 1; tap = Tap.make Offset.zero (Coeff.Array "C10") }
+  in
+  Multi.create ~result:"PNEW" ~sources:[ "P"; "POLD" ] (nine @ [ tenth ])
+
 let flops_per_point = 17 + 2
 
 let compile_kernel config =

@@ -28,6 +28,12 @@ val kernel : unit -> Ccc_stencil.Pattern.t
 (** The nine-point cross over pressure [P] with coefficient arrays
     [C1 .. C9]. *)
 
+val fused_kernel : unit -> Ccc_stencil.Multi.t
+(** All ten terms as one multi-source pattern — the nine [P] taps plus
+    [C10 * POLD] — i.e. the statement of [examples/fused.ml], the
+    paper's future-work fusion.  Compile with
+    [Ccc_compiler.Compile.compile_fused]. *)
+
 val flops_per_point : int
 (** 19: the stencil's 17 plus the tenth term's multiply-add. *)
 

@@ -46,3 +46,16 @@ The gallery lists the reconstructed benchmark patterns.
   cross9: 9 taps, 17 flops/point, borders North=2 South=2 East=2 West=2
   diamond13: 13 taps, 25 flops/point, borders North=2 South=2 East=2 West=2
   asymmetric5: 5 taps, 9 flops/point, borders North=0 South=1 East=2 West=1
+
+The standalone plan analyzer re-proves every compiled plan from
+scratch; a clean verdict summarizes the plan's footprint.
+
+  $ ../../bin/ccc_cli.exe lint --pattern cross5 --width 8
+  cross5 width 8: clean (27 registers, unroll 3, 190 scratch words)
+
+Width rejections come back as structured findings (the section-6
+feedback loop), but they are not lint failures — the exit code stays
+zero.
+
+  $ ../../bin/ccc_cli.exe lint --pattern cross9 --width 8
+  cross9 width 8: error[register-pressure]: register pressure: 44 data registers needed, 31 available

@@ -1,0 +1,292 @@
+(* The standalone plan analyzer: it must accept every plan the
+   compiler emits (gallery, fused seismic, random in-budget stencils)
+   and reject every mutant in the built-in set — the N-version
+   assurance story of lib/analysis. *)
+
+module Q = QCheck2
+module Gen = QCheck2.Gen
+module Finding = Ccc_analysis.Finding
+module Verify = Ccc_analysis.Verify
+module Mutate = Ccc_analysis.Mutate
+module Compile = Ccc_compiler.Compile
+module Plan = Ccc_microcode.Plan
+module Offset = Ccc_stencil.Offset
+module Tap = Ccc_stencil.Tap
+module Coeff = Ccc_stencil.Coeff
+module Pattern = Ccc_stencil.Pattern
+module Boundary = Ccc_stencil.Boundary
+
+let config = Ccc.Config.default
+
+let pp_findings fs =
+  String.concat "; " (List.map Finding.to_string fs)
+
+let plans_of pattern =
+  match Compile.compile config pattern with
+  | Ok c -> c.Compile.plans
+  | Error e -> Alcotest.failf "compile failed: %s" e
+
+let fused_seismic_plans () =
+  match Compile.compile_fused config (Ccc.Seismic.fused_kernel ()) with
+  | Ok f -> f.Compile.fused_plans
+  | Error e -> Alcotest.failf "fused compile failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Finding rendering *)
+
+let test_finding_pp () =
+  let f =
+    Finding.make ~phase:1 ~cycle:7 Finding.Hazard "r3 overwritten in flight"
+  in
+  Alcotest.(check string)
+    "full location" "error[hazard] phase 1, cycle 7: r3 overwritten in flight"
+    (Finding.to_string f);
+  let w =
+    Finding.make ~severity:Finding.Warning Finding.Dead_code "unused load"
+  in
+  Alcotest.(check string)
+    "bare warning" "warning[dead-code]: unused load" (Finding.to_string w)
+
+(* ------------------------------------------------------------------ *)
+(* The analyzer accepts every plan the compiler emits *)
+
+let test_gallery_clean () =
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun plan ->
+          match Verify.verify config plan with
+          | [] -> ()
+          | fs ->
+              Alcotest.failf "%s width %d: %s" name plan.Plan.width
+                (pp_findings fs))
+        (plans_of p))
+    (Pattern.gallery ())
+
+let test_fused_seismic_clean () =
+  List.iter
+    (fun plan ->
+      match Verify.verify config plan with
+      | [] -> ()
+      | fs ->
+          Alcotest.failf "fused seismic width %d: %s" plan.Plan.width
+            (pp_findings fs))
+    (fused_seismic_plans ())
+
+(* Width rejections surface as structured resource findings. *)
+let test_rejections_structured () =
+  match Compile.compile config (Pattern.cross9 ()) with
+  | Error e -> Alcotest.failf "cross9 should compile at some width: %s" e
+  | Ok c ->
+      Alcotest.(check bool) "cross9 rejects width 8" true (c.rejected <> []);
+      List.iter
+        (fun (_, (f : Finding.t)) ->
+          match f.Finding.check with
+          | Finding.Register_pressure | Finding.Scratch_pressure
+          | Finding.Infeasible ->
+              ()
+          | _ ->
+              Alcotest.failf "unexpected rejection class: %s"
+                (Finding.to_string f))
+        c.rejected
+
+(* ------------------------------------------------------------------ *)
+(* The analyzer rejects hand-broken plans it has never seen built *)
+
+let with_phase plan p f =
+  {
+    plan with
+    Plan.phases =
+      Array.mapi (fun i ph -> if i = p then f ph else ph) plan.Plan.phases;
+  }
+
+let cross5_w8 () =
+  match Compile.plan_for_width (Option.get (Result.to_option
+    (Compile.compile config (Pattern.cross5 ())))) 8 with
+  | Some plan -> plan
+  | None -> Alcotest.fail "cross5 has no width-8 plan"
+
+let has_check c fs = List.exists (fun (f : Finding.t) -> f.Finding.check = c) fs
+
+let test_dropped_store_found () =
+  let plan = cross5_w8 () in
+  let broken =
+    with_phase plan 0 (fun ph ->
+        { ph with Plan.stores = List.tl ph.Plan.stores })
+  in
+  let fs = Verify.verify config broken in
+  Alcotest.(check bool) "coverage finding" true (has_check Finding.Coverage fs);
+  Alcotest.(check bool)
+    "dead accumulation warning" true
+    (has_check Finding.Dead_code fs)
+
+let test_dishonest_words_found () =
+  let plan = cross5_w8 () in
+  let broken = { plan with Plan.dynamic_words = plan.Plan.dynamic_words + 1 } in
+  Alcotest.(check bool)
+    "budget finding" true
+    (has_check Finding.Budget (Verify.verify config broken))
+
+let test_scratch_overflow_found () =
+  let plan = cross5_w8 () in
+  let tight =
+    { config with Ccc.Config.scratch_memory_words = plan.Plan.dynamic_words - 1 }
+  in
+  Alcotest.(check bool)
+    "scratch finding" true
+    (has_check Finding.Scratch_pressure (Verify.verify tight plan))
+
+let test_pinned_write_found () =
+  let plan = cross5_w8 () in
+  let broken =
+    with_phase plan 0 (fun ph ->
+        {
+          ph with
+          Plan.loads =
+            (match ph.Plan.loads with
+            | Ccc_microcode.Instr.Load l :: rest ->
+                Ccc_microcode.Instr.Load { l with reg = plan.Plan.zero_reg }
+                :: rest
+            | _ -> Alcotest.fail "no load to sabotage");
+        })
+  in
+  Alcotest.(check bool)
+    "pinned-write finding" true
+    (has_check Finding.Pinned_write (Verify.verify config broken))
+
+(* ------------------------------------------------------------------ *)
+(* The mutation harness: kill rate must be 100% *)
+
+let mutant_targets () =
+  let named name plan = (name, plan) in
+  List.filter_map Fun.id
+    [
+      Some (named "cross5 w8" (cross5_w8 ()));
+      (match Compile.compile config (Pattern.square9 ()) with
+      | Ok c -> Option.map (named "square9 w8") (Compile.plan_for_width c 8)
+      | Error _ -> None);
+      (match Compile.compile config (Pattern.diamond13 ()) with
+      | Ok c -> Option.map (named "diamond13 w4") (Compile.plan_for_width c 4)
+      | Error _ -> None);
+      (match Compile.compile config (Pattern.cross9 ()) with
+      | Ok c -> Option.map (named "cross9 w4") (Compile.plan_for_width c 4)
+      | Error _ -> None);
+      (match fused_seismic_plans () with
+      | p :: _ -> Some (named "fused seismic" p)
+      | [] -> None);
+    ]
+
+let test_mutants_killed () =
+  let seen_classes = Hashtbl.create 8 in
+  List.iter
+    (fun (name, plan) ->
+      Alcotest.(check (list string))
+        (name ^ " unmutated plan is clean") []
+        (List.map Finding.to_string (Verify.verify config plan));
+      let mutants = Mutate.mutants plan in
+      Alcotest.(check bool) (name ^ " has mutants") true (mutants <> []);
+      List.iter
+        (fun (m : Mutate.mutant) ->
+          Hashtbl.replace seen_classes m.Mutate.mclass ();
+          let fs = Verify.verify config m.Mutate.plan in
+          if fs = [] then
+            Alcotest.failf "%s: mutant not rejected: %s" name
+              m.Mutate.description;
+          if
+            not
+              (List.exists
+                 (fun (f : Finding.t) ->
+                   f.Finding.phase <> None && f.Finding.cycle <> None)
+                 fs)
+          then
+            Alcotest.failf "%s: mutant %s rejected without phase and cycle: %s"
+              name m.Mutate.description (pp_findings fs))
+        mutants)
+    (mutant_targets ());
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem seen_classes c) then
+        Alcotest.failf "mutant class %s never exercised" (Mutate.class_name c))
+    Mutate.all_classes
+
+(* ------------------------------------------------------------------ *)
+(* Properties: random in-budget stencils are always analyzer-clean *)
+
+let gen_offset =
+  Gen.map2
+    (fun drow dcol -> Offset.make ~drow ~dcol)
+    (Gen.int_range (-2) 2) (Gen.int_range (-2) 2)
+
+let gen_coeff index =
+  Gen.oneof
+    [
+      Gen.return (Coeff.Array (Printf.sprintf "C%d" (index + 1)));
+      Gen.map
+        (fun v -> Coeff.Scalar (float_of_int v /. 4.0))
+        (Gen.int_range (-8) 8);
+      Gen.return Coeff.One;
+    ]
+
+let gen_pattern =
+  let open Gen in
+  Gen.map (List.sort_uniq Offset.compare)
+    (Gen.list_size (Gen.int_range 1 7) gen_offset)
+  >>= fun offsets ->
+  Gen.flatten_l (List.mapi (fun i _ -> gen_coeff i) offsets) >>= fun coeffs ->
+  Gen.bool >>= fun with_bias ->
+  let taps = List.map2 Tap.make offsets coeffs in
+  let bias = if with_bias then Some (Coeff.Array "BB") else None in
+  return (Pattern.create ?bias taps)
+
+let print_pattern p = Format.asprintf "%a" Pattern.pp p
+
+let prop_compiled_plans_clean =
+  Q.Test.make ~name:"every compiled plan is analyzer-clean" ~count:120
+    ~print:print_pattern gen_pattern (fun p ->
+      match Compile.compile config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok c ->
+          List.for_all (fun plan -> Verify.verify config plan = []) c.plans)
+
+let prop_mutants_killed =
+  Q.Test.make ~name:"every mutant of a compiled plan is rejected" ~count:60
+    ~print:print_pattern gen_pattern (fun p ->
+      match Compile.compile config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok c ->
+          let plan = Compile.widest c in
+          List.for_all
+            (fun (m : Mutate.mutant) -> Verify.verify config m.Mutate.plan <> [])
+            (Mutate.mutants plan))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "findings",
+        [
+          Alcotest.test_case "rendering" `Quick test_finding_pp;
+          Alcotest.test_case "structured rejections" `Quick
+            test_rejections_structured;
+        ] );
+      ( "verifier accepts",
+        [
+          Alcotest.test_case "gallery plans" `Quick test_gallery_clean;
+          Alcotest.test_case "fused seismic plans" `Quick
+            test_fused_seismic_clean;
+        ] );
+      ( "verifier rejects",
+        [
+          Alcotest.test_case "dropped store" `Quick test_dropped_store_found;
+          Alcotest.test_case "dishonest word count" `Quick
+            test_dishonest_words_found;
+          Alcotest.test_case "scratch overflow" `Quick
+            test_scratch_overflow_found;
+          Alcotest.test_case "write to pinned register" `Quick
+            test_pinned_write_found;
+        ] );
+      ( "mutation harness",
+        [ Alcotest.test_case "kill rate 100%" `Quick test_mutants_killed ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_compiled_plans_clean; prop_mutants_killed ] );
+    ]

@@ -119,7 +119,7 @@ let test_hazard_checker_catches_sabotage () =
   let bad = { plan with Plan.phases = Array.map sabotage plan.Plan.phases } in
   match Schedule.check_hazards config bad with
   | () -> Alcotest.fail "reversed chains must fail the hazard check"
-  | exception Failure _ -> ()
+  | exception Ccc_analysis.Finding.Failed _ -> ()
 
 let test_hazard_checker_catches_early_store () =
   let plan = build_plan (Pattern.cross5 ()) 4 in
@@ -133,7 +133,7 @@ let test_hazard_checker_catches_early_store () =
   let bad = { plan with Plan.phases = Array.map sabotage plan.Plan.phases } in
   match Schedule.check_hazards config bad with
   | () -> Alcotest.fail "store of an unwritten register must fail"
-  | exception Failure _ -> ()
+  | exception Ccc_analysis.Finding.Failed _ -> ()
 
 let test_hazard_check_gallery () =
   List.iter
@@ -149,8 +149,10 @@ let test_hazard_check_gallery () =
           | Ok alloc ->
               let plan = Schedule.build config ms alloc in
               (try Schedule.check_hazards config plan
-               with Failure m ->
-                 Alcotest.failf "%s width %d: %s" name width m)
+               with Ccc_analysis.Finding.Failed fs ->
+                 Alcotest.failf "%s width %d: %s" name width
+                   (String.concat "; "
+                      (List.map Ccc_analysis.Finding.to_string fs)))
           | Error _ -> ())
         [ 1; 2; 4; 8 ])
     (Pattern.gallery ())
@@ -312,10 +314,11 @@ let test_rejection_reasons_recorded () =
   match Compile.compile config (Pattern.diamond13 ()) with
   | Ok { Compile.rejected; _ } ->
       check_int "one rejection" 1 (List.length rejected);
-      let width, reason = List.hd rejected in
+      let width, finding = List.hd rejected in
       check_int "width 8 rejected" 8 width;
-      check_bool "mentions register pressure" true
-        (String.length reason > 0)
+      check_bool "classified as register pressure" true
+        (finding.Ccc_analysis.Finding.check
+        = Ccc_analysis.Finding.Register_pressure)
   | Error e -> Alcotest.fail e
 
 let test_best_width_at_most () =
@@ -339,8 +342,9 @@ let test_scratch_pressure_rejection () =
   | Ok { Compile.plans; rejected; _ } ->
       check_bool "something was rejected for scratch" true
         (List.exists
-           (fun (_, reason) ->
-             String.length reason >= 7 && String.sub reason 0 7 = "scratch")
+           (fun (_, f) ->
+             f.Ccc_analysis.Finding.check
+             = Ccc_analysis.Finding.Scratch_pressure)
            rejected);
       check_bool "width 1 may still fit" true (List.length plans >= 0)
   | Error _ -> ()
