@@ -3,7 +3,8 @@
    out in DESIGN.md, the baseline comparisons, and a set of host-side
    Bechamel micro-benchmarks.
 
-   Usage: main.exe [table1|gordon-bell|figures|ablation|baselines|bechamel]...
+   Usage: main.exe
+     [table1|gordon-bell|figures|ablation|baselines|sweep|service|bechamel]...
    With no arguments, everything runs in order. *)
 
 module Paper_data = Ccc_paper_data.Paper_data
@@ -357,14 +358,14 @@ let ablation () =
       let full =
         match Ccc_compiler.Compile.compile Config.default p with
         | Ok c -> c
-        | Error e -> failwith e
+        | Error e -> failwith (Ccc_compiler.Compile.no_workable e)
       in
       let narrow =
         match
           Ccc_compiler.Compile.compile ~widths:[ 4; 2; 1 ] Config.default p
         with
         | Ok c -> c
-        | Error e -> failwith e
+        | Error e -> failwith (Ccc_compiler.Compile.no_workable e)
       in
       List.iter
         (fun (r, cl) ->
@@ -560,6 +561,107 @@ let bechamel () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* The persistent engine: plan-cache amortization and batched runs *)
+
+let synthetic_env ~rows ~cols names =
+  List.mapi
+    (fun i n ->
+      ( n,
+        Ccc.Grid.init ~rows ~cols (fun r c ->
+            sin (float_of_int ((r * (i + 3)) + c) /. 9.0)) ))
+    names
+
+let pattern_env ~rows ~cols p =
+  synthetic_env ~rows ~cols
+    (Pattern.source_var p
+    :: List.filter_map
+         (fun t -> Ccc.Coeff.array_name t.Ccc.Tap.coeff)
+         (Pattern.taps p))
+
+let service () =
+  heading
+    "SERVICE -- persistent engine (cold vs warm plan cache, batched runs)\n\
+     a resident engine serves many requests from one machine: compiled\n\
+     plans are cached by content (geometry + coefficient shape + config)\n\
+     and retargeted to each request's names without rescheduling";
+  let config = Config.default in
+  let rows = 64 and cols = 64 in
+  let engine = Ccc.Engine.create config in
+  (* Eight requests for the same 5-point geometry, each under its own
+     coefficient and variable names: request 1 compiles, the other
+     seven are cache hits rebound to the new names. *)
+  let request i =
+    Pattern.create ~source:"X"
+      ~result:(Printf.sprintf "R%d" i)
+      (List.mapi
+         (fun j (drow, dcol) ->
+           Ccc.Tap.make
+             (Ccc.Offset.make ~drow ~dcol)
+             (Ccc.Coeff.Array (Printf.sprintf "C%d_%d" i (j + 1))))
+         [ (-1, 0); (0, -1); (0, 0); (0, 1); (1, 0) ])
+  in
+  Printf.printf "%-9s | %8s %8s %8s %12s %13s\n" "request" "compiles" "hits"
+    "misses" "arena reuses" "max |diff|";
+  for i = 1 to 8 do
+    let p = request i in
+    let env = pattern_env ~rows ~cols p in
+    let output =
+      match Ccc.Engine.run engine p env with
+      | Ok r -> r.Exec.output
+      | Error e -> failwith (Ccc.Engine.error_to_string e)
+    in
+    let s = Ccc.Engine.stats engine in
+    Printf.printf "%9d | %8d %8d %8d %12d %13.3e\n" i s.Ccc.Engine.compiles
+      s.Ccc.Engine.hits s.Ccc.Engine.misses s.Ccc.Engine.arena_reuses
+      (Ccc.Grid.max_abs_diff (Ccc.Reference.apply p env) output)
+  done;
+  let s = Ccc.Engine.stats engine in
+  Printf.printf
+    "recompiles after the first request: %d (every later request hit the \
+     cache)\n"
+    (s.Ccc.Engine.compiles - 1);
+
+  heading
+    "SERVICE -- 10-statement seismic-style batch vs 10 one-shot calls\n\
+     (section 7's host loop: same kernel every time step; batching pays\n\
+     one halo exchange and one front-end launch for the whole group)";
+  let kernel = Ccc.Seismic.kernel () in
+  let env = pattern_env ~rows ~cols kernel in
+  let compiled =
+    match Ccc.compile_pattern config kernel with
+    | Ok c -> c
+    | Error e -> failwith (Ccc.error_to_string e)
+  in
+  let one = Ccc.apply config compiled env in
+  let batch =
+    match
+      Ccc.Engine.run_batch engine (List.init 10 (fun _ -> kernel)) env
+    with
+    | Ok b -> b
+    | Error e -> failwith (Ccc.Engine.error_to_string e)
+  in
+  let bs = batch.Exec.batch_stats in
+  let os = one.Exec.stats in
+  Printf.printf "%-22s | %12s %12s | %7s\n" "" "batched" "10 one-shot"
+    "saving";
+  let rowf name b o =
+    Printf.printf "%-22s | %12.6f %12.6f | %6.1f%%\n" name b o
+      (100.0 *. (1.0 -. (b /. o)))
+  in
+  let rowi name b o =
+    Printf.printf "%-22s | %12d %12d | %6.1f%%\n" name b o
+      (100.0 *. (1.0 -. (float_of_int b /. float_of_int o)))
+  in
+  rowi "comm cycles" bs.Stats.comm_cycles (10 * os.Stats.comm_cycles);
+  rowf "front end (s)" bs.Stats.frontend_s (10.0 *. os.Stats.frontend_s);
+  rowf "elapsed (s)" (Stats.elapsed_s bs) (10.0 *. Stats.elapsed_s os);
+  Printf.printf
+    "\nthe compute cycles are identical (%d batched vs %d one-shot); the\n\
+     batch wins exactly the amortized setup, which is what dominates small\n\
+     subgrids when \"the front end computer is hard pressed to keep up\".\n"
+    bs.Stats.compute_cycles (10 * os.Stats.compute_cycles)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -569,6 +671,7 @@ let sections =
     ("ablation", ablation);
     ("baselines", baselines);
     ("sweep", sweep);
+    ("service", service);
     ("bechamel", bechamel);
   ]
 

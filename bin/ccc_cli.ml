@@ -308,7 +308,8 @@ let program_cmd =
                     (match e with
                     | Ccc.Rejected _ -> "not a stencil assignment"
                     | Ccc.Resource_error _ -> "resource limits"
-                    | Ccc.Parse_error m -> m))
+                    | Ccc.Parse_error m -> m
+                    | Ccc.Too_small m | Ccc.Invalid_batch m -> m))
           units;
         if !failures > 0 then exit 1
   in
@@ -352,18 +353,18 @@ let lint_cmd =
   in
   let lint_pattern config ~ok ~width name p =
     match Ccc.Compile.compile config p with
-    | Error e ->
+    | Error rejections ->
         ok := false;
-        Printf.printf "%s: %s\n" name e
+        Printf.printf "%s: %s\n" name (Ccc.Compile.no_workable rejections)
     | Ok c ->
         lint_plans config ~ok ~width name c.Ccc.Compile.plans
           c.Ccc.Compile.rejected
   in
   let lint_fused_seismic config ~ok ~width =
     match Ccc.Compile.compile_fused config (Ccc.Seismic.fused_kernel ()) with
-    | Error e ->
+    | Error rejections ->
         ok := false;
-        Printf.printf "seismic-fused: %s\n" e
+        Printf.printf "seismic-fused: %s\n" (Ccc.Compile.no_workable rejections)
     | Ok f ->
         lint_plans config ~ok ~width "seismic-fused" f.Ccc.Compile.fused_plans
           f.Ccc.Compile.fused_rejected
@@ -430,6 +431,164 @@ let lint_cmd =
       const run $ pattern_arg $ width_arg $ all_flag $ nodes_arg $ tuned_flag)
 
 (* ------------------------------------------------------------------ *)
+(* batch: several statements through the persistent engine *)
+
+(* One statement per line; a trailing '&' continues on the next line
+   (the Fortran fixed-form convention the rest of the tool uses), and
+   '!' comment lines and blanks are skipped. *)
+let batch_statements text =
+  let stmts = ref [] in
+  let buf = Buffer.create 64 in
+  let flush () =
+    let s = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if s <> "" then stmts := s :: !stmts
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '!' then ()
+      else if line.[String.length line - 1] = '&' then begin
+        Buffer.add_string buf (String.sub line 0 (String.length line - 1));
+        Buffer.add_char buf ' '
+      end
+      else begin
+        Buffer.add_string buf line;
+        flush ()
+      end)
+    (String.split_on_char '\n' text);
+  flush ();
+  List.rev !stmts
+
+let batch_cmd =
+  let run file nodes tuned rows cols repeat simulate show_stats =
+    let config = or_die (config_of ~nodes ~tuned) in
+    if repeat < 1 then begin
+      prerr_endline "batch: --repeat must be at least 1";
+      exit 2
+    end;
+    let stmts = batch_statements (read_file file) in
+    if stmts = [] then begin
+      prerr_endline "batch: no statements in input";
+      exit 2
+    end;
+    let mode = if simulate then Ccc.Exec.Simulate else Ccc.Exec.Fast in
+    let recognize s =
+      match Ccc.Parser.parse_statement s with
+      | stmt -> begin
+          match Ccc.Recognize.statement stmt with
+          | Ok p -> p
+          | Error diags ->
+              prerr_endline (Ccc.error_to_string (Ccc.Rejected diags));
+              exit 1
+        end
+      | exception Ccc.Parser.Error { line; message } ->
+          prerr_endline
+            (Ccc.error_to_string
+               (Ccc.Parse_error (Printf.sprintf "line %d: %s" line message)));
+          exit 1
+    in
+    let patterns = List.map recognize stmts in
+    let pattern_names p =
+      Ccc.Pattern.source_var p
+      :: List.filter_map
+           (fun t -> Ccc.Coeff.array_name t.Ccc.Tap.coeff)
+           (Ccc.Pattern.taps p)
+      @ (match Ccc.Pattern.bias p with
+        | Some c -> Option.to_list (Ccc.Coeff.array_name c)
+        | None -> [])
+    in
+    let names =
+      List.fold_left
+        (fun acc n -> if List.mem n acc then acc else n :: acc)
+        []
+        (List.concat_map pattern_names patterns)
+      |> List.rev
+    in
+    let env = synthetic_env ~rows ~cols names in
+    let engine = Ccc.Engine.create config in
+    let last = ref None in
+    for _ = 1 to repeat do
+      match Ccc.Engine.run_batch ~mode engine patterns env with
+      | Ok batch -> last := Some batch
+      | Error e ->
+          prerr_endline (Ccc.Engine.error_to_string e);
+          exit 1
+    done;
+    let batch = Option.get !last in
+    List.iter2
+      (fun p (r : Ccc.Exec.result) ->
+        let expected = Ccc.Reference.apply p env in
+        Printf.printf
+          "%s: %d taps, %d compute cycles, max |machine - reference| = %.3e\n"
+          (Ccc.Pattern.result_var p) (Ccc.Pattern.tap_count p)
+          r.Ccc.Exec.stats.Ccc.Stats.compute_cycles
+          (Ccc.Grid.max_abs_diff expected r.Ccc.Exec.output))
+      patterns batch.Ccc.Exec.batch_results;
+    let bs = batch.Ccc.Exec.batch_stats in
+    Format.printf "batch of %d statements:@\n%a@." (List.length patterns)
+      Ccc.Stats.pp bs;
+    (* What the same statements would have cost as independent calls:
+       one halo exchange and one front-end launch each. *)
+    let sub_rows = rows / config.Ccc.Config.node_rows in
+    let sub_cols = cols / config.Ccc.Config.node_cols in
+    let oneshot_comm =
+      List.fold_left
+        (fun acc p ->
+          acc
+          + Ccc.Halo.cycles_model ~primitive:Ccc.Halo.Node_level ~sub_rows
+              ~sub_cols
+              ~pad:(Ccc.Pattern.max_border p)
+              ~corners:(Ccc.Pattern.needs_corners p)
+              config)
+        0 patterns
+    in
+    let call_s = Ccc.Config.effective_call_s config in
+    let oneshot_fe =
+      bs.Ccc.Stats.frontend_s
+      +. (float_of_int (List.length patterns - 1) *. call_s)
+    in
+    Printf.printf
+      "amortization: comm %d cycles (vs %d one-shot), front end %.6f s (vs \
+       %.6f s one-shot)\n"
+      bs.Ccc.Stats.comm_cycles oneshot_comm bs.Ccc.Stats.frontend_s oneshot_fe;
+    if show_stats then
+      Format.printf "%a@." Ccc.Engine.pp_stats (Ccc.Engine.stats engine)
+  in
+  let rows_arg =
+    Arg.(value & opt int 64 & info [ "rows" ] ~doc:"Global array rows.")
+  in
+  let cols_arg =
+    Arg.(value & opt int 64 & info [ "cols" ] ~doc:"Global array columns.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1
+         & info [ "repeat" ]
+             ~doc:"Run the whole batch this many times through the engine \
+                   (repeats hit the plan cache and the standing arena).")
+  in
+  let simulate_flag =
+    Arg.(value & flag
+         & info [ "simulate" ]
+             ~doc:"Run the cycle-accurate microcode interpreter instead of \
+                   the fast inner loop.")
+  in
+  let stats_flag =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print the engine's cache, arena and cycle counters.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Execute several bare assignment statements (one per line, '&' \
+          continues) over the same source array through the persistent \
+          engine: one halo exchange, one front-end launch, cached plans")
+    Term.(
+      const run $ file_arg $ nodes_arg $ tuned_flag $ rows_arg $ cols_arg
+      $ repeat_arg $ simulate_flag $ stats_flag)
+
+(* ------------------------------------------------------------------ *)
 (* gallery *)
 
 let gallery_cmd =
@@ -453,4 +612,8 @@ let () =
     Cmd.info "ccc" ~version:"1.0.0"
       ~doc:"The Connection Machine Convolution Compiler (simulated CM-2)"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; program_cmd; lint_cmd; gallery_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; program_cmd;
+            lint_cmd; batch_cmd; gallery_cmd ]))

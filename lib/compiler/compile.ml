@@ -47,7 +47,7 @@ let try_width (config : Ccc_cm2.Config.t) pattern width =
 let no_workable rejected =
   Printf.sprintf "no workable multistencil width: %s"
     (String.concat "; "
-       (List.rev_map
+       (List.map
           (fun (w, f) -> Printf.sprintf "width %d: %s" w f.Finding.message)
           rejected))
 
@@ -62,8 +62,55 @@ let compile ?(widths = candidate_widths) config pattern =
       ([], []) widths
   in
   match List.rev plans with
-  | [] -> Error (no_workable rejected)
+  | [] -> Error (List.rev rejected)
   | plans -> Ok { pattern; plans; rejected = List.rev rejected }
+
+(* The plan-cache hit path: a pattern that matches a previous
+   compilation up to coefficient naming reuses its schedule verbatim.
+   The multistencil geometry, rings, unrolled tables and register
+   assignments depend only on the tap offsets, so only the embedded
+   statement views need retargeting: the pattern, the per-source
+   multistencils, and the positional coefficient-stream table. *)
+let rebind t pattern =
+  let module P = Ccc_stencil.Pattern in
+  let old_taps = P.taps t.pattern and new_taps = P.taps pattern in
+  let same_shape =
+    List.length old_taps = List.length new_taps
+    && List.for_all2
+         (fun (a : Ccc_stencil.Tap.t) (b : Ccc_stencil.Tap.t) ->
+           Ccc_stencil.Offset.equal a.Ccc_stencil.Tap.offset
+             b.Ccc_stencil.Tap.offset)
+         old_taps new_taps
+    && Option.is_some (P.bias t.pattern) = Option.is_some (P.bias pattern)
+    && Ccc_stencil.Boundary.equal (P.boundary t.pattern) (P.boundary pattern)
+  in
+  if not same_shape then
+    invalid_arg
+      "Compile.rebind: pattern differs beyond coefficient naming \
+       (offsets, bias arity or boundary changed)";
+  if P.equal t.pattern pattern then t
+  else begin
+    let multi = Ccc_stencil.Multi.of_pattern pattern in
+    let coeff_streams =
+      Array.of_list
+        (List.map (fun (tap : Ccc_stencil.Tap.t) -> tap.Ccc_stencil.Tap.coeff)
+           new_taps
+        @ match P.bias pattern with Some c -> [ c ] | None -> [])
+    in
+    let plans =
+      List.map
+        (fun (p : Ccc_microcode.Plan.t) ->
+          {
+            p with
+            Ccc_microcode.Plan.multi;
+            multistencils =
+              [ (0, Ccc_stencil.Multistencil.make pattern ~width:p.Ccc_microcode.Plan.width) ];
+            coeff_streams;
+          })
+        t.plans
+    in
+    { pattern; plans; rejected = t.rejected }
+  end
 
 let plan_for_width t width =
   List.find_opt (fun p -> p.Ccc_microcode.Plan.width = width) t.plans
@@ -131,7 +178,7 @@ let compile_fused ?(widths = candidate_widths) config multi =
       ([], []) widths
   in
   match List.rev plans with
-  | [] -> Error (no_workable rejected)
+  | [] -> Error (List.rev rejected)
   | fused_plans ->
       Ok { multi; fused_plans; fused_rejected = List.rev rejected }
 

@@ -28,13 +28,29 @@ val compile :
   ?widths:int list ->
   Ccc_cm2.Config.t ->
   Ccc_stencil.Pattern.t ->
-  (t, string) result
+  (t, (int * Ccc_analysis.Finding.t) list) result
 (** [Error] only when every candidate width fails (a pattern so tall
     that its single-stencil column spans exhaust the register file, or
-    whose table exceeds scratch memory).  [widths] defaults to
-    {!candidate_widths}; the 1989 library-routine baseline restricts it
-    to [4; 2; 1] (the width-8 multistencil construction postdates those
-    routines). *)
+    whose table exceeds scratch memory); the error carries every
+    width's rejection finding, widest first — the structured form of
+    the section-6 feedback, not a flattened string.  [widths] defaults
+    to {!candidate_widths}; the 1989 library-routine baseline restricts
+    it to [4; 2; 1] (the width-8 multistencil construction postdates
+    those routines). *)
+
+val no_workable : (int * Ccc_analysis.Finding.t) list -> string
+(** Render a total-rejection error as one line (the CLI and [failwith]
+    fallbacks). *)
+
+val rebind : t -> Ccc_stencil.Pattern.t -> t
+(** [rebind t pattern] retargets a compilation at a pattern with the
+    same tap offsets, bias arity and boundary but possibly different
+    coefficient naming: the schedules, rings, register assignments and
+    unrolled tables are reused verbatim, and only the embedded pattern,
+    multistencils and coefficient-stream table are replaced.  This is
+    the plan-cache hit path of {!Ccc_service.Engine}; the result is
+    analyzer-clean whenever [t] was.  Raises [Invalid_argument] when
+    the patterns differ beyond coefficient naming. *)
 
 val plan_for_width : t -> int -> Ccc_microcode.Plan.t option
 
@@ -67,7 +83,7 @@ val compile_fused :
   ?widths:int list ->
   Ccc_cm2.Config.t ->
   Ccc_stencil.Multi.t ->
-  (fused, string) result
+  (fused, (int * Ccc_analysis.Finding.t) list) result
 
 val fused_widest : fused -> Ccc_microcode.Plan.t
 val fused_best_width_at_most : fused -> int -> Ccc_microcode.Plan.t option

@@ -27,23 +27,22 @@ module Exec = Ccc_runtime.Exec
 module Stats = Ccc_runtime.Stats
 module Passes = Ccc_runtime.Passes
 module Seismic = Ccc_runtime.Seismic
+module Engine = Ccc_service.Engine
+module Fingerprint = Ccc_service.Fingerprint
 
-type error =
+type error = Ccc_service.Engine.error =
   | Parse_error of string
   | Rejected of Diagnostics.t list
-  | Resource_error of string
+  | Resource_error of (int * Finding.t) list
+  | Too_small of string
+  | Invalid_batch of string
 
-let error_to_string = function
-  | Parse_error m -> "parse error: " ^ m
-  | Rejected diags ->
-      "not a recognizable stencil assignment:\n"
-      ^ String.concat "\n" (List.map Diagnostics.to_string diags)
-  | Resource_error m -> "resource limits: " ^ m
+let error_to_string = Engine.error_to_string
 
 let compile_pattern config pattern =
   match Compile.compile config pattern with
   | Ok compiled -> Ok compiled
-  | Error reason -> Error (Resource_error reason)
+  | Error rejections -> Error (Resource_error rejections)
 
 let of_recognized config = function
   | Ok pattern -> compile_pattern config pattern
@@ -101,7 +100,7 @@ let compile_fortran_exn config source =
 let compile_multi config multi =
   match Compile.compile_fused config multi with
   | Ok fused -> Ok fused
-  | Error reason -> Error (Resource_error reason)
+  | Error rejections -> Error (Resource_error rejections)
 
 let compile_fortran_statement_multi config source =
   match Parser.parse_statement source with
@@ -119,6 +118,11 @@ let machine ?memory_words config = Machine.create ?memory_words config
 
 let apply ?mode ?iterations config compiled env =
   Exec.run ?mode ?iterations (machine config) compiled env
+
+let run ?mode ?iterations config compiled env =
+  match apply ?mode ?iterations config compiled env with
+  | result -> Ok result
+  | exception Exec.Too_small m -> Error (Too_small m)
 
 let apply_fused ?mode ?iterations config fused env =
   Exec.run_fused ?mode ?iterations (machine config) fused env

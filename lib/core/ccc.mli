@@ -6,6 +6,8 @@
     apply it to arrays at better-than-library-routine speed, on any
     stencil pattern rather than a preselected menu.
 
+    For a single statement, compile and {!run}:
+
     {[
       let source = "SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)\n\
                     REAL, ARRAY(:,:) :: R, X, C1, C2, C3, C4, C5\n\
@@ -17,15 +19,26 @@
                     END\n"
       in
       let compiled = Ccc.compile_fortran_exn Ccc.Config.default source in
-      let machine = Ccc.machine Ccc.Config.default in
-      let { Ccc.Exec.output; stats } =
-        Ccc.Exec.run machine compiled env
-      in
-      ...
+      match Ccc.run Ccc.Config.default compiled env with
+      | Ok { Ccc.Exec.output; stats } -> ...
+      | Error e -> prerr_endline (Ccc.error_to_string e)
+    ]}
+
+    For many statements over one resident machine — the paper's
+    sustained production runs — use the persistent {!Engine}, whose
+    plan cache and standing arena amortize compilation and per-call
+    setup:
+
+    {[
+      let engine = Ccc.Engine.create Ccc.Config.default in
+      match Ccc.Engine.run_statement engine stmt env with
+      | Ok { Ccc.Exec.output; stats } -> ...
+      | Error e -> prerr_endline (Ccc.Engine.error_to_string e)
     ]}
 
     The submodule aliases expose each subsystem (machine model, stencil
-    IR, front ends, compiler, microcode, run time) under one roof. *)
+    IR, front ends, compiler, microcode, run time, service layer) under
+    one roof. *)
 
 (** {1 Subsystems} *)
 
@@ -58,15 +71,24 @@ module Exec = Ccc_runtime.Exec
 module Stats = Ccc_runtime.Stats
 module Passes = Ccc_runtime.Passes
 module Seismic = Ccc_runtime.Seismic
+module Engine = Ccc_service.Engine
+module Fingerprint = Ccc_service.Fingerprint
 
 (** {1 Compilation entry points} *)
 
-type error =
+type error = Ccc_service.Engine.error =
   | Parse_error of string
   | Rejected of Diagnostics.t list
       (** the statement does not fit the stylized stencil form *)
-  | Resource_error of string
-      (** no multistencil width fits registers or scratch memory *)
+  | Resource_error of (int * Finding.t) list
+      (** no multistencil width fits registers or scratch memory: the
+          per-width rejection findings, widest first — the structured
+          form of the section-6 feedback (render with
+          {!Compile.no_workable} or {!error_to_string}) *)
+  | Too_small of string
+      (** the subgrid cannot accommodate the stencil's border *)
+  | Invalid_batch of string
+      (** batch statements do not share a source array and boundary *)
 
 val error_to_string : error -> string
 
@@ -132,6 +154,19 @@ val fused_report : Compile.fused -> string
 
 val machine : ?memory_words:int -> Config.t -> Machine.t
 
+val run :
+  ?mode:Exec.mode ->
+  ?iterations:int ->
+  Config.t ->
+  Compile.t ->
+  Reference.env ->
+  (Exec.result, error) result
+(** One-shot: build a machine, run, return output and statistics.  The
+    primary entry point; a stencil whose border exceeds the per-node
+    subgrid returns [Error (Too_small _)].  For repeated requests use
+    {!Engine}, which keeps the machine (and compiled plans) resident
+    between calls. *)
+
 val apply :
   ?mode:Exec.mode ->
   ?iterations:int ->
@@ -139,7 +174,8 @@ val apply :
   Compile.t ->
   Reference.env ->
   Exec.result
-(** One-shot: build a machine, run, return output and statistics. *)
+(** {!run} in exception style: raises {!Exec.Too_small} instead of
+    returning it.  Kept as the historical name. *)
 
 val report : Compile.t -> string
 (** The compilation report (widths, registers, rings, unroll factors,

@@ -37,6 +37,21 @@ let local_get t ~node ~row ~col =
 let local_set t ~node ~row ~col v =
   Memory.write (Machine.memory t.machine node) (local_addr t ~row ~col) v
 
+let scatter_into t grid =
+  let grows = Grid.rows grid and gcols = Grid.cols grid in
+  if grows <> global_rows t || gcols <> global_cols t then
+    invalid_arg
+      (Printf.sprintf
+         "Dist.scatter_into: %dx%d array into a distribution of global \
+          shape %dx%d"
+         grows gcols (global_rows t) (global_cols t));
+  for grow = 0 to grows - 1 do
+    for gcol = 0 to gcols - 1 do
+      let node, row, col = owner t ~grow ~gcol in
+      local_set t ~node ~row ~col (Grid.get grid grow gcol)
+    done
+  done
+
 let scatter machine grid =
   let geometry = Machine.geometry machine in
   let grows = Grid.rows grid and gcols = Grid.cols grid in
@@ -49,12 +64,7 @@ let scatter machine grid =
   let t =
     create machine ~sub_rows:(grows / nrows) ~sub_cols:(gcols / ncols)
   in
-  for grow = 0 to grows - 1 do
-    for gcol = 0 to gcols - 1 do
-      let node, row, col = owner t ~grow ~gcol in
-      local_set t ~node ~row ~col (Grid.get grid grow gcol)
-    done
-  done;
+  scatter_into t grid;
   t
 
 let gather t =

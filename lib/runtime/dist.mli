@@ -29,6 +29,13 @@ val scatter : Ccc_cm2.Machine.t -> Grid.t -> t
     (the run-time library handles ragged shapes by padding before the
     call, which our examples do explicitly). *)
 
+val scatter_into : t -> Grid.t -> unit
+(** Refill an already-allocated distribution from a host grid of the
+    same global shape; raises [Invalid_argument] on a shape mismatch.
+    The arena-reuse path: repeated stencil calls over same-shaped
+    arrays rewrite the standing subgrid regions instead of
+    reallocating them. *)
+
 val gather : t -> Grid.t
 (** Collect the distributed array back to the host. *)
 

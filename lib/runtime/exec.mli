@@ -53,6 +53,78 @@ val run_padded :
     divisibility requirement stands and this raises
     [Invalid_argument]. *)
 
+(** {1 Arena-backed execution}
+
+    {!run} allocates and releases every temporary per call — the
+    faithful rendering of one Fortran statement.  A persistent engine
+    ({!Ccc_service.Engine}) instead keeps the machine resident between
+    requests; the arena below holds the standing regions (source and
+    destination subgrids, coefficient streams, the padded halo
+    temporary) so a repeated call of the same shape skips the
+    allocate/release cycle entirely and pays only data movement. *)
+
+module Arena : sig
+  type t
+  (** Standing per-node regions over one machine.  The node memories
+      are bump allocators, so the arena caches exactly one shape
+      profile (subgrid sides, border width, stream count): a matching
+      request reuses every region in place; a different profile frees
+      back to the arena's floor watermark and rebuilds. *)
+
+  val create : Ccc_cm2.Machine.t -> t
+  (** Take the floor watermark at the machine's current allocation
+      top.  Anything the caller allocates afterwards is managed by the
+      arena and released by profile changes and {!reset}. *)
+
+  val machine : t -> Ccc_cm2.Machine.t
+
+  val reuses : t -> int
+  (** Calls served from the standing regions. *)
+
+  val rebuilds : t -> int
+  (** Calls that had to (re)build the regions: the first call, and
+      every shape-profile change. *)
+
+  val reset : t -> unit
+  (** Release the standing regions back to the floor watermark. *)
+end
+
+val run_arena :
+  ?mode:mode ->
+  ?primitive:Halo.primitive ->
+  ?iterations:int ->
+  Arena.t ->
+  Ccc_compiler.Compile.t ->
+  Reference.env ->
+  result
+(** {!run} against standing arena regions: same checks, same data
+    result (bit-identical), same statistics; repeated same-shape calls
+    refill the standing regions instead of reallocating them. *)
+
+type batch = { batch_results : result list; batch_stats : Stats.t }
+(** Results of a batched run, one per statement in order, plus the
+    aggregate.  Each statement's own stats carry zero communication
+    cycles and zero per-call launch cost — those are paid once for
+    the whole batch and appear in [batch_stats] (one halo exchange,
+    one front-end call, summed compute and dispatch stalls). *)
+
+val run_batch_arena :
+  ?mode:mode ->
+  ?primitive:Halo.primitive ->
+  Arena.t ->
+  Ccc_compiler.Compile.t list ->
+  Reference.env ->
+  batch
+(** Execute several compiled statements over the same source array
+    behind a single halo exchange — the strength-reduced host loop of
+    section 7, where the front end is "hard pressed to keep up" and
+    every statement dispatched without its own setup helps.  All
+    statements must name the same source variable and boundary
+    semantics ([Invalid_argument] otherwise); the exchange is padded
+    to the widest statement's border, and corner sections are fetched
+    if any statement needs them (sound for the others, which never
+    read corners). *)
+
 val estimate :
   ?primitive:Halo.primitive ->
   ?iterations:int ->

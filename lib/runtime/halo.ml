@@ -37,18 +37,25 @@ let cycles_model ~primitive ~sub_rows ~sub_cols ~pad ~corners
         in
         edges + corner
 
-let exchange ?(primitive = Node_level) ~(source : Dist.t) ~pad ~boundary
-    ~needs_corners () =
+let check_fit ~sub_rows ~sub_cols pad =
   if pad < 0 then invalid_arg "Halo.exchange: negative pad";
-  let { Dist.machine; sub_rows; sub_cols; _ } = source in
   if pad > sub_rows || pad > sub_cols then
     invalid_arg
       (Printf.sprintf
          "Halo.exchange: border width %d exceeds the %dx%d subgrid; the grid \
           primitive reaches immediate neighbors only"
-         pad sub_rows sub_cols);
+         pad sub_rows sub_cols)
+
+let exchange_into ?(primitive = Node_level) ~(padded : Memory.region)
+    ~(source : Dist.t) ~pad ~boundary ~needs_corners () =
+  let { Dist.machine; sub_rows; sub_cols; _ } = source in
+  check_fit ~sub_rows ~sub_cols pad;
   let padded_rows = sub_rows + (2 * pad) and padded_cols = sub_cols + (2 * pad) in
-  let padded = Machine.alloc_all machine ~words:(padded_rows * padded_cols) in
+  if padded.Memory.words <> padded_rows * padded_cols then
+    invalid_arg
+      (Printf.sprintf
+         "Halo.exchange_into: region of %d words for a %dx%d padded temporary"
+         padded.Memory.words padded_rows padded_cols);
   let geometry = Machine.geometry machine in
   let grows = Dist.global_rows source and gcols = Dist.global_cols source in
   let fill_value =
@@ -98,3 +105,11 @@ let exchange ?(primitive = Node_level) ~(source : Dist.t) ~pad ~boundary
     cycles;
     corners_skipped = not needs_corners;
   }
+
+let exchange ?(primitive = Node_level) ~(source : Dist.t) ~pad ~boundary
+    ~needs_corners () =
+  let { Dist.machine; sub_rows; sub_cols; _ } = source in
+  check_fit ~sub_rows ~sub_cols pad;
+  let padded_rows = sub_rows + (2 * pad) and padded_cols = sub_cols + (2 * pad) in
+  let padded = Machine.alloc_all machine ~words:(padded_rows * padded_cols) in
+  exchange_into ~primitive ~padded ~source ~pad ~boundary ~needs_corners ()

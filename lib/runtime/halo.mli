@@ -54,6 +54,23 @@ val exchange :
     cells are poisoned with NaN so that an erroneous read is caught by
     the correctness oracle instead of silently reading zero. *)
 
+val exchange_into :
+  ?primitive:primitive ->
+  padded:Ccc_cm2.Memory.region ->
+  source:Dist.t ->
+  pad:int ->
+  boundary:Ccc_stencil.Boundary.t ->
+  needs_corners:bool ->
+  unit ->
+  exchange
+(** Like {!exchange}, but refill a standing padded region instead of
+    allocating one — the arena-reuse path of repeated engine calls,
+    which pays the exchange's communication cycles but not the per-call
+    allocate/release bookkeeping.  Every padded cell is rewritten
+    (including the NaN corner poison), so reuse cannot leak a previous
+    call's halo.  Raises [Invalid_argument] when [padded] is not
+    exactly [(sub_rows+2 pad) * (sub_cols+2 pad)] words. *)
+
 val cycles_model :
   primitive:primitive ->
   sub_rows:int ->

@@ -33,7 +33,10 @@ let flops_per_point = 17 + 2
 let compile_kernel config =
   match Ccc_compiler.Compile.compile config (kernel ()) with
   | Ok compiled -> compiled
-  | Error reason -> failwith ("Seismic: kernel failed to compile: " ^ reason)
+  | Error rejections ->
+      failwith
+        ("Seismic: kernel failed to compile: "
+        ^ Ccc_compiler.Compile.no_workable rejections)
 
 (* Per-time-step cost beyond the stencil call itself. *)
 let extra_per_step (config : Config.t) ~version ~elements =

@@ -1,0 +1,258 @@
+module Config = Ccc_cm2.Config
+module Machine = Ccc_cm2.Machine
+module Pattern = Ccc_stencil.Pattern
+module Boundary = Ccc_stencil.Boundary
+module Compile = Ccc_compiler.Compile
+module Exec = Ccc_runtime.Exec
+module Stats = Ccc_runtime.Stats
+
+type error =
+  | Parse_error of string
+  | Rejected of Ccc_frontend.Diagnostics.t list
+  | Resource_error of (int * Ccc_analysis.Finding.t) list
+  | Too_small of string
+  | Invalid_batch of string
+
+let error_to_string = function
+  | Parse_error m -> "parse error: " ^ m
+  | Rejected diags ->
+      "not a recognizable stencil assignment:\n"
+      ^ String.concat "\n"
+          (List.map Ccc_frontend.Diagnostics.to_string diags)
+  | Resource_error rejections ->
+      "resource limits: " ^ Compile.no_workable rejections
+  | Too_small m -> "array too small: " ^ m
+  | Invalid_batch m -> "invalid batch: " ^ m
+
+type entry = { compiled : Compile.t; mutable last_used : int }
+
+type t = {
+  config : Config.t;
+  config_fp : string;
+  machine : Machine.t;
+  arena : Exec.Arena.t;
+  capacity : int;
+  cache : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable compiles : int;
+  mutable runs : int;
+  mutable batches : int;
+  mutable comm_cycles : int;
+  mutable compute_cycles : int;
+  mutable frontend_s : float;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  compiles : int;
+  runs : int;
+  batches : int;
+  arena_reuses : int;
+  arena_rebuilds : int;
+  comm_cycles : int;
+  compute_cycles : int;
+  frontend_s : float;
+}
+
+let create ?(capacity = 32) ?memory_words config =
+  if capacity < 1 then invalid_arg "Engine.create: capacity < 1";
+  let machine = Machine.create ?memory_words config in
+  {
+    config;
+    config_fp = Fingerprint.config config;
+    machine;
+    arena = Exec.Arena.create machine;
+    capacity;
+    cache = Hashtbl.create 16;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    compiles = 0;
+    runs = 0;
+    batches = 0;
+    comm_cycles = 0;
+    compute_cycles = 0;
+    frontend_s = 0.0;
+  }
+
+let config t = t.config
+let machine t = t.machine
+
+let stats (t : t) : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.cache;
+    capacity = t.capacity;
+    compiles = t.compiles;
+    runs = t.runs;
+    batches = t.batches;
+    arena_reuses = Exec.Arena.reuses t.arena;
+    arena_rebuilds = Exec.Arena.rebuilds t.arena;
+    comm_cycles = t.comm_cycles;
+    compute_cycles = t.compute_cycles;
+    frontend_s = t.frontend_s;
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "plan cache: %d hits, %d misses, %d evictions (%d/%d entries)@\n\
+     compiles: %d  runs: %d  batches: %d@\n\
+     arena: %d reuses, %d rebuilds@\n\
+     accumulated: comm %d cycles, compute %d cycles, front end %.6f s"
+    s.hits s.misses s.evictions s.entries s.capacity s.compiles s.runs
+    s.batches s.arena_reuses s.arena_rebuilds s.comm_cycles s.compute_cycles
+    s.frontend_s
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= entry.last_used -> acc
+        | _ -> Some (key, entry))
+      t.cache None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.cache key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let compile t pattern =
+  let key = Fingerprint.pattern pattern ^ "|" ^ t.config_fp in
+  match Hashtbl.find_opt t.cache key with
+  | Some entry ->
+      t.hits <- t.hits + 1;
+      t.tick <- t.tick + 1;
+      entry.last_used <- t.tick;
+      (* A hit may carry different coefficient or variable names than
+         the cached compilation; rebind retargets the plans without
+         redoing any scheduling. *)
+      Ok (Compile.rebind entry.compiled pattern)
+  | None -> (
+      t.misses <- t.misses + 1;
+      match Compile.compile t.config pattern with
+      | Error rejections -> Error (Resource_error rejections)
+      | Ok compiled ->
+          t.compiles <- t.compiles + 1;
+          if Hashtbl.length t.cache >= t.capacity then evict_lru t;
+          t.tick <- t.tick + 1;
+          Hashtbl.add t.cache key { compiled; last_used = t.tick };
+          Ok compiled)
+
+let recognize_statement source =
+  match Ccc_frontend.Parser.parse_statement source with
+  | stmt -> (
+      match Ccc_frontend.Recognize.statement stmt with
+      | Ok pattern -> Ok pattern
+      | Error diags -> Error (Rejected diags))
+  | exception Ccc_frontend.Parser.Error { line; message } ->
+      Error (Parse_error (Printf.sprintf "line %d: %s" line message))
+
+let compile_statement t source =
+  match recognize_statement source with
+  | Ok pattern -> compile t pattern
+  | Error _ as e -> e
+
+let record (t : t) (s : Stats.t) =
+  t.comm_cycles <- t.comm_cycles + s.Stats.comm_cycles;
+  t.compute_cycles <- t.compute_cycles + s.Stats.compute_cycles;
+  t.frontend_s <- t.frontend_s +. s.Stats.frontend_s
+
+let run ?mode ?iterations t pattern env =
+  match compile t pattern with
+  | Error _ as e -> e
+  | Ok compiled -> (
+      match Exec.run_arena ?mode ?iterations t.arena compiled env with
+      | result ->
+          t.runs <- t.runs + 1;
+          record t result.Exec.stats;
+          Ok result
+      | exception Exec.Too_small m -> Error (Too_small m))
+
+let run_statement ?mode ?iterations t source env =
+  match recognize_statement source with
+  | Ok pattern -> run ?mode ?iterations t pattern env
+  | Error _ as e -> e
+
+let check_batch patterns =
+  match patterns with
+  | [] -> Error (Invalid_batch "a batch needs at least one statement")
+  | first :: rest ->
+      let source_var = Pattern.source_var first in
+      let boundary = Pattern.boundary first in
+      let rec check = function
+        | [] -> Ok ()
+        | p :: rest ->
+            if Pattern.source_var p <> source_var then
+              Error
+                (Invalid_batch
+                   (Printf.sprintf
+                      "statements read %s and %s; a batch shares one source \
+                       array behind one halo exchange"
+                      source_var (Pattern.source_var p)))
+            else if not (Boundary.equal (Pattern.boundary p) boundary) then
+              Error
+                (Invalid_batch
+                   "statements mix boundary semantics; a batch shares one \
+                    halo exchange")
+            else check rest
+      in
+      check rest
+
+let run_batch ?mode t patterns env =
+  match check_batch patterns with
+  | Error _ as e -> e
+  | Ok () -> (
+      let rec compile_all acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+            match compile t p with
+            | Ok compiled -> compile_all (compiled :: acc) rest
+            | Error _ as e -> e)
+      in
+      match compile_all [] patterns with
+      | Error _ as e -> e
+      | Ok compileds -> (
+          match Exec.run_batch_arena ?mode t.arena compileds env with
+          | batch ->
+              t.batches <- t.batches + 1;
+              record t batch.Exec.batch_stats;
+              Ok batch
+          | exception Exec.Too_small m -> Error (Too_small m)))
+
+let run_batch_statements ?mode t sources env =
+  let rec recognize_all acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match recognize_statement s with
+        | Ok pattern -> recognize_all (pattern :: acc) rest
+        | Error _ as e -> e)
+  in
+  match recognize_all [] sources with
+  | Ok patterns -> run_batch ?mode t patterns env
+  | Error _ as e -> e
+
+let reset t =
+  Hashtbl.reset t.cache;
+  Exec.Arena.reset t.arena;
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.compiles <- 0;
+  t.runs <- 0;
+  t.batches <- 0;
+  t.comm_cycles <- 0;
+  t.compute_cycles <- 0;
+  t.frontend_s <- 0.0

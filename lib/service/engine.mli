@@ -1,0 +1,132 @@
+(** A persistent execution engine over one simulated machine.
+
+    The paper's workflow is one subroutine at a time: compile, launch,
+    release.  Section 7's sustained measurements instead loop the same
+    stencil thousands of times, and there "the microcode loops are so
+    fast that the front end computer is hard pressed to keep up" — the
+    per-call costs (compilation, temporary allocation, launch
+    overhead) dominate unless they are amortized.  The engine is that
+    amortization layer:
+
+    - a {e plan cache}, content-addressed by {!Fingerprint.key}, so a
+      stencil recompiles only when its geometry, coefficient shape,
+      boundary or the machine configuration actually changes —
+      renamed coefficients and variables are served by
+      {!Ccc_compiler.Compile.rebind} without rescheduling;
+    - a standing {e arena} ({!Ccc_runtime.Exec.Arena}) of machine
+      regions, so repeated same-shape calls skip the per-call
+      allocate/release cycle of {!Ccc_runtime.Exec.run};
+    - {!run_batch}, which executes several statements over the same
+      source array behind a single halo exchange and a single
+      front-end launch — the strength-reduced host loop of section 7.
+
+    All entry points return [result] values; in particular a too-small
+    array surfaces as [Error (Too_small _)], never as an escaping
+    exception. *)
+
+type t
+
+(** {1 Errors} *)
+
+type error =
+  | Parse_error of string
+  | Rejected of Ccc_frontend.Diagnostics.t list
+      (** the statement does not fit the stylized stencil form *)
+  | Resource_error of (int * Ccc_analysis.Finding.t) list
+      (** no multistencil width fits registers or scratch memory: the
+          per-width rejection findings, widest first (the structured
+          section-6 feedback) *)
+  | Too_small of string
+      (** the subgrid cannot accommodate the stencil's border *)
+  | Invalid_batch of string
+      (** the batch statements do not share a source array and
+          boundary semantics *)
+
+val error_to_string : error -> string
+
+(** {1 Engine lifecycle} *)
+
+val create : ?capacity:int -> ?memory_words:int -> Ccc_cm2.Config.t -> t
+(** One machine, one arena, an empty plan cache holding up to
+    [capacity] (default 32) compiled plans with least-recently-used
+    eviction. *)
+
+val config : t -> Ccc_cm2.Config.t
+val machine : t -> Ccc_cm2.Machine.t
+
+val reset : t -> unit
+(** Drop every cached plan, release the arena's standing regions and
+    zero all counters. *)
+
+(** {1 Compilation through the cache} *)
+
+val compile : t -> Ccc_stencil.Pattern.t -> (Ccc_compiler.Compile.t, error) result
+(** Compile through the plan cache: a hit reuses the cached schedules
+    verbatim (rebound to the request's coefficient names); a miss
+    compiles, caches, and evicts the least recently used entry when
+    the cache is full.  Failed compilations are not cached. *)
+
+val compile_statement : t -> string -> (Ccc_compiler.Compile.t, error) result
+(** Parse and recognize one bare Fortran assignment, then {!compile}. *)
+
+(** {1 Execution} *)
+
+val run :
+  ?mode:Ccc_runtime.Exec.mode ->
+  ?iterations:int ->
+  t ->
+  Ccc_stencil.Pattern.t ->
+  Ccc_runtime.Reference.env ->
+  (Ccc_runtime.Exec.result, error) result
+(** Compile through the cache and execute against the arena's standing
+    regions.  The output is bit-identical to
+    {!Ccc_runtime.Exec.run} on a fresh machine, and so are the
+    statistics. *)
+
+val run_statement :
+  ?mode:Ccc_runtime.Exec.mode ->
+  ?iterations:int ->
+  t ->
+  string ->
+  Ccc_runtime.Reference.env ->
+  (Ccc_runtime.Exec.result, error) result
+
+val run_batch :
+  ?mode:Ccc_runtime.Exec.mode ->
+  t ->
+  Ccc_stencil.Pattern.t list ->
+  Ccc_runtime.Reference.env ->
+  (Ccc_runtime.Exec.batch, error) result
+(** Execute several statements over the same source array behind one
+    halo exchange and one front-end launch; see
+    {!Ccc_runtime.Exec.run_batch_arena} for the aggregate-statistics
+    contract.  All statements must name the same source variable and
+    boundary semantics ([Error (Invalid_batch _)] otherwise). *)
+
+val run_batch_statements :
+  ?mode:Ccc_runtime.Exec.mode ->
+  t ->
+  string list ->
+  Ccc_runtime.Reference.env ->
+  (Ccc_runtime.Exec.batch, error) result
+
+(** {1 Counters} *)
+
+type stats = {
+  hits : int;  (** cache hits (plans served without compilation) *)
+  misses : int;  (** cache misses (including failed compilations) *)
+  evictions : int;
+  entries : int;  (** live cache entries *)
+  capacity : int;
+  compiles : int;  (** successful compilations = misses that compiled *)
+  runs : int;  (** single-statement executions *)
+  batches : int;  (** batched executions *)
+  arena_reuses : int;  (** calls served from the standing regions *)
+  arena_rebuilds : int;  (** first call and every shape change *)
+  comm_cycles : int;  (** accumulated halo-exchange cycles *)
+  compute_cycles : int;  (** accumulated microcode cycles *)
+  frontend_s : float;  (** accumulated front-end seconds *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,50 @@
+open Ccc_stencil
+
+(* Coefficient token under first-occurrence renaming: arrays become
+   a0, a1, ... in order of first appearance, so C1/C2 and K1/K2
+   fingerprint alike while a repeated array ("a0;a0") stays distinct
+   from two different ones ("a0;a1"). *)
+let coeff_token names counter = function
+  | Coeff.One -> "1"
+  | Coeff.Scalar v -> Printf.sprintf "s%.17g" v
+  | Coeff.Array name -> (
+      match Hashtbl.find_opt names name with
+      | Some token -> token
+      | None ->
+          let token = Printf.sprintf "a%d" !counter in
+          incr counter;
+          Hashtbl.add names name token;
+          token)
+
+let pattern p =
+  let names = Hashtbl.create 8 and counter = ref 0 in
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (tap : Tap.t) ->
+      let { Offset.drow; dcol } = tap.Tap.offset in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d:%s;" drow dcol
+           (coeff_token names counter tap.Tap.coeff)))
+    (Pattern.taps p);
+  (match Pattern.bias p with
+  | Some c -> Buffer.add_string buf ("b:" ^ coeff_token names counter c ^ ";")
+  | None -> ());
+  (match Pattern.boundary p with
+  | Boundary.Circular -> Buffer.add_string buf "circular"
+  | Boundary.End_off fill ->
+      Buffer.add_string buf (Printf.sprintf "endoff%.17g" fill));
+  Buffer.contents buf
+
+let config (c : Ccc_cm2.Config.t) =
+  Printf.sprintf
+    "%d,%d,%.17g,%d,%b,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.17g,%.17g,%.17g,%b"
+    c.node_rows c.node_cols c.clock_hz c.fpu_registers c.single_precision
+    c.madd_add_latency c.madd_writeback_latency c.load_latency
+    c.static_issue_cycles c.memory_op_cycles c.madd_issue_cycles
+    c.scratch_counter_reset_cycles c.loop_branch_cycles
+    c.pipe_reversal_cycles c.line_overhead_cycles c.halfstrip_startup_cycles
+    c.scratch_memory_words c.comm_cycles_per_word c.legacy_comm_cycles_per_word
+    c.frontend_call_overhead_s c.frontend_dispatch_s c.frontend_word_cycles
+    c.strength_reduced_frontend
+
+let key c p = pattern p ^ "|" ^ config c

@@ -1,0 +1,28 @@
+(** Content-addressed keys for the persistent engine's plan cache.
+
+    A compiled plan depends only on the stencil's geometry (tap
+    offsets), the {e shape} of its coefficients, its boundary
+    semantics, and the machine configuration — never on what the
+    coefficient arrays or the source/result variables are called
+    (section 5.3's schedules are all offset arithmetic).  The
+    fingerprint canonicalizes exactly that equivalence class, so the
+    cache serves the same plan to [C1*CSHIFT(X,1,-1)+...] and
+    [K1*CSHIFT(P,1,-1)+...], retargeted to the new names by
+    {!Ccc_compiler.Compile.rebind}. *)
+
+val pattern : Ccc_stencil.Pattern.t -> string
+(** Canonical pattern fingerprint: taps in sorted offset order (the
+    order {!Ccc_stencil.Pattern.create} already imposes, making the
+    fingerprint permutation-invariant), with coefficient arrays
+    renamed a0, a1, ... by first occurrence — distinguishing a
+    repeated array from distinct ones — scalar coefficients by value,
+    then bias and boundary.  Source and result variable names are
+    excluded. *)
+
+val config : Ccc_cm2.Config.t -> string
+(** Every field of the machine configuration, so any change in cost
+    constants, node grid, register file or scratch capacity maps to a
+    different cache key. *)
+
+val key : Ccc_cm2.Config.t -> Ccc_stencil.Pattern.t -> string
+(** [pattern p ^ "|" ^ config c]: the plan-cache key. *)

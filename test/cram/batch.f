@@ -1,0 +1,6 @@
+! three statements over the same source
+R1 = C1 * CSHIFT(X, 1, -1) + C2 * CSHIFT(X, 2, -1) + C3 * X &
+   + C4 * CSHIFT(X, 2, +1) + C5 * CSHIFT(X, 1, +1)
+R2 = K1 * CSHIFT(X, 1, -1) + K2 * CSHIFT(X, 2, -1) + K3 * X &
+   + K4 * CSHIFT(X, 2, +1) + K5 * CSHIFT(X, 1, +1)
+R3 = D1 * CSHIFT(CSHIFT(X, 1, -1), 2, -1) + D2 * X + D3 * CSHIFT(CSHIFT(X, 1, 1), 2, 1)

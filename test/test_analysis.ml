@@ -24,12 +24,12 @@ let pp_findings fs =
 let plans_of pattern =
   match Compile.compile config pattern with
   | Ok c -> c.Compile.plans
-  | Error e -> Alcotest.failf "compile failed: %s" e
+  | Error e -> Alcotest.failf "compile failed: %s" (Compile.no_workable e)
 
 let fused_seismic_plans () =
   match Compile.compile_fused config (Ccc.Seismic.fused_kernel ()) with
   | Ok f -> f.Compile.fused_plans
-  | Error e -> Alcotest.failf "fused compile failed: %s" e
+  | Error e -> Alcotest.failf "fused compile failed: %s" (Compile.no_workable e)
 
 (* ------------------------------------------------------------------ *)
 (* Finding rendering *)
@@ -76,7 +76,7 @@ let test_fused_seismic_clean () =
 (* Width rejections surface as structured resource findings. *)
 let test_rejections_structured () =
   match Compile.compile config (Pattern.cross9 ()) with
-  | Error e -> Alcotest.failf "cross9 should compile at some width: %s" e
+  | Error e -> Alcotest.failf "cross9 should compile at some width: %s" (Compile.no_workable e)
   | Ok c ->
       Alcotest.(check bool) "cross9 rejects width 8" true (c.rejected <> []);
       List.iter

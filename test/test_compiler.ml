@@ -265,7 +265,7 @@ let test_registers_within_file () =
                        <= config.Config.fpu_registers))
                 plan.Plan.rings)
             plans
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Compile.no_workable e))
     (Pattern.gallery ())
 
 let test_bias_uses_one_register () =
@@ -303,7 +303,7 @@ let test_width_selection_matches_paper () =
   let widths name =
     match Compile.compile config (List.assoc name (Pattern.gallery ())) with
     | Ok { Compile.plans; _ } -> List.map (fun p -> p.Plan.width) plans
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Compile.no_workable e)
   in
   Alcotest.(check (list int)) "cross5" [ 8; 4; 2; 1 ] (widths "cross5");
   Alcotest.(check (list int)) "square9" [ 8; 4; 2; 1 ] (widths "square9");
@@ -319,11 +319,11 @@ let test_rejection_reasons_recorded () =
       check_bool "classified as register pressure" true
         (finding.Ccc_analysis.Finding.check
         = Ccc_analysis.Finding.Register_pressure)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compile.no_workable e)
 
 let test_best_width_at_most () =
   match Compile.compile config (Pattern.cross5 ()) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compile.no_workable e)
   | Ok compiled ->
       let w limit =
         match Compile.best_width_at_most compiled limit with
@@ -370,7 +370,7 @@ let test_report_mentions_rejections () =
           && (String.sub report i (String.length re) = re || contains (i + 1))
         in
         contains 0)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Compile.no_workable e)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in

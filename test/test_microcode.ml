@@ -175,7 +175,7 @@ let test_trace_structure () =
   let compiled =
     match Ccc_compiler.Compile.compile config (Pattern.cross5 ()) with
     | Ok c -> c
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Ccc_compiler.Compile.no_workable e)
   in
   let lines = Ccc_runtime.Exec.trace ~width:2 ~lines:2 config compiled in
   let count needle =
@@ -219,7 +219,7 @@ let test_listing_is_stable () =
         (Tutil.pattern_of_offsets [ (0, -1); (0, 0) ])
     with
     | Ok c -> c
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Ccc_compiler.Compile.no_workable e)
   in
   let plan = Option.get (Ccc_compiler.Compile.plan_for_width compiled 2) in
   let listing = Format.asprintf "%a" Plan.pp_listing plan in
