@@ -4,7 +4,7 @@
    Bechamel micro-benchmarks.
 
    Usage: main.exe
-     [table1|gordon-bell|figures|ablation|baselines|sweep|service|bechamel]...
+     [table1|gordon-bell|figures|ablation|baselines|sweep|service|obs|bechamel]...
    With no arguments, everything runs in order. *)
 
 module Paper_data = Ccc_paper_data.Paper_data
@@ -662,6 +662,88 @@ let service () =
     bs.Stats.compute_cycles (10 * os.Stats.compute_cycles)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: sample trace artifact, Table-1 attribution, overhead *)
+
+let obs () =
+  heading
+    "OBS -- unified telemetry layer (span tracer, metrics, profiler)\n\
+     a sample Chrome trace, the Table-1 split as live per-phase cycle\n\
+     attribution, and the cost of the instrumentation itself";
+  let config = Config.default in
+  let compiled = compile_gallery config [ "cross5"; "square9"; "diamond13" ] in
+  let cross5 = List.assoc "cross5" compiled in
+  let rows = 64 and cols = 64 in
+  let env = pattern_env ~rows ~cols cross5.Ccc.Compile.pattern in
+
+  (* One fully traced compile-and-run, exported as Chrome trace_event
+     JSON (open obs-trace.json in chrome://tracing or Perfetto). *)
+  let o = Ccc.Obs.create () in
+  (match
+     Ccc.compile_pattern ~obs:o config cross5.Ccc.Compile.pattern
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Ccc.error_to_string e));
+  ignore (Ccc.apply ~obs:o config cross5 env);
+  let json = Ccc.Trace.to_chrome_json o.Ccc.Obs.trace in
+  Out_channel.with_open_text "obs-trace.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf
+    "sample trace: cross5 compile+run, %d spans, %d bytes -> obs-trace.json\n"
+    (Ccc.Trace.event_count o.Ccc.Obs.trace)
+    (String.length json);
+
+  (* Table 1 as telemetry: the comm/compute/front-end split with the
+     compute share attributed to the nine microcode phases.  The totals
+     equal Exec.estimate (and the interpreter) exactly; `ccc profile`
+     cross-checks that on every invocation. *)
+  List.iter
+    (fun (name, sub_rows, sub_cols) ->
+      let c = List.assoc name compiled in
+      let b = Exec.attribute ~sub_rows ~sub_cols config c in
+      Printf.printf "\n%s, %dx%d subgrid per node:\n" name sub_rows sub_cols;
+      Format.printf "%a@." Ccc.Profiler.pp_breakdown b)
+    [ ("cross5", 128, 256); ("square9", 128, 256); ("diamond13", 128, 128) ];
+
+  (* Overhead: the disabled context must cost nothing measurable on
+     the run path, and a disabled span is one branch. *)
+  let time n f =
+    let t0 = Sys.time () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (Sys.time () -. t0) /. float_of_int n
+  in
+  let runs = 25 in
+  let bare = time runs (fun () -> ignore (Ccc.apply config cross5 env)) in
+  let disabled =
+    time runs (fun () ->
+        ignore (Ccc.apply ~obs:Ccc.Obs.disabled config cross5 env))
+  in
+  let recording =
+    time runs (fun () ->
+        ignore (Ccc.apply ~obs:(Ccc.Obs.create ()) config cross5 env))
+  in
+  Printf.printf
+    "\nrun overhead (64x64 global, mean of %d runs):\n\
+    \  uninstrumented   %8.3f ms\n\
+    \  obs disabled     %8.3f ms  (%+.1f%%)\n\
+    \  obs recording    %8.3f ms  (%+.1f%%)\n"
+    runs (1e3 *. bare) (1e3 *. disabled)
+    (100.0 *. ((disabled /. bare) -. 1.0))
+    (1e3 *. recording)
+    (100.0 *. ((recording /. bare) -. 1.0));
+  let spans = 10_000_000 in
+  let per_span =
+    time 1 (fun () ->
+        for _ = 1 to spans do
+          Ccc.Trace.with_span Ccc.Trace.disabled "x" ignore
+        done)
+    /. float_of_int spans
+  in
+  Printf.printf "disabled span: %.2f ns each over %d spans\n"
+    (1e9 *. per_span) spans
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -672,6 +754,7 @@ let sections =
     ("baselines", baselines);
     ("sweep", sweep);
     ("service", service);
+    ("obs", obs);
     ("bechamel", bechamel);
   ]
 

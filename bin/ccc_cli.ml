@@ -56,16 +56,37 @@ let config_of ~nodes ~tuned =
       let config = Ccc.Config.with_nodes ~rows ~cols Ccc.Config.default in
       Ok (if tuned then Ccc.Config.tuned_runtime config else config)
 
-let compile_input config ~defstencil ~statement source =
-  if defstencil then Ccc.compile_defstencil config source
-  else if statement then Ccc.compile_fortran_statement config source
-  else Ccc.compile_fortran config source
+let compile_input ?obs config ~defstencil ~statement source =
+  if defstencil then Ccc.compile_defstencil ?obs config source
+  else if statement then Ccc.compile_fortran_statement ?obs config source
+  else Ccc.compile_fortran ?obs config source
 
 let or_die = function
   | Ok v -> v
   | Error msg ->
       prerr_endline msg;
       exit 1
+
+(* --trace FILE: record the full span tree and write it as Chrome
+   trace_event JSON (loadable in chrome://tracing or Perfetto). *)
+let trace_arg =
+  let doc = "Write the run's span trace as Chrome trace_event JSON to \
+             $(docv) (open in chrome://tracing or Perfetto)." in
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let obs_of_trace = Option.map (fun _path -> Ccc.Obs.create ())
+
+let write_trace trace obs =
+  match (trace, obs) with
+  | Some path, Some o ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            (Ccc.Trace.to_chrome_json o.Ccc.Obs.trace));
+      Printf.printf "trace: %d spans written to %s\n"
+        (Ccc.Trace.event_count o.Ccc.Obs.trace)
+        path
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* compile *)
@@ -138,14 +159,24 @@ let synthetic_env ~rows ~cols names =
             sin (float_of_int ((r * (i + 3)) + c) /. 9.0)) ))
     names
 
+let pattern_env_names pattern =
+  Ccc.Pattern.source_var pattern
+  :: List.filter_map
+       (fun t -> Ccc.Coeff.array_name t.Ccc.Tap.coeff)
+       (Ccc.Pattern.taps pattern)
+  @ (match Ccc.Pattern.bias pattern with
+    | Some c -> Option.to_list (Ccc.Coeff.array_name c)
+    | None -> [])
+
 let run_cmd =
   let run file defstencil statement fused nodes tuned rows cols iterations
-      simulate =
+      simulate trace =
     let config = or_die (config_of ~nodes ~tuned) in
     let source = read_file file in
     let mode = if simulate then Ccc.Exec.Simulate else Ccc.Exec.Fast in
+    let obs = obs_of_trace trace in
     if fused then begin
-      match Ccc.compile_fortran_statement_multi config source with
+      match Ccc.compile_fortran_statement_multi ?obs config source with
       | Error e ->
           prerr_endline (Ccc.error_to_string e);
           exit 1
@@ -155,37 +186,30 @@ let run_cmd =
             synthetic_env ~rows ~cols (Ccc.Multi.referenced_arrays multi)
           in
           let { Ccc.Exec.output; stats } =
-            Ccc.apply_fused ~mode ~iterations config f env
+            Ccc.apply_fused ?obs ~mode ~iterations config f env
           in
           let expected = Ccc.Exec.reference_fused multi env in
           Format.printf "%a@." Ccc.Stats.pp stats;
           Printf.printf "max |machine - reference| = %.3e\n"
-            (Ccc.Grid.max_abs_diff expected output)
+            (Ccc.Grid.max_abs_diff expected output);
+          write_trace trace obs
     end
     else
-      match compile_input config ~defstencil ~statement source with
+      match compile_input ?obs config ~defstencil ~statement source with
       | Error e ->
           prerr_endline (Ccc.error_to_string e);
           exit 1
       | Ok compiled ->
           let pattern = compiled.Ccc.Compile.pattern in
-          let names =
-            Ccc.Pattern.source_var pattern
-            :: List.filter_map
-                 (fun t -> Ccc.Coeff.array_name t.Ccc.Tap.coeff)
-                 (Ccc.Pattern.taps pattern)
-            @ (match Ccc.Pattern.bias pattern with
-              | Some c -> Option.to_list (Ccc.Coeff.array_name c)
-              | None -> [])
-          in
-          let env = synthetic_env ~rows ~cols names in
+          let env = synthetic_env ~rows ~cols (pattern_env_names pattern) in
           let { Ccc.Exec.output; stats } =
-            Ccc.apply ~mode ~iterations config compiled env
+            Ccc.apply ?obs ~mode ~iterations config compiled env
           in
           let expected = Ccc.Reference.apply pattern env in
           Format.printf "%a@." Ccc.Stats.pp stats;
           Printf.printf "max |machine - reference| = %.3e\n"
-            (Ccc.Grid.max_abs_diff expected output)
+            (Ccc.Grid.max_abs_diff expected output);
+          write_trace trace obs
   in
   let rows_arg =
     Arg.(value & opt int 64 & info [ "rows" ] ~doc:"Global array rows.")
@@ -207,7 +231,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ defstencil_flag $ statement_flag $ fused_flag
       $ nodes_arg $ tuned_flag $ rows_arg $ cols_arg $ iters_arg
-      $ simulate_flag)
+      $ simulate_flag $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* estimate *)
@@ -461,7 +485,7 @@ let batch_statements text =
   List.rev !stmts
 
 let batch_cmd =
-  let run file nodes tuned rows cols repeat simulate show_stats =
+  let run file nodes tuned rows cols repeat simulate show_stats trace =
     let config = or_die (config_of ~nodes ~tuned) in
     if repeat < 1 then begin
       prerr_endline "batch: --repeat must be at least 1";
@@ -506,7 +530,8 @@ let batch_cmd =
       |> List.rev
     in
     let env = synthetic_env ~rows ~cols names in
-    let engine = Ccc.Engine.create config in
+    let obs = obs_of_trace trace in
+    let engine = Ccc.Engine.create ?obs config in
     let last = ref None in
     for _ = 1 to repeat do
       match Ccc.Engine.run_batch ~mode engine patterns env with
@@ -553,7 +578,8 @@ let batch_cmd =
        %.6f s one-shot)\n"
       bs.Ccc.Stats.comm_cycles oneshot_comm bs.Ccc.Stats.frontend_s oneshot_fe;
     if show_stats then
-      Format.printf "%a@." Ccc.Engine.pp_stats (Ccc.Engine.stats engine)
+      Format.printf "%a@." Ccc.Engine.pp_stats (Ccc.Engine.stats engine);
+    write_trace trace obs
   in
   let rows_arg =
     Arg.(value & opt int 64 & info [ "rows" ] ~doc:"Global array rows.")
@@ -586,7 +612,72 @@ let batch_cmd =
           engine: one halo exchange, one front-end launch, cached plans")
     Term.(
       const run $ file_arg $ nodes_arg $ tuned_flag $ rows_arg $ cols_arg
-      $ repeat_arg $ simulate_flag $ stats_flag)
+      $ repeat_arg $ simulate_flag $ stats_flag $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile: the unified-telemetry view of one compile-and-run *)
+
+let profile_cmd =
+  let run file defstencil statement nodes tuned rows cols =
+    let config = or_die (config_of ~nodes ~tuned) in
+    let source = read_file file in
+    (* A pinned clock keeps the tree deterministic: span order is
+       structural, and every interesting extent is recorded in cycles
+       (attributes priced by the analytic model), not host time. *)
+    let obs =
+      Ccc.Obs.v
+        ~trace:(Ccc.Trace.create ~clock:(fun () -> 0.0) ())
+        ~metrics:(Ccc.Metrics.create ())
+    in
+    match compile_input ~obs config ~defstencil ~statement source with
+    | Error e ->
+        prerr_endline (Ccc.error_to_string e);
+        exit 1
+    | Ok compiled ->
+        let pattern = compiled.Ccc.Compile.pattern in
+        let env = synthetic_env ~rows ~cols (pattern_env_names pattern) in
+        let { Ccc.Exec.output = _; stats } =
+          Ccc.apply ~obs ~mode:Ccc.Exec.Simulate config compiled env
+        in
+        print_endline "spans:";
+        Format.printf "%a" (Ccc.Trace.pp_tree ~timings:false) obs.Ccc.Obs.trace;
+        let sub_rows = rows / config.Ccc.Config.node_rows in
+        let sub_cols = cols / config.Ccc.Config.node_cols in
+        let b = Ccc.Exec.attribute ~sub_rows ~sub_cols config compiled in
+        Format.printf "@\nattribution (%dx%d subgrid per node):@\n%a@."
+          sub_rows sub_cols Ccc.Profiler.pp_breakdown b;
+        let attributed = Ccc.Profiler.total b.Ccc.Profiler.compute in
+        if
+          attributed = stats.Ccc.Stats.compute_cycles
+          && b.Ccc.Profiler.comm_cycles = stats.Ccc.Stats.comm_cycles
+        then
+          Printf.printf
+            "cross-check: per-phase attribution matches the simulated run\n"
+        else begin
+          Printf.printf
+            "cross-check FAILED: attributed compute %d vs simulated %d, comm \
+             %d vs %d\n"
+            attributed stats.Ccc.Stats.compute_cycles b.Ccc.Profiler.comm_cycles
+            stats.Ccc.Stats.comm_cycles;
+          exit 1
+        end
+  in
+  let rows_arg =
+    Arg.(value & opt int 64 & info [ "rows" ] ~doc:"Global array rows.")
+  in
+  let cols_arg =
+    Arg.(value & opt int 64 & info [ "cols" ] ~doc:"Global array columns.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile and simulate a stencil with full telemetry: the span tree \
+          of every pipeline and runtime phase, the per-phase cycle \
+          attribution of the paper's Table-1 split, and a cross-check that \
+          the attribution matches the cycle-accurate simulation exactly")
+    Term.(
+      const run $ file_arg $ defstencil_flag $ statement_flag $ nodes_arg
+      $ tuned_flag $ rows_arg $ cols_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gallery *)
@@ -615,5 +706,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; program_cmd;
-            lint_cmd; batch_cmd; gallery_cmd ]))
+          [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; profile_cmd;
+            program_cmd; lint_cmd; batch_cmd; gallery_cmd ]))

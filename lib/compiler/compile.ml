@@ -1,5 +1,7 @@
 module Finding = Ccc_analysis.Finding
 module Verify = Ccc_analysis.Verify
+module Obs = Ccc_obs.Obs
+module Tr = Ccc_obs.Trace
 
 type t = {
   pattern : Ccc_stencil.Pattern.t;
@@ -16,18 +18,22 @@ let post_check config plan =
   Schedule.check_hazards config plan;
   Verify.verify_exn config plan
 
-let try_width (config : Ccc_cm2.Config.t) pattern width =
-  let ms = Ccc_stencil.Multistencil.make pattern ~width in
+let try_width ?(obs = Obs.disabled) (config : Ccc_cm2.Config.t) pattern width =
+  Obs.span obs ~attrs:[ ("width", Tr.Int width) ] "compile.width" @@ fun () ->
+  let ms =
+    Obs.span obs "compile.multistencil" (fun () ->
+        Ccc_stencil.Multistencil.make pattern ~width)
+  in
   let pinned = Ccc_stencil.Multistencil.pinned_registers ms in
   let available = config.fpu_registers - pinned in
-  match Regalloc.allocate ms ~available with
+  match Obs.span obs "compile.regalloc" (fun () -> Regalloc.allocate ms ~available) with
   | Error { needed; available } ->
       Error
         (Finding.makef Finding.Register_pressure
            "register pressure: %d data registers needed, %d available" needed
            available)
   | Ok alloc -> begin
-      match Schedule.build config ms alloc with
+      match Obs.span obs "compile.schedule" (fun () -> Schedule.build config ms alloc) with
       | plan ->
           if plan.Ccc_microcode.Plan.dynamic_words > config.scratch_memory_words
           then
@@ -38,7 +44,9 @@ let try_width (config : Ccc_cm2.Config.t) pattern width =
                  plan.Ccc_microcode.Plan.dynamic_words
                  config.scratch_memory_words)
           else begin
-            post_check config plan;
+            Obs.span obs "compile.lint" (fun () -> post_check config plan);
+            Tr.add_attr obs.Obs.trace "registers"
+              (Tr.Int plan.Ccc_microcode.Plan.registers_used);
             Ok plan
           end
       | exception Schedule.Infeasible finding -> Error finding
@@ -51,12 +59,16 @@ let no_workable rejected =
           (fun (w, f) -> Printf.sprintf "width %d: %s" w f.Finding.message)
           rejected))
 
-let compile ?(widths = candidate_widths) config pattern =
+let compile ?(obs = Obs.disabled) ?(widths = candidate_widths) config pattern =
+  Obs.span obs
+    ~attrs:[ ("taps", Tr.Int (Ccc_stencil.Pattern.tap_count pattern)) ]
+    "compile"
+  @@ fun () ->
   let widths = List.sort_uniq (fun a b -> compare b a) widths in
   let plans, rejected =
     List.fold_left
       (fun (plans, rejected) width ->
-        match try_width config pattern width with
+        match try_width ~obs config pattern width with
         | Ok plan -> (plan :: plans, rejected)
         | Error finding -> (plans, (width, finding) :: rejected))
       ([], []) widths
@@ -129,20 +141,26 @@ type fused = {
   fused_rejected : (int * Finding.t) list;
 }
 
-let try_width_fused (config : Ccc_cm2.Config.t) multi width =
+let try_width_fused ?(obs = Obs.disabled) (config : Ccc_cm2.Config.t) multi
+    width =
+  Obs.span obs ~attrs:[ ("width", Tr.Int width) ] "compile.width" @@ fun () ->
   let nsources = Ccc_stencil.Multi.source_count multi in
   let multistencils =
-    List.init nsources (fun src ->
-        ( src,
-          Ccc_stencil.Multistencil.make
-            (Ccc_stencil.Multi.source_pattern multi src)
-            ~width ))
+    Obs.span obs "compile.multistencil" (fun () ->
+        List.init nsources (fun src ->
+            ( src,
+              Ccc_stencil.Multistencil.make
+                (Ccc_stencil.Multi.source_pattern multi src)
+                ~width )))
   in
   let pinned =
     match Ccc_stencil.Multi.bias multi with Some _ -> 2 | None -> 1
   in
   let available = config.fpu_registers - pinned in
-  match Regalloc.allocate_multi multistencils ~available with
+  match
+    Obs.span obs "compile.regalloc" (fun () ->
+        Regalloc.allocate_multi multistencils ~available)
+  with
   | Error { Regalloc.needed; available } ->
       Error
         (Finding.makef Finding.Register_pressure
@@ -150,7 +168,10 @@ let try_width_fused (config : Ccc_cm2.Config.t) multi width =
             %d available"
            needed nsources available)
   | Ok alloc -> begin
-      match Schedule.build_multi config multi multistencils alloc with
+      match
+        Obs.span obs "compile.schedule" (fun () ->
+            Schedule.build_multi config multi multistencils alloc)
+      with
       | plan ->
           if plan.Ccc_microcode.Plan.dynamic_words > config.scratch_memory_words
           then
@@ -161,18 +182,25 @@ let try_width_fused (config : Ccc_cm2.Config.t) multi width =
                  plan.Ccc_microcode.Plan.dynamic_words
                  config.scratch_memory_words)
           else begin
-            post_check config plan;
+            Obs.span obs "compile.lint" (fun () -> post_check config plan);
+            Tr.add_attr obs.Obs.trace "registers"
+              (Tr.Int plan.Ccc_microcode.Plan.registers_used);
             Ok plan
           end
       | exception Schedule.Infeasible finding -> Error finding
     end
 
-let compile_fused ?(widths = candidate_widths) config multi =
+let compile_fused ?(obs = Obs.disabled) ?(widths = candidate_widths) config
+    multi =
+  Obs.span obs
+    ~attrs:[ ("taps", Tr.Int (Ccc_stencil.Multi.tap_count multi)) ]
+    "compile.fused"
+  @@ fun () ->
   let widths = List.sort_uniq (fun a b -> compare b a) widths in
   let plans, rejected =
     List.fold_left
       (fun (plans, rejected) width ->
-        match try_width_fused config multi width with
+        match try_width_fused ~obs config multi width with
         | Ok plan -> (plan :: plans, rejected)
         | Error finding -> (plans, (width, finding) :: rejected))
       ([], []) widths

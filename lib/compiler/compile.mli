@@ -25,6 +25,7 @@ val candidate_widths : int list
 (** [8; 4; 2; 1] *)
 
 val compile :
+  ?obs:Ccc_obs.Obs.t ->
   ?widths:int list ->
   Ccc_cm2.Config.t ->
   Ccc_stencil.Pattern.t ->
@@ -36,7 +37,10 @@ val compile :
     the section-6 feedback, not a flattened string.  [widths] defaults
     to {!candidate_widths}; the 1989 library-routine baseline restricts
     it to [4; 2; 1] (the width-8 multistencil construction postdates
-    those routines). *)
+    those routines).  [obs] (default disabled) opens a [compile] span
+    with a [compile.width] child per candidate, each covering the
+    multistencil build, register allocation, scheduling, and the
+    analyzer post-pass. *)
 
 val no_workable : (int * Ccc_analysis.Finding.t) list -> string
 (** Render a total-rejection error as one line (the CLI and [failwith]
@@ -80,6 +84,7 @@ type fused = {
 }
 
 val compile_fused :
+  ?obs:Ccc_obs.Obs.t ->
   ?widths:int list ->
   Ccc_cm2.Config.t ->
   Ccc_stencil.Multi.t ->

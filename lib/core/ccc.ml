@@ -29,6 +29,14 @@ module Passes = Ccc_runtime.Passes
 module Seismic = Ccc_runtime.Seismic
 module Engine = Ccc_service.Engine
 module Fingerprint = Ccc_service.Fingerprint
+module Obs = Ccc_obs.Obs
+module Trace = Ccc_obs.Trace
+module Metrics = Ccc_obs.Metrics
+module Profiler = Ccc_obs.Profiler
+
+let src = Logs.Src.create "ccc" ~doc:"Ccc entry-point rejections"
+
+module Log = (val Logs.src_log src : Logs.LOG)
 
 type error = Ccc_service.Engine.error =
   | Parse_error of string
@@ -39,31 +47,62 @@ type error = Ccc_service.Engine.error =
 
 let error_to_string = Engine.error_to_string
 
-let compile_pattern config pattern =
-  match Compile.compile config pattern with
-  | Ok compiled -> Ok compiled
-  | Error rejections -> Error (Resource_error rejections)
+(* Structured rejection log for service operators: every error path
+   out of the result-typed entry points warns with the stencil
+   fingerprint (when one is recoverable), so rejections correlate
+   with requests. *)
+let warn_rejection ?pattern e =
+  Log.warn (fun m ->
+      m "stencil %s rejected: %s"
+        (match pattern with
+        | Some p -> Fingerprint.pattern p
+        | None -> "<unrecognized>")
+        (error_to_string e))
 
-let of_recognized config = function
-  | Ok pattern -> compile_pattern config pattern
+let compile_pattern ?obs config pattern =
+  match Compile.compile ?obs config pattern with
+  | Ok compiled -> Ok compiled
+  | Error rejections ->
+      let e = Resource_error rejections in
+      warn_rejection ~pattern e;
+      Error e
+
+let of_recognized ?obs config = function
+  | Ok pattern -> compile_pattern ?obs config pattern
   | Error diags -> Error (Rejected diags)
 
-let compile_fortran config source =
-  match Parser.parse_subroutine source with
-  | sub -> of_recognized config (Recognize.subroutine sub)
+let parse_span obs f =
+  match obs with
+  | None -> f ()
+  | Some o -> Obs.span o "parse" f
+
+let recognize_span obs f =
+  match obs with
+  | None -> f ()
+  | Some o -> Obs.span o "recognize" f
+
+let compile_fortran ?obs config source =
+  match parse_span obs (fun () -> Parser.parse_subroutine source) with
+  | sub ->
+      of_recognized ?obs config
+        (recognize_span obs (fun () -> Recognize.subroutine sub))
   | exception Parser.Error { line; message } ->
       Error (Parse_error (Printf.sprintf "line %d: %s" line message))
 
-let compile_fortran_statement config source =
-  match Parser.parse_statement source with
-  | stmt -> of_recognized config (Recognize.statement stmt)
+let compile_fortran_statement ?obs config source =
+  match parse_span obs (fun () -> Parser.parse_statement source) with
+  | stmt ->
+      of_recognized ?obs config
+        (recognize_span obs (fun () -> Recognize.statement stmt))
   | exception Parser.Error { line; message } ->
       Error (Parse_error (Printf.sprintf "line %d: %s" line message))
 
-let compile_defstencil config source =
-  match Defstencil.parse source with
+let compile_defstencil ?obs config source =
+  match parse_span obs (fun () -> Defstencil.parse source) with
   | form ->
-      of_recognized config (Recognize.subroutine (Defstencil.to_subroutine form))
+      of_recognized ?obs config
+        (recognize_span obs (fun () ->
+             Recognize.subroutine (Defstencil.to_subroutine form)))
   | exception Defstencil.Error message -> Error (Parse_error message)
 
 type program_unit = {
@@ -97,16 +136,22 @@ let compile_fortran_exn config source =
   | Ok compiled -> compiled
   | Error e -> failwith (error_to_string e)
 
-let compile_multi config multi =
-  match Compile.compile_fused config multi with
+let compile_multi ?obs config multi =
+  match Compile.compile_fused ?obs config multi with
   | Ok fused -> Ok fused
-  | Error rejections -> Error (Resource_error rejections)
+  | Error rejections ->
+      let e = Resource_error rejections in
+      Log.warn (fun m ->
+          m "multistencil (%d taps) rejected: %s"
+            (Ccc_stencil.Multi.tap_count multi)
+            (error_to_string e));
+      Error e
 
-let compile_fortran_statement_multi config source =
-  match Parser.parse_statement source with
+let compile_fortran_statement_multi ?obs config source =
+  match parse_span obs (fun () -> Parser.parse_statement source) with
   | stmt -> begin
-      match Recognize.statement_multi stmt with
-      | Ok multi -> compile_multi config multi
+      match recognize_span obs (fun () -> Recognize.statement_multi stmt) with
+      | Ok multi -> compile_multi ?obs config multi
       | Error diags -> Error (Rejected diags)
     end
   | exception Parser.Error { line; message } ->
@@ -116,15 +161,21 @@ let fused_report fused = Format.asprintf "%a" Compile.pp_fused_report fused
 
 let machine ?memory_words config = Machine.create ?memory_words config
 
-let apply ?mode ?iterations config compiled env =
-  Exec.run ?mode ?iterations (machine config) compiled env
+let apply ?obs ?mode ?iterations config compiled env =
+  Exec.run ?obs ?mode ?iterations (machine config) compiled env
 
-let run ?mode ?iterations config compiled env =
-  match apply ?mode ?iterations config compiled env with
+let run ?obs ?mode ?iterations config compiled env =
+  match apply ?obs ?mode ?iterations config compiled env with
   | result -> Ok result
-  | exception Exec.Too_small m -> Error (Too_small m)
+  | exception Exec.Too_small m ->
+      let e = Too_small m in
+      Log.warn (fun fmt ->
+          fmt "stencil %s rejected: %s"
+            (Fingerprint.pattern compiled.Compile.pattern)
+            (error_to_string e));
+      Error e
 
-let apply_fused ?mode ?iterations config fused env =
-  Exec.run_fused ?mode ?iterations (machine config) fused env
+let apply_fused ?obs ?mode ?iterations config fused env =
+  Exec.run_fused ?obs ?mode ?iterations (machine config) fused env
 
 let report compiled = Format.asprintf "%a" Compile.pp_report compiled

@@ -73,8 +73,20 @@ module Passes = Ccc_runtime.Passes
 module Seismic = Ccc_runtime.Seismic
 module Engine = Ccc_service.Engine
 module Fingerprint = Ccc_service.Fingerprint
+module Obs = Ccc_obs.Obs
+module Trace = Ccc_obs.Trace
+module Metrics = Ccc_obs.Metrics
+module Profiler = Ccc_obs.Profiler
 
-(** {1 Compilation entry points} *)
+(** {1 Compilation entry points}
+
+    Every [?obs] parameter below (default: disabled, allocation-free)
+    threads an observability context ({!Obs}) through the pipeline:
+    the front-end phases appear as [parse] / [recognize] spans and the
+    compiler opens its own [compile] span tree (see
+    {!Compile.compile}).  Rejections on every error path are also
+    structured warnings on the ["ccc"] {!Logs} source, carrying the
+    stencil fingerprint when one is recoverable. *)
 
 type error = Ccc_service.Engine.error =
   | Parse_error of string
@@ -93,20 +105,20 @@ type error = Ccc_service.Engine.error =
 val error_to_string : error -> string
 
 val compile_pattern :
-  Config.t -> Pattern.t -> (Compile.t, error) result
+  ?obs:Obs.t -> Config.t -> Pattern.t -> (Compile.t, error) result
 (** Compile a stencil given directly as IR. *)
 
 val compile_fortran :
-  Config.t -> string -> (Compile.t, error) result
+  ?obs:Obs.t -> Config.t -> string -> (Compile.t, error) result
 (** Compile an isolated Fortran subroutine containing one stencil
     assignment (the paper's version-2 convention). *)
 
 val compile_fortran_statement :
-  Config.t -> string -> (Compile.t, error) result
+  ?obs:Obs.t -> Config.t -> string -> (Compile.t, error) result
 (** Compile a single bare assignment statement. *)
 
 val compile_defstencil :
-  Config.t -> string -> (Compile.t, error) result
+  ?obs:Obs.t -> Config.t -> string -> (Compile.t, error) result
 (** Compile a Lisp [defstencil] form (the version-1 convention). *)
 
 val compile_fortran_exn : Config.t -> string -> Compile.t
@@ -135,12 +147,14 @@ val compile_program : Config.t -> string -> (program_unit list, error) result
     term — and compile them into a single plan with one halo exchange
     per source. *)
 
-val compile_multi : Config.t -> Multi.t -> (Compile.fused, error) result
+val compile_multi :
+  ?obs:Obs.t -> Config.t -> Multi.t -> (Compile.fused, error) result
 
 val compile_fortran_statement_multi :
-  Config.t -> string -> (Compile.fused, error) result
+  ?obs:Obs.t -> Config.t -> string -> (Compile.fused, error) result
 
 val apply_fused :
+  ?obs:Obs.t ->
   ?mode:Exec.mode ->
   ?iterations:int ->
   Config.t ->
@@ -155,6 +169,7 @@ val fused_report : Compile.fused -> string
 val machine : ?memory_words:int -> Config.t -> Machine.t
 
 val run :
+  ?obs:Obs.t ->
   ?mode:Exec.mode ->
   ?iterations:int ->
   Config.t ->
@@ -163,11 +178,13 @@ val run :
   (Exec.result, error) result
 (** One-shot: build a machine, run, return output and statistics.  The
     primary entry point; a stencil whose border exceeds the per-node
-    subgrid returns [Error (Too_small _)].  For repeated requests use
+    subgrid returns [Error (Too_small _)] (and a structured warning
+    with the stencil fingerprint).  For repeated requests use
     {!Engine}, which keeps the machine (and compiled plans) resident
     between calls. *)
 
 val apply :
+  ?obs:Obs.t ->
   ?mode:Exec.mode ->
   ?iterations:int ->
   Config.t ->

@@ -7,6 +7,15 @@
     to simulate element by element (the paper's production runs cover
     10^13 flops). *)
 
+val slot_cycles : Ccc_cm2.Config.t -> Instr.t list -> int
+(** Sequencer cycles to issue a list of dynamic parts — the shared
+    unit of account between this model, the interpreter, and the
+    per-phase attribution in [Ccc_obs.Profiler]. *)
+
+val drain_cycles : Ccc_cm2.Config.t -> int
+(** Writeback-latency cycles not hidden by the trailing pipe reversal
+    (section 5.3); zero when the reversal is at least as long. *)
+
 val line_cycles : Ccc_cm2.Config.t -> Plan.t -> int
 (** Sequencer cycles for one line of a half-strip: line overhead,
     leading-edge loads, pipe reversal, multiply-add issues, reversal

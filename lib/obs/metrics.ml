@@ -1,0 +1,162 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let incr ?(by = 1) c = c.n <- c.n + by
+  let value c = c.n
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let set g v = g.v <- v
+  let add g v = g.v <- g.v +. v
+  let value g = g.v
+end
+
+module Histogram = struct
+  type t = {
+    mutable count : int;
+    mutable sum : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  let observe h v =
+    if h.count = 0 then begin
+      h.lo <- v;
+      h.hi <- v
+    end
+    else begin
+      if v < h.lo then h.lo <- v;
+      if v > h.hi then h.hi <- v
+    end;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v
+
+  let count h = h.count
+  let sum h = h.sum
+  let min h = if h.count = 0 then Float.nan else h.lo
+  let max h = if h.count = 0 then Float.nan else h.hi
+  let mean h = if h.count = 0 then Float.nan else h.sum /. float_of_int h.count
+end
+
+type metric =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+
+type t = { table : (string, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 16 }
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.Counter.n <- 0
+      | G g -> g.Gauge.v <- 0.0
+      | H h ->
+          h.Histogram.count <- 0;
+          h.Histogram.sum <- 0.0;
+          h.Histogram.lo <- 0.0;
+          h.Histogram.hi <- 0.0)
+    t.table
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let find_or_register t name make match_kind =
+  match Hashtbl.find_opt t.table name with
+  | Some m -> (
+      match match_kind m with
+      | Some handle -> handle
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name m)))
+  | None ->
+      let m = make () in
+      Hashtbl.add t.table name m;
+      (match match_kind m with Some h -> h | None -> assert false)
+
+let counter t name =
+  find_or_register t name
+    (fun () -> C { Counter.n = 0 })
+    (function C c -> Some c | _ -> None)
+
+let gauge t name =
+  find_or_register t name
+    (fun () -> G { Gauge.v = 0.0 })
+    (function G g -> Some g | _ -> None)
+
+let histogram t name =
+  find_or_register t name
+    (fun () -> H { Histogram.count = 0; sum = 0.0; lo = 0.0; hi = 0.0 })
+    (function H h -> Some h | _ -> None)
+
+let sorted t =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_num ppf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Format.fprintf ppf "%.0f" v
+  else Format.fprintf ppf "%.6g" v
+
+let pp ppf t =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | C c -> Format.fprintf ppf "%s: %d@." name (Counter.value c)
+      | G g -> Format.fprintf ppf "%s: %a@." name pp_num (Gauge.value g)
+      | H h ->
+          if Histogram.count h = 0 then
+            Format.fprintf ppf "%s: (empty)@." name
+          else
+            Format.fprintf ppf "%s: n=%d sum=%a min=%a mean=%a max=%a@." name
+              (Histogram.count h) pp_num (Histogram.sum h) pp_num
+              (Histogram.min h) pp_num (Histogram.mean h) pp_num
+              (Histogram.max h))
+    (sorted t)
+
+let json_num v =
+  if Float.is_nan v || Float.abs v = Float.infinity then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (name, m) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      json_escape buf name;
+      Buffer.add_string buf "\":";
+      match m with
+      | C c -> Buffer.add_string buf (string_of_int (Counter.value c))
+      | G g -> Buffer.add_string buf (json_num (Gauge.value g))
+      | H h ->
+          Buffer.add_string buf
+            (if Histogram.count h = 0 then
+               Printf.sprintf "{\"count\":0,\"sum\":0}"
+             else
+               Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}"
+                 (Histogram.count h)
+                 (json_num (Histogram.sum h))
+                 (json_num (Histogram.min h))
+                 (json_num (Histogram.max h))))
+    (sorted t);
+  Buffer.add_string buf "}";
+  Buffer.contents buf

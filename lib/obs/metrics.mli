@@ -1,0 +1,67 @@
+(** Metrics registry: named counters, gauges, and histograms.
+
+    One registry unifies the accounting that previously lived on three
+    ad-hoc surfaces — the engine's cache counters, the arena
+    reuse/rebuild counters, and the per-run [Stats.t] flop/cycle
+    records (paper section 7's comm/compute/front-end split).  Handles
+    are found-or-created by name; updates are single field mutations,
+    so instrumented hot paths pay no allocation.
+
+    Exports: a deterministic (name-sorted) pretty-printed table and a
+    JSON object, both stable for tests. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Zero every registered metric (handles stay valid). *)
+
+module Counter : sig
+  type t
+
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+  val sum : t -> float
+
+  val min : t -> float
+  (** [nan] when empty. *)
+
+  val max : t -> float
+  (** [nan] when empty. *)
+
+  val mean : t -> float
+  (** [nan] when empty. *)
+end
+
+val counter : t -> string -> Counter.t
+(** Find or register the counter [name].  Raises [Invalid_argument] if
+    the name is already registered as a different kind. *)
+
+val gauge : t -> string -> Gauge.t
+val histogram : t -> string -> Histogram.t
+
+val pp : Format.formatter -> t -> unit
+(** All registered metrics, one per line, sorted by name. *)
+
+val to_json : t -> string
+(** A JSON object keyed by metric name; counters as integers, gauges
+    as numbers, histograms as [{"count":..,"sum":..,"min":..,"max":..}]
+    (min/max omitted when empty). *)

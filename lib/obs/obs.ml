@@ -1,0 +1,15 @@
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+let disabled = { trace = Trace.disabled; metrics = Metrics.create () }
+
+let create ?clock () =
+  { trace = Trace.create ?clock (); metrics = Metrics.create () }
+
+let v ~trace ~metrics = { trace; metrics }
+
+let tracing t = Trace.enabled t.trace
+
+let span t ?attrs name f = Trace.with_span t.trace ?attrs name f

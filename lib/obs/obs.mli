@@ -1,0 +1,32 @@
+(** Observability context: one value bundling the span tracer and the
+    metrics registry, threaded as an optional argument through the
+    compiler ([Compile]), the runtime ([Exec]), the service layer
+    ([Engine]) and the [Ccc] facade.
+
+    The {!disabled} singleton makes instrumentation free when nobody
+    is watching: its tracer is {!Trace.disabled} (one branch, no
+    allocation) and its registry is a private scratch registry whose
+    handles are single mutable cells.  Call sites that would allocate
+    attribute lists must guard on {!tracing}. *)
+
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+val disabled : t
+(** The no-op context: disabled tracer, scratch metrics registry
+    (never exported, bounded size). *)
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A recording context: fresh tracer (see {!Trace.create}) and fresh
+    metrics registry. *)
+
+val v : trace:Trace.t -> metrics:Metrics.t -> t
+
+val tracing : t -> bool
+(** [Trace.enabled t.trace] — guard for attribute construction on hot
+    paths. *)
+
+val span : t -> ?attrs:Trace.attr list -> string -> (unit -> 'a) -> 'a
+(** [Trace.with_span] on the context's tracer. *)

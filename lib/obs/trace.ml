@@ -1,0 +1,190 @@
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type attr = string * value
+
+type span = {
+  name : string;
+  ts : float;
+  mutable dur : float;
+  mutable attrs : attr list; (* reverse order of addition *)
+  mutable children : span list; (* reverse start order *)
+}
+
+type t = {
+  enabled : bool;
+  clock : unit -> float;
+  mutable root_spans : span list; (* reverse start order *)
+  mutable stack : span list; (* innermost open span first *)
+}
+
+let disabled =
+  { enabled = false; clock = (fun () -> 0.0); root_spans = []; stack = [] }
+
+let create ?(clock = fun () -> Sys.time () *. 1e6) () =
+  { enabled = true; clock; root_spans = []; stack = [] }
+
+let enabled t = t.enabled
+
+let attach t span =
+  match t.stack with
+  | parent :: _ -> parent.children <- span :: parent.children
+  | [] -> t.root_spans <- span :: t.root_spans
+
+let with_span t ?attrs name f =
+  if not t.enabled then f ()
+  else begin
+    let span =
+      {
+        name;
+        ts = t.clock ();
+        dur = -1.0;
+        attrs = (match attrs with Some a -> List.rev a | None -> []);
+        children = [];
+      }
+    in
+    t.stack <- span :: t.stack;
+    let close () =
+      span.dur <- Float.max 0.0 (t.clock () -. span.ts);
+      (match t.stack with
+      | s :: rest when s == span -> t.stack <- rest
+      | _ ->
+          (* Unbalanced closes cannot happen through this interface,
+             but keep the tracer sane if they somehow do. *)
+          t.stack <- List.filter (fun s -> s != span) t.stack);
+      attach t span
+    in
+    match f () with
+    | v ->
+        close ();
+        v
+    | exception e ->
+        close ();
+        raise e
+  end
+
+let emit t ?attrs ?ts ?(dur = 0.0) name =
+  if t.enabled then begin
+    let ts = match ts with Some ts -> ts | None -> t.clock () in
+    let span =
+      {
+        name;
+        ts;
+        dur;
+        attrs = (match attrs with Some a -> List.rev a | None -> []);
+        children = [];
+      }
+    in
+    attach t span
+  end
+
+let add_attr t key v =
+  if t.enabled then
+    match t.stack with
+    | span :: _ -> span.attrs <- (key, v) :: span.attrs
+    | [] -> ()
+
+let roots t = List.rev t.root_spans
+let span_name s = s.name
+let span_attrs s = List.rev s.attrs
+let span_children s = List.rev s.children
+let span_ts s = s.ts
+let span_dur s = s.dur
+let find_attr s key = List.assoc_opt key (span_attrs s)
+
+let event_count t =
+  let rec count s = 1 + List.fold_left (fun a c -> a + count c) 0 s.children in
+  List.fold_left (fun a s -> a + count s) 0 t.root_spans
+
+let pp_value ppf = function
+  | Str s -> Format.pp_print_string ppf s
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%.6g" f
+  | Bool b -> Format.pp_print_bool ppf b
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+      Format.fprintf ppf "  (%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf (k, v) -> Format.fprintf ppf "%s=%a" k pp_value v))
+        attrs
+
+let pp_tree ?(timings = true) ppf t =
+  let rec pp_span depth span =
+    Format.fprintf ppf "%s%s%a" (String.make (2 * depth) ' ') span.name
+      pp_attrs (span_attrs span);
+    if timings then Format.fprintf ppf "  [%.1f us]" span.dur;
+    Format.pp_print_newline ppf ();
+    List.iter (pp_span (depth + 1)) (span_children span)
+  in
+  List.iter (pp_span 0) (roots t)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export *)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let json_float f =
+  (* JSON has no nan/infinity; clamp degenerate values to 0. *)
+  if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" (if Float.is_nan f then 0.0 else f)
+  else if Float.abs f = Float.infinity then "0"
+  else Printf.sprintf "%.6g" f
+
+let to_chrome_json t =
+  let buf = Buffer.create 1024 in
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n "
+  in
+  let add_event span =
+    sep ();
+    Buffer.add_string buf "{\"name\":\"";
+    json_escape buf span.name;
+    Buffer.add_string buf "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    Buffer.add_string buf (json_float span.ts);
+    Buffer.add_string buf ",\"dur\":";
+    Buffer.add_string buf (json_float span.dur);
+    (match span_attrs span with
+    | [] -> ()
+    | attrs ->
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            json_escape buf k;
+            Buffer.add_string buf "\":";
+            match v with
+            | Str s ->
+                Buffer.add_char buf '"';
+                json_escape buf s;
+                Buffer.add_char buf '"'
+            | Int n -> Buffer.add_string buf (string_of_int n)
+            | Float f -> Buffer.add_string buf (json_float f)
+            | Bool b -> Buffer.add_string buf (string_of_bool b))
+          attrs;
+        Buffer.add_char buf '}');
+    Buffer.add_char buf '}'
+  in
+  let rec walk span =
+    add_event span;
+    List.iter walk (span_children span)
+  in
+  Buffer.add_string buf "[";
+  List.iter walk (roots t);
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf

@@ -1,0 +1,87 @@
+(** Span tracer: nestable timed spans with structured attributes.
+
+    The instrumentation layer of the unified telemetry subsystem.
+    Every phase of the compile-and-execute pipeline (parse, pattern
+    match, multistencil build, per-width allocation and scheduling,
+    lint post-pass) and of the runtime (scatter, halo exchange,
+    front-end dispatch, per-strip execution, gather) opens a span;
+    spans nest, carry key/value attributes, and export either as a
+    human-readable tree or as Chrome [trace_event] JSON loadable in
+    [chrome://tracing] / Perfetto.
+
+    A {!disabled} tracer is a shared no-op singleton: every operation
+    returns immediately after one branch on the [enabled] flag, so a
+    hot path instrumented against it performs no allocation and no
+    bookkeeping.  Wall-clock timestamps come from an injectable clock
+    (default {!Sys.time}); the simulated-machine phases additionally
+    record their cycle counts as attributes, which is the number that
+    matters on a simulated CM-2 — the paper's own methodology (section
+    7) accounts in cycles, not host seconds. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type attr = string * value
+
+type span
+(** One completed or open span: a name, attributes, a start timestamp
+    and duration (both in microseconds of the tracer's clock), and
+    child spans in start order. *)
+
+type t
+(** A tracer: either the {!disabled} singleton or a recording tracer
+    with a stack of open spans and a list of completed roots. *)
+
+val disabled : t
+(** The no-op tracer.  [enabled disabled = false]; every mutator
+    returns immediately and {!roots} is always empty. *)
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A recording tracer.  [clock] returns microseconds (monotonicity is
+    the caller's business); the default is [Sys.time () *. 1e6]. *)
+
+val enabled : t -> bool
+
+val with_span : t -> ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] opens a span, runs [f], closes the span (also
+    on exception, which is re-raised).  Nested calls attach to the
+    innermost open span. *)
+
+val emit : t -> ?attrs:attr list -> ?ts:float -> ?dur:float -> string -> unit
+(** A complete (already-timed) child span under the innermost open
+    span, for events whose extent is known analytically rather than
+    measured — e.g. a half-strip priced by the cycle model.  [ts]
+    defaults to the clock's now, [dur] to 0. *)
+
+val add_attr : t -> string -> value -> unit
+(** Attach an attribute to the innermost open span (no-op when
+    disabled or when no span is open). *)
+
+(** {1 Reading the recorded tree} *)
+
+val roots : t -> span list
+(** Completed top-level spans in start order.  Open spans appear only
+    once closed. *)
+
+val span_name : span -> string
+val span_attrs : span -> attr list
+val span_children : span -> span list
+val span_ts : span -> float
+val span_dur : span -> float
+val find_attr : span -> string -> value option
+val event_count : t -> int
+(** Total recorded spans, including children. *)
+
+(** {1 Export} *)
+
+val pp_value : Format.formatter -> value -> unit
+
+val pp_tree : ?timings:bool -> Format.formatter -> t -> unit
+(** The recorded spans as an indented tree, attributes inline.  With
+    [~timings:false] (default [true]) durations are suppressed, which
+    makes the output deterministic for cycle-attributed spans — the
+    form the CLI pins under cram. *)
+
+val to_chrome_json : t -> string
+(** The recorded spans as a Chrome [trace_event] JSON array of
+    complete ("ph":"X") events, one per span, timestamps in
+    microseconds, attributes under "args". *)

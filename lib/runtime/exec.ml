@@ -6,6 +6,9 @@ module Compile = Ccc_compiler.Compile
 module Plan = Ccc_microcode.Plan
 module Interp = Ccc_microcode.Interp
 module Cost = Ccc_microcode.Cost
+module Obs = Ccc_obs.Obs
+module Tr = Ccc_obs.Trace
+module Profiler = Ccc_obs.Profiler
 
 type mode = Simulate | Fast
 type result = { output : Grid.t; stats : Stats.t }
@@ -116,7 +119,7 @@ let fast_node_compute pattern ~(source : Halo.exchange) ~(dst : Dist.t)
    may be padded wider than the pattern's own border (a batch pads to
    the widest statement); the inner loops index by [halo.pad], so a
    narrower pattern simply reads inside the border. *)
-let compute_statement ~mode machine compiled ~(halo : Halo.exchange)
+let compute_statement ~obs ~mode machine compiled ~(halo : Halo.exchange)
     ~(dst : Dist.t) ~(streams : Dist.t array) =
   let config = Machine.config machine in
   let pattern = compiled.Compile.pattern in
@@ -128,6 +131,26 @@ let compute_statement ~mode machine compiled ~(halo : Halo.exchange)
   let analytic_cycles, analytic_madds, frontend_stall_s =
     analytic_totals config halfstrips
   in
+  Obs.span obs "run.compute" @@ fun () ->
+  (* One child span per half-strip, timed in simulated cycles by the
+     analytic model (which Simulate provably matches). *)
+  if Obs.tracing obs then begin
+    List.iter
+      (fun (hs : Stripmine.halfstrip) ->
+        let lines = Array.length hs.rows in
+        Tr.emit obs.Obs.trace
+          ~attrs:
+            [
+              ("width", Tr.Int hs.strip.plan.Plan.width);
+              ("col0", Tr.Int hs.strip.col0);
+              ("lines", Tr.Int lines);
+              ("cycles", Tr.Int (Cost.halfstrip_cycles config hs.strip.plan ~lines));
+            ]
+          "run.halfstrip")
+      halfstrips;
+    Tr.add_attr obs.Obs.trace "cycles" (Tr.Int analytic_cycles);
+    Tr.add_attr obs.Obs.trace "madds" (Tr.Int analytic_madds)
+  end;
   (match mode with
   | Fast ->
       Machine.iter_nodes machine (fun node mem ->
@@ -188,34 +211,44 @@ let too_small pad ~sub_rows ~sub_cols =
     (Printf.sprintf "border width %d exceeds the %dx%d per-node subgrid" pad
        sub_rows sub_cols)
 
-let run ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
-    machine compiled env =
+let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
+    ?(iterations = 1) machine compiled env =
   if iterations < 1 then invalid_arg "Exec.run: iterations < 1";
   let config = Machine.config machine in
   let pattern = compiled.Compile.pattern in
   Reference.check_env pattern env;
   let source_grid = Reference.lookup env (Pattern.source_var pattern) in
   let watermark = Machine.alloc_all machine ~words:0 in
+  Obs.span obs "run" @@ fun () ->
   Fun.protect
     ~finally:(fun () -> Machine.free_all_after machine watermark)
   @@ fun () ->
-  let source = Dist.scatter machine source_grid in
+  let source = Obs.span obs "run.scatter" (fun () -> Dist.scatter machine source_grid) in
   let sub_rows = source.Dist.sub_rows and sub_cols = source.Dist.sub_cols in
   let pad = Pattern.max_border pattern in
   if pad > sub_rows || pad > sub_cols then
     raise (too_small pad ~sub_rows ~sub_cols);
   let streams =
-    materialize_streams machine env ~sub_rows ~sub_cols (plan_streams compiled)
+    Obs.span obs "run.streams" (fun () ->
+        materialize_streams machine env ~sub_rows ~sub_cols
+          (plan_streams compiled))
   in
   let dst = Dist.create machine ~sub_rows ~sub_cols in
   let halo =
-    Halo.exchange ~primitive ~source ~pad ~boundary:(Pattern.boundary pattern)
-      ~needs_corners:(Pattern.needs_corners pattern) ()
+    Obs.span obs "run.halo" @@ fun () ->
+    let h =
+      Halo.exchange ~primitive ~source ~pad
+        ~boundary:(Pattern.boundary pattern)
+        ~needs_corners:(Pattern.needs_corners pattern) ()
+    in
+    if Obs.tracing obs then
+      Tr.add_attr obs.Obs.trace "cycles" (Tr.Int h.Halo.cycles);
+    h
   in
   let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-    compute_statement ~mode machine compiled ~halo ~dst ~streams
+    compute_statement ~obs ~mode machine compiled ~halo ~dst ~streams
   in
-  let output = Dist.gather dst in
+  let output = Obs.span obs "run.gather" (fun () -> Dist.gather dst) in
   let stats =
     build_stats config ~iterations ~comm_cycles:halo.Halo.cycles
       ~call_s:(Config.effective_call_s config)
@@ -225,17 +258,22 @@ let run ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
       ~strip_widths
       ~corners_skipped:(not (Pattern.needs_corners pattern))
   in
+  if Obs.tracing obs then
+    Tr.emit obs.Obs.trace
+      ~attrs:[ ("seconds", Tr.Float stats.Stats.frontend_s) ]
+      "run.frontend";
+  if obs != Obs.disabled then Stats.record obs.Obs.metrics stats;
   { output; stats }
 
 let trace ?width ?(lines = 3) (config : Config.t) compiled =
-  let plan =
+  let plan, how =
     match width with
     | Some w -> begin
         match Compile.plan_for_width compiled w with
-        | Some p -> p
+        | Some p -> (p, "requested")
         | None -> invalid_arg "Exec.trace: no plan of that width"
       end
-    | None -> Compile.widest compiled
+    | None -> (Compile.widest compiled, "widest available")
   in
   let pattern = compiled.Compile.pattern in
   let pad = Pattern.max_border pattern in
@@ -260,19 +298,46 @@ let trace ?width ?(lines = 3) (config : Config.t) compiled =
       coeffs;
     }
   in
-  let out = ref [] in
-  let observer ~cycle ~row slot =
-    out :=
-      Format.asprintf "cycle %4d  row %2d  %a" cycle row
-        Ccc_microcode.Instr.pp slot
-      :: !out
-  in
+  (* The issue trace rides the span tracer: each dynamic part becomes
+     a zero-length span timestamped in sequencer cycles (the clock is
+     pinned to zero — simulated cycles are the meaningful axis), and
+     the historical line format is rendered from the recorded tree. *)
+  let tracer = Tr.create ~clock:(fun () -> 0.0) () in
   let sweep = Array.init lines (fun t -> pad + lines - 1 - t) in
-  ignore
-    (Interp.run_halfstrip ~observer config plan bindings ~col0:0 ~rows:sweep);
-  List.rev !out
+  Tr.with_span tracer
+    ~attrs:[ ("width", Tr.Int w); ("lines", Tr.Int lines) ]
+    "trace.halfstrip"
+    (fun () ->
+      let observer ~cycle ~row slot =
+        Tr.emit tracer ~ts:(float_of_int cycle)
+          ~attrs:
+            [
+              ("row", Tr.Int row);
+              ("slot", Tr.Str (Format.asprintf "%a" Ccc_microcode.Instr.pp slot));
+            ]
+          "issue"
+      in
+      ignore
+        (Interp.run_halfstrip ~observer config plan bindings ~col0:0
+           ~rows:sweep));
+  let root = List.hd (Tr.roots tracer) in
+  let header =
+    Printf.sprintf "half-strip: width %d (%s), %d lines" w how lines
+  in
+  header
+  :: List.map
+       (fun s ->
+         let cycle = int_of_float (Tr.span_ts s) in
+         let row =
+           match Tr.find_attr s "row" with Some (Tr.Int r) -> r | _ -> 0
+         in
+         let slot =
+           match Tr.find_attr s "slot" with Some (Tr.Str t) -> t | _ -> ""
+         in
+         Printf.sprintf "cycle %4d  row %2d  %s" cycle row slot)
+       (Tr.span_children root)
 
-let run_padded ?mode ?primitive ?iterations machine compiled env =
+let run_padded ?obs ?mode ?primitive ?iterations machine compiled env =
   let config = Machine.config machine in
   let pattern = compiled.Compile.pattern in
   let fill =
@@ -290,7 +355,7 @@ let run_padded ?mode ?primitive ?iterations machine compiled env =
   let rows' = round_up rows config.Config.node_rows in
   let cols' = round_up cols config.Config.node_cols in
   if rows' = rows && cols' = cols then
-    run ?mode ?primitive ?iterations machine compiled env
+    run ?obs ?mode ?primitive ?iterations machine compiled env
   else begin
     (* Grow every array with the boundary fill (the source) or zeros
        (coefficients: padding points produce values we crop anyway). *)
@@ -305,7 +370,9 @@ let run_padded ?mode ?primitive ?iterations machine compiled env =
           (name, grow (if name = source_name then fill else 0.0) g))
         env
     in
-    let { output; stats } = run ?mode ?primitive ?iterations machine compiled env' in
+    let { output; stats } =
+      run ?obs ?mode ?primitive ?iterations machine compiled env'
+    in
     let cropped = Grid.init ~rows ~cols (fun r c -> Grid.get output r c) in
     (* The padded points below/right of the true edge read the fill
        value through EOSHIFT semantics either way, so the cropped
@@ -433,17 +500,20 @@ let check_fused_fits multi ~sub_rows ~sub_cols =
                 pad sub_rows sub_cols)))
     (Ccc_stencil.Multi.sources multi)
 
-let run_fused ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
-    machine (fused : Compile.fused) env =
+let run_fused ?(obs = Obs.disabled) ?(mode = Fast)
+    ?(primitive = Halo.Node_level) ?(iterations = 1) machine
+    (fused : Compile.fused) env =
   if iterations < 1 then invalid_arg "Exec.run_fused: iterations < 1";
   let config = Machine.config machine in
   let multi = fused.Compile.multi in
   let first_source = List.hd (Ccc_stencil.Multi.sources multi) in
   let source_grid = Reference.lookup env first_source in
   let watermark = Machine.alloc_all machine ~words:0 in
+  Obs.span obs "run.fused" @@ fun () ->
   Fun.protect ~finally:(fun () -> Machine.free_all_after machine watermark)
   @@ fun () ->
   let scattered =
+    Obs.span obs "run.scatter" @@ fun () ->
     List.map
       (fun name -> Dist.scatter machine (Reference.lookup env name))
       (Ccc_stencil.Multi.sources multi)
@@ -452,11 +522,17 @@ let run_fused ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
   let sub_rows = first.Dist.sub_rows and sub_cols = first.Dist.sub_cols in
   check_fused_fits multi ~sub_rows ~sub_cols;
   let streams =
-    materialize_streams machine env ~sub_rows ~sub_cols
-      (Compile.fused_widest fused).Plan.coeff_streams
+    Obs.span obs "run.streams" (fun () ->
+        materialize_streams machine env ~sub_rows ~sub_cols
+          (Compile.fused_widest fused).Plan.coeff_streams)
   in
   let dst = Dist.create machine ~sub_rows ~sub_cols in
-  let halos, comm_cycles = fused_comm ~primitive multi ~scattered () in
+  let halos, comm_cycles =
+    Obs.span obs "run.halo" @@ fun () ->
+    let h, c = fused_comm ~primitive multi ~scattered () in
+    if Obs.tracing obs then Tr.add_attr obs.Obs.trace "cycles" (Tr.Int c);
+    (h, c)
+  in
   let strips =
     Stripmine.strips_of_plans fused.Compile.fused_plans ~sub_cols
   in
@@ -466,7 +542,10 @@ let run_fused ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
   let analytic_cycles, analytic_madds, frontend_stall_s =
     analytic_totals config halfstrips
   in
-  (match mode with
+  Obs.span obs "run.compute" (fun () ->
+      if Obs.tracing obs then
+        Tr.add_attr obs.Obs.trace "cycles" (Tr.Int analytic_cycles);
+      match mode with
   | Fast ->
       Machine.iter_nodes machine (fun node mem ->
           fast_node_compute_fused multi ~halos ~dst ~streams ~node mem)
@@ -506,7 +585,7 @@ let run_fused ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
                  "Exec.run_fused: interpreter took %d cycles, model predicts \
                   %d"
                  total.Interp.cycles analytic_cycles)));
-  let output = Dist.gather dst in
+  let output = Obs.span obs "run.gather" (fun () -> Dist.gather dst) in
   let corners_skipped =
     not
       (List.exists
@@ -523,6 +602,7 @@ let run_fused ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
         (List.map (fun (s : Stripmine.strip) -> s.plan.Plan.width) strips)
       ~corners_skipped
   in
+  if obs != Obs.disabled then Stats.record obs.Obs.metrics stats;
   { output; stats }
 
 let estimate_fused ?(primitive = Halo.Node_level) ?(iterations = 1) ~sub_rows
@@ -648,8 +728,8 @@ let arena_shape (config : Config.t) ~who grid =
          gcols nrows ncols);
   (grows / nrows, gcols / ncols)
 
-let run_arena ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
-    arena compiled env =
+let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
+    ?(primitive = Halo.Node_level) ?(iterations = 1) arena compiled env =
   if iterations < 1 then invalid_arg "Exec.run_arena: iterations < 1";
   let machine = Arena.machine arena in
   let config = Machine.config machine in
@@ -662,24 +742,33 @@ let run_arena ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
   let pad = Pattern.max_border pattern in
   if pad > sub_rows || pad > sub_cols then
     raise (too_small pad ~sub_rows ~sub_cols);
+  Obs.span obs "run" @@ fun () ->
   let spec = plan_streams compiled in
   let slot =
     Arena.acquire arena ~sub_rows ~sub_cols ~pad
       ~nstreams:(Array.length spec)
   in
-  Dist.scatter_into slot.Arena.src source_grid;
-  refill_streams env slot.Arena.streams spec;
+  Obs.span obs "run.scatter" (fun () ->
+      Dist.scatter_into slot.Arena.src source_grid);
+  Obs.span obs "run.streams" (fun () ->
+      refill_streams env slot.Arena.streams spec);
   let halo =
-    Halo.exchange_into ~primitive ~padded:slot.Arena.halo_region
-      ~source:slot.Arena.src ~pad
-      ~boundary:(Pattern.boundary pattern)
-      ~needs_corners:(Pattern.needs_corners pattern) ()
+    Obs.span obs "run.halo" @@ fun () ->
+    let h =
+      Halo.exchange_into ~primitive ~padded:slot.Arena.halo_region
+        ~source:slot.Arena.src ~pad
+        ~boundary:(Pattern.boundary pattern)
+        ~needs_corners:(Pattern.needs_corners pattern) ()
+    in
+    if Obs.tracing obs then
+      Tr.add_attr obs.Obs.trace "cycles" (Tr.Int h.Halo.cycles);
+    h
   in
   let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-    compute_statement ~mode machine compiled ~halo ~dst:slot.Arena.dst
+    compute_statement ~obs ~mode machine compiled ~halo ~dst:slot.Arena.dst
       ~streams:slot.Arena.streams
   in
-  let output = Dist.gather slot.Arena.dst in
+  let output = Obs.span obs "run.gather" (fun () -> Dist.gather slot.Arena.dst) in
   let stats =
     build_stats config ~iterations ~comm_cycles:halo.Halo.cycles
       ~call_s:(Config.effective_call_s config)
@@ -689,12 +778,13 @@ let run_arena ?(mode = Fast) ?(primitive = Halo.Node_level) ?(iterations = 1)
       ~strip_widths
       ~corners_skipped:(not (Pattern.needs_corners pattern))
   in
+  if obs != Obs.disabled then Stats.record obs.Obs.metrics stats;
   { output; stats }
 
 type batch = { batch_results : result list; batch_stats : Stats.t }
 
-let run_batch_arena ?(mode = Fast) ?(primitive = Halo.Node_level) arena
-    compileds env =
+let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
+    ?(primitive = Halo.Node_level) arena compileds env =
   if compileds = [] then invalid_arg "Exec.run_batch_arena: empty batch";
   let machine = Arena.machine arena in
   let config = Machine.config machine in
@@ -734,11 +824,24 @@ let run_batch_arena ?(mode = Fast) ?(primitive = Halo.Node_level) arena
       (fun acc c -> max acc (Array.length (plan_streams c)))
       0 compileds
   in
+  Obs.span obs "run.batch"
+    ~attrs:
+      (if Obs.tracing obs then
+         [ ("statements", Tr.Int (List.length compileds)) ]
+       else [])
+  @@ fun () ->
   let slot = Arena.acquire arena ~sub_rows ~sub_cols ~pad ~nstreams in
-  Dist.scatter_into slot.Arena.src source_grid;
+  Obs.span obs "run.scatter" (fun () ->
+      Dist.scatter_into slot.Arena.src source_grid);
   let halo =
-    Halo.exchange_into ~primitive ~padded:slot.Arena.halo_region
-      ~source:slot.Arena.src ~pad ~boundary ~needs_corners ()
+    Obs.span obs "run.halo" @@ fun () ->
+    let h =
+      Halo.exchange_into ~primitive ~padded:slot.Arena.halo_region
+        ~source:slot.Arena.src ~pad ~boundary ~needs_corners ()
+    in
+    if Obs.tracing obs then
+      Tr.add_attr obs.Obs.trace "cycles" (Tr.Int h.Halo.cycles);
+    h
   in
   let global_points = Grid.rows source_grid * Grid.cols source_grid in
   let batch_results =
@@ -747,17 +850,19 @@ let run_batch_arena ?(mode = Fast) ?(primitive = Halo.Node_level) arena
         let pattern = compiled.Compile.pattern in
         let spec = plan_streams compiled in
         let streams = Array.sub slot.Arena.streams 0 (Array.length spec) in
-        refill_streams env streams spec;
+        Obs.span obs "run.streams" (fun () -> refill_streams env streams spec);
         let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-          compute_statement ~mode machine compiled ~halo ~dst:slot.Arena.dst
-            ~streams
+          compute_statement ~obs ~mode machine compiled ~halo
+            ~dst:slot.Arena.dst ~streams
         in
         (* The destination region is shared across the batch, so gather
            each statement's result before the next one overwrites it.
            Communication and the per-call launch cost are paid once for
            the whole batch and reported in [batch_stats]; a statement's
            own stats carry only its compute and dispatch stalls. *)
-        let output = Dist.gather slot.Arena.dst in
+        let output =
+          Obs.span obs "run.gather" (fun () -> Dist.gather slot.Arena.dst)
+        in
         let stats =
           build_stats config ~iterations:1 ~comm_cycles:0 ~call_s:0.0
             ~compute_cycles:analytic_cycles ~madds:analytic_madds
@@ -788,6 +893,7 @@ let run_batch_arena ?(mode = Fast) ?(primitive = Halo.Node_level) arena
         (List.concat_map (fun r -> r.stats.Stats.strip_widths) batch_results)
       ~corners_skipped:(not needs_corners)
   in
+  if obs != Obs.disabled then Stats.record obs.Obs.metrics batch_stats;
   { batch_results; batch_stats }
 
 let estimate ?(primitive = Halo.Node_level) ?(iterations = 1) ~sub_rows
@@ -817,3 +923,35 @@ let estimate ?(primitive = Halo.Node_level) ?(iterations = 1) ~sub_rows
     ~strip_widths:(List.map (fun (s : Stripmine.strip) ->
          s.plan.Plan.width) strips)
     ~corners_skipped:(not needs_corners)
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase cycle attribution: Table 1 as live telemetry. *)
+
+let attribute ?(primitive = Halo.Node_level) ~sub_rows ~sub_cols config
+    compiled =
+  let pattern = compiled.Compile.pattern in
+  let pad = Pattern.max_border pattern in
+  if pad > sub_rows || pad > sub_cols then
+    raise (too_small pad ~sub_rows ~sub_cols);
+  let strips = Stripmine.strips compiled ~sub_cols in
+  let halfstrips =
+    List.concat_map (fun s -> Stripmine.halfstrips s ~sub_rows) strips
+  in
+  let compute =
+    List.fold_left
+      (fun acc (hs : Stripmine.halfstrip) ->
+        Profiler.add acc
+          (Profiler.halfstrip config hs.strip.plan
+             ~lines:(Array.length hs.rows)))
+      Profiler.zero halfstrips
+  in
+  let _, _, frontend_stall_s = analytic_totals config halfstrips in
+  let comm_cycles =
+    Halo.cycles_model ~primitive ~sub_rows ~sub_cols ~pad
+      ~corners:(Pattern.needs_corners pattern) config
+  in
+  {
+    Profiler.comm_cycles;
+    compute;
+    frontend_s = Config.effective_call_s config +. frontend_stall_s;
+  }

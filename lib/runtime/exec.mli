@@ -23,6 +23,7 @@ exception Too_small of string
     subgrid side, or fewer rows than the multistencil needs). *)
 
 val run :
+  ?obs:Ccc_obs.Obs.t ->
   ?mode:mode ->
   ?primitive:Halo.primitive ->
   ?iterations:int ->
@@ -34,9 +35,15 @@ val run :
     (default 1) scales the timing statistics the way the paper's
     sustained measurements loop the computation; the data result is
     that of a single application.  All temporaries allocated on the
-    machine are released before returning. *)
+    machine are released before returning.  [obs] (default disabled —
+    one branch per phase, no allocation) opens a [run] span with
+    [run.scatter] / [run.streams] / [run.halo] / [run.compute] (one
+    [run.halfstrip] child per half-strip, cycle-priced by the
+    analytic model) / [run.gather] / [run.frontend] children, and
+    folds the run's {!Stats.t} into the context's metrics registry. *)
 
 val run_padded :
+  ?obs:Ccc_obs.Obs.t ->
   ?mode:mode ->
   ?primitive:Halo.primitive ->
   ?iterations:int ->
@@ -90,6 +97,7 @@ module Arena : sig
 end
 
 val run_arena :
+  ?obs:Ccc_obs.Obs.t ->
   ?mode:mode ->
   ?primitive:Halo.primitive ->
   ?iterations:int ->
@@ -109,6 +117,7 @@ type batch = { batch_results : result list; batch_stats : Stats.t }
     one front-end call, summed compute and dispatch stalls). *)
 
 val run_batch_arena :
+  ?obs:Ccc_obs.Obs.t ->
   ?mode:mode ->
   ?primitive:Halo.primitive ->
   Arena.t ->
@@ -149,6 +158,7 @@ val estimate :
     shared machinery. *)
 
 val run_fused :
+  ?obs:Ccc_obs.Obs.t ->
   ?mode:mode ->
   ?primitive:Halo.primitive ->
   ?iterations:int ->
@@ -177,9 +187,29 @@ val trace :
   Ccc_compiler.Compile.t ->
   string list
 (** A cycle-by-cycle issue trace of one half-strip on a synthetic
-    one-node sandbox: each line shows the sequencer cycle, the subgrid
-    row being processed, and the dynamic part issued.  [width] selects
+    one-node sandbox: a header naming the plan width actually selected
+    (and whether it was requested or the widest-available fallback),
+    then one line per dynamic part showing the sequencer cycle, the
+    subgrid row being processed, and the part issued.  [width] selects
     a plan (default: the widest); [lines] is the half-strip height
-    (default 3).  A debugging and teaching aid — the paper's authors
-    "tested the microcode loops thoroughly" in exactly this style
-    under the Lisp prototype's debugger. *)
+    (default 3).  Implemented over the span tracer: the half-strip is
+    a span, each issue a cycle-timestamped child, and the lines are
+    rendered from the recorded tree.  A debugging and teaching aid —
+    the paper's authors "tested the microcode loops thoroughly" in
+    exactly this style under the Lisp prototype's debugger. *)
+
+val attribute :
+  ?primitive:Halo.primitive ->
+  sub_rows:int ->
+  sub_cols:int ->
+  Ccc_cm2.Config.t ->
+  Ccc_compiler.Compile.t ->
+  Ccc_obs.Profiler.breakdown
+(** Per-phase cycle attribution for one statement on a per-node
+    subgrid of the given shape: the same strips and half-strips
+    {!estimate} prices, with the compute share opened up into the nine
+    microcode phases of {!Ccc_obs.Profiler}.  The breakdown's compute
+    total equals {!estimate}'s [compute_cycles] (and therefore the
+    interpreter's cycle count) instruction-for-instruction — the
+    paper's Table-1 split as live telemetry.  Raises {!Too_small} like
+    {!estimate}. *)

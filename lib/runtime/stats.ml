@@ -29,6 +29,20 @@ let flop_efficiency t =
   if slots = 0 then 0.0
   else float_of_int (useful_flops t) /. float_of_int slots
 
+let record m t =
+  let module M = Ccc_obs.Metrics in
+  M.Counter.incr (M.counter m "run.calls");
+  M.Counter.incr ~by:t.iterations (M.counter m "run.iterations");
+  M.Counter.incr ~by:t.comm_cycles (M.counter m "run.cycles.comm");
+  M.Counter.incr ~by:t.compute_cycles (M.counter m "run.cycles.compute");
+  M.Gauge.add (M.gauge m "run.frontend_s") t.frontend_s;
+  M.Counter.incr ~by:(useful_flops t) (M.counter m "run.flops.useful");
+  M.Counter.incr ~by:(t.madds_issued * t.iterations)
+    (M.counter m "run.madds.issued");
+  M.Histogram.observe
+    (M.histogram m "run.compute_cycles_per_call")
+    (float_of_int t.compute_cycles)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>%d iteration(s) on %d nodes @@ %.1f MHz@ comm %d + compute %d \

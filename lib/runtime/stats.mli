@@ -35,4 +35,10 @@ val flop_efficiency : t -> float
 (** Useful flops over flop slots actually burned (two per multiply-add
     issued, dummies included). *)
 
+val record : Ccc_obs.Metrics.t -> t -> unit
+(** Fold one run's accounting into a metrics registry under the
+    [run.*] names: call/iteration counters, the comm/compute cycle and
+    front-end second accumulators (the section-7 split), useful flops,
+    multiply-adds issued, and a per-call compute-cycle histogram. *)
+
 val pp : Format.formatter -> t -> unit

@@ -5,6 +5,14 @@ module Boundary = Ccc_stencil.Boundary
 module Compile = Ccc_compiler.Compile
 module Exec = Ccc_runtime.Exec
 module Stats = Ccc_runtime.Stats
+module Obs = Ccc_obs.Obs
+module Metrics = Ccc_obs.Metrics
+
+let src =
+  Logs.Src.create "ccc.engine"
+    ~doc:"Plan-cache, arena and rejection events of the persistent engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
 
 type error =
   | Parse_error of string
@@ -26,6 +34,9 @@ let error_to_string = function
 
 type entry = { compiled : Compile.t; mutable last_used : int }
 
+(* Every counter the engine keeps lives in the metrics registry; the
+   record below is just the resolved handles, so the hot paths touch
+   one mutable cell instead of re-hashing the metric name. *)
 type t = {
   config : Config.t;
   config_fp : string;
@@ -33,16 +44,20 @@ type t = {
   arena : Exec.Arena.t;
   capacity : int;
   cache : (string, entry) Hashtbl.t;
+  obs : Obs.t;
+  hits : Metrics.Counter.t;
+  misses : Metrics.Counter.t;
+  evictions : Metrics.Counter.t;
+  compiles : Metrics.Counter.t;
+  runs : Metrics.Counter.t;
+  batches : Metrics.Counter.t;
+  comm_cycles : Metrics.Counter.t;
+  compute_cycles : Metrics.Counter.t;
+  frontend_s : Metrics.Gauge.t;
+  per_call_compute : Metrics.Histogram.t;
+  arena_reuses : Metrics.Gauge.t;
+  arena_rebuilds : Metrics.Gauge.t;
   mutable tick : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable compiles : int;
-  mutable runs : int;
-  mutable batches : int;
-  mutable comm_cycles : int;
-  mutable compute_cycles : int;
-  mutable frontend_s : float;
 }
 
 type stats = {
@@ -59,10 +74,17 @@ type stats = {
   comm_cycles : int;
   compute_cycles : int;
   frontend_s : float;
+  per_call_compute : (int * float * int) option;
 }
 
-let create ?(capacity = 32) ?memory_words config =
+let create ?obs ?(capacity = 32) ?memory_words config =
   if capacity < 1 then invalid_arg "Engine.create: capacity < 1";
+  let obs =
+    match obs with
+    | Some o -> o
+    | None -> Obs.v ~trace:Ccc_obs.Trace.disabled ~metrics:(Metrics.create ())
+  in
+  let m = obs.Obs.metrics in
   let machine = Machine.create ?memory_words config in
   {
     config;
@@ -71,36 +93,53 @@ let create ?(capacity = 32) ?memory_words config =
     arena = Exec.Arena.create machine;
     capacity;
     cache = Hashtbl.create 16;
+    obs;
+    hits = Metrics.counter m "engine.cache.hits";
+    misses = Metrics.counter m "engine.cache.misses";
+    evictions = Metrics.counter m "engine.cache.evictions";
+    compiles = Metrics.counter m "engine.compiles";
+    runs = Metrics.counter m "engine.runs";
+    batches = Metrics.counter m "engine.batches";
+    comm_cycles = Metrics.counter m "engine.cycles.comm";
+    compute_cycles = Metrics.counter m "engine.cycles.compute";
+    frontend_s = Metrics.gauge m "engine.frontend_s";
+    per_call_compute = Metrics.histogram m "engine.compute_cycles_per_call";
+    arena_reuses = Metrics.gauge m "engine.arena.reuses";
+    arena_rebuilds = Metrics.gauge m "engine.arena.rebuilds";
     tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    compiles = 0;
-    runs = 0;
-    batches = 0;
-    comm_cycles = 0;
-    compute_cycles = 0;
-    frontend_s = 0.0;
   }
 
 let config t = t.config
 let machine t = t.machine
+let obs t = t.obs
+let metrics t = t.obs.Obs.metrics
 
 let stats (t : t) : stats =
+  (* Absorb the arena's own counter family into the registry view. *)
+  Metrics.Gauge.set t.arena_reuses (float_of_int (Exec.Arena.reuses t.arena));
+  Metrics.Gauge.set t.arena_rebuilds
+    (float_of_int (Exec.Arena.rebuilds t.arena));
   {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
+    hits = Metrics.Counter.value t.hits;
+    misses = Metrics.Counter.value t.misses;
+    evictions = Metrics.Counter.value t.evictions;
     entries = Hashtbl.length t.cache;
     capacity = t.capacity;
-    compiles = t.compiles;
-    runs = t.runs;
-    batches = t.batches;
+    compiles = Metrics.Counter.value t.compiles;
+    runs = Metrics.Counter.value t.runs;
+    batches = Metrics.Counter.value t.batches;
     arena_reuses = Exec.Arena.reuses t.arena;
     arena_rebuilds = Exec.Arena.rebuilds t.arena;
-    comm_cycles = t.comm_cycles;
-    compute_cycles = t.compute_cycles;
-    frontend_s = t.frontend_s;
+    comm_cycles = Metrics.Counter.value t.comm_cycles;
+    compute_cycles = Metrics.Counter.value t.compute_cycles;
+    frontend_s = Metrics.Gauge.value t.frontend_s;
+    per_call_compute =
+      (if Metrics.Histogram.count t.per_call_compute = 0 then None
+       else
+         Some
+           ( int_of_float (Metrics.Histogram.min t.per_call_compute),
+             Metrics.Histogram.mean t.per_call_compute,
+             int_of_float (Metrics.Histogram.max t.per_call_compute) ));
   }
 
 let pp_stats ppf (s : stats) =
@@ -111,7 +150,12 @@ let pp_stats ppf (s : stats) =
      accumulated: comm %d cycles, compute %d cycles, front end %.6f s"
     s.hits s.misses s.evictions s.entries s.capacity s.compiles s.runs
     s.batches s.arena_reuses s.arena_rebuilds s.comm_cycles s.compute_cycles
-    s.frontend_s
+    s.frontend_s;
+  match s.per_call_compute with
+  | None -> ()
+  | Some (min, mean, max) ->
+      Format.fprintf ppf "@\nper call: compute min %d, mean %.0f, max %d cycles"
+        min mean max
 
 let evict_lru t =
   let victim =
@@ -125,26 +169,33 @@ let evict_lru t =
   match victim with
   | Some (key, _) ->
       Hashtbl.remove t.cache key;
-      t.evictions <- t.evictions + 1
+      Metrics.Counter.incr t.evictions;
+      Log.info (fun m -> m "plan cache eviction: %s" key)
   | None -> ()
 
 let compile t pattern =
-  let key = Fingerprint.pattern pattern ^ "|" ^ t.config_fp in
+  let fp = Fingerprint.pattern pattern in
+  let key = fp ^ "|" ^ t.config_fp in
   match Hashtbl.find_opt t.cache key with
   | Some entry ->
-      t.hits <- t.hits + 1;
+      Metrics.Counter.incr t.hits;
       t.tick <- t.tick + 1;
       entry.last_used <- t.tick;
+      Log.debug (fun m -> m "plan cache hit: %s" fp);
       (* A hit may carry different coefficient or variable names than
          the cached compilation; rebind retargets the plans without
          redoing any scheduling. *)
       Ok (Compile.rebind entry.compiled pattern)
   | None -> (
-      t.misses <- t.misses + 1;
-      match Compile.compile t.config pattern with
-      | Error rejections -> Error (Resource_error rejections)
+      Metrics.Counter.incr t.misses;
+      Log.debug (fun m -> m "plan cache miss: %s" fp);
+      match Compile.compile ~obs:t.obs t.config pattern with
+      | Error rejections ->
+          Log.warn (fun m ->
+              m "stencil %s rejected: %s" fp (Compile.no_workable rejections));
+          Error (Resource_error rejections)
       | Ok compiled ->
-          t.compiles <- t.compiles + 1;
+          Metrics.Counter.incr t.compiles;
           if Hashtbl.length t.cache >= t.capacity then evict_lru t;
           t.tick <- t.tick + 1;
           Hashtbl.add t.cache key { compiled; last_used = t.tick };
@@ -165,20 +216,32 @@ let compile_statement t source =
   | Error _ as e -> e
 
 let record (t : t) (s : Stats.t) =
-  t.comm_cycles <- t.comm_cycles + s.Stats.comm_cycles;
-  t.compute_cycles <- t.compute_cycles + s.Stats.compute_cycles;
-  t.frontend_s <- t.frontend_s +. s.Stats.frontend_s
+  Metrics.Counter.incr ~by:s.Stats.comm_cycles t.comm_cycles;
+  Metrics.Counter.incr ~by:s.Stats.compute_cycles t.compute_cycles;
+  Metrics.Gauge.add t.frontend_s s.Stats.frontend_s;
+  Metrics.Histogram.observe t.per_call_compute
+    (float_of_int s.Stats.compute_cycles)
+
+let warn_rejection pattern e =
+  Log.warn (fun m ->
+      m "stencil %s rejected: %s" (Fingerprint.pattern pattern)
+        (error_to_string e))
 
 let run ?mode ?iterations t pattern env =
   match compile t pattern with
   | Error _ as e -> e
   | Ok compiled -> (
-      match Exec.run_arena ?mode ?iterations t.arena compiled env with
+      match
+        Exec.run_arena ~obs:t.obs ?mode ?iterations t.arena compiled env
+      with
       | result ->
-          t.runs <- t.runs + 1;
+          Metrics.Counter.incr t.runs;
           record t result.Exec.stats;
           Ok result
-      | exception Exec.Too_small m -> Error (Too_small m))
+      | exception Exec.Too_small m ->
+          let e = Too_small m in
+          warn_rejection pattern e;
+          Error e)
 
 let run_statement ?mode ?iterations t source env =
   match recognize_statement source with
@@ -212,7 +275,11 @@ let check_batch patterns =
 
 let run_batch ?mode t patterns env =
   match check_batch patterns with
-  | Error _ as e -> e
+  | Error e ->
+      (match patterns with
+      | p :: _ -> warn_rejection p e
+      | [] -> Log.warn (fun m -> m "empty batch rejected"));
+      Error e
   | Ok () -> (
       let rec compile_all acc = function
         | [] -> Ok (List.rev acc)
@@ -224,12 +291,15 @@ let run_batch ?mode t patterns env =
       match compile_all [] patterns with
       | Error _ as e -> e
       | Ok compileds -> (
-          match Exec.run_batch_arena ?mode t.arena compileds env with
+          match Exec.run_batch_arena ~obs:t.obs ?mode t.arena compileds env with
           | batch ->
-              t.batches <- t.batches + 1;
+              Metrics.Counter.incr t.batches;
               record t batch.Exec.batch_stats;
               Ok batch
-          | exception Exec.Too_small m -> Error (Too_small m)))
+          | exception Exec.Too_small m ->
+              let e = Too_small m in
+              warn_rejection (List.hd patterns) e;
+              Error e))
 
 let run_batch_statements ?mode t sources env =
   let rec recognize_all acc = function
@@ -247,12 +317,4 @@ let reset t =
   Hashtbl.reset t.cache;
   Exec.Arena.reset t.arena;
   t.tick <- 0;
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0;
-  t.compiles <- 0;
-  t.runs <- 0;
-  t.batches <- 0;
-  t.comm_cycles <- 0;
-  t.compute_cycles <- 0;
-  t.frontend_s <- 0.0
+  Metrics.reset t.obs.Obs.metrics

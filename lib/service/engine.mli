@@ -46,17 +46,37 @@ val error_to_string : error -> string
 
 (** {1 Engine lifecycle} *)
 
-val create : ?capacity:int -> ?memory_words:int -> Ccc_cm2.Config.t -> t
+val create :
+  ?obs:Ccc_obs.Obs.t ->
+  ?capacity:int ->
+  ?memory_words:int ->
+  Ccc_cm2.Config.t ->
+  t
 (** One machine, one arena, an empty plan cache holding up to
     [capacity] (default 32) compiled plans with least-recently-used
-    eviction. *)
+    eviction.  [obs] supplies the observability context the engine
+    threads through every compile and run; by default the tracer is
+    disabled and the engine keeps a private metrics registry.  Cache
+    hits, misses and evictions are also reported on the ["ccc.engine"]
+    {!Logs} source (debug/info), and every rejection is a structured
+    warning carrying the stencil fingerprint. *)
 
 val config : t -> Ccc_cm2.Config.t
 val machine : t -> Ccc_cm2.Machine.t
 
+val obs : t -> Ccc_obs.Obs.t
+(** The engine's observability context. *)
+
+val metrics : t -> Ccc_obs.Metrics.t
+(** The metrics registry behind {!stats}: every engine counter lives
+    here under [engine.*] names (plan cache, compiles/runs/batches,
+    accumulated cycles, per-call compute histogram, and the arena
+    reuse/rebuild family, synced on each {!stats} call), alongside the
+    [run.*] accounting {!Ccc_runtime.Stats.record} folds in. *)
+
 val reset : t -> unit
 (** Drop every cached plan, release the arena's standing regions and
-    zero all counters. *)
+    zero all counters (the entire metrics registry is reset). *)
 
 (** {1 Compilation through the cache} *)
 
@@ -126,6 +146,10 @@ type stats = {
   comm_cycles : int;  (** accumulated halo-exchange cycles *)
   compute_cycles : int;  (** accumulated microcode cycles *)
   frontend_s : float;  (** accumulated front-end seconds *)
+  per_call_compute : (int * float * int) option;
+      (** min, mean and max compute cycles per recorded run or batch
+          ([None] before the first execution) — the summary of the
+          [engine.compute_cycles_per_call] histogram *)
 }
 
 val stats : t -> stats
