@@ -4,8 +4,10 @@
    Bechamel micro-benchmarks.
 
    Usage: main.exe
-     [table1|gordon-bell|figures|ablation|baselines|sweep|service|obs|bechamel]...
-   With no arguments, everything runs in order. *)
+     [table1|gordon-bell|figures|ablation|baselines|sweep|service|scaling|obs|bechamel]...
+     [--json FILE]
+   With no section arguments, everything runs in order; --json makes
+   the scaling section also write machine-readable results. *)
 
 module Paper_data = Ccc_paper_data.Paper_data
 module Config = Ccc.Config
@@ -662,6 +664,101 @@ let service () =
     bs.Stats.compute_cycles (10 * os.Stats.compute_cycles)
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: host-side wall clock of the two Fast inner loops under the
+   domain pool.  Unlike every other section (which reports simulated
+   CM-2 cycles), this one times the host: the precompiled kernel vs
+   the bounds-checked tapwalk, at jobs = 1, 2, 4.  Results are
+   bit-identical across all rows -- only wall-clock moves. *)
+
+let json_path : string option ref = ref None
+
+let scaling () =
+  heading
+    "SCALING -- host wall-clock of the Fast inner loops (seismic kernel,\n\
+     16 nodes, 256x256 global).  'tapwalk' is the original per-element\n\
+     address rederivation; 'kernel' is the preresolved offset walk the\n\
+     engine caches; jobs runs the per-node loops on a domain pool.\n\
+     Every row computes bit-identical output.";
+  let config = Config.default in
+  let kernel_pattern = Ccc.Seismic.kernel () in
+  let compiled =
+    match Ccc.compile_pattern config kernel_pattern with
+    | Ok c -> c
+    | Error e -> failwith (Ccc.error_to_string e)
+  in
+  let rows = 256 and cols = 256 in
+  let env = pattern_env ~rows ~cols kernel_pattern in
+  let kernel = Ccc.Kernel.build config compiled in
+  let machine = Ccc.machine config in
+  let arena = Exec.Arena.create machine in
+  let repeats = 7 in
+  let time_run ?pool ?kernel ~inner () =
+    let run () = Exec.run_arena ?pool ~inner ?kernel arena compiled env in
+    ignore (run ());
+    (* warm the arena / pagecache *)
+    let t0 = Unix.gettimeofday () in
+    let last = ref (run ()) in
+    for _ = 2 to repeats do
+      last := run ()
+    done;
+    let t1 = Unix.gettimeofday () in
+    ((t1 -. t0) /. float_of_int repeats, !last.Exec.output)
+  in
+  let base_s, base_out = time_run ~inner:Exec.Tapwalk () in
+  let pools = List.map (fun jobs -> (jobs, Ccc.Pool.create ~jobs)) [ 2; 4 ] in
+  let rows_out =
+    (("tapwalk", 1), (base_s, base_out))
+    :: (("kernel", 1), time_run ~inner:Exec.Lowered ~kernel ())
+    :: List.map
+         (fun (jobs, pool) ->
+           (("kernel", jobs), time_run ~pool ~inner:Exec.Lowered ~kernel ()))
+         pools
+  in
+  List.iter (fun (_, p) -> Ccc.Pool.shutdown p) pools;
+  let identical =
+    List.for_all
+      (fun (_, (_, out)) -> Ccc.Grid.max_abs_diff base_out out = 0.0)
+      rows_out
+  in
+  Printf.printf "%-8s %5s | %12s %9s | %s\n" "inner" "jobs" "wall (ms)"
+    "speedup" "vs tapwalk jobs=1";
+  List.iter
+    (fun ((inner, jobs), (s, _)) ->
+      Printf.printf "%-8s %5d | %12.2f %8.2fx |\n" inner jobs (1e3 *. s)
+        (base_s /. s))
+    rows_out;
+  Printf.printf "bit-identical across all rows: %b (host cores: %d)\n"
+    identical
+    (Domain.recommended_domain_count ());
+  if not identical then failwith "scaling: outputs diverged";
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\n  \"bench\": \"scaling\",\n  \"pattern\": \"seismic\",\n\
+           \  \"nodes\": \"4x4\",\n  \"global\": [%d, %d],\n\
+           \  \"repeats\": %d,\n  \"host_cores\": %d,\n\
+           \  \"bit_identical\": %b,\n  \"entries\": [\n"
+           rows cols repeats
+           (Domain.recommended_domain_count ())
+           identical);
+      List.iteri
+        (fun i ((inner, jobs), (s, _)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    {\"inner\": %S, \"jobs\": %d, \"wall_s\": %.6f, \
+                \"speedup\": %.3f}%s\n"
+               inner jobs s (base_s /. s)
+               (if i = List.length rows_out - 1 then "" else ",")))
+        rows_out;
+      Buffer.add_string buf "  ]\n}\n";
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+      Printf.printf "json: written to %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry: sample trace artifact, Table-1 attribution, overhead *)
 
 let obs () =
@@ -754,15 +851,28 @@ let sections =
     ("baselines", baselines);
     ("sweep", sweep);
     ("service", service);
+    ("scaling", scaling);
     ("obs", obs);
     ("bechamel", bechamel);
   ]
 
 let () =
+  (* argv: section names, plus --json FILE to make the scaling section
+     also emit machine-readable results. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse acc rest
+    | "--json" :: [] ->
+        prerr_endline "--json requires a file argument";
+        exit 2
+    | name :: rest -> parse (name :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | names -> names
   in
   List.iter
     (fun name ->

@@ -1,0 +1,78 @@
+(* Perf smoke test, run on every full build (the @perf-smoke alias):
+   a tiny-grid pass over the scaling benchmark's levers asserting what
+   the big benchmark only reports — that the precompiled kernel, the
+   tapwalk, and every pooled variant compute bit-identical output, all
+   within 1e-9 of the reference evaluator, and that Simulate keeps
+   asserting Cost = Interp on every node under the pool. *)
+
+module Exec = Ccc.Exec
+module Grid = Ccc.Grid
+
+let config = Ccc.Config.default
+
+let env_for p ~rows ~cols =
+  let names =
+    Ccc.Pattern.source_var p
+    :: List.filter_map
+         (fun t -> Ccc.Coeff.array_name t.Ccc.Tap.coeff)
+         (Ccc.Pattern.taps p)
+    @ (match Ccc.Pattern.bias p with
+      | Some c -> Option.to_list (Ccc.Coeff.array_name c)
+      | None -> [])
+  in
+  List.mapi
+    (fun i n ->
+      ( n,
+        Grid.init ~rows ~cols (fun r c ->
+            sin (float_of_int ((r * (i + 3)) + c) /. 7.0)) ))
+    names
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let check_pattern pools name p =
+  match Ccc.compile_pattern config p with
+  | Error e -> fail "%s: compile failed: %s" name (Ccc.error_to_string e)
+  | Ok compiled ->
+      let rows = 4 * 8 and cols = 4 * 8 in
+      let env = env_for p ~rows ~cols in
+      let expected = Ccc.Reference.apply p env in
+      let kernel = Ccc.Kernel.build config compiled in
+      let run ?pool ?kernel inner =
+        (Exec.run ?pool ~inner ?kernel (Ccc.machine config) compiled env)
+          .Exec.output
+      in
+      let seq_tapwalk = run Exec.Tapwalk in
+      let seq_kernel = run ~kernel Exec.Lowered in
+      if Grid.max_abs_diff expected seq_tapwalk > 1e-9 then
+        fail "%s: tapwalk diverged from reference" name;
+      if Grid.max_abs_diff seq_tapwalk seq_kernel <> 0.0 then
+        fail "%s: kernel not bit-identical to tapwalk" name;
+      List.iter
+        (fun (jobs, pool) ->
+          if Grid.max_abs_diff seq_tapwalk (run ~pool Exec.Tapwalk) <> 0.0 then
+            fail "%s: pooled tapwalk (jobs %d) not bit-identical" name jobs;
+          if
+            Grid.max_abs_diff seq_kernel (run ~pool ~kernel Exec.Lowered)
+            <> 0.0
+          then fail "%s: pooled kernel (jobs %d) not bit-identical" name jobs)
+        pools;
+      (* One simulated run under the pool: Exec asserts Cost = Interp
+         on every node inside the pooled chunks. *)
+      let pool = snd (List.hd pools) in
+      let sim =
+        (Exec.run ~mode:Exec.Simulate ~pool (Ccc.machine config) compiled env)
+          .Exec.output
+      in
+      if Grid.max_abs_diff expected sim > 1e-9 then
+        fail "%s: pooled simulate diverged from reference" name;
+      Printf.printf "%s: sequential/pooled tapwalk/kernel bit-identical, \
+                     simulate ok\n"
+        name
+
+let () =
+  let pools = List.map (fun jobs -> (jobs, Ccc.Pool.create ~jobs)) [ 2; 3 ] in
+  check_pattern pools "cross5"
+    (List.assoc "cross5" (Ccc.Pattern.gallery ()));
+  check_pattern pools "seismic" (Ccc.Seismic.kernel ());
+  List.iter (fun (_, p) -> Ccc.Pool.shutdown p) pools;
+  print_endline "perf-smoke: ok"

@@ -40,6 +40,18 @@ let tuned_flag =
   let doc = "Use the strength-reduced (7 Dec 90) run-time library model." in
   Arg.(value & flag & info [ "tuned" ] ~doc)
 
+let jobs_arg =
+  let doc = "Run the host-side per-node loops across $(docv) domains \
+             (default 1, fully sequential).  Results are bit-identical \
+             for every value; only host wall-clock changes." in
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let check_jobs jobs =
+  if jobs < 1 then begin
+    prerr_endline "ccc: --jobs must be at least 1";
+    exit 2
+  end
+
 let parse_nodes spec =
   match String.split_on_char 'x' (String.lowercase_ascii spec) with
   | [ r; c ] -> begin
@@ -170,8 +182,9 @@ let pattern_env_names pattern =
 
 let run_cmd =
   let run file defstencil statement fused nodes tuned rows cols iterations
-      simulate trace =
+      simulate jobs trace =
     let config = or_die (config_of ~nodes ~tuned) in
+    check_jobs jobs;
     let source = read_file file in
     let mode = if simulate then Ccc.Exec.Simulate else Ccc.Exec.Fast in
     let obs = obs_of_trace trace in
@@ -186,7 +199,7 @@ let run_cmd =
             synthetic_env ~rows ~cols (Ccc.Multi.referenced_arrays multi)
           in
           let { Ccc.Exec.output; stats } =
-            Ccc.apply_fused ?obs ~mode ~iterations config f env
+            Ccc.apply_fused ?obs ~mode ~iterations ~jobs config f env
           in
           let expected = Ccc.Exec.reference_fused multi env in
           Format.printf "%a@." Ccc.Stats.pp stats;
@@ -203,7 +216,7 @@ let run_cmd =
           let pattern = compiled.Ccc.Compile.pattern in
           let env = synthetic_env ~rows ~cols (pattern_env_names pattern) in
           let { Ccc.Exec.output; stats } =
-            Ccc.apply ?obs ~mode ~iterations config compiled env
+            Ccc.apply ?obs ~mode ~iterations ~jobs config compiled env
           in
           let expected = Ccc.Reference.apply pattern env in
           Format.printf "%a@." Ccc.Stats.pp stats;
@@ -231,7 +244,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ defstencil_flag $ statement_flag $ fused_flag
       $ nodes_arg $ tuned_flag $ rows_arg $ cols_arg $ iters_arg
-      $ simulate_flag $ trace_arg)
+      $ simulate_flag $ jobs_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* estimate *)
@@ -485,8 +498,9 @@ let batch_statements text =
   List.rev !stmts
 
 let batch_cmd =
-  let run file nodes tuned rows cols repeat simulate show_stats trace =
+  let run file nodes tuned rows cols repeat simulate show_stats jobs trace =
     let config = or_die (config_of ~nodes ~tuned) in
+    check_jobs jobs;
     if repeat < 1 then begin
       prerr_endline "batch: --repeat must be at least 1";
       exit 2
@@ -531,7 +545,8 @@ let batch_cmd =
     in
     let env = synthetic_env ~rows ~cols names in
     let obs = obs_of_trace trace in
-    let engine = Ccc.Engine.create ?obs config in
+    let engine = Ccc.Engine.create ?obs ~jobs config in
+    at_exit (fun () -> Ccc.Engine.shutdown engine);
     let last = ref None in
     for _ = 1 to repeat do
       match Ccc.Engine.run_batch ~mode engine patterns env with
@@ -612,7 +627,7 @@ let batch_cmd =
           engine: one halo exchange, one front-end launch, cached plans")
     Term.(
       const run $ file_arg $ nodes_arg $ tuned_flag $ rows_arg $ cols_arg
-      $ repeat_arg $ simulate_flag $ stats_flag $ trace_arg)
+      $ repeat_arg $ simulate_flag $ stats_flag $ jobs_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile: the unified-telemetry view of one compile-and-run *)

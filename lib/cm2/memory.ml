@@ -6,6 +6,7 @@ let create ~words =
   { store = Array.make words 0.0; next_free = 0 }
 
 let words t = Array.length t.store
+let raw t = t.store
 
 let read t addr =
   if addr < 0 || addr >= Array.length t.store then

@@ -17,6 +17,14 @@ val create : words:int -> t
 
 val words : t -> int
 
+val raw : t -> float array
+(** The node's flat word store itself (not a copy).  This is the
+    precompiled-kernel fast path: {!Ccc_runtime.Kernel} resolves every
+    operand to a word address at lowering time — the "dynamic parts"
+    the paper computes once per stencil call (section 5) — and then
+    walks the raw store without per-access bounds checks.  All other
+    callers should use the checked {!read}/{!write}. *)
+
 val read : t -> int -> float
 (** [read t addr].  Raises [Invalid_argument] out of bounds. *)
 

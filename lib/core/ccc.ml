@@ -22,6 +22,8 @@ module Cost = Ccc_microcode.Cost
 module Grid = Ccc_runtime.Grid
 module Dist = Ccc_runtime.Dist
 module Halo = Ccc_runtime.Halo
+module Pool = Ccc_runtime.Pool
+module Kernel = Ccc_runtime.Kernel
 module Reference = Ccc_runtime.Reference
 module Exec = Ccc_runtime.Exec
 module Stats = Ccc_runtime.Stats
@@ -161,11 +163,22 @@ let fused_report fused = Format.asprintf "%a" Compile.pp_fused_report fused
 
 let machine ?memory_words config = Machine.create ?memory_words config
 
-let apply ?obs ?mode ?iterations config compiled env =
-  Exec.run ?obs ?mode ?iterations (machine config) compiled env
+(* A one-shot pool for the one-shot entry points: spawned only when
+   [jobs > 1], always joined on the way out (OCaml caps live domains,
+   so leaking one per call would exhaust the runtime). *)
+let with_pool jobs f =
+  match jobs with
+  | 1 -> f Pool.sequential
+  | n ->
+      let pool = Pool.create ~jobs:n in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
-let run ?obs ?mode ?iterations config compiled env =
-  match apply ?obs ?mode ?iterations config compiled env with
+let apply ?obs ?mode ?iterations ?(jobs = 1) config compiled env =
+  with_pool jobs (fun pool ->
+      Exec.run ?obs ?mode ?iterations ~pool (machine config) compiled env)
+
+let run ?obs ?mode ?iterations ?jobs config compiled env =
+  match apply ?obs ?mode ?iterations ?jobs config compiled env with
   | result -> Ok result
   | exception Exec.Too_small m ->
       let e = Too_small m in
@@ -175,7 +188,8 @@ let run ?obs ?mode ?iterations config compiled env =
             (error_to_string e));
       Error e
 
-let apply_fused ?obs ?mode ?iterations config fused env =
-  Exec.run_fused ?obs ?mode ?iterations (machine config) fused env
+let apply_fused ?obs ?mode ?iterations ?(jobs = 1) config fused env =
+  with_pool jobs (fun pool ->
+      Exec.run_fused ?obs ?mode ?iterations ~pool (machine config) fused env)
 
 let report compiled = Format.asprintf "%a" Compile.pp_report compiled

@@ -66,6 +66,8 @@ module Cost = Ccc_microcode.Cost
 module Grid = Ccc_runtime.Grid
 module Dist = Ccc_runtime.Dist
 module Halo = Ccc_runtime.Halo
+module Pool = Ccc_runtime.Pool
+module Kernel = Ccc_runtime.Kernel
 module Reference = Ccc_runtime.Reference
 module Exec = Ccc_runtime.Exec
 module Stats = Ccc_runtime.Stats
@@ -157,6 +159,7 @@ val apply_fused :
   ?obs:Obs.t ->
   ?mode:Exec.mode ->
   ?iterations:int ->
+  ?jobs:int ->
   Config.t ->
   Compile.fused ->
   Reference.env ->
@@ -172,6 +175,7 @@ val run :
   ?obs:Obs.t ->
   ?mode:Exec.mode ->
   ?iterations:int ->
+  ?jobs:int ->
   Config.t ->
   Compile.t ->
   Reference.env ->
@@ -179,14 +183,18 @@ val run :
 (** One-shot: build a machine, run, return output and statistics.  The
     primary entry point; a stencil whose border exceeds the per-node
     subgrid returns [Error (Too_small _)] (and a structured warning
-    with the stencil fingerprint).  For repeated requests use
-    {!Engine}, which keeps the machine (and compiled plans) resident
-    between calls. *)
+    with the stencil fingerprint).  [jobs] (default 1) runs the
+    per-node loops across that many domains (a {!Pool} spawned and
+    joined inside the call); the output and statistics are
+    bit-identical for every jobs value.  For repeated requests use
+    {!Engine}, which keeps the machine (and compiled plans, and the
+    pool) resident between calls. *)
 
 val apply :
   ?obs:Obs.t ->
   ?mode:Exec.mode ->
   ?iterations:int ->
+  ?jobs:int ->
   Config.t ->
   Compile.t ->
   Reference.env ->

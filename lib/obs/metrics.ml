@@ -45,38 +45,44 @@ type metric =
   | G of Gauge.t
   | H of Histogram.t
 
-type t = { table : (string, metric) Hashtbl.t }
+(* The Hashtbl is the only shared structure: registration (and the
+   whole-table walks of reset/pp/to_json) lock [m]; updates through a
+   handle are single field mutations on the coordinating domain and
+   stay lock-free. *)
+type t = { table : (string, metric) Hashtbl.t; m : Mutex.t }
 
-let create () = { table = Hashtbl.create 16 }
+let create () = { table = Hashtbl.create 16; m = Mutex.create () }
 
 let reset t =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | C c -> c.Counter.n <- 0
-      | G g -> g.Gauge.v <- 0.0
-      | H h ->
-          h.Histogram.count <- 0;
-          h.Histogram.sum <- 0.0;
-          h.Histogram.lo <- 0.0;
-          h.Histogram.hi <- 0.0)
-    t.table
+  Mutex.protect t.m (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C c -> c.Counter.n <- 0
+          | G g -> g.Gauge.v <- 0.0
+          | H h ->
+              h.Histogram.count <- 0;
+              h.Histogram.sum <- 0.0;
+              h.Histogram.lo <- 0.0;
+              h.Histogram.hi <- 0.0)
+        t.table)
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let find_or_register t name make match_kind =
-  match Hashtbl.find_opt t.table name with
-  | Some m -> (
-      match match_kind m with
-      | Some handle -> handle
+  Mutex.protect t.m (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some m -> (
+          match match_kind m with
+          | Some handle -> handle
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %S already registered as a %s" name
+                   (kind_name m)))
       | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %S already registered as a %s" name
-               (kind_name m)))
-  | None ->
-      let m = make () in
-      Hashtbl.add t.table name m;
-      (match match_kind m with Some h -> h | None -> assert false)
+          let m = make () in
+          Hashtbl.add t.table name m;
+          (match match_kind m with Some h -> h | None -> assert false))
 
 let counter t name =
   find_or_register t name
@@ -94,7 +100,8 @@ let histogram t name =
     (function H h -> Some h | _ -> None)
 
 let sorted t =
-  Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table []
+  Mutex.protect t.m (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp_num ppf v =

@@ -8,7 +8,14 @@
     so instrumented hot paths pay no allocation.
 
     Exports: a deterministic (name-sorted) pretty-printed table and a
-    JSON object, both stable for tests. *)
+    JSON object, both stable for tests.
+
+    Domain safety: the registry table is guarded by a mutex, so
+    find-or-register calls may come from any domain.  Metric {e
+    updates} through a handle are deliberately unsynchronized single
+    field mutations — the runtime's discipline (see DESIGN.md) is to
+    record spans and metrics only from the coordinating domain,
+    outside the pooled per-node loops. *)
 
 type t
 (** A registry. *)

@@ -37,7 +37,13 @@ let local_get t ~node ~row ~col =
 let local_set t ~node ~row ~col v =
   Memory.write (Machine.memory t.machine node) (local_addr t ~row ~col) v
 
-let scatter_into t grid =
+(* Scatter, gather and fill are per-node loops over disjoint data (a
+   node touches only its own memory and its own block of the host
+   grid), so they run on the pool; each node's block moves as
+   [sub_rows] row blits rather than element-by-element [owner]
+   lookups. *)
+
+let scatter_into ?(pool = Pool.sequential) t grid =
   let grows = Grid.rows grid and gcols = Grid.cols grid in
   if grows <> global_rows t || gcols <> global_cols t then
     invalid_arg
@@ -45,14 +51,22 @@ let scatter_into t grid =
          "Dist.scatter_into: %dx%d array into a distribution of global \
           shape %dx%d"
          grows gcols (global_rows t) (global_cols t));
-  for grow = 0 to grows - 1 do
-    for gcol = 0 to gcols - 1 do
-      let node, row, col = owner t ~grow ~gcol in
-      local_set t ~node ~row ~col (Grid.get grid grow gcol)
-    done
-  done
+  let geometry = geometry t in
+  let data = Grid.raw grid in
+  Pool.iter pool (Machine.node_count t.machine) (fun node ->
+      let store = Memory.raw (Machine.memory t.machine node) in
+      let node_row, node_col = Geometry.coord_of_node geometry node in
+      let base_grow = node_row * t.sub_rows
+      and base_gcol = node_col * t.sub_cols in
+      for r = 0 to t.sub_rows - 1 do
+        Array.blit data
+          (((base_grow + r) * gcols) + base_gcol)
+          store
+          (t.region.Memory.base + (r * t.sub_cols))
+          t.sub_cols
+      done)
 
-let scatter machine grid =
+let scatter ?pool machine grid =
   let geometry = Machine.geometry machine in
   let grows = Grid.rows grid and gcols = Grid.cols grid in
   let nrows = Geometry.rows geometry and ncols = Geometry.cols geometry in
@@ -64,16 +78,31 @@ let scatter machine grid =
   let t =
     create machine ~sub_rows:(grows / nrows) ~sub_cols:(gcols / ncols)
   in
-  scatter_into t grid;
+  scatter_into ?pool t grid;
   t
 
-let gather t =
-  Grid.init ~rows:(global_rows t) ~cols:(global_cols t) (fun grow gcol ->
-      let node, row, col = owner t ~grow ~gcol in
-      local_get t ~node ~row ~col)
+let gather ?(pool = Pool.sequential) t =
+  let grows = global_rows t and gcols = global_cols t in
+  let grid = Grid.create ~rows:grows ~cols:gcols in
+  let data = Grid.raw grid in
+  let geometry = geometry t in
+  Pool.iter pool (Machine.node_count t.machine) (fun node ->
+      let store = Memory.raw (Machine.memory t.machine node) in
+      let node_row, node_col = Geometry.coord_of_node geometry node in
+      let base_grow = node_row * t.sub_rows
+      and base_gcol = node_col * t.sub_cols in
+      for r = 0 to t.sub_rows - 1 do
+        Array.blit store
+          (t.region.Memory.base + (r * t.sub_cols))
+          data
+          (((base_grow + r) * gcols) + base_gcol)
+          t.sub_cols
+      done);
+  grid
 
-let fill t v =
-  Machine.iter_nodes t.machine (fun _ mem ->
+let fill ?(pool = Pool.sequential) t v =
+  Pool.iter pool (Machine.node_count t.machine) (fun node ->
+      let mem = Machine.memory t.machine node in
       for i = 0 to t.region.Memory.words - 1 do
         Memory.write mem (t.region.Memory.base + i) v
       done)

@@ -23,23 +23,27 @@ val global_cols : t -> int
 val owner : t -> grow:int -> gcol:int -> int * int * int
 (** [(node, local_row, local_col)] of a global position. *)
 
-val scatter : Ccc_cm2.Machine.t -> Grid.t -> t
+val scatter : ?pool:Pool.t -> Ccc_cm2.Machine.t -> Grid.t -> t
 (** Allocate and fill from a host grid.  The grid's dimensions must be
     divisible by the node grid's; raises [Invalid_argument] otherwise
     (the run-time library handles ragged shapes by padding before the
     call, which our examples do explicitly). *)
 
-val scatter_into : t -> Grid.t -> unit
+val scatter_into : ?pool:Pool.t -> t -> Grid.t -> unit
 (** Refill an already-allocated distribution from a host grid of the
     same global shape; raises [Invalid_argument] on a shape mismatch.
     The arena-reuse path: repeated stencil calls over same-shaped
     arrays rewrite the standing subgrid regions instead of
-    reallocating them. *)
+    reallocating them.  Data moves as per-node row blits; [pool]
+    (default sequential) distributes the node loop — each node touches
+    only its own memory and its own block of the host grid, so results
+    are bit-identical for every jobs value. *)
 
-val gather : t -> Grid.t
-(** Collect the distributed array back to the host. *)
+val gather : ?pool:Pool.t -> t -> Grid.t
+(** Collect the distributed array back to the host (per-node row
+    blits, optionally pooled like {!scatter_into}). *)
 
-val fill : t -> float -> unit
+val fill : ?pool:Pool.t -> t -> float -> unit
 (** Set every element on every node (broadcast constant, used to
     materialize scalar coefficient streams). *)
 

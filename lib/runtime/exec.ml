@@ -11,6 +11,7 @@ module Tr = Ccc_obs.Trace
 module Profiler = Ccc_obs.Profiler
 
 type mode = Simulate | Fast
+type inner = Tapwalk | Lowered
 type result = { output : Grid.t; stats : Stats.t }
 
 exception Too_small of string
@@ -59,7 +60,7 @@ let build_stats (config : Config.t) ~iterations ~comm_cycles ~call_s
 let plan_streams compiled =
   (Compile.widest compiled).Plan.coeff_streams
 
-let materialize_streams machine env ~sub_rows ~sub_cols streams =
+let materialize_streams ~pool machine env ~sub_rows ~sub_cols streams =
   let cache : (string, Dist.t) Hashtbl.t = Hashtbl.create 8 in
   Array.map
     (fun coeff ->
@@ -68,17 +69,17 @@ let materialize_streams machine env ~sub_rows ~sub_cols streams =
           match Hashtbl.find_opt cache name with
           | Some d -> d
           | None ->
-              let d = Dist.scatter machine (Reference.lookup env name) in
+              let d = Dist.scatter ~pool machine (Reference.lookup env name) in
               Hashtbl.add cache name d;
               d
         end
       | Coeff.Scalar v ->
           let d = Dist.create machine ~sub_rows ~sub_cols in
-          Dist.fill d v;
+          Dist.fill ~pool d v;
           d
       | Coeff.One ->
           let d = Dist.create machine ~sub_rows ~sub_cols in
-          Dist.fill d 1.0;
+          Dist.fill ~pool d 1.0;
           d)
     streams
 
@@ -113,14 +114,34 @@ let fast_node_compute pattern ~(source : Halo.exchange) ~(dst : Dist.t)
     done
   done
 
+(* Resolve a kernel against the statement's standing regions: the
+   layouts are identical on every node (Machine.alloc_all asserts it),
+   so one specialization serves the whole machine. *)
+let specialize_kernel kernel machine ~(halos : Halo.exchange array)
+    ~(dst : Dist.t) ~(streams : Dist.t array) =
+  Kernel.specialize kernel ~sub_rows:dst.Dist.sub_rows
+    ~sub_cols:dst.Dist.sub_cols
+    ~sources:
+      (Array.map
+         (fun (h : Halo.exchange) ->
+           {
+             Kernel.base = h.Halo.padded.Memory.base;
+             pcols = h.Halo.padded_cols;
+             pad = h.Halo.pad;
+           })
+         halos)
+    ~coeff_bases:(Array.map (fun d -> d.Dist.region.Memory.base) streams)
+    ~dst_base:dst.Dist.region.Memory.base
+    ~words:(Memory.words (Machine.memory machine 0))
+
 (* The phase shared by the one-shot path, the arena path and every
    statement of a batched run: strip the subgrid, evaluate in the
    requested mode, return the analytic per-iteration totals.  [halo]
    may be padded wider than the pattern's own border (a batch pads to
    the widest statement); the inner loops index by [halo.pad], so a
    narrower pattern simply reads inside the border. *)
-let compute_statement ~obs ~mode machine compiled ~(halo : Halo.exchange)
-    ~(dst : Dist.t) ~(streams : Dist.t array) =
+let compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled
+    ~(halo : Halo.exchange) ~(dst : Dist.t) ~(streams : Dist.t array) =
   let config = Machine.config machine in
   let pattern = compiled.Compile.pattern in
   let sub_rows = dst.Dist.sub_rows and sub_cols = dst.Dist.sub_cols in
@@ -152,15 +173,35 @@ let compute_statement ~obs ~mode machine compiled ~(halo : Halo.exchange)
     Tr.add_attr obs.Obs.trace "madds" (Tr.Int analytic_madds)
   end;
   (match mode with
-  | Fast ->
-      Machine.iter_nodes machine (fun node mem ->
-          fast_node_compute pattern ~source:halo ~dst ~streams ~node mem)
+  | Fast -> begin
+      match inner with
+      | Lowered ->
+          let k =
+            match kernel with Some k -> k | None -> Kernel.lower pattern
+          in
+          let spec =
+            specialize_kernel k machine ~halos:[| halo |] ~dst ~streams
+          in
+          Pool.iter pool (Machine.node_count machine) (fun node ->
+              Kernel.exec_node spec (Memory.raw (Machine.memory machine node)))
+      | Tapwalk ->
+          Pool.iter pool (Machine.node_count machine) (fun node ->
+              fast_node_compute pattern ~source:halo ~dst ~streams ~node
+                (Machine.memory machine node))
+    end
   | Simulate ->
       (* Simulation is the checking mode: beyond Cost = Interp below,
          every plan the strips draw on must be clean under the
          standalone analyzer. *)
       List.iter (Ccc_analysis.Verify.verify_exn config) compiled.Compile.plans;
-      Machine.iter_nodes machine (fun node mem ->
+      (* Per-domain accumulation: each chunk writes only its own nodes'
+         slots; the checks run after the barrier on the coordinating
+         domain, lowest node first, so a divergence reports the same
+         node at every jobs value. *)
+      let nnodes = Machine.node_count machine in
+      let outcomes = Array.make nnodes Interp.zero_outcome in
+      Pool.iter pool nnodes (fun node ->
+          let mem = Machine.memory machine node in
           let bindings =
             {
               Interp.memory = mem;
@@ -177,7 +218,7 @@ let compute_statement ~obs ~mode machine compiled ~(halo : Halo.exchange)
               coeffs = Array.map (fun d -> d.Dist.region) streams;
             }
           in
-          let total =
+          outcomes.(node) <-
             List.fold_left
               (fun acc (hs : Stripmine.halfstrip) ->
                 let outcome =
@@ -185,22 +226,24 @@ let compute_statement ~obs ~mode machine compiled ~(halo : Halo.exchange)
                     ~col0:hs.strip.col0 ~rows:hs.rows
                 in
                 Interp.add_outcome acc outcome)
-              Interp.zero_outcome halfstrips
-          in
-          if node = 0 then begin
-            (* The analytic model and the interpreter must agree; a
-               divergence is a bug in one of them. *)
-            if total.Interp.cycles <> analytic_cycles then
-              failwith
-                (Printf.sprintf
-                   "Exec.run: interpreter took %d cycles, model predicts %d"
-                   total.Interp.cycles analytic_cycles);
-            if total.Interp.madds <> analytic_madds then
-              failwith
-                (Printf.sprintf
-                   "Exec.run: interpreter issued %d madds, model predicts %d"
-                   total.Interp.madds analytic_madds)
-          end));
+              Interp.zero_outcome halfstrips);
+      (* The analytic model and the interpreter must agree on every
+         node; a divergence is a bug in one of them. *)
+      Array.iteri
+        (fun node (total : Interp.outcome) ->
+          if total.Interp.cycles <> analytic_cycles then
+            failwith
+              (Printf.sprintf
+                 "Exec.run: node %d: interpreter took %d cycles, model \
+                  predicts %d"
+                 node total.Interp.cycles analytic_cycles);
+          if total.Interp.madds <> analytic_madds then
+            failwith
+              (Printf.sprintf
+                 "Exec.run: node %d: interpreter issued %d madds, model \
+                  predicts %d"
+                 node total.Interp.madds analytic_madds))
+        outcomes);
   ( analytic_cycles,
     analytic_madds,
     frontend_stall_s,
@@ -212,7 +255,8 @@ let too_small pad ~sub_rows ~sub_cols =
        sub_rows sub_cols)
 
 let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
-    ?(iterations = 1) machine compiled env =
+    ?(iterations = 1) ?(pool = Pool.sequential) ?(inner = Lowered) ?kernel
+    machine compiled env =
   if iterations < 1 then invalid_arg "Exec.run: iterations < 1";
   let config = Machine.config machine in
   let pattern = compiled.Compile.pattern in
@@ -223,21 +267,24 @@ let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
   Fun.protect
     ~finally:(fun () -> Machine.free_all_after machine watermark)
   @@ fun () ->
-  let source = Obs.span obs "run.scatter" (fun () -> Dist.scatter machine source_grid) in
+  let source =
+    Obs.span obs "run.scatter" (fun () ->
+        Dist.scatter ~pool machine source_grid)
+  in
   let sub_rows = source.Dist.sub_rows and sub_cols = source.Dist.sub_cols in
   let pad = Pattern.max_border pattern in
   if pad > sub_rows || pad > sub_cols then
     raise (too_small pad ~sub_rows ~sub_cols);
   let streams =
     Obs.span obs "run.streams" (fun () ->
-        materialize_streams machine env ~sub_rows ~sub_cols
+        materialize_streams ~pool machine env ~sub_rows ~sub_cols
           (plan_streams compiled))
   in
   let dst = Dist.create machine ~sub_rows ~sub_cols in
   let halo =
     Obs.span obs "run.halo" @@ fun () ->
     let h =
-      Halo.exchange ~primitive ~source ~pad
+      Halo.exchange ~primitive ~pool ~source ~pad
         ~boundary:(Pattern.boundary pattern)
         ~needs_corners:(Pattern.needs_corners pattern) ()
     in
@@ -246,9 +293,12 @@ let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
     h
   in
   let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-    compute_statement ~obs ~mode machine compiled ~halo ~dst ~streams
+    compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled ~halo
+      ~dst ~streams
   in
-  let output = Obs.span obs "run.gather" (fun () -> Dist.gather dst) in
+  let output =
+    Obs.span obs "run.gather" (fun () -> Dist.gather ~pool dst)
+  in
   let stats =
     build_stats config ~iterations ~comm_cycles:halo.Halo.cycles
       ~call_s:(Config.effective_call_s config)
@@ -337,7 +387,8 @@ let trace ?width ?(lines = 3) (config : Config.t) compiled =
          Printf.sprintf "cycle %4d  row %2d  %s" cycle row slot)
        (Tr.span_children root)
 
-let run_padded ?obs ?mode ?primitive ?iterations machine compiled env =
+let run_padded ?obs ?mode ?primitive ?iterations ?pool ?inner machine compiled
+    env =
   let config = Machine.config machine in
   let pattern = compiled.Compile.pattern in
   let fill =
@@ -355,7 +406,7 @@ let run_padded ?obs ?mode ?primitive ?iterations machine compiled env =
   let rows' = round_up rows config.Config.node_rows in
   let cols' = round_up cols config.Config.node_cols in
   if rows' = rows && cols' = cols then
-    run ?obs ?mode ?primitive ?iterations machine compiled env
+    run ?obs ?mode ?primitive ?iterations ?pool ?inner machine compiled env
   else begin
     (* Grow every array with the boundary fill (the source) or zeros
        (coefficients: padding points produce values we crop anyway). *)
@@ -371,7 +422,7 @@ let run_padded ?obs ?mode ?primitive ?iterations machine compiled env =
         env
     in
     let { output; stats } =
-      run ?obs ?mode ?primitive ?iterations machine compiled env'
+      run ?obs ?mode ?primitive ?iterations ?pool ?inner machine compiled env'
     in
     let cropped = Grid.init ~rows ~cols (fun r c -> Grid.get output r c) in
     (* The padded points below/right of the true edge read the fill
@@ -501,8 +552,8 @@ let check_fused_fits multi ~sub_rows ~sub_cols =
     (Ccc_stencil.Multi.sources multi)
 
 let run_fused ?(obs = Obs.disabled) ?(mode = Fast)
-    ?(primitive = Halo.Node_level) ?(iterations = 1) machine
-    (fused : Compile.fused) env =
+    ?(primitive = Halo.Node_level) ?(iterations = 1) ?(pool = Pool.sequential)
+    ?(inner = Lowered) machine (fused : Compile.fused) env =
   if iterations < 1 then invalid_arg "Exec.run_fused: iterations < 1";
   let config = Machine.config machine in
   let multi = fused.Compile.multi in
@@ -515,7 +566,7 @@ let run_fused ?(obs = Obs.disabled) ?(mode = Fast)
   let scattered =
     Obs.span obs "run.scatter" @@ fun () ->
     List.map
-      (fun name -> Dist.scatter machine (Reference.lookup env name))
+      (fun name -> Dist.scatter ~pool machine (Reference.lookup env name))
       (Ccc_stencil.Multi.sources multi)
   in
   let first = List.hd scattered in
@@ -523,7 +574,7 @@ let run_fused ?(obs = Obs.disabled) ?(mode = Fast)
   check_fused_fits multi ~sub_rows ~sub_cols;
   let streams =
     Obs.span obs "run.streams" (fun () ->
-        materialize_streams machine env ~sub_rows ~sub_cols
+        materialize_streams ~pool machine env ~sub_rows ~sub_cols
           (Compile.fused_widest fused).Plan.coeff_streams)
   in
   let dst = Dist.create machine ~sub_rows ~sub_cols in
@@ -546,14 +597,26 @@ let run_fused ?(obs = Obs.disabled) ?(mode = Fast)
       if Obs.tracing obs then
         Tr.add_attr obs.Obs.trace "cycles" (Tr.Int analytic_cycles);
       match mode with
-  | Fast ->
-      Machine.iter_nodes machine (fun node mem ->
-          fast_node_compute_fused multi ~halos ~dst ~streams ~node mem)
+  | Fast -> begin
+      match inner with
+      | Lowered ->
+          let k = Kernel.lower_multi multi in
+          let spec = specialize_kernel k machine ~halos ~dst ~streams in
+          Pool.iter pool (Machine.node_count machine) (fun node ->
+              Kernel.exec_node spec (Memory.raw (Machine.memory machine node)))
+      | Tapwalk ->
+          Pool.iter pool (Machine.node_count machine) (fun node ->
+              fast_node_compute_fused multi ~halos ~dst ~streams ~node
+                (Machine.memory machine node))
+    end
   | Simulate ->
       List.iter
         (Ccc_analysis.Verify.verify_exn config)
         fused.Compile.fused_plans;
-      Machine.iter_nodes machine (fun node mem ->
+      let nnodes = Machine.node_count machine in
+      let outcomes = Array.make nnodes Interp.zero_outcome in
+      Pool.iter pool nnodes (fun node ->
+          let mem = Machine.memory machine node in
           let bindings =
             {
               Interp.memory = mem;
@@ -571,21 +634,23 @@ let run_fused ?(obs = Obs.disabled) ?(mode = Fast)
               coeffs = Array.map (fun d -> d.Dist.region) streams;
             }
           in
-          let total =
+          outcomes.(node) <-
             List.fold_left
               (fun acc (hs : Stripmine.halfstrip) ->
                 Interp.add_outcome acc
                   (Interp.run_halfstrip config hs.strip.plan bindings
                      ~col0:hs.strip.col0 ~rows:hs.rows))
-              Interp.zero_outcome halfstrips
-          in
-          if node = 0 && total.Interp.cycles <> analytic_cycles then
+              Interp.zero_outcome halfstrips);
+      Array.iteri
+        (fun node (total : Interp.outcome) ->
+          if total.Interp.cycles <> analytic_cycles then
             failwith
               (Printf.sprintf
-                 "Exec.run_fused: interpreter took %d cycles, model predicts \
-                  %d"
-                 total.Interp.cycles analytic_cycles)));
-  let output = Obs.span obs "run.gather" (fun () -> Dist.gather dst) in
+                 "Exec.run_fused: node %d: interpreter took %d cycles, model \
+                  predicts %d"
+                 node total.Interp.cycles analytic_cycles))
+        outcomes);
+  let output = Obs.span obs "run.gather" (fun () -> Dist.gather ~pool dst) in
   let corners_skipped =
     not
       (List.exists
@@ -709,13 +774,14 @@ end
    [materialize_streams] this does not alias repeated array names to
    one region — the regions are pre-allocated per stream slot — but
    the values written are identical, so outputs are bit-identical. *)
-let refill_streams env (dists : Dist.t array) streams =
+let refill_streams ~pool env (dists : Dist.t array) streams =
   Array.iteri
     (fun i coeff ->
       match coeff with
-      | Coeff.Array name -> Dist.scatter_into dists.(i) (Reference.lookup env name)
-      | Coeff.Scalar v -> Dist.fill dists.(i) v
-      | Coeff.One -> Dist.fill dists.(i) 1.0)
+      | Coeff.Array name ->
+          Dist.scatter_into ~pool dists.(i) (Reference.lookup env name)
+      | Coeff.Scalar v -> Dist.fill ~pool dists.(i) v
+      | Coeff.One -> Dist.fill ~pool dists.(i) 1.0)
     streams
 
 let arena_shape (config : Config.t) ~who grid =
@@ -729,7 +795,8 @@ let arena_shape (config : Config.t) ~who grid =
   (grows / nrows, gcols / ncols)
 
 let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
-    ?(primitive = Halo.Node_level) ?(iterations = 1) arena compiled env =
+    ?(primitive = Halo.Node_level) ?(iterations = 1) ?(pool = Pool.sequential)
+    ?(inner = Lowered) ?kernel arena compiled env =
   if iterations < 1 then invalid_arg "Exec.run_arena: iterations < 1";
   let machine = Arena.machine arena in
   let config = Machine.config machine in
@@ -749,13 +816,13 @@ let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
       ~nstreams:(Array.length spec)
   in
   Obs.span obs "run.scatter" (fun () ->
-      Dist.scatter_into slot.Arena.src source_grid);
+      Dist.scatter_into ~pool slot.Arena.src source_grid);
   Obs.span obs "run.streams" (fun () ->
-      refill_streams env slot.Arena.streams spec);
+      refill_streams ~pool env slot.Arena.streams spec);
   let halo =
     Obs.span obs "run.halo" @@ fun () ->
     let h =
-      Halo.exchange_into ~primitive ~padded:slot.Arena.halo_region
+      Halo.exchange_into ~primitive ~pool ~padded:slot.Arena.halo_region
         ~source:slot.Arena.src ~pad
         ~boundary:(Pattern.boundary pattern)
         ~needs_corners:(Pattern.needs_corners pattern) ()
@@ -765,10 +832,12 @@ let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
     h
   in
   let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-    compute_statement ~obs ~mode machine compiled ~halo ~dst:slot.Arena.dst
-      ~streams:slot.Arena.streams
+    compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled ~halo
+      ~dst:slot.Arena.dst ~streams:slot.Arena.streams
   in
-  let output = Obs.span obs "run.gather" (fun () -> Dist.gather slot.Arena.dst) in
+  let output =
+    Obs.span obs "run.gather" (fun () -> Dist.gather ~pool slot.Arena.dst)
+  in
   let stats =
     build_stats config ~iterations ~comm_cycles:halo.Halo.cycles
       ~call_s:(Config.effective_call_s config)
@@ -784,8 +853,17 @@ let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
 type batch = { batch_results : result list; batch_stats : Stats.t }
 
 let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
-    ?(primitive = Halo.Node_level) arena compileds env =
+    ?(primitive = Halo.Node_level) ?(pool = Pool.sequential)
+    ?(inner = Lowered) ?kernels arena compileds env =
   if compileds = [] then invalid_arg "Exec.run_batch_arena: empty batch";
+  let kernels =
+    match kernels with
+    | None -> List.map (fun _ -> None) compileds
+    | Some ks ->
+        if List.length ks <> List.length compileds then
+          invalid_arg "Exec.run_batch_arena: one kernel per statement";
+        List.map Option.some ks
+  in
   let machine = Arena.machine arena in
   let config = Machine.config machine in
   let patterns = List.map (fun c -> c.Compile.pattern) compileds in
@@ -832,11 +910,11 @@ let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
   @@ fun () ->
   let slot = Arena.acquire arena ~sub_rows ~sub_cols ~pad ~nstreams in
   Obs.span obs "run.scatter" (fun () ->
-      Dist.scatter_into slot.Arena.src source_grid);
+      Dist.scatter_into ~pool slot.Arena.src source_grid);
   let halo =
     Obs.span obs "run.halo" @@ fun () ->
     let h =
-      Halo.exchange_into ~primitive ~padded:slot.Arena.halo_region
+      Halo.exchange_into ~primitive ~pool ~padded:slot.Arena.halo_region
         ~source:slot.Arena.src ~pad ~boundary ~needs_corners ()
     in
     if Obs.tracing obs then
@@ -845,15 +923,16 @@ let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
   in
   let global_points = Grid.rows source_grid * Grid.cols source_grid in
   let batch_results =
-    List.map
-      (fun compiled ->
+    List.map2
+      (fun compiled kernel ->
         let pattern = compiled.Compile.pattern in
         let spec = plan_streams compiled in
         let streams = Array.sub slot.Arena.streams 0 (Array.length spec) in
-        Obs.span obs "run.streams" (fun () -> refill_streams env streams spec);
+        Obs.span obs "run.streams" (fun () ->
+            refill_streams ~pool env streams spec);
         let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-          compute_statement ~obs ~mode machine compiled ~halo
-            ~dst:slot.Arena.dst ~streams
+          compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled
+            ~halo ~dst:slot.Arena.dst ~streams
         in
         (* The destination region is shared across the batch, so gather
            each statement's result before the next one overwrites it.
@@ -861,7 +940,8 @@ let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
            the whole batch and reported in [batch_stats]; a statement's
            own stats carry only its compute and dispatch stalls. *)
         let output =
-          Obs.span obs "run.gather" (fun () -> Dist.gather slot.Arena.dst)
+          Obs.span obs "run.gather" (fun () ->
+              Dist.gather ~pool slot.Arena.dst)
         in
         let stats =
           build_stats config ~iterations:1 ~comm_cycles:0 ~call_s:0.0
@@ -872,7 +952,7 @@ let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
             ~corners_skipped:(not (Pattern.needs_corners pattern))
         in
         { output; stats })
-      compileds
+      compileds kernels
   in
   let sum f = List.fold_left (fun acc r -> acc + f r.stats) 0 batch_results in
   let sumf f =

@@ -12,9 +12,24 @@
       (which [Simulate] provably matches), so large benchmark
       configurations run in reasonable host time.
 
-    Both modes report identical statistics. *)
+    Both modes report identical statistics.
+
+    Two host-side levers speed the per-node work without changing any
+    result bit: [inner] selects the Fast inner loop (the precompiled
+    {!Kernel} offset walk by default, or the original bounds-checked
+    tapwalk as the measurable baseline), and [pool] runs the per-node
+    loops — compute, scatter/gather, halo fill — across a {!Pool} of
+    domains.  Outputs are bit-identical across all four combinations
+    and every jobs value; [Simulate] keeps asserting Cost = Interp on
+    every node under the pool. *)
 
 type mode = Simulate | Fast
+
+(** The Fast inner loop: [Lowered] (default) is {!Kernel}'s
+    preresolved offset walk; [Tapwalk] re-derives operand addresses
+    from the tap list per element — kept as the measurable baseline
+    the scaling benchmark compares against. *)
+type inner = Tapwalk | Lowered
 
 type result = { output : Grid.t; stats : Stats.t }
 
@@ -27,6 +42,9 @@ val run :
   ?mode:mode ->
   ?primitive:Halo.primitive ->
   ?iterations:int ->
+  ?pool:Pool.t ->
+  ?inner:inner ->
+  ?kernel:Kernel.t ->
   Ccc_cm2.Machine.t ->
   Ccc_compiler.Compile.t ->
   Reference.env ->
@@ -35,18 +53,26 @@ val run :
     (default 1) scales the timing statistics the way the paper's
     sustained measurements loop the computation; the data result is
     that of a single application.  All temporaries allocated on the
-    machine are released before returning.  [obs] (default disabled —
-    one branch per phase, no allocation) opens a [run] span with
-    [run.scatter] / [run.streams] / [run.halo] / [run.compute] (one
-    [run.halfstrip] child per half-strip, cycle-priced by the
-    analytic model) / [run.gather] / [run.frontend] children, and
-    folds the run's {!Stats.t} into the context's metrics registry. *)
+    machine are released before returning.  [pool] (default
+    sequential) parallelizes the per-node loops; [kernel] supplies a
+    pre-verified lowering (the engine's cached one) — when absent the
+    [Lowered] inner loop lowers on the fly, unverified (the qcheck
+    properties cover it).  [obs] (default disabled — one branch per
+    phase, no allocation) opens a [run] span with [run.scatter] /
+    [run.streams] / [run.halo] / [run.compute] (one [run.halfstrip]
+    child per half-strip, cycle-priced by the analytic model) /
+    [run.gather] / [run.frontend] children, and folds the run's
+    {!Stats.t} into the context's metrics registry.  Spans and metrics
+    are recorded only from the coordinating domain, outside the pooled
+    loops. *)
 
 val run_padded :
   ?obs:Ccc_obs.Obs.t ->
   ?mode:mode ->
   ?primitive:Halo.primitive ->
   ?iterations:int ->
+  ?pool:Pool.t ->
+  ?inner:inner ->
   Ccc_cm2.Machine.t ->
   Ccc_compiler.Compile.t ->
   Reference.env ->
@@ -101,6 +127,9 @@ val run_arena :
   ?mode:mode ->
   ?primitive:Halo.primitive ->
   ?iterations:int ->
+  ?pool:Pool.t ->
+  ?inner:inner ->
+  ?kernel:Kernel.t ->
   Arena.t ->
   Ccc_compiler.Compile.t ->
   Reference.env ->
@@ -120,6 +149,9 @@ val run_batch_arena :
   ?obs:Ccc_obs.Obs.t ->
   ?mode:mode ->
   ?primitive:Halo.primitive ->
+  ?pool:Pool.t ->
+  ?inner:inner ->
+  ?kernels:Kernel.t list ->
   Arena.t ->
   Ccc_compiler.Compile.t list ->
   Reference.env ->
@@ -132,7 +164,8 @@ val run_batch_arena :
     semantics ([Invalid_argument] otherwise); the exchange is padded
     to the widest statement's border, and corner sections are fetched
     if any statement needs them (sound for the others, which never
-    read corners). *)
+    read corners).  [kernels], when given, must carry one pre-verified
+    kernel per statement in order. *)
 
 val estimate :
   ?primitive:Halo.primitive ->
@@ -162,6 +195,8 @@ val run_fused :
   ?mode:mode ->
   ?primitive:Halo.primitive ->
   ?iterations:int ->
+  ?pool:Pool.t ->
+  ?inner:inner ->
   Ccc_cm2.Machine.t ->
   Ccc_compiler.Compile.fused ->
   Reference.env ->

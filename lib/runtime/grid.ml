@@ -40,11 +40,18 @@ let get_endoff t ~fill r c =
   else t.data.((r * t.cols) + c)
 
 let copy t = { t with data = Array.copy t.data }
+let raw t = t.data
 
 let map2 f a b =
   if a.rows <> b.rows || a.cols <> b.cols then
     invalid_arg "Grid.map2: shape mismatch";
-  { a with data = Array.map2 f a.data b.data }
+  let n = Array.length a.data in
+  let data = Array.make n 0.0 in
+  let ad = a.data and bd = b.data in
+  for i = 0 to n - 1 do
+    data.(i) <- f ad.(i) bd.(i)
+  done;
+  { a with data }
 
 let fold f init t = Array.fold_left f init t.data
 let to_flat_array t = Array.copy t.data
@@ -54,16 +61,20 @@ let of_flat_array ~rows ~cols data =
     invalid_arg "Grid.of_flat_array: size mismatch";
   { rows; cols; data = Array.copy data }
 
+(* Inside every qcheck comparison, so: a manual tail-recursive loop —
+   no closure, no boxed accumulator, no allocation at all. *)
 let max_abs_diff a b =
   if a.rows <> b.rows || a.cols <> b.cols then
     invalid_arg "Grid.max_abs_diff: shape mismatch";
-  let worst = ref 0.0 in
-  Array.iteri
-    (fun i v ->
-      let d = Float.abs (v -. b.data.(i)) in
-      if d > !worst then worst := d)
-    a.data;
-  !worst
+  let ad = a.data and bd = b.data in
+  let n = Array.length ad in
+  let rec go i worst =
+    if i >= n then worst
+    else
+      let d = Float.abs (ad.(i) -. bd.(i)) in
+      go (i + 1) (if d > worst then d else worst)
+  in
+  go 0 0.0
 
 let equal_within ~tol a b = max_abs_diff a b <= tol
 

@@ -24,6 +24,12 @@ val get_endoff : t -> fill:float -> int -> int -> float
 (** Out-of-range indices read [fill] (EOSHIFT semantics). *)
 
 val copy : t -> t
+
+val raw : t -> float array
+(** The row-major backing store itself (not a copy).  The blit-based
+    scatter/gather fast path of {!Dist}; ordinary access should go
+    through {!get}/{!set}. *)
+
 val map2 : (float -> float -> float) -> t -> t -> t
 val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
 val to_flat_array : t -> float array

@@ -46,8 +46,9 @@ let check_fit ~sub_rows ~sub_cols pad =
           primitive reaches immediate neighbors only"
          pad sub_rows sub_cols)
 
-let exchange_into ?(primitive = Node_level) ~(padded : Memory.region)
-    ~(source : Dist.t) ~pad ~boundary ~needs_corners () =
+let exchange_into ?(primitive = Node_level) ?(pool = Pool.sequential)
+    ~(padded : Memory.region) ~(source : Dist.t) ~pad ~boundary ~needs_corners
+    () =
   let { Dist.machine; sub_rows; sub_cols; _ } = source in
   check_fit ~sub_rows ~sub_cols pad;
   let padded_rows = sub_rows + (2 * pad) and padded_cols = sub_cols + (2 * pad) in
@@ -64,34 +65,63 @@ let exchange_into ?(primitive = Node_level) ~(padded : Memory.region)
     | Ccc_stencil.Boundary.End_off fill -> Some fill
   in
   let wrap v n = ((v mod n) + n) mod n in
-  Machine.iter_nodes machine (fun node mem ->
+  (* Per-node loop on the pool: a node writes only its own padded
+     temporary; the source reads reach other nodes' subgrids, but those
+     regions are read-only for the duration of the exchange.  Every
+     padded cell is rewritten each call: the interior body is a
+     row-blit of the node's own subgrid (bit-for-bit what the general
+     path would read back), and only the frame of 2 pad rows and
+     2 pad columns takes the per-cell owner arithmetic. *)
+  Pool.iter pool (Machine.node_count machine) (fun node ->
+      let mem = Machine.memory machine node in
+      let raw = Memory.raw mem in
       let node_row, node_col = Geometry.coord_of_node geometry node in
       let base_grow = node_row * sub_rows and base_gcol = node_col * sub_cols in
-      for r = -pad to sub_rows + pad - 1 do
+      let fill_cell r c =
+        let in_corner = (r < 0 || r >= sub_rows) && (c < 0 || c >= sub_cols) in
+        let value =
+          if in_corner && not needs_corners then Float.nan
+          else begin
+            let grow = base_grow + r and gcol = base_gcol + c in
+            let outside =
+              grow < 0 || grow >= grows || gcol < 0 || gcol >= gcols
+            in
+            match fill_value with
+            | Some fill when outside -> fill
+            | Some _ | None ->
+                let node', row', col' =
+                  Dist.owner source ~grow:(wrap grow grows)
+                    ~gcol:(wrap gcol gcols)
+                in
+                Dist.local_get source ~node:node' ~row:row' ~col:col'
+          end
+        in
+        Memory.write mem
+          (padded.Memory.base + ((r + pad) * padded_cols) + (c + pad))
+          value
+      in
+      let sbase = source.Dist.region.Memory.base in
+      for r = 0 to sub_rows - 1 do
+        Array.blit raw
+          (sbase + (r * sub_cols))
+          raw
+          (padded.Memory.base + ((r + pad) * padded_cols) + pad)
+          sub_cols;
+        for c = -pad to -1 do
+          fill_cell r c
+        done;
+        for c = sub_cols to sub_cols + pad - 1 do
+          fill_cell r c
+        done
+      done;
+      for r = -pad to -1 do
         for c = -pad to sub_cols + pad - 1 do
-          let in_corner =
-            (r < 0 || r >= sub_rows) && (c < 0 || c >= sub_cols)
-          in
-          let value =
-            if in_corner && not needs_corners then Float.nan
-            else begin
-              let grow = base_grow + r and gcol = base_gcol + c in
-              let outside =
-                grow < 0 || grow >= grows || gcol < 0 || gcol >= gcols
-              in
-              match fill_value with
-              | Some fill when outside -> fill
-              | Some _ | None ->
-                  let node', row', col' =
-                    Dist.owner source ~grow:(wrap grow grows)
-                      ~gcol:(wrap gcol gcols)
-                  in
-                  Dist.local_get source ~node:node' ~row:row' ~col:col'
-            end
-          in
-          Memory.write mem
-            (padded.Memory.base + ((r + pad) * padded_cols) + (c + pad))
-            value
+          fill_cell r c
+        done
+      done;
+      for r = sub_rows to sub_rows + pad - 1 do
+        for c = -pad to sub_cols + pad - 1 do
+          fill_cell r c
         done
       done);
   let cycles =
@@ -106,10 +136,11 @@ let exchange_into ?(primitive = Node_level) ~(padded : Memory.region)
     corners_skipped = not needs_corners;
   }
 
-let exchange ?(primitive = Node_level) ~(source : Dist.t) ~pad ~boundary
+let exchange ?(primitive = Node_level) ?pool ~(source : Dist.t) ~pad ~boundary
     ~needs_corners () =
   let { Dist.machine; sub_rows; sub_cols; _ } = source in
   check_fit ~sub_rows ~sub_cols pad;
   let padded_rows = sub_rows + (2 * pad) and padded_cols = sub_cols + (2 * pad) in
   let padded = Machine.alloc_all machine ~words:(padded_rows * padded_cols) in
-  exchange_into ~primitive ~padded ~source ~pad ~boundary ~needs_corners ()
+  exchange_into ~primitive ?pool ~padded ~source ~pad ~boundary ~needs_corners
+    ()

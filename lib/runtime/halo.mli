@@ -41,6 +41,7 @@ type exchange = {
 
 val exchange :
   ?primitive:primitive ->
+  ?pool:Pool.t ->
   source:Dist.t ->
   pad:int ->
   boundary:Ccc_stencil.Boundary.t ->
@@ -56,6 +57,7 @@ val exchange :
 
 val exchange_into :
   ?primitive:primitive ->
+  ?pool:Pool.t ->
   padded:Ccc_cm2.Memory.region ->
   source:Dist.t ->
   pad:int ->
@@ -68,8 +70,12 @@ val exchange_into :
     which pays the exchange's communication cycles but not the per-call
     allocate/release bookkeeping.  Every padded cell is rewritten
     (including the NaN corner poison), so reuse cannot leak a previous
-    call's halo.  Raises [Invalid_argument] when [padded] is not
-    exactly [(sub_rows+2 pad) * (sub_cols+2 pad)] words. *)
+    call's halo.  [pool] (default sequential) runs the per-node fill in
+    parallel: each node writes only its own padded temporary, and the
+    subgrids it reads are read-only for the duration, so the result is
+    bit-identical for every jobs value.  Raises [Invalid_argument] when
+    [padded] is not exactly [(sub_rows+2 pad) * (sub_cols+2 pad)]
+    words. *)
 
 val cycles_model :
   primitive:primitive ->

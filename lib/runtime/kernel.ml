@@ -1,0 +1,283 @@
+open Ccc_stencil
+module Memory = Ccc_cm2.Memory
+module Config = Ccc_cm2.Config
+module Compile = Ccc_compiler.Compile
+module Plan = Ccc_microcode.Plan
+module Interp = Ccc_microcode.Interp
+module Finding = Ccc_analysis.Finding
+
+(* The geometry-independent lowered form: per tap, which source it
+   reads and its (drow, dcol) displacement, in pattern (= coefficient
+   stream) order.  Specialization against concrete region layouts
+   turns this into flat offset tables. *)
+type t = {
+  srcs : int array;
+  drows : int array;
+  dcols : int array;
+  has_bias : bool;
+}
+
+let ntaps t = Array.length t.srcs
+let nstreams t = ntaps t + if t.has_bias then 1 else 0
+
+let lower pattern =
+  let taps = Pattern.taps pattern in
+  let n = List.length taps in
+  let srcs = Array.make n 0
+  and drows = Array.make n 0
+  and dcols = Array.make n 0 in
+  List.iteri
+    (fun i (tap : Tap.t) ->
+      drows.(i) <- tap.Tap.offset.Offset.drow;
+      dcols.(i) <- tap.Tap.offset.Offset.dcol)
+    taps;
+  { srcs; drows; dcols; has_bias = Pattern.bias pattern <> None }
+
+let lower_multi multi =
+  let taps = Multi.taps multi in
+  let n = List.length taps in
+  let srcs = Array.make n 0
+  and drows = Array.make n 0
+  and dcols = Array.make n 0 in
+  List.iteri
+    (fun i (st : Multi.source_tap) ->
+      srcs.(i) <- st.Multi.source;
+      drows.(i) <- st.Multi.tap.Tap.offset.Offset.drow;
+      dcols.(i) <- st.Multi.tap.Tap.offset.Offset.dcol)
+    taps;
+  { srcs; drows; dcols; has_bias = Multi.bias multi <> None }
+
+type source_layout = { base : int; pcols : int; pad : int }
+
+type spec = {
+  sub_rows : int;
+  sub_cols : int;
+  tap_off : int array;
+  tap_stride : int array;
+  coeff_off : int array;
+  bias_off : int;
+  dst_off : int;
+}
+
+let specialize t ~sub_rows ~sub_cols ~(sources : source_layout array)
+    ~(coeff_bases : int array) ~dst_base ~words =
+  if sub_rows <= 0 || sub_cols <= 0 then
+    invalid_arg "Kernel.specialize: non-positive subgrid";
+  if Array.length coeff_bases <> nstreams t then
+    invalid_arg
+      (Printf.sprintf "Kernel.specialize: %d coefficient streams for %d"
+         (Array.length coeff_bases) (nstreams t));
+  let n = ntaps t in
+  let tap_off = Array.make n 0 and tap_stride = Array.make n 0 in
+  (* Every offset below is validated against [0, words) over the whole
+     sweep once, here; that is what licenses the unchecked array
+     accesses of [exec_node]. *)
+  let check_span who off stride =
+    let last = off + ((sub_rows - 1) * stride) + (sub_cols - 1) in
+    if off < 0 || stride < sub_cols || last >= words then
+      invalid_arg
+        (Printf.sprintf
+           "Kernel.specialize: %s walk [%d..%d] stride %d escapes %d words"
+           who off last stride words)
+  in
+  for i = 0 to n - 1 do
+    let src = t.srcs.(i) in
+    if src < 0 || src >= Array.length sources then
+      invalid_arg "Kernel.specialize: tap source out of range";
+    let layout = sources.(src) in
+    tap_off.(i) <-
+      layout.base
+      + ((t.drows.(i) + layout.pad) * layout.pcols)
+      + t.dcols.(i) + layout.pad;
+    tap_stride.(i) <- layout.pcols;
+    check_span (Printf.sprintf "tap %d" i) tap_off.(i) tap_stride.(i)
+  done;
+  let coeff_off = Array.sub coeff_bases 0 n in
+  Array.iteri
+    (fun i off -> check_span (Printf.sprintf "stream %d" i) off sub_cols)
+    coeff_off;
+  let bias_off = if t.has_bias then coeff_bases.(n) else -1 in
+  if t.has_bias then check_span "bias stream" bias_off sub_cols;
+  check_span "destination" dst_base sub_cols;
+  {
+    sub_rows;
+    sub_cols;
+    tap_off;
+    tap_stride;
+    coeff_off;
+    bias_off;
+    dst_off = dst_base;
+  }
+
+(* The branch-free inner loop: walk the preresolved offsets over the
+   raw store.  The accumulation order is exactly the tapwalk's (taps in
+   pattern order, bias last, [sum +. (coeff *. v)]), so the two Fast
+   inner loops are bit-identical.  The per-call row cursors keep
+   concurrent nodes from sharing scratch. *)
+let exec_node spec (raw : float array) =
+  let n = Array.length spec.tap_off in
+  let sub_rows = spec.sub_rows and sub_cols = spec.sub_cols in
+  let tap_row = Array.copy spec.tap_off in
+  let coeff_row = Array.copy spec.coeff_off in
+  let tap_stride = spec.tap_stride in
+  let has_bias = spec.bias_off >= 0 in
+  let bias_row = ref spec.bias_off in
+  let dst = ref spec.dst_off in
+  for _r = 0 to sub_rows - 1 do
+    for c = 0 to sub_cols - 1 do
+      let sum = ref 0.0 in
+      for i = 0 to n - 1 do
+        let v = Array.unsafe_get raw (Array.unsafe_get tap_row i + c) in
+        let coeff = Array.unsafe_get raw (Array.unsafe_get coeff_row i + c) in
+        sum := !sum +. (coeff *. v)
+      done;
+      if has_bias then sum := !sum +. Array.unsafe_get raw (!bias_row + c);
+      Array.unsafe_set raw (!dst + c) !sum
+    done;
+    for i = 0 to n - 1 do
+      Array.unsafe_set tap_row i
+        (Array.unsafe_get tap_row i + Array.unsafe_get tap_stride i);
+      Array.unsafe_set coeff_row i (Array.unsafe_get coeff_row i + sub_cols)
+    done;
+    if has_bias then bias_row := !bias_row + sub_cols;
+    dst := !dst + sub_cols
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Build-time verification on a one-node sandbox (the same style as
+   [Exec.trace]): fill a padded temporary exactly as Halo.exchange_into
+   would on a single node — boundary semantics of the subgrid itself,
+   NaN-poisoned corners when no tap is diagonal — then require the
+   lowered kernel to match Reference.apply, and the cycle-accurate
+   interpreter run over the same bindings to match the kernel. *)
+
+let sandbox_value name r c =
+  let h = Hashtbl.hash (name, r, c) land 0x3FFFFFFF in
+  (float_of_int h /. float_of_int 0x40000000) -. 0.5
+
+let referenced_names pattern =
+  List.sort_uniq compare (Reference.referenced_arrays pattern)
+
+let verify (config : Config.t) (compiled : Compile.t) t =
+  let pattern = compiled.Compile.pattern in
+  let plan = Compile.widest compiled in
+  let streams = plan.Plan.coeff_streams in
+  if Array.length streams <> nstreams t then
+    raise
+      (Finding.Failed
+         [
+           Finding.makef Finding.Coeff_streams
+             "kernel: plan carries %d coefficient streams, lowering expects %d"
+             (Array.length streams) (nstreams t);
+         ]);
+  let pad = Pattern.max_border pattern in
+  let sub_cols = plan.Plan.width in
+  let sub_rows = max 6 ((2 * pad) + 2) in
+  let env =
+    List.map
+      (fun name ->
+        (name, Grid.init ~rows:sub_rows ~cols:sub_cols (sandbox_value name)))
+      (referenced_names pattern)
+  in
+  let expected = Reference.apply pattern env in
+  let pcols = sub_cols + (2 * pad) in
+  let prows = sub_rows + (2 * pad) in
+  let words =
+    (prows * pcols) + (sub_rows * sub_cols * (Array.length streams + 1)) + 8
+  in
+  let mem = Memory.create ~words in
+  let padded = Memory.alloc mem ~words:(prows * pcols) in
+  let dst = Memory.alloc mem ~words:(sub_rows * sub_cols) in
+  let coeffs =
+    Array.map (fun _ -> Memory.alloc mem ~words:(sub_rows * sub_cols)) streams
+  in
+  let src_grid = Reference.lookup env (Pattern.source_var pattern) in
+  let read =
+    match Pattern.boundary pattern with
+    | Boundary.Circular -> Grid.get_circular src_grid
+    | Boundary.End_off fill -> Grid.get_endoff src_grid ~fill
+  in
+  let needs_corners = Pattern.needs_corners pattern in
+  for r = -pad to sub_rows + pad - 1 do
+    for c = -pad to sub_cols + pad - 1 do
+      let in_corner = (r < 0 || r >= sub_rows) && (c < 0 || c >= sub_cols) in
+      let v = if in_corner && not needs_corners then Float.nan else read r c in
+      Memory.write mem (padded.Memory.base + ((r + pad) * pcols) + (c + pad)) v
+    done
+  done;
+  Array.iteri
+    (fun i coeff ->
+      for r = 0 to sub_rows - 1 do
+        for c = 0 to sub_cols - 1 do
+          Memory.write mem
+            (coeffs.(i).Memory.base + (r * sub_cols) + c)
+            (Reference.coeff_value env coeff r c)
+        done
+      done)
+    streams;
+  let spec =
+    specialize t ~sub_rows ~sub_cols
+      ~sources:[| { base = padded.Memory.base; pcols; pad } |]
+      ~coeff_bases:(Array.map (fun (r : Memory.region) -> r.Memory.base) coeffs)
+      ~dst_base:dst.Memory.base ~words:(Memory.words mem)
+  in
+  exec_node spec (Memory.raw mem);
+  let kernel_out = Memory.blit_out mem dst in
+  let check_against what actual =
+    let findings = ref [] in
+    for r = sub_rows - 1 downto 0 do
+      for c = sub_cols - 1 downto 0 do
+        let got = actual.((r * sub_cols) + c) in
+        let want = Grid.get expected r c in
+        if not (Float.abs (got -. want) <= 1e-9) then
+          findings :=
+            Finding.makef Finding.Store_mismatch
+              "kernel: %s wrote %.17g at (%d,%d), reference %.17g" what got r
+              c want
+            :: !findings
+      done
+    done;
+    if !findings <> [] then raise (Finding.Failed !findings)
+  in
+  check_against "lowered inner loop" kernel_out;
+  (* Cross-check against the cycle-accurate interpreter over the same
+     sandbox bindings. *)
+  let bindings =
+    {
+      Interp.memory = mem;
+      sources = [| { Interp.padded; padded_cols = pcols; pad } |];
+      dst;
+      dst_cols = sub_cols;
+      coeffs;
+    }
+  in
+  let strips = Stripmine.strips compiled ~sub_cols in
+  List.iter
+    (fun (s : Stripmine.strip) ->
+      List.iter
+        (fun (hs : Stripmine.halfstrip) ->
+          ignore
+            (Interp.run_halfstrip config hs.Stripmine.strip.Stripmine.plan
+               bindings ~col0:hs.Stripmine.strip.Stripmine.col0
+               ~rows:hs.Stripmine.rows))
+        (Stripmine.halfstrips s ~sub_rows))
+    strips;
+  let interp_out = Memory.blit_out mem dst in
+  check_against "interpreter" interp_out;
+  Array.iteri
+    (fun i k ->
+      if not (Float.abs (k -. interp_out.(i)) <= 1e-9) then
+        raise
+          (Finding.Failed
+             [
+               Finding.makef Finding.Store_mismatch
+                 "kernel: lowered inner loop wrote %.17g at (%d,%d) where the \
+                  interpreter wrote %.17g"
+                 k (i / sub_cols) (i mod sub_cols) interp_out.(i);
+             ]))
+    kernel_out
+
+let build config compiled =
+  let t = lower compiled.Compile.pattern in
+  verify config compiled t;
+  t

@@ -1,0 +1,81 @@
+(** Precompiled flat kernels for the Fast backend.
+
+    The paper's inner loop never re-decides anything: the compiler
+    fixes the microcode once and the run-time library precomputes the
+    "dynamic parts" — the operand addresses — per stencil call
+    (section 5).  The Fast backend's tapwalk loop, by contrast,
+    re-derives every operand address from the tap list with
+    bounds-checked accessors on every element.  This module is the
+    Fast backend's rendering of the paper's move: {!lower} flattens the
+    validated pattern into per-tap displacement tables, {!specialize}
+    resolves them once per statement against the node's region layouts
+    ({!Ccc_cm2.Machine.alloc_all} guarantees all nodes share one
+    layout, so one specialization serves every node), and
+    {!exec_node} is a branch-free offset walk over the raw store with
+    unchecked accesses — licensed by the bounds validation that
+    {!specialize} performs over the whole sweep up front.
+
+    {!build} additionally verifies the lowering once, on a one-node
+    sandbox, against both {!Reference.apply} and the cycle-accurate
+    {!Ccc_microcode.Interp}; mismatches raise
+    {!Ccc_analysis.Finding.Failed} with structured findings.  The
+    engine caches the verified kernel alongside the plan. *)
+
+type t
+(** A lowered kernel: geometry-independent per-tap displacement
+    tables in pattern (= coefficient stream) order. *)
+
+val lower : Ccc_stencil.Pattern.t -> t
+(** Flatten a single-source pattern.  Unverified — the cheap path for
+    one-shot runs; {!build} is the verifying path the engine uses. *)
+
+val lower_multi : Ccc_stencil.Multi.t -> t
+(** Flatten a multi-source pattern (tap [i] reads the padded temporary
+    of its own source). *)
+
+val ntaps : t -> int
+
+val nstreams : t -> int
+(** Taps plus the bias stream if any: the coefficient stream count the
+    plan must carry. *)
+
+val build : Ccc_cm2.Config.t -> Ccc_compiler.Compile.t -> t
+(** {!lower}, then verify on a one-node sandbox (deterministic data,
+    halo filled exactly as {!Halo.exchange_into} would — boundary
+    semantics of the subgrid itself, NaN-poisoned corners when no tap
+    is diagonal): the kernel must match {!Reference.apply} to 1e-9,
+    and the cycle-accurate interpreter run over the same bindings must
+    match both.  Raises {!Ccc_analysis.Finding.Failed} on any
+    mismatch. *)
+
+type source_layout = { base : int; pcols : int; pad : int }
+(** One padded source temporary: base address, row stride, halo
+    width — the same triple as {!Ccc_microcode.Interp.source_binding}. *)
+
+type spec
+(** A kernel specialized to one statement's region layouts: absolute
+    offset tables, bounds-validated over the whole sweep. *)
+
+val specialize :
+  t ->
+  sub_rows:int ->
+  sub_cols:int ->
+  sources:source_layout array ->
+  coeff_bases:int array ->
+  dst_base:int ->
+  words:int ->
+  spec
+(** Resolve the kernel against concrete layouts.  [coeff_bases] are
+    the stream region bases in plan order ({!nstreams} of them);
+    [words] is the node memory size every resolved walk is validated
+    against.  Raises [Invalid_argument] if any walk could escape
+    [0, words) — after which {!exec_node}'s unchecked accesses are
+    safe. *)
+
+val exec_node : spec -> float array -> unit
+(** Run the specialized kernel over one node's raw store
+    ({!Ccc_cm2.Memory.raw}).  Accumulation order is exactly the
+    tapwalk's (taps in pattern order, bias last), so the result is
+    bit-identical to the checking inner loop.  Allocates only two
+    small per-call row cursors, so concurrent nodes share no
+    scratch. *)

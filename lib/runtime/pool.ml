@@ -1,0 +1,141 @@
+(* A resident pool of worker domains for per-node loops.
+
+   The coordinator (the domain that calls [iter]) publishes one task
+   per generation under the mutex, runs chunk 0 itself, and waits for
+   the workers on the completion condition; workers park on the ready
+   condition between generations.  All data written by a chunk before
+   its worker decrements [pending] happens-before the coordinator's
+   return from [iter] (the mutex provides the edges), so callers may
+   freely read what the chunks wrote. *)
+
+type t = {
+  jobs : int;
+  mutable domains : unit Domain.t array;  (* jobs - 1 workers; emptied by shutdown *)
+  m : Mutex.t;
+  ready : Condition.t;  (* a new generation (or shutdown) was published *)
+  finished : Condition.t;  (* a worker completed its chunk *)
+  mutable generation : int;
+  mutable stop : bool;
+  mutable task : (int -> unit) option;  (* worker slot -> run its chunk *)
+  mutable pending : int;
+  mutable failure : (int * exn) option;  (* lowest chunk index wins *)
+}
+
+let jobs t = t.jobs
+
+let make_sequential jobs =
+  {
+    jobs;
+    domains = [||];
+    m = Mutex.create ();
+    ready = Condition.create ();
+    finished = Condition.create ();
+    generation = 0;
+    stop = false;
+    task = None;
+    pending = 0;
+    failure = None;
+  }
+
+let sequential = make_sequential 1
+
+let record_failure t chunk exn =
+  (* Keep the failure of the lowest chunk index so the exception the
+     coordinator re-raises does not depend on scheduling. *)
+  match t.failure with
+  | Some (c, _) when c <= chunk -> ()
+  | _ -> t.failure <- Some (chunk, exn)
+
+let worker_loop t slot =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while t.generation = !seen && not t.stop do
+      Condition.wait t.ready t.m
+    done;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      running := false
+    end
+    else begin
+      seen := t.generation;
+      let task = Option.get t.task in
+      Mutex.unlock t.m;
+      let outcome = try Ok (task slot) with exn -> Error exn in
+      Mutex.lock t.m;
+      (match outcome with
+      | Ok () -> ()
+      | Error exn -> record_failure t (slot + 1) exn);
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.signal t.finished;
+      Mutex.unlock t.m
+    end
+  done
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  if jobs = 1 then make_sequential 1
+  else begin
+    let t = make_sequential jobs in
+    t.domains <-
+      Array.init (jobs - 1) (fun slot ->
+          Domain.spawn (fun () -> worker_loop t slot));
+    t
+  end
+
+(* Chunk k of [n] items over [jobs] chunks: balanced contiguous
+   partition, so the assignment of node to domain is a pure function
+   of (n, jobs) and results never depend on scheduling. *)
+let chunk_bounds ~n ~jobs k = (k * n / jobs, (k + 1) * n / jobs)
+
+let run_chunk f lo hi =
+  for i = lo to hi - 1 do
+    f i
+  done
+
+let iter t n f =
+  if n < 0 then invalid_arg "Pool.iter: negative count";
+  if Array.length t.domains = 0 || n <= 1 then run_chunk f 0 n
+  else begin
+    let jobs = t.jobs in
+    Mutex.lock t.m;
+    t.task <-
+      Some
+        (fun slot ->
+          let lo, hi = chunk_bounds ~n ~jobs (slot + 1) in
+          run_chunk f lo hi);
+    t.pending <- jobs - 1;
+    t.failure <- None;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.ready;
+    Mutex.unlock t.m;
+    let own =
+      let lo, hi = chunk_bounds ~n ~jobs 0 in
+      try
+        run_chunk f lo hi;
+        None
+      with exn -> Some exn
+    in
+    Mutex.lock t.m;
+    while t.pending > 0 do
+      Condition.wait t.finished t.m
+    done;
+    (match own with Some exn -> record_failure t 0 exn | None -> ());
+    let failure = t.failure in
+    t.task <- None;
+    t.failure <- None;
+    Mutex.unlock t.m;
+    match failure with Some (_, exn) -> raise exn | None -> ()
+  end
+
+let shutdown t =
+  let doomed = t.domains in
+  if Array.length doomed > 0 then begin
+    Mutex.lock t.m;
+    t.stop <- true;
+    t.domains <- [||];
+    Condition.broadcast t.ready;
+    Mutex.unlock t.m;
+    Array.iter Domain.join doomed
+  end

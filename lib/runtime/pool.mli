@@ -1,0 +1,45 @@
+(** A resident pool of worker domains for the per-node loops.
+
+    The CM-2 is SIMD: all 2,048 floating-point nodes execute the same
+    instruction stream at once (section 3), while this simulation's
+    host runs the nodes one after another.  The node memories are
+    disjoint, so the per-node loops of the run-time library
+    ({!Exec}, {!Dist}, {!Halo}) parallelize trivially: a pool
+    partitions the node range into [jobs] contiguous chunks, one per
+    domain, with a barrier at the end.  Because every node computes
+    exactly what it would have computed sequentially (no shared
+    accumulation, cycle counts taken once per the SIMD model), results
+    are bit-identical for every [jobs] value.
+
+    The pool is resident: domains are spawned once ({!create}) and
+    parked between calls, the way {!Ccc_service.Engine} keeps its
+    machine and arena resident between requests.  [iter] is not
+    reentrant — chunks must not call back into the same pool. *)
+
+type t
+
+val sequential : t
+(** The no-domain pool: [iter] is a plain [for] loop on the calling
+    domain.  The default everywhere a pool is accepted. *)
+
+val create : jobs:int -> t
+(** A pool of [jobs - 1] worker domains (the coordinator contributes
+    the remaining chunk).  [create ~jobs:1] spawns nothing and behaves
+    like {!sequential}.  Raises [Invalid_argument] when [jobs < 1].
+    The OCaml runtime caps live domains (128), so long-lived callers
+    should keep one pool and {!shutdown} it when done. *)
+
+val jobs : t -> int
+
+val iter : t -> int -> (int -> unit) -> unit
+(** [iter t n f] runs [f 0 .. f (n-1)], partitioned into [jobs]
+    contiguous chunks (a pure function of [n] and [jobs], never of
+    scheduling) and barriers until all complete.  Writes performed by
+    the chunks happen-before the return.  If chunks raise, the
+    exception of the lowest-indexed failing chunk is re-raised after
+    the barrier — deterministically, so a failing node reports the
+    same error at every [jobs] value. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; afterwards [iter] falls back
+    to sequential execution. *)

@@ -25,3 +25,7 @@ val apply : Ccc_stencil.Pattern.t -> env -> Grid.t
 val check_env : Ccc_stencil.Pattern.t -> env -> unit
 (** Validate that every array the pattern references is bound and all
     shapes agree. *)
+
+val referenced_arrays : Ccc_stencil.Pattern.t -> string list
+(** Every array name the pattern reads: the source, the coefficient
+    arrays, and the bias array if any (with repeats). *)

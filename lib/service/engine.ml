@@ -5,6 +5,8 @@ module Boundary = Ccc_stencil.Boundary
 module Compile = Ccc_compiler.Compile
 module Exec = Ccc_runtime.Exec
 module Stats = Ccc_runtime.Stats
+module Kernel = Ccc_runtime.Kernel
+module Pool = Ccc_runtime.Pool
 module Obs = Ccc_obs.Obs
 module Metrics = Ccc_obs.Metrics
 
@@ -32,7 +34,16 @@ let error_to_string = function
   | Too_small m -> "array too small: " ^ m
   | Invalid_batch m -> "invalid batch: " ^ m
 
-type entry = { compiled : Compile.t; mutable last_used : int }
+(* The cached kernel is verified once at miss time (against the
+   reference evaluator and the cycle-accurate interpreter) and then
+   reused verbatim across rebind hits: rebinding retargets coefficient
+   and variable names only, never tap offsets, bias arity or stream
+   count — exactly the data the lowering depends on. *)
+type entry = {
+  compiled : Compile.t;
+  kernel : Kernel.t;
+  mutable last_used : int;
+}
 
 (* Every counter the engine keeps lives in the metrics registry; the
    record below is just the resolved handles, so the hot paths touch
@@ -42,6 +53,7 @@ type t = {
   config_fp : string;
   machine : Machine.t;
   arena : Exec.Arena.t;
+  pool : Pool.t;
   capacity : int;
   cache : (string, entry) Hashtbl.t;
   obs : Obs.t;
@@ -77,7 +89,7 @@ type stats = {
   per_call_compute : (int * float * int) option;
 }
 
-let create ?obs ?(capacity = 32) ?memory_words config =
+let create ?obs ?(capacity = 32) ?(jobs = 1) ?memory_words config =
   if capacity < 1 then invalid_arg "Engine.create: capacity < 1";
   let obs =
     match obs with
@@ -91,6 +103,7 @@ let create ?obs ?(capacity = 32) ?memory_words config =
     config_fp = Fingerprint.config config;
     machine;
     arena = Exec.Arena.create machine;
+    pool = Pool.create ~jobs;
     capacity;
     cache = Hashtbl.create 16;
     obs;
@@ -113,6 +126,9 @@ let config t = t.config
 let machine t = t.machine
 let obs t = t.obs
 let metrics t = t.obs.Obs.metrics
+let pool t = t.pool
+let jobs t = Pool.jobs t.pool
+let shutdown t = Pool.shutdown t.pool
 
 let stats (t : t) : stats =
   (* Absorb the arena's own counter family into the registry view. *)
@@ -173,7 +189,7 @@ let evict_lru t =
       Log.info (fun m -> m "plan cache eviction: %s" key)
   | None -> ()
 
-let compile t pattern =
+let compile_entry t pattern =
   let fp = Fingerprint.pattern pattern in
   let key = fp ^ "|" ^ t.config_fp in
   match Hashtbl.find_opt t.cache key with
@@ -184,8 +200,10 @@ let compile t pattern =
       Log.debug (fun m -> m "plan cache hit: %s" fp);
       (* A hit may carry different coefficient or variable names than
          the cached compilation; rebind retargets the plans without
-         redoing any scheduling. *)
-      Ok (Compile.rebind entry.compiled pattern)
+         redoing any scheduling, and the verified kernel carries over
+         unchanged (it depends only on tap geometry and stream count,
+         which the fingerprint pins). *)
+      Ok (Compile.rebind entry.compiled pattern, entry.kernel)
   | None -> (
       Metrics.Counter.incr t.misses;
       Log.debug (fun m -> m "plan cache miss: %s" fp);
@@ -196,10 +214,13 @@ let compile t pattern =
           Error (Resource_error rejections)
       | Ok compiled ->
           Metrics.Counter.incr t.compiles;
+          let kernel = Kernel.build t.config compiled in
           if Hashtbl.length t.cache >= t.capacity then evict_lru t;
           t.tick <- t.tick + 1;
-          Hashtbl.add t.cache key { compiled; last_used = t.tick };
-          Ok compiled)
+          Hashtbl.add t.cache key { compiled; kernel; last_used = t.tick };
+          Ok (compiled, kernel))
+
+let compile t pattern = Result.map fst (compile_entry t pattern)
 
 let recognize_statement source =
   match Ccc_frontend.Parser.parse_statement source with
@@ -228,11 +249,12 @@ let warn_rejection pattern e =
         (error_to_string e))
 
 let run ?mode ?iterations t pattern env =
-  match compile t pattern with
+  match compile_entry t pattern with
   | Error _ as e -> e
-  | Ok compiled -> (
+  | Ok (compiled, kernel) -> (
       match
-        Exec.run_arena ~obs:t.obs ?mode ?iterations t.arena compiled env
+        Exec.run_arena ~obs:t.obs ?mode ?iterations ~pool:t.pool ~kernel
+          t.arena compiled env
       with
       | result ->
           Metrics.Counter.incr t.runs;
@@ -284,14 +306,19 @@ let run_batch ?mode t patterns env =
       let rec compile_all acc = function
         | [] -> Ok (List.rev acc)
         | p :: rest -> (
-            match compile t p with
-            | Ok compiled -> compile_all (compiled :: acc) rest
+            match compile_entry t p with
+            | Ok pair -> compile_all (pair :: acc) rest
             | Error _ as e -> e)
       in
       match compile_all [] patterns with
       | Error _ as e -> e
-      | Ok compileds -> (
-          match Exec.run_batch_arena ~obs:t.obs ?mode t.arena compileds env with
+      | Ok pairs -> (
+          let compileds = List.map fst pairs in
+          let kernels = List.map snd pairs in
+          match
+            Exec.run_batch_arena ~obs:t.obs ?mode ~pool:t.pool ~kernels
+              t.arena compileds env
+          with
           | batch ->
               Metrics.Counter.incr t.batches;
               record t batch.Exec.batch_stats;

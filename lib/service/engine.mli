@@ -49,20 +49,37 @@ val error_to_string : error -> string
 val create :
   ?obs:Ccc_obs.Obs.t ->
   ?capacity:int ->
+  ?jobs:int ->
   ?memory_words:int ->
   Ccc_cm2.Config.t ->
   t
 (** One machine, one arena, an empty plan cache holding up to
     [capacity] (default 32) compiled plans with least-recently-used
-    eviction.  [obs] supplies the observability context the engine
-    threads through every compile and run; by default the tracer is
-    disabled and the engine keeps a private metrics registry.  Cache
-    hits, misses and evictions are also reported on the ["ccc.engine"]
-    {!Logs} source (debug/info), and every rejection is a structured
-    warning carrying the stencil fingerprint. *)
+    eviction.  [jobs] (default 1) sizes the resident
+    {!Ccc_runtime.Pool} spawned once here and threaded through every
+    pooled per-node loop of every run — outputs and statistics are
+    bit-identical for every jobs value.  [obs] supplies the
+    observability context the engine threads through every compile and
+    run; by default the tracer is disabled and the engine keeps a
+    private metrics registry.  Cache hits, misses and evictions are
+    also reported on the ["ccc.engine"] {!Logs} source (debug/info),
+    and every rejection is a structured warning carrying the stencil
+    fingerprint. *)
 
 val config : t -> Ccc_cm2.Config.t
 val machine : t -> Ccc_cm2.Machine.t
+
+val pool : t -> Ccc_runtime.Pool.t
+(** The resident domain pool (spawned once at {!create}, next to the
+    arena). *)
+
+val jobs : t -> int
+(** The pool's size; [1] means fully sequential. *)
+
+val shutdown : t -> unit
+(** Join the pool's worker domains.  Call when the engine is no longer
+    needed; OCaml caps live domains, so long-lived processes must not
+    leak pools.  Idempotent; the engine must not run afterwards. *)
 
 val obs : t -> Ccc_obs.Obs.t
 (** The engine's observability context. *)
@@ -84,7 +101,13 @@ val compile : t -> Ccc_stencil.Pattern.t -> (Ccc_compiler.Compile.t, error) resu
 (** Compile through the plan cache: a hit reuses the cached schedules
     verbatim (rebound to the request's coefficient names); a miss
     compiles, caches, and evicts the least recently used entry when
-    the cache is full.  Failed compilations are not cached. *)
+    the cache is full.  Failed compilations are not cached.  Each
+    cached entry also carries the statement's lowered
+    {!Ccc_runtime.Kernel}, built and verified once at miss time
+    (against both {!Ccc_runtime.Reference.apply} and the
+    cycle-accurate interpreter) and served to every subsequent run —
+    sound across rebinds, which retarget names but never tap offsets,
+    stream count or bias arity. *)
 
 val compile_statement : t -> string -> (Ccc_compiler.Compile.t, error) result
 (** Parse and recognize one bare Fortran assignment, then {!compile}. *)

@@ -319,6 +319,86 @@ let prop_machine_reuse_is_leak_free =
            Grid.max_abs_diff expected output < 1e-9
            && Ccc_cm2.Memory.words_free (Ccc.Machine.memory machine 0) = free0)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel execution: the domain pool must not change a single bit.
+
+   One resident pool per jobs value, created once for the whole suite
+   (OCaml caps live domains, so per-case pools would exhaust the
+   runtime) and joined at process exit. *)
+
+let pools = List.map (fun jobs -> (jobs, Ccc.Pool.create ~jobs)) [ 2; 3; 7 ]
+let () = at_exit (fun () -> List.iter (fun (_, p) -> Ccc.Pool.shutdown p) pools)
+let bit_identical a b = Grid.max_abs_diff a b = 0.0
+
+let prop_pool_bit_identical =
+  Q.Test.make
+    ~name:"pooled execution bit-identical to sequential (jobs 2, 3, 7)"
+    ~count:12 ~print:print_pattern gen_pattern (fun p ->
+      match Ccc.compile_pattern config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok compiled ->
+          let env = env_of_pattern ~rows:(4 * 6) ~cols:(4 * 6) p in
+          let expected = Ccc.Reference.apply p env in
+          let run ?pool inner =
+            (Exec.run ?pool ~inner (Ccc.machine config) compiled env)
+              .Exec.output
+          in
+          let seq_lowered = run Exec.Lowered in
+          let seq_tapwalk = run Exec.Tapwalk in
+          Grid.max_abs_diff expected seq_lowered < 1e-9
+          && bit_identical seq_lowered seq_tapwalk
+          && List.for_all
+               (fun (_, pool) ->
+                 bit_identical seq_lowered (run ~pool Exec.Lowered)
+                 && bit_identical seq_tapwalk (run ~pool Exec.Tapwalk))
+               pools)
+
+let prop_pool_simulate =
+  (* Exercises Simulate's per-node Cost = Interp assertion with the
+     interpreter running inside pooled chunks. *)
+  Q.Test.make ~name:"simulate under the pool = reference (jobs 3)" ~count:6
+    ~print:print_pattern gen_pattern (fun p ->
+      match Ccc.compile_pattern config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok compiled ->
+          let pool = List.assoc 3 pools in
+          let env = env_of_pattern ~rows:(4 * 5) ~cols:(4 * 5) p in
+          let expected = Ccc.Reference.apply p env in
+          let { Exec.output; _ } =
+            Exec.run ~mode:Exec.Simulate ~pool (Ccc.machine config) compiled env
+          in
+          Grid.max_abs_diff expected output < 1e-9)
+
+let prop_kernel_matches_simulate =
+  (* The build-time-verified kernel (the engine's cached artifact) must
+     agree with the cycle-accurate interpreter on the paper's stencils
+     over random data. *)
+  let gen =
+    Gen.tup2 (Gen.oneofl [ "cross5"; "square9"; "diamond13" ])
+      (Gen.int_range 0 10_000)
+  in
+  Q.Test.make ~name:"verified kernel Fast = cycle-accurate Simulate (gallery)"
+    ~count:9
+    ~print:(fun (name, seed) -> Printf.sprintf "%s seed=%d" name seed)
+    gen
+    (fun (name, seed) ->
+      let p = List.assoc name (Ccc.Pattern.gallery ()) in
+      match Ccc.compile_pattern config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok compiled ->
+          let kernel = Ccc.Kernel.build config compiled in
+          let env = Tutil.env_for ~seed ~rows:24 ~cols:24 p in
+          let fast =
+            (Exec.run ~mode:Exec.Fast ~inner:Exec.Lowered ~kernel
+               (Ccc.machine config) compiled env)
+              .Exec.output
+          in
+          let sim =
+            (Exec.run ~mode:Exec.Simulate (Ccc.machine config) compiled env)
+              .Exec.output
+          in
+          Grid.max_abs_diff sim fast < 1e-9)
+
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
@@ -331,6 +411,13 @@ let () =
             prop_modes_agree_on_cycles;
             prop_estimate_consistent_with_run;
             prop_machine_reuse_is_leak_free;
+          ] );
+      ( "parallel",
+        List.map to_alcotest
+          [
+            prop_pool_bit_identical;
+            prop_pool_simulate;
+            prop_kernel_matches_simulate;
           ] );
       ( "communication",
         List.map to_alcotest [ prop_halo_is_global_circular ] );
