@@ -695,6 +695,51 @@ let profile_cmd =
       $ tuned_flag $ rows_arg $ cols_arg)
 
 (* ------------------------------------------------------------------ *)
+(* conform: the differential fault-injection conformance matrix *)
+
+let conform_cmd =
+  let run nodes tuned seed unguarded trace =
+    let config = or_die (config_of ~nodes ~tuned) in
+    let obs = obs_of_trace trace in
+    let matrix =
+      Ccc.Conformance.run ?obs ~seed ~guarded:(not unguarded) config
+    in
+    Format.printf "%a" Ccc.Conformance.pp matrix;
+    write_trace trace obs;
+    if not (Ccc.Conformance.passed matrix) then exit 1
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:
+            "Seed for every injector choice (victim node, cell, row); the \
+             whole matrix is deterministic for a fixed seed.")
+  in
+  let unguarded_flag =
+    Arg.(
+      value & flag
+      & info [ "unguarded" ]
+          ~doc:
+            "Disable the runtime guards (the negative control): \
+             silent-corruption faults must then escape undetected and the \
+             command must exit nonzero.")
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Run the differential conformance matrix: every gallery stencil at \
+          every compiled width down all four execution paths at jobs 1/2/7, \
+          clean and under seed-driven fault injection (bit flips, \
+          dropped/duplicated halo messages, sequencer phase skips, a \
+          poisoned cached kernel, worker-domain death).  Exits nonzero \
+          unless every clean cell passes and every injected fault is \
+          detected or recovered")
+    Term.(
+      const run $ nodes_arg $ tuned_flag $ seed_arg $ unguarded_flag
+      $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 (* gallery *)
 
 let gallery_cmd =
@@ -722,4 +767,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; profile_cmd;
-            program_cmd; lint_cmd; batch_cmd; gallery_cmd ]))
+            program_cmd; lint_cmd; batch_cmd; conform_cmd; gallery_cmd ]))

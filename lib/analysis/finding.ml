@@ -18,6 +18,9 @@ type check =
   | Register_pressure
   | Scratch_pressure
   | Infeasible
+  | Halo_integrity
+  | Output_integrity
+  | Kernel_integrity
 
 type t = {
   severity : severity;
@@ -52,6 +55,9 @@ let check_name = function
   | Register_pressure -> "register-pressure"
   | Scratch_pressure -> "scratch-pressure"
   | Infeasible -> "infeasible"
+  | Halo_integrity -> "halo-integrity"
+  | Output_integrity -> "output-integrity"
+  | Kernel_integrity -> "kernel-integrity"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 

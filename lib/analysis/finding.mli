@@ -50,6 +50,16 @@ type check =
   | Register_pressure  (** allocation exceeds the register file *)
   | Scratch_pressure  (** the unrolled table exceeds scratch memory *)
   | Infeasible  (** the scheduler could not meet a deadline (5.3) *)
+  | Halo_integrity
+      (** a padded halo cell disagrees with what the exchange wrote —
+          a dropped, duplicated, or corrupted border message
+          ([Ccc_fault.Guard]) *)
+  | Output_integrity
+      (** a computed output cell disagrees with the reference
+          evaluator beyond 1e-9 ([Ccc_fault.Guard]) *)
+  | Kernel_integrity
+      (** a cached lowered kernel fails its sandbox re-verification —
+          a poisoned plan-cache entry ([Ccc_fault.Guard]) *)
 
 type t = {
   severity : severity;

@@ -29,6 +29,9 @@ module Exec = Ccc_runtime.Exec
 module Stats = Ccc_runtime.Stats
 module Passes = Ccc_runtime.Passes
 module Seismic = Ccc_runtime.Seismic
+module Inject = Ccc_fault.Inject
+module Guard = Ccc_fault.Guard
+module Conformance = Ccc_fault.Conformance
 module Engine = Ccc_service.Engine
 module Fingerprint = Ccc_service.Fingerprint
 module Obs = Ccc_obs.Obs

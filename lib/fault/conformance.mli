@@ -1,0 +1,78 @@
+(** The differential conformance harness: every gallery stencil,
+    through every compiled width, down all four execution paths, at
+    several pool sizes — first clean, then under every {!Inject}
+    fault class.
+
+    The clean matrix is the cross-validation story of the paper made
+    exhaustive: the reference evaluator is the oracle, the
+    cycle-accurate simulation and both Fast inner loops must agree
+    with it to 1e-9, and each path must be bit-identical to itself
+    across every [jobs] value.  The in-flight guards
+    ({!Guard.watch}) ride along on the production path, so a clean
+    run also proves the guards raise zero false positives.
+
+    The kill matrix then arms one injector per
+    (pattern x fault x jobs) cell on the production path
+    (Fast/Lowered with a cached kernel, the engine's configuration)
+    and requires every fault to be {e killed}: detected as a
+    structured finding (or a contained crash), then recovered by a
+    disarmed re-run that reproduces the clean result bit for bit.
+    With guards off ([guarded:false]) the silent-corruption faults
+    escape — the harness's own negative control. *)
+
+type cell = {
+  c_pattern : string;
+  c_width : int;
+  c_path : string;  (** ["reference"] / ["simulate"] / ["tapwalk"] / ["lowered"] *)
+  c_jobs : int;
+  c_note : string option;  (** [None] when the cell passed *)
+}
+
+type kill = {
+  k_pattern : string;
+  k_fault : Inject.fault;
+  k_jobs : int;
+  k_detected : bool;
+  k_recovered : bool;
+  k_detail : string;
+      (** what the injector corrupted and which guard caught it *)
+}
+
+type matrix = {
+  seed : int;
+  guarded : bool;
+  jobs_list : int list;
+  patterns : int;
+  widths : int;  (** compiled (pattern, width) combinations *)
+  cells : cell list;
+  kills : kill list;
+}
+
+val run :
+  ?obs:Ccc_obs.Obs.t ->
+  ?seed:int ->
+  ?jobs_list:int list ->
+  ?guarded:bool ->
+  ?rows:int ->
+  ?cols:int ->
+  Ccc_cm2.Config.t ->
+  matrix
+(** Run the full matrix.  Defaults: [seed 42], [jobs_list [1; 2; 7]],
+    [guarded true], [rows = cols = 32] (which must divide over the
+    node grid).  Deterministic for a fixed seed: every injector
+    choice comes from a private seeded stream, and pool scheduling
+    cannot affect values.  [obs] counts cells and kills in the
+    metrics registry ([conform.cells], [fault.injected],
+    [fault.detected], [fault.recovered], [fault.missed]) and opens
+    [conform] / [conform.clean] / [conform.faults] spans. *)
+
+val clean_failures : matrix -> int
+val missed : matrix -> int
+
+val passed : matrix -> bool
+(** Every clean cell ok and every injected fault killed. *)
+
+val pp : Format.formatter -> matrix -> unit
+(** The deterministic summary the [ccc conform] command prints: clean
+    cell tally, the fault x jobs kill table, and a PASS/FAIL verdict
+    line. *)

@@ -1,0 +1,258 @@
+module Machine = Ccc_cm2.Machine
+module Memory = Ccc_cm2.Memory
+module Exec = Ccc_runtime.Exec
+module Halo = Ccc_runtime.Halo
+module Dist = Ccc_runtime.Dist
+module Kernel = Ccc_runtime.Kernel
+
+type fault =
+  | Bit_flip
+  | Halo_drop
+  | Halo_duplicate
+  | Phase_skip
+  | Kernel_poison
+  | Pool_death
+
+let all =
+  [ Bit_flip; Halo_drop; Halo_duplicate; Phase_skip; Kernel_poison; Pool_death ]
+
+let name = function
+  | Bit_flip -> "bit-flip"
+  | Halo_drop -> "halo-drop"
+  | Halo_duplicate -> "halo-duplicate"
+  | Phase_skip -> "phase-skip"
+  | Kernel_poison -> "kernel-poison"
+  | Pool_death -> "pool-death"
+
+let of_name s = List.find_opt (fun f -> name f = s) all
+
+exception Worker_died of int
+
+(* A private splitmix64 stream: every injector choice is a pure
+   function of (seed, fault), never of host state — the stdlib Random
+   (or any ambient entropy) would break run-to-run determinism and
+   with it the cram-pinned conformance output. *)
+type rng = { mutable state : int64 }
+
+let next r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let draw r bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.unsigned_rem (next r) (Int64.of_int bound))
+
+type t = {
+  fault : fault;
+  rng : rng;
+  nodes : int;
+  victim : int;  (** for [Pool_death]; drawn at arm time *)
+  armed : bool ref;
+  mutable fired : string option;
+}
+
+let arm ~seed ~nodes fault =
+  let fault_index =
+    match fault with
+    | Bit_flip -> 1
+    | Halo_drop -> 2
+    | Halo_duplicate -> 3
+    | Phase_skip -> 4
+    | Kernel_poison -> 5
+    | Pool_death -> 6
+  in
+  let rng =
+    { state = Int64.logxor (Int64.of_int seed) (Int64.of_int (fault_index * 0x51ED)) }
+  in
+  (* burn one draw so neighboring seeds diverge immediately *)
+  ignore (next rng);
+  let victim = draw rng (max 1 nodes) in
+  { fault; rng; nodes = max 1 nodes; victim; armed = ref true; fired = None }
+
+let fault t = t.fault
+let armed t = !(t.armed)
+let fired t = t.fired
+
+let fire t msg =
+  t.armed := false;
+  t.fired <- Some msg
+
+let flip_sign v =
+  Int64.float_of_bits (Int64.logxor (Int64.bits_of_float v) Int64.min_int)
+
+let padded_addr (h : Halo.exchange) r c =
+  h.Halo.padded.Memory.base
+  + ((r + h.Halo.pad) * h.Halo.padded_cols)
+  + c + h.Halo.pad
+
+let padded_get machine (h : Halo.exchange) ~node r c =
+  Memory.read (Machine.memory machine node) (padded_addr h r c)
+
+let padded_set machine (h : Halo.exchange) ~node r c v =
+  Memory.write (Machine.memory machine node) (padded_addr h r c) v
+
+(* The frame cells the exchange actually received from neighbors,
+   excluding the corner blocks (which may hold NaN poison no value
+   comparison can see through). *)
+let edge_cells ~pad ~sub_rows ~sub_cols =
+  let cells = ref [] in
+  for r = -pad to -1 do
+    for c = 0 to sub_cols - 1 do
+      cells := (r, c) :: !cells
+    done
+  done;
+  for r = sub_rows to sub_rows + pad - 1 do
+    for c = 0 to sub_cols - 1 do
+      cells := (r, c) :: !cells
+    done
+  done;
+  for r = 0 to sub_rows - 1 do
+    for c = -pad to -1 do
+      cells := (r, c) :: !cells
+    done;
+    for c = sub_cols to sub_cols + pad - 1 do
+      cells := (r, c) :: !cells
+    done
+  done;
+  Array.of_list (List.rev !cells)
+
+(* Scan [cells] circularly from a seeded start for the first index
+   satisfying [pred]; None when the fault is vacuous (e.g. every
+   candidate is already 0.0, so corrupting it would change nothing). *)
+let scan t cells pred =
+  let n = Array.length cells in
+  if n = 0 then None
+  else
+    let start = draw t.rng n in
+    let rec go k =
+      if k >= n then None
+      else
+        let i = (start + k) mod n in
+        if pred cells.(i) then Some cells.(i) else go (k + 1)
+    in
+    go 0
+
+let inject_halo t (ctx : Exec.phase_ctx) =
+  match (ctx.Exec.halo, ctx.Exec.dst) with
+  | Some halo, Some dst ->
+      let machine = ctx.Exec.machine in
+      let sub_rows = dst.Dist.sub_rows and sub_cols = dst.Dist.sub_cols in
+      let pad = halo.Halo.pad in
+      let node = draw t.rng (Machine.node_count machine) in
+      let usable v = (not (Float.is_nan v)) && Float.abs v > 1e-6 in
+      let get (r, c) = padded_get machine halo ~node r c in
+      (match t.fault with
+      | Bit_flip ->
+          (* anywhere in the padded temporary — interior included,
+             since ECC protects all of memory equally *)
+          let prows = sub_rows + (2 * pad) and pcols = sub_cols + (2 * pad) in
+          let cells =
+            Array.init (prows * pcols) (fun i ->
+                ((i / pcols) - pad, (i mod pcols) - pad))
+          in
+          (match scan t cells (fun rc -> usable (get rc)) with
+          | Some (r, c) ->
+              let v = get (r, c) in
+              padded_set machine halo ~node r c (flip_sign v);
+              fire t
+                (Printf.sprintf
+                   "bit-flip: node %d padded cell (%d,%d): %g -> %g" node r c v
+                   (flip_sign v))
+          | None -> fire t "bit-flip: vacuous (no usable cell)")
+      | Halo_drop ->
+          let cells = edge_cells ~pad ~sub_rows ~sub_cols in
+          (match scan t cells (fun rc -> usable (get rc)) with
+          | Some (r, c) ->
+              padded_set machine halo ~node r c 0.0;
+              fire t
+                (Printf.sprintf "halo-drop: node %d border cell (%d,%d) -> 0"
+                   node r c)
+          | None -> fire t "halo-drop: vacuous (no usable border cell)")
+      | Halo_duplicate ->
+          let cells = edge_cells ~pad ~sub_rows ~sub_cols in
+          let n = Array.length cells in
+          let differs (r, c) =
+            let v = get (r, c) in
+            (not (Float.is_nan v))
+            &&
+            let i = ref 0 in
+            (* find this cell's successor in the border walk *)
+            while !i < n && cells.(!i) <> (r, c) do
+              incr i
+            done;
+            let w = get cells.((!i + 1) mod n) in
+            (not (Float.is_nan w)) && Float.compare v w <> 0
+          in
+          (match scan t cells differs with
+          | Some (r, c) ->
+              let i = ref 0 in
+              while !i < n && cells.(!i) <> (r, c) do
+                incr i
+              done;
+              let r', c' = cells.((!i + 1) mod n) in
+              padded_set machine halo ~node r c (get (r', c'));
+              fire t
+                (Printf.sprintf
+                   "halo-duplicate: node %d border cell (%d,%d) overwritten \
+                    by (%d,%d)"
+                   node r c r' c')
+          | None -> fire t "halo-duplicate: vacuous (uniform border)")
+      | Phase_skip | Kernel_poison | Pool_death -> ())
+  | _ -> ()
+
+let inject_phase_skip t (ctx : Exec.phase_ctx) =
+  match ctx.Exec.dst with
+  | Some dst ->
+      let node = draw t.rng (Machine.node_count ctx.Exec.machine) in
+      let rows = dst.Dist.sub_rows and cols = dst.Dist.sub_cols in
+      let row_live r =
+        let live = ref false in
+        for c = 0 to cols - 1 do
+          if Float.abs (Dist.local_get dst ~node ~row:r ~col:c) > 1e-9 then
+            live := true
+        done;
+        !live
+      in
+      let cand = Array.init rows (fun r -> (r, 0)) in
+      (match scan t cand (fun (r, _) -> row_live r) with
+      | Some (r, _) ->
+          for c = 0 to cols - 1 do
+            Dist.local_set dst ~node ~row:r ~col:c 0.0
+          done;
+          fire t
+            (Printf.sprintf "phase-skip: node %d output row %d zeroed" node r)
+      | None -> fire t "phase-skip: vacuous (all-zero output)")
+  | None -> ()
+
+let hooks t =
+  {
+    Exec.on_phase =
+      (fun ctx ->
+        if !(t.armed) then
+          match (t.fault, ctx.Exec.phase) with
+          | (Bit_flip | Halo_drop | Halo_duplicate), "halo" ->
+              inject_halo t ctx
+          | Phase_skip, "compute" -> inject_phase_skip t ctx
+          | _ -> ());
+    on_compute_node =
+      (fun node ->
+        if t.fault = Pool_death && !(t.armed) && node = t.victim then begin
+          fire t (Printf.sprintf "pool-death: worker for node %d died" node);
+          raise (Worker_died node)
+        end);
+  }
+
+let poison_kernel t kernel =
+  if t.fault = Kernel_poison && !(t.armed) then begin
+    let seed = draw t.rng 0x3FFF in
+    fire t (Printf.sprintf "kernel-poison: cached kernel corrupted (seed %d)" seed);
+    Kernel.corrupt ~seed kernel
+  end
+  else kernel

@@ -1,0 +1,82 @@
+(** Deterministic, seed-driven fault injection for the simulated CM-2.
+
+    The paper's machine trusted its substrate: ECC memory, a lock-step
+    sequencer, a router that delivers every border message (section 3).
+    The simulation can do better than trust — it can corrupt each of
+    those assumptions on purpose and prove the runtime notices.  Each
+    {!fault} names one hardware failure the substrate could suffer;
+    {!arm} builds a one-shot injector whose every choice (victim node,
+    cell, row) is drawn from a private splitmix stream over the seed,
+    so a given [(seed, fault)] corrupts exactly the same state on
+    every run.
+
+    Injectors are {e one-shot}: the first opportunity fires the fault
+    and disarms it, so a guarded retry of the same statement
+    (see {!Guard}, [Ccc_service.Engine]) re-executes clean and must
+    reproduce the uncorrupted result bit for bit. *)
+
+(** One fault class per substrate assumption:
+
+    - [Bit_flip] — ECC failure: the sign bit of one cell in a node's
+      padded halo temporary flips after the exchange;
+    - [Halo_drop] — router loss: one border cell never arrives and
+      reads as 0.0;
+    - [Halo_duplicate] — router duplication: a neighboring border
+      message lands twice, overwriting one border cell with the value
+      of the next;
+    - [Phase_skip] — sequencer skip: one node misses the compute
+      phase for one subgrid row, leaving that destination row zero;
+    - [Kernel_poison] — plan-cache corruption: a cached lowered
+      kernel comes back with one tap displaced by a word
+      ({!Ccc_runtime.Kernel.corrupt}) — silent at specialization
+      time, wrong data at run time;
+    - [Pool_death] — a worker domain dies mid-compute: the victim
+      node's inner loop raises {!Worker_died} inside the pool. *)
+type fault =
+  | Bit_flip
+  | Halo_drop
+  | Halo_duplicate
+  | Phase_skip
+  | Kernel_poison
+  | Pool_death
+
+val all : fault list
+(** Every fault class, in the order above. *)
+
+val name : fault -> string
+(** Kebab-case, e.g. ["halo-drop"]. *)
+
+val of_name : string -> fault option
+
+exception Worker_died of int
+(** Raised by a [Pool_death] injector inside the victim node's pooled
+    inner loop; surfaces through {!Ccc_runtime.Pool.iter}'s
+    deterministic lowest-node re-raise. *)
+
+type t
+(** An armed one-shot injector. *)
+
+val arm : seed:int -> nodes:int -> fault -> t
+(** Build an injector over a [nodes]-node machine.  All victim
+    choices are a pure function of [(seed, fault)]. *)
+
+val fault : t -> fault
+
+val armed : t -> bool
+(** [false] once the fault has fired (or for [Kernel_poison], once
+    {!poison_kernel} has been applied). *)
+
+val fired : t -> string option
+(** A human-readable record of what the injector corrupted and where
+    — [None] until it fires. *)
+
+val hooks : t -> Ccc_runtime.Exec.hooks
+(** The chaos hooks that deliver the fault: halo faults fire on the
+    ["halo"] phase, [Phase_skip] on ["compute"], [Pool_death] inside
+    the pooled per-node loop.  [Kernel_poison] does not fire here —
+    it corrupts state at cache-return time via {!poison_kernel}. *)
+
+val poison_kernel : t -> Ccc_runtime.Kernel.t -> Ccc_runtime.Kernel.t
+(** For a [Kernel_poison] injector that is still armed: disarm it and
+    return a corrupted copy of the kernel (the poisoned plan-cache
+    hit).  Identity for every other case. *)

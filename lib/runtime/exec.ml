@@ -16,6 +16,39 @@ type result = { output : Grid.t; stats : Stats.t }
 
 exception Too_small of string
 
+(* The chaos seam: callbacks fired between (and inside) the runtime
+   phases, carrying just enough machine state for an injector to reach
+   the regions a real fault would corrupt.  Exec itself is
+   fault-agnostic — the default hooks do nothing, and the fault layer
+   (lib/fault) builds one-shot corrupting closures over this record. *)
+type phase_ctx = {
+  phase : string;
+  machine : Machine.t;
+  source : Dist.t option;
+  halo : Halo.exchange option;
+  dst : Dist.t option;
+  streams : Dist.t array;
+}
+
+type hooks = {
+  on_phase : phase_ctx -> unit;
+  on_compute_node : int -> unit;
+}
+
+let no_hooks = { on_phase = (fun _ -> ()); on_compute_node = (fun _ -> ()) }
+
+let compose_hooks a b =
+  {
+    on_phase =
+      (fun ctx ->
+        a.on_phase ctx;
+        b.on_phase ctx);
+    on_compute_node =
+      (fun node ->
+        a.on_compute_node node;
+        b.on_compute_node node);
+  }
+
 (* Per-iteration totals from the analytic model; the simulate path
    asserts agreement with the interpreter.
 
@@ -140,7 +173,7 @@ let specialize_kernel kernel machine ~(halos : Halo.exchange array)
    may be padded wider than the pattern's own border (a batch pads to
    the widest statement); the inner loops index by [halo.pad], so a
    narrower pattern simply reads inside the border. *)
-let compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled
+let compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
     ~(halo : Halo.exchange) ~(dst : Dist.t) ~(streams : Dist.t array) =
   let config = Machine.config machine in
   let pattern = compiled.Compile.pattern in
@@ -183,9 +216,11 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled
             specialize_kernel k machine ~halos:[| halo |] ~dst ~streams
           in
           Pool.iter pool (Machine.node_count machine) (fun node ->
+              hooks.on_compute_node node;
               Kernel.exec_node spec (Memory.raw (Machine.memory machine node)))
       | Tapwalk ->
           Pool.iter pool (Machine.node_count machine) (fun node ->
+              hooks.on_compute_node node;
               fast_node_compute pattern ~source:halo ~dst ~streams ~node
                 (Machine.memory machine node))
     end
@@ -201,6 +236,7 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled
       let nnodes = Machine.node_count machine in
       let outcomes = Array.make nnodes Interp.zero_outcome in
       Pool.iter pool nnodes (fun node ->
+          hooks.on_compute_node node;
           let mem = Machine.memory machine node in
           let bindings =
             {
@@ -244,6 +280,15 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled
                   predicts %d"
                  node total.Interp.madds analytic_madds))
         outcomes);
+  hooks.on_phase
+    {
+      phase = "compute";
+      machine;
+      source = None;
+      halo = Some halo;
+      dst = Some dst;
+      streams;
+    };
   ( analytic_cycles,
     analytic_madds,
     frontend_stall_s,
@@ -256,7 +301,7 @@ let too_small pad ~sub_rows ~sub_cols =
 
 let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
     ?(iterations = 1) ?(pool = Pool.sequential) ?(inner = Lowered) ?kernel
-    machine compiled env =
+    ?(hooks = no_hooks) machine compiled env =
   if iterations < 1 then invalid_arg "Exec.run: iterations < 1";
   let config = Machine.config machine in
   let pattern = compiled.Compile.pattern in
@@ -292,9 +337,18 @@ let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
       Tr.add_attr obs.Obs.trace "cycles" (Tr.Int h.Halo.cycles);
     h
   in
+  hooks.on_phase
+    {
+      phase = "halo";
+      machine;
+      source = Some source;
+      halo = Some halo;
+      dst = Some dst;
+      streams;
+    };
   let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-    compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled ~halo
-      ~dst ~streams
+    compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
+      ~halo ~dst ~streams
   in
   let output =
     Obs.span obs "run.gather" (fun () -> Dist.gather ~pool dst)
@@ -796,7 +850,7 @@ let arena_shape (config : Config.t) ~who grid =
 
 let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
     ?(primitive = Halo.Node_level) ?(iterations = 1) ?(pool = Pool.sequential)
-    ?(inner = Lowered) ?kernel arena compiled env =
+    ?(inner = Lowered) ?kernel ?(hooks = no_hooks) arena compiled env =
   if iterations < 1 then invalid_arg "Exec.run_arena: iterations < 1";
   let machine = Arena.machine arena in
   let config = Machine.config machine in
@@ -831,9 +885,18 @@ let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
       Tr.add_attr obs.Obs.trace "cycles" (Tr.Int h.Halo.cycles);
     h
   in
+  hooks.on_phase
+    {
+      phase = "halo";
+      machine;
+      source = Some slot.Arena.src;
+      halo = Some halo;
+      dst = Some slot.Arena.dst;
+      streams = slot.Arena.streams;
+    };
   let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-    compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled ~halo
-      ~dst:slot.Arena.dst ~streams:slot.Arena.streams
+    compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
+      ~halo ~dst:slot.Arena.dst ~streams:slot.Arena.streams
   in
   let output =
     Obs.span obs "run.gather" (fun () -> Dist.gather ~pool slot.Arena.dst)
@@ -931,8 +994,8 @@ let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
         Obs.span obs "run.streams" (fun () ->
             refill_streams ~pool env streams spec);
         let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-          compute_statement ~obs ~mode ~pool ~inner ~kernel machine compiled
-            ~halo ~dst:slot.Arena.dst ~streams
+          compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks:no_hooks
+            machine compiled ~halo ~dst:slot.Arena.dst ~streams
         in
         (* The destination region is shared across the batch, so gather
            each statement's result before the next one overwrites it.

@@ -37,6 +37,43 @@ exception Too_small of string
 (** The subgrid cannot accommodate the stencil (border width exceeds a
     subgrid side, or fewer rows than the multistencil needs). *)
 
+(** {1 Chaos hooks}
+
+    The fault-injection seam (see [Ccc_fault]): callbacks fired
+    between the runtime phases and inside the pooled per-node compute
+    loop.  The paper's CM-2 trusted ECC memory and a lock-step
+    sequencer; the simulated substrate instead lets a deterministic
+    injector corrupt state at exactly these points, and the guards of
+    [Ccc_fault.Guard] prove the corruption is caught.  The default
+    {!no_hooks} does nothing and costs one closure call per phase. *)
+
+type phase_ctx = {
+  phase : string;
+      (** ["halo"] (after the exchange) or ["compute"] (after the
+          inner loops) *)
+  machine : Ccc_cm2.Machine.t;
+  source : Dist.t option;
+      (** the distributed source array feeding the halo exchange *)
+  halo : Halo.exchange option;
+  dst : Dist.t option;
+  streams : Dist.t array;
+}
+
+type hooks = {
+  on_phase : phase_ctx -> unit;
+  on_compute_node : int -> unit;
+      (** fired inside {!Pool.iter}, before each node's inner loop —
+          an exception here models a dying worker domain and surfaces
+          through the pool's deterministic lowest-node re-raise *)
+}
+
+val no_hooks : hooks
+
+val compose_hooks : hooks -> hooks -> hooks
+(** [compose_hooks a b] fires [a] then [b] at every point — the way
+    the conformance harness stacks a corrupting injector in front of
+    the guards that must catch it. *)
+
 val run :
   ?obs:Ccc_obs.Obs.t ->
   ?mode:mode ->
@@ -45,6 +82,7 @@ val run :
   ?pool:Pool.t ->
   ?inner:inner ->
   ?kernel:Kernel.t ->
+  ?hooks:hooks ->
   Ccc_cm2.Machine.t ->
   Ccc_compiler.Compile.t ->
   Reference.env ->
@@ -130,6 +168,7 @@ val run_arena :
   ?pool:Pool.t ->
   ?inner:inner ->
   ?kernel:Kernel.t ->
+  ?hooks:hooks ->
   Arena.t ->
   Ccc_compiler.Compile.t ->
   Reference.env ->

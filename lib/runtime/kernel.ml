@@ -281,3 +281,10 @@ let build config compiled =
   let t = lower compiled.Compile.pattern in
   verify config compiled t;
   t
+
+let corrupt ?(seed = 1) t =
+  let n = max 1 (ntaps t) in
+  let victim = (seed land max_int) mod n in
+  let dcols = Array.copy t.dcols in
+  dcols.(victim) <- dcols.(victim) + 1;
+  { t with dcols }

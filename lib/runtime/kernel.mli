@@ -48,6 +48,21 @@ val build : Ccc_cm2.Config.t -> Ccc_compiler.Compile.t -> t
     match both.  Raises {!Ccc_analysis.Finding.Failed} on any
     mismatch. *)
 
+val verify : Ccc_cm2.Config.t -> Ccc_compiler.Compile.t -> t -> unit
+(** The sandbox check of {!build} alone: verify an already-lowered
+    kernel against [Reference.apply] and the interpreter for the given
+    compilation.  Raises {!Ccc_analysis.Finding.Failed} on mismatch.
+    This is the plan-cache revalidation hook: a cached kernel suspected
+    of corruption (see [Ccc_fault]) is re-proven here before reuse. *)
+
+val corrupt : ?seed:int -> t -> t
+(** A deterministically corrupted copy: one tap's column displacement
+    (chosen by [seed], default 1) is shifted by one word.  The walk
+    usually still passes {!specialize}'s bounds validation — the
+    corruption is silent at specialization time and visible only as
+    wrong data, exactly the failure mode a poisoned plan-cache entry
+    would produce.  {!verify} rejects it.  Fault injection only. *)
+
 type source_layout = { base : int; pcols : int; pad : int }
 (** One padded source temporary: base address, row stride, halo
     width — the same triple as {!Ccc_microcode.Interp.source_binding}. *)

@@ -16,10 +16,13 @@ type t = {
   finished : Condition.t;  (* a worker completed its chunk *)
   mutable generation : int;
   mutable stop : bool;
-  mutable task : (int -> unit) option;  (* worker slot -> run its chunk *)
+  mutable task : (int -> failure option) option;
+      (* worker slot -> run its chunk, reporting its first failure *)
   mutable pending : int;
-  mutable failure : (int * exn) option;  (* lowest chunk index wins *)
+  mutable failure : failure option;  (* lowest failing node index wins *)
 }
+
+and failure = { node : int; exn : exn; bt : Printexc.raw_backtrace }
 
 let jobs t = t.jobs
 
@@ -39,12 +42,19 @@ let make_sequential jobs =
 
 let sequential = make_sequential 1
 
-let record_failure t chunk exn =
-  (* Keep the failure of the lowest chunk index so the exception the
-     coordinator re-raises does not depend on scheduling. *)
-  match t.failure with
-  | Some (c, _) when c <= chunk -> ()
-  | _ -> t.failure <- Some (chunk, exn)
+let record_failure t = function
+  | None -> ()
+  | Some f -> (
+      (* Keep the failure of the lowest-indexed failing node so the
+         exception the coordinator re-raises never depends on
+         scheduling or on how the chunks happened to be cut.  Recording
+         by node (not chunk) makes the guarantee independent of the
+         partition: when [jobs] exceeds the item count some chunks are
+         empty, and an empty chunk reports nothing — it cannot mask or
+         displace a lower node's failure. *)
+      match t.failure with
+      | Some best when best.node <= f.node -> ()
+      | _ -> t.failure <- Some f)
 
 let worker_loop t slot =
   let seen = ref 0 in
@@ -62,11 +72,9 @@ let worker_loop t slot =
       seen := t.generation;
       let task = Option.get t.task in
       Mutex.unlock t.m;
-      let outcome = try Ok (task slot) with exn -> Error exn in
+      let outcome = task slot in
       Mutex.lock t.m;
-      (match outcome with
-      | Ok () -> ()
-      | Error exn -> record_failure t (slot + 1) exn);
+      record_failure t outcome;
       t.pending <- t.pending - 1;
       if t.pending = 0 then Condition.signal t.finished;
       Mutex.unlock t.m
@@ -89,14 +97,26 @@ let create ~jobs =
    of (n, jobs) and results never depend on scheduling. *)
 let chunk_bounds ~n ~jobs k = (k * n / jobs, (k + 1) * n / jobs)
 
+(* Run items [lo, hi), stopping at the first failure — within a
+   contiguous chunk the first item to raise is the lowest-indexed one,
+   so the chunk's report is already its minimum. *)
 let run_chunk f lo hi =
-  for i = lo to hi - 1 do
-    f i
-  done
+  let rec go i =
+    if i >= hi then None
+    else
+      match f i with
+      | () -> go (i + 1)
+      | exception exn ->
+          Some { node = i; exn; bt = Printexc.get_raw_backtrace () }
+  in
+  go lo
 
 let iter t n f =
   if n < 0 then invalid_arg "Pool.iter: negative count";
-  if Array.length t.domains = 0 || n <= 1 then run_chunk f 0 n
+  if Array.length t.domains = 0 || n <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
   else begin
     let jobs = t.jobs in
     Mutex.lock t.m;
@@ -112,21 +132,20 @@ let iter t n f =
     Mutex.unlock t.m;
     let own =
       let lo, hi = chunk_bounds ~n ~jobs 0 in
-      try
-        run_chunk f lo hi;
-        None
-      with exn -> Some exn
+      run_chunk f lo hi
     in
     Mutex.lock t.m;
     while t.pending > 0 do
       Condition.wait t.finished t.m
     done;
-    (match own with Some exn -> record_failure t 0 exn | None -> ());
+    record_failure t own;
     let failure = t.failure in
     t.task <- None;
     t.failure <- None;
     Mutex.unlock t.m;
-    match failure with Some (_, exn) -> raise exn | None -> ()
+    match failure with
+    | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
   end
 
 let shutdown t =

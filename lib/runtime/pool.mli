@@ -35,10 +35,14 @@ val iter : t -> int -> (int -> unit) -> unit
 (** [iter t n f] runs [f 0 .. f (n-1)], partitioned into [jobs]
     contiguous chunks (a pure function of [n] and [jobs], never of
     scheduling) and barriers until all complete.  Writes performed by
-    the chunks happen-before the return.  If chunks raise, the
-    exception of the lowest-indexed failing chunk is re-raised after
-    the barrier — deterministically, so a failing node reports the
-    same error at every [jobs] value. *)
+    the chunks happen-before the return.  If items raise, the
+    exception of the lowest-indexed failing {e item} is re-raised
+    (with its original backtrace) after the barrier —
+    deterministically, so a failing node reports the same error at
+    every [jobs] value.  Failures are recorded per item, not per
+    chunk: when [jobs > n] the surplus chunks are empty, and an empty
+    chunk reports nothing, so it can neither mask nor displace a lower
+    node's failure. *)
 
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent; afterwards [iter] falls back

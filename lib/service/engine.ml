@@ -7,6 +7,9 @@ module Exec = Ccc_runtime.Exec
 module Stats = Ccc_runtime.Stats
 module Kernel = Ccc_runtime.Kernel
 module Pool = Ccc_runtime.Pool
+module Reference = Ccc_runtime.Reference
+module Finding = Ccc_analysis.Finding
+module Guard = Ccc_fault.Guard
 module Obs = Ccc_obs.Obs
 module Metrics = Ccc_obs.Metrics
 
@@ -69,6 +72,11 @@ type t = {
   per_call_compute : Metrics.Histogram.t;
   arena_reuses : Metrics.Gauge.t;
   arena_rebuilds : Metrics.Gauge.t;
+  kernel_verifies : Metrics.Counter.t;
+  guard_detections : Metrics.Counter.t;
+  guard_retries : Metrics.Counter.t;
+  guard_recompiles : Metrics.Counter.t;
+  guard_degraded : Metrics.Counter.t;
   mutable tick : int;
 }
 
@@ -119,6 +127,11 @@ let create ?obs ?(capacity = 32) ?(jobs = 1) ?memory_words config =
     per_call_compute = Metrics.histogram m "engine.compute_cycles_per_call";
     arena_reuses = Metrics.gauge m "engine.arena.reuses";
     arena_rebuilds = Metrics.gauge m "engine.arena.rebuilds";
+    kernel_verifies = Metrics.counter m "engine.kernel.verifies";
+    guard_detections = Metrics.counter m "engine.guard.detections";
+    guard_retries = Metrics.counter m "engine.guard.retries";
+    guard_recompiles = Metrics.counter m "engine.guard.recompiles";
+    guard_degraded = Metrics.counter m "engine.guard.degraded";
     tick = 0;
   }
 
@@ -215,6 +228,7 @@ let compile_entry t pattern =
       | Ok compiled ->
           Metrics.Counter.incr t.compiles;
           let kernel = Kernel.build t.config compiled in
+          Metrics.Counter.incr t.kernel_verifies;
           if Hashtbl.length t.cache >= t.capacity then evict_lru t;
           t.tick <- t.tick + 1;
           Hashtbl.add t.cache key { compiled; kernel; last_used = t.tick };
@@ -269,6 +283,111 @@ let run_statement ?mode ?iterations t source env =
   match recognize_statement source with
   | Ok pattern -> run ?mode ?iterations t pattern env
   | Error _ as e -> e
+
+type degraded = {
+  output : Ccc_runtime.Grid.t;
+  findings : Finding.t list;
+  retries : int;
+  recompiled : bool;
+}
+
+type outcome = Completed of Exec.result | Degraded of degraded
+
+(* The recovery ladder: guarded run -> bounded same-kernel retries
+   (a transient fault leaves nothing behind, so a re-run of the same
+   cached artifacts comes back clean) -> revalidate and recompile the
+   cached plan and kernel (a poisoned cache entry fails its sandbox
+   re-proof and is replaced) -> degrade to the host reference
+   evaluator, which shares nothing with the simulated substrate.  The
+   ladder never lets a detected fault escape as a wrong answer or a
+   crash: the worst case is a slow, correct [Degraded] result. *)
+let run_guarded ?mode ?iterations ?(inject = Exec.no_hooks) ?(max_retries = 2)
+    t pattern env =
+  match compile_entry t pattern with
+  | Error _ as e -> e
+  | Ok (compiled0, kernel0) -> (
+      let attempt compiled kernel =
+        let watch = Guard.watch pattern in
+        let hooks = Exec.compose_hooks inject watch.Guard.hooks in
+        match
+          Exec.run_arena ~obs:t.obs ?mode ?iterations ~pool:t.pool ~kernel
+            ~hooks t.arena compiled env
+        with
+        | result -> (
+            match
+              !(watch.Guard.caught) @ Guard.check_output pattern env result.Exec.output
+            with
+            | [] -> `Ok result
+            | fs -> `Faulty fs)
+        | exception Exec.Too_small m -> `Too_small m
+        | exception Finding.Failed fs -> `Faulty fs
+        | exception exn ->
+            `Faulty
+              [
+                Finding.makef Finding.Output_integrity
+                  "guarded run crashed: %s" (Printexc.to_string exn);
+              ]
+      in
+      let retries = ref 0 in
+      let rec ladder compiled kernel budget acc recompiled =
+        match attempt compiled kernel with
+        | `Ok result ->
+            Metrics.Counter.incr t.runs;
+            record t result.Exec.stats;
+            Ok (Completed result)
+        | `Too_small m ->
+            let e = Too_small m in
+            warn_rejection pattern e;
+            Error e
+        | `Faulty fs -> (
+            Metrics.Counter.incr t.guard_detections;
+            Log.warn (fun m ->
+                m "guard detected a fault (%s): %s"
+                  (Fingerprint.pattern pattern)
+                  (match fs with
+                  | f :: _ -> Finding.to_string f
+                  | [] -> "unknown"));
+            let acc = acc @ fs in
+            if budget > 0 then begin
+              Metrics.Counter.incr t.guard_retries;
+              incr retries;
+              ladder compiled kernel (budget - 1) acc recompiled
+            end
+            else if not recompiled then begin
+              (* Root-cause the cached artifacts before replacing
+                 them: the sandbox re-proof of the kernel and the
+                 dataflow verifier over every cached plan. *)
+              let diagnosis =
+                Guard.check_kernel t.config compiled kernel
+                @ Guard.revalidate t.config compiled
+              in
+              Metrics.Counter.incr t.kernel_verifies;
+              Metrics.Counter.incr t.guard_recompiles;
+              match Compile.compile ~obs:t.obs t.config pattern with
+              | Error _ -> degrade (acc @ diagnosis) recompiled
+              | Ok fresh ->
+                  Metrics.Counter.incr t.compiles;
+                  let fresh_kernel = Kernel.build t.config fresh in
+                  Metrics.Counter.incr t.kernel_verifies;
+                  let key = Fingerprint.pattern pattern ^ "|" ^ t.config_fp in
+                  t.tick <- t.tick + 1;
+                  Hashtbl.replace t.cache key
+                    { compiled = fresh; kernel = fresh_kernel; last_used = t.tick };
+                  ladder fresh fresh_kernel 0 (acc @ diagnosis) true
+            end
+            else degrade acc recompiled)
+      and degrade findings recompiled =
+        Metrics.Counter.incr t.guard_degraded;
+        Log.warn (fun m ->
+            m "degrading %s to the reference path after %d retries"
+              (Fingerprint.pattern pattern) !retries);
+        let output = Reference.apply pattern env in
+        Ok (Degraded { output; findings; retries = !retries; recompiled })
+      in
+      match ladder compiled0 kernel0 max_retries [] false with
+      | exception Reference.Unbound name ->
+          Error (Parse_error (Printf.sprintf "unbound array %s" name))
+      | r -> r)
 
 let check_batch patterns =
   match patterns with

@@ -134,6 +134,56 @@ val run_statement :
   Ccc_runtime.Reference.env ->
   (Ccc_runtime.Exec.result, error) result
 
+(** {1 Guarded execution}
+
+    {!run} trusts the substrate the way the paper trusted the CM-2's
+    ECC memory and lock-step sequencer.  {!run_guarded} does not: it
+    rides the {!Ccc_fault.Guard} self-checks on every run (halo
+    integrity after the exchange, output against the reference
+    evaluator) and climbs a recovery ladder when they fire —
+    bounded same-kernel retries (transient faults are one-shot),
+    then revalidation of the cached plan and kernel
+    ({!Ccc_fault.Guard.check_kernel}, {!Ccc_fault.Guard.revalidate})
+    with a from-scratch recompile replacing the cache entry, and
+    finally graceful degradation to the host reference path.  A
+    detected fault therefore never escapes as a wrong answer or an
+    uncaught exception: the worst case is a slow, correct
+    {!Degraded} result carrying every finding gathered on the way
+    down.  The ladder counts under [engine.guard.*] and
+    [engine.kernel.verifies] in the metrics registry. *)
+
+type degraded = {
+  output : Ccc_runtime.Grid.t;
+      (** the reference evaluator's result — correct by construction *)
+  findings : Ccc_analysis.Finding.t list;
+      (** every detection and diagnosis gathered on the ladder *)
+  retries : int;
+  recompiled : bool;
+}
+
+type outcome =
+  | Completed of Ccc_runtime.Exec.result
+      (** a guarded run came back clean (possibly after retries or a
+          recompile — see the [engine.guard.*] counters) *)
+  | Degraded of degraded
+
+val run_guarded :
+  ?mode:Ccc_runtime.Exec.mode ->
+  ?iterations:int ->
+  ?inject:Ccc_runtime.Exec.hooks ->
+  ?max_retries:int ->
+  t ->
+  Ccc_stencil.Pattern.t ->
+  Ccc_runtime.Reference.env ->
+  (outcome, error) result
+(** {!run} under the guards and the recovery ladder.  [inject]
+    (default {!Ccc_runtime.Exec.no_hooks}) is the fault-injection
+    seam — the conformance tests compose an {!Ccc_fault.Inject}
+    injector here; [max_retries] (default 2) bounds the same-kernel
+    rung of the ladder.  On a clean substrate the guarded run costs
+    one halo recomputation and one reference evaluation per call and
+    always returns [Completed]. *)
+
 val run_batch :
   ?mode:Ccc_runtime.Exec.mode ->
   t ->

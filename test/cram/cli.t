@@ -201,3 +201,41 @@ writes Chrome trace_event JSON for chrome://tracing or Perfetto.
 
   $ head -c 9 batch-trace.json; echo
   [{"name":
+
+The conformance matrix: every gallery stencil at every compiled width
+down all four execution paths at jobs 1/2/7, clean and under
+seed-driven fault injection.  Deterministic for a fixed seed.
+
+  $ ../../bin/ccc_cli.exe conform --seed 42
+  conformance: seed 42, guarded, jobs {1,2,7}
+  clean: 216/216 cells ok (5 patterns, 18 compiled widths, 4 paths)
+  fault kills (killed/injected):
+                      jobs=1  jobs=2  jobs=7
+    bit-flip             5/5     5/5     5/5
+    halo-drop            5/5     5/5     5/5
+    halo-duplicate       5/5     5/5     5/5
+    phase-skip           5/5     5/5     5/5
+    kernel-poison        5/5     5/5     5/5
+    pool-death           5/5     5/5     5/5
+  injected 90: detected 90, recovered 90, missed 0
+  conformance: PASS
+
+With the guards disabled (the negative control) every
+silent-corruption fault escapes undetected — only the worker-domain
+death, which is a contained crash, is still caught — and the command
+exits nonzero.
+
+  $ ../../bin/ccc_cli.exe conform --seed 42 --unguarded
+  conformance: seed 42, unguarded, jobs {1,2,7}
+  clean: 216/216 cells ok (5 patterns, 18 compiled widths, 4 paths)
+  fault kills (killed/injected):
+                      jobs=1  jobs=2  jobs=7
+    bit-flip             0/5     0/5     0/5
+    halo-drop            0/5     0/5     0/5
+    halo-duplicate       0/5     0/5     0/5
+    phase-skip           0/5     0/5     0/5
+    kernel-poison        0/5     0/5     0/5
+    pool-death           5/5     5/5     5/5
+  injected 90: detected 15, recovered 15, missed 75
+  conformance: FAIL (75 injected faults escaped undetected)
+  [1]

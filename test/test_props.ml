@@ -399,6 +399,81 @@ let prop_kernel_matches_simulate =
           in
           Grid.max_abs_diff sim fast < 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Degenerate shapes: the corners of the grammar the uniform generator
+   almost never hits — a single tap (including the 1x1 identity at the
+   origin), one-row and one-column stencils, all-zero coefficients,
+   and EOSHIFT-only (end-off) borders.  Every execution path must
+   agree on all of them: the host reference evaluator, the
+   cycle-accurate interpreter, the tap-walking inner loop, and the
+   pre-verified lowered kernel. *)
+
+let long_factor =
+  (* QCHECK_LONG deepens the sweep; the default tier keeps the whole
+     suite inside its time budget. *)
+  match Sys.getenv_opt "QCHECK_LONG" with Some _ -> 4 | None -> 1
+
+let gen_degenerate =
+  let open Gen in
+  let with_taps offsets_gen boundary_gen =
+    offsets_gen >>= fun offsets ->
+    boundary_gen >>= fun boundary ->
+    flatten_l (List.mapi (fun i _ -> gen_coeff i) offsets) >>= fun coeffs ->
+    return (Pattern.create ~boundary (List.map2 Tap.make offsets coeffs))
+  in
+  let line make =
+    map
+      (fun ds -> List.map make (List.sort_uniq compare ds))
+      (list_size (int_range 1 5) (int_range (-2) 2))
+  in
+  oneof
+    [
+      (* the 1x1 corner: exactly one tap at the origin *)
+      with_taps (return [ Offset.zero ]) gen_boundary;
+      (* a single tap anywhere in the window *)
+      with_taps (map (fun o -> [ o ]) gen_offset) gen_boundary;
+      (* single-row and single-column stencils *)
+      with_taps (line (fun dcol -> Offset.make ~drow:0 ~dcol)) gen_boundary;
+      with_taps (line (fun drow -> Offset.make ~drow ~dcol:0)) gen_boundary;
+      (* all-zero coefficients: the answer is exactly zero *)
+      ( gen_offsets >>= fun offsets ->
+        gen_boundary >>= fun boundary ->
+        return
+          (Pattern.create ~boundary
+             (List.map (fun o -> Tap.make o (Coeff.Scalar 0.0)) offsets)) );
+      (* EOSHIFT-only: every border read is an end-off fill *)
+      with_taps gen_offsets
+        (map
+           (fun i -> Boundary.End_off (float_of_int i /. 2.0))
+           (int_range (-2) 2));
+    ]
+
+let prop_degenerate_paths_agree =
+  Q.Test.make
+    ~name:"degenerate shapes: reference = simulate = tapwalk = lowered kernel"
+    ~count:(30 * long_factor) ~print:print_pattern gen_degenerate (fun p ->
+      match Ccc.compile_pattern config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok compiled ->
+          let env = env_of_pattern ~rows:(4 * 5) ~cols:(4 * 5) p in
+          let expected = Ccc.Reference.apply p env in
+          let machine = Ccc.machine config in
+          let sim =
+            (Exec.run ~mode:Exec.Simulate machine compiled env).Exec.output
+          in
+          let tapwalk =
+            (Exec.run ~inner:Exec.Tapwalk machine compiled env).Exec.output
+          in
+          let kernel = Ccc.Kernel.build config compiled in
+          let lowered =
+            (Exec.run ~inner:Exec.Lowered ~kernel machine compiled env)
+              .Exec.output
+          in
+          Grid.max_abs_diff expected sim < 1e-9
+          && Grid.max_abs_diff expected tapwalk < 1e-9
+          && Grid.max_abs_diff expected lowered < 1e-9
+          && Grid.max_abs_diff tapwalk lowered = 0.0)
+
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
@@ -411,6 +486,7 @@ let () =
             prop_modes_agree_on_cycles;
             prop_estimate_consistent_with_run;
             prop_machine_reuse_is_leak_free;
+            prop_degenerate_paths_agree;
           ] );
       ( "parallel",
         List.map to_alcotest

@@ -312,6 +312,41 @@ let test_eviction () =
   Alcotest.(check int) "evicted entry recompiles" 4 s.Engine.compiles;
   Alcotest.(check int) "a second eviction makes room" 2 s.Engine.evictions
 
+let test_eviction_rebind_verifies () =
+  (* Under cache pressure an evicted entry that returns is a fresh
+     miss: its kernel must be rebuilt and re-proved in the sandbox,
+     never served stale.  A rebind hit, by contrast, reuses the cached
+     kernel without a re-proof (renames never move tap offsets).
+     Pinned via the engine.kernel.verifies counter. *)
+  let engine = Engine.create ~capacity:2 config in
+  let verifies () =
+    Ccc.Metrics.Counter.value
+      (Ccc.Metrics.counter (Engine.metrics engine) "engine.kernel.verifies")
+  in
+  let p1 = cross5 () in
+  let p2 = pattern_of_offsets [ (0, -1); (0, 0); (0, 1) ] in
+  let p3 = pattern_of_offsets [ (-1, 0); (0, 0); (1, 0) ] in
+  ignore (ok_exn (Engine.compile engine p1));
+  ignore (ok_exn (Engine.compile engine p2));
+  Alcotest.(check int) "each miss proves its kernel once" 2 (verifies ());
+  (* A renamed stencil is a rebind hit on p1's entry (and makes p2 the
+     least recently used). *)
+  ignore (ok_exn (Engine.compile engine (cross5 ~source:"P" ~result:"Q" ())));
+  Alcotest.(check int) "a rebind hit is not re-proved" 2 (verifies ());
+  (* p3 evicts p2; p2's return is a miss that re-verifies. *)
+  ignore (ok_exn (Engine.compile engine p3));
+  ignore (ok_exn (Engine.compile engine p2));
+  Alcotest.(check int) "evicted entries re-prove on return" 4 (verifies ());
+  let s = Engine.stats engine in
+  Alcotest.(check int) "two evictions under pressure" 2 s.Engine.evictions;
+  Alcotest.(check int) "one hit (the rebind)" 1 s.Engine.hits;
+  (* The refilled entry's kernel is live, not a dangling reference:
+     a run through the cache still matches the one-shot path. *)
+  let env = env_for ~rows:16 ~cols:16 p2 in
+  let { Exec.output; _ } = ok_exn (Engine.run engine p2 env) in
+  check_bit_identical "refilled entry serves a sound kernel"
+    (Ccc.apply config (compile_exn p2) env).Exec.output output
+
 let test_too_small_is_error () =
   (* 8x8 over a 4x4 node grid leaves 2x2 subgrids; a radius-4 stencil
      cannot fit, and the engine reports it as a value, not a crash. *)
@@ -460,6 +495,8 @@ let () =
             Alcotest.test_case "rebound plans verify clean" `Quick
               test_rebound_plans_verify_clean;
             Alcotest.test_case "LRU eviction at capacity" `Quick test_eviction;
+            Alcotest.test_case "eviction rebuilds and re-proves kernels"
+              `Quick test_eviction_rebind_verifies;
             Alcotest.test_case "Too_small is an error value" `Quick
               test_too_small_is_error;
           ] );
