@@ -841,6 +841,79 @@ let obs () =
     (1e9 *. per_span) spans
 
 (* ------------------------------------------------------------------ *)
+(* Domain safety: probe overhead and analyzer throughput *)
+
+let race () =
+  heading
+    "RACE -- domain-safety analyzer (shared-state probes, vector-clock\n\
+     happens-before, ownership discipline)\n\
+     probe cost with recording off and on, and analyzer throughput on\n\
+     the access log of a live pooled run";
+  let config = Config.default in
+  let compiled = compile_gallery config [ "cross5" ] in
+  let cross5 = List.assoc "cross5" compiled in
+  let rows = 64 and cols = 64 in
+  let env = pattern_env ~rows ~cols cross5.Ccc.Compile.pattern in
+  let time n f =
+    let t0 = Sys.time () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (Sys.time () -. t0) /. float_of_int n
+  in
+  let runs = 25 in
+  (* Probes are compiled into Pool/Dist/Halo/Exec unconditionally;
+     disabled they are one flag load and a branch per site, so the
+     disabled run IS the production run. *)
+  let disabled =
+    time runs (fun () -> ignore (Ccc.apply ~jobs:2 config cross5 env))
+  in
+  let recording =
+    time runs (fun () ->
+        Ccc.Access.enable ();
+        ignore (Ccc.apply ~jobs:2 config cross5 env);
+        Ccc.Access.disable ())
+  in
+  Printf.printf
+    "run cost (64x64 global, jobs 2, mean of %d runs):\n\
+    \  probes disabled  %8.3f ms\n\
+    \  probes recording %8.3f ms  (%+.1f%%)\n"
+    runs (1e3 *. disabled) (1e3 *. recording)
+    (100.0 *. ((recording /. disabled) -. 1.0));
+  (* Analyzer throughput over one recorded run's log. *)
+  Ccc.Access.enable ();
+  ignore (Ccc.apply ~jobs:2 config cross5 env);
+  Ccc.Access.disable ();
+  let log = Ccc.Access.events () in
+  let n = List.length log in
+  let t0 = Sys.time () in
+  let race_findings = Ccc.Race.analyze log in
+  let t1 = Sys.time () in
+  let disc_findings = Ccc.Discipline.check log in
+  let t2 = Sys.time () in
+  Printf.printf
+    "one recorded run: %d events; race pass %.3f ms, discipline pass \
+     %.3f ms, findings %d\n"
+    n
+    (1e3 *. (t1 -. t0))
+    (1e3 *. (t2 -. t1))
+    (List.length race_findings + List.length disc_findings);
+  (* The seeded kill matrix, end to end. *)
+  let t0 = Sys.time () in
+  let killed =
+    List.fold_left
+      (fun acc m ->
+        let log = Ccc.Race_mutate.mutated ~seed:42 ~jobs:7 m in
+        match Ccc.Race.analyze log @ Ccc.Discipline.check log with
+        | [] -> acc
+        | _ -> acc + 1)
+      0 Ccc.Race_mutate.all
+  in
+  Printf.printf
+    "kill matrix (6 mutations, jobs 7): %d/6 killed in %.3f ms\n" killed
+    (1e3 *. (Sys.time () -. t0))
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -853,6 +926,7 @@ let sections =
     ("service", service);
     ("scaling", scaling);
     ("obs", obs);
+    ("race", race);
     ("bechamel", bechamel);
   ]
 

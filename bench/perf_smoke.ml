@@ -65,8 +65,23 @@ let check_pattern pools name p =
       in
       if Grid.max_abs_diff expected sim > 1e-9 then
         fail "%s: pooled simulate diverged from reference" name;
+      (* And once with the domain-safety probes recording: turning the
+         instrumentation on must not change a bit of output, and the
+         race/discipline analyzers must find nothing on the clean
+         protocol. *)
+      Ccc.Access.enable ();
+      let instrumented = run ~pool ~kernel Exec.Lowered in
+      Ccc.Access.disable ();
+      let log = Ccc.Access.events () in
+      (match Ccc.Race.analyze log @ Ccc.Discipline.check log with
+      | [] -> ()
+      | fs ->
+          fail "%s: %d domain-safety findings on a clean pooled run" name
+            (List.length fs));
+      if Grid.max_abs_diff seq_kernel instrumented <> 0.0 then
+        fail "%s: instrumented kernel run not bit-identical" name;
       Printf.printf "%s: sequential/pooled tapwalk/kernel bit-identical, \
-                     simulate ok\n"
+                     simulate ok, probes clean\n"
         name
 
 let () =

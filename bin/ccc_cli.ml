@@ -740,6 +740,133 @@ let conform_cmd =
       $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* race: the domain-safety analyzer *)
+
+let race_cmd =
+  let analyze_log log = Ccc.Race.analyze log @ Ccc.Discipline.check log in
+  let pp_findings = List.iter (Format.printf "%a@." Ccc.Finding.pp) in
+  let mutation_names () =
+    String.concat ", " (List.map Ccc.Race_mutate.name Ccc.Race_mutate.all)
+  in
+  let run_mutation ~seed ~jobs m =
+    analyze_log (Ccc.Race_mutate.mutated ~seed ~jobs m)
+  in
+  let run nodes tuned seed jobs mutate =
+    match mutate with
+    | Some "all" ->
+        (* The seeded kill matrix: every concurrency mutation must be
+           killed by a finding.  Exit nonzero if any survives. *)
+        let jobs = max 2 jobs in
+        Printf.printf "seeded kill matrix (seed %d, jobs %d):\n" seed jobs;
+        let total = List.length Ccc.Race_mutate.all in
+        let killed =
+          List.fold_left
+            (fun killed m ->
+              match run_mutation ~seed ~jobs m with
+              | [] ->
+                  Printf.printf "  %-22s MISSED\n" (Ccc.Race_mutate.name m);
+                  killed
+              | f :: _ as findings ->
+                  Printf.printf "  %-22s KILLED (%s during %s, %d finding%s)\n"
+                    (Ccc.Race_mutate.name m)
+                    (Ccc.Finding.check_name f.Ccc.Finding.check)
+                    (Option.value ~default:"?" f.Ccc.Finding.ctx)
+                    (List.length findings)
+                    (if List.length findings = 1 then "" else "s");
+                  killed + 1)
+            0 Ccc.Race_mutate.all
+        in
+        Printf.printf "%d/%d mutations killed\n" killed total;
+        if killed < total then exit 1
+    | Some name -> (
+        match Ccc.Race_mutate.of_name name with
+        | None ->
+            Printf.eprintf "ccc race: unknown mutation %S (one of: %s, all)\n"
+              name (mutation_names ());
+            exit 2
+        | Some m -> (
+            let jobs = max 2 jobs in
+            Printf.printf "mutation %s (seed %d, jobs %d): %s\n"
+              (Ccc.Race_mutate.name m) seed jobs (Ccc.Race_mutate.describe m);
+            match run_mutation ~seed ~jobs m with
+            | [] ->
+                print_endline "race: MISSED (0 findings)";
+                exit 1
+            | findings ->
+                pp_findings findings;
+                Printf.printf "race: KILLED (%d finding%s)\n"
+                  (List.length findings)
+                  (if List.length findings = 1 then "" else "s")))
+    | None ->
+        (* Live clean sweep: the whole conformance clean matrix runs
+           under instrumentation, and the analyzer must come back
+           empty.  Exit nonzero on any finding or failed cell. *)
+        let config = or_die (config_of ~nodes ~tuned) in
+        let jobs_list = if jobs > 1 then [ 1; jobs ] else [ 1 ] in
+        Ccc.Access.enable ();
+        let matrix =
+          Ccc.Conformance.run ~seed ~jobs_list ~with_faults:false config
+        in
+        Ccc.Access.disable ();
+        let log = Ccc.Access.events () in
+        let findings = analyze_log log in
+        Printf.printf "domain-safety: %d access events from %d clean cells \
+                       (jobs %s)\n"
+          (List.length log)
+          (List.length matrix.Ccc.Conformance.cells)
+          (String.concat "," (List.map string_of_int jobs_list));
+        let clean_fail = Ccc.Conformance.clean_failures matrix in
+        if clean_fail > 0 then
+          Printf.printf "clean cells FAILED: %d\n" clean_fail;
+        (match findings with
+        | [] -> print_endline "race: PASS (0 findings)"
+        | findings ->
+            pp_findings findings;
+            Printf.printf "race: FAIL (%d findings)\n" (List.length findings));
+        if findings <> [] || clean_fail > 0 then exit 1
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:
+            "Seed for the clean matrix's patterns and for the mutation \
+             harness's victim choices (deterministic for a fixed seed).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs" ]
+          ~doc:
+            "Pool size for the clean sweep (which also runs jobs 1) and \
+             domain count for the mutation model (minimum 2 there).")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"MUTATION"
+          ~doc:
+            "Analyze a seeded concurrency mutation instead of the live \
+             runtime: one of dropped-metrics-lock, overlapping-chunks, \
+             deatomized-counter, arena-alias, lost-signal, \
+             cache-write-bypass, or $(b,all) for the whole kill matrix.  \
+             The mutation must be killed (reported as a finding); exit \
+             nonzero if it survives.")
+  in
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:
+         "Run the domain-safety analyzer: instrument the runtime's shared \
+          state, execute the clean conformance matrix, and check the access \
+          log for data races (happens-before), ownership violations, lock \
+          discipline and chunk-partition overlaps.  Exits nonzero on any \
+          finding.  With $(b,--mutate), analyzes a seeded concurrency \
+          mutation instead and exits nonzero unless the mutation is killed")
+    Term.(const run $ nodes_arg $ tuned_flag $ seed_arg $ jobs_arg
+          $ mutate_arg)
+
+(* ------------------------------------------------------------------ *)
 (* gallery *)
 
 let gallery_cmd =
@@ -767,4 +894,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; profile_cmd;
-            program_cmd; lint_cmd; batch_cmd; conform_cmd; gallery_cmd ]))
+            program_cmd; lint_cmd; batch_cmd; conform_cmd; race_cmd;
+            gallery_cmd ]))

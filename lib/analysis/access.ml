@@ -1,0 +1,142 @@
+(* The shared-state registry and access-event log for the host
+   runtime.  The simulated CM-2 is deterministic SIMD; everything that
+   can race lives on the *host* side — the domain pool, the resident
+   engine, the metrics registry.  This module tags each such region
+   with the ownership class DESIGN.md section 8 promises for it and,
+   when enabled, records every access so Race and Discipline can check
+   the promise instead of trusting the prose.
+
+   The disabled default is one mutable-bool load and a branch per
+   probe: the flag is only ever flipped by the coordinating domain
+   while the workers are parked at the pool barrier, so no probe can
+   observe a torn enable. *)
+
+type ownership =
+  | Coordinator_only
+  | Guarded of string
+  | Locked_per_index
+  | Atomic
+  | Node_indexed
+
+type op =
+  | Read of string * int
+  | Write of string * int
+  | Rmw of string * int
+  | Acquire of string
+  | Release of string
+  | Section_begin of int
+  | Section_end of int
+  | Spawn of int
+  | Join of int
+
+type event = { dom : int; phase : string; op : op }
+
+(* ------------------------------------------------------------------ *)
+(* Registry: one ownership class per region family.  The standard
+   families below are the complete inventory of mutable state the
+   runtime shares across domains; libraries may register more. *)
+
+let registry : (string, ownership) Hashtbl.t = Hashtbl.create 32
+let registry_m = Mutex.create ()
+
+let register name own =
+  Mutex.protect registry_m (fun () -> Hashtbl.replace registry name own)
+
+let ownership name =
+  Mutex.protect registry_m (fun () -> Hashtbl.find_opt registry name)
+
+let ownership_name = function
+  | Coordinator_only -> "coordinator-only"
+  | Guarded l -> "guarded by " ^ l
+  | Locked_per_index -> "per-index lock"
+  | Atomic -> "atomic"
+  | Node_indexed -> "node-indexed"
+
+let families () =
+  Mutex.protect registry_m (fun () ->
+      Hashtbl.fold (fun n o acc -> (n, o) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let () =
+  List.iter
+    (fun (name, own) -> register name own)
+    [
+      (* Pool internals: published-task protocol under the pool mutex. *)
+      ("pool.task", Guarded "pool.m");
+      ("pool.pending", Guarded "pool.m");
+      ("pool.failure", Guarded "pool.m");
+      (* One slot per item of a pooled loop: the chunk partition. *)
+      ("pool.item", Node_indexed);
+      (* ROADMAP item 4's shared work counter: must stay atomic. *)
+      ("pool.counter", Atomic);
+      (* Per-node substrate regions: subgrids, padded temporaries,
+         destination and interpreter outcomes. *)
+      ("dist.node", Node_indexed);
+      ("halo.node", Node_indexed);
+      ("exec.dst", Node_indexed);
+      ("exec.outcome", Node_indexed);
+      ("gather.node", Node_indexed);
+      (* Engine cache, LRU tick and the standing arena slot live on the
+         coordinating domain only. *)
+      ("engine.cache", Coordinator_only);
+      ("engine.tick", Coordinator_only);
+      ("arena.slot", Coordinator_only);
+      (* Metrics: the registry table under its own mutex, each metric
+         handle under a per-metric lock named ["metrics.metric#<id>"]. *)
+      ("metrics.table", Guarded "metrics.m");
+      ("metrics.metric", Locked_per_index);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Event log.  A single buffer under one mutex: logging happens while
+   the instrumented lock (if any) is still held, so the buffer order is
+   a legal linearization of each lock's critical sections. *)
+
+let flag = ref false
+let log_m = Mutex.create ()
+let log_buf : event list ref = ref []
+let log_count = ref 0
+let phase_label = ref "-"
+let dom_ids : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let on () = !flag
+
+let set_phase p = phase_label := p
+
+let dom_id () =
+  let raw = (Domain.self () :> int) in
+  match Hashtbl.find_opt dom_ids raw with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length dom_ids in
+      Hashtbl.add dom_ids raw id;
+      id
+
+let log op =
+  Mutex.protect log_m (fun () ->
+      let dom = dom_id () in
+      log_buf := { dom; phase = !phase_label; op } :: !log_buf;
+      incr log_count)
+
+let enable () =
+  Mutex.protect log_m (fun () ->
+      log_buf := [];
+      log_count := 0;
+      Hashtbl.reset dom_ids;
+      (* The enabling domain is the coordinator: logical id 0. *)
+      Hashtbl.add dom_ids (Domain.self () :> int) 0;
+      phase_label := "-");
+  flag := true
+
+let disable () = flag := false
+
+let events () = Mutex.protect log_m (fun () -> List.rev !log_buf)
+let event_count () = Mutex.protect log_m (fun () -> !log_count)
+
+let read fam i = if !flag then log (Read (fam, i))
+let write fam i = if !flag then log (Write (fam, i))
+let rmw fam i = if !flag then log (Rmw (fam, i))
+let acquire l = if !flag then log (Acquire l)
+let release l = if !flag then log (Release l)
+let section_begin g = if !flag then log (Section_begin g)
+let section_end g = if !flag then log (Section_end g)

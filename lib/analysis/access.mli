@@ -1,0 +1,111 @@
+(** Shared-state registry and access-event log for the host runtime.
+
+    The paper's machine is deterministically SIMD (section 3); every
+    opportunity to race was introduced by this reproduction's host
+    parallelism — the {!Ccc_runtime.Pool} worker domains, the resident
+    [Ccc_service.Engine], the mutex-guarded [Ccc_obs.Metrics]
+    registry.  This module is the instrumentation seam those layers
+    share: a registry tagging each mutable region the runtime shares
+    with its promised ownership class (the machine-checked form of
+    DESIGN.md section 8), and an event log of
+    read/write/acquire/release/section events that {!Race} and
+    {!Discipline} analyze offline.
+
+    Disabled (the default) every probe is one flag load and a branch —
+    the zero-cost discipline of the telemetry layer's disabled
+    context.  The flag is flipped only by the coordinating domain
+    while workers are parked at the pool barrier. *)
+
+(** Who may touch a region family, and under what protocol. *)
+type ownership =
+  | Coordinator_only
+      (** only the owning (coordinating) domain, never inside a pooled
+          chunk: engine cache, LRU tick, arena slot *)
+  | Guarded of string  (** any domain, holding the named lock *)
+  | Locked_per_index
+      (** index [i] of family [f] is guarded by lock ["f#i"]: one lock
+          per metric handle *)
+  | Atomic
+      (** any domain, read-modify-write operations only (a shared work
+          counter); a plain read or write is a discipline violation *)
+  | Node_indexed
+      (** one slot per node/item: within a pool generation each slot
+          belongs to exactly one chunk, so slots written inside
+          sections must partition across domains (cross-slot reads —
+          the halo exchange's neighbor loads — are legal) *)
+
+(** One logged operation.  [Section_begin]/[Section_end] bracket a
+    domain's execution of its chunk of pool generation [g];
+    [Spawn]/[Join] carry the other domain's logical id (used by
+    synthetic {!Race_mutate} traces; the resident pool's workers
+    predate enabling and inherit their edges through the pool
+    mutex). *)
+type op =
+  | Read of string * int  (** region family, index *)
+  | Write of string * int
+  | Rmw of string * int  (** atomic read-modify-write *)
+  | Acquire of string  (** lock name *)
+  | Release of string
+  | Section_begin of int  (** pool generation *)
+  | Section_end of int
+  | Spawn of int  (** logical domain id of the child *)
+  | Join of int
+
+type event = { dom : int; phase : string; op : op }
+(** [dom] is a small logical id (0 = the domain that called
+    {!enable}); [phase] is the runtime phase label current at log
+    time ({!set_phase}). *)
+
+val register : string -> ownership -> unit
+(** Register (or re-register) a region family.  The standard families
+    — [pool.task]/[pool.pending]/[pool.failure] (guarded),
+    [pool.item]/[dist.node]/[halo.node]/[exec.dst]/[exec.outcome]/
+    [gather.node] (node-indexed), [pool.counter] (atomic),
+    [engine.cache]/[engine.tick]/[arena.slot] (coordinator-only),
+    [metrics.table] (guarded) and [metrics.metric] (per-index lock) —
+    are pre-registered. *)
+
+val ownership : string -> ownership option
+val ownership_name : ownership -> string
+
+val families : unit -> (string * ownership) list
+(** Every registered family with its class, sorted by name. *)
+
+val enable : unit -> unit
+(** Clear the log, make the calling domain logical id 0, start
+    recording.  Call from the coordinating domain only, with no pooled
+    loop in flight. *)
+
+val disable : unit -> unit
+(** Stop recording; the log is kept for {!events}. *)
+
+val on : unit -> bool
+
+val set_phase : string -> unit
+(** Label subsequent events with a runtime phase ([scatter] / [halo] /
+    [compute] / [gather] / [batch]...).  Coordinator-only, between
+    pooled loops. *)
+
+val events : unit -> event list
+(** The log in order.  The order is a legal linearization: every probe
+    below logs while the instrumented lock (if any) is still held. *)
+
+val event_count : unit -> int
+
+(** {1 Probes} — each is a no-op unless {!on}. *)
+
+val read : string -> int -> unit
+val write : string -> int -> unit
+val rmw : string -> int -> unit
+
+val acquire : string -> unit
+(** Log after the lock is (re)acquired — for a condition-variable wait
+    loop, once after the loop exits, so the happens-before edge of the
+    final reacquisition is captured and event counts stay
+    deterministic under spurious wakeups. *)
+
+val release : string -> unit
+(** Log before the unlock. *)
+
+val section_begin : int -> unit
+val section_end : int -> unit

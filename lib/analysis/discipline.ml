@@ -1,0 +1,139 @@
+(* The ownership-rule checker: DESIGN.md section 8's table, enforced
+   against a logged access set rather than stated in prose.
+
+   Unlike Race (which needs the happens-before model), every rule here
+   is a simple structural property of the log:
+
+   - Coordinator_only: accessed by exactly one domain, never between a
+     domain's Section_begin/Section_end (i.e. never inside a pooled
+     chunk closure).
+   - Guarded l: every access happens while the accessing domain holds
+     lock l (tracked per domain from Acquire/Release events).
+   - Locked_per_index: as Guarded, with lock "<family>#<index>".
+   - Atomic: only Rmw operations — a plain read or write means the
+     counter was de-atomized.
+   - Node_indexed: within one pool generation, each slot is written by
+     at most one domain (the chunk partition is disjoint); cross-slot
+     reads are legal (the halo exchange reads neighbors).
+
+   One finding per (rule, family, index) — same flood control as
+   Race. *)
+
+module S = Set.Make (String)
+
+type dstate = {
+  mutable held : S.t;
+  mutable section : int option;  (* generation, when inside a chunk *)
+}
+
+let check (events : Access.event list) : Finding.t list =
+  let doms : (int, dstate) Hashtbl.t = Hashtbl.create 8 in
+  let dstate dom =
+    match Hashtbl.find_opt doms dom with
+    | Some s -> s
+    | None ->
+        let s = { held = S.empty; section = None } in
+        Hashtbl.replace doms dom s;
+        s
+  in
+  (* family -> owning domain, first seen *)
+  let owners : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  (* (generation, family, index) -> first accessing domain *)
+  let slots : (int * string * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let reported : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let findings = ref [] in
+  let report key f =
+    if not (Hashtbl.mem reported key) then begin
+      Hashtbl.add reported key ();
+      findings := f :: !findings
+    end
+  in
+  let check_access dom phase fam idx ~rmw ~mutates =
+    let st = dstate dom in
+    match Access.ownership fam with
+    | None -> ()
+    | Some Access.Coordinator_only ->
+        (match st.section with
+        | Some g ->
+            report
+              (Printf.sprintf "sec:%s" fam)
+              (Finding.makef ~ctx:phase Finding.Ownership
+                 "coordinator-only region %s[%d] touched inside a pooled \
+                  chunk (generation %d) by domain %d"
+                 fam idx g dom)
+        | None -> ());
+        (match Hashtbl.find_opt owners fam with
+        | None -> Hashtbl.replace owners fam dom
+        | Some owner when owner <> dom ->
+            report
+              (Printf.sprintf "own:%s" fam)
+              (Finding.makef ~ctx:phase Finding.Ownership
+                 "coordinator-only region %s[%d] touched by domain %d; \
+                  domain %d owns it"
+                 fam idx dom owner)
+        | Some _ -> ())
+    | Some (Access.Guarded lock) ->
+        if not (S.mem lock st.held) then
+          report
+            (Printf.sprintf "lock:%s" fam)
+            (Finding.makef ~ctx:phase Finding.Lock_discipline
+               "guarded region %s[%d] accessed by domain %d without \
+                holding %s"
+               fam idx dom lock)
+    | Some Access.Locked_per_index ->
+        let lock = Printf.sprintf "%s#%d" fam idx in
+        if not (S.mem lock st.held) then
+          report
+            (Printf.sprintf "lock:%s#%d" fam idx)
+            (Finding.makef ~ctx:phase Finding.Lock_discipline
+               "per-index region %s[%d] accessed by domain %d without \
+                holding %s"
+               fam idx dom lock)
+    | Some Access.Atomic ->
+        if not rmw then
+          report
+            (Printf.sprintf "atomic:%s#%d" fam idx)
+            (Finding.makef ~ctx:phase Finding.Lock_discipline
+               "atomic region %s[%d] accessed by domain %d with a plain \
+                read/write (de-atomized update)"
+               fam idx dom)
+    | Some Access.Node_indexed -> (
+        (* Only writes claim a slot: the halo exchange legitimately
+           *reads* neighbor nodes' subgrids from inside a chunk, and
+           cross-slot reads of quiescent data are what {!Race} checks
+           with happens-before, not a partition question. *)
+        match (st.section, mutates) with
+        | None, _ | _, false -> ()  (* reads, or pre/post-barrier traffic *)
+        | Some g, true -> (
+            let key = (g, fam, idx) in
+            match Hashtbl.find_opt slots key with
+            | None -> Hashtbl.replace slots key dom
+            | Some d0 when d0 <> dom ->
+                report
+                  (Printf.sprintf "part:%s#%d" fam idx)
+                  (Finding.makef ~ctx:phase Finding.Partition
+                     "node-indexed slot %s[%d] touched by domains %d and \
+                      %d within pool generation %d (overlapping chunks)"
+                     fam idx d0 dom g)
+            | Some _ -> ()))
+  in
+  List.iter
+    (fun (e : Access.event) ->
+      let st = dstate e.Access.dom in
+      match e.Access.op with
+      | Access.Acquire l -> st.held <- S.add l st.held
+      | Access.Release l -> st.held <- S.remove l st.held
+      | Access.Section_begin g -> st.section <- Some g
+      | Access.Section_end _ -> st.section <- None
+      | Access.Spawn _ | Access.Join _ -> ()
+      | Access.Read (fam, idx) ->
+          check_access e.Access.dom e.Access.phase fam idx ~rmw:false
+            ~mutates:false
+      | Access.Write (fam, idx) ->
+          check_access e.Access.dom e.Access.phase fam idx ~rmw:false
+            ~mutates:true
+      | Access.Rmw (fam, idx) ->
+          check_access e.Access.dom e.Access.phase fam idx ~rmw:true
+            ~mutates:true)
+    events;
+  List.rev !findings

@@ -1,0 +1,30 @@
+(** The ownership-rule checker: DESIGN.md section 8 as a machine-checked
+    table.
+
+    Where {!Race} asks "did two accesses actually race under the
+    happens-before model", this pass asks the stronger static
+    question the runtime's design promises: does every logged access
+    respect its region's registered ownership class ({!Access.ownership})?
+    A run can be race-free by luck and still violate the discipline —
+    exactly the state ROADMAP items 1 and 4 must not build on.
+
+    Rules, one per ownership class:
+    - [Coordinator_only] regions are touched by a single domain and
+      never between a domain's [Section_begin]/[Section_end] (never
+      inside a pooled chunk closure) — violations are [Ownership]
+      findings.
+    - [Guarded l] (and [Locked_per_index]) regions are accessed only
+      while the accessing domain holds the lock — [Lock_discipline].
+    - [Atomic] regions see only [Rmw] operations; a plain read/write
+      is a de-atomized update — [Lock_discipline].
+    - [Node_indexed] slots are written by at most one domain per pool
+      generation (the chunk partition is disjoint) — [Partition].
+      Cross-slot {e reads} are legal: the halo exchange reads neighbor
+      nodes' subgrids from inside a chunk, and whether such a read is
+      safe is a happens-before question for {!Race}. *)
+
+val check : Access.event list -> Finding.t list
+(** One finding per violated (rule, region) pair, each carrying the
+    execution phase as [ctx].  Empty iff the log obeys the section-8
+    ownership table.  Deterministic: a pure function of the event
+    list (unregistered families are ignored). *)

@@ -21,6 +21,11 @@ type check =
   | Halo_integrity
   | Output_integrity
   | Kernel_integrity
+  | Data_race
+  | Ownership
+  | Lock_discipline
+  | Partition
+  | Lifecycle
 
 type t = {
   severity : severity;
@@ -28,14 +33,15 @@ type t = {
   phase : int option;
   cycle : int option;
   instr : Ccc_microcode.Instr.t option;
+  ctx : string option;
   message : string;
 }
 
-let make ?(severity = Error) ?phase ?cycle ?instr check message =
-  { severity; check; phase; cycle; instr; message }
+let make ?(severity = Error) ?phase ?cycle ?instr ?ctx check message =
+  { severity; check; phase; cycle; instr; ctx; message }
 
-let makef ?severity ?phase ?cycle ?instr check fmt =
-  Format.kasprintf (make ?severity ?phase ?cycle ?instr check) fmt
+let makef ?severity ?phase ?cycle ?instr ?ctx check fmt =
+  Format.kasprintf (make ?severity ?phase ?cycle ?instr ?ctx check) fmt
 
 let check_name = function
   | Hazard -> "hazard"
@@ -58,6 +64,11 @@ let check_name = function
   | Halo_integrity -> "halo-integrity"
   | Output_integrity -> "output-integrity"
   | Kernel_integrity -> "kernel-integrity"
+  | Data_race -> "data-race"
+  | Ownership -> "ownership"
+  | Lock_discipline -> "lock-discipline"
+  | Partition -> "partition"
+  | Lifecycle -> "lifecycle"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
@@ -68,6 +79,9 @@ let pp ppf t =
   | Some p, None -> Format.fprintf ppf " phase %d" p
   | None, Some c -> Format.fprintf ppf " cycle %d" c
   | None, None -> ());
+  (match t.ctx with
+  | Some c -> Format.fprintf ppf " during %s" c
+  | None -> ());
   Format.fprintf ppf ": %s" t.message
 
 let to_string t = Format.asprintf "%a" pp t

@@ -60,6 +60,22 @@ type check =
   | Kernel_integrity
       (** a cached lowered kernel fails its sandbox re-verification —
           a poisoned plan-cache entry ([Ccc_fault.Guard]) *)
+  | Data_race
+      (** two domains access a shared region without a happens-before
+          edge, at least one a write ({!Race}) *)
+  | Ownership
+      (** coordinator-only state touched inside a pooled chunk or from
+          a second domain ({!Discipline}, [Ccc_service.Engine]) *)
+  | Lock_discipline
+      (** a guarded region accessed without holding its lock, or an
+          atomic region accessed with a plain read/write
+          ({!Discipline}) *)
+  | Partition
+      (** two domains touch the same node-indexed slot within one pool
+          generation — an overlapping chunk partition ({!Discipline}) *)
+  | Lifecycle
+      (** a shut-down resource used again, e.g. [Pool.iter] after
+          [Pool.shutdown] *)
 
 type t = {
   severity : severity;
@@ -68,6 +84,10 @@ type t = {
   cycle : int option;
       (** issue cycle within the modeled half-strip, when attributable *)
   instr : Ccc_microcode.Instr.t option;  (** the offending dynamic part *)
+  ctx : string option;
+      (** runtime execution phase ([scatter] / [halo] / [compute] /
+          [gather] / [batch] / [metrics]), when attributable — the
+          domain-safety analyzer's analogue of the microcode [phase] *)
   message : string;
 }
 
@@ -76,6 +96,7 @@ val make :
   ?phase:int ->
   ?cycle:int ->
   ?instr:Ccc_microcode.Instr.t ->
+  ?ctx:string ->
   check ->
   string ->
   t
@@ -86,6 +107,7 @@ val makef :
   ?phase:int ->
   ?cycle:int ->
   ?instr:Ccc_microcode.Instr.t ->
+  ?ctx:string ->
   check ->
   ('a, Format.formatter, unit, t) format4 ->
   'a
@@ -94,8 +116,9 @@ val check_name : check -> string
 (** Kebab-case, e.g. ["register-pressure"]. *)
 
 val pp : Format.formatter -> t -> unit
-(** [error[hazard] phase 2, cycle 141: <message>], location parts
-    present only when attributable. *)
+(** [error[hazard] phase 2, cycle 141: <message>] (or
+    [error[data-race] during compute: <message>] for runtime
+    findings), location parts present only when attributable. *)
 
 val to_string : t -> string
 

@@ -1,0 +1,39 @@
+(* Vector clocks over small logical domain ids.  Persistent int arrays
+   — the analyzer sees at most a handful of domains, and immutability
+   keeps lock/region snapshots free of aliasing bugs. *)
+
+type t = int array
+
+let empty : t = [||]
+
+let get (vc : t) d = if d < Array.length vc then vc.(d) else 0
+
+let extend vc n =
+  if Array.length vc >= n then Array.copy vc
+  else begin
+    let a = Array.make n 0 in
+    Array.blit vc 0 a 0 (Array.length vc);
+    a
+  end
+
+let tick vc d =
+  let a = extend vc (d + 1) in
+  a.(d) <- a.(d) + 1;
+  a
+
+let join a b =
+  let n = max (Array.length a) (Array.length b) in
+  Array.init n (fun i -> max (get a i) (get b i))
+
+let leq a b =
+  let rec go i = i >= Array.length a || (get a i <= get b i && go (i + 1)) in
+  go 0
+
+(* The epoch test of FastTrack: write (d, c) happened-before the
+   current clock iff c <= vc.(d). *)
+let epoch_leq ~dom ~clock vc = clock <= get vc dom
+
+let pp ppf vc =
+  Format.fprintf ppf "<%s>"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int vc)))

@@ -1,0 +1,34 @@
+(** Vector-clock happens-before arithmetic.
+
+    The race detector ({!Race}) replays an {!Access} event log through
+    the standard vector-clock model: each domain carries a clock, each
+    lock carries the clock of its last release, and an access
+    happened-before another iff its clock is pointwise no later.  The
+    construction mirrors the FastTrack formulation (one epoch per
+    write, a clock per read set); domains are the small logical ids
+    {!Access} assigns, so clocks are short arrays. *)
+
+type t
+(** A vector clock: component [d] counts domain [d]'s release/spawn
+    epochs.  Persistent — every operation returns a fresh clock. *)
+
+val empty : t
+(** All components zero. *)
+
+val get : t -> int -> int
+
+val tick : t -> int -> t
+(** Increment component [d] (a release/fork epoch boundary). *)
+
+val join : t -> t -> t
+(** Pointwise maximum — acquire, join, and spawn inheritance. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]: the happens-before order on clocks. *)
+
+val epoch_leq : dom:int -> clock:int -> t -> bool
+(** FastTrack's epoch test: the single write event stamped
+    [(dom, clock)] happened-before a clock [vc] iff
+    [clock <= get vc dom]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+(* FastTrack-style dynamic race detection over an Access event log.
+
+   Replay the log in order, maintaining a vector clock per domain, the
+   release clock per lock, and per (family, index) the last write
+   epoch plus the last read per domain.  A read or write that is not
+   happened-after a conflicting access is a data race; the finding
+   names the region, both domains and both execution phases, with the
+   later access's phase as the finding context.
+
+   Rmw events model atomic read-modify-writes: they synchronize
+   through a per-slot pseudo-lock, so concurrent atomics are ordered
+   by construction while a plain read/write racing an atomic is not.
+
+   One finding per (family, index): the first race on a slot makes
+   every later access to it suspect, and a flood of follow-on reports
+   would bury the root cause. *)
+
+type access = { dom : int; clock : int; phase : string }
+
+type slot = {
+  mutable w : access option;
+  mutable reads : access list;  (* last read per domain *)
+}
+
+let clock_of tbl dom =
+  match Hashtbl.find_opt tbl dom with
+  | Some vc -> vc
+  | None ->
+      (* A domain's own component starts at 1 so its first events are
+         unordered with every other domain until a sync edge exists. *)
+      let vc = Hb.tick Hb.empty dom in
+      Hashtbl.replace tbl dom vc;
+      vc
+
+let lock_of tbl name =
+  match Hashtbl.find_opt tbl name with Some vc -> vc | None -> Hb.empty
+
+let slot_of tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> s
+  | None ->
+      let s = { w = None; reads = [] } in
+      Hashtbl.replace tbl key s;
+      s
+
+let analyze (events : Access.event list) : Finding.t list =
+  let clocks : (int, Hb.t) Hashtbl.t = Hashtbl.create 8 in
+  let locks : (string, Hb.t) Hashtbl.t = Hashtbl.create 16 in
+  let slots : (string * int, slot) Hashtbl.t = Hashtbl.create 256 in
+  let reported : (string * int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let findings = ref [] in
+  let report key ~fam ~idx ~kind ~(prev : access) ~(cur : access) =
+    if not (Hashtbl.mem reported key) then begin
+      Hashtbl.add reported key ();
+      findings :=
+        Finding.makef ~ctx:cur.phase Finding.Data_race
+          "%s on %s[%d]: domain %d (%s phase) vs domain %d (%s phase) \
+           with no happens-before edge"
+          kind fam idx prev.dom prev.phase cur.dom cur.phase
+        :: !findings
+    end
+  in
+  let acquire dom name =
+    Hashtbl.replace clocks dom
+      (Hb.join (clock_of clocks dom) (lock_of locks name))
+  in
+  let release dom name =
+    let vc = clock_of clocks dom in
+    Hashtbl.replace locks name vc;
+    Hashtbl.replace clocks dom (Hb.tick vc dom)
+  in
+  let check_write_against fam idx key (s : slot) cur vc =
+    (match s.w with
+    | Some prev
+      when prev.dom <> cur.dom
+           && not (Hb.epoch_leq ~dom:prev.dom ~clock:prev.clock vc) ->
+        report key ~fam ~idx ~kind:"write-write race" ~prev ~cur
+    | _ -> ());
+    List.iter
+      (fun (prev : access) ->
+        if
+          prev.dom <> cur.dom
+          && not (Hb.epoch_leq ~dom:prev.dom ~clock:prev.clock vc)
+        then report key ~fam ~idx ~kind:"read-write race" ~prev ~cur)
+      s.reads;
+    s.w <- Some cur;
+    s.reads <- []
+  in
+  List.iter
+    (fun (e : Access.event) ->
+      match e.Access.op with
+      | Access.Acquire name -> acquire e.Access.dom name
+      | Access.Release name -> release e.Access.dom name
+      | Access.Spawn child ->
+          let vc = clock_of clocks e.Access.dom in
+          Hashtbl.replace clocks child (Hb.join (clock_of clocks child) vc);
+          Hashtbl.replace clocks e.Access.dom (Hb.tick vc e.Access.dom)
+      | Access.Join child ->
+          Hashtbl.replace clocks e.Access.dom
+            (Hb.join (clock_of clocks e.Access.dom) (clock_of clocks child))
+      | Access.Section_begin _ | Access.Section_end _ -> ()
+      | Access.Read (fam, idx) ->
+          let vc = clock_of clocks e.Access.dom in
+          let key = (fam, idx) in
+          let s = slot_of slots key in
+          let cur =
+            { dom = e.Access.dom; clock = Hb.get vc e.Access.dom;
+              phase = e.Access.phase }
+          in
+          (match s.w with
+          | Some prev
+            when prev.dom <> cur.dom
+                 && not (Hb.epoch_leq ~dom:prev.dom ~clock:prev.clock vc) ->
+              report key ~fam ~idx ~kind:"write-read race" ~prev ~cur
+          | _ -> ());
+          s.reads <-
+            cur :: List.filter (fun (r : access) -> r.dom <> cur.dom) s.reads
+      | Access.Write (fam, idx) ->
+          let vc = clock_of clocks e.Access.dom in
+          let key = (fam, idx) in
+          let cur =
+            { dom = e.Access.dom; clock = Hb.get vc e.Access.dom;
+              phase = e.Access.phase }
+          in
+          check_write_against fam idx key (slot_of slots key) cur vc
+      | Access.Rmw (fam, idx) ->
+          (* Atomic: synchronize through the slot's pseudo-lock, then
+             behave as a write — ordered against other atomics, racing
+             against any unsynchronized plain access. *)
+          let pseudo = Printf.sprintf "%s#%d.atomic" fam idx in
+          acquire e.Access.dom pseudo;
+          let vc = clock_of clocks e.Access.dom in
+          let key = (fam, idx) in
+          let cur =
+            { dom = e.Access.dom; clock = Hb.get vc e.Access.dom;
+              phase = e.Access.phase }
+          in
+          check_write_against fam idx key (slot_of slots key) cur vc;
+          release e.Access.dom pseudo)
+    events;
+  List.rev !findings

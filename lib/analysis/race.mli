@@ -1,0 +1,24 @@
+(** FastTrack-style happens-before race detection.
+
+    The compiler's core discipline is proving hazard-freedom before
+    running a cycle (section 5.3's deadline schedule, checked by
+    {!Verify}); this module applies the same discipline to the *host*
+    runtime that PRs 2–5 bolted onto the simulated SIMD machine.  It
+    replays an {!Access} event log through the vector-clock
+    happens-before model ({!Hb}): a pair of accesses to the same
+    region slot, from different domains, at least one a write, with no
+    happens-before edge between them, is a data race.
+
+    Detection follows the FastTrack economy — one write epoch and a
+    per-domain read set per slot — and [Rmw] events synchronize
+    through a per-slot pseudo-lock, so concurrent atomics are ordered
+    while a de-atomized plain access races.  Lock events create the
+    release→acquire edges; [Spawn]/[Join] create fork/join edges. *)
+
+val analyze : Access.event list -> Finding.t list
+(** Replay the log and return one [Data_race] finding per racing
+    (family, index) slot — the first race found on it — naming the
+    region, both domains and both execution phases, with the later
+    access's phase as the finding's [ctx].  Empty iff the log is
+    race-free under the happens-before model.  Deterministic: a pure
+    function of the event list. *)

@@ -1,0 +1,229 @@
+(* The concurrency-mutation harness: PR 1's Mutate/Verify loop, replayed
+   for the domain-safety analyzer.
+
+   Where Mutate perturbs a microcode plan and Verify must reject it,
+   this module builds an event-trace model of the runtime's
+   synchronization protocol — the pool's publish/chunk/complete/barrier
+   cycle over a two-statement engine batch, locked metrics updates, an
+   atomic work counter — and then seeds one concurrency bug into it.
+   Race and Discipline must kill every mutant with a phase-attributed
+   finding, while the unmutated model (and the instrumented live
+   runtime, which follows the same protocol) must analyze clean.
+
+   The model is a trace, not a schedule: emission order is one legal
+   linearization of the protocol, and the analyzers work from vector
+   clocks, so a bug is detected because an *edge* is missing, not
+   because this particular interleaving happened to collide. *)
+
+type mutation =
+  | Dropped_metrics_lock
+  | Overlapping_chunks
+  | Deatomized_counter
+  | Arena_alias
+  | Lost_signal
+  | Cache_write_bypass
+
+let all =
+  [
+    Dropped_metrics_lock;
+    Overlapping_chunks;
+    Deatomized_counter;
+    Arena_alias;
+    Lost_signal;
+    Cache_write_bypass;
+  ]
+
+let name = function
+  | Dropped_metrics_lock -> "dropped-metrics-lock"
+  | Overlapping_chunks -> "overlapping-chunks"
+  | Deatomized_counter -> "deatomized-counter"
+  | Arena_alias -> "arena-alias"
+  | Lost_signal -> "lost-signal"
+  | Cache_write_bypass -> "cache-write-bypass"
+
+let of_name s = List.find_opt (fun m -> name m = s) all
+
+let describe = function
+  | Dropped_metrics_lock ->
+      "one domain updates a metric without taking its per-metric lock"
+  | Overlapping_chunks ->
+      "one worker's chunk partition overlaps its neighbor's by one item"
+  | Deatomized_counter ->
+      "one worker updates the shared work counter with a plain \
+       read-then-write instead of an atomic RMW"
+  | Arena_alias ->
+      "the arena hands the second batch statement a region aliasing the \
+       first statement's destination while its gather is still in flight"
+  | Lost_signal ->
+      "one worker's completion signal is lost, so the coordinator passes \
+       the barrier without the worker's happens-before edge"
+  | Cache_write_bypass ->
+      "a pooled chunk closure writes the coordinator-only engine cache, \
+       bypassing the entry-point ownership guard"
+
+(* Same private splitmix64 stream as Ccc_fault.Inject: every victim
+   choice is a pure function of (seed, mutation), never of host
+   state. *)
+type rng = { mutable state : int64 }
+
+let next r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let draw r bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.unsigned_rem (next r) (Int64.of_int bound))
+
+let items = 8
+
+(* Balanced contiguous chunks, the pool's own partition function. *)
+let chunk ~jobs k = (k * items / jobs, (k + 1) * items / jobs)
+
+let build ~jobs mutation rng =
+  if jobs < 2 then invalid_arg "Race_mutate: jobs < 2";
+  let buf = ref [] in
+  let ev d ph op = buf := { Access.dom = d; phase = ph; op } :: !buf in
+  let victim_worker = 1 + draw rng (jobs - 1) in
+  (* Generations: statement 0 -> scatter 1, compute 2; statement 1 ->
+     scatter 3, compute 4.  Mutations that need a generation pick a
+     compute one (the coordinator consumes chunk output there, so the
+     missing edge is observable). *)
+  let victim_gen =
+    match mutation with
+    | Some Overlapping_chunks -> 1 + draw rng 4
+    | _ -> if draw rng 2 = 0 then 2 else 4
+  in
+  (* --- compile: coordinator-only engine state, outside any section *)
+  for s = 0 to 1 do
+    ev 0 "compile" (Access.Write ("engine.cache", s));
+    ev 0 "compile" (Access.Write ("engine.tick", 0))
+  done;
+  (* --- metrics: every domain performs one locked update *)
+  for d = 0 to jobs - 1 do
+    let dropped = mutation = Some Dropped_metrics_lock && d = victim_worker in
+    if not dropped then ev d "metrics" (Access.Acquire "metrics.metric#0");
+    ev d "metrics" (Access.Write ("metrics.metric", 0));
+    if not dropped then ev d "metrics" (Access.Release "metrics.metric#0")
+  done;
+  (* --- the pool protocol for one generation.
+
+     The linearization matters: every fetch is emitted before any
+     chunk body, and every body before any completion signal.  Chunk
+     bodies run *outside* the pool's critical sections, so if they
+     were interleaved with the lock round-trips the mutex's
+     release->acquire edges would serialize the bodies and hide every
+     intra-generation race from the vector-clock model. *)
+  let generation ~gen ~phase ~body =
+    (* publish *)
+    ev 0 phase (Access.Acquire "pool.m");
+    ev 0 phase (Access.Write ("pool.task", 0));
+    ev 0 phase (Access.Release "pool.m");
+    (* every worker fetches the task first *)
+    for w = 1 to jobs - 1 do
+      ev w phase (Access.Acquire "pool.m");
+      ev w phase (Access.Read ("pool.task", 0));
+      ev w phase (Access.Release "pool.m")
+    done;
+    (* all chunk bodies, coordinator's slot-0 chunk included *)
+    for slot = 0 to jobs - 1 do
+      ev slot phase (Access.Section_begin gen);
+      body slot gen;
+      ev slot phase (Access.Section_end gen)
+    done;
+    (* completion signals *)
+    for w = 1 to jobs - 1 do
+      let lost =
+        mutation = Some Lost_signal && w = victim_worker && gen = victim_gen
+      in
+      if not lost then begin
+        ev w phase (Access.Acquire "pool.m");
+        ev w phase (Access.Write ("pool.pending", 0));
+        ev w phase (Access.Release "pool.m")
+      end
+    done;
+    (* coordinator barrier *)
+    ev 0 phase (Access.Acquire "pool.m");
+    ev 0 phase (Access.Read ("pool.pending", 0));
+    ev 0 phase (Access.Release "pool.m")
+  in
+  let bounds slot gen =
+    let lo, hi = chunk ~jobs slot in
+    if
+      mutation = Some Overlapping_chunks
+      && slot = victim_worker && gen = victim_gen
+    then if hi < items then (lo, hi + 1) else (lo - 1, hi)
+    else (lo, hi)
+  in
+  let scatter_body slot gen =
+    let lo, hi = bounds slot gen in
+    for i = lo to hi - 1 do
+      ev slot "scatter" (Access.Write ("pool.item", i));
+      ev slot "scatter" (Access.Write ("dist.node", i))
+    done
+  in
+  let compute_body slot gen =
+    let lo, hi = bounds slot gen in
+    (* One shared work-counter bump per chunk, *before* the chunk body:
+       the counter claims work, it does not publish results.  (Bumping
+       after the body would let the atomic's release edge relay the
+       chunk's writes to later workers and mask a lost completion
+       signal.) *)
+    (if
+       mutation = Some Deatomized_counter
+       && slot = victim_worker && gen = victim_gen
+     then begin
+       ev slot "compute" (Access.Read ("pool.counter", 0));
+       ev slot "compute" (Access.Write ("pool.counter", 0))
+     end
+     else ev slot "compute" (Access.Rmw ("pool.counter", 0)));
+    for i = lo to hi - 1 do
+      ev slot "compute" (Access.Write ("pool.item", i));
+      ev slot "compute" (Access.Read ("dist.node", i));
+      ev slot "compute" (Access.Write ("exec.dst", i))
+    done;
+    if
+      mutation = Some Cache_write_bypass
+      && slot = victim_worker && gen = victim_gen
+    then ev slot "compute" (Access.Write ("engine.cache", 0))
+  in
+  let gather () =
+    for i = 0 to items - 1 do
+      ev 0 "gather" (Access.Read ("exec.dst", i))
+    done
+  in
+  (* statement 0 *)
+  generation ~gen:1 ~phase:"scatter" ~body:scatter_body;
+  generation ~gen:2 ~phase:"compute" ~body:compute_body;
+  gather ();
+  (* Arena alias: before statement 1 is published, the victim worker
+     already writes the statement-1 destination — which aliases the
+     statement-0 region the gather above just read, with no pool edge
+     in between. *)
+  if mutation = Some Arena_alias then begin
+    let lo, hi = chunk ~jobs victim_worker in
+    ev victim_worker "batch" (Access.Section_begin 4);
+    for i = lo to hi - 1 do
+      ev victim_worker "batch" (Access.Write ("exec.dst", i))
+    done;
+    ev victim_worker "batch" (Access.Section_end 4)
+  end;
+  (* statement 1 *)
+  generation ~gen:3 ~phase:"scatter" ~body:scatter_body;
+  generation ~gen:4 ~phase:"compute" ~body:compute_body;
+  gather ();
+  List.rev !buf
+
+let clean ~jobs = build ~jobs None { state = 0L }
+
+let mutated ~seed ~jobs m =
+  build ~jobs (Some m)
+    { state = Int64.of_int ((seed * 0x1F1F) lxor Hashtbl.hash (name m)) }

@@ -1,0 +1,55 @@
+(** Seeded concurrency-mutation harness for the domain-safety analyzer.
+
+    The PR-1 loop — mutate a plan, demand that {!Verify} reject it —
+    replayed at the synchronization layer: build an event-trace model
+    of the runtime's protocol (the pool's publish/chunk/complete/
+    barrier cycle over a two-statement engine batch, locked metrics
+    updates, an atomic work counter), seed exactly one concurrency bug
+    into it, and demand that {!Race} or {!Discipline} kill the mutant
+    with a phase-attributed finding.  The unmutated model must analyze
+    clean, as must the instrumented live runtime it mirrors.
+
+    The model is a trace, not a schedule: the analyzers work from
+    vector clocks, so a mutant is killed because a happens-before edge
+    or ownership rule is *missing*, not because one particular
+    interleaving happened to collide. *)
+
+type mutation =
+  | Dropped_metrics_lock
+      (** One domain updates a metric without its per-metric lock. *)
+  | Overlapping_chunks
+      (** One worker's chunk partition overlaps its neighbor's. *)
+  | Deatomized_counter
+      (** Plain read-then-write on the atomic work counter. *)
+  | Arena_alias
+      (** A batch statement's region aliases the previous statement's
+          destination while its gather is still in flight. *)
+  | Lost_signal
+      (** A worker's completion signal is lost; the coordinator passes
+          the barrier without that worker's happens-before edge. *)
+  | Cache_write_bypass
+      (** A pooled chunk closure writes the coordinator-only engine
+          cache, bypassing the entry-point ownership guard. *)
+
+val all : mutation list
+(** Every mutation, in kill-matrix order. *)
+
+val name : mutation -> string
+(** Stable kebab-case name, e.g. ["dropped-metrics-lock"]. *)
+
+val of_name : string -> mutation option
+(** Inverse of {!name}. *)
+
+val describe : mutation -> string
+(** One-line description of the seeded bug, for reports. *)
+
+val clean : jobs:int -> Access.event list
+(** The unmutated protocol model for [jobs] domains (>= 2): it must
+    produce zero findings from both {!Race.analyze} and
+    {!Discipline.check}.  @raise Invalid_argument if [jobs < 2]. *)
+
+val mutated : seed:int -> jobs:int -> mutation -> Access.event list
+(** The model with one seeded bug.  The victim domain, generation and
+    slot are drawn from a private splitmix64 stream (same idiom as
+    [Ccc_fault.Inject]), so the trace is a pure function of
+    [(seed, jobs, mutation)].  @raise Invalid_argument if [jobs < 2]. *)

@@ -60,6 +60,11 @@ module Diagnostics = Ccc_frontend.Diagnostics
 module Finding = Ccc_analysis.Finding
 module Verify = Ccc_analysis.Verify
 module Mutate = Ccc_analysis.Mutate
+module Access = Ccc_analysis.Access
+module Hb = Ccc_analysis.Hb
+module Race = Ccc_analysis.Race
+module Discipline = Ccc_analysis.Discipline
+module Race_mutate = Ccc_analysis.Race_mutate
 module Compile = Ccc_compiler.Compile
 module Plan = Ccc_microcode.Plan
 module Cost = Ccc_microcode.Cost

@@ -71,7 +71,7 @@ let run_path ~path ~pool ~machine ~kernel ~hooks compiled env =
   | _ -> invalid_arg "Conformance.run_path"
 
 let run ?(obs = Obs.disabled) ?(seed = 42) ?(jobs_list = [ 1; 2; 7 ])
-    ?(guarded = true) ?(rows = 32) ?(cols = 32) config =
+    ?(guarded = true) ?(with_faults = true) ?(rows = 32) ?(cols = 32) config =
   let machine = Machine.create config in
   let nodes = Machine.node_count machine in
   let pools =
@@ -173,7 +173,7 @@ let run ?(obs = Obs.disabled) ?(seed = 42) ?(jobs_list = [ 1; 2; 7 ])
       (* ------------------------------------------------------- *)
       (* Kill matrix: one armed injector per fault x jobs on the *)
       (* production path (Lowered + cached kernel).              *)
-      Obs.span obs "conform.faults" @@ fun () ->
+      if with_faults then Obs.span obs "conform.faults" @@ fun () ->
       let kernel_clean = Kernel.build config compiled in
       let clean_ck =
         Guard.grid_checksum
@@ -294,7 +294,7 @@ let missed m = List.length (List.filter (fun k -> not k.k_detected) m.kills)
 
 let passed m = clean_failures m = 0 && missed m = 0
 
-let pp ppf m =
+let rec pp ppf m =
   Format.fprintf ppf "conformance: seed %d, %s, jobs {%s}@." m.seed
     (if m.guarded then "guarded" else "unguarded")
     (String.concat "," (List.map string_of_int m.jobs_list));
@@ -310,6 +310,15 @@ let pp ppf m =
             c.c_width c.c_path c.c_jobs note
       | None -> ())
     m.cells;
+  if m.kills = [] then begin
+    if passed m then Format.fprintf ppf "conformance: PASS@."
+    else
+      Format.fprintf ppf "conformance: FAIL (%d clean cells failed)@."
+        (clean_failures m)
+  end
+  else pp_kills ppf m
+
+and pp_kills ppf m =
   Format.fprintf ppf "fault kills (killed/injected):@.";
   Format.fprintf ppf "  %-16s" "";
   List.iter (fun j -> Format.fprintf ppf "%8s" (Printf.sprintf "jobs=%d" j)) m.jobs_list;

@@ -53,13 +53,17 @@ val run :
   ?seed:int ->
   ?jobs_list:int list ->
   ?guarded:bool ->
+  ?with_faults:bool ->
   ?rows:int ->
   ?cols:int ->
   Ccc_cm2.Config.t ->
   matrix
 (** Run the full matrix.  Defaults: [seed 42], [jobs_list [1; 2; 7]],
-    [guarded true], [rows = cols = 32] (which must divide over the
-    node grid).  Deterministic for a fixed seed: every injector
+    [guarded true], [with_faults true], [rows = cols = 32] (which must
+    divide over the node grid).  [with_faults:false] skips the kill
+    matrix and runs only the clean cells — the mode [ccc race] uses to
+    sweep the whole gallery under the domain-safety analyzer without
+    fault-perturbed traces.  Deterministic for a fixed seed: every injector
     choice comes from a private seeded stream, and pool scheduling
     cannot affect values.  [obs] counts cells and kills in the
     metrics registry ([conform.cells], [fault.injected],

@@ -1,16 +1,77 @@
-module Counter = struct
-  type t = { mutable n : int }
+module Access = Ccc_analysis.Access
 
-  let incr ?(by = 1) c = c.n <- c.n + by
-  let value c = c.n
+(* Every metric handle carries its own mutex plus a pre-rendered lock
+   name ("metrics.metric#<id>") so the domain-safety probes never
+   allocate on the update path.  Ids come off one global atomic
+   counter: handles from different registries still get distinct
+   [metrics.metric] slots in the access log. *)
+let next_id = Atomic.make 0
+
+let fresh_id () = Atomic.fetch_and_add next_id 1
+
+let lock_name id = Printf.sprintf "metrics.metric#%d" id
+
+module Counter = struct
+  type t = { mutable n : int; id : int; lock : Mutex.t; lname : string }
+
+  let make () =
+    let id = fresh_id () in
+    { n = 0; id; lock = Mutex.create (); lname = lock_name id }
+
+  let incr ?(by = 1) c =
+    Mutex.lock c.lock;
+    Access.acquire c.lname;
+    c.n <- c.n + by;
+    Access.write "metrics.metric" c.id;
+    Access.release c.lname;
+    Mutex.unlock c.lock
+
+  let value c =
+    Mutex.lock c.lock;
+    Access.acquire c.lname;
+    let v = c.n in
+    Access.read "metrics.metric" c.id;
+    Access.release c.lname;
+    Mutex.unlock c.lock;
+    v
+
+  let reset c =
+    Mutex.lock c.lock;
+    Access.acquire c.lname;
+    c.n <- 0;
+    Access.write "metrics.metric" c.id;
+    Access.release c.lname;
+    Mutex.unlock c.lock
 end
 
 module Gauge = struct
-  type t = { mutable v : float }
+  type t = { mutable v : float; id : int; lock : Mutex.t; lname : string }
 
-  let set g v = g.v <- v
-  let add g v = g.v <- g.v +. v
-  let value g = g.v
+  let make () =
+    let id = fresh_id () in
+    { v = 0.0; id; lock = Mutex.create (); lname = lock_name id }
+
+  let update g f =
+    Mutex.lock g.lock;
+    Access.acquire g.lname;
+    g.v <- f g.v;
+    Access.write "metrics.metric" g.id;
+    Access.release g.lname;
+    Mutex.unlock g.lock
+
+  let set g v = update g (fun _ -> v)
+  let add g v = update g (fun old -> old +. v)
+
+  let value g =
+    Mutex.lock g.lock;
+    Access.acquire g.lname;
+    let v = g.v in
+    Access.read "metrics.metric" g.id;
+    Access.release g.lname;
+    Mutex.unlock g.lock;
+    v
+
+  let reset g = set g 0.0
 end
 
 module Histogram = struct
@@ -19,9 +80,29 @@ module Histogram = struct
     mutable sum : float;
     mutable lo : float;
     mutable hi : float;
+    id : int;
+    lock : Mutex.t;
+    lname : string;
   }
 
+  let make () =
+    let id = fresh_id () in
+    {
+      count = 0;
+      sum = 0.0;
+      lo = 0.0;
+      hi = 0.0;
+      id;
+      lock = Mutex.create ();
+      lname = lock_name id;
+    }
+
+  (* The four fields move together (count/sum/lo/hi must describe the
+     same sample set), which is why the handle carries a mutex rather
+     than four atomics. *)
   let observe h v =
+    Mutex.lock h.lock;
+    Access.acquire h.lname;
     if h.count = 0 then begin
       h.lo <- v;
       h.hi <- v
@@ -31,13 +112,39 @@ module Histogram = struct
       if v > h.hi then h.hi <- v
     end;
     h.count <- h.count + 1;
-    h.sum <- h.sum +. v
+    h.sum <- h.sum +. v;
+    Access.write "metrics.metric" h.id;
+    Access.release h.lname;
+    Mutex.unlock h.lock
 
-  let count h = h.count
-  let sum h = h.sum
-  let min h = if h.count = 0 then Float.nan else h.lo
-  let max h = if h.count = 0 then Float.nan else h.hi
-  let mean h = if h.count = 0 then Float.nan else h.sum /. float_of_int h.count
+  let read h f =
+    Mutex.lock h.lock;
+    Access.acquire h.lname;
+    let v = f h in
+    Access.read "metrics.metric" h.id;
+    Access.release h.lname;
+    Mutex.unlock h.lock;
+    v
+
+  let count h = read h (fun h -> h.count)
+  let sum h = read h (fun h -> h.sum)
+  let min h = read h (fun h -> if h.count = 0 then Float.nan else h.lo)
+  let max h = read h (fun h -> if h.count = 0 then Float.nan else h.hi)
+
+  let mean h =
+    read h (fun h ->
+        if h.count = 0 then Float.nan else h.sum /. float_of_int h.count)
+
+  let reset h =
+    Mutex.lock h.lock;
+    Access.acquire h.lname;
+    h.count <- 0;
+    h.sum <- 0.0;
+    h.lo <- 0.0;
+    h.hi <- 0.0;
+    Access.write "metrics.metric" h.id;
+    Access.release h.lname;
+    Mutex.unlock h.lock
 end
 
 type metric =
@@ -45,64 +152,75 @@ type metric =
   | G of Gauge.t
   | H of Histogram.t
 
-(* The Hashtbl is the only shared structure: registration (and the
-   whole-table walks of reset/pp/to_json) lock [m]; updates through a
-   handle are single field mutations on the coordinating domain and
-   stay lock-free. *)
+(* The Hashtbl is guarded by the registry mutex [m]; each metric's
+   state is guarded by its own per-handle mutex, so updates may come
+   from any domain (the domain-safety analyzer checks both
+   disciplines: [metrics.table] is [Guarded "metrics.m"],
+   [metrics.metric] is [Locked_per_index]). *)
 type t = { table : (string, metric) Hashtbl.t; m : Mutex.t }
 
 let create () = { table = Hashtbl.create 16; m = Mutex.create () }
 
+let snapshot t =
+  Mutex.lock t.m;
+  Access.acquire "metrics.m";
+  let ms = Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [] in
+  Access.read "metrics.table" 0;
+  Access.release "metrics.m";
+  Mutex.unlock t.m;
+  ms
+
 let reset t =
-  Mutex.protect t.m (fun () ->
-      Hashtbl.iter
-        (fun _ m ->
-          match m with
-          | C c -> c.Counter.n <- 0
-          | G g -> g.Gauge.v <- 0.0
-          | H h ->
-              h.Histogram.count <- 0;
-              h.Histogram.sum <- 0.0;
-              h.Histogram.lo <- 0.0;
-              h.Histogram.hi <- 0.0)
-        t.table)
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | C c -> Counter.reset c
+      | G g -> Gauge.reset g
+      | H h -> Histogram.reset h)
+    (snapshot t)
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let find_or_register t name make match_kind =
-  Mutex.protect t.m (fun () ->
-      match Hashtbl.find_opt t.table name with
-      | Some m -> (
-          match match_kind m with
-          | Some handle -> handle
-          | None ->
-              invalid_arg
-                (Printf.sprintf "Metrics: %S already registered as a %s" name
-                   (kind_name m)))
-      | None ->
-          let m = make () in
-          Hashtbl.add t.table name m;
-          (match match_kind m with Some h -> h | None -> assert false))
+  Mutex.lock t.m;
+  Access.acquire "metrics.m";
+  let result =
+    match Hashtbl.find_opt t.table name with
+    | Some m -> (
+        Access.read "metrics.table" 0;
+        match match_kind m with
+        | Some handle -> Ok handle
+        | None ->
+            Error
+              (Printf.sprintf "Metrics: %S already registered as a %s" name
+                 (kind_name m)))
+    | None ->
+        let m = make () in
+        Hashtbl.add t.table name m;
+        Access.write "metrics.table" 0;
+        (match match_kind m with Some h -> Ok h | None -> assert false)
+  in
+  Access.release "metrics.m";
+  Mutex.unlock t.m;
+  match result with Ok h -> h | Error msg -> invalid_arg msg
 
 let counter t name =
   find_or_register t name
-    (fun () -> C { Counter.n = 0 })
+    (fun () -> C (Counter.make ()))
     (function C c -> Some c | _ -> None)
 
 let gauge t name =
   find_or_register t name
-    (fun () -> G { Gauge.v = 0.0 })
+    (fun () -> G (Gauge.make ()))
     (function G g -> Some g | _ -> None)
 
 let histogram t name =
   find_or_register t name
-    (fun () -> H { Histogram.count = 0; sum = 0.0; lo = 0.0; hi = 0.0 })
+    (fun () -> H (Histogram.make ()))
     (function H h -> Some h | _ -> None)
 
 let sorted t =
-  Mutex.protect t.m (fun () ->
-      Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [])
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  snapshot t |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp_num ppf v =
   if Float.is_integer v && Float.abs v < 1e15 then

@@ -1,6 +1,7 @@
 module Machine = Ccc_cm2.Machine
 module Memory = Ccc_cm2.Memory
 module Geometry = Ccc_cm2.Geometry
+module Access = Ccc_analysis.Access
 
 type t = {
   machine : Machine.t;
@@ -41,7 +42,10 @@ let local_set t ~node ~row ~col v =
    node touches only its own memory and its own block of the host
    grid), so they run on the pool; each node's block moves as
    [sub_rows] row blits rather than element-by-element [owner]
-   lookups. *)
+   lookups.  Each node call logs one coarse [dist.node]/[gather.node]
+   access — region families are per node, not per word, which is sound
+   because a node's block is owned wholesale by whichever domain runs
+   its chunk. *)
 
 let scatter_into ?(pool = Pool.sequential) t grid =
   let grows = Grid.rows grid and gcols = Grid.cols grid in
@@ -54,6 +58,7 @@ let scatter_into ?(pool = Pool.sequential) t grid =
   let geometry = geometry t in
   let data = Grid.raw grid in
   Pool.iter pool (Machine.node_count t.machine) (fun node ->
+      Access.write "dist.node" node;
       let store = Memory.raw (Machine.memory t.machine node) in
       let node_row, node_col = Geometry.coord_of_node geometry node in
       let base_grow = node_row * t.sub_rows
@@ -87,6 +92,8 @@ let gather ?(pool = Pool.sequential) t =
   let data = Grid.raw grid in
   let geometry = geometry t in
   Pool.iter pool (Machine.node_count t.machine) (fun node ->
+      Access.read "dist.node" node;
+      Access.write "gather.node" node;
       let store = Memory.raw (Machine.memory t.machine node) in
       let node_row, node_col = Geometry.coord_of_node geometry node in
       let base_grow = node_row * t.sub_rows
@@ -102,6 +109,7 @@ let gather ?(pool = Pool.sequential) t =
 
 let fill ?(pool = Pool.sequential) t v =
   Pool.iter pool (Machine.node_count t.machine) (fun node ->
+      Access.write "dist.node" node;
       let mem = Machine.memory t.machine node in
       for i = 0 to t.region.Memory.words - 1 do
         Memory.write mem (t.region.Memory.base + i) v

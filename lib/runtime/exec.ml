@@ -9,6 +9,7 @@ module Cost = Ccc_microcode.Cost
 module Obs = Ccc_obs.Obs
 module Tr = Ccc_obs.Trace
 module Profiler = Ccc_obs.Profiler
+module Access = Ccc_analysis.Access
 
 type mode = Simulate | Fast
 type inner = Tapwalk | Lowered
@@ -185,6 +186,7 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
   let analytic_cycles, analytic_madds, frontend_stall_s =
     analytic_totals config halfstrips
   in
+  Access.set_phase "compute";
   Obs.span obs "run.compute" @@ fun () ->
   (* One child span per half-strip, timed in simulated cycles by the
      analytic model (which Simulate provably matches). *)
@@ -217,10 +219,14 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
           in
           Pool.iter pool (Machine.node_count machine) (fun node ->
               hooks.on_compute_node node;
+              Access.read "halo.node" node;
+              Access.write "exec.dst" node;
               Kernel.exec_node spec (Memory.raw (Machine.memory machine node)))
       | Tapwalk ->
           Pool.iter pool (Machine.node_count machine) (fun node ->
               hooks.on_compute_node node;
+              Access.read "halo.node" node;
+              Access.write "exec.dst" node;
               fast_node_compute pattern ~source:halo ~dst ~streams ~node
                 (Machine.memory machine node))
     end
@@ -237,6 +243,9 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
       let outcomes = Array.make nnodes Interp.zero_outcome in
       Pool.iter pool nnodes (fun node ->
           hooks.on_compute_node node;
+          Access.read "halo.node" node;
+          Access.write "exec.dst" node;
+          Access.write "exec.outcome" node;
           let mem = Machine.memory machine node in
           let bindings =
             {
@@ -267,6 +276,7 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
          node; a divergence is a bug in one of them. *)
       Array.iteri
         (fun node (total : Interp.outcome) ->
+          Access.read "exec.outcome" node;
           if total.Interp.cycles <> analytic_cycles then
             failwith
               (Printf.sprintf
@@ -312,6 +322,7 @@ let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
   Fun.protect
     ~finally:(fun () -> Machine.free_all_after machine watermark)
   @@ fun () ->
+  Access.set_phase "scatter";
   let source =
     Obs.span obs "run.scatter" (fun () ->
         Dist.scatter ~pool machine source_grid)
@@ -326,6 +337,7 @@ let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
           (plan_streams compiled))
   in
   let dst = Dist.create machine ~sub_rows ~sub_cols in
+  Access.set_phase "halo";
   let halo =
     Obs.span obs "run.halo" @@ fun () ->
     let h =
@@ -350,6 +362,7 @@ let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
     compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
       ~halo ~dst ~streams
   in
+  Access.set_phase "gather";
   let output =
     Obs.span obs "run.gather" (fun () -> Dist.gather ~pool dst)
   in
@@ -869,10 +882,12 @@ let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
     Arena.acquire arena ~sub_rows ~sub_cols ~pad
       ~nstreams:(Array.length spec)
   in
+  Access.set_phase "scatter";
   Obs.span obs "run.scatter" (fun () ->
       Dist.scatter_into ~pool slot.Arena.src source_grid);
   Obs.span obs "run.streams" (fun () ->
       refill_streams ~pool env slot.Arena.streams spec);
+  Access.set_phase "halo";
   let halo =
     Obs.span obs "run.halo" @@ fun () ->
     let h =
@@ -898,6 +913,7 @@ let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
     compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
       ~halo ~dst:slot.Arena.dst ~streams:slot.Arena.streams
   in
+  Access.set_phase "gather";
   let output =
     Obs.span obs "run.gather" (fun () -> Dist.gather ~pool slot.Arena.dst)
   in
@@ -972,8 +988,10 @@ let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
        else [])
   @@ fun () ->
   let slot = Arena.acquire arena ~sub_rows ~sub_cols ~pad ~nstreams in
+  Access.set_phase "scatter";
   Obs.span obs "run.scatter" (fun () ->
       Dist.scatter_into ~pool slot.Arena.src source_grid);
+  Access.set_phase "halo";
   let halo =
     Obs.span obs "run.halo" @@ fun () ->
     let h =
@@ -991,6 +1009,7 @@ let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
         let pattern = compiled.Compile.pattern in
         let spec = plan_streams compiled in
         let streams = Array.sub slot.Arena.streams 0 (Array.length spec) in
+        Access.set_phase "batch";
         Obs.span obs "run.streams" (fun () ->
             refill_streams ~pool env streams spec);
         let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
@@ -1002,6 +1021,7 @@ let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
            Communication and the per-call launch cost are paid once for
            the whole batch and reported in [batch_stats]; a statement's
            own stats carry only its compute and dispatch stalls. *)
+        Access.set_phase "gather";
         let output =
           Obs.span obs "run.gather" (fun () ->
               Dist.gather ~pool slot.Arena.dst)

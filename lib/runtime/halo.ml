@@ -1,6 +1,7 @@
 module Machine = Ccc_cm2.Machine
 module Memory = Ccc_cm2.Memory
 module Geometry = Ccc_cm2.Geometry
+module Access = Ccc_analysis.Access
 
 type primitive = Node_level | Legacy
 
@@ -72,7 +73,22 @@ let exchange_into ?(primitive = Node_level) ?(pool = Pool.sequential)
      row-blit of the node's own subgrid (bit-for-bit what the general
      path would read back), and only the frame of 2 pad rows and
      2 pad columns takes the per-cell owner arithmetic. *)
-  Pool.iter pool (Machine.node_count machine) (fun node ->
+  let nnodes = Machine.node_count machine in
+  Pool.iter pool nnodes (fun node ->
+      (* One [halo.node] write for the node's own padded temporary and
+         one deduplicated [dist.node] read per distinct source node
+         (itself for the interior blit, neighbors for the frame):
+         coarse per-node regions keep the log small without losing the
+         cross-node edges the analyzer needs. *)
+      let seen = if Access.on () then Array.make nnodes false else [||] in
+      let log_source node' =
+        if Array.length seen > 0 && not seen.(node') then begin
+          seen.(node') <- true;
+          Access.read "dist.node" node'
+        end
+      in
+      Access.write "halo.node" node;
+      log_source node;
       let mem = Machine.memory machine node in
       let raw = Memory.raw mem in
       let node_row, node_col = Geometry.coord_of_node geometry node in
@@ -93,6 +109,7 @@ let exchange_into ?(primitive = Node_level) ?(pool = Pool.sequential)
                   Dist.owner source ~grow:(wrap grow grows)
                     ~gcol:(wrap gcol gcols)
                 in
+                log_source node';
                 Dist.local_get source ~node:node' ~row:row' ~col:col'
           end
         in

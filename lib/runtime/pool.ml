@@ -6,7 +6,19 @@
    condition between generations.  All data written by a chunk before
    its worker decrements [pending] happens-before the coordinator's
    return from [iter] (the mutex provides the edges), so callers may
-   freely read what the chunks wrote. *)
+   freely read what the chunks wrote.
+
+   The protocol doubles as the reference trace for the domain-safety
+   analyzer: every lock round-trip, task hand-off, chunk section and
+   completion signal is mirrored into [Ccc_analysis.Access] (free when
+   disabled), and [Race]/[Discipline] replay exactly the edges the
+   mutex and the atomic chunk counter provide.  Acquire events are
+   logged once, after a condition-wait loop exits, so the logged order
+   is a legal linearization and event counts stay deterministic under
+   spurious wakeups. *)
+
+module Access = Ccc_analysis.Access
+module Finding = Ccc_analysis.Finding
 
 type t = {
   jobs : int;
@@ -15,11 +27,19 @@ type t = {
   ready : Condition.t;  (* a new generation (or shutdown) was published *)
   finished : Condition.t;  (* a worker completed its chunk *)
   mutable generation : int;
+  mutable loggen : int;
+      (* the process-globally-unique section id logged for the current
+         generation: two pools alive at once (the conformance matrix
+         runs jobs 2 and jobs 7 side by side) must not both report
+         "generation 1", or the analyzer's partition rule would see
+         phantom overlaps between unrelated pools *)
   mutable stop : bool;
   mutable task : (int -> failure option) option;
       (* worker slot -> run its chunk, reporting its first failure *)
   mutable pending : int;
   mutable failure : failure option;  (* lowest failing node index wins *)
+  counter : int Atomic.t;  (* chunks claimed, across all generations *)
+  mutable closed : bool;  (* set once by [shutdown], checked by [iter] *)
 }
 
 and failure = { node : int; exn : exn; bt : Printexc.raw_backtrace }
@@ -34,13 +54,21 @@ let make_sequential jobs =
     ready = Condition.create ();
     finished = Condition.create ();
     generation = 0;
+    loggen = 0;
     stop = false;
     task = None;
     pending = 0;
     failure = None;
+    counter = Atomic.make 0;
+    closed = false;
   }
 
 let sequential = make_sequential 1
+
+(* One id per [iter] across every pool in the process. *)
+let section_ids = Atomic.make 1
+
+let chunks_run t = Atomic.get t.counter
 
 let record_failure t = function
   | None -> ()
@@ -56,6 +84,13 @@ let record_failure t = function
       | Some best when best.node <= f.node -> ()
       | _ -> t.failure <- Some f)
 
+(* Claim one chunk on the shared counter.  Logged as an [Rmw] before
+   the chunk body: the counter claims work, it does not publish
+   results, so the analyzer must not treat it as a completion edge. *)
+let claim_chunk t =
+  Atomic.incr t.counter;
+  Access.rmw "pool.counter" 0
+
 let worker_loop t slot =
   let seen = ref 0 in
   let running = ref true in
@@ -69,14 +104,23 @@ let worker_loop t slot =
       running := false
     end
     else begin
+      Access.acquire "pool.m";
       seen := t.generation;
+      let gen = t.loggen in
       let task = Option.get t.task in
+      Access.read "pool.task" 0;
+      Access.release "pool.m";
       Mutex.unlock t.m;
+      Access.section_begin gen;
       let outcome = task slot in
+      Access.section_end gen;
       Mutex.lock t.m;
+      Access.acquire "pool.m";
       record_failure t outcome;
       t.pending <- t.pending - 1;
+      Access.write "pool.pending" 0;
       if t.pending = 0 then Condition.signal t.finished;
+      Access.release "pool.m";
       Mutex.unlock t.m
     end
   done
@@ -103,16 +147,30 @@ let chunk_bounds ~n ~jobs k = (k * n / jobs, (k + 1) * n / jobs)
 let run_chunk f lo hi =
   let rec go i =
     if i >= hi then None
-    else
+    else begin
+      Access.write "pool.item" i;
       match f i with
       | () -> go (i + 1)
       | exception exn ->
           Some { node = i; exn; bt = Printexc.get_raw_backtrace () }
+    end
   in
   go lo
 
+let check_open t =
+  if t.closed then
+    raise
+      (Finding.Failed
+         [
+           Finding.makef Finding.Lifecycle
+             "Pool.iter on a shut-down pool (%d jobs): worker domains are \
+              joined; create a fresh pool or use Pool.sequential"
+             t.jobs;
+         ])
+
 let iter t n f =
   if n < 0 then invalid_arg "Pool.iter: negative count";
+  check_open t;
   if Array.length t.domains = 0 || n <= 1 then
     for i = 0 to n - 1 do
       f i
@@ -120,28 +178,41 @@ let iter t n f =
   else begin
     let jobs = t.jobs in
     Mutex.lock t.m;
+    Access.acquire "pool.m";
     t.task <-
       Some
         (fun slot ->
           let lo, hi = chunk_bounds ~n ~jobs (slot + 1) in
+          claim_chunk t;
           run_chunk f lo hi);
+    Access.write "pool.task" 0;
     t.pending <- jobs - 1;
     t.failure <- None;
     t.generation <- t.generation + 1;
+    t.loggen <- Atomic.fetch_and_add section_ids 1;
+    let gen = t.loggen in
     Condition.broadcast t.ready;
+    Access.release "pool.m";
     Mutex.unlock t.m;
     let own =
       let lo, hi = chunk_bounds ~n ~jobs 0 in
-      run_chunk f lo hi
+      claim_chunk t;
+      Access.section_begin gen;
+      let r = run_chunk f lo hi in
+      Access.section_end gen;
+      r
     in
     Mutex.lock t.m;
     while t.pending > 0 do
       Condition.wait t.finished t.m
     done;
+    Access.acquire "pool.m";
+    Access.read "pool.pending" 0;
     record_failure t own;
     let failure = t.failure in
     t.task <- None;
     t.failure <- None;
+    Access.release "pool.m";
     Mutex.unlock t.m;
     match failure with
     | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
@@ -149,12 +220,19 @@ let iter t n f =
   end
 
 let shutdown t =
-  let doomed = t.domains in
-  if Array.length doomed > 0 then begin
+  (* The shared [sequential] pool is never closed: it owns no domains
+     and callers treat it as a global default. *)
+  if t != sequential then begin
     Mutex.lock t.m;
-    t.stop <- true;
+    let doomed = t.domains in
     t.domains <- [||];
-    Condition.broadcast t.ready;
+    if not t.closed then begin
+      t.closed <- true;
+      t.stop <- true;
+      Condition.broadcast t.ready
+    end;
     Mutex.unlock t.m;
+    (* Only the call that captured the domains joins them, so
+       concurrent or repeated shutdowns are harmless. *)
     Array.iter Domain.join doomed
   end

@@ -14,7 +14,12 @@
     The pool is resident: domains are spawned once ({!create}) and
     parked between calls, the way {!Ccc_service.Engine} keeps its
     machine and arena resident between requests.  [iter] is not
-    reentrant — chunks must not call back into the same pool. *)
+    reentrant — chunks must not call back into the same pool.
+
+    When [Ccc_analysis.Access] instrumentation is enabled, every lock
+    round-trip, task hand-off, chunk section, item visit and
+    completion signal is logged, so [Race] and [Discipline] can replay
+    exactly the happens-before edges the protocol provides. *)
 
 type t
 
@@ -44,6 +49,15 @@ val iter : t -> int -> (int -> unit) -> unit
     chunk reports nothing, so it can neither mask nor displace a lower
     node's failure. *)
 
+val chunks_run : t -> int
+(** Total chunks claimed across all generations (the shared atomic
+    work counter) — a cheap liveness figure for telemetry. *)
+
 val shutdown : t -> unit
-(** Join the worker domains.  Idempotent; afterwards [iter] falls back
-    to sequential execution. *)
+(** Join the worker domains and close the pool.  Idempotent and safe
+    to call from several domains (the first caller joins; the rest
+    return immediately).  Afterwards {!iter} raises
+    [Ccc_analysis.Finding.Failed] with a [Lifecycle] finding rather
+    than running on dead workers — a shut-down pool is a programming
+    error, not a silent sequential fallback.  {!sequential} is exempt:
+    shutting it down is a no-op and it always stays usable. *)

@@ -9,6 +9,7 @@ module Kernel = Ccc_runtime.Kernel
 module Pool = Ccc_runtime.Pool
 module Reference = Ccc_runtime.Reference
 module Finding = Ccc_analysis.Finding
+module Access = Ccc_analysis.Access
 module Guard = Ccc_fault.Guard
 module Obs = Ccc_obs.Obs
 module Metrics = Ccc_obs.Metrics
@@ -78,6 +79,7 @@ type t = {
   guard_recompiles : Metrics.Counter.t;
   guard_degraded : Metrics.Counter.t;
   mutable tick : int;
+  owner : int;  (* raw id of the creating domain; entry points check it *)
 }
 
 type stats = {
@@ -133,7 +135,24 @@ let create ?obs ?(capacity = 32) ?(jobs = 1) ?memory_words config =
     guard_recompiles = Metrics.counter m "engine.guard.recompiles";
     guard_degraded = Metrics.counter m "engine.guard.degraded";
     tick = 0;
+    owner = (Domain.self () :> int);
   }
+
+(* The engine's cache, LRU tick and arena are coordinator-only state
+   (DESIGN.md section 8): they are deliberately lock-free, so calling
+   an entry point from any other domain would race.  The check makes
+   the ownership rule fail fast with a structured finding instead of
+   corrupting the cache. *)
+let check_owner t who =
+  let me = (Domain.self () :> int) in
+  if me <> t.owner then
+    raise
+      (Finding.Failed
+         [
+           Finding.makef Finding.Ownership
+             "Engine.%s called from domain %d: the engine (plan cache,               arena, pool) is owned by the domain that created it (%d);               share work through the pool, not the engine handle"
+             who me t.owner;
+         ])
 
 let config t = t.config
 let machine t = t.machine
@@ -198,17 +217,21 @@ let evict_lru t =
   match victim with
   | Some (key, _) ->
       Hashtbl.remove t.cache key;
+      Access.write "engine.cache" 0;
       Metrics.Counter.incr t.evictions;
       Log.info (fun m -> m "plan cache eviction: %s" key)
   | None -> ()
 
 let compile_entry t pattern =
+  Access.set_phase "compile";
   let fp = Fingerprint.pattern pattern in
   let key = fp ^ "|" ^ t.config_fp in
   match Hashtbl.find_opt t.cache key with
   | Some entry ->
+      Access.read "engine.cache" 0;
       Metrics.Counter.incr t.hits;
       t.tick <- t.tick + 1;
+      Access.write "engine.tick" 0;
       entry.last_used <- t.tick;
       Log.debug (fun m -> m "plan cache hit: %s" fp);
       (* A hit may carry different coefficient or variable names than
@@ -218,6 +241,7 @@ let compile_entry t pattern =
          which the fingerprint pins). *)
       Ok (Compile.rebind entry.compiled pattern, entry.kernel)
   | None -> (
+      Access.read "engine.cache" 0;
       Metrics.Counter.incr t.misses;
       Log.debug (fun m -> m "plan cache miss: %s" fp);
       match Compile.compile ~obs:t.obs t.config pattern with
@@ -231,10 +255,14 @@ let compile_entry t pattern =
           Metrics.Counter.incr t.kernel_verifies;
           if Hashtbl.length t.cache >= t.capacity then evict_lru t;
           t.tick <- t.tick + 1;
+          Access.write "engine.tick" 0;
           Hashtbl.add t.cache key { compiled; kernel; last_used = t.tick };
+          Access.write "engine.cache" 0;
           Ok (compiled, kernel))
 
-let compile t pattern = Result.map fst (compile_entry t pattern)
+let compile t pattern =
+  check_owner t "compile";
+  Result.map fst (compile_entry t pattern)
 
 let recognize_statement source =
   match Ccc_frontend.Parser.parse_statement source with
@@ -263,6 +291,7 @@ let warn_rejection pattern e =
         (error_to_string e))
 
 let run ?mode ?iterations t pattern env =
+  check_owner t "run";
   match compile_entry t pattern with
   | Error _ as e -> e
   | Ok (compiled, kernel) -> (
@@ -303,6 +332,7 @@ type outcome = Completed of Exec.result | Degraded of degraded
    crash: the worst case is a slow, correct [Degraded] result. *)
 let run_guarded ?mode ?iterations ?(inject = Exec.no_hooks) ?(max_retries = 2)
     t pattern env =
+  check_owner t "run_guarded";
   match compile_entry t pattern with
   | Error _ as e -> e
   | Ok (compiled0, kernel0) -> (
@@ -371,8 +401,10 @@ let run_guarded ?mode ?iterations ?(inject = Exec.no_hooks) ?(max_retries = 2)
                   Metrics.Counter.incr t.kernel_verifies;
                   let key = Fingerprint.pattern pattern ^ "|" ^ t.config_fp in
                   t.tick <- t.tick + 1;
+                  Access.write "engine.tick" 0;
                   Hashtbl.replace t.cache key
                     { compiled = fresh; kernel = fresh_kernel; last_used = t.tick };
+                  Access.write "engine.cache" 0;
                   ladder fresh fresh_kernel 0 (acc @ diagnosis) true
             end
             else degrade acc recompiled)
@@ -415,6 +447,7 @@ let check_batch patterns =
       check rest
 
 let run_batch ?mode t patterns env =
+  check_owner t "run_batch";
   match check_batch patterns with
   | Error e ->
       (match patterns with
@@ -460,7 +493,9 @@ let run_batch_statements ?mode t sources env =
   | Error _ as e -> e
 
 let reset t =
+  check_owner t "reset";
   Hashtbl.reset t.cache;
+  Access.write "engine.cache" 0;
   Exec.Arena.reset t.arena;
   t.tick <- 0;
   Metrics.reset t.obs.Obs.metrics

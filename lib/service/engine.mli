@@ -79,7 +79,18 @@ val jobs : t -> int
 val shutdown : t -> unit
 (** Join the pool's worker domains.  Call when the engine is no longer
     needed; OCaml caps live domains, so long-lived processes must not
-    leak pools.  Idempotent; the engine must not run afterwards. *)
+    leak pools.  Idempotent and safe to repeat; a run attempted
+    afterwards raises [Ccc_analysis.Finding.Failed] with a [Lifecycle]
+    finding from {!Ccc_runtime.Pool.iter} rather than hanging on dead
+    workers.
+
+    {b Ownership.}  The engine handle itself is single-owner: the plan
+    cache, LRU tick and arena are deliberately lock-free coordinator
+    state (DESIGN.md section 8), so every entry point checks that the
+    calling domain is the creating domain and raises
+    [Ccc_analysis.Finding.Failed] with an [Ownership] finding
+    otherwise.  Parallelism belongs {e inside} a run (the [jobs] pool),
+    not across engine handles. *)
 
 val obs : t -> Ccc_obs.Obs.t
 (** The engine's observability context. *)

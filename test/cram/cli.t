@@ -239,3 +239,33 @@ exits nonzero.
   injected 90: detected 15, recovered 15, missed 75
   conformance: FAIL (75 injected faults escaped undetected)
   [1]
+
+The domain-safety analyzer: the instrumented clean sweep replays the
+conformance clean matrix with the shared-state probes live and must
+come back finding-free.
+
+  $ ../../bin/ccc_cli.exe race --seed 42 --jobs 2
+  domain-safety: 60294 access events from 144 clean cells (jobs 1,2)
+  race: PASS (0 findings)
+
+Every seeded concurrency mutation must be killed with a
+phase-attributed finding.
+
+  $ ../../bin/ccc_cli.exe race --mutate all
+  seeded kill matrix (seed 42, jobs 2):
+    dropped-metrics-lock   KILLED (data-race during metrics, 2 findings)
+    overlapping-chunks     KILLED (data-race during compute, 4 findings)
+    deatomized-counter     KILLED (data-race during compute, 2 findings)
+    arena-alias            KILLED (data-race during batch, 4 findings)
+    lost-signal            KILLED (data-race during gather, 4 findings)
+    cache-write-bypass     KILLED (ownership during compute, 2 findings)
+  6/6 mutations killed
+
+A single mutation prints the full findings, naming both accesses, the
+domains and the execution phase.
+
+  $ ../../bin/ccc_cli.exe race --mutate lost-signal --seed 7 --jobs 4
+  mutation lost-signal (seed 7, jobs 4): one worker's completion signal is lost, so the coordinator passes the barrier without the worker's happens-before edge
+  error[data-race] during gather: write-read race on exec.dst[2]: domain 1 (compute phase) vs domain 0 (gather phase) with no happens-before edge
+  error[data-race] during gather: write-read race on exec.dst[3]: domain 1 (compute phase) vs domain 0 (gather phase) with no happens-before edge
+  race: KILLED (2 findings)
