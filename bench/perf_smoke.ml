@@ -84,10 +84,67 @@ let check_pattern pools name p =
                      simulate ok, probes clean\n"
         name
 
+(* Closed-loop serve check (PR 7): one request in flight at a time
+   through the sharded scheduler, three rounds over three gallery
+   stencils.  Every completed outcome must be bit-identical to a
+   sequential resident-engine run of the same stencil over the same
+   grids, and nothing may coalesce or shed in a closed loop. *)
+let check_serve () =
+  let gallery = Ccc.Pattern.gallery () in
+  let rows = 4 * 8 and cols = 4 * 8 in
+  let work =
+    List.map
+      (fun name ->
+        let p = List.assoc name gallery in
+        (name, p, env_for p ~rows ~cols))
+      [ "cross5"; "square9"; "cross9" ]
+  in
+  let engine = Ccc.Engine.create config in
+  let t = Ccc.Serve.create ~shards:2 config in
+  let rounds = 3 in
+  for _ = 1 to rounds do
+    List.iter
+      (fun (name, p, env) ->
+        let tk =
+          Ccc.Serve.submit t
+            (Ccc.Request.v ~tenant:"smoke" ~env (Ccc.Request.Pattern p))
+        in
+        let r = Ccc.Serve.wait t tk in
+        match Ccc.Outcome.output r.Ccc.Serve.outcome with
+        | None ->
+            fail "serve: %s not served: %s" name
+              (Ccc.Outcome.to_string r.Ccc.Serve.outcome)
+        | Some out -> (
+            match Ccc.Engine.run engine p env with
+            | Error e ->
+                fail "serve: %s engine baseline failed: %s" name
+                  (Ccc.error_to_string e)
+            | Ok baseline ->
+                if Grid.max_abs_diff baseline.Exec.output out <> 0.0 then
+                  fail
+                    "serve: %s outcome not bit-identical to the resident \
+                     engine"
+                    name))
+      work
+  done;
+  Ccc.Serve.shutdown t;
+  Ccc.Engine.shutdown engine;
+  let st = Ccc.Serve.stats t in
+  let expect = rounds * List.length work in
+  if st.Ccc.Serve.completed <> expect then
+    fail "serve: %d of %d closed-loop requests completed"
+      st.Ccc.Serve.completed expect;
+  if st.Ccc.Serve.shed <> 0 then
+    fail "serve: %d requests shed in a closed loop" st.Ccc.Serve.shed;
+  Printf.printf
+    "serve: %d closed-loop outcomes bit-identical to the resident engine\n"
+    expect
+
 let () =
   let pools = List.map (fun jobs -> (jobs, Ccc.Pool.create ~jobs)) [ 2; 3 ] in
   check_pattern pools "cross5"
     (List.assoc "cross5" (Ccc.Pattern.gallery ()));
   check_pattern pools "seismic" (Ccc.Seismic.kernel ());
   List.iter (fun (_, p) -> Ccc.Pool.shutdown p) pools;
+  check_serve ();
   print_endline "perf-smoke: ok"

@@ -79,6 +79,17 @@ let or_die = function
       prerr_endline msg;
       exit 1
 
+(* The one place a request outcome maps to a process exit code (PR 7):
+   success and degraded runs exit 0, refusals 1, shed requests 3;
+   usage errors keep cmdliner's 2.  Every subcommand that prints a
+   rejection funnels through [die_reject], so the codes cannot drift
+   between subcommands. *)
+let die_outcome o = exit (Ccc.Outcome.exit_code o)
+
+let die_reject e =
+  prerr_endline (Ccc.error_to_string e);
+  die_outcome (Ccc.Outcome.refused e)
+
 (* --trace FILE: record the full span tree and write it as Chrome
    trace_event JSON (loadable in chrome://tracing or Perfetto). *)
 let trace_arg =
@@ -116,8 +127,7 @@ let compile_cmd =
     if fused then begin
       match Ccc.compile_fortran_statement_multi config source with
       | Error e ->
-          prerr_endline (Ccc.error_to_string e);
-          exit 1
+          die_reject e
       | Ok f ->
           print_endline (Ccc.fused_report f);
           if listing then
@@ -126,8 +136,7 @@ let compile_cmd =
     else
       match compile_input config ~defstencil ~statement source with
       | Error e ->
-          prerr_endline (Ccc.error_to_string e);
-          exit 1
+          die_reject e
       | Ok compiled ->
           print_endline (Ccc.report compiled);
           if render then begin
@@ -191,8 +200,7 @@ let run_cmd =
     if fused then begin
       match Ccc.compile_fortran_statement_multi ?obs config source with
       | Error e ->
-          prerr_endline (Ccc.error_to_string e);
-          exit 1
+          die_reject e
       | Ok f ->
           let multi = f.Ccc.Compile.multi in
           let env =
@@ -210,8 +218,7 @@ let run_cmd =
     else
       match compile_input ?obs config ~defstencil ~statement source with
       | Error e ->
-          prerr_endline (Ccc.error_to_string e);
-          exit 1
+          die_reject e
       | Ok compiled ->
           let pattern = compiled.Ccc.Compile.pattern in
           let env = synthetic_env ~rows ~cols (pattern_env_names pattern) in
@@ -254,8 +261,7 @@ let estimate_cmd =
     let config = or_die (config_of ~nodes ~tuned) in
     match compile_input config ~defstencil ~statement (read_file file) with
     | Error e ->
-        prerr_endline (Ccc.error_to_string e);
-        exit 1
+        die_reject e
     | Ok compiled ->
         Printf.printf "%-10s | %10s %10s %12s\n" "subgrid" "Mflops"
           "Gflops" "Gflops@2048";
@@ -289,8 +295,7 @@ let trace_cmd =
     let config = or_die (config_of ~nodes ~tuned) in
     match compile_input config ~defstencil ~statement (read_file file) with
     | Error e ->
-        prerr_endline (Ccc.error_to_string e);
-        exit 1
+        die_reject e
     | Ok compiled ->
         List.iter print_endline (Ccc.Exec.trace ?width ~lines config compiled)
   in
@@ -316,8 +321,7 @@ let program_cmd =
     let config = or_die (config_of ~nodes ~tuned) in
     match Ccc.compile_program config (read_file file) with
     | Error e ->
-        prerr_endline (Ccc.error_to_string e);
-        exit 1
+        die_reject e
     | Ok units ->
         let failures = ref 0 in
         List.iter
@@ -517,14 +521,11 @@ let batch_cmd =
           match Ccc.Recognize.statement stmt with
           | Ok p -> p
           | Error diags ->
-              prerr_endline (Ccc.error_to_string (Ccc.Rejected diags));
-              exit 1
+              die_reject (Ccc.Rejected diags)
         end
       | exception Ccc.Parser.Error { line; message } ->
-          prerr_endline
-            (Ccc.error_to_string
-               (Ccc.Parse_error (Printf.sprintf "line %d: %s" line message)));
-          exit 1
+          die_reject
+            (Ccc.Parse_error (Printf.sprintf "line %d: %s" line message))
     in
     let patterns = List.map recognize stmts in
     let pattern_names p =
@@ -552,8 +553,7 @@ let batch_cmd =
       match Ccc.Engine.run_batch ~mode engine patterns env with
       | Ok batch -> last := Some batch
       | Error e ->
-          prerr_endline (Ccc.Engine.error_to_string e);
-          exit 1
+          die_reject e
     done;
     let batch = Option.get !last in
     List.iter2
@@ -646,8 +646,7 @@ let profile_cmd =
     in
     match compile_input ~obs config ~defstencil ~statement source with
     | Error e ->
-        prerr_endline (Ccc.error_to_string e);
-        exit 1
+        die_reject e
     | Ok compiled ->
         let pattern = compiled.Ccc.Compile.pattern in
         let env = synthetic_env ~rows ~cols (pattern_env_names pattern) in
@@ -803,18 +802,54 @@ let race_cmd =
            empty.  Exit nonzero on any finding or failed cell. *)
         let config = or_die (config_of ~nodes ~tuned) in
         let jobs_list = if jobs > 1 then [ 1; jobs ] else [ 1 ] in
+        (* A live serve-scheduler session inside the instrumentation
+           window: two genuinely concurrent shard workers (each with a
+           resident engine and pool) over a deterministic paused-trace,
+           so the serve.* families and the cross-instance namespacing
+           of the engine/pool/metrics slots are exercised for real. *)
+        let serve_session () =
+          let t =
+            Ccc.Serve.create ~shards:2
+              ~settings:{ Ccc.Engine.default_settings with jobs = max 1 jobs }
+              ~paused:true config
+          in
+          let gallery = Ccc.Pattern.gallery () in
+          let cross = List.assoc "cross5" gallery in
+          let square = List.assoc "square9" gallery in
+          let env_of p = synthetic_env ~rows:32 ~cols:32 (pattern_env_names p) in
+          let ec = env_of cross and es = env_of square in
+          let tickets =
+            List.map (Ccc.Serve.submit t)
+              [
+                Ccc.Request.v ~tenant:"a" ~env:ec (Ccc.Request.Pattern cross);
+                Ccc.Request.v ~tenant:"b" ~env:ec (Ccc.Request.Pattern cross);
+                Ccc.Request.v ~tenant:"a" ~env:es (Ccc.Request.Pattern square);
+                Ccc.Request.v ~tenant:"b" ~env:es (Ccc.Request.Pattern square);
+              ]
+          in
+          Ccc.Serve.resume t;
+          let responses = List.map (Ccc.Serve.wait t) tickets in
+          Ccc.Serve.shutdown t;
+          List.length
+            (List.filter
+               (fun (r : Ccc.Serve.response) ->
+                 Ccc.Outcome.is_success r.Ccc.Serve.outcome)
+               responses)
+        in
         Ccc.Access.enable ();
         let matrix =
           Ccc.Conformance.run ~seed ~jobs_list ~with_faults:false config
         in
+        let served = serve_session () in
         Ccc.Access.disable ();
         let log = Ccc.Access.events () in
         let findings = analyze_log log in
         Printf.printf "domain-safety: %d access events from %d clean cells \
-                       (jobs %s)\n"
+                       (jobs %s) and a %d-request serve session\n"
           (List.length log)
           (List.length matrix.Ccc.Conformance.cells)
-          (String.concat "," (List.map string_of_int jobs_list));
+          (String.concat "," (List.map string_of_int jobs_list))
+          served;
         let clean_fail = Ccc.Conformance.clean_failures matrix in
         if clean_fail > 0 then
           Printf.printf "clean cells FAILED: %d\n" clean_fail;
@@ -867,6 +902,105 @@ let race_cmd =
           $ mutate_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the multi-tenant scheduler on a canned, deterministic trace *)
+
+let serve_cmd =
+  let run nodes tuned demo =
+    if not demo then begin
+      prerr_endline
+        "ccc serve: pass --demo (the scheduler has no network front end)";
+      exit 2
+    end;
+    let config = or_die (config_of ~nodes ~tuned) in
+    (* Determinism: every request is submitted while the scheduler is
+       paused, so each shard's one dispatch window is a pure function
+       of the trace; the injected clock counts calls (no wall time
+       reaches the output), and nothing below prints latencies. *)
+    let tick = Atomic.make 0 in
+    let clock () = float_of_int (Atomic.fetch_and_add tick 1) in
+    let t = Ccc.Serve.create ~shards:2 ~clock ~paused:true config in
+    let gallery = Ccc.Pattern.gallery () in
+    let pat name = List.assoc name gallery in
+    let env_of p = synthetic_env ~rows:32 ~cols:32 (pattern_env_names p) in
+    let cross = pat "cross5" in
+    let cross_env = env_of cross in
+    (* a second, distinct stencil over the same source array and env:
+       lands in the same window group and batches when its fingerprint
+       routes to the same shard *)
+    let tilt =
+      Ccc.Pattern.create
+        [
+          Ccc.Tap.make (Ccc.Offset.make ~drow:0 ~dcol:0) (Ccc.Coeff.Array "C1");
+          Ccc.Tap.make (Ccc.Offset.make ~drow:(-1) ~dcol:1)
+            (Ccc.Coeff.Array "C2");
+        ]
+    in
+    let requests =
+      [
+        ("alice", "cross5", Ccc.Request.v ~tenant:"alice" ~env:cross_env
+                              (Ccc.Request.Pattern cross));
+        ("bob", "square9",
+         (let p = pat "square9" in
+          Ccc.Request.v ~tenant:"bob" ~env:(env_of p) (Ccc.Request.Pattern p)));
+        ("alice", "cross9",
+         (let p = pat "cross9" in
+          Ccc.Request.v ~tenant:"alice" ~env:(env_of p) (Ccc.Request.Pattern p)));
+        ("bob", "diamond13",
+         (let p = pat "diamond13" in
+          Ccc.Request.v ~tenant:"bob" ~env:(env_of p) (Ccc.Request.Pattern p)));
+        ("carol", "cross5", Ccc.Request.v ~tenant:"carol" ~env:cross_env
+                              (Ccc.Request.Pattern cross));
+        ("carol", "cross5", Ccc.Request.v ~tenant:"carol" ~env:cross_env
+                              (Ccc.Request.Pattern cross));
+        ("carol", "cross5.key",
+         Ccc.Request.v ~tenant:"carol" ~env:cross_env
+           (Ccc.Request.Key (Ccc.Serve.key_of t cross)));
+        ("alice", "tilt", Ccc.Request.v ~tenant:"alice" ~env:cross_env
+                            (Ccc.Request.Pattern tilt));
+        ("dave", "garbage",
+         Ccc.Request.v ~tenant:"dave" ~env:[]
+           (Ccc.Request.Text "R = NOT A STENCIL ("));
+        ("eve", "too-late",
+         Ccc.Request.v ~deadline_us:(-1.0) ~tenant:"eve" ~env:cross_env
+           (Ccc.Request.Pattern cross));
+      ]
+    in
+    let tickets =
+      List.map (fun (_, _, r) -> Ccc.Serve.submit t r) requests
+    in
+    Ccc.Serve.resume t;
+    List.iter2
+      (fun (tenant, label, _) tk ->
+        let r = Ccc.Serve.wait t tk in
+        if r.Ccc.Serve.window >= 0 then
+          Printf.printf "%-6s %-10s [shard %d window %d batched %d coalesced %d] %s\n"
+            tenant label r.Ccc.Serve.shard r.Ccc.Serve.window
+            r.Ccc.Serve.batched r.Ccc.Serve.coalesced
+            (Ccc.Outcome.to_string r.Ccc.Serve.outcome)
+        else
+          Printf.printf "%-6s %-10s [at admission] %s\n" tenant label
+            (Ccc.Outcome.to_string r.Ccc.Serve.outcome))
+      requests tickets;
+    Ccc.Serve.shutdown t;
+    Format.printf "%a@." Ccc.Serve.pp_stats (Ccc.Serve.stats t)
+  in
+  let demo_flag =
+    Arg.(value & flag
+         & info [ "demo" ]
+             ~doc:"Run the canned multi-tenant trace: five tenants, \
+                   duplicate and batchable stencils, a catalog-key \
+                   request, a refusal and a missed deadline.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "The multi-tenant stencil service: an admission/queueing \
+          scheduler sharding requests across resident engines, coalescing \
+          fingerprint-identical requests, fair-queueing tenants and \
+          shedding load with structured outcomes")
+    Term.(const run $ nodes_arg $ tuned_flag $ demo_flag)
+
+(* ------------------------------------------------------------------ *)
 (* gallery *)
 
 let gallery_cmd =
@@ -895,4 +1029,4 @@ let () =
        (Cmd.group info
           [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; profile_cmd;
             program_cmd; lint_cmd; batch_cmd; conform_cmd; race_cmd;
-            gallery_cmd ]))
+            serve_cmd; gallery_cmd ]))

@@ -85,6 +85,12 @@ let () =
          handle under a per-metric lock named ["metrics.metric#<id>"]. *)
       ("metrics.table", Guarded "metrics.m");
       ("metrics.metric", Locked_per_index);
+      (* Serve scheduler (PR 7): tenant queues + control state, ticket
+         states and the stencil-key catalog, all under the scheduler
+         mutex.  Slots are namespaced by scheduler uid. *)
+      ("serve.queue", Guarded "serve.m");
+      ("serve.ticket", Guarded "serve.m");
+      ("serve.keys", Guarded "serve.m");
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -36,8 +36,11 @@ let check (events : Access.event list) : Finding.t list =
         Hashtbl.replace doms dom s;
         s
   in
-  (* family -> owning domain, first seen *)
-  let owners : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  (* (family, index) -> owning domain, first seen.  Keyed per index,
+     not per family: since PR 7 several engines (one per serve shard)
+     can be alive at once, each probing its own coordinator-only slot
+     — instances must not inherit each other's owner. *)
+  let owners : (string * int, int) Hashtbl.t = Hashtbl.create 8 in
   (* (generation, family, index) -> first accessing domain *)
   let slots : (int * string * int, int) Hashtbl.t = Hashtbl.create 256 in
   let reported : (string, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -62,11 +65,11 @@ let check (events : Access.event list) : Finding.t list =
                   chunk (generation %d) by domain %d"
                  fam idx g dom)
         | None -> ());
-        (match Hashtbl.find_opt owners fam with
-        | None -> Hashtbl.replace owners fam dom
+        (match Hashtbl.find_opt owners (fam, idx) with
+        | None -> Hashtbl.replace owners (fam, idx) dom
         | Some owner when owner <> dom ->
             report
-              (Printf.sprintf "own:%s" fam)
+              (Printf.sprintf "own:%s#%d" fam idx)
               (Finding.makef ~ctx:phase Finding.Ownership
                  "coordinator-only region %s[%d] touched by domain %d; \
                   domain %d owns it"

@@ -2,7 +2,14 @@ type t = {
   config : Config.t;
   geometry : Geometry.t;
   memories : Memory.t array;
+  uid : int;
 }
+
+(* Process-globally-unique machine ids: several machines can be alive
+   at once (one resident engine per serve shard), and the domain-safety
+   probes namespace their node-indexed regions by this id so two
+   machines' node 0 never alias in the access log. *)
+let uids = Atomic.make 0
 
 let create ?(memory_words = 1 lsl 20) config =
   let geometry =
@@ -12,9 +19,10 @@ let create ?(memory_words = 1 lsl 20) config =
     Array.init (Geometry.node_count geometry) (fun _ ->
         Memory.create ~words:memory_words)
   in
-  { config; geometry; memories }
+  { config; geometry; memories; uid = Atomic.fetch_and_add uids 1 }
 
 let config t = t.config
+let uid t = t.uid
 let geometry t = t.geometry
 let node_count t = Array.length t.memories
 

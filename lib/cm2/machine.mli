@@ -18,6 +18,11 @@ val config : t -> Config.t
 val geometry : t -> Geometry.t
 val node_count : t -> int
 
+val uid : t -> int
+(** Process-globally-unique machine id.  The runtime's domain-safety
+    probes offset node-indexed access-log slots by it, so two machines
+    alive at once (one per serve shard since PR 7) never alias. *)
+
 val memory : t -> int -> Memory.t
 (** Memory of a node by id.  Raises [Invalid_argument] out of range. *)
 

@@ -39,6 +39,9 @@ module Guard = Ccc_fault.Guard
 module Conformance = Ccc_fault.Conformance
 module Engine = Ccc_service.Engine
 module Fingerprint = Ccc_service.Fingerprint
+module Outcome = Ccc_service.Outcome
+module Request = Ccc_serve.Request
+module Serve = Ccc_serve.Serve
 module Obs = Ccc_obs.Obs
 module Trace = Ccc_obs.Trace
 module Metrics = Ccc_obs.Metrics

@@ -83,6 +83,21 @@ module Guard = Ccc_fault.Guard
 module Conformance = Ccc_fault.Conformance
 module Engine = Ccc_service.Engine
 module Fingerprint = Ccc_service.Fingerprint
+
+(** The unified request outcome (PR 7): success-with-stats, degraded,
+    refused and shed in one shape, each carrying the stencil
+    fingerprint and cycle attribution.  {!type-error} below,
+    {!Engine.error} and {!Engine.outcome} are deprecated aliases /
+    precursors of its arms. *)
+module Outcome = Ccc_service.Outcome
+
+(** The multi-tenant stencil service (PR 7): {!Request} is the
+    admission currency, {!Serve} the scheduler — sharded resident
+    engines behind one queue, answering every request with an
+    {!Outcome.t}. *)
+module Request = Ccc_serve.Request
+
+module Serve = Ccc_serve.Serve
 module Obs = Ccc_obs.Obs
 module Trace = Ccc_obs.Trace
 module Metrics = Ccc_obs.Metrics
@@ -98,6 +113,9 @@ module Profiler = Ccc_obs.Profiler
     structured warnings on the ["ccc"] {!Logs} source, carrying the
     stencil fingerprint when one is recoverable. *)
 
+(** Deprecated alias: the one definition of this shape is
+    {!Outcome.reject}; the alias (and its re-exported constructors)
+    keeps existing callers compiling while they migrate. *)
 type error = Ccc_service.Engine.error =
   | Parse_error of string
   | Rejected of Diagnostics.t list
@@ -113,6 +131,7 @@ type error = Ccc_service.Engine.error =
       (** batch statements do not share a source array and boundary *)
 
 val error_to_string : error -> string
+(** Deprecated alias of {!Outcome.reject_to_string}. *)
 
 val compile_pattern :
   ?obs:Obs.t -> Config.t -> Pattern.t -> (Compile.t, error) result

@@ -157,15 +157,27 @@ type metric =
    from any domain (the domain-safety analyzer checks both
    disciplines: [metrics.table] is [Guarded "metrics.m"],
    [metrics.metric] is [Locked_per_index]). *)
-type t = { table : (string, metric) Hashtbl.t; m : Mutex.t }
+type t = { table : (string, metric) Hashtbl.t; m : Mutex.t; uid : int }
 
-let create () = { table = Hashtbl.create 16; m = Mutex.create () }
+(* Registries get globally-unique [metrics.table] slots for the same
+   reason metric handles get globally-unique ids: several registries
+   are alive at once (one per serve-shard engine since PR 7), and two
+   registries' tables must not alias in the access log — each has its
+   own real mutex, so aliased slots would look like races. *)
+let registry_uids = Atomic.make 0
+
+let create () =
+  {
+    table = Hashtbl.create 16;
+    m = Mutex.create ();
+    uid = Atomic.fetch_and_add registry_uids 1;
+  }
 
 let snapshot t =
   Mutex.lock t.m;
   Access.acquire "metrics.m";
   let ms = Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [] in
-  Access.read "metrics.table" 0;
+  Access.read "metrics.table" t.uid;
   Access.release "metrics.m";
   Mutex.unlock t.m;
   ms
@@ -187,7 +199,7 @@ let find_or_register t name make match_kind =
   let result =
     match Hashtbl.find_opt t.table name with
     | Some m -> (
-        Access.read "metrics.table" 0;
+        Access.read "metrics.table" t.uid;
         match match_kind m with
         | Some handle -> Ok handle
         | None ->
@@ -197,7 +209,7 @@ let find_or_register t name make match_kind =
     | None ->
         let m = make () in
         Hashtbl.add t.table name m;
-        Access.write "metrics.table" 0;
+        Access.write "metrics.table" t.uid;
         (match match_kind m with Some h -> Ok h | None -> assert false)
   in
   Access.release "metrics.m";

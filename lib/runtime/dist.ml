@@ -38,6 +38,13 @@ let local_get t ~node ~row ~col =
 let local_set t ~node ~row ~col v =
   Memory.write (Machine.memory t.machine node) (local_addr t ~row ~col) v
 
+(* Access-log slot for a node-indexed probe: namespaced by the machine
+   uid so two machines alive at once (one resident engine per serve
+   shard) never alias node slots.  12 bits comfortably exceed any
+   configured node count. *)
+let probe_slot machine node = (Machine.uid machine lsl 12) + node
+let pslot = probe_slot
+
 (* Scatter, gather and fill are per-node loops over disjoint data (a
    node touches only its own memory and its own block of the host
    grid), so they run on the pool; each node's block moves as
@@ -58,7 +65,7 @@ let scatter_into ?(pool = Pool.sequential) t grid =
   let geometry = geometry t in
   let data = Grid.raw grid in
   Pool.iter pool (Machine.node_count t.machine) (fun node ->
-      Access.write "dist.node" node;
+      Access.write "dist.node" (pslot t.machine node);
       let store = Memory.raw (Machine.memory t.machine node) in
       let node_row, node_col = Geometry.coord_of_node geometry node in
       let base_grow = node_row * t.sub_rows
@@ -92,8 +99,8 @@ let gather ?(pool = Pool.sequential) t =
   let data = Grid.raw grid in
   let geometry = geometry t in
   Pool.iter pool (Machine.node_count t.machine) (fun node ->
-      Access.read "dist.node" node;
-      Access.write "gather.node" node;
+      Access.read "dist.node" (pslot t.machine node);
+      Access.write "gather.node" (pslot t.machine node);
       let store = Memory.raw (Machine.memory t.machine node) in
       let node_row, node_col = Geometry.coord_of_node geometry node in
       let base_grow = node_row * t.sub_rows
@@ -109,7 +116,7 @@ let gather ?(pool = Pool.sequential) t =
 
 let fill ?(pool = Pool.sequential) t v =
   Pool.iter pool (Machine.node_count t.machine) (fun node ->
-      Access.write "dist.node" node;
+      Access.write "dist.node" (pslot t.machine node);
       let mem = Machine.memory t.machine node in
       for i = 0 to t.region.Memory.words - 1 do
         Memory.write mem (t.region.Memory.base + i) v

@@ -52,3 +52,12 @@ val local_set : t -> node:int -> row:int -> col:int -> float -> unit
 
 val read_description : t -> string
 (** Human-readable ownership map, regenerating Figure 1. *)
+
+val probe_slot : Ccc_cm2.Machine.t -> int -> int
+(** Access-log slot for a node-indexed domain-safety probe: the node
+    index namespaced by {!Ccc_cm2.Machine.uid}, so the node-indexed
+    regions of two machines alive at once (one resident engine per
+    serve shard since PR 7) never alias in the log.  Shared by the
+    [dist.node]/[gather.node] probes here and the
+    [halo.node]/[exec.dst]/[exec.outcome] probes in {!Halo} and
+    {!Exec}. *)

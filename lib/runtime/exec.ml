@@ -219,14 +219,14 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
           in
           Pool.iter pool (Machine.node_count machine) (fun node ->
               hooks.on_compute_node node;
-              Access.read "halo.node" node;
-              Access.write "exec.dst" node;
+              Access.read "halo.node" (Dist.probe_slot machine node);
+              Access.write "exec.dst" (Dist.probe_slot machine node);
               Kernel.exec_node spec (Memory.raw (Machine.memory machine node)))
       | Tapwalk ->
           Pool.iter pool (Machine.node_count machine) (fun node ->
               hooks.on_compute_node node;
-              Access.read "halo.node" node;
-              Access.write "exec.dst" node;
+              Access.read "halo.node" (Dist.probe_slot machine node);
+              Access.write "exec.dst" (Dist.probe_slot machine node);
               fast_node_compute pattern ~source:halo ~dst ~streams ~node
                 (Machine.memory machine node))
     end
@@ -243,9 +243,9 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
       let outcomes = Array.make nnodes Interp.zero_outcome in
       Pool.iter pool nnodes (fun node ->
           hooks.on_compute_node node;
-          Access.read "halo.node" node;
-          Access.write "exec.dst" node;
-          Access.write "exec.outcome" node;
+          Access.read "halo.node" (Dist.probe_slot machine node);
+          Access.write "exec.dst" (Dist.probe_slot machine node);
+          Access.write "exec.outcome" (Dist.probe_slot machine node);
           let mem = Machine.memory machine node in
           let bindings =
             {
@@ -276,7 +276,7 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
          node; a divergence is a bug in one of them. *)
       Array.iteri
         (fun node (total : Interp.outcome) ->
-          Access.read "exec.outcome" node;
+          Access.read "exec.outcome" (Dist.probe_slot machine node);
           if total.Interp.cycles <> analytic_cycles then
             failwith
               (Printf.sprintf

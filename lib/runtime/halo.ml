@@ -84,10 +84,10 @@ let exchange_into ?(primitive = Node_level) ?(pool = Pool.sequential)
       let log_source node' =
         if Array.length seen > 0 && not seen.(node') then begin
           seen.(node') <- true;
-          Access.read "dist.node" node'
+          Access.read "dist.node" (Dist.probe_slot machine node')
         end
       in
-      Access.write "halo.node" node;
+      Access.write "halo.node" (Dist.probe_slot machine node);
       log_source node;
       let mem = Machine.memory machine node in
       let raw = Memory.raw mem in

@@ -22,6 +22,11 @@ module Finding = Ccc_analysis.Finding
 
 type t = {
   jobs : int;
+  uid : int;
+      (* process-globally-unique pool id: the domain-safety probes
+         namespace this pool's [pool.*] slots by it, so two pools alive
+         at once (one per serve shard's engine) never alias *)
+  running : bool Atomic.t;  (* an [iter] is in flight *)
   mutable domains : unit Domain.t array;  (* jobs - 1 workers; emptied by shutdown *)
   m : Mutex.t;
   ready : Condition.t;  (* a new generation (or shutdown) was published *)
@@ -45,10 +50,18 @@ type t = {
 and failure = { node : int; exn : exn; bt : Printexc.raw_backtrace }
 
 let jobs t = t.jobs
+let size t = t.jobs
+let closed t = t.closed
+let busy t = Atomic.get t.running
+
+(* One id per pool in the process (see the [uid] field). *)
+let pool_uids = Atomic.make 0
 
 let make_sequential jobs =
   {
     jobs;
+    uid = Atomic.fetch_and_add pool_uids 1;
+    running = Atomic.make false;
     domains = [||];
     m = Mutex.create ();
     ready = Condition.create ();
@@ -89,7 +102,7 @@ let record_failure t = function
    results, so the analyzer must not treat it as a completion edge. *)
 let claim_chunk t =
   Atomic.incr t.counter;
-  Access.rmw "pool.counter" 0
+  Access.rmw "pool.counter" t.uid
 
 let worker_loop t slot =
   let seen = ref 0 in
@@ -108,7 +121,7 @@ let worker_loop t slot =
       seen := t.generation;
       let gen = t.loggen in
       let task = Option.get t.task in
-      Access.read "pool.task" 0;
+      Access.read "pool.task" t.uid;
       Access.release "pool.m";
       Mutex.unlock t.m;
       Access.section_begin gen;
@@ -118,7 +131,7 @@ let worker_loop t slot =
       Access.acquire "pool.m";
       record_failure t outcome;
       t.pending <- t.pending - 1;
-      Access.write "pool.pending" 0;
+      Access.write "pool.pending" t.uid;
       if t.pending = 0 then Condition.signal t.finished;
       Access.release "pool.m";
       Mutex.unlock t.m
@@ -143,12 +156,16 @@ let chunk_bounds ~n ~jobs k = (k * n / jobs, (k + 1) * n / jobs)
 
 (* Run items [lo, hi), stopping at the first failure — within a
    contiguous chunk the first item to raise is the lowest-indexed one,
-   so the chunk's report is already its minimum. *)
-let run_chunk f lo hi =
+   so the chunk's report is already its minimum.  [base] namespaces the
+   per-item probe slots by the pool uid (20 bits exceed any item
+   count): slots stay stable across this pool's generations — so the
+   partition and happens-before checks still relate them — but two
+   pools alive at once never alias. *)
+let run_chunk ~base f lo hi =
   let rec go i =
     if i >= hi then None
     else begin
-      Access.write "pool.item" i;
+      Access.write "pool.item" (base + i);
       match f i with
       | () -> go (i + 1)
       | exception exn ->
@@ -171,12 +188,15 @@ let check_open t =
 let iter t n f =
   if n < 0 then invalid_arg "Pool.iter: negative count";
   check_open t;
+  Atomic.set t.running true;
+  Fun.protect ~finally:(fun () -> Atomic.set t.running false) @@ fun () ->
   if Array.length t.domains = 0 || n <= 1 then
     for i = 0 to n - 1 do
       f i
     done
   else begin
     let jobs = t.jobs in
+    let base = t.uid lsl 20 in
     Mutex.lock t.m;
     Access.acquire "pool.m";
     t.task <-
@@ -184,8 +204,8 @@ let iter t n f =
         (fun slot ->
           let lo, hi = chunk_bounds ~n ~jobs (slot + 1) in
           claim_chunk t;
-          run_chunk f lo hi);
-    Access.write "pool.task" 0;
+          run_chunk ~base f lo hi);
+    Access.write "pool.task" t.uid;
     t.pending <- jobs - 1;
     t.failure <- None;
     t.generation <- t.generation + 1;
@@ -198,7 +218,7 @@ let iter t n f =
       let lo, hi = chunk_bounds ~n ~jobs 0 in
       claim_chunk t;
       Access.section_begin gen;
-      let r = run_chunk f lo hi in
+      let r = run_chunk ~base f lo hi in
       Access.section_end gen;
       r
     in
@@ -207,7 +227,7 @@ let iter t n f =
       Condition.wait t.finished t.m
     done;
     Access.acquire "pool.m";
-    Access.read "pool.pending" 0;
+    Access.read "pool.pending" t.uid;
     record_failure t own;
     let failure = t.failure in
     t.task <- None;

@@ -36,6 +36,22 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+val size : t -> int
+(** Synonym of {!jobs}: the number of chunks an {!iter} cuts, i.e. the
+    coordinator plus [size - 1] resident worker domains.  Exposed (with
+    {!busy} and {!closed}) so schedulers above the pool — the PR-7
+    serve admission path — can make placement and admission decisions
+    without reaching into the record. *)
+
+val busy : t -> bool
+(** Whether an {!iter} is currently in flight.  Safe from any domain
+    (one atomic flag); a sequential pool is busy only while its inline
+    loop runs. *)
+
+val closed : t -> bool
+(** Whether {!shutdown} has run: a closed pool's {!iter} raises the
+    structured [Lifecycle] finding below. *)
+
 val iter : t -> int -> (int -> unit) -> unit
 (** [iter t n f] runs [f 0 .. f (n-1)], partitioned into [jobs]
     contiguous chunks (a pure function of [n] and [jobs], never of

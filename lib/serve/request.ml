@@ -1,0 +1,13 @@
+type stencil =
+  | Text of string
+  | Pattern of Ccc_stencil.Pattern.t
+  | Key of string
+
+type t = {
+  tenant : string;
+  stencil : stencil;
+  env : Ccc_runtime.Reference.env;
+  deadline_us : float option;
+}
+
+let v ?deadline_us ~tenant ~env stencil = { tenant; stencil; env; deadline_us }

@@ -1,0 +1,46 @@
+(** A stencil-service request.
+
+    The paper's compiler served one user at a time: compile a
+    subroutine, launch it, read the timings (sections 2 and 7).  The
+    PR-7 serve layer turns that workflow into a multi-tenant service,
+    and this module is its admission currency: who is asking
+    ([tenant]), what stencil they want applied ([stencil] — source
+    text, IR, or a {!Ccc_service.Fingerprint.key} naming a stencil the
+    service has already seen), over which arrays ([env]), and by when
+    ([deadline_us]).
+
+    Requests are plain data; all validation (parse, recognition,
+    catalog lookup, deadline and admission checks) happens in
+    {!Serve.submit}. *)
+
+(** How the stencil is spelled. *)
+type stencil =
+  | Text of string
+      (** one bare Fortran assignment, fed through the section-4 front
+          end ({!Ccc_service.Engine.recognize_statement}) at admission *)
+  | Pattern of Ccc_stencil.Pattern.t  (** the stencil IR directly *)
+  | Key of string
+      (** a {!Ccc_service.Fingerprint.key} of a stencil this service
+          already resolved (every admitted [Text]/[Pattern] request
+          registers its key in the catalog); an unknown key is refused
+          with [Parse_error] *)
+
+type t = {
+  tenant : string;  (** fair-queueing identity; never interpreted *)
+  stencil : stencil;
+  env : Ccc_runtime.Reference.env;
+      (** the source and coefficient arrays; requests sharing the
+          {e same} (physically equal) env and stencil fingerprint are
+          coalesced into one execution *)
+  deadline_us : float option;
+      (** absolute deadline on the scheduler's clock, microseconds;
+          checked at admission and again at dispatch *)
+}
+
+val v :
+  ?deadline_us:float ->
+  tenant:string ->
+  env:Ccc_runtime.Reference.env ->
+  stencil ->
+  t
+(** Plain constructor. *)

@@ -20,23 +20,14 @@ let src =
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type error =
+type error = Outcome.reject =
   | Parse_error of string
   | Rejected of Ccc_frontend.Diagnostics.t list
   | Resource_error of (int * Ccc_analysis.Finding.t) list
   | Too_small of string
   | Invalid_batch of string
 
-let error_to_string = function
-  | Parse_error m -> "parse error: " ^ m
-  | Rejected diags ->
-      "not a recognizable stencil assignment:\n"
-      ^ String.concat "\n"
-          (List.map Ccc_frontend.Diagnostics.to_string diags)
-  | Resource_error rejections ->
-      "resource limits: " ^ Compile.no_workable rejections
-  | Too_small m -> "array too small: " ^ m
-  | Invalid_batch m -> "invalid batch: " ^ m
+let error_to_string = Outcome.reject_to_string
 
 (* The cached kernel is verified once at miss time (against the
    reference evaluator and the cycle-accurate interpreter) and then
@@ -52,13 +43,29 @@ type entry = {
 (* Every counter the engine keeps lives in the metrics registry; the
    record below is just the resolved handles, so the hot paths touch
    one mutable cell instead of re-hashing the metric name. *)
+type settings = {
+  capacity : int;
+  jobs : int;
+  memory_words : int option;
+  queue_depth : int;
+  tenants : int;
+}
+
+let default_settings =
+  { capacity = 32; jobs = 1; memory_words = None; queue_depth = 64; tenants = 16 }
+
 type t = {
   config : Config.t;
   config_fp : string;
   machine : Machine.t;
   arena : Exec.Arena.t;
   pool : Pool.t;
-  capacity : int;
+  settings : settings;
+  eid : int;
+      (* process-globally-unique engine id: the coordinator-only
+         cache/tick probes are namespaced by it, so several engines
+         alive at once (one per serve shard) each have their own owner
+         in the access log *)
   cache : (string, entry) Hashtbl.t;
   obs : Obs.t;
   hits : Metrics.Counter.t;
@@ -83,6 +90,9 @@ type t = {
 }
 
 type stats = {
+  jobs : int;
+  queue_depth : int;
+  tenants : int;
   hits : int;
   misses : int;
   evictions : int;
@@ -99,22 +109,39 @@ type stats = {
   per_call_compute : (int * float * int) option;
 }
 
-let create ?obs ?(capacity = 32) ?(jobs = 1) ?memory_words config =
-  if capacity < 1 then invalid_arg "Engine.create: capacity < 1";
+(* One id per engine in the process (see the [eid] field). *)
+let engine_ids = Atomic.make 0
+
+let create ?obs ?capacity ?jobs ?memory_words ?settings config =
+  let settings =
+    match settings with
+    | Some s -> s
+    | None ->
+        {
+          default_settings with
+          capacity = Option.value capacity ~default:default_settings.capacity;
+          jobs = Option.value jobs ~default:default_settings.jobs;
+          memory_words;
+        }
+  in
+  if settings.capacity < 1 then invalid_arg "Engine.create: capacity < 1";
+  if settings.queue_depth < 1 then invalid_arg "Engine.create: queue_depth < 1";
+  if settings.tenants < 1 then invalid_arg "Engine.create: tenants < 1";
   let obs =
     match obs with
     | Some o -> o
     | None -> Obs.v ~trace:Ccc_obs.Trace.disabled ~metrics:(Metrics.create ())
   in
   let m = obs.Obs.metrics in
-  let machine = Machine.create ?memory_words config in
+  let machine = Machine.create ?memory_words:settings.memory_words config in
   {
     config;
     config_fp = Fingerprint.config config;
     machine;
     arena = Exec.Arena.create machine;
-    pool = Pool.create ~jobs;
-    capacity;
+    pool = Pool.create ~jobs:settings.jobs;
+    settings;
+    eid = Atomic.fetch_and_add engine_ids 1;
     cache = Hashtbl.create 16;
     obs;
     hits = Metrics.counter m "engine.cache.hits";
@@ -155,6 +182,7 @@ let check_owner t who =
          ])
 
 let config t = t.config
+let settings_of t = t.settings
 let machine t = t.machine
 let obs t = t.obs
 let metrics t = t.obs.Obs.metrics
@@ -168,11 +196,14 @@ let stats (t : t) : stats =
   Metrics.Gauge.set t.arena_rebuilds
     (float_of_int (Exec.Arena.rebuilds t.arena));
   {
+    jobs = t.settings.jobs;
+    queue_depth = t.settings.queue_depth;
+    tenants = t.settings.tenants;
     hits = Metrics.Counter.value t.hits;
     misses = Metrics.Counter.value t.misses;
     evictions = Metrics.Counter.value t.evictions;
     entries = Hashtbl.length t.cache;
-    capacity = t.capacity;
+    capacity = t.settings.capacity;
     compiles = Metrics.Counter.value t.compiles;
     runs = Metrics.Counter.value t.runs;
     batches = Metrics.Counter.value t.batches;
@@ -190,15 +221,21 @@ let stats (t : t) : stats =
              int_of_float (Metrics.Histogram.max t.per_call_compute) ));
   }
 
+(* The field order below — identity, cache, work, arena, accumulated
+   cycles, per-call — is shared with [Serve.pp_stats], which prints
+   its own identity/admission/work lines in the same discipline and
+   embeds this printer per shard.  Keep the two in lockstep: the cram
+   suite pins both tables. *)
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "plan cache: %d hits, %d misses, %d evictions (%d/%d entries)@\n\
+    "engine: %d jobs, queue depth %d, %d tenants@\n\
+     plan cache: %d hits, %d misses, %d evictions (%d/%d entries)@\n\
      compiles: %d  runs: %d  batches: %d@\n\
      arena: %d reuses, %d rebuilds@\n\
      accumulated: comm %d cycles, compute %d cycles, front end %.6f s"
-    s.hits s.misses s.evictions s.entries s.capacity s.compiles s.runs
-    s.batches s.arena_reuses s.arena_rebuilds s.comm_cycles s.compute_cycles
-    s.frontend_s;
+    s.jobs s.queue_depth s.tenants s.hits s.misses s.evictions s.entries
+    s.capacity s.compiles s.runs s.batches s.arena_reuses s.arena_rebuilds
+    s.comm_cycles s.compute_cycles s.frontend_s;
   match s.per_call_compute with
   | None -> ()
   | Some (min, mean, max) ->
@@ -217,7 +254,7 @@ let evict_lru t =
   match victim with
   | Some (key, _) ->
       Hashtbl.remove t.cache key;
-      Access.write "engine.cache" 0;
+      Access.write "engine.cache" t.eid;
       Metrics.Counter.incr t.evictions;
       Log.info (fun m -> m "plan cache eviction: %s" key)
   | None -> ()
@@ -228,10 +265,10 @@ let compile_entry t pattern =
   let key = fp ^ "|" ^ t.config_fp in
   match Hashtbl.find_opt t.cache key with
   | Some entry ->
-      Access.read "engine.cache" 0;
+      Access.read "engine.cache" t.eid;
       Metrics.Counter.incr t.hits;
       t.tick <- t.tick + 1;
-      Access.write "engine.tick" 0;
+      Access.write "engine.tick" t.eid;
       entry.last_used <- t.tick;
       Log.debug (fun m -> m "plan cache hit: %s" fp);
       (* A hit may carry different coefficient or variable names than
@@ -241,7 +278,7 @@ let compile_entry t pattern =
          which the fingerprint pins). *)
       Ok (Compile.rebind entry.compiled pattern, entry.kernel)
   | None -> (
-      Access.read "engine.cache" 0;
+      Access.read "engine.cache" t.eid;
       Metrics.Counter.incr t.misses;
       Log.debug (fun m -> m "plan cache miss: %s" fp);
       match Compile.compile ~obs:t.obs t.config pattern with
@@ -253,11 +290,11 @@ let compile_entry t pattern =
           Metrics.Counter.incr t.compiles;
           let kernel = Kernel.build t.config compiled in
           Metrics.Counter.incr t.kernel_verifies;
-          if Hashtbl.length t.cache >= t.capacity then evict_lru t;
+          if Hashtbl.length t.cache >= t.settings.capacity then evict_lru t;
           t.tick <- t.tick + 1;
-          Access.write "engine.tick" 0;
+          Access.write "engine.tick" t.eid;
           Hashtbl.add t.cache key { compiled; kernel; last_used = t.tick };
-          Access.write "engine.cache" 0;
+          Access.write "engine.cache" t.eid;
           Ok (compiled, kernel))
 
 let compile t pattern =
@@ -313,7 +350,7 @@ let run_statement ?mode ?iterations t source env =
   | Ok pattern -> run ?mode ?iterations t pattern env
   | Error _ as e -> e
 
-type degraded = {
+type degraded = Outcome.degraded = {
   output : Ccc_runtime.Grid.t;
   findings : Finding.t list;
   retries : int;
@@ -321,6 +358,11 @@ type degraded = {
 }
 
 type outcome = Completed of Exec.result | Degraded of degraded
+
+let outcome_of_guarded ~fingerprint = function
+  | Ok (Completed result) -> Outcome.completed ~fingerprint result
+  | Ok (Degraded detail) -> Outcome.degraded ~fingerprint detail
+  | Error reject -> Outcome.refused ~fingerprint reject
 
 (* The recovery ladder: guarded run -> bounded same-kernel retries
    (a transient fault leaves nothing behind, so a re-run of the same
@@ -401,10 +443,10 @@ let run_guarded ?mode ?iterations ?(inject = Exec.no_hooks) ?(max_retries = 2)
                   Metrics.Counter.incr t.kernel_verifies;
                   let key = Fingerprint.pattern pattern ^ "|" ^ t.config_fp in
                   t.tick <- t.tick + 1;
-                  Access.write "engine.tick" 0;
+                  Access.write "engine.tick" t.eid;
                   Hashtbl.replace t.cache key
                     { compiled = fresh; kernel = fresh_kernel; last_used = t.tick };
-                  Access.write "engine.cache" 0;
+                  Access.write "engine.cache" t.eid;
                   ladder fresh fresh_kernel 0 (acc @ diagnosis) true
             end
             else degrade acc recompiled)
@@ -495,7 +537,7 @@ let run_batch_statements ?mode t sources env =
 let reset t =
   check_owner t "reset";
   Hashtbl.reset t.cache;
-  Access.write "engine.cache" 0;
+  Access.write "engine.cache" t.eid;
   Exec.Arena.reset t.arena;
   t.tick <- 0;
   Metrics.reset t.obs.Obs.metrics

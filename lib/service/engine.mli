@@ -26,9 +26,14 @@
 
 type t
 
-(** {1 Errors} *)
+(** {1 Errors}
 
-type error =
+    Deprecated alias: since PR 7 the one definition of the rejection
+    shape is {!Outcome.reject}, shared by [Ccc.error], this alias and
+    the serve scheduler.  Kept so existing callers (and their pattern
+    matches) migrate in place. *)
+
+type error = Outcome.reject =
   | Parse_error of string
   | Rejected of Ccc_frontend.Diagnostics.t list
       (** the statement does not fit the stylized stencil form *)
@@ -43,28 +48,50 @@ type error =
           boundary semantics *)
 
 val error_to_string : error -> string
+(** Deprecated alias of {!Outcome.reject_to_string}. *)
 
 (** {1 Engine lifecycle} *)
+
+type settings = {
+  capacity : int;  (** plan-cache entries (default 32) *)
+  jobs : int;  (** resident pool size (default 1, fully sequential) *)
+  memory_words : int option;  (** per-node memory ([None] = machine default) *)
+  queue_depth : int;
+      (** serving: per-tenant admission bound enforced by the PR-7
+          scheduler above this engine (default 64) *)
+  tenants : int;
+      (** serving: distinct tenants the scheduler admits (default 16) *)
+}
+
+val default_settings : settings
 
 val create :
   ?obs:Ccc_obs.Obs.t ->
   ?capacity:int ->
   ?jobs:int ->
   ?memory_words:int ->
+  ?settings:settings ->
   Ccc_cm2.Config.t ->
   t
 (** One machine, one arena, an empty plan cache holding up to
-    [capacity] (default 32) compiled plans with least-recently-used
-    eviction.  [jobs] (default 1) sizes the resident
-    {!Ccc_runtime.Pool} spawned once here and threaded through every
-    pooled per-node loop of every run — outputs and statistics are
-    bit-identical for every jobs value.  [obs] supplies the
+    [settings.capacity] compiled plans with least-recently-used
+    eviction.  [settings.jobs] sizes the resident {!Ccc_runtime.Pool}
+    spawned once here and threaded through every pooled per-node loop
+    of every run — outputs and statistics are bit-identical for every
+    jobs value.  Configuration arrives as the labeled [settings]
+    record ({!default_settings} with [{ default_settings with ... }]
+    overrides); the positional [?capacity]/[?jobs]/[?memory_words]
+    optionals are deprecated spellings kept for existing callers and
+    are ignored when [settings] is passed.  [obs] supplies the
     observability context the engine threads through every compile and
     run; by default the tracer is disabled and the engine keeps a
     private metrics registry.  Cache hits, misses and evictions are
     also reported on the ["ccc.engine"] {!Logs} source (debug/info),
     and every rejection is a structured warning carrying the stencil
     fingerprint. *)
+
+val settings_of : t -> settings
+(** The resolved configuration record this engine was created with. *)
 
 val config : t -> Ccc_cm2.Config.t
 val machine : t -> Ccc_cm2.Machine.t
@@ -123,6 +150,14 @@ val compile : t -> Ccc_stencil.Pattern.t -> (Ccc_compiler.Compile.t, error) resu
 val compile_statement : t -> string -> (Ccc_compiler.Compile.t, error) result
 (** Parse and recognize one bare Fortran assignment, then {!compile}. *)
 
+val recognize_statement :
+  string -> (Ccc_stencil.Pattern.t, error) result
+(** The front half of {!compile_statement}: parse and recognize one
+    bare assignment without touching any engine (pure, callable from
+    any domain).  The serve scheduler resolves [Request.Text] stencils
+    through this before routing, so a malformed request is refused at
+    admission rather than on a worker. *)
+
 (** {1 Execution} *)
 
 val run :
@@ -163,7 +198,7 @@ val run_statement :
     down.  The ladder counts under [engine.guard.*] and
     [engine.kernel.verifies] in the metrics registry. *)
 
-type degraded = {
+type degraded = Outcome.degraded = {
   output : Ccc_runtime.Grid.t;
       (** the reference evaluator's result — correct by construction *)
   findings : Ccc_analysis.Finding.t list;
@@ -171,12 +206,24 @@ type degraded = {
   retries : int;
   recompiled : bool;
 }
+(** Deprecated alias of {!Outcome.degraded} (the shared definition
+    since PR 7). *)
 
 type outcome =
   | Completed of Ccc_runtime.Exec.result
       (** a guarded run came back clean (possibly after retries or a
           recompile — see the [engine.guard.*] counters) *)
   | Degraded of degraded
+      (** Deprecated shape: prefer the unified {!Outcome.t}, which
+          adds fingerprint and shed/refusal arms;
+          {!outcome_of_guarded} converts. *)
+
+val outcome_of_guarded :
+  fingerprint:string -> (outcome, error) result -> Outcome.t
+(** Fold a {!run_guarded} result into the unified {!Outcome.t}:
+    [Ok (Completed r)] to [Outcome.Completed], [Ok (Degraded d)] to
+    [Outcome.Degraded], [Error e] to [Outcome.Refused], each tagged
+    with the request's [fingerprint]. *)
 
 val run_guarded :
   ?mode:Ccc_runtime.Exec.mode ->
@@ -217,6 +264,9 @@ val run_batch_statements :
 (** {1 Counters} *)
 
 type stats = {
+  jobs : int;  (** the resident pool's size (settings echo) *)
+  queue_depth : int;  (** serving admission bound (settings echo) *)
+  tenants : int;  (** serving tenant limit (settings echo) *)
   hits : int;  (** cache hits (plans served without compilation) *)
   misses : int;  (** cache misses (including failed compilations) *)
   evictions : int;
@@ -237,4 +287,10 @@ type stats = {
 }
 
 val stats : t -> stats
+
 val pp_stats : Format.formatter -> stats -> unit
+(** Renders {!stats} in a stable field order — identity line (jobs,
+    queue depth, tenants), plan cache, work counts, arena, accumulated
+    cycles, per-call histogram — shared with the serve scheduler's
+    stats printer, which prints its own identity/admission/work lines
+    in the same discipline and embeds this table per shard. *)

@@ -75,6 +75,7 @@ standing arena, and --stats prints the engine counters.
   elapsed 0.0025 s, 9.6 Mflops (0.01 Gflops; 1.23 Gflops on 2048 nodes)
   strips 8+8+8
   amortization: comm 80 cycles (vs 208 one-shot), front end 0.002150 s (vs 0.005150 s one-shot)
+  engine: 1 jobs, queue depth 64, 16 tenants
   plan cache: 7 hits, 2 misses, 0 evictions (2/32 entries)
   compiles: 2  runs: 0  batches: 3
   arena: 2 reuses, 1 rebuilds
@@ -245,7 +246,7 @@ conformance clean matrix with the shared-state probes live and must
 come back finding-free.
 
   $ ../../bin/ccc_cli.exe race --seed 42 --jobs 2
-  domain-safety: 60294 access events from 144 clean cells (jobs 1,2)
+  domain-safety: 62216 access events from 144 clean cells (jobs 1,2) and a 4-request serve session
   race: PASS (0 findings)
 
 Every seeded concurrency mutation must be killed with a
@@ -269,3 +270,49 @@ domains and the execution phase.
   error[data-race] during gather: write-read race on exec.dst[2]: domain 1 (compute phase) vs domain 0 (gather phase) with no happens-before edge
   error[data-race] during gather: write-read race on exec.dst[3]: domain 1 (compute phase) vs domain 0 (gather phase) with no happens-before edge
   race: KILLED (2 findings)
+
+The multi-tenant service: a canned trace through the sharded
+scheduler.  Four fingerprint-identical cross5 requests (one arriving
+by catalog key) coalesce into a single engine call; a second stencil
+over the same source array joins them in one two-pattern batch
+window; an unparsable request is refused and an expired deadline is
+shed at admission, both with structured outcomes.
+
+  $ ../../bin/ccc_cli.exe serve --demo
+  alice  cross5     [shard 1 window 0 batched 2 coalesced 4] completed: compute 740 cycles, comm 0 cycles
+  bob    square9    [shard 1 window 0 batched 1 coalesced 1] completed: compute 1004 cycles, comm 80 cycles
+  alice  cross9     [shard 0 window 0 batched 1 coalesced 1] completed: compute 1320 cycles, comm 128 cycles
+  bob    diamond13  [shard 0 window 0 batched 1 coalesced 1] completed: compute 1592 cycles, comm 192 cycles
+  carol  cross5     [shard 1 window 0 batched 2 coalesced 4] completed: compute 740 cycles, comm 0 cycles
+  carol  cross5     [shard 1 window 0 batched 2 coalesced 4] completed: compute 740 cycles, comm 0 cycles
+  carol  cross5.key [shard 1 window 0 batched 2 coalesced 4] completed: compute 740 cycles, comm 0 cycles
+  alice  tilt       [shard 1 window 0 batched 2 coalesced 1] completed: compute 522 cycles, comm 0 cycles
+  dave   garbage    [at admission] parse error: line 1: trailing tokens after assignment: identifier A
+  eve    too-late   [at admission] deadline exceeded: tenant eve asked for -1 us, clock read 8 us
+  serve: 2 shards, window 16, queue depth 64, 16 tenants max
+  admission: 8 admitted, 3 coalesced, 1 shed
+  served: 8 completed, 0 degraded, 1 refused in 2 windows
+  tenant alice: 3 served
+  tenant bob: 2 served
+  tenant carol: 3 served
+  shard 0:
+    engine: 1 jobs, queue depth 64, 16 tenants
+    plan cache: 0 hits, 2 misses, 0 evictions (2/32 entries)
+    compiles: 2  runs: 2  batches: 0
+    arena: 0 reuses, 2 rebuilds
+    accumulated: comm 320 cycles, compute 2912 cycles, front end 0.003882 s
+    per call: compute min 1320, mean 1456, max 1592 cycles
+  shard 1:
+    engine: 1 jobs, queue depth 64, 16 tenants
+    plan cache: 0 hits, 3 misses, 0 evictions (3/32 entries)
+    compiles: 3  runs: 1  batches: 1
+    arena: 0 reuses, 2 rebuilds
+    accumulated: comm 160 cycles, compute 2266 cycles, front end 0.003671 s
+    per call: compute min 1004, mean 1133, max 1262 cycles
+
+Without --demo the subcommand refuses (there is no network front
+end to point it at).
+
+  $ ../../bin/ccc_cli.exe serve
+  ccc serve: pass --demo (the scheduler has no network front end)
+  [2]
