@@ -67,12 +67,14 @@ let spin_until t_us =
     Domain.cpu_relax ()
   done
 
-let percentile sorted p =
-  match Array.length sorted with
-  | 0 -> 0.0
-  | n ->
-      let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
-      sorted.(max 0 (min (n - 1) idx))
+(* Latency quantiles come from the bucketed Metrics.Histogram — the
+   same log-spaced estimator the serve scheduler reports through
+   [Serve.stats] and [ccc stats], so bench and service agree on one
+   implementation.  Empty histograms report 0 (nothing completed at
+   that level). *)
+let histo_q h p =
+  if Ccc.Metrics.Histogram.count h = 0 then 0.0
+  else Ccc.Metrics.Histogram.quantile h p
 
 type level = {
   offered_rps : int;
@@ -127,12 +129,11 @@ let run_level ~offered_rps ~n =
      <> n + List.length mix
   then failwith "traffic: outcomes do not cover the trace";
   let ok = List.filter (fun r -> Outcome.is_success r.Serve.outcome) responses in
-  let sojourn =
-    ok
-    |> List.map (fun r -> r.Serve.queued_us +. r.Serve.service_us)
-    |> Array.of_list
-  in
-  Array.sort compare sojourn;
+  let sojourn = Ccc.Metrics.Histogram.create () in
+  List.iter
+    (fun r ->
+      Ccc.Metrics.Histogram.observe sojourn (r.Serve.queued_us +. r.Serve.service_us))
+    ok;
   {
     offered_rps;
     requests = n;
@@ -141,9 +142,9 @@ let run_level ~offered_rps ~n =
     refused = st.Serve.refused;
     coalesced = st.Serve.coalesced;
     goodput_rps = float_of_int (List.length ok) /. ((finish -. start) /. 1e6);
-    p50_us = percentile sojourn 50.0;
-    p95_us = percentile sojourn 95.0;
-    p99_us = percentile sojourn 99.0;
+    p50_us = histo_q sojourn 0.50;
+    p95_us = histo_q sojourn 0.95;
+    p99_us = histo_q sojourn 0.99;
   }
 
 (* Coalescing under a duplicate-heavy backlog: every request admitted

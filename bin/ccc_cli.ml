@@ -808,8 +808,12 @@ let race_cmd =
            so the serve.* families and the cross-instance namespacing
            of the engine/pool/metrics slots are exercised for real. *)
         let serve_session () =
+          (* fully instrumented: a live tracer turns on the per-shard
+             span buffers and the window/queue-wait span paths, and
+             the flight rings are always recording — the analyzer must
+             stay finding-free with all of it live *)
           let t =
-            Ccc.Serve.create ~shards:2
+            Ccc.Serve.create ~obs:(Ccc.Obs.create ()) ~shards:2
               ~settings:{ Ccc.Engine.default_settings with jobs = max 1 jobs }
               ~paused:true config
           in
@@ -904,74 +908,103 @@ let race_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve: the multi-tenant scheduler on a canned, deterministic trace *)
 
+(* The canned demo session, shared by serve --demo, stats and top:
+   every request is submitted while the scheduler is paused, so each
+   shard's one dispatch window is a pure function of the trace; the
+   injected clock counts calls (no wall time reaches any output).
+   With [~tracing:true] the coordinator and every shard record spans
+   on the same counting clock, so the merged lanes carry coherent
+   timestamps. *)
+let serve_demo_session ~tracing config =
+  let tick = Atomic.make 0 in
+  (* Only coordinator reads advance the count: the two shard workers
+     race for clock reads, so letting them tick would make every
+     queued_us (and so the latency quantiles the cram suite pins)
+     depend on the domain interleaving.  Workers instead observe the
+     count frozen where admission left it — all requests are submitted
+     while the scheduler is paused, so every worker-side read lands
+     after the last coordinator tick and the demo stays a pure
+     function of the trace. *)
+  let main = Domain.self () in
+  let clock () =
+    if Domain.self () = main then float_of_int (Atomic.fetch_and_add tick 1)
+    else float_of_int (Atomic.get tick)
+  in
+  let obs =
+    Ccc.Obs.v
+      ~trace:(if tracing then Ccc.Trace.create ~clock () else Ccc.Trace.disabled)
+      ~metrics:(Ccc.Metrics.create ())
+  in
+  let t = Ccc.Serve.create ~obs ~shards:2 ~clock ~paused:true config in
+  let gallery = Ccc.Pattern.gallery () in
+  let pat name = List.assoc name gallery in
+  let env_of p = synthetic_env ~rows:32 ~cols:32 (pattern_env_names p) in
+  let cross = pat "cross5" in
+  let cross_env = env_of cross in
+  (* a second, distinct stencil over the same source array and env:
+     lands in the same window group and batches when its fingerprint
+     routes to the same shard *)
+  let tilt =
+    Ccc.Pattern.create
+      [
+        Ccc.Tap.make (Ccc.Offset.make ~drow:0 ~dcol:0) (Ccc.Coeff.Array "C1");
+        Ccc.Tap.make (Ccc.Offset.make ~drow:(-1) ~dcol:1)
+          (Ccc.Coeff.Array "C2");
+      ]
+  in
+  let requests =
+    [
+      ("alice", "cross5", Ccc.Request.v ~tenant:"alice" ~env:cross_env
+                            (Ccc.Request.Pattern cross));
+      ("bob", "square9",
+       (let p = pat "square9" in
+        Ccc.Request.v ~tenant:"bob" ~env:(env_of p) (Ccc.Request.Pattern p)));
+      ("alice", "cross9",
+       (let p = pat "cross9" in
+        Ccc.Request.v ~tenant:"alice" ~env:(env_of p) (Ccc.Request.Pattern p)));
+      ("bob", "diamond13",
+       (let p = pat "diamond13" in
+        Ccc.Request.v ~tenant:"bob" ~env:(env_of p) (Ccc.Request.Pattern p)));
+      ("carol", "cross5", Ccc.Request.v ~tenant:"carol" ~env:cross_env
+                            (Ccc.Request.Pattern cross));
+      ("carol", "cross5", Ccc.Request.v ~tenant:"carol" ~env:cross_env
+                            (Ccc.Request.Pattern cross));
+      ("carol", "cross5.key",
+       Ccc.Request.v ~tenant:"carol" ~env:cross_env
+         (Ccc.Request.Key (Ccc.Serve.key_of t cross)));
+      ("alice", "tilt", Ccc.Request.v ~tenant:"alice" ~env:cross_env
+                          (Ccc.Request.Pattern tilt));
+      ("dave", "garbage",
+       Ccc.Request.v ~tenant:"dave" ~env:[]
+         (Ccc.Request.Text "R = NOT A STENCIL ("));
+      ("eve", "too-late",
+       Ccc.Request.v ~deadline_us:(-1.0) ~tenant:"eve" ~env:cross_env
+         (Ccc.Request.Pattern cross));
+    ]
+  in
+  let tickets =
+    List.map (fun (_, _, r) -> Ccc.Serve.submit t r) requests
+  in
+  Ccc.Serve.resume t;
+  let rows =
+    List.map2
+      (fun (tenant, label, _) tk -> (tenant, label, Ccc.Serve.wait t tk))
+      requests tickets
+  in
+  Ccc.Serve.shutdown t;
+  (t, obs, rows)
+
 let serve_cmd =
-  let run nodes tuned demo =
+  let run nodes tuned demo trace =
     if not demo then begin
       prerr_endline
         "ccc serve: pass --demo (the scheduler has no network front end)";
       exit 2
     end;
     let config = or_die (config_of ~nodes ~tuned) in
-    (* Determinism: every request is submitted while the scheduler is
-       paused, so each shard's one dispatch window is a pure function
-       of the trace; the injected clock counts calls (no wall time
-       reaches the output), and nothing below prints latencies. *)
-    let tick = Atomic.make 0 in
-    let clock () = float_of_int (Atomic.fetch_and_add tick 1) in
-    let t = Ccc.Serve.create ~shards:2 ~clock ~paused:true config in
-    let gallery = Ccc.Pattern.gallery () in
-    let pat name = List.assoc name gallery in
-    let env_of p = synthetic_env ~rows:32 ~cols:32 (pattern_env_names p) in
-    let cross = pat "cross5" in
-    let cross_env = env_of cross in
-    (* a second, distinct stencil over the same source array and env:
-       lands in the same window group and batches when its fingerprint
-       routes to the same shard *)
-    let tilt =
-      Ccc.Pattern.create
-        [
-          Ccc.Tap.make (Ccc.Offset.make ~drow:0 ~dcol:0) (Ccc.Coeff.Array "C1");
-          Ccc.Tap.make (Ccc.Offset.make ~drow:(-1) ~dcol:1)
-            (Ccc.Coeff.Array "C2");
-        ]
-    in
-    let requests =
-      [
-        ("alice", "cross5", Ccc.Request.v ~tenant:"alice" ~env:cross_env
-                              (Ccc.Request.Pattern cross));
-        ("bob", "square9",
-         (let p = pat "square9" in
-          Ccc.Request.v ~tenant:"bob" ~env:(env_of p) (Ccc.Request.Pattern p)));
-        ("alice", "cross9",
-         (let p = pat "cross9" in
-          Ccc.Request.v ~tenant:"alice" ~env:(env_of p) (Ccc.Request.Pattern p)));
-        ("bob", "diamond13",
-         (let p = pat "diamond13" in
-          Ccc.Request.v ~tenant:"bob" ~env:(env_of p) (Ccc.Request.Pattern p)));
-        ("carol", "cross5", Ccc.Request.v ~tenant:"carol" ~env:cross_env
-                              (Ccc.Request.Pattern cross));
-        ("carol", "cross5", Ccc.Request.v ~tenant:"carol" ~env:cross_env
-                              (Ccc.Request.Pattern cross));
-        ("carol", "cross5.key",
-         Ccc.Request.v ~tenant:"carol" ~env:cross_env
-           (Ccc.Request.Key (Ccc.Serve.key_of t cross)));
-        ("alice", "tilt", Ccc.Request.v ~tenant:"alice" ~env:cross_env
-                            (Ccc.Request.Pattern tilt));
-        ("dave", "garbage",
-         Ccc.Request.v ~tenant:"dave" ~env:[]
-           (Ccc.Request.Text "R = NOT A STENCIL ("));
-        ("eve", "too-late",
-         Ccc.Request.v ~deadline_us:(-1.0) ~tenant:"eve" ~env:cross_env
-           (Ccc.Request.Pattern cross));
-      ]
-    in
-    let tickets =
-      List.map (fun (_, _, r) -> Ccc.Serve.submit t r) requests
-    in
-    Ccc.Serve.resume t;
-    List.iter2
-      (fun (tenant, label, _) tk ->
-        let r = Ccc.Serve.wait t tk in
+    let t, _obs, rows = serve_demo_session ~tracing:(trace <> None) config in
+    List.iter
+      (fun (tenant, label, (r : Ccc.Serve.response)) ->
         if r.Ccc.Serve.window >= 0 then
           Printf.printf "%-6s %-10s [shard %d window %d batched %d coalesced %d] %s\n"
             tenant label r.Ccc.Serve.shard r.Ccc.Serve.window
@@ -980,9 +1013,20 @@ let serve_cmd =
         else
           Printf.printf "%-6s %-10s [at admission] %s\n" tenant label
             (Ccc.Outcome.to_string r.Ccc.Serve.outcome))
-      requests tickets;
-    Ccc.Serve.shutdown t;
-    Format.printf "%a@." Ccc.Serve.pp_stats (Ccc.Serve.stats t)
+      rows;
+    Format.printf "%a@." Ccc.Serve.pp_stats (Ccc.Serve.stats t);
+    match trace with
+    | None -> ()
+    | Some path ->
+        let lanes = Ccc.Serve.trace_lanes t in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              (Ccc.Trace.to_chrome_json_lanes lanes));
+        Printf.printf "trace: %d spans in %d lanes written to %s\n"
+          (List.fold_left
+             (fun acc l -> acc + Ccc.Trace.lane_span_count l)
+             0 lanes)
+          (List.length lanes) path
   in
   let demo_flag =
     Arg.(value & flag
@@ -991,6 +1035,16 @@ let serve_cmd =
                    duplicate and batchable stencils, a catalog-key \
                    request, a refusal and a missed deadline.")
   in
+  let serve_trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the session's merged cross-domain trace as Chrome \
+             trace_event JSON to $(docv): one named lane for the \
+             scheduler and one per shard, queue-wait spans separate \
+             from dispatch windows and engine phases (open in Perfetto).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -998,7 +1052,98 @@ let serve_cmd =
           scheduler sharding requests across resident engines, coalescing \
           fingerprint-identical requests, fair-queueing tenants and \
           shedding load with structured outcomes")
+    Term.(const run $ nodes_arg $ tuned_flag $ demo_flag $ serve_trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats / top: the serve-plane metrics surface over the demo session *)
+
+let stats_cmd =
+  let run nodes tuned demo =
+    if not demo then begin
+      prerr_endline
+        "ccc stats: pass --demo (there is no live scheduler to scrape)";
+      exit 2
+    end;
+    let config = or_die (config_of ~nodes ~tuned) in
+    let t, _obs, _rows = serve_demo_session ~tracing:false config in
+    print_string (Ccc.Serve.prometheus t)
+  in
+  let demo_flag =
+    Arg.(value & flag
+         & info [ "demo" ]
+             ~doc:"Scrape the canned demo session (the only scheduler \
+                   this process can reach).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Prometheus-style text exposition of a serve session: scheduler \
+          counters, per-tenant families with tenant labels, latency \
+          histograms with log-spaced buckets, and per-shard engine \
+          registries labeled shard=\"N\"")
     Term.(const run $ nodes_arg $ tuned_flag $ demo_flag)
+
+let top_cmd =
+  let run nodes tuned once =
+    if not once then begin
+      prerr_endline
+        "ccc top: pass --once (there is no live scheduler to watch)";
+      exit 2
+    end;
+    let config = or_die (config_of ~nodes ~tuned) in
+    let t, obs, _rows = serve_demo_session ~tracing:false config in
+    let s = Ccc.Serve.stats t in
+    (* per-tenant families live in the scheduler's registry under
+       serve.tenant.<name>.<field>; handles are found by name *)
+    let mtr = obs.Ccc.Obs.metrics in
+    let tenant_counter name field =
+      Ccc.Metrics.Counter.value
+        (Ccc.Metrics.counter mtr ("serve.tenant." ^ name ^ "." ^ field))
+    in
+    let tenant_gauge name field =
+      Ccc.Metrics.Gauge.value
+        (Ccc.Metrics.gauge mtr ("serve.tenant." ^ name ^ "." ^ field))
+    in
+    Printf.printf "serve top — %d shards, window %d, queue depth %d\n"
+      s.Ccc.Serve.shards_ s.Ccc.Serve.max_batch s.Ccc.Serve.queue_depth;
+    Printf.printf
+      "outcomes   %d completed  %d degraded  %d refused  %d shed  (%d windows)\n"
+      s.Ccc.Serve.completed s.Ccc.Serve.degraded s.Ccc.Serve.refused
+      s.Ccc.Serve.shed s.Ccc.Serve.windows;
+    let q label = function
+      | None -> ()
+      | Some (p50, p95, p99) ->
+          Printf.printf "latency    %s p50 %.0f  p95 %.0f  p99 %.0f us\n"
+            label p50 p95 p99
+    in
+    q "queued " s.Ccc.Serve.queued_q;
+    q "service" s.Ccc.Serve.service_q;
+    Printf.printf "%-8s %9s %8s %6s %6s %8s %7s\n" "TENANT" "ADMITTED"
+      "SERVED" "COAL" "SHED" "DLMISS" "DEPTH";
+    List.iter
+      (fun (name, served) ->
+        Printf.printf "%-8s %9d %8d %6d %6d %8d %7.0f\n" name
+          (tenant_counter name "admitted")
+          served
+          (tenant_counter name "coalesced")
+          (tenant_counter name "shed")
+          (tenant_counter name "deadline_missed")
+          (tenant_gauge name "queue_depth"))
+      s.Ccc.Serve.tenants
+  in
+  let once_flag =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Render one snapshot of the canned demo session and \
+                   exit (the only mode without a live scheduler).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "A per-tenant SLO snapshot of a serve session: outcome counts, \
+          latency quantiles, and one row per tenant (admitted, served, \
+          coalesced, shed, deadline-missed, live queue depth)")
+    Term.(const run $ nodes_arg $ tuned_flag $ once_flag)
 
 (* ------------------------------------------------------------------ *)
 (* gallery *)
@@ -1029,4 +1174,4 @@ let () =
        (Cmd.group info
           [ compile_cmd; run_cmd; estimate_cmd; trace_cmd; profile_cmd;
             program_cmd; lint_cmd; batch_cmd; conform_cmd; race_cmd;
-            serve_cmd; gallery_cmd ]))
+            serve_cmd; stats_cmd; top_cmd; gallery_cmd ]))

@@ -45,6 +45,8 @@ module Serve = Ccc_serve.Serve
 module Obs = Ccc_obs.Obs
 module Trace = Ccc_obs.Trace
 module Metrics = Ccc_obs.Metrics
+module Flight = Ccc_obs.Flight
+module Expo = Ccc_obs.Expo
 module Profiler = Ccc_obs.Profiler
 
 let src = Logs.Src.create "ccc" ~doc:"Ccc entry-point rejections"

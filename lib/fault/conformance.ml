@@ -10,6 +10,7 @@ module Pattern = Ccc_stencil.Pattern
 module Finding = Ccc_analysis.Finding
 module Obs = Ccc_obs.Obs
 module Metrics = Ccc_obs.Metrics
+module Flight = Ccc_obs.Flight
 
 type cell = {
   c_pattern : string;
@@ -26,6 +27,7 @@ type kill = {
   k_detected : bool;
   k_recovered : bool;
   k_detail : string;
+  k_dump : string;
 }
 
 type matrix = {
@@ -192,6 +194,21 @@ let run ?(obs = Obs.disabled) ?(seed = 42) ?(jobs_list = [ 1; 2; 7 ])
                 lxor Hashtbl.hash (pname, fi, jobs)
               in
               let inj = Inject.arm ~seed:cell_seed ~nodes fault in
+              (* A fresh flight ring per injected cell: the armed
+                 fault, what it did, what caught it and whether the
+                 re-run recovered — the cell's incident report, with a
+                 counting clock so dumps are deterministic. *)
+              let tick = ref 0 in
+              let ring =
+                Flight.create ~capacity:32
+                  ~clock:(fun () ->
+                    incr tick;
+                    float_of_int !tick)
+                  ()
+              in
+              Flight.record ring Flight.Fault
+                (Printf.sprintf "armed %s (pattern %s, jobs %d)"
+                   (Inject.name fault) pname jobs);
               let kernel_used = Inject.poison_kernel inj kernel_clean in
               let watch = Guard.watch pattern in
               let hooks =
@@ -264,6 +281,26 @@ let run ?(obs = Obs.disabled) ?(seed = 42) ?(jobs_list = [ 1; 2; 7 ])
                 in
                 injected ^ "; " ^ caught
               in
+              (match Inject.fired inj with
+              | Some s ->
+                  Flight.record ring Flight.Fault
+                    (Printf.sprintf "%s fired: %s" (Inject.name fault) s)
+              | None ->
+                  Flight.record ring Flight.Info
+                    (Printf.sprintf "%s never fired" (Inject.name fault)));
+              (match (!crash, !findings) with
+              | Some c, _ ->
+                  Flight.record ring Flight.Guard_trip ("crash: " ^ c)
+              | None, f :: _ ->
+                  Flight.record ring Flight.Guard_trip
+                    (Finding.to_string f)
+              | None, [] ->
+                  Flight.record ring Flight.Info "no guard tripped");
+              Flight.record ring
+                (if recovered then Flight.Info else Flight.Degraded)
+                (if recovered then "recovered: disarmed re-run bit-identical"
+                 else if detected then "not recovered"
+                 else "UNDETECTED");
               kills :=
                 {
                   k_pattern = pname;
@@ -272,6 +309,7 @@ let run ?(obs = Obs.disabled) ?(seed = 42) ?(jobs_list = [ 1; 2; 7 ])
                   k_detected = detected;
                   k_recovered = recovered;
                   k_detail = detail;
+                  k_dump = Flight.dump ring;
                 }
                 :: !kills)
             jobs_list)

@@ -36,6 +36,11 @@ type kill = {
   k_recovered : bool;
   k_detail : string;
       (** what the injector corrupted and which guard caught it *)
+  k_dump : string;
+      (** the cell's {!Ccc_obs.Flight} recorder dump — armed fault,
+          firing record, guard trip and recovery verdict, naming the
+          fault class ({!Inject.name}); deterministic (counting
+          clock) *)
 }
 
 type matrix = {

@@ -1,0 +1,148 @@
+(* Metric name mangling: Prometheus names are [a-zA-Z0-9_:]; our
+   registry names are dotted ("serve.queued_us",
+   "engine.cycles.comm").  Per-tenant counters follow the
+   "serve.tenant.<tenant>.<field>" convention, which the exposition
+   folds into one family per field with a tenant label — the shape a
+   scraper can aggregate across tenants. *)
+
+let clean_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+  | _ -> '_'
+
+let mangle namespace name =
+  let b = Buffer.create (String.length name + String.length namespace + 1) in
+  Buffer.add_string b namespace;
+  Buffer.add_char b '_';
+  String.iter (fun c -> Buffer.add_char b (clean_char c)) name;
+  Buffer.contents b
+
+(* "serve.tenant.alice.served" -> ("serve.tenant.served",
+   Some ("tenant", "alice")); anything else passes through. *)
+let split_tenant name =
+  let prefix = "serve.tenant." in
+  let plen = String.length prefix in
+  if String.length name > plen && String.sub name 0 plen = prefix then
+    match String.index_from_opt name plen '.' with
+    | Some dot ->
+        let tenant = String.sub name plen (dot - plen) in
+        let field =
+          String.sub name (dot + 1) (String.length name - dot - 1)
+        in
+        ("serve.tenant." ^ field, Some ("tenant", tenant))
+    | None -> (name, None)
+  else (name, None)
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      let parts =
+        List.map
+          (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+          labels
+      in
+      "{" ^ String.concat "," parts ^ "}"
+
+let num v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+type sample = {
+  family : string;  (* mangled family name *)
+  kind : string;  (* "counter" | "gauge" | "histogram" *)
+  labels : (string * string) list;
+  value : Metrics.snapshot;
+}
+
+let sample_of namespace extra_labels (name, snap) =
+  let logical, tenant = split_tenant name in
+  let labels =
+    extra_labels @ (match tenant with Some kv -> [ kv ] | None -> [])
+  in
+  let kind =
+    match snap with
+    | Metrics.Counter_v _ -> "counter"
+    | Metrics.Gauge_v _ -> "gauge"
+    | Metrics.Histogram_v _ -> "histogram"
+  in
+  { family = mangle namespace logical; kind; labels; value = snap }
+
+let add_sample buf s =
+  let lbl extra = render_labels (s.labels @ extra) in
+  match s.value with
+  | Metrics.Counter_v n ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %d\n" s.family (lbl []) n)
+  | Metrics.Gauge_v v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" s.family (lbl []) (num v))
+  | Metrics.Histogram_v h ->
+      (* Cumulative bucket counts at each occupied bound, then the
+         mandatory +Inf bound, _sum and _count. *)
+      let cum = ref 0 in
+      List.iter
+        (fun (upper, count) ->
+          if upper < Float.infinity then begin
+            cum := !cum + count;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" s.family
+                 (lbl [ ("le", num upper) ])
+                 !cum)
+          end)
+        h.hbuckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" s.family
+           (lbl [ ("le", "+Inf") ])
+           h.hcount);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" s.family (lbl []) (num h.hsum));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" s.family (lbl []) h.hcount)
+
+let render ?(namespace = "ccc") sources =
+  let samples =
+    List.concat_map
+      (fun (labels, registry) ->
+        List.map (sample_of namespace labels) (Metrics.dump registry))
+      sources
+  in
+  (* Group by family so the # TYPE header appears once, with every
+     family's samples contiguous; deterministic: families sorted by
+     name, samples within a family by label set. *)
+  let samples =
+    List.stable_sort
+      (fun a b ->
+        match String.compare a.family b.family with
+        | 0 -> compare a.labels b.labels
+        | c -> c)
+      samples
+  in
+  let buf = Buffer.create 1024 in
+  let last_family = ref "" in
+  List.iter
+    (fun s ->
+      if s.family <> !last_family then begin
+        last_family := s.family;
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" s.family s.kind)
+      end;
+      add_sample buf s)
+    samples;
+  Buffer.contents buf

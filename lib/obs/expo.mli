@@ -1,0 +1,23 @@
+(** Prometheus-style text exposition over metrics registries.
+
+    The serve plane's scrape surface: a deterministic plain-text
+    rendering of one or more {!Metrics} registries in the Prometheus
+    exposition format — [# TYPE] headers, [family{label="v"} value]
+    samples, histograms as cumulative [_bucket]/[_sum]/[_count]
+    series over the fixed log-spaced bucket layout.  [ccc stats]
+    prints exactly this.
+
+    Conventions: registry names are mangled to
+    [<namespace>_<name-with-dots-as-underscores>]; names following the
+    per-tenant pattern [serve.tenant.<tenant>.<field>] fold into one
+    family per field ([<namespace>_serve_tenant_<field>]) with a
+    [tenant] label, so a scraper can aggregate across tenants.  Output
+    is fully deterministic: families sorted by name, samples within a
+    family by label set. *)
+
+val render :
+  ?namespace:string -> ((string * string) list * Metrics.t) list -> string
+(** [render sources] renders every registry in [sources]; each entry's
+    label list is attached to all of that registry's samples (e.g.
+    [("shard", "0")] on a shard engine's registry).  [namespace]
+    defaults to ["ccc"]. *)

@@ -1,0 +1,112 @@
+module Access = Ccc_analysis.Access
+
+type kind =
+  | Admission
+  | Shed
+  | Window_open
+  | Window_close
+  | Guard_trip
+  | Cache_evict
+  | Fault
+  | Degraded
+  | Refused
+  | Info
+
+let kind_name = function
+  | Admission -> "admission"
+  | Shed -> "shed"
+  | Window_open -> "window-open"
+  | Window_close -> "window-close"
+  | Guard_trip -> "guard-trip"
+  | Cache_evict -> "cache-evict"
+  | Fault -> "fault"
+  | Degraded -> "degraded"
+  | Refused -> "refused"
+  | Info -> "info"
+
+type event = { seq : int; ts : float; kind : kind; detail : string }
+
+(* One ring per shard; the coordinator records admission/shed events
+   while the shard's worker domain records window/guard events, so the
+   ring carries its own mutex.  Ids come off a global atomic counter
+   so every ring gets a distinct [flight.ring] slot in the access log
+   (the same per-index discipline as [metrics.metric]). *)
+let next_id = Atomic.make 0
+
+type t = {
+  capacity : int;
+  slots : event option array;
+  mutable next_seq : int;  (* total events ever recorded *)
+  clock : unit -> float;
+  id : int;
+  lock : Mutex.t;
+  lname : string;
+}
+
+let () = Access.register "flight.ring" Locked_per_index
+
+let default_clock () = Sys.time () *. 1e6
+
+let create ?(capacity = 64) ?(clock = default_clock) () =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  let id = Atomic.fetch_and_add next_id 1 in
+  {
+    capacity;
+    slots = Array.make capacity None;
+    next_seq = 0;
+    clock;
+    id;
+    lock = Mutex.create ();
+    lname = Printf.sprintf "flight.ring#%d" id;
+  }
+
+let capacity t = t.capacity
+
+let record t kind detail =
+  let ts = t.clock () in
+  Mutex.lock t.lock;
+  Access.acquire t.lname;
+  let seq = t.next_seq in
+  t.slots.(seq mod t.capacity) <- Some { seq; ts; kind; detail };
+  t.next_seq <- seq + 1;
+  Access.write "flight.ring" t.id;
+  Access.release t.lname;
+  Mutex.unlock t.lock
+
+let read t f =
+  Mutex.lock t.lock;
+  Access.acquire t.lname;
+  let v = f t in
+  Access.read "flight.ring" t.id;
+  Access.release t.lname;
+  Mutex.unlock t.lock;
+  v
+
+let recorded t = read t (fun t -> t.next_seq)
+
+let events t =
+  read t (fun t ->
+      (* Oldest surviving event first: walk the ring from the slot the
+         next write would land in. *)
+      let acc = ref [] in
+      for i = t.capacity - 1 downto 0 do
+        match t.slots.((t.next_seq + i) mod t.capacity) with
+        | Some e -> acc := e :: !acc
+        | None -> ()
+      done;
+      List.sort (fun a b -> compare a.seq b.seq) !acc)
+
+let pp_event ppf e =
+  Format.fprintf ppf "#%d @%.0f %-12s %s" e.seq e.ts (kind_name e.kind)
+    e.detail
+
+let pp ppf t =
+  let es = events t in
+  let total = recorded t in
+  let dropped = total - List.length es in
+  Format.fprintf ppf "flight ring %d: %d event%s recorded%s@." t.id total
+    (if total = 1 then "" else "s")
+    (if dropped > 0 then Printf.sprintf " (%d dropped)" dropped else "");
+  List.iter (fun e -> Format.fprintf ppf "  %a@." pp_event e) es
+
+let dump t = Format.asprintf "%a" pp t

@@ -1,0 +1,69 @@
+(** Flight recorder: a fixed-size ring buffer of structured events.
+
+    The serve plane's incident memory.  Where the tracer (section 7's
+    accounting, per request) answers "where did the cycles go", the
+    flight recorder answers "what happened just before this went
+    wrong": each serve shard keeps a small ring of admission, shed,
+    window open/close, guard-trip, and cache-eviction events that
+    costs two stores per record when nothing is wrong, and is dumped
+    automatically whenever an outcome degrades or a fault-injection
+    campaign fires — turning every conformance kill-matrix cell into a
+    self-explaining incident report.
+
+    Domain safety: one ring is written by two domains (the coordinator
+    records admissions and sheds, the shard's worker records window
+    and guard events), so every ring carries its own mutex.  The lock
+    is instrumented for the domain-safety analyzer under the
+    [flight.ring] family (per-index locks, like [metrics.metric]). *)
+
+type kind =
+  | Admission  (** request admitted to a tenant queue *)
+  | Shed  (** request shed (queue full / overload / deadline) *)
+  | Window_open  (** dispatch window opened on a shard *)
+  | Window_close  (** dispatch window retired *)
+  | Guard_trip  (** a runtime self-check fired during execution *)
+  | Cache_evict  (** plan-cache LRU eviction *)
+  | Fault  (** an injected fault armed or fired *)
+  | Degraded  (** outcome degraded after the recovery ladder *)
+  | Refused  (** request refused at admission *)
+  | Info  (** anything else worth keeping *)
+
+val kind_name : kind -> string
+(** Stable kebab-case name, for dumps and tests. *)
+
+type event = { seq : int; ts : float; kind : kind; detail : string }
+(** [seq] is the record's global sequence number in this ring (total
+    order, survives wrap-around); [ts] is the ring clock's
+    microseconds at record time. *)
+
+type t
+(** A ring.  Holds the last [capacity] events; older events are
+    overwritten, but {!recorded} keeps the true total. *)
+
+val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
+(** A fresh ring.  [capacity] defaults to 64; [clock] returns
+    microseconds and defaults to [Sys.time () *. 1e6] (inject the
+    serve clock for deterministic dumps).  Raises [Invalid_argument]
+    on non-positive capacity. *)
+
+val capacity : t -> int
+
+val record : t -> kind -> string -> unit
+(** Append one event, overwriting the oldest when full.  Callable from
+    any domain. *)
+
+val recorded : t -> int
+(** Total events ever recorded (≥ the number still held). *)
+
+val events : t -> event list
+(** The surviving events, oldest first. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit
+(** A dump header (ring id, totals, drop count) followed by one line
+    per surviving event. *)
+
+val dump : t -> string
+(** {!pp} to a string — the form logged when an outcome is
+    [Degraded]/[Refused] or a fault fires. *)

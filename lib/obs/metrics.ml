@@ -75,11 +75,33 @@ module Gauge = struct
 end
 
 module Histogram = struct
+  (* Fixed log-spaced buckets: bucket [k] counts samples in
+     (2^(k-1), 2^k] (bucket 0 is (-inf, 1]); the last bucket is the
+     overflow.  Log spacing gives constant relative error across the
+     microsecond-to-second range a serve latency can span, and a fixed
+     layout keeps every histogram's buckets comparable in the
+     Prometheus-style exposition. *)
+  let nbuckets = 48
+
+  let bucket_upper k =
+    if k >= nbuckets - 1 then Float.infinity
+    else Float.of_int (1 lsl k)
+
+  let bucket_of v =
+    if Float.is_nan v || v <= 1.0 then 0
+    else begin
+      let rec go k =
+        if k >= nbuckets - 1 || v <= bucket_upper k then k else go (k + 1)
+      in
+      go 1
+    end
+
   type t = {
     mutable count : int;
     mutable sum : float;
     mutable lo : float;
     mutable hi : float;
+    counts : int array;  (* per-bucket sample counts *)
     id : int;
     lock : Mutex.t;
     lname : string;
@@ -92,14 +114,15 @@ module Histogram = struct
       sum = 0.0;
       lo = 0.0;
       hi = 0.0;
+      counts = Array.make nbuckets 0;
       id;
       lock = Mutex.create ();
       lname = lock_name id;
     }
 
-  (* The four fields move together (count/sum/lo/hi must describe the
-     same sample set), which is why the handle carries a mutex rather
-     than four atomics. *)
+  (* The fields move together (count/sum/lo/hi/buckets must describe
+     the same sample set), which is why the handle carries a mutex
+     rather than a fistful of atomics. *)
   let observe h v =
     Mutex.lock h.lock;
     Access.acquire h.lname;
@@ -113,6 +136,8 @@ module Histogram = struct
     end;
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
+    let k = bucket_of v in
+    h.counts.(k) <- h.counts.(k) + 1;
     Access.write "metrics.metric" h.id;
     Access.release h.lname;
     Mutex.unlock h.lock
@@ -135,6 +160,53 @@ module Histogram = struct
     read h (fun h ->
         if h.count = 0 then Float.nan else h.sum /. float_of_int h.count)
 
+  let buckets h =
+    read h (fun h ->
+        let acc = ref [] in
+        for k = nbuckets - 1 downto 0 do
+          if h.counts.(k) > 0 then
+            acc := (bucket_upper k, h.counts.(k)) :: !acc
+        done;
+        !acc)
+
+  (* Quantile estimate from the bucket counts: find the bucket the
+     rank lands in, interpolate linearly inside it, and clamp to the
+     observed [lo, hi] so a one-bucket histogram reports exact
+     extremes.  Deterministic: a pure function of the sample set. *)
+  let quantile h q =
+    read h (fun h ->
+        if h.count = 0 then Float.nan
+        else begin
+          let q = Float.max 0.0 (Float.min 1.0 q) in
+          let rank =
+            Stdlib.max 1
+              (int_of_float (Float.ceil (q *. float_of_int h.count)))
+          in
+          let k = ref 0 and cum = ref h.counts.(0) in
+          while !cum < rank do
+            incr k;
+            cum := !cum + h.counts.(!k)
+          done;
+          let upper = bucket_upper !k in
+          let lower = if !k = 0 then 0.0 else bucket_upper (!k - 1) in
+          let est =
+            if Float.abs upper = Float.infinity then h.hi
+            else begin
+              let inside = h.counts.(!k) in
+              let before = !cum - inside in
+              let frac =
+                float_of_int (rank - before) /. float_of_int inside
+              in
+              lower +. ((upper -. lower) *. frac)
+            end
+          in
+          Float.max h.lo (Float.min h.hi est)
+        end)
+
+  let p50 h = quantile h 0.50
+  let p95 h = quantile h 0.95
+  let p99 h = quantile h 0.99
+
   let reset h =
     Mutex.lock h.lock;
     Access.acquire h.lname;
@@ -142,9 +214,14 @@ module Histogram = struct
     h.sum <- 0.0;
     h.lo <- 0.0;
     h.hi <- 0.0;
+    Array.fill h.counts 0 nbuckets 0;
     Access.write "metrics.metric" h.id;
     Access.release h.lname;
     Mutex.unlock h.lock
+  (* A standalone (registry-less) histogram for callers that want the
+     bucketed quantile machinery without a named metric — the bench
+     traffic generator's sojourn accounting. *)
+  let create () = make ()
 end
 
 type metric =
@@ -253,6 +330,40 @@ let pp ppf t =
               (Histogram.count h) pp_num (Histogram.sum h) pp_num
               (Histogram.min h) pp_num (Histogram.mean h) pp_num
               (Histogram.max h))
+    (sorted t)
+
+(* A neutral, point-in-time enumeration of the registry, for exporters
+   (the Prometheus-style text exposition) that need more than the
+   pretty-printer shows — notably the histogram bucket layout. *)
+type snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      hcount : int;
+      hsum : float;
+      hmin : float;
+      hmax : float;
+      hbuckets : (float * int) list;
+      hquantile : float -> float;
+    }
+
+let dump t =
+  List.map
+    (fun (name, m) ->
+      match m with
+      | C c -> (name, Counter_v (Counter.value c))
+      | G g -> (name, Gauge_v (Gauge.value g))
+      | H h ->
+          ( name,
+            Histogram_v
+              {
+                hcount = Histogram.count h;
+                hsum = Histogram.sum h;
+                hmin = Histogram.min h;
+                hmax = Histogram.max h;
+                hbuckets = Histogram.buckets h;
+                hquantile = Histogram.quantile h;
+              } ))
     (sorted t)
 
 let json_num v =

@@ -43,8 +43,19 @@ module Gauge : sig
   val value : t -> float
 end
 
+(** Histograms keep, besides count/sum/min/max, a fixed layout of
+    log-spaced buckets — bucket [k] counts samples in
+    [(2{^k-1}, 2{^k}]], bucket 0 everything at or below 1, the last
+    bucket the overflow — so latency quantiles (p50/p95/p99) can be
+    estimated deterministically from any snapshot and every histogram
+    exposes the same bucket boundaries to the Prometheus-style
+    exposition ({!Expo}). *)
 module Histogram : sig
   type t
+
+  val create : unit -> t
+  (** A standalone histogram outside any registry — the bucketed
+      quantile machinery without a named metric. *)
 
   val observe : t -> float -> unit
 
@@ -59,6 +70,22 @@ module Histogram : sig
 
   val mean : t -> float
   (** [nan] when empty. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) from
+      the bucket counts: linear interpolation inside the bucket the
+      rank lands in, clamped to the observed [\[min, max\]].  [nan]
+      when empty.  Deterministic — a pure function of the sample
+      set. *)
+
+  val p50 : t -> float
+  val p95 : t -> float
+  val p99 : t -> float
+
+  val buckets : t -> (float * int) list
+  (** The non-empty buckets as [(upper_bound, count)] pairs in
+      increasing bound order; the overflow bucket's bound is
+      [infinity].  Counts are per bucket (not cumulative). *)
 end
 
 val counter : t -> string -> Counter.t
@@ -67,6 +94,25 @@ val counter : t -> string -> Counter.t
 
 val gauge : t -> string -> Gauge.t
 val histogram : t -> string -> Histogram.t
+
+(** A point-in-time value of one registered metric, for exporters that
+    need more than {!pp} shows — notably the histogram's bucket layout
+    and quantile estimator ({!Expo} renders these as Prometheus
+    [_bucket] series). *)
+type snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      hcount : int;
+      hsum : float;
+      hmin : float;
+      hmax : float;
+      hbuckets : (float * int) list;
+      hquantile : float -> float;
+    }
+
+val dump : t -> (string * snapshot) list
+(** Every registered metric with its current value, sorted by name. *)
 
 val pp : Format.formatter -> t -> unit
 (** All registered metrics, one per line, sorted by name. *)

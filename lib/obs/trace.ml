@@ -144,47 +144,94 @@ let json_float f =
   else if Float.abs f = Float.infinity then "0"
   else Printf.sprintf "%.6g" f
 
+
+let add_args buf attrs =
+  Buffer.add_string buf ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      json_escape buf k;
+      Buffer.add_string buf "\":";
+      match v with
+      | Str s ->
+          Buffer.add_char buf '"';
+          json_escape buf s;
+          Buffer.add_char buf '"'
+      | Int n -> Buffer.add_string buf (string_of_int n)
+      | Float f -> Buffer.add_string buf (json_float f)
+      | Bool b -> Buffer.add_string buf (string_of_bool b))
+    attrs;
+  Buffer.add_char buf '}'
+
+let add_event buf first ~pid ~tid span =
+  if !first then first := false else Buffer.add_string buf ",\n ";
+  Buffer.add_string buf "{\"name\":\"";
+  json_escape buf span.name;
+  Buffer.add_string buf
+    (Printf.sprintf "\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":" pid tid);
+  Buffer.add_string buf (json_float span.ts);
+  Buffer.add_string buf ",\"dur\":";
+  Buffer.add_string buf (json_float span.dur);
+  (match span_attrs span with
+  | [] -> ()
+  | attrs -> add_args buf attrs);
+  Buffer.add_char buf '}'
+
+let rec walk_spans buf first ~pid ~tid span =
+  add_event buf first ~pid ~tid span;
+  List.iter (walk_spans buf first ~pid ~tid) (span_children span)
+
 let to_chrome_json t =
   let buf = Buffer.create 1024 in
   let first = ref true in
-  let sep () =
-    if !first then first := false else Buffer.add_string buf ",\n "
-  in
-  let add_event span =
-    sep ();
-    Buffer.add_string buf "{\"name\":\"";
-    json_escape buf span.name;
-    Buffer.add_string buf "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
-    Buffer.add_string buf (json_float span.ts);
-    Buffer.add_string buf ",\"dur\":";
-    Buffer.add_string buf (json_float span.dur);
-    (match span_attrs span with
-    | [] -> ()
-    | attrs ->
-        Buffer.add_string buf ",\"args\":{";
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char buf ',';
-            Buffer.add_char buf '"';
-            json_escape buf k;
-            Buffer.add_string buf "\":";
-            match v with
-            | Str s ->
-                Buffer.add_char buf '"';
-                json_escape buf s;
-                Buffer.add_char buf '"'
-            | Int n -> Buffer.add_string buf (string_of_int n)
-            | Float f -> Buffer.add_string buf (json_float f)
-            | Bool b -> Buffer.add_string buf (string_of_bool b))
-          attrs;
-        Buffer.add_char buf '}');
-    Buffer.add_char buf '}'
-  in
-  let rec walk span =
-    add_event span;
-    List.iter walk (span_children span)
-  in
   Buffer.add_string buf "[";
-  List.iter walk (roots t);
+  List.iter (walk_spans buf first ~pid:1 ~tid:1) (roots t);
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Lanes: one pid/tid pair per execution context (the serve scheduler
+   plus one lane per shard), labeled with Chrome thread_name metadata
+   so Perfetto shows each shard's queue-wait and engine phases on its
+   own track. *)
+
+type lane = { pid : int; tid : int; label : string; lane_roots : span list }
+
+let lane ?(pid = 1) ~tid ~label t =
+  { pid; tid; label; lane_roots = roots t }
+
+let lane_of_spans ?(pid = 1) ~tid ~label spans =
+  { pid; tid; label; lane_roots = spans }
+
+let lane_label l = l.label
+let lane_tid l = l.tid
+let lane_roots l = l.lane_roots
+
+let lane_span_count l =
+  let rec count s =
+    1 + List.fold_left (fun a c -> a + count c) 0 s.children
+  in
+  List.fold_left (fun a s -> a + count s) 0 l.lane_roots
+
+let to_chrome_json_lanes lanes =
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  Buffer.add_string buf "[";
+  List.iter
+    (fun l ->
+      if !first then first := false else Buffer.add_string buf ",\n ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d"
+           l.pid l.tid);
+      Buffer.add_string buf ",\"args\":{\"name\":\"";
+      json_escape buf l.label;
+      Buffer.add_string buf "\"}}")
+    lanes;
+  List.iter
+    (fun l ->
+      List.iter (walk_spans buf first ~pid:l.pid ~tid:l.tid) l.lane_roots)
+    lanes;
   Buffer.add_string buf "]\n";
   Buffer.contents buf

@@ -85,3 +85,40 @@ val to_chrome_json : t -> string
 (** The recorded spans as a Chrome [trace_event] JSON array of
     complete ("ph":"X") events, one per span, timestamps in
     microseconds, attributes under "args". *)
+
+(** {1 Lanes: merging per-shard tracers into one trace}
+
+    A serve session records spans on both sides of the domain boundary
+    — the coordinator's admission spans and each shard worker's
+    window/engine spans live in separate tracers (each tracer is
+    single-writer; the coordinator reads a shard's tracer only after
+    [Domain.join], which is the happens-before edge).  A {!lane}
+    assigns one tracer's roots a pid/tid pair and a human label; the
+    multi-lane export prepends Chrome ["thread_name"] metadata events
+    so Perfetto shows one named track per shard. *)
+
+type lane
+(** One pid/tid track of a merged trace: a label plus the root spans
+    attributed to that track. *)
+
+val lane : ?pid:int -> tid:int -> label:string -> t -> lane
+(** [lane ~tid ~label t] is a track holding [roots t].  [pid] defaults
+    to 1 (all serve lanes share one process). *)
+
+val lane_of_spans : ?pid:int -> tid:int -> label:string -> span list -> lane
+(** A track over an explicit span list, for trees assembled by hand
+    (tests, the qcheck well-formedness property). *)
+
+val lane_label : lane -> string
+val lane_tid : lane -> int
+val lane_roots : lane -> span list
+
+val lane_span_count : lane -> int
+(** Total spans in the lane, including children. *)
+
+val to_chrome_json_lanes : lane list -> string
+(** The merged trace as Chrome [trace_event] JSON: first one
+    ["thread_name"] metadata event ("ph":"M") per lane, then every
+    lane's spans as complete ("ph":"X") events carrying that lane's
+    pid/tid.  Single-lane output of {!lane}[ ~tid:1] matches
+    {!to_chrome_json} span-for-span (plus the metadata event). *)

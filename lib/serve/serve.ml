@@ -21,6 +21,8 @@ module Access = Ccc_analysis.Access
 module Obs = Ccc_obs.Obs
 module Trace = Ccc_obs.Trace
 module Metrics = Ccc_obs.Metrics
+module Flight = Ccc_obs.Flight
+module Expo = Ccc_obs.Expo
 module Engine = Ccc_service.Engine
 module Outcome = Ccc_service.Outcome
 module Fingerprint = Ccc_service.Fingerprint
@@ -33,6 +35,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type response = {
   outcome : Outcome.t;
+  trace_id : int;
   shard : int;
   window : int;
   batched : int;
@@ -54,10 +57,20 @@ type job = {
   submitted_us : float;
 }
 
+(* Each tenant carries its own counter family
+   ([serve.tenant.<name>.<field>], the shape {!Ccc_obs.Expo} folds
+   into labeled Prometheus families) plus a queue-depth gauge, all in
+   the scheduler's registry. *)
 type tenantq = {
   queues : job Queue.t array;  (* one per shard *)
   mutable queued : int;  (* across all shards; bounded by queue_depth *)
   served : Metrics.Counter.t;
+  t_admitted : Metrics.Counter.t;
+  t_coalesced : Metrics.Counter.t;
+  t_shed : Metrics.Counter.t;
+  t_deadline_missed : Metrics.Counter.t;
+  t_degraded : Metrics.Counter.t;
+  depth_g : Metrics.Gauge.t;
 }
 
 type shard_state = {
@@ -82,6 +95,16 @@ type t = {
   mutable rotation : string list;  (* fair-queueing order, head next *)
   keys : (string, Pattern.t) Hashtbl.t;  (* Fingerprint.key catalog *)
   shard_state : shard_state array;
+  tracers : Trace.t array;
+      (* one span buffer per shard, written only by that shard's
+         worker domain; the coordinator reads them after the workers
+         join (the happens-before edge), merging into lanes *)
+  flights : Flight.t array;
+      (* one flight ring per shard (internally locked: the coordinator
+         records admission/shed, the worker records window/guard) *)
+  shard_metrics : Metrics.t array;
+      (* one registry per shard engine (registries are internally
+         locked); kept separate so per-shard counters never merge *)
   mutable next_ticket : int;
   mutable stopping : bool;
   mutable drain : bool;
@@ -101,9 +124,10 @@ type t = {
 let suids = Atomic.make 0
 let default_clock () = Sys.time () *. 1e6
 
-let unserved ~shard outcome =
+let unserved ~trace_id ~shard outcome =
   {
     outcome;
+    trace_id;
     shard;
     window = -1;
     batched = 0;
@@ -135,6 +159,7 @@ let collect t s ~limit =
           match Queue.take_opt q.queues.(s) with
           | Some job ->
               q.queued <- q.queued - 1;
+              Metrics.Gauge.set q.depth_g (float_of_int q.queued);
               take := job :: !take;
               incr n;
               progressed := true
@@ -144,6 +169,27 @@ let collect t s ~limit =
   (match t.rotation with [] -> () | x :: rest -> t.rotation <- rest @ [ x ]);
   List.rev !take
 
+(* When a dispatch-time outcome is bad news, the shard's flight ring
+   already holds the story (window, guard trips, evictions); dump it
+   to the log so the incident explains itself. *)
+let autodump t (r : response) =
+  if r.shard >= 0 && r.shard < t.nshards then
+    let why =
+      match r.outcome with
+      | Outcome.Degraded _ -> Some "degraded"
+      | Outcome.Refused _ -> Some "refused"
+      | _ -> None
+    in
+    Option.iter
+      (fun why ->
+        Flight.record t.flights.(r.shard) Flight.Info
+          (Printf.sprintf "ticket %d %s: dumping" r.trace_id why);
+        Log.warn (fun m ->
+            m "ticket %d %s on shard %d; flight recorder:@\n%s" r.trace_id
+              why r.shard
+              (Flight.dump t.flights.(r.shard))))
+      why
+
 let finish t (j : job) (r : response) =
   j.ticket.state <- Done r;
   Access.write "serve.ticket" t.suid;
@@ -152,8 +198,18 @@ let finish t (j : job) (r : response) =
   | Outcome.Degraded _ -> Metrics.Counter.incr t.degraded_c
   | Outcome.Refused _ -> Metrics.Counter.incr t.refused_c
   | Outcome.Shed _ -> Metrics.Counter.incr t.shed_c);
+  autodump t r;
   match Hashtbl.find_opt t.tenants_tbl j.tenant with
-  | Some q -> Metrics.Counter.incr q.served
+  | Some q ->
+      Metrics.Counter.incr q.served;
+      (match r.outcome with
+      | Outcome.Shed { shed = Outcome.Deadline_exceeded _; _ } ->
+          Metrics.Counter.incr q.t_shed;
+          Metrics.Counter.incr q.t_deadline_missed
+      | Outcome.Shed _ -> Metrics.Counter.incr q.t_shed
+      | Outcome.Degraded _ -> Metrics.Counter.incr q.t_degraded
+      | _ -> ());
+      if r.coalesced > 1 then Metrics.Counter.incr q.t_coalesced
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -192,6 +248,7 @@ let execute t engine s w jobs =
         ( j,
           {
             outcome;
+            trace_id = j.ticket.id;
             shard = s;
             window = w;
             batched = 0;
@@ -232,6 +289,14 @@ let execute t engine s w jobs =
         let classes = List.map (fun (rep, mem) -> (rep, List.rev !mem)) !classes in
         let nclasses = List.length classes in
         let outcomes =
+          Trace.with_span t.tracers.(s)
+            ~attrs:
+              [
+                ("classes", Trace.Int nclasses);
+                ("members", Trace.Int (List.length members));
+              ]
+            "serve.execute"
+          @@ fun () ->
           match classes with
           | [ (rep, _) ] -> [ (guarded engine rep env, 1) ]
           | _ -> (
@@ -265,6 +330,7 @@ let execute t engine s w jobs =
                    ( j,
                      {
                        outcome;
+                       trace_id = j.ticket.id;
                        shard = s;
                        window = w;
                        batched;
@@ -282,8 +348,16 @@ let execute t engine s w jobs =
 (* Worker loop.                                                        *)
 
 let worker t s () =
-  let eobs = Obs.v ~trace:Trace.disabled ~metrics:(Metrics.create ()) in
-  let engine = Engine.create ~obs:eobs ~settings:t.settings t.config in
+  (* The shard's tracer and metrics registry are created by the
+     coordinator but written only from this domain while the worker
+     lives; the engine's compile/exec spans land inside this shard's
+     window spans because they share the tracer. *)
+  let tracer = t.tracers.(s) in
+  let ring = t.flights.(s) in
+  let eobs = Obs.v ~trace:tracer ~metrics:t.shard_metrics.(s) in
+  let engine =
+    Engine.create ~obs:eobs ~flight:ring ~settings:t.settings t.config
+  in
   let st = t.shard_state.(s) in
   let publish () = st.engine_stats <- Some (Engine.stats engine) in
   let rec loop () =
@@ -300,7 +374,32 @@ let worker t s () =
       Metrics.Counter.incr t.windows_c;
       Access.release "serve.m";
       Mutex.unlock t.m;
-      let resolved = execute t engine s w jobs in
+      let njobs = List.length jobs in
+      let dispatched_us = t.clock () in
+      (* Queue-wait spans are lane-level roots (they begin before this
+         window opens, so nesting them under it would break the
+         children-within-parent invariant the qcheck property pins). *)
+      List.iter
+        (fun j ->
+          Trace.emit tracer ~ts:j.submitted_us
+            ~dur:(Float.max 0. (dispatched_us -. j.submitted_us))
+            ~attrs:
+              [
+                ("tenant", Trace.Str j.tenant);
+                ("trace_id", Trace.Int j.ticket.id);
+              ]
+            "serve.queue_wait")
+        jobs;
+      Flight.record ring Flight.Window_open
+        (Printf.sprintf "shard %d window %d: %d jobs" s w njobs);
+      let resolved =
+        Trace.with_span tracer
+          ~attrs:[ ("window", Trace.Int w); ("jobs", Trace.Int njobs) ]
+          "serve.window"
+          (fun () -> execute t engine s w jobs)
+      in
+      Flight.record ring Flight.Window_close
+        (Printf.sprintf "shard %d window %d" s w);
       Mutex.lock t.m;
       Access.acquire "serve.m";
       List.iter (fun (j, r) -> finish t j r) resolved;
@@ -318,7 +417,7 @@ let worker t s () =
       List.iter
         (fun j ->
           finish t j
-            (unserved ~shard:s
+            (unserved ~trace_id:j.ticket.id ~shard:s
                (Outcome.shed ~fingerprint:j.fp Outcome.Shutting_down)))
         jobs;
       Condition.broadcast t.donec;
@@ -367,6 +466,15 @@ let create ?obs ?(settings = Engine.default_settings) ?(shards = 2)
       keys = Hashtbl.create 64;
       shard_state =
         Array.init shards (fun _ -> { windows = 0; engine_stats = None });
+      tracers =
+        (* per-shard span buffers share the scheduler clock so the
+           merged lanes carry coherent timestamps; when the session
+           isn't tracing every shard gets the no-op singleton *)
+        Array.init shards (fun _ ->
+            if Trace.enabled obs.Obs.trace then Trace.create ~clock ()
+            else Trace.disabled);
+      flights = Array.init shards (fun _ -> Flight.create ~clock ());
+      shard_metrics = Array.init shards (fun _ -> Metrics.create ());
       next_ticket = 0;
       stopping = false;
       drain = true;
@@ -462,10 +570,16 @@ let submit t (req : Request.t) =
   (match resolved with
   | Error reject ->
       Metrics.Counter.incr t.refused_c;
+      (* no shard was ever chosen; the incident lands on ring 0 *)
+      Flight.record t.flights.(0) Flight.Refused
+        (Printf.sprintf "ticket %d tenant %s: %s" id req.Request.tenant
+           (Outcome.reject_to_string reject));
       Log.warn (fun m ->
-          m "tenant %s refused at admission: %s" req.Request.tenant
-            (Outcome.reject_to_string reject));
-      tk.state <- Done (unserved ~shard:(-1) (Outcome.refused reject))
+          m "tenant %s refused at admission: %s@\nflight recorder:@\n%s"
+            req.Request.tenant
+            (Outcome.reject_to_string reject)
+            (Flight.dump t.flights.(0)));
+      tk.state <- Done (unserved ~trace_id:id ~shard:(-1) (Outcome.refused reject))
   | Ok p ->
       let fp = Fingerprint.pattern p in
       let shard = Hashtbl.hash fp mod t.nshards in
@@ -477,7 +591,19 @@ let submit t (req : Request.t) =
       let now = t.clock () in
       let shed s =
         Metrics.Counter.incr t.shed_c;
-        tk.state <- Done (unserved ~shard (Outcome.shed ~fingerprint:fp s))
+        (match Hashtbl.find_opt t.tenants_tbl req.Request.tenant with
+        | Some q ->
+            Metrics.Counter.incr q.t_shed;
+            (match s with
+            | Outcome.Deadline_exceeded _ ->
+                Metrics.Counter.incr q.t_deadline_missed
+            | _ -> ())
+        | None -> ());
+        Flight.record t.flights.(shard) Flight.Shed
+          (Printf.sprintf "ticket %d tenant %s: %s" id req.Request.tenant
+             (Outcome.shed_to_string s));
+        tk.state <-
+          Done (unserved ~trace_id:id ~shard (Outcome.shed ~fingerprint:fp s))
       in
       if t.stopping then shed Outcome.Shutting_down
       else
@@ -503,14 +629,26 @@ let submit t (req : Request.t) =
                   match existing with
                   | Some q -> q
                   | None ->
+                      let mtr = t.obs.Obs.metrics in
+                      let tc field =
+                        Metrics.counter mtr
+                          ("serve.tenant." ^ req.Request.tenant ^ "." ^ field)
+                      in
                       let q =
                         {
                           queues =
                             Array.init t.nshards (fun _ -> Queue.create ());
                           queued = 0;
-                          served =
-                            Metrics.counter t.obs.Obs.metrics
-                              ("serve.tenant." ^ req.Request.tenant ^ ".served");
+                          served = tc "served";
+                          t_admitted = tc "admitted";
+                          t_coalesced = tc "coalesced";
+                          t_shed = tc "shed";
+                          t_deadline_missed = tc "deadline_missed";
+                          t_degraded = tc "degraded";
+                          depth_g =
+                            Metrics.gauge mtr
+                              ("serve.tenant." ^ req.Request.tenant
+                             ^ ".queue_depth");
                         }
                       in
                       Hashtbl.add t.tenants_tbl req.Request.tenant q;
@@ -538,8 +676,21 @@ let submit t (req : Request.t) =
                     }
                     q.queues.(shard);
                   q.queued <- q.queued + 1;
+                  Metrics.Gauge.set q.depth_g (float_of_int q.queued);
                   Access.write "serve.queue" t.suid;
                   Metrics.Counter.incr t.admitted_c;
+                  Metrics.Counter.incr q.t_admitted;
+                  Flight.record t.flights.(shard) Flight.Admission
+                    (Printf.sprintf "ticket %d tenant %s fp %s" id
+                       req.Request.tenant fp);
+                  Trace.emit t.obs.Obs.trace ~ts:now
+                    ~attrs:
+                      [
+                        ("tenant", Trace.Str req.Request.tenant);
+                        ("trace_id", Trace.Int id);
+                        ("shard", Trace.Int shard);
+                      ]
+                    "serve.submit";
                   Condition.broadcast t.work
                 end));
   Access.release "serve.m";
@@ -587,8 +738,18 @@ type stats = {
   refused : int;
   shed : int;
   windows : int;
+  queued_q : (float * float * float) option;
+  service_q : (float * float * float) option;
   engines : (int * Engine.stats) list;
 }
+
+let histo_q h =
+  if Metrics.Histogram.count h = 0 then None
+  else
+    Some
+      ( Metrics.Histogram.p50 h,
+        Metrics.Histogram.p95 h,
+        Metrics.Histogram.p99 h )
 
 let stats t =
   Mutex.lock t.m;
@@ -624,6 +785,8 @@ let stats t =
       refused = Metrics.Counter.value t.refused_c;
       shed = Metrics.Counter.value t.shed_c;
       windows;
+      queued_q = histo_q t.queued_h;
+      service_q = histo_q t.service_h;
       engines;
     }
   in
@@ -641,6 +804,14 @@ let pp_stats ppf s =
     s.admitted s.coalesced s.shed;
   Format.fprintf ppf "served: %d completed, %d degraded, %d refused in %d windows"
     s.completed s.degraded s.refused s.windows;
+  let latency label = function
+    | None -> ()
+    | Some (p50, p95, p99) ->
+        Format.fprintf ppf "@\nlatency %s: p50 %.0f, p95 %.0f, p99 %.0f us"
+          label p50 p95 p99
+  in
+  latency "queued" s.queued_q;
+  latency "service" s.service_q;
   List.iter
     (fun (name, n) -> Format.fprintf ppf "@\ntenant %s: %d served" name n)
     s.tenants;
@@ -648,3 +819,29 @@ let pp_stats ppf s =
     (fun (i, es) ->
       Format.fprintf ppf "@\n@[<v 2>shard %d:@,%a@]" i Engine.pp_stats es)
     s.engines
+
+(* ------------------------------------------------------------------ *)
+(* Observability surfaces.                                             *)
+
+(* The shard tracers are written only by their worker domains; reading
+   them is safe once the workers have joined ([shutdown]), which is
+   the only supported time to merge lanes. *)
+let trace_lanes t =
+  Trace.lane ~tid:0 ~label:"scheduler" t.obs.Obs.trace
+  :: List.init t.nshards (fun s ->
+         Trace.lane ~tid:(s + 1)
+           ~label:(Printf.sprintf "shard %d" s)
+           t.tracers.(s))
+
+let chrome_trace t = Trace.to_chrome_json_lanes (trace_lanes t)
+
+let flight_rings t = Array.to_list t.flights
+
+let shard_registries t = Array.to_list t.shard_metrics
+
+let prometheus t =
+  Expo.render
+    (([], t.obs.Obs.metrics)
+    :: List.mapi
+         (fun s m -> ([ ("shard", string_of_int s) ], m))
+         (Array.to_list t.shard_metrics))

@@ -106,6 +106,10 @@ type ticket
 
 type response = {
   outcome : Ccc_service.Outcome.t;
+  trace_id : int;
+      (** the request's trace id, assigned at {!submit} (the ticket's
+          sequence number); every span and flight-recorder breadcrumb
+          this request leaves carries it *)
   shard : int;  (** the shard that served (or would have served) it *)
   window : int;
       (** the shard's dispatch-window sequence number, [-1] if the
@@ -152,6 +156,14 @@ type stats = {
   refused : int;
   shed : int;
   windows : int;  (** dispatch windows across all shards *)
+  queued_q : (float * float * float) option;
+      (** p50/p95/p99 of admission-to-dispatch microseconds, estimated
+          from the [serve.queued_us] histogram's log-spaced buckets
+          ([None] before the first served request) *)
+  service_q : (float * float * float) option;
+      (** p50/p95/p99 of dispatch-to-completion microseconds
+          ([serve.service_us]; [None] before the first served
+          request) *)
   engines : (int * Ccc_service.Engine.stats) list;
       (** per-shard engine counters, published by each worker after
           every window and at exit; a shard yet to dispatch is absent *)
@@ -162,5 +174,45 @@ val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
 (** Stable field order, same discipline as
     {!Ccc_service.Engine.pp_stats}: identity line, admission line,
-    work line, per-tenant lines, then each shard's engine table
-    indented beneath its [shard N:] header. *)
+    work line, latency quantile lines, per-tenant lines, then each
+    shard's engine table indented beneath its [shard N:] header. *)
+
+(** {1 Observability surfaces}
+
+    A serving scheduler records three artifacts beyond the registry
+    the [serve.*] metrics live in: per-shard span buffers (one tracer
+    per worker domain, merged into pid/tid lanes), per-shard flight
+    rings (the incident memory dumped when an outcome turns
+    [Degraded]/[Refused]), and per-shard engine metric registries.
+    When [obs] was created without tracing, the shard tracers are the
+    no-op singleton and the span surfaces are empty — the flight rings
+    and registries are always live. *)
+
+val trace_lanes : t -> Ccc_obs.Trace.lane list
+(** The merged cross-domain trace: lane 0 ([tid 0], "scheduler") holds
+    the coordinator's admission spans from [obs]'s tracer, lane [s+1]
+    ("shard [s]") holds shard [s]'s queue-wait, window, execute and
+    engine spans.  {b Call after {!shutdown}}: a shard's span buffer
+    is written by its worker domain, and joining the workers is the
+    happens-before edge that makes reading it safe. *)
+
+val chrome_trace : t -> string
+(** {!trace_lanes} rendered by {!Ccc_obs.Trace.to_chrome_json_lanes} —
+    a Perfetto-loadable Chrome trace with one named track per shard,
+    queue-wait visibly separate from compute.  Call after
+    {!shutdown}. *)
+
+val flight_rings : t -> Ccc_obs.Flight.t list
+(** The per-shard flight recorders, shard order.  Safe from any
+    domain at any time (each ring carries its own lock).  Admission
+    refusals that never chose a shard land on ring 0. *)
+
+val shard_registries : t -> Ccc_obs.Metrics.t list
+(** Each shard engine's private metrics registry, shard order.  Kept
+    separate so per-shard counters never merge; registries are
+    internally locked and safe to read live. *)
+
+val prometheus : t -> string
+(** The scheduler registry plus every shard registry (labeled
+    [shard="N"]) rendered through {!Ccc_obs.Expo.render} — the
+    [ccc stats] scrape surface. *)

@@ -13,6 +13,7 @@ module Access = Ccc_analysis.Access
 module Guard = Ccc_fault.Guard
 module Obs = Ccc_obs.Obs
 module Metrics = Ccc_obs.Metrics
+module Flight = Ccc_obs.Flight
 
 let src =
   Logs.Src.create "ccc.engine"
@@ -68,6 +69,9 @@ type t = {
          in the access log *)
   cache : (string, entry) Hashtbl.t;
   obs : Obs.t;
+  flight : Flight.t option;
+      (* the shard's flight recorder, when serving; evictions, guard
+         trips and degradations leave incident breadcrumbs there *)
   hits : Metrics.Counter.t;
   misses : Metrics.Counter.t;
   evictions : Metrics.Counter.t;
@@ -107,12 +111,13 @@ type stats = {
   compute_cycles : int;
   frontend_s : float;
   per_call_compute : (int * float * int) option;
+  per_call_quantiles : (float * float * float) option;
 }
 
 (* One id per engine in the process (see the [eid] field). *)
 let engine_ids = Atomic.make 0
 
-let create ?obs ?capacity ?jobs ?memory_words ?settings config =
+let create ?obs ?flight ?capacity ?jobs ?memory_words ?settings config =
   let settings =
     match settings with
     | Some s -> s
@@ -144,6 +149,7 @@ let create ?obs ?capacity ?jobs ?memory_words ?settings config =
     eid = Atomic.fetch_and_add engine_ids 1;
     cache = Hashtbl.create 16;
     obs;
+    flight;
     hits = Metrics.counter m "engine.cache.hits";
     misses = Metrics.counter m "engine.cache.misses";
     evictions = Metrics.counter m "engine.cache.evictions";
@@ -219,6 +225,13 @@ let stats (t : t) : stats =
            ( int_of_float (Metrics.Histogram.min t.per_call_compute),
              Metrics.Histogram.mean t.per_call_compute,
              int_of_float (Metrics.Histogram.max t.per_call_compute) ));
+    per_call_quantiles =
+      (if Metrics.Histogram.count t.per_call_compute = 0 then None
+       else
+         Some
+           ( Metrics.Histogram.p50 t.per_call_compute,
+             Metrics.Histogram.p95 t.per_call_compute,
+             Metrics.Histogram.p99 t.per_call_compute ));
   }
 
 (* The field order below — identity, cache, work, arena, accumulated
@@ -236,11 +249,16 @@ let pp_stats ppf (s : stats) =
     s.jobs s.queue_depth s.tenants s.hits s.misses s.evictions s.entries
     s.capacity s.compiles s.runs s.batches s.arena_reuses s.arena_rebuilds
     s.comm_cycles s.compute_cycles s.frontend_s;
-  match s.per_call_compute with
+  (match s.per_call_compute with
   | None -> ()
   | Some (min, mean, max) ->
       Format.fprintf ppf "@\nper call: compute min %d, mean %.0f, max %d cycles"
-        min mean max
+        min mean max);
+  match s.per_call_quantiles with
+  | None -> ()
+  | Some (p50, p95, p99) ->
+      Format.fprintf ppf "@\nper call: compute p50 %.0f, p95 %.0f, p99 %.0f cycles"
+        p50 p95 p99
 
 let evict_lru t =
   let victim =
@@ -256,6 +274,9 @@ let evict_lru t =
       Hashtbl.remove t.cache key;
       Access.write "engine.cache" t.eid;
       Metrics.Counter.incr t.evictions;
+      Option.iter
+        (fun ring -> Flight.record ring Flight.Cache_evict key)
+        t.flight;
       Log.info (fun m -> m "plan cache eviction: %s" key)
   | None -> ()
 
@@ -413,12 +434,19 @@ let run_guarded ?mode ?iterations ?(inject = Exec.no_hooks) ?(max_retries = 2)
             Error e
         | `Faulty fs -> (
             Metrics.Counter.incr t.guard_detections;
+            let first_finding =
+              match fs with
+              | f :: _ -> Finding.to_string f
+              | [] -> "unknown"
+            in
+            Option.iter
+              (fun ring ->
+                Flight.record ring Flight.Guard_trip
+                  (Fingerprint.pattern pattern ^ ": " ^ first_finding))
+              t.flight;
             Log.warn (fun m ->
                 m "guard detected a fault (%s): %s"
-                  (Fingerprint.pattern pattern)
-                  (match fs with
-                  | f :: _ -> Finding.to_string f
-                  | [] -> "unknown"));
+                  (Fingerprint.pattern pattern) first_finding);
             let acc = acc @ fs in
             if budget > 0 then begin
               Metrics.Counter.incr t.guard_retries;
@@ -452,6 +480,12 @@ let run_guarded ?mode ?iterations ?(inject = Exec.no_hooks) ?(max_retries = 2)
             else degrade acc recompiled)
       and degrade findings recompiled =
         Metrics.Counter.incr t.guard_degraded;
+        Option.iter
+          (fun ring ->
+            Flight.record ring Flight.Degraded
+              (Printf.sprintf "%s: reference path after %d retries"
+                 (Fingerprint.pattern pattern) !retries))
+          t.flight;
         Log.warn (fun m ->
             m "degrading %s to the reference path after %d retries"
               (Fingerprint.pattern pattern) !retries);

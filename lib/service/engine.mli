@@ -67,6 +67,7 @@ val default_settings : settings
 
 val create :
   ?obs:Ccc_obs.Obs.t ->
+  ?flight:Ccc_obs.Flight.t ->
   ?capacity:int ->
   ?jobs:int ->
   ?memory_words:int ->
@@ -85,7 +86,10 @@ val create :
     are ignored when [settings] is passed.  [obs] supplies the
     observability context the engine threads through every compile and
     run; by default the tracer is disabled and the engine keeps a
-    private metrics registry.  Cache hits, misses and evictions are
+    private metrics registry.  [flight] attaches a
+    {!Ccc_obs.Flight} ring (the serving shard's flight recorder):
+    cache evictions, guard trips and degradations leave breadcrumbs
+    there in addition to the log.  Cache hits, misses and evictions are
     also reported on the ["ccc.engine"] {!Logs} source (debug/info),
     and every rejection is a structured warning carrying the stencil
     fingerprint. *)
@@ -284,6 +288,10 @@ type stats = {
       (** min, mean and max compute cycles per recorded run or batch
           ([None] before the first execution) — the summary of the
           [engine.compute_cycles_per_call] histogram *)
+  per_call_quantiles : (float * float * float) option;
+      (** p50, p95 and p99 compute cycles per recorded run or batch,
+          estimated from the histogram's log-spaced buckets ([None]
+          before the first execution) *)
 }
 
 val stats : t -> stats

@@ -81,6 +81,7 @@ standing arena, and --stats prints the engine counters.
   arena: 2 reuses, 1 rebuilds
   accumulated: comm 240 cycles, compute 6264 cycles, front end 0.006451 s
   per call: compute min 2088, mean 2088, max 2088 cycles
+  per call: compute p50 2088, p95 2088, p99 2088 cycles
 
 Under --simulate every cached plan is re-verified and the interpreter
 must agree with the analytic cycle model.
@@ -246,7 +247,7 @@ conformance clean matrix with the shared-state probes live and must
 come back finding-free.
 
   $ ../../bin/ccc_cli.exe race --seed 42 --jobs 2
-  domain-safety: 62216 access events from 144 clean cells (jobs 1,2) and a 4-request serve session
+  domain-safety: 62345 access events from 144 clean cells (jobs 1,2) and a 4-request serve session
   race: PASS (0 findings)
 
 Every seeded concurrency mutation must be killed with a
@@ -288,10 +289,12 @@ shed at admission, both with structured outcomes.
   carol  cross5.key [shard 1 window 0 batched 2 coalesced 4] completed: compute 740 cycles, comm 0 cycles
   alice  tilt       [shard 1 window 0 batched 2 coalesced 1] completed: compute 522 cycles, comm 0 cycles
   dave   garbage    [at admission] parse error: line 1: trailing tokens after assignment: identifier A
-  eve    too-late   [at admission] deadline exceeded: tenant eve asked for -1 us, clock read 8 us
+  eve    too-late   [at admission] deadline exceeded: tenant eve asked for -1 us, clock read 17 us
   serve: 2 shards, window 16, queue depth 64, 16 tenants max
   admission: 8 admitted, 3 coalesced, 1 shed
   served: 8 completed, 0 degraded, 1 refused in 2 windows
+  latency queued: p50 12, p95 19, p99 19 us
+  latency service: p50 0, p95 0, p99 0 us
   tenant alice: 3 served
   tenant bob: 2 served
   tenant carol: 3 served
@@ -302,6 +305,7 @@ shed at admission, both with structured outcomes.
     arena: 0 reuses, 2 rebuilds
     accumulated: comm 320 cycles, compute 2912 cycles, front end 0.003882 s
     per call: compute min 1320, mean 1456, max 1592 cycles
+    per call: compute p50 1536, p95 1592, p99 1592 cycles
   shard 1:
     engine: 1 jobs, queue depth 64, 16 tenants
     plan cache: 0 hits, 3 misses, 0 evictions (3/32 entries)
@@ -309,10 +313,202 @@ shed at admission, both with structured outcomes.
     arena: 0 reuses, 2 rebuilds
     accumulated: comm 160 cycles, compute 2266 cycles, front end 0.003671 s
     per call: compute min 1004, mean 1133, max 1262 cycles
+    per call: compute p50 1024, p95 1262, p99 1262 cycles
 
 Without --demo the subcommand refuses (there is no network front
 end to point it at).
 
   $ ../../bin/ccc_cli.exe serve
   ccc serve: pass --demo (the scheduler has no network front end)
+  [2]
+
+With --trace the demo also exports its merged cross-domain trace as
+Chrome trace_event JSON (load it in Perfetto): one named lane for the
+scheduler's admission spans plus one lane per shard, where queue-wait
+sits visibly apart from the windowed compute.
+
+  $ ../../bin/ccc_cli.exe serve --demo --trace trace.json | tail -1
+  trace: 164 spans in 3 lanes written to trace.json
+  $ head -1 trace.json
+  [{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"scheduler"}},
+  $ grep -c '"ph":"M"' trace.json
+  3
+  $ grep -o '"tid":[0-9]*' trace.json | sort -u
+  "tid":0
+  "tid":1
+  "tid":2
+  $ grep -o '"name":"serve\.[a-z_]*"' trace.json | sort | uniq -c
+        4 "name":"serve.execute"
+        8 "name":"serve.queue_wait"
+        8 "name":"serve.submit"
+        2 "name":"serve.window"
+
+The scrape surface: the same demo session rendered as Prometheus-style
+text exposition — scheduler counters and latency histograms, one
+family per per-tenant field with a tenant label, and every shard
+engine's registry under its shard label.
+
+  $ ../../bin/ccc_cli.exe stats --demo
+  # TYPE ccc_engine_arena_rebuilds gauge
+  ccc_engine_arena_rebuilds{shard="0"} 2
+  ccc_engine_arena_rebuilds{shard="1"} 2
+  # TYPE ccc_engine_arena_reuses gauge
+  ccc_engine_arena_reuses{shard="0"} 0
+  ccc_engine_arena_reuses{shard="1"} 0
+  # TYPE ccc_engine_batches counter
+  ccc_engine_batches{shard="0"} 0
+  ccc_engine_batches{shard="1"} 1
+  # TYPE ccc_engine_cache_evictions counter
+  ccc_engine_cache_evictions{shard="0"} 0
+  ccc_engine_cache_evictions{shard="1"} 0
+  # TYPE ccc_engine_cache_hits counter
+  ccc_engine_cache_hits{shard="0"} 0
+  ccc_engine_cache_hits{shard="1"} 0
+  # TYPE ccc_engine_cache_misses counter
+  ccc_engine_cache_misses{shard="0"} 2
+  ccc_engine_cache_misses{shard="1"} 3
+  # TYPE ccc_engine_compiles counter
+  ccc_engine_compiles{shard="0"} 2
+  ccc_engine_compiles{shard="1"} 3
+  # TYPE ccc_engine_compute_cycles_per_call histogram
+  ccc_engine_compute_cycles_per_call_bucket{shard="0",le="2048"} 2
+  ccc_engine_compute_cycles_per_call_bucket{shard="0",le="+Inf"} 2
+  ccc_engine_compute_cycles_per_call_sum{shard="0"} 2912
+  ccc_engine_compute_cycles_per_call_count{shard="0"} 2
+  ccc_engine_compute_cycles_per_call_bucket{shard="1",le="1024"} 1
+  ccc_engine_compute_cycles_per_call_bucket{shard="1",le="2048"} 2
+  ccc_engine_compute_cycles_per_call_bucket{shard="1",le="+Inf"} 2
+  ccc_engine_compute_cycles_per_call_sum{shard="1"} 2266
+  ccc_engine_compute_cycles_per_call_count{shard="1"} 2
+  # TYPE ccc_engine_cycles_comm counter
+  ccc_engine_cycles_comm{shard="0"} 320
+  ccc_engine_cycles_comm{shard="1"} 160
+  # TYPE ccc_engine_cycles_compute counter
+  ccc_engine_cycles_compute{shard="0"} 2912
+  ccc_engine_cycles_compute{shard="1"} 2266
+  # TYPE ccc_engine_frontend_s gauge
+  ccc_engine_frontend_s{shard="0"} 0.00388183
+  ccc_engine_frontend_s{shard="1"} 0.00367074
+  # TYPE ccc_engine_guard_degraded counter
+  ccc_engine_guard_degraded{shard="0"} 0
+  ccc_engine_guard_degraded{shard="1"} 0
+  # TYPE ccc_engine_guard_detections counter
+  ccc_engine_guard_detections{shard="0"} 0
+  ccc_engine_guard_detections{shard="1"} 0
+  # TYPE ccc_engine_guard_recompiles counter
+  ccc_engine_guard_recompiles{shard="0"} 0
+  ccc_engine_guard_recompiles{shard="1"} 0
+  # TYPE ccc_engine_guard_retries counter
+  ccc_engine_guard_retries{shard="0"} 0
+  ccc_engine_guard_retries{shard="1"} 0
+  # TYPE ccc_engine_kernel_verifies counter
+  ccc_engine_kernel_verifies{shard="0"} 2
+  ccc_engine_kernel_verifies{shard="1"} 3
+  # TYPE ccc_engine_runs counter
+  ccc_engine_runs{shard="0"} 2
+  ccc_engine_runs{shard="1"} 1
+  # TYPE ccc_run_calls counter
+  ccc_run_calls{shard="0"} 2
+  ccc_run_calls{shard="1"} 2
+  # TYPE ccc_run_compute_cycles_per_call histogram
+  ccc_run_compute_cycles_per_call_bucket{shard="0",le="2048"} 2
+  ccc_run_compute_cycles_per_call_bucket{shard="0",le="+Inf"} 2
+  ccc_run_compute_cycles_per_call_sum{shard="0"} 2912
+  ccc_run_compute_cycles_per_call_count{shard="0"} 2
+  ccc_run_compute_cycles_per_call_bucket{shard="1",le="1024"} 1
+  ccc_run_compute_cycles_per_call_bucket{shard="1",le="2048"} 2
+  ccc_run_compute_cycles_per_call_bucket{shard="1",le="+Inf"} 2
+  ccc_run_compute_cycles_per_call_sum{shard="1"} 2266
+  ccc_run_compute_cycles_per_call_count{shard="1"} 2
+  # TYPE ccc_run_cycles_comm counter
+  ccc_run_cycles_comm{shard="0"} 320
+  ccc_run_cycles_comm{shard="1"} 160
+  # TYPE ccc_run_cycles_compute counter
+  ccc_run_cycles_compute{shard="0"} 2912
+  ccc_run_cycles_compute{shard="1"} 2266
+  # TYPE ccc_run_flops_useful counter
+  ccc_run_flops_useful{shard="0"} 43008
+  ccc_run_flops_useful{shard="1"} 29696
+  # TYPE ccc_run_frontend_s gauge
+  ccc_run_frontend_s{shard="0"} 0.00388183
+  ccc_run_frontend_s{shard="1"} 0.00367074
+  # TYPE ccc_run_iterations counter
+  ccc_run_iterations{shard="0"} 2
+  ccc_run_iterations{shard="1"} 2
+  # TYPE ccc_run_madds_issued counter
+  ccc_run_madds_issued{shard="0"} 1936
+  ccc_run_madds_issued{shard="1"} 1534
+  # TYPE ccc_serve_admitted counter
+  ccc_serve_admitted 8
+  # TYPE ccc_serve_coalesced counter
+  ccc_serve_coalesced 3
+  # TYPE ccc_serve_completed counter
+  ccc_serve_completed 8
+  # TYPE ccc_serve_degraded counter
+  ccc_serve_degraded 0
+  # TYPE ccc_serve_queued_us histogram
+  ccc_serve_queued_us_bucket{le="8"} 2
+  ccc_serve_queued_us_bucket{le="16"} 6
+  ccc_serve_queued_us_bucket{le="32"} 8
+  ccc_serve_queued_us_bucket{le="+Inf"} 8
+  ccc_serve_queued_us_sum 96
+  ccc_serve_queued_us_count 8
+  # TYPE ccc_serve_refused counter
+  ccc_serve_refused 1
+  # TYPE ccc_serve_service_us histogram
+  ccc_serve_service_us_bucket{le="1"} 8
+  ccc_serve_service_us_bucket{le="+Inf"} 8
+  ccc_serve_service_us_sum 0
+  ccc_serve_service_us_count 8
+  # TYPE ccc_serve_shed counter
+  ccc_serve_shed 1
+  # TYPE ccc_serve_tenant_admitted counter
+  ccc_serve_tenant_admitted{tenant="alice"} 3
+  ccc_serve_tenant_admitted{tenant="bob"} 2
+  ccc_serve_tenant_admitted{tenant="carol"} 3
+  # TYPE ccc_serve_tenant_coalesced counter
+  ccc_serve_tenant_coalesced{tenant="alice"} 1
+  ccc_serve_tenant_coalesced{tenant="bob"} 0
+  ccc_serve_tenant_coalesced{tenant="carol"} 3
+  # TYPE ccc_serve_tenant_deadline_missed counter
+  ccc_serve_tenant_deadline_missed{tenant="alice"} 0
+  ccc_serve_tenant_deadline_missed{tenant="bob"} 0
+  ccc_serve_tenant_deadline_missed{tenant="carol"} 0
+  # TYPE ccc_serve_tenant_degraded counter
+  ccc_serve_tenant_degraded{tenant="alice"} 0
+  ccc_serve_tenant_degraded{tenant="bob"} 0
+  ccc_serve_tenant_degraded{tenant="carol"} 0
+  # TYPE ccc_serve_tenant_queue_depth gauge
+  ccc_serve_tenant_queue_depth{tenant="alice"} 0
+  ccc_serve_tenant_queue_depth{tenant="bob"} 0
+  ccc_serve_tenant_queue_depth{tenant="carol"} 0
+  # TYPE ccc_serve_tenant_served counter
+  ccc_serve_tenant_served{tenant="alice"} 3
+  ccc_serve_tenant_served{tenant="bob"} 2
+  ccc_serve_tenant_served{tenant="carol"} 3
+  # TYPE ccc_serve_tenant_shed counter
+  ccc_serve_tenant_shed{tenant="alice"} 0
+  ccc_serve_tenant_shed{tenant="bob"} 0
+  ccc_serve_tenant_shed{tenant="carol"} 0
+  # TYPE ccc_serve_windows counter
+  ccc_serve_windows 2
+
+  $ ../../bin/ccc_cli.exe stats
+  ccc stats: pass --demo (there is no live scheduler to scrape)
+  [2]
+
+And the operator's one-page view over the same session.
+
+  $ ../../bin/ccc_cli.exe top --once
+  serve top — 2 shards, window 16, queue depth 64
+  outcomes   8 completed  0 degraded  1 refused  1 shed  (2 windows)
+  latency    queued  p50 12  p95 19  p99 19 us
+  latency    service p50 0  p95 0  p99 0 us
+  TENANT    ADMITTED   SERVED   COAL   SHED   DLMISS   DEPTH
+  alice            3        3      1      0        0       0
+  bob              2        2      0      0        0       0
+  carol            3        3      3      0        0       0
+
+  $ ../../bin/ccc_cli.exe top
+  ccc top: pass --once (there is no live scheduler to watch)
   [2]

@@ -375,6 +375,38 @@ let test_guarded_too_small () =
   | Error e ->
       Alcotest.failf "expected Too_small, got %s" (Engine.error_to_string e)
 
+(* --- conformance flight dumps (PR 8) -------------------------------- *)
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Every kill-matrix cell carries a flight-recorder dump that names
+   the injected fault class — the cell is a self-explaining incident
+   report: armed fault, firing record (or the note that it never
+   fired), guard trip, recovery verdict. *)
+let test_kill_dumps_name_faults () =
+  let m = Ccc.Conformance.run ~jobs_list:[ 1 ] config in
+  Alcotest.(check bool) "matrix passed" true (Ccc.Conformance.passed m);
+  Alcotest.(check bool) "kill matrix populated" true
+    (m.Ccc.Conformance.kills <> []);
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (k : Ccc.Conformance.kill) ->
+      let fname = Inject.name k.Ccc.Conformance.k_fault in
+      Hashtbl.replace seen fname ();
+      let d = k.Ccc.Conformance.k_dump in
+      Alcotest.(check bool) (fname ^ ": dump names the fault class") true
+        (contains fname d);
+      Alcotest.(check bool) (fname ^ ": dump records the arming") true
+        (contains "armed" d);
+      Alcotest.(check bool) (fname ^ ": dump reaches a verdict") true
+        (contains "recovered" d || contains "UNDETECTED" d))
+    m.Ccc.Conformance.kills;
+  Alcotest.(check int) "all six fault classes dumped"
+    (List.length Inject.all) (Hashtbl.length seen)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -415,5 +447,10 @@ let () =
             test_guarded_degrades;
           Alcotest.test_case "Too_small stays an error value" `Quick
             test_guarded_too_small;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "kill dumps name the fault class" `Quick
+            test_kill_dumps_name_faults;
         ] );
     ]

@@ -223,6 +223,239 @@ let test_metrics_export () =
     (count_substring "\"count\":1" json = 1)
 
 (* ------------------------------------------------------------------ *)
+(* Bucketed histogram quantiles *)
+
+let rec increasing = function
+  | a :: (b :: _ as rest) -> a < b && increasing rest
+  | _ -> true
+
+let test_histogram_quantiles () =
+  let h = Metrics.Histogram.create () in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Metrics.Histogram.quantile h 0.5));
+  for v = 1 to 100 do
+    Metrics.Histogram.observe h (float_of_int v)
+  done;
+  let p50 = Metrics.Histogram.p50 h
+  and p95 = Metrics.Histogram.p95 h
+  and p99 = Metrics.Histogram.p99 h in
+  Alcotest.(check bool) "quantiles monotone" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "clamped to observed range" true
+    (p50 >= 1.0 && p99 <= 100.0);
+  (* Uniform 1..100: the true p50 is 50, inside the (32, 64] bucket;
+     the tail quantiles must sit in the overflow-side (64, 128]
+     bucket, clamped at the observed max. *)
+  Alcotest.(check bool) "p50 lands in its bucket" true
+    (p50 > 32.0 && p50 <= 64.0);
+  Alcotest.(check bool) "p95 above the median bucket" true (p95 > 64.0);
+  Alcotest.(check (float 1e-9)) "q=0 clamps to min" 1.0
+    (Metrics.Histogram.quantile h 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 clamps to max" 100.0
+    (Metrics.Histogram.quantile h 1.0);
+  let bs = Metrics.Histogram.buckets h in
+  Alcotest.(check int) "bucket counts sum to count" 100
+    (List.fold_left (fun a (_, c) -> a + c) 0 bs);
+  Alcotest.(check bool) "bucket bounds increasing" true
+    (increasing (List.map fst bs));
+  (* A single sample answers every quantile with itself. *)
+  let h1 = Metrics.Histogram.create () in
+  Metrics.Histogram.observe h1 7.0;
+  Alcotest.(check (float 1e-9)) "single sample p50" 7.0
+    (Metrics.Histogram.p50 h1);
+  Alcotest.(check (float 1e-9)) "single sample p99" 7.0
+    (Metrics.Histogram.p99 h1)
+
+(* A histogram's bucketed quantile estimate can never leave the bucket
+   the exact quantile lives in: for any sample set, the estimate and
+   the true order statistic share a power-of-two bucket (and both are
+   clamped to the observed range). *)
+let prop_histogram_quantile_bucket =
+  Q.Test.make ~count:200
+    ~name:"histogram quantile shares the exact quantile's bucket"
+    Gen.(
+      pair
+        (list_size (int_range 1 60) (float_range 0.1 100_000.0))
+        (float_range 0.0 1.0))
+    (fun (samples, q) ->
+      let h = Metrics.Histogram.create () in
+      List.iter (Metrics.Histogram.observe h) samples;
+      let est = Metrics.Histogram.quantile h q in
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      (* Same rank convention as the estimator: 1-indexed ceil. *)
+      let rank =
+        max 1 (int_of_float (Float.ceil (q *. float_of_int n)))
+      in
+      let exact = List.nth sorted (rank - 1) in
+      let bucket v =
+        if v <= 1.0 then 0
+        else int_of_float (Float.ceil (Float.log2 v))
+      in
+      let lo = List.hd sorted and hi = List.nth sorted (n - 1) in
+      est >= lo && est <= hi
+      && (bucket est = bucket exact
+         || (* interpolation may clamp into the neighbouring bucket at
+               the observed min/max *)
+         est = lo || est = hi))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+module Flight = Ccc.Flight
+
+let test_flight_ring () =
+  let ring = Flight.create ~capacity:4 ~clock:(counter_clock ()) () in
+  Alcotest.(check int) "capacity" 4 (Flight.capacity ring);
+  Alcotest.(check int) "fresh ring empty" 0 (Flight.recorded ring);
+  List.iteri
+    (fun i kind -> Flight.record ring kind (Printf.sprintf "event %d" i))
+    [
+      Flight.Admission;
+      Flight.Window_open;
+      Flight.Guard_trip;
+      Flight.Cache_evict;
+      Flight.Shed;
+      Flight.Degraded;
+    ];
+  Alcotest.(check int) "true total survives wrap" 6 (Flight.recorded ring);
+  let evs = Flight.events ring in
+  Alcotest.(check int) "ring holds capacity" 4 (List.length evs);
+  Alcotest.(check (list int)) "oldest two overwritten, order kept"
+    [ 2; 3; 4; 5 ]
+    (List.map (fun e -> e.Flight.seq) evs);
+  Alcotest.(check bool) "timestamps monotone" true
+    (increasing (List.map (fun e -> e.Flight.ts) evs));
+  let dump = Flight.dump ring in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in dump") true
+        (count_substring needle dump >= 1))
+    [ "guard-trip"; "cache-evict"; "shed"; "degraded"; "(2 dropped)"; "event 5" ];
+  Alcotest.(check bool) "overwritten event gone" true
+    (count_substring "event 0" dump = 0);
+  (match Flight.create ~capacity:0 () with
+  | (_ : Flight.t) -> Alcotest.fail "zero capacity accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_flight_two_domains () =
+  (* The serve-plane write pattern: coordinator and worker hammer one
+     ring concurrently; no record may be lost and the ring must stay
+     well-formed (the mutex is the whole point). *)
+  let ring = Flight.create ~capacity:32 () in
+  let n = 2_000 in
+  let writer kind () =
+    for i = 1 to n do
+      Flight.record ring kind (string_of_int i)
+    done
+  in
+  let d = Domain.spawn (writer Flight.Admission) in
+  writer Flight.Window_open ();
+  Domain.join d;
+  Alcotest.(check int) "no record lost" (2 * n) (Flight.recorded ring);
+  let evs = Flight.events ring in
+  Alcotest.(check int) "full ring" 32 (List.length evs);
+  Alcotest.(check bool) "seqs strictly increasing" true
+    (increasing (List.map (fun e -> e.Flight.seq) evs))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style exposition *)
+
+module Expo = Ccc.Expo
+
+let test_expo_render () =
+  let m = Metrics.create () in
+  Metrics.Counter.incr ~by:7 (Metrics.counter m "engine.runs");
+  Metrics.Gauge.set (Metrics.gauge m "serve.queue.depth") 3.0;
+  Metrics.Counter.incr ~by:2 (Metrics.counter m "serve.tenant.alice.shed");
+  Metrics.Counter.incr ~by:5 (Metrics.counter m "serve.tenant.bob.shed");
+  let h = Metrics.histogram m "serve.queued_us" in
+  List.iter (Metrics.Histogram.observe h) [ 3.0; 40.0; 500.0 ];
+  let text = Expo.render [ ([], m) ] in
+  Alcotest.(check string) "deterministic" text (Expo.render [ ([], m) ]);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " rendered") true
+        (count_substring needle text >= 1))
+    [
+      "# TYPE ccc_engine_runs counter";
+      "ccc_engine_runs 7";
+      "ccc_serve_queue_depth 3";
+      (* tenant fold: one family, a label per tenant *)
+      "# TYPE ccc_serve_tenant_shed counter";
+      "ccc_serve_tenant_shed{tenant=\"alice\"} 2";
+      "ccc_serve_tenant_shed{tenant=\"bob\"} 5";
+      (* histogram: cumulative buckets, mandatory +Inf, sum, count *)
+      "ccc_serve_queued_us_bucket{le=\"+Inf\"} 3";
+      "ccc_serve_queued_us_sum 543";
+      "ccc_serve_queued_us_count 3";
+    ]
+    ;
+  Alcotest.(check int) "TYPE header once per family" 1
+    (count_substring "# TYPE ccc_serve_tenant_shed " text);
+  (* Cumulative bucket series: 3.0 -> (2,4], 40.0 -> (32,64],
+     500.0 -> (256,512]; cumulative counts 1, 2, 3. *)
+  Alcotest.(check bool) "cumulative buckets" true
+    (count_substring "ccc_serve_queued_us_bucket{le=\"4\"} 1" text = 1
+    && count_substring "ccc_serve_queued_us_bucket{le=\"64\"} 2" text = 1
+    && count_substring "ccc_serve_queued_us_bucket{le=\"512\"} 3" text = 1);
+  (* Extra label sets keep registries apart and sort deterministically. *)
+  let m0 = Metrics.create () and m1 = Metrics.create () in
+  Metrics.Counter.incr (Metrics.counter m0 "engine.runs");
+  Metrics.Counter.incr ~by:2 (Metrics.counter m1 "engine.runs");
+  let sharded =
+    Expo.render [ ([ ("shard", "0") ], m0); ([ ("shard", "1") ], m1) ]
+  in
+  let i0 = count_substring "ccc_engine_runs{shard=\"0\"} 1" sharded
+  and i1 = count_substring "ccc_engine_runs{shard=\"1\"} 2" sharded in
+  Alcotest.(check (pair int int)) "shard labels" (1, 1) (i0, i1)
+
+(* ------------------------------------------------------------------ *)
+(* Trace lanes *)
+
+let test_chrome_json_lanes () =
+  let mk label =
+    let tr = Trace.create ~clock:(counter_clock ()) () in
+    Trace.with_span tr label (fun () ->
+        Trace.with_span tr (label ^ ".inner") (fun () -> ()));
+    tr
+  in
+  let t0 = mk "submit" and t1 = mk "window" in
+  let lanes =
+    [
+      Trace.lane ~tid:0 ~label:"scheduler" t0;
+      Trace.lane ~tid:1 ~label:"shard 0" t1;
+    ]
+  in
+  Alcotest.(check (list int)) "lane tids" [ 0; 1 ]
+    (List.map Trace.lane_tid lanes);
+  Alcotest.(check int) "lane span count" 2
+    (Trace.lane_span_count (List.hd lanes));
+  let json = Trace.to_chrome_json_lanes lanes in
+  check_balanced "lanes json" json;
+  Alcotest.(check int) "one thread_name metadata event per lane" 2
+    (count_substring "\"name\":\"thread_name\"" json);
+  Alcotest.(check bool) "lane labels in metadata" true
+    (count_substring "\"name\":\"scheduler\"" json = 1
+    && count_substring "\"name\":\"shard 0\"" json = 1);
+  Alcotest.(check int) "four complete span events" 4
+    (count_substring "\"ph\":\"X\"" json);
+  Alcotest.(check int) "spans carry lane 1's tid" 2
+    (count_substring "\"ph\":\"X\",\"pid\":1,\"tid\":1," json);
+  (* A single ~tid:1 lane renders the same span events the flat
+     exporter does, plus one metadata record. *)
+  let flat = Trace.to_chrome_json t0 in
+  let single = Trace.to_chrome_json_lanes [ Trace.lane ~tid:1 ~label:"x" t0 ] in
+  Alcotest.(check int) "single lane = flat + metadata"
+    (count_substring "\"ph\":\"X\"" flat)
+    (count_substring "\"ph\":\"X\"" single);
+  (* lane_of_spans lets a merger rebundle spans under a new lane. *)
+  let rebundled =
+    Trace.lane_of_spans ~tid:7 ~label:"merged" (Trace.roots t0)
+  in
+  Alcotest.(check int) "rebundled keeps the spans" 2
+    (Trace.lane_span_count rebundled)
+
+(* ------------------------------------------------------------------ *)
 (* Profiler = Cost, on every gallery plan *)
 
 let test_profiler_matches_cost () =
@@ -460,6 +693,21 @@ let () =
           Alcotest.test_case "counters, gauges, histograms" `Quick
             test_metrics_basic;
           Alcotest.test_case "pp and json export" `Quick test_metrics_export;
+          Alcotest.test_case "bucketed quantiles" `Quick
+            test_histogram_quantiles;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring wrap and dump" `Quick test_flight_ring;
+          Alcotest.test_case "two writer domains" `Quick
+            test_flight_two_domains;
+        ] );
+      ( "expo",
+        [ Alcotest.test_case "prometheus rendering" `Quick test_expo_render ] );
+      ( "lanes",
+        [
+          Alcotest.test_case "chrome export with named lanes" `Quick
+            test_chrome_json_lanes;
         ] );
       ( "profiler",
         [
@@ -477,5 +725,8 @@ let () =
           Alcotest.test_case "engine registry" `Quick test_engine_metrics;
         ] );
       ( "properties",
-        [ to_alcotest prop_attribution_sums_to_interp_and_cost ] );
+        [
+          to_alcotest prop_attribution_sums_to_interp_and_cost;
+          to_alcotest prop_histogram_quantile_bucket;
+        ] );
     ]

@@ -416,6 +416,194 @@ let test_shutdown_sheds_undrained () =
   (* idempotent *)
   Serve.shutdown t
 
+(* --- cross-domain trace tree (qcheck) ------------------------------ *)
+
+(* A random schedule of requests over a small pattern set, served by a
+   fully traced scheduler (injectable counting clock, two shards).
+   Whatever the dispatch interleaving, the merged lane view must be a
+   well-formed cross-domain trace: every span closed with a
+   non-negative extent, every child nested inside its parent, lane
+   names disjoint (admission spans only on the scheduler lane, window
+   machinery only on shard lanes), and every dispatched request's
+   queue-wait span sitting on exactly the lane of the shard that
+   served it. *)
+
+let rec check_span_tree lane_label span =
+  let ts = Ccc.Trace.span_ts span and dur = Ccc.Trace.span_dur span in
+  if dur < 0.0 then
+    Q.Test.fail_reportf "%s: span %s has negative duration" lane_label
+      (Ccc.Trace.span_name span);
+  List.iter
+    (fun child ->
+      let cts = Ccc.Trace.span_ts child
+      and cdur = Ccc.Trace.span_dur child in
+      if not (cts >= ts && cts +. cdur <= ts +. dur) then
+        Q.Test.fail_reportf
+          "%s: child %s [%g,%g] escapes parent %s [%g,%g]" lane_label
+          (Ccc.Trace.span_name child) cts (cts +. cdur)
+          (Ccc.Trace.span_name span) ts (ts +. dur);
+      check_span_tree lane_label child)
+    (Ccc.Trace.span_children span)
+
+let rec spans_named name span =
+  (if Ccc.Trace.span_name span = name then [ span ] else [])
+  @ List.concat_map (spans_named name) (Ccc.Trace.span_children span)
+
+let prop_trace_well_formed =
+  Q.Test.make ~count:12 ~name:"merged cross-domain trace is well-formed"
+    ~print:(fun schedule ->
+      String.concat "; "
+        (List.map
+           (fun (t, p) -> Printf.sprintf "tenant %d pattern %d" t p)
+           schedule))
+    (Gen.list_size (Gen.int_range 1 12)
+       (Gen.pair (Gen.int_range 0 3) (Gen.int_range 0 2)))
+    (fun schedule ->
+      let rows = 8 and cols = 8 in
+      let pats =
+        [|
+          cross5 ();
+          pattern_of_offsets [ (0, 0) ];
+          pattern_of_offsets [ (-1, 0); (0, 0); (1, 0) ];
+        |]
+      in
+      let envs = Array.map (env_for ~rows ~cols) pats in
+      let tick = Atomic.make 0 in
+      let clock () = float_of_int (Atomic.fetch_and_add tick 1) in
+      let obs =
+        Ccc.Obs.v
+          ~trace:(Ccc.Trace.create ~clock ())
+          ~metrics:(Ccc.Metrics.create ())
+      in
+      let shards = 2 in
+      let t = Serve.create ~obs ~shards ~clock ~paused:true config in
+      let tickets =
+        List.map
+          (fun (ti, pi) ->
+            Serve.submit t
+              (Request.v
+                 ~tenant:(Printf.sprintf "t%d" ti)
+                 ~env:envs.(pi)
+                 (Request.Pattern pats.(pi))))
+          schedule
+      in
+      Serve.resume t;
+      let responses = List.map (Serve.wait t) tickets in
+      Serve.shutdown t;
+      let lanes = Serve.trace_lanes t in
+      if List.length lanes <> shards + 1 then
+        Q.Test.fail_reportf "expected %d lanes, got %d" (shards + 1)
+          (List.length lanes);
+      if List.map Ccc.Trace.lane_tid lanes <> [ 0; 1; 2 ] then
+        Q.Test.fail_report "lane tids not 0, 1, 2";
+      (* Every lane's forest is closed and properly nested. *)
+      List.iter
+        (fun lane ->
+          List.iter
+            (check_span_tree (Ccc.Trace.lane_label lane))
+            (Ccc.Trace.lane_roots lane))
+        lanes;
+      (* Lane discipline: admission on the scheduler lane only, window
+         machinery on shard lanes only. *)
+      let scheduler = List.hd lanes and shard_lanes = List.tl lanes in
+      List.iter
+        (fun root ->
+          if Ccc.Trace.span_name root <> "serve.submit" then
+            Q.Test.fail_reportf "scheduler lane holds %s"
+              (Ccc.Trace.span_name root))
+        (Ccc.Trace.lane_roots scheduler);
+      List.iter
+        (fun lane ->
+          List.iter
+            (fun root ->
+              (match Ccc.Trace.span_name root with
+              | "serve.queue_wait" | "serve.window" -> ()
+              | n ->
+                  Q.Test.fail_reportf "%s lane has root %s"
+                    (Ccc.Trace.lane_label lane) n);
+              if spans_named "serve.submit" root <> [] then
+                Q.Test.fail_reportf "admission span on %s"
+                  (Ccc.Trace.lane_label lane))
+            (Ccc.Trace.lane_roots lane))
+        shard_lanes;
+      (* Every dispatched request left exactly one queue-wait span, on
+         the lane of the shard that served it. *)
+      let wait_ids lane =
+        List.concat_map
+          (fun root ->
+            List.filter_map
+              (fun s -> Ccc.Trace.find_attr s "trace_id")
+              (spans_named "serve.queue_wait" root))
+          (Ccc.Trace.lane_roots lane)
+      in
+      List.iter
+        (fun (r : Serve.response) ->
+          if r.Serve.window >= 0 then
+            List.iteri
+              (fun i lane ->
+                let here =
+                  List.length
+                    (List.filter
+                       (fun v -> v = Ccc.Trace.Int r.Serve.trace_id)
+                       (wait_ids lane))
+                in
+                let expect = if i = r.Serve.shard then 1 else 0 in
+                if here <> expect then
+                  Q.Test.fail_reportf
+                    "ticket %d: %d queue-wait spans on %s (expected %d)"
+                    r.Serve.trace_id here
+                    (Ccc.Trace.lane_label lane)
+                    expect)
+              shard_lanes)
+        responses;
+      true)
+
+(* --- observability surfaces ---------------------------------------- *)
+
+let test_flight_and_prometheus () =
+  (* A refused request must auto-dump the flight recorder: ring 0
+     keeps the refusal, and the scrape surface renders the tenant
+     families plus every shard registry under its label. *)
+  let t = Serve.create ~shards:2 ~paused:true config in
+  let p = cross5 () in
+  let env = env_for ~rows:16 ~cols:16 p in
+  let good = Serve.submit t (Request.v ~tenant:"alice" ~env (Request.Pattern p)) in
+  let bad =
+    Serve.submit t (Request.v ~tenant:"mallory" ~env (Request.Text "x! = ("))
+  in
+  Serve.resume t;
+  ignore (Serve.wait t good);
+  (match (Serve.wait t bad).Serve.outcome with
+  | Outcome.Refused _ -> ()
+  | o -> Alcotest.failf "garbage text not refused: %s" (outcome_kind o));
+  Serve.shutdown t;
+  let rings = Serve.flight_rings t in
+  Alcotest.(check int) "one ring per shard" 2 (List.length rings);
+  let dump0 = Ccc.Flight.dump (List.hd rings) in
+  let has needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i =
+      i + n <= h && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "ring 0 kept the refusal" true
+    (has "refused" dump0 && has "mallory" dump0);
+  Alcotest.(check int) "one registry per shard" 2
+    (List.length (Serve.shard_registries t));
+  let text = Serve.prometheus t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " scraped") true (has needle text))
+    [
+      "ccc_serve_tenant_admitted{tenant=\"alice\"} 1";
+      "ccc_serve_refused 1";
+      "ccc_serve_completed 1";
+      "ccc_serve_queued_us_bucket";
+      "shard=\"0\"";
+      "shard=\"1\"";
+    ]
+
 (* --- pool accessors (satellite of this PR) ------------------------- *)
 
 let test_pool_accessors () =
@@ -484,6 +672,12 @@ let () =
             test_shutdown_drains;
           Alcotest.test_case "no-drain sheds every ticket" `Quick
             test_shutdown_sheds_undrained;
+        ] );
+      ("tracing", qcheck [ prop_trace_well_formed ]);
+      ( "observability",
+        [
+          Alcotest.test_case "flight rings and prometheus" `Quick
+            test_flight_and_prometheus;
         ] );
       ( "pool",
         [ Alcotest.test_case "size, busy, closed" `Quick test_pool_accessors ] );
