@@ -667,8 +667,10 @@ let service () =
 (* Scaling: host-side wall clock of the two Fast inner loops under the
    domain pool.  Unlike every other section (which reports simulated
    CM-2 cycles), this one times the host: the precompiled kernel vs
-   the bounds-checked tapwalk, at jobs = 1, 2, 4.  Results are
-   bit-identical across all rows -- only wall-clock moves. *)
+   the bounds-checked tapwalk, a tile-geometry sweep of the blocked
+   kernel at jobs = 1, and the pool's shared tile queue at jobs = 2
+   and 4.  Results are bit-identical across all rows -- only
+   wall-clock moves. *)
 
 let json_path : string option ref = ref None
 
@@ -677,8 +679,10 @@ let scaling () =
     "SCALING -- host wall-clock of the Fast inner loops (seismic kernel,\n\
      16 nodes, 256x256 global).  'tapwalk' is the original per-element\n\
      address rederivation; 'kernel' is the preresolved offset walk the\n\
-     engine caches; jobs runs the per-node loops on a domain pool.\n\
-     Every row computes bit-identical output.";
+     engine caches, blocked into (rows x cols) tiles -- a 64x64 tile is\n\
+     the whole 64x64 subgrid, i.e. the unblocked walk; jobs drains the\n\
+     shared (node, tile) queue on a domain pool.  Every row computes\n\
+     bit-identical output.";
   let config = Config.default in
   let kernel_pattern = Ccc.Seismic.kernel () in
   let compiled =
@@ -692,8 +696,10 @@ let scaling () =
   let machine = Ccc.machine config in
   let arena = Exec.Arena.create machine in
   let repeats = 7 in
-  let time_run ?pool ?kernel ~inner () =
-    let run () = Exec.run_arena ?pool ~inner ?kernel arena compiled env in
+  let time_run ?pool ?kernel ?tile ~inner () =
+    let run () =
+      Exec.run_arena ?pool ~inner ?kernel ?tile arena compiled env
+    in
     ignore (run ());
     (* warm the arena / pagecache *)
     let t0 = Unix.gettimeofday () in
@@ -704,15 +710,30 @@ let scaling () =
     let t1 = Unix.gettimeofday () in
     ((t1 -. t0) /. float_of_int repeats, !last.Exec.output)
   in
+  (* The subgrid is 64x64 (256/4 per node side), so (64, 64) is the
+     unblocked whole-subgrid walk and the sweep covers row-blocked,
+     square and sliver geometries around the calibrated default. *)
+  let sub = rows / config.Config.node_rows in
+  let tile_sweep =
+    [ (sub, sub); (32, sub); (16, sub); (8, sub); (4, sub); (16, 16) ]
+  in
+  let default_tile =
+    let tr, tc = config.Config.tile in
+    (min tr sub, min tc sub)
+  in
   let base_s, base_out = time_run ~inner:Exec.Tapwalk () in
   let pools = List.map (fun jobs -> (jobs, Ccc.Pool.create ~jobs)) [ 2; 4 ] in
   let rows_out =
-    (("tapwalk", 1), (base_s, base_out))
-    :: (("kernel", 1), time_run ~inner:Exec.Lowered ~kernel ())
+    (("tapwalk", 1, (sub, sub)), (base_s, base_out))
     :: List.map
-         (fun (jobs, pool) ->
-           (("kernel", jobs), time_run ~pool ~inner:Exec.Lowered ~kernel ()))
-         pools
+         (fun tile ->
+           (("kernel", 1, tile), time_run ~inner:Exec.Lowered ~kernel ~tile ()))
+         tile_sweep
+    @ List.map
+        (fun (jobs, pool) ->
+          ( ("kernel", jobs, default_tile),
+            time_run ~pool ~inner:Exec.Lowered ~kernel ~tile:default_tile () ))
+        pools
   in
   List.iter (fun (_, p) -> Ccc.Pool.shutdown p) pools;
   let identical =
@@ -720,12 +741,12 @@ let scaling () =
       (fun (_, (_, out)) -> Ccc.Grid.max_abs_diff base_out out = 0.0)
       rows_out
   in
-  Printf.printf "%-8s %5s | %12s %9s | %s\n" "inner" "jobs" "wall (ms)"
-    "speedup" "vs tapwalk jobs=1";
+  Printf.printf "%-8s %5s %9s | %12s %9s | %s\n" "inner" "jobs" "tile"
+    "wall (ms)" "speedup" "vs tapwalk jobs=1";
   List.iter
-    (fun ((inner, jobs), (s, _)) ->
-      Printf.printf "%-8s %5d | %12.2f %8.2fx |\n" inner jobs (1e3 *. s)
-        (base_s /. s))
+    (fun ((inner, jobs, (tr, tc)), (s, _)) ->
+      Printf.printf "%-8s %5d %4dx%-4d | %12.2f %8.2fx |\n" inner jobs tr tc
+        (1e3 *. s) (base_s /. s))
     rows_out;
   Printf.printf "bit-identical across all rows: %b (host cores: %d)\n"
     identical
@@ -745,12 +766,12 @@ let scaling () =
            (Domain.recommended_domain_count ())
            identical);
       List.iteri
-        (fun i ((inner, jobs), (s, _)) ->
+        (fun i ((inner, jobs, (tr, tc)), (s, _)) ->
           Buffer.add_string buf
             (Printf.sprintf
-               "    {\"inner\": %S, \"jobs\": %d, \"wall_s\": %.6f, \
-                \"speedup\": %.3f}%s\n"
-               inner jobs s (base_s /. s)
+               "    {\"inner\": %S, \"jobs\": %d, \"tile\": [%d, %d], \
+                \"wall_s\": %.6f, \"speedup\": %.3f}%s\n"
+               inner jobs tr tc s (base_s /. s)
                (if i = List.length rows_out - 1 then "" else ",")))
         rows_out;
       Buffer.add_string buf "  ]\n}\n";

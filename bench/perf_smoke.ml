@@ -2,8 +2,9 @@
    a tiny-grid pass over the scaling benchmark's levers asserting what
    the big benchmark only reports — that the precompiled kernel, the
    tapwalk, and every pooled variant compute bit-identical output, all
-   within 1e-9 of the reference evaluator, and that Simulate keeps
-   asserting Cost = Interp on every node under the pool. *)
+   within 1e-9 of the reference evaluator, that Simulate keeps
+   asserting Cost = Interp on every node under the pool, and (PR 9)
+   that the tile-blocked kernel actually wins its wall-clock claims. *)
 
 module Exec = Ccc.Exec
 module Grid = Ccc.Grid
@@ -84,6 +85,74 @@ let check_pattern pools name p =
                      simulate ok, probes clean\n"
         name
 
+(* Wall-clock smoke (PR 9): the scaling benchmark's headline claims,
+   asserted rather than reported.  Single-threaded, the tile-blocked
+   kernel must beat the bounds-checked tapwalk by a wide margin on the
+   scaling bench's own workload (seismic, 4x4 nodes, 256x256 global);
+   the threshold is 2x where the measured margin is ~7x, so only a
+   real regression — not scheduler noise — trips it.  On a multi-core
+   host the shared tile queue must additionally make jobs = 2 no
+   slower than jobs = 1; a single-core host (the common CI container)
+   skips that assertion with a printed notice, since there parallel
+   execution can only add coordination overhead.  Timings are
+   best-of-3 averages so one descheduled run cannot fail the build. *)
+let check_walltime () =
+  let p = Ccc.Seismic.kernel () in
+  match Ccc.compile_pattern config p with
+  | Error e -> fail "walltime: compile failed: %s" (Ccc.error_to_string e)
+  | Ok compiled ->
+      let rows = 256 and cols = 256 in
+      let env = env_for p ~rows ~cols in
+      let kernel = Ccc.Kernel.build config compiled in
+      let arena = Exec.Arena.create (Ccc.machine config) in
+      let repeats = 5 in
+      let time ?pool ?kernel inner =
+        let run () =
+          ignore (Exec.run_arena ?pool ~inner ?kernel arena compiled env)
+        in
+        run ();
+        (* warm the arena *)
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to repeats do
+            run ()
+          done;
+          let dt = (Unix.gettimeofday () -. t0) /. float_of_int repeats in
+          if dt < !best then best := dt
+        done;
+        !best
+      in
+      let tapwalk_s = time Exec.Tapwalk in
+      let kernel_s = time ~kernel Exec.Lowered in
+      if kernel_s *. 2.0 > tapwalk_s then
+        fail
+          "walltime: kernel %.2f ms vs tapwalk %.2f ms — the tiled kernel \
+           must be at least 2x faster single-threaded"
+          (1e3 *. kernel_s) (1e3 *. tapwalk_s);
+      if Domain.recommended_domain_count () = 1 then
+        Printf.printf
+          "walltime: kernel %.2f ms, tapwalk %.2f ms (%.1fx); single-core \
+           host, jobs=2 <= jobs=1 assertion skipped\n"
+          (1e3 *. kernel_s) (1e3 *. tapwalk_s) (tapwalk_s /. kernel_s)
+      else begin
+        let pool = Ccc.Pool.create ~jobs:2 in
+        let kernel2_s = time ~pool ~kernel Exec.Lowered in
+        Ccc.Pool.shutdown pool;
+        if kernel2_s > kernel_s then
+          fail
+            "walltime: jobs=2 %.2f ms slower than jobs=1 %.2f ms — the \
+             shared tile queue must not lose to the sequential walk on a \
+             %d-core host"
+            (1e3 *. kernel2_s) (1e3 *. kernel_s)
+            (Domain.recommended_domain_count ());
+        Printf.printf
+          "walltime: kernel %.2f ms, tapwalk %.2f ms (%.1fx); jobs=2 %.2f \
+           ms (%.2fx of jobs=1)\n"
+          (1e3 *. kernel_s) (1e3 *. tapwalk_s) (tapwalk_s /. kernel_s)
+          (1e3 *. kernel2_s) (kernel_s /. kernel2_s)
+      end
+
 (* Closed-loop serve check (PR 7): one request in flight at a time
    through the sharded scheduler, three rounds over three gallery
    stencils.  Every completed outcome must be bit-identical to a
@@ -146,5 +215,6 @@ let () =
     (List.assoc "cross5" (Ccc.Pattern.gallery ()));
   check_pattern pools "seismic" (Ccc.Seismic.kernel ());
   List.iter (fun (_, p) -> Ccc.Pool.shutdown p) pools;
+  check_walltime ();
   check_serve ();
   print_endline "perf-smoke: ok"

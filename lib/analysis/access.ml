@@ -74,6 +74,10 @@ let () =
       ("dist.node", Node_indexed);
       ("halo.node", Node_indexed);
       ("exec.dst", Node_indexed);
+      (* Per-(node, tile) destination spans of the tiled Fast kernel:
+         the slot packs the node's probe slot above the tile index, so
+         two tiles — of one node or of two — never alias. *)
+      ("exec.tile", Node_indexed);
       ("exec.outcome", Node_indexed);
       ("gather.node", Node_indexed);
       (* Engine cache, LRU tick and the standing arena slot live on the

@@ -3,9 +3,10 @@
 
    Where Mutate perturbs a microcode plan and Verify must reject it,
    this module builds an event-trace model of the runtime's
-   synchronization protocol — the pool's publish/chunk/complete/barrier
-   cycle over a two-statement engine batch, locked metrics updates, an
-   atomic work counter — and then seeds one concurrency bug into it.
+   synchronization protocol — the pool's publish/claim/complete/barrier
+   cycle over a two-statement engine batch, locked metrics updates, the
+   atomic claim counter of the shared item queue — and then seeds one
+   concurrency bug into it.
    Race and Discipline must kill every mutant with a phase-attributed
    finding, while the unmutated model (and the instrumented live
    runtime, which follows the same protocol) must analyze clean.
@@ -47,7 +48,8 @@ let describe = function
   | Dropped_metrics_lock ->
       "one domain updates a metric without taking its per-metric lock"
   | Overlapping_chunks ->
-      "one worker's chunk partition overlaps its neighbor's by one item"
+      "one worker's claimed item range overlaps its neighbor's by one \
+       item, as if the shared queue double-issued a claim"
   | Deatomized_counter ->
       "one worker updates the shared work counter with a plain \
        read-then-write instead of an atomic RMW"
@@ -85,7 +87,10 @@ let draw r bound =
 
 let items = 8
 
-(* Balanced contiguous chunks, the pool's own partition function. *)
+(* Since PR 9 the pool claims items dynamically from a shared queue;
+   a balanced contiguous split is one legal outcome of that claim
+   order, and modelling it keeps every victim choice a pure function
+   of (seed, mutation). *)
 let chunk ~jobs k = (k * items / jobs, (k + 1) * items / jobs)
 
 let build ~jobs mutation rng =
@@ -163,8 +168,28 @@ let build ~jobs mutation rng =
     then if hi < items then (lo, hi + 1) else (lo - 1, hi)
     else (lo, hi)
   in
+  (* One participant's dynamic-claim traffic for one generation: a
+     fetch-and-add Rmw per claimed item, plus the one overshooting
+     claim and its give-back — all emitted *before* the participant's
+     item bodies.  The counter claims work, it does not publish
+     results: emitting any claim after a body would let the counter
+     pseudo-lock's release edge relay the body's writes to the next
+     claimant, and that accidental edge would hide both an
+     overlapping claim and a lost completion signal from the
+     vector-clock model.  [deatomized] replaces the first claim with
+     a plain read-then-write (the Deatomized_counter seed). *)
+  let claims ~deatomized slot phase nitems =
+    for c = 0 to nitems + 1 do
+      if c = 0 && deatomized then begin
+        ev slot phase (Access.Read ("pool.counter", 0));
+        ev slot phase (Access.Write ("pool.counter", 0))
+      end
+      else ev slot phase (Access.Rmw ("pool.counter", 0))
+    done
+  in
   let scatter_body slot gen =
     let lo, hi = bounds slot gen in
+    claims ~deatomized:false slot "scatter" (hi - lo);
     for i = lo to hi - 1 do
       ev slot "scatter" (Access.Write ("pool.item", i));
       ev slot "scatter" (Access.Write ("dist.node", i))
@@ -172,19 +197,10 @@ let build ~jobs mutation rng =
   in
   let compute_body slot gen =
     let lo, hi = bounds slot gen in
-    (* One shared work-counter bump per chunk, *before* the chunk body:
-       the counter claims work, it does not publish results.  (Bumping
-       after the body would let the atomic's release edge relay the
-       chunk's writes to later workers and mask a lost completion
-       signal.) *)
-    (if
-       mutation = Some Deatomized_counter
-       && slot = victim_worker && gen = victim_gen
-     then begin
-       ev slot "compute" (Access.Read ("pool.counter", 0));
-       ev slot "compute" (Access.Write ("pool.counter", 0))
-     end
-     else ev slot "compute" (Access.Rmw ("pool.counter", 0)));
+    claims slot "compute" (hi - lo)
+      ~deatomized:
+        (mutation = Some Deatomized_counter
+        && slot = victim_worker && gen = victim_gen);
     for i = lo to hi - 1 do
       ev slot "compute" (Access.Write ("pool.item", i));
       ev slot "compute" (Access.Read ("dist.node", i));

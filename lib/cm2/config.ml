@@ -22,6 +22,7 @@ type t = {
   frontend_dispatch_s : float;
   frontend_word_cycles : float;
   strength_reduced_frontend : bool;
+  tile : int * int;
 }
 
 let effective_call_s t =
@@ -73,6 +74,15 @@ let default =
     frontend_dispatch_s = 100e-6;
     frontend_word_cycles = 1.8;
     strength_reduced_frontend = false;
+    (* Host-side execution geometry, not a CM-2 cost constant: the
+       kernel blocks each node's subgrid into tiles of at most this
+       many (rows, cols) — clamped to the subgrid — so a tile's
+       destination span and coefficient rows stay L1-resident and the
+       pool's work queue has enough grain to balance.  Calibrated by
+       the bench/main.exe scaling tile sweep (EXPERIMENTS.md); it does
+       not enter the cycle model, so Table-1 calibration is
+       unaffected. *)
+    tile = (16, 128);
   }
 
 let with_nodes ~rows ~cols t =

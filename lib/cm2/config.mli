@@ -73,6 +73,15 @@ type t = {
       (** section 7: careful recoding with strength reduction (no
           integer multiplications) of the front-end inner loops;
           shrinks the dispatch and per-word costs *)
+  tile : int * int;
+      (** host-side kernel blocking, (rows, cols) per tile: the Fast
+          backend's lowered kernel walks each node's subgrid tile by
+          tile so destination spans and coefficient rows stay cache
+          resident, and the pool's shared work queue schedules whole
+          tiles.  Clamped to the subgrid at specialization time; purely
+          a host execution parameter — it never enters the cycle model
+          or the Table-1 calibration.  Calibrated by the
+          [bench/main.exe scaling] tile sweep (EXPERIMENTS.md). *)
 }
 
 val effective_call_s : t -> float

@@ -150,10 +150,11 @@ let fast_node_compute pattern ~(source : Halo.exchange) ~(dst : Dist.t)
 
 (* Resolve a kernel against the statement's standing regions: the
    layouts are identical on every node (Machine.alloc_all asserts it),
-   so one specialization serves the whole machine. *)
-let specialize_kernel kernel machine ~(halos : Halo.exchange array)
+   so one specialization — and one tile decomposition — serves the
+   whole machine. *)
+let specialize_kernel kernel machine ~tile ~(halos : Halo.exchange array)
     ~(dst : Dist.t) ~(streams : Dist.t array) =
-  Kernel.specialize kernel ~sub_rows:dst.Dist.sub_rows
+  Kernel.specialize kernel ~tile ~sub_rows:dst.Dist.sub_rows
     ~sub_cols:dst.Dist.sub_cols
     ~sources:
       (Array.map
@@ -167,6 +168,7 @@ let specialize_kernel kernel machine ~(halos : Halo.exchange array)
     ~coeff_bases:(Array.map (fun d -> d.Dist.region.Memory.base) streams)
     ~dst_base:dst.Dist.region.Memory.base
     ~words:(Memory.words (Machine.memory machine 0))
+    ()
 
 (* The phase shared by the one-shot path, the arena path and every
    statement of a batched run: strip the subgrid, evaluate in the
@@ -174,8 +176,9 @@ let specialize_kernel kernel machine ~(halos : Halo.exchange array)
    may be padded wider than the pattern's own border (a batch pads to
    the widest statement); the inner loops index by [halo.pad], so a
    narrower pattern simply reads inside the border. *)
-let compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
-    ~(halo : Halo.exchange) ~(dst : Dist.t) ~(streams : Dist.t array) =
+let compute_statement ~obs ~mode ~pool ~inner ~kernel ~tile ~hooks machine
+    compiled ~(halo : Halo.exchange) ~(dst : Dist.t) ~(streams : Dist.t array)
+    =
   let config = Machine.config machine in
   let pattern = compiled.Compile.pattern in
   let sub_rows = dst.Dist.sub_rows and sub_cols = dst.Dist.sub_cols in
@@ -215,13 +218,27 @@ let compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
             match kernel with Some k -> k | None -> Kernel.lower pattern
           in
           let spec =
-            specialize_kernel k machine ~halos:[| halo |] ~dst ~streams
+            specialize_kernel k machine ~tile ~halos:[| halo |] ~dst ~streams
           in
-          Pool.iter pool (Machine.node_count machine) (fun node ->
-              hooks.on_compute_node node;
-              Access.read "halo.node" (Dist.probe_slot machine node);
-              Access.write "exec.dst" (Dist.probe_slot machine node);
-              Kernel.exec_node spec (Memory.raw (Machine.memory machine node)))
+          (* The pool's queue items are (node, tile) pairs, node-major:
+             tiles touch disjoint destination spans, so any claim order
+             is bit-identical to the sequential walk.  The per-node
+             hook and the halo-consumption probe fire once per node, on
+             its first tile; every item logs its own [exec.tile] slot
+             (node probe slot above the tile index) so the analyzer's
+             partition rule sees per-item ownership, not per-node. *)
+          let ntiles = Kernel.tile_count spec in
+          Pool.iter pool
+            (Machine.node_count machine * ntiles)
+            (fun item ->
+              let node = item / ntiles and tl = item mod ntiles in
+              let slot = Dist.probe_slot machine node in
+              if tl = 0 then begin
+                hooks.on_compute_node node;
+                Access.read "halo.node" slot
+              end;
+              Access.write "exec.tile" ((slot lsl 20) + tl);
+              Kernel.exec_tile spec tl (Memory.raw (Machine.memory machine node)))
       | Tapwalk ->
           Pool.iter pool (Machine.node_count machine) (fun node ->
               hooks.on_compute_node node;
@@ -311,9 +328,10 @@ let too_small pad ~sub_rows ~sub_cols =
 
 let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
     ?(iterations = 1) ?(pool = Pool.sequential) ?(inner = Lowered) ?kernel
-    ?(hooks = no_hooks) machine compiled env =
+    ?tile ?(hooks = no_hooks) machine compiled env =
   if iterations < 1 then invalid_arg "Exec.run: iterations < 1";
   let config = Machine.config machine in
+  let tile = Option.value tile ~default:config.Config.tile in
   let pattern = compiled.Compile.pattern in
   Reference.check_env pattern env;
   let source_grid = Reference.lookup env (Pattern.source_var pattern) in
@@ -359,8 +377,8 @@ let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
       streams;
     };
   let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-    compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
-      ~halo ~dst ~streams
+    compute_statement ~obs ~mode ~pool ~inner ~kernel ~tile ~hooks machine
+      compiled ~halo ~dst ~streams
   in
   Access.set_phase "gather";
   let output =
@@ -620,9 +638,10 @@ let check_fused_fits multi ~sub_rows ~sub_cols =
 
 let run_fused ?(obs = Obs.disabled) ?(mode = Fast)
     ?(primitive = Halo.Node_level) ?(iterations = 1) ?(pool = Pool.sequential)
-    ?(inner = Lowered) machine (fused : Compile.fused) env =
+    ?(inner = Lowered) ?tile machine (fused : Compile.fused) env =
   if iterations < 1 then invalid_arg "Exec.run_fused: iterations < 1";
   let config = Machine.config machine in
+  let tile = Option.value tile ~default:config.Config.tile in
   let multi = fused.Compile.multi in
   let first_source = List.hd (Ccc_stencil.Multi.sources multi) in
   let source_grid = Reference.lookup env first_source in
@@ -668,9 +687,13 @@ let run_fused ?(obs = Obs.disabled) ?(mode = Fast)
       match inner with
       | Lowered ->
           let k = Kernel.lower_multi multi in
-          let spec = specialize_kernel k machine ~halos ~dst ~streams in
-          Pool.iter pool (Machine.node_count machine) (fun node ->
-              Kernel.exec_node spec (Memory.raw (Machine.memory machine node)))
+          let spec = specialize_kernel k machine ~tile ~halos ~dst ~streams in
+          let ntiles = Kernel.tile_count spec in
+          Pool.iter pool
+            (Machine.node_count machine * ntiles)
+            (fun item ->
+              Kernel.exec_tile spec (item mod ntiles)
+                (Memory.raw (Machine.memory machine (item / ntiles))))
       | Tapwalk ->
           Pool.iter pool (Machine.node_count machine) (fun node ->
               fast_node_compute_fused multi ~halos ~dst ~streams ~node
@@ -863,10 +886,11 @@ let arena_shape (config : Config.t) ~who grid =
 
 let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
     ?(primitive = Halo.Node_level) ?(iterations = 1) ?(pool = Pool.sequential)
-    ?(inner = Lowered) ?kernel ?(hooks = no_hooks) arena compiled env =
+    ?(inner = Lowered) ?kernel ?tile ?(hooks = no_hooks) arena compiled env =
   if iterations < 1 then invalid_arg "Exec.run_arena: iterations < 1";
   let machine = Arena.machine arena in
   let config = Machine.config machine in
+  let tile = Option.value tile ~default:config.Config.tile in
   let pattern = compiled.Compile.pattern in
   Reference.check_env pattern env;
   let source_grid = Reference.lookup env (Pattern.source_var pattern) in
@@ -910,8 +934,8 @@ let run_arena ?(obs = Obs.disabled) ?(mode = Fast)
       streams = slot.Arena.streams;
     };
   let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-    compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks machine compiled
-      ~halo ~dst:slot.Arena.dst ~streams:slot.Arena.streams
+    compute_statement ~obs ~mode ~pool ~inner ~kernel ~tile ~hooks machine
+      compiled ~halo ~dst:slot.Arena.dst ~streams:slot.Arena.streams
   in
   Access.set_phase "gather";
   let output =
@@ -933,7 +957,7 @@ type batch = { batch_results : result list; batch_stats : Stats.t }
 
 let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
     ?(primitive = Halo.Node_level) ?(pool = Pool.sequential)
-    ?(inner = Lowered) ?kernels arena compileds env =
+    ?(inner = Lowered) ?kernels ?tile arena compileds env =
   if compileds = [] then invalid_arg "Exec.run_batch_arena: empty batch";
   let kernels =
     match kernels with
@@ -945,6 +969,7 @@ let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
   in
   let machine = Arena.machine arena in
   let config = Machine.config machine in
+  let tile = Option.value tile ~default:config.Config.tile in
   let patterns = List.map (fun c -> c.Compile.pattern) compileds in
   let first = List.hd patterns in
   let source_var = Pattern.source_var first in
@@ -1013,8 +1038,8 @@ let run_batch_arena ?(obs = Obs.disabled) ?(mode = Fast)
         Obs.span obs "run.streams" (fun () ->
             refill_streams ~pool env streams spec);
         let analytic_cycles, analytic_madds, frontend_stall_s, strip_widths =
-          compute_statement ~obs ~mode ~pool ~inner ~kernel ~hooks:no_hooks
-            machine compiled ~halo ~dst:slot.Arena.dst ~streams
+          compute_statement ~obs ~mode ~pool ~inner ~kernel ~tile
+            ~hooks:no_hooks machine compiled ~halo ~dst:slot.Arena.dst ~streams
         in
         (* The destination region is shared across the batch, so gather
            each statement's result before the next one overwrites it.

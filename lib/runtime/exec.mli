@@ -19,9 +19,14 @@
     {!Kernel} offset walk by default, or the original bounds-checked
     tapwalk as the measurable baseline), and [pool] runs the per-node
     loops — compute, scatter/gather, halo fill — across a {!Pool} of
-    domains.  Outputs are bit-identical across all four combinations
-    and every jobs value; [Simulate] keeps asserting Cost = Interp on
-    every node under the pool. *)
+    domains.  The [Lowered] inner loop additionally blocks each node's
+    subgrid into [tile]-sized tiles (default
+    {!Ccc_cm2.Config.t}[.tile]): the pool's shared queue schedules
+    (node, tile) items instead of whole nodes, so jobs can outnumber
+    nodes and an expensive node no longer serializes its whole
+    subgrid.  Outputs are bit-identical across all four combinations,
+    every jobs value and every tile geometry; [Simulate] keeps
+    asserting Cost = Interp on every node under the pool. *)
 
 type mode = Simulate | Fast
 
@@ -62,9 +67,11 @@ type phase_ctx = {
 type hooks = {
   on_phase : phase_ctx -> unit;
   on_compute_node : int -> unit;
-      (** fired inside {!Pool.iter}, before each node's inner loop —
-          an exception here models a dying worker domain and surfaces
-          through the pool's deterministic lowest-node re-raise *)
+      (** fired inside {!Pool.iter}, once per node before its inner
+          loop (on the node's first tile under the tiled [Lowered]
+          walk) — an exception here models a dying worker domain and
+          surfaces through the pool's deterministic lowest-item
+          re-raise *)
 }
 
 val no_hooks : hooks
@@ -82,6 +89,7 @@ val run :
   ?pool:Pool.t ->
   ?inner:inner ->
   ?kernel:Kernel.t ->
+  ?tile:int * int ->
   ?hooks:hooks ->
   Ccc_cm2.Machine.t ->
   Ccc_compiler.Compile.t ->
@@ -95,7 +103,9 @@ val run :
     sequential) parallelizes the per-node loops; [kernel] supplies a
     pre-verified lowering (the engine's cached one) — when absent the
     [Lowered] inner loop lowers on the fly, unverified (the qcheck
-    properties cover it).  [obs] (default disabled — one branch per
+    properties cover it).  [tile] overrides the machine config's
+    kernel blocking for this run (clamped to the subgrid; the result
+    is bit-identical at every geometry).  [obs] (default disabled — one branch per
     phase, no allocation) opens a [run] span with [run.scatter] /
     [run.streams] / [run.halo] / [run.compute] (one [run.halfstrip]
     child per half-strip, cycle-priced by the analytic model) /
@@ -168,6 +178,7 @@ val run_arena :
   ?pool:Pool.t ->
   ?inner:inner ->
   ?kernel:Kernel.t ->
+  ?tile:int * int ->
   ?hooks:hooks ->
   Arena.t ->
   Ccc_compiler.Compile.t ->
@@ -191,6 +202,7 @@ val run_batch_arena :
   ?pool:Pool.t ->
   ?inner:inner ->
   ?kernels:Kernel.t list ->
+  ?tile:int * int ->
   Arena.t ->
   Ccc_compiler.Compile.t list ->
   Reference.env ->
@@ -236,6 +248,7 @@ val run_fused :
   ?iterations:int ->
   ?pool:Pool.t ->
   ?inner:inner ->
+  ?tile:int * int ->
   Ccc_cm2.Machine.t ->
   Ccc_compiler.Compile.fused ->
   Reference.env ->

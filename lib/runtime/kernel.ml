@@ -57,10 +57,21 @@ type spec = {
   coeff_off : int array;
   bias_off : int;
   dst_off : int;
+  (* Tile decomposition of the subgrid, row-major, precomputed here so
+     the execution loop never divides: tile [i] covers rows
+     [tile_row0.(i), tile_row0.(i) + tile_nrows.(i)) and columns
+     [tile_col0.(i), tile_col0.(i) + tile_ncols.(i)).  Edge tiles are
+     clamped, so the tiles partition the subgrid exactly. *)
+  tile_row0 : int array;
+  tile_nrows : int array;
+  tile_col0 : int array;
+  tile_ncols : int array;
 }
 
-let specialize t ~sub_rows ~sub_cols ~(sources : source_layout array)
-    ~(coeff_bases : int array) ~dst_base ~words =
+let tile_count spec = Array.length spec.tile_row0
+
+let specialize t ?tile ~sub_rows ~sub_cols ~(sources : source_layout array)
+    ~(coeff_bases : int array) ~dst_base ~words () =
   if sub_rows <= 0 || sub_cols <= 0 then
     invalid_arg "Kernel.specialize: non-positive subgrid";
   if Array.length coeff_bases <> nstreams t then
@@ -99,6 +110,31 @@ let specialize t ~sub_rows ~sub_cols ~(sources : source_layout array)
   let bias_off = if t.has_bias then coeff_bases.(n) else -1 in
   if t.has_bias then check_span "bias stream" bias_off sub_cols;
   check_span "destination" dst_base sub_cols;
+  (* Tile geometry: the requested shape is clamped into
+     [1, sub_rows] x [1, sub_cols] (degenerate 1x1 and
+     larger-than-subgrid requests are both legal), and edge tiles
+     absorb the non-dividing remainder.  Every tile access is a subset
+     of a walk [check_span] just validated, so the tile tables need no
+     further bounds proof. *)
+  let trows, tcols =
+    match tile with
+    | None -> (sub_rows, sub_cols)
+    | Some (tr, tc) -> (min (max 1 tr) sub_rows, min (max 1 tc) sub_cols)
+  in
+  let ntr = (sub_rows + trows - 1) / trows in
+  let ntc = (sub_cols + tcols - 1) / tcols in
+  let ntiles = ntr * ntc in
+  let tile_row0 = Array.make ntiles 0
+  and tile_nrows = Array.make ntiles 0
+  and tile_col0 = Array.make ntiles 0
+  and tile_ncols = Array.make ntiles 0 in
+  for i = 0 to ntiles - 1 do
+    let row0 = i / ntc * trows and col0 = i mod ntc * tcols in
+    tile_row0.(i) <- row0;
+    tile_nrows.(i) <- min trows (sub_rows - row0);
+    tile_col0.(i) <- col0;
+    tile_ncols.(i) <- min tcols (sub_cols - col0)
+  done;
   {
     sub_rows;
     sub_cols;
@@ -107,40 +143,63 @@ let specialize t ~sub_rows ~sub_cols ~(sources : source_layout array)
     coeff_off;
     bias_off;
     dst_off = dst_base;
+    tile_row0;
+    tile_nrows;
+    tile_col0;
+    tile_ncols;
   }
 
-(* The branch-free inner loop: walk the preresolved offsets over the
-   raw store.  The accumulation order is exactly the tapwalk's (taps in
-   pattern order, bias last, [sum +. (coeff *. v)]), so the two Fast
-   inner loops are bit-identical.  The per-call row cursors keep
-   concurrent nodes from sharing scratch. *)
-let exec_node spec (raw : float array) =
+(* The branch-free inner loop, tile-blocked and tap-interchanged: per
+   tile row the destination span is zeroed, then each tap (and last the
+   bias) sweeps the span as a unit-stride fused multiply-accumulate
+   trip with preresolved row bases hoisted out of the column loop.  Per
+   cell the additions still run in exactly the tapwalk's order — 0.0,
+   then taps in pattern order, bias last, each rounded through the
+   destination word (a double survives the store/load round trip
+   bit-for-bit) — so the interchange is bit-identical to the per-cell
+   walk, signed zeros included.  All accesses are subsets of the walks
+   [specialize] validated, which licenses the unchecked reads and
+   writes; the loop allocates nothing, so concurrent tiles share no
+   scratch. *)
+let exec_tile spec tile (raw : float array) =
   let n = Array.length spec.tap_off in
-  let sub_rows = spec.sub_rows and sub_cols = spec.sub_cols in
-  let tap_row = Array.copy spec.tap_off in
-  let coeff_row = Array.copy spec.coeff_off in
-  let tap_stride = spec.tap_stride in
+  let sub_cols = spec.sub_cols in
+  let row0 = Array.unsafe_get spec.tile_row0 tile in
+  let nrows = Array.unsafe_get spec.tile_nrows tile in
+  let col0 = Array.unsafe_get spec.tile_col0 tile in
+  let ncols = Array.unsafe_get spec.tile_ncols tile in
   let has_bias = spec.bias_off >= 0 in
-  let bias_row = ref spec.bias_off in
-  let dst = ref spec.dst_off in
-  for _r = 0 to sub_rows - 1 do
-    for c = 0 to sub_cols - 1 do
-      let sum = ref 0.0 in
-      for i = 0 to n - 1 do
-        let v = Array.unsafe_get raw (Array.unsafe_get tap_row i + c) in
-        let coeff = Array.unsafe_get raw (Array.unsafe_get coeff_row i + c) in
-        sum := !sum +. (coeff *. v)
-      done;
-      if has_bias then sum := !sum +. Array.unsafe_get raw (!bias_row + c);
-      Array.unsafe_set raw (!dst + c) !sum
+  for r = row0 to row0 + nrows - 1 do
+    let dst = spec.dst_off + (r * sub_cols) + col0 in
+    for j = 0 to ncols - 1 do
+      Array.unsafe_set raw (dst + j) 0.0
     done;
     for i = 0 to n - 1 do
-      Array.unsafe_set tap_row i
-        (Array.unsafe_get tap_row i + Array.unsafe_get tap_stride i);
-      Array.unsafe_set coeff_row i (Array.unsafe_get coeff_row i + sub_cols)
+      let tap =
+        Array.unsafe_get spec.tap_off i
+        + (r * Array.unsafe_get spec.tap_stride i)
+        + col0
+      in
+      let coeff = Array.unsafe_get spec.coeff_off i + (r * sub_cols) + col0 in
+      for j = 0 to ncols - 1 do
+        Array.unsafe_set raw (dst + j)
+          (Array.unsafe_get raw (dst + j)
+          +. Array.unsafe_get raw (coeff + j) *. Array.unsafe_get raw (tap + j)
+          )
+      done
     done;
-    if has_bias then bias_row := !bias_row + sub_cols;
-    dst := !dst + sub_cols
+    if has_bias then begin
+      let bias = spec.bias_off + (r * sub_cols) + col0 in
+      for j = 0 to ncols - 1 do
+        Array.unsafe_set raw (dst + j)
+          (Array.unsafe_get raw (dst + j) +. Array.unsafe_get raw (bias + j))
+      done
+    end
+  done
+
+let exec_node spec (raw : float array) =
+  for tile = 0 to tile_count spec - 1 do
+    exec_tile spec tile raw
   done
 
 (* ------------------------------------------------------------------ *)
@@ -215,12 +274,13 @@ let verify (config : Config.t) (compiled : Compile.t) t =
         done
       done)
     streams;
-  let spec =
-    specialize t ~sub_rows ~sub_cols
+  let specialize_with tile =
+    specialize t ?tile ~sub_rows ~sub_cols
       ~sources:[| { base = padded.Memory.base; pcols; pad } |]
       ~coeff_bases:(Array.map (fun (r : Memory.region) -> r.Memory.base) coeffs)
-      ~dst_base:dst.Memory.base ~words:(Memory.words mem)
+      ~dst_base:dst.Memory.base ~words:(Memory.words mem) ()
   in
+  let spec = specialize_with None in
   exec_node spec (Memory.raw mem);
   let kernel_out = Memory.blit_out mem dst in
   let check_against what actual =
@@ -240,6 +300,29 @@ let verify (config : Config.t) (compiled : Compile.t) t =
     if !findings <> [] then raise (Finding.Failed !findings)
   in
   check_against "lowered inner loop" kernel_out;
+  (* The tiled walk again under a deliberately awkward blocking — a
+     tile one short of the subgrid in each direction, so the sandbox
+     exercises interior tiles, clamped edge tiles and the remainder
+     columns — must write the very same bits. *)
+  let tiled =
+    specialize_with (Some (max 1 (sub_rows - 1), max 1 (sub_cols - 1)))
+  in
+  exec_node tiled (Memory.raw mem);
+  let tiled_out = Memory.blit_out mem dst in
+  Array.iteri
+    (fun i k ->
+      if not (Int64.equal (Int64.bits_of_float k)
+                (Int64.bits_of_float tiled_out.(i)))
+      then
+        raise
+          (Finding.Failed
+             [
+               Finding.makef Finding.Store_mismatch
+                 "kernel: tiled walk wrote %.17g at (%d,%d) where the \
+                  whole-subgrid walk wrote %.17g"
+                 tiled_out.(i) (i / sub_cols) (i mod sub_cols) k;
+             ]))
+    kernel_out;
   (* Cross-check against the cycle-accurate interpreter over the same
      sandbox bindings. *)
   let bindings =

@@ -11,9 +11,16 @@
     resolves them once per statement against the node's region layouts
     ({!Ccc_cm2.Machine.alloc_all} guarantees all nodes share one
     layout, so one specialization serves every node), and
-    {!exec_node} is a branch-free offset walk over the raw store with
-    unchecked accesses — licensed by the bounds validation that
-    {!specialize} performs over the whole sweep up front.
+    {!exec_tile}/{!exec_node} are branch-free offset walks over the
+    raw store with unchecked accesses — licensed by the bounds
+    validation that {!specialize} performs over the whole sweep up
+    front.  Specialization also blocks the subgrid into cache-sized
+    tiles (the [tile] parameter, default {!Ccc_cm2.Config.t}[.tile]
+    threaded through {!Exec}): a tile is the unit of work the pool's
+    shared queue schedules, and within a tile row every tap sweeps a
+    contiguous destination span as a unit-stride multiply-accumulate
+    trip, so coefficient and source rows are cache-resident when
+    reused instead of being reloaded per cell.
 
     {!build} additionally verifies the lowering once, on a one-node
     sandbox, against both {!Reference.apply} and the cycle-accurate
@@ -69,28 +76,53 @@ type source_layout = { base : int; pcols : int; pad : int }
 
 type spec
 (** A kernel specialized to one statement's region layouts: absolute
-    offset tables, bounds-validated over the whole sweep. *)
+    offset tables, bounds-validated over the whole sweep, plus the
+    row-major tile decomposition of the subgrid ({!tile_count} tiles
+    with clamped edges) that {!exec_tile} executes. *)
 
 val specialize :
   t ->
+  ?tile:int * int ->
   sub_rows:int ->
   sub_cols:int ->
   sources:source_layout array ->
   coeff_bases:int array ->
   dst_base:int ->
   words:int ->
+  unit ->
   spec
 (** Resolve the kernel against concrete layouts.  [coeff_bases] are
     the stream region bases in plan order ({!nstreams} of them);
     [words] is the node memory size every resolved walk is validated
     against.  Raises [Invalid_argument] if any walk could escape
-    [0, words) — after which {!exec_node}'s unchecked accesses are
-    safe. *)
+    [0, words) — after which the unchecked accesses of {!exec_tile}
+    and {!exec_node} are safe.  [tile] is the requested (rows, cols)
+    blocking, clamped into [1, sub_rows] x [1, sub_cols] (so
+    degenerate 1x1 tiles and tiles larger than the subgrid are both
+    legal); edge tiles absorb any non-dividing remainder, and the
+    default is one tile covering the whole subgrid.  The per-tile
+    offset tables are precomputed here, so the execution loops divide
+    nothing. *)
+
+val tile_count : spec -> int
+(** Number of tiles the specialization cut the subgrid into; the valid
+    {!exec_tile} indices are [0 .. tile_count - 1], in row-major
+    order (tile 0 holds the subgrid origin). *)
+
+val exec_tile : spec -> int -> float array -> unit
+(** Run one tile of the specialized kernel over one node's raw store
+    ({!Ccc_cm2.Memory.raw}): per tile row the destination span is
+    zeroed, then every tap — and last the bias — sweeps it as a
+    unit-stride multiply-accumulate trip with the coefficient and
+    source row bases hoisted out of the column loop.  Per cell the
+    additions run in exactly the tapwalk's order (taps in pattern
+    order, bias last), so any tile decomposition writes bits identical
+    to the checking inner loop.  Tiles touch disjoint destination
+    spans, so distinct tiles — of one node or of many — may run on
+    concurrent domains; the loop allocates nothing. *)
 
 val exec_node : spec -> float array -> unit
-(** Run the specialized kernel over one node's raw store
-    ({!Ccc_cm2.Memory.raw}).  Accumulation order is exactly the
-    tapwalk's (taps in pattern order, bias last), so the result is
-    bit-identical to the checking inner loop.  Allocates only two
-    small per-call row cursors, so concurrent nodes share no
-    scratch. *)
+(** All of the node's tiles in order: {!exec_tile} over
+    [0 .. tile_count - 1].  The sequential spelling of the same
+    walk — bit-identical to running the tiles in any order or on any
+    number of domains. *)

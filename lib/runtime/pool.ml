@@ -1,21 +1,31 @@
-(* A resident pool of worker domains for per-node loops.
+(* A resident pool of worker domains for per-item loops (nodes, or
+   node tiles since PR 9).
 
    The coordinator (the domain that calls [iter]) publishes one task
-   per generation under the mutex, runs chunk 0 itself, and waits for
-   the workers on the completion condition; workers park on the ready
-   condition between generations.  All data written by a chunk before
-   its worker decrements [pending] happens-before the coordinator's
-   return from [iter] (the mutex provides the edges), so callers may
-   freely read what the chunks wrote.
+   per generation under the mutex, then joins the workers in draining
+   a shared item queue: one atomic fetch-and-add on [counter] claims
+   one item, so granularity adapts to the item count and an idle
+   domain picks up slack instead of waiting on a fixed partition.  A
+   domain whose claim overshoots the range gives the increment back
+   (its own overshoot preceded the decrement, so no item index is ever
+   issued twice and the counter nets to exactly one increment per
+   item) and parks immediately — when [jobs] exceeds the item count a
+   surplus worker performs exactly one failed claim and sleeps.  The
+   coordinator waits for the workers on the completion condition;
+   workers park on the ready condition between generations.  All data
+   written by an item before its worker decrements [pending]
+   happens-before the coordinator's return from [iter] (the mutex
+   provides the edges), so callers may freely read what the items
+   wrote.
 
    The protocol doubles as the reference trace for the domain-safety
-   analyzer: every lock round-trip, task hand-off, chunk section and
-   completion signal is mirrored into [Ccc_analysis.Access] (free when
-   disabled), and [Race]/[Discipline] replay exactly the edges the
-   mutex and the atomic chunk counter provide.  Acquire events are
-   logged once, after a condition-wait loop exits, so the logged order
-   is a legal linearization and event counts stay deterministic under
-   spurious wakeups. *)
+   analyzer: every lock round-trip, task hand-off, work section,
+   counter claim, item visit and completion signal is mirrored into
+   [Ccc_analysis.Access] (free when disabled), and [Race]/[Discipline]
+   replay exactly the edges the mutex and the atomic work counter
+   provide.  Acquire events are logged once, after a condition-wait
+   loop exits, so the logged order is a legal linearization and event
+   counts stay deterministic under spurious wakeups. *)
 
 module Access = Ccc_analysis.Access
 module Finding = Ccc_analysis.Finding
@@ -39,11 +49,17 @@ type t = {
          "generation 1", or the analyzer's partition rule would see
          phantom overlaps between unrelated pools *)
   mutable stop : bool;
-  mutable task : (int -> failure option) option;
-      (* worker slot -> run its chunk, reporting its first failure *)
+  mutable task : (unit -> failure option) option;
+      (* drain the generation's item queue, reporting the caller's
+         lowest-indexed failure *)
   mutable pending : int;
-  mutable failure : failure option;  (* lowest failing node index wins *)
-  counter : int Atomic.t;  (* chunks claimed, across all generations *)
+  mutable failure : failure option;  (* lowest failing item index wins *)
+  counter : int Atomic.t;
+      (* items claimed, across all generations: each generation
+         captures [base = counter] at publish time, fetch-and-add
+         claims item [counter - base], and the one overshooting claim
+         per participant is decremented back, so the counter stays a
+         monotonic items-run tally *)
   mutable closed : bool;  (* set once by [shutdown], checked by [iter] *)
 }
 
@@ -86,25 +102,57 @@ let chunks_run t = Atomic.get t.counter
 let record_failure t = function
   | None -> ()
   | Some f -> (
-      (* Keep the failure of the lowest-indexed failing node so the
+      (* Keep the failure of the lowest-indexed failing item so the
          exception the coordinator re-raises never depends on
-         scheduling or on how the chunks happened to be cut.  Recording
-         by node (not chunk) makes the guarantee independent of the
-         partition: when [jobs] exceeds the item count some chunks are
-         empty, and an empty chunk reports nothing — it cannot mask or
-         displace a lower node's failure. *)
+         scheduling or on which domain happened to claim which tile.
+         Every item runs exactly once even when another item has
+         already failed (see [drain]), so the set of candidates — and
+         therefore the minimum — is the same at every jobs value. *)
       match t.failure with
       | Some best when best.node <= f.node -> ()
       | _ -> t.failure <- Some f)
 
-(* Claim one chunk on the shared counter.  Logged as an [Rmw] before
-   the chunk body: the counter claims work, it does not publish
-   results, so the analyzer must not treat it as a completion edge. *)
-let claim_chunk t =
-  Atomic.incr t.counter;
-  Access.rmw "pool.counter" t.uid
+(* Drain one generation's item queue: each atomic fetch-and-add claims
+   the next unclaimed item.  The claim is logged as an [Rmw] before
+   the item body — the counter claims work, it does not publish
+   results, so the analyzer must not treat it as a completion edge.
+   When the claim overshoots the range the participant returns the
+   increment (no index below [base + n] can be issued twice: every
+   decrement is preceded by that same domain's overshooting increment,
+   and before all [n] items are claimed there are no overshoots) and
+   stops — one failed claim, then straight to the barrier.  An item
+   that raises is recorded and the drain keeps claiming, so every item
+   runs exactly once regardless of failures; a participant's claim
+   indices increase, so its first failure is its lowest.  [base_slot]
+   namespaces the per-item probe slots by the pool uid (20 bits exceed
+   any item count): slots stay stable across this pool's generations —
+   so the partition and happens-before checks still relate them — but
+   two pools alive at once never alias. *)
+let drain t ~base ~base_slot n f =
+  let failure = ref None in
+  let rec go () =
+    let i = Atomic.fetch_and_add t.counter 1 in
+    Access.rmw "pool.counter" t.uid;
+    let k = i - base in
+    if k < n then begin
+      Access.write "pool.item" (base_slot + k);
+      (match f k with
+      | () -> ()
+      | exception exn ->
+          if !failure = None then
+            failure :=
+              Some { node = k; exn; bt = Printexc.get_raw_backtrace () });
+      go ()
+    end
+    else begin
+      ignore (Atomic.fetch_and_add t.counter (-1));
+      Access.rmw "pool.counter" t.uid
+    end
+  in
+  go ();
+  !failure
 
-let worker_loop t slot =
+let worker_loop t =
   let seen = ref 0 in
   let running = ref true in
   while !running do
@@ -125,7 +173,7 @@ let worker_loop t slot =
       Access.release "pool.m";
       Mutex.unlock t.m;
       Access.section_begin gen;
-      let outcome = task slot in
+      let outcome = task () in
       Access.section_end gen;
       Mutex.lock t.m;
       Access.acquire "pool.m";
@@ -144,35 +192,9 @@ let create ~jobs =
   else begin
     let t = make_sequential jobs in
     t.domains <-
-      Array.init (jobs - 1) (fun slot ->
-          Domain.spawn (fun () -> worker_loop t slot));
+      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
     t
   end
-
-(* Chunk k of [n] items over [jobs] chunks: balanced contiguous
-   partition, so the assignment of node to domain is a pure function
-   of (n, jobs) and results never depend on scheduling. *)
-let chunk_bounds ~n ~jobs k = (k * n / jobs, (k + 1) * n / jobs)
-
-(* Run items [lo, hi), stopping at the first failure — within a
-   contiguous chunk the first item to raise is the lowest-indexed one,
-   so the chunk's report is already its minimum.  [base] namespaces the
-   per-item probe slots by the pool uid (20 bits exceed any item
-   count): slots stay stable across this pool's generations — so the
-   partition and happens-before checks still relate them — but two
-   pools alive at once never alias. *)
-let run_chunk ~base f lo hi =
-  let rec go i =
-    if i >= hi then None
-    else begin
-      Access.write "pool.item" (base + i);
-      match f i with
-      | () -> go (i + 1)
-      | exception exn ->
-          Some { node = i; exn; bt = Printexc.get_raw_backtrace () }
-    end
-  in
-  go lo
 
 let check_open t =
   if t.closed then
@@ -195,18 +217,18 @@ let iter t n f =
       f i
     done
   else begin
-    let jobs = t.jobs in
-    let base = t.uid lsl 20 in
+    let base_slot = t.uid lsl 20 in
     Mutex.lock t.m;
     Access.acquire "pool.m";
-    t.task <-
-      Some
-        (fun slot ->
-          let lo, hi = chunk_bounds ~n ~jobs (slot + 1) in
-          claim_chunk t;
-          run_chunk ~base f lo hi);
+    (* Capture the queue base under the mutex, before the broadcast:
+       every participant of this generation sees the same base through
+       the task closure, and the previous generation's give-backs all
+       happened before its barrier released, so [counter = base] holds
+       exactly here. *)
+    let base = Atomic.get t.counter in
+    t.task <- Some (fun () -> drain t ~base ~base_slot n f);
     Access.write "pool.task" t.uid;
-    t.pending <- jobs - 1;
+    t.pending <- t.jobs - 1;
     t.failure <- None;
     t.generation <- t.generation + 1;
     t.loggen <- Atomic.fetch_and_add section_ids 1;
@@ -215,10 +237,8 @@ let iter t n f =
     Access.release "pool.m";
     Mutex.unlock t.m;
     let own =
-      let lo, hi = chunk_bounds ~n ~jobs 0 in
-      claim_chunk t;
       Access.section_begin gen;
-      let r = run_chunk ~base f lo hi in
+      let r = drain t ~base ~base_slot n f in
       Access.section_end gen;
       r
     in

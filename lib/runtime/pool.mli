@@ -3,13 +3,16 @@
     The CM-2 is SIMD: all 2,048 floating-point nodes execute the same
     instruction stream at once (section 3), while this simulation's
     host runs the nodes one after another.  The node memories are
-    disjoint, so the per-node loops of the run-time library
-    ({!Exec}, {!Dist}, {!Halo}) parallelize trivially: a pool
-    partitions the node range into [jobs] contiguous chunks, one per
-    domain, with a barrier at the end.  Because every node computes
+    disjoint, so the per-node (and, since PR 9, per-tile) loops of the
+    run-time library ({!Exec}, {!Dist}, {!Halo}) parallelize
+    trivially: the items of an {!iter} form a shared queue that the
+    coordinator and the worker domains drain together, one atomic
+    fetch-and-add per item, with a barrier at the end — granularity
+    adapts to the item count, so an idle domain picks up slack instead
+    of waiting behind a fixed partition.  Because every item computes
     exactly what it would have computed sequentially (no shared
     accumulation, cycle counts taken once per the SIMD model), results
-    are bit-identical for every [jobs] value.
+    are bit-identical for every [jobs] value and every claim order.
 
     The pool is resident: domains are spawned once ({!create}) and
     parked between calls, the way {!Ccc_service.Engine} keeps its
@@ -28,20 +31,21 @@ val sequential : t
     domain.  The default everywhere a pool is accepted. *)
 
 val create : jobs:int -> t
-(** A pool of [jobs - 1] worker domains (the coordinator contributes
-    the remaining chunk).  [create ~jobs:1] spawns nothing and behaves
-    like {!sequential}.  Raises [Invalid_argument] when [jobs < 1].
-    The OCaml runtime caps live domains (128), so long-lived callers
-    should keep one pool and {!shutdown} it when done. *)
+(** A pool of [jobs - 1] worker domains (the coordinator drains the
+    queue alongside them).  [create ~jobs:1] spawns nothing and
+    behaves like {!sequential}.  Raises [Invalid_argument] when
+    [jobs < 1].  The OCaml runtime caps live domains (128), so
+    long-lived callers should keep one pool and {!shutdown} it when
+    done. *)
 
 val jobs : t -> int
 
 val size : t -> int
-(** Synonym of {!jobs}: the number of chunks an {!iter} cuts, i.e. the
-    coordinator plus [size - 1] resident worker domains.  Exposed (with
-    {!busy} and {!closed}) so schedulers above the pool — the PR-7
-    serve admission path — can make placement and admission decisions
-    without reaching into the record. *)
+(** Synonym of {!jobs}: the number of domains draining an {!iter},
+    i.e. the coordinator plus [size - 1] resident worker domains.
+    Exposed (with {!busy} and {!closed}) so schedulers above the
+    pool — the PR-7 serve admission path — can make placement and
+    admission decisions without reaching into the record. *)
 
 val busy : t -> bool
 (** Whether an {!iter} is currently in flight.  Safe from any domain
@@ -53,21 +57,25 @@ val closed : t -> bool
     structured [Lifecycle] finding below. *)
 
 val iter : t -> int -> (int -> unit) -> unit
-(** [iter t n f] runs [f 0 .. f (n-1)], partitioned into [jobs]
-    contiguous chunks (a pure function of [n] and [jobs], never of
-    scheduling) and barriers until all complete.  Writes performed by
-    the chunks happen-before the return.  If items raise, the
-    exception of the lowest-indexed failing {e item} is re-raised
-    (with its original backtrace) after the barrier —
-    deterministically, so a failing node reports the same error at
-    every [jobs] value.  Failures are recorded per item, not per
-    chunk: when [jobs > n] the surplus chunks are empty, and an empty
-    chunk reports nothing, so it can neither mask nor displace a lower
-    node's failure. *)
+(** [iter t n f] runs [f 0 .. f (n-1)] — each item claimed exactly
+    once from a shared queue by one atomic fetch-and-add, in whatever
+    order the domains drain it — and barriers until all complete.
+    Writes performed by the items happen-before the return.  If items
+    raise, every other item still runs, and the exception of the
+    lowest-indexed failing {e item} is re-raised (with its original
+    backtrace) after the barrier — deterministically, because the set
+    of items that ran (all of them) and therefore the minimum failing
+    index never depend on scheduling or on the [jobs] value.  When
+    [jobs > n] a surplus domain's first claim overshoots the range; it
+    gives the increment back and parks on the barrier immediately —
+    no spinning, and an idle domain can neither mask nor displace a
+    lower item's failure. *)
 
 val chunks_run : t -> int
-(** Total chunks claimed across all generations (the shared atomic
-    work counter) — a cheap liveness figure for telemetry. *)
+(** Total items claimed across all generations (the shared atomic
+    work counter; overshooting claims return their increment, so this
+    counts items actually run) — a cheap liveness figure for
+    telemetry. *)
 
 val shutdown : t -> unit
 (** Join the worker domains and close the pool.  Idempotent and safe

@@ -50,10 +50,20 @@ type settings = {
   memory_words : int option;
   queue_depth : int;
   tenants : int;
+  tile : (int * int) option;
+      (* kernel tile geometry forwarded to every Exec call; [None]
+         defers to the machine config's calibrated default *)
 }
 
 let default_settings =
-  { capacity = 32; jobs = 1; memory_words = None; queue_depth = 64; tenants = 16 }
+  {
+    capacity = 32;
+    jobs = 1;
+    memory_words = None;
+    queue_depth = 64;
+    tenants = 16;
+    tile = None;
+  }
 
 type t = {
   config : Config.t;
@@ -355,7 +365,7 @@ let run ?mode ?iterations t pattern env =
   | Ok (compiled, kernel) -> (
       match
         Exec.run_arena ~obs:t.obs ?mode ?iterations ~pool:t.pool ~kernel
-          t.arena compiled env
+          ?tile:t.settings.tile t.arena compiled env
       with
       | result ->
           Metrics.Counter.incr t.runs;
@@ -404,7 +414,7 @@ let run_guarded ?mode ?iterations ?(inject = Exec.no_hooks) ?(max_retries = 2)
         let hooks = Exec.compose_hooks inject watch.Guard.hooks in
         match
           Exec.run_arena ~obs:t.obs ?mode ?iterations ~pool:t.pool ~kernel
-            ~hooks t.arena compiled env
+            ?tile:t.settings.tile ~hooks t.arena compiled env
         with
         | result -> (
             match
@@ -545,7 +555,7 @@ let run_batch ?mode t patterns env =
           let kernels = List.map snd pairs in
           match
             Exec.run_batch_arena ~obs:t.obs ?mode ~pool:t.pool ~kernels
-              t.arena compileds env
+              ?tile:t.settings.tile t.arena compileds env
           with
           | batch ->
               Metrics.Counter.incr t.batches;

@@ -61,6 +61,11 @@ type settings = {
           scheduler above this engine (default 64) *)
   tenants : int;
       (** serving: distinct tenants the scheduler admits (default 16) *)
+  tile : (int * int) option;
+      (** kernel tile geometry ((rows, cols) per tile) forwarded to
+          every run of this engine; [None] (the default) defers to
+          {!Ccc_cm2.Config.t}[.tile].  Purely a host-side execution
+          parameter: results are bit-identical at every geometry. *)
 }
 
 val default_settings : settings

@@ -247,7 +247,7 @@ conformance clean matrix with the shared-state probes live and must
 come back finding-free.
 
   $ ../../bin/ccc_cli.exe race --seed 42 --jobs 2
-  domain-safety: 62345 access events from 144 clean cells (jobs 1,2) and a 4-request serve session
+  domain-safety: 74297 access events from 144 clean cells (jobs 1,2) and a 4-request serve session
   race: PASS (0 findings)
 
 Every seeded concurrency mutation must be killed with a

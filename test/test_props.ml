@@ -399,6 +399,55 @@ let prop_kernel_matches_simulate =
           in
           Grid.max_abs_diff sim fast < 1e-9)
 
+let prop_tile_geometry =
+  (* Tile blocking is pure scheduling: any (rows, cols) geometry —
+     degenerate 1x1 tiles, tiles larger than the subgrid, non-dividing
+     edges — must write bits identical to the whole-subgrid walk and
+     to the tapwalk, sequentially and at every jobs value, and stay
+     within 1e-9 of the reference.  (The subgrid here is 6x6, so the
+     random range covers dividing, non-dividing and oversized tiles.) *)
+  let gen_tile =
+    Gen.oneof
+      [
+        Gen.oneofl [ (1, 1); (1, 7); (7, 1); (64, 64) ];
+        Gen.tup2 (Gen.int_range 1 9) (Gen.int_range 1 9);
+      ]
+  in
+  let gen =
+    Gen.tup3
+      (Gen.oneofl [ "cross5"; "square9"; "diamond13" ])
+      gen_tile
+      (Gen.int_range 0 10_000)
+  in
+  Q.Test.make
+    ~name:"tiled kernel bit-identical (random geometry; jobs 1, 2, 7)"
+    ~count:9
+    ~print:(fun (name, (tr, tc), seed) ->
+      Printf.sprintf "%s tile=%dx%d seed=%d" name tr tc seed)
+    gen
+    (fun (name, tile, seed) ->
+      let p = List.assoc name (Ccc.Pattern.gallery ()) in
+      match Ccc.compile_pattern config p with
+      | Error _ -> Q.assume_fail ()
+      | Ok compiled ->
+          let env = Tutil.env_for ~seed ~rows:24 ~cols:24 p in
+          let run ?pool ?tile inner =
+            (Exec.run ?pool ?tile ~inner (Ccc.machine config) compiled env)
+              .Exec.output
+          in
+          (* a tile larger than any subgrid side clamps to the
+             whole-subgrid walk: the untiled baseline *)
+          let untiled = run ~tile:(1_000, 1_000) Exec.Lowered in
+          let expected = Ccc.Reference.apply p env in
+          Grid.max_abs_diff expected untiled < 1e-9
+          && bit_identical untiled (run Exec.Tapwalk)
+          && bit_identical untiled (run ~tile Exec.Lowered)
+          && List.for_all
+               (fun jobs ->
+                 let pool = List.assoc jobs pools in
+                 bit_identical untiled (run ~pool ~tile Exec.Lowered))
+               [ 2; 7 ])
+
 (* ------------------------------------------------------------------ *)
 (* Degenerate shapes: the corners of the grammar the uniform generator
    almost never hits — a single tap (including the 1x1 identity at the
@@ -494,6 +543,7 @@ let () =
             prop_pool_bit_identical;
             prop_pool_simulate;
             prop_kernel_matches_simulate;
+            prop_tile_geometry;
           ] );
       ( "communication",
         List.map to_alcotest [ prop_halo_is_global_circular ] );

@@ -396,7 +396,9 @@ let test_pool_lifecycle () =
   Array.iteri
     (fun i n -> Alcotest.(check int) (Printf.sprintf "item %d once" i) 1 n)
     hits;
-  Alcotest.(check int) "one chunk per job" 3 (Ccc.Pool.chunks_run pool);
+  (* One claim per item: overshooting claims give their increment
+     back, so the counter records exactly the items run. *)
+  Alcotest.(check int) "one claim per item" 8 (Ccc.Pool.chunks_run pool);
   Ccc.Pool.shutdown pool;
   Ccc.Pool.shutdown pool;
   (* idempotent: the second call must neither hang nor raise *)
@@ -408,6 +410,40 @@ let test_pool_lifecycle () =
   (* the sequential pool has no domains to join and stays usable *)
   Ccc.Pool.shutdown Ccc.Pool.sequential;
   Ccc.Pool.iter Ccc.Pool.sequential 4 ignore
+
+(* Surplus domains: with more jobs than queue items, each extra domain
+   makes exactly one overshooting claim, gives the increment back and
+   parks — the iter must return promptly with every item run once and
+   the counter netting to the item count, and the pool must stay
+   reusable (a leaked give-back would shift the next generation's
+   base). *)
+let test_pool_more_jobs_than_items () =
+  let items = 4 in
+  let pool = Ccc.Pool.create ~jobs:(items + 3) in
+  Fun.protect ~finally:(fun () -> Ccc.Pool.shutdown pool) @@ fun () ->
+  let hits = Array.make items 0 in
+  Ccc.Pool.iter pool items (fun i -> hits.(i) <- hits.(i) + 1);
+  Array.iteri
+    (fun i n -> Alcotest.(check int) (Printf.sprintf "item %d once" i) 1 n)
+    hits;
+  Alcotest.(check int) "counter nets to the item count" items
+    (Ccc.Pool.chunks_run pool);
+  (* Second generation on the same pool: base capture still exact. *)
+  let again = Array.make items 0 in
+  Ccc.Pool.iter pool items (fun i -> again.(i) <- again.(i) + 1);
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check int) (Printf.sprintf "gen 2 item %d once" i) 1 n)
+    again;
+  Alcotest.(check int) "counter still nets per item" (2 * items)
+    (Ccc.Pool.chunks_run pool);
+  (* The lowest failing item wins even when idle domains park early. *)
+  match
+    Ccc.Pool.iter pool items (fun i ->
+        if i >= 1 then failwith (Printf.sprintf "item %d" i))
+  with
+  | () -> Alcotest.fail "expected a re-raised item failure"
+  | exception Failure m -> Alcotest.(check string) "lowest item wins" "item 1" m
 
 let test_engine_owner_check () =
   let engine = Ccc.Engine.create config in
@@ -477,6 +513,8 @@ let live_suite =
     Alcotest.test_case "engine batch instrumented" `Quick
       test_live_engine_batch_clean;
     Alcotest.test_case "pool lifecycle" `Quick test_pool_lifecycle;
+    Alcotest.test_case "pool jobs > items" `Quick
+      test_pool_more_jobs_than_items;
     Alcotest.test_case "engine owner check" `Quick test_engine_owner_check;
     Alcotest.test_case "metrics stress" `Quick test_metrics_stress;
     Alcotest.test_case "conformance clean matrix" `Quick
