@@ -4,7 +4,7 @@
    Bechamel micro-benchmarks.
 
    Usage: main.exe
-     [table1|gordon-bell|figures|ablation|baselines|sweep|service|scaling|obs|race|serve-obs|bechamel]...
+     [table1|gordon-bell|figures|ablation|baselines|sweep|service|scaling|obs|race|serve-obs|fft|bechamel]...
      [--json FILE]
    With no section arguments, everything runs in order; --json makes
    the scaling section also write machine-readable results. *)
@@ -1022,6 +1022,154 @@ let serve_obs () =
   print_endline "json: written to BENCH_PR8.json"
 
 (* ------------------------------------------------------------------ *)
+(* Transform-path crossover (PR 10) *)
+
+(* A dense k x k Gaussian with scalar taps: the transform path's home
+   turf, and past k = 5 more taps than the real register file can
+   hold. *)
+let gauss_pattern k sigma =
+  let half = k / 2 in
+  let taps = ref [] in
+  for dr = -half to half do
+    for dc = -half to half do
+      let w =
+        exp
+          (-.(float_of_int ((dr * dr) + (dc * dc)) /. (2.0 *. sigma *. sigma)))
+      in
+      taps :=
+        Ccc.Tap.make
+          (Ccc.Offset.make ~drow:dr ~dcol:dc)
+          (Ccc.Coeff.Scalar w)
+        :: !taps
+    done
+  done;
+  Pattern.create ~boundary:Ccc.Boundary.Circular (List.rev !taps)
+
+let fft_crossover () =
+  heading
+    "FFT -- transform-path crossover, tap count x grid size (PR 10)\n\
+     the planner picks compiled multistencil vs FFT by predicted\n\
+     cycles; this sweep prices both sides of dense k x k Gaussians\n\
+     and times both host paths, Table-1 style, to check the measured\n\
+     crossover lands within one sweep step of the model's.\n\
+     artifact BENCH_PR10.json";
+  (* A register-rich counterfactual machine: the real CM-2 config
+     rejects every dense kernel past k = 5, and you cannot measure a
+     rejection.  The compiler still picks its usual widths, so the
+     per-tap pipelined rate -- the thing the crossover is about -- is
+     the production one. *)
+  let rich =
+    {
+      Config.default with
+      Config.fpu_registers = 4096;
+      scratch_memory_words = 1 lsl 22;
+    }
+  in
+  let ks = [ 3; 5; 7; 9; 11 ] and grids = [ 64; 128; 256 ] in
+  let time_best f =
+    (* best of 3: host wall-clock noise is one-sided *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let results =
+    List.map
+      (fun n ->
+        Printf.printf "\ngrid %dx%d (16 nodes, register-rich counterfactual):\n" n n;
+        Printf.printf "  %3s %5s %12s %12s %7s %10s %10s %7s\n" "k" "taps"
+          "model-cmp" "model-fft" "model" "host-cmp-s" "host-fft-s" "host";
+        let machine = Ccc.machine rich in
+        let sub = n / Config.default.Config.node_rows in
+        let cells =
+          List.map
+            (fun k ->
+              let p = gauss_pattern k 2.0 in
+              let compiled =
+                match Ccc.Compile.compile rich p with
+                | Ok c -> c
+                | Error r -> failwith (Ccc.Compile.no_workable r)
+              in
+              let est = Exec.estimate ~sub_rows:sub ~sub_cols:sub rich compiled in
+              let direct = est.Stats.comm_cycles + est.Stats.compute_cycles in
+              let pad = Pattern.max_border p in
+              let fft_pred = Ccc.Cost.fft_cycles rich ~rows:n ~cols:n ~pad in
+              let env = pattern_env ~rows:n ~cols:n p in
+              let kernel = Ccc.Kernel.build rich compiled in
+              let t_cmp =
+                time_best (fun () ->
+                    Exec.run ~mode:Exec.Fast ~inner:Exec.Lowered ~kernel machine
+                      compiled env)
+              in
+              (* steady state on both sides: the kernel is prebuilt
+                 above, and the Engine caches FFT plans, so plan
+                 construction is likewise excluded *)
+              let plan = Ccc.Fft.build p ~rows:n ~cols:n env in
+              let t_fft =
+                time_best (fun () -> Exec.run_fft ~plan machine p env)
+              in
+              Printf.printf "  %3d %5d %12d %12d %7s %10.4f %10.4f %7s\n" k
+                (k * k) direct fft_pred
+                (if direct <= fft_pred then "cmp" else "fft")
+                t_cmp t_fft
+                (if t_cmp <= t_fft then "cmp" else "fft");
+              (k, direct, fft_pred, t_cmp, t_fft))
+            ks
+        in
+        (* crossover: index of the first k where the transform wins *)
+        let index_of pred =
+          let rec go i = function
+            | [] -> List.length ks
+            | c :: rest -> if pred c then i else go (i + 1) rest
+          in
+          go 0 cells
+        in
+        let model_i = index_of (fun (_, d, f, _, _) -> f < d) in
+        let host_i = index_of (fun (_, _, _, tc, tf) -> tf < tc) in
+        let k_at i = if i >= List.length ks then "never" else
+          string_of_int (List.nth ks i) in
+        let within = abs (model_i - host_i) <= 1 in
+        Printf.printf
+          "  crossover: model k=%s, host k=%s -- %s one sweep step\n"
+          (k_at model_i) (k_at host_i)
+          (if within then "within" else "OUTSIDE");
+        (n, cells, model_i, host_i, within))
+      grids
+  in
+  let all_within = List.for_all (fun (_, _, _, _, w) -> w) results in
+  let oc = open_out "BENCH_PR10.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"fft-crossover\",\n  \"nodes\": \"4x4\",\n";
+  Printf.fprintf oc "  \"widths\": \"compiler-chosen\",\n  \"ks\": [%s],\n"
+    (String.concat ", " (List.map string_of_int ks));
+  Printf.fprintf oc "  \"grids\": [\n";
+  List.iteri
+    (fun gi (n, cells, model_i, host_i, within) ->
+      Printf.fprintf oc
+        "    {\"n\": %d, \"model_crossover_index\": %d, \
+         \"host_crossover_index\": %d, \"within_one_step\": %b,\n\
+        \     \"cells\": [\n" n model_i host_i within;
+      List.iteri
+        (fun ci (k, d, f, tc, tf) ->
+          Printf.fprintf oc
+            "      {\"k\": %d, \"model_compiled_cycles\": %d, \
+             \"model_fft_cycles\": %d, \"host_compiled_s\": %.6f, \
+             \"host_fft_s\": %.6f}%s\n"
+            k d f tc tf
+            (if ci = List.length cells - 1 then "" else ","))
+        cells;
+      Printf.fprintf oc "    ]}%s\n"
+        (if gi = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ],\n  \"all_within_one_step\": %b\n}\n" all_within;
+  close_out oc;
+  Printf.printf "\ncrossover %s the model's prediction on every grid\n"
+    (if all_within then "tracks" else "DIVERGES FROM");
+  print_endline "json: written to BENCH_PR10.json"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1036,6 +1184,7 @@ let sections =
     ("obs", obs);
     ("race", race);
     ("serve-obs", serve_obs);
+    ("fft", fft_crossover);
     ("bechamel", bechamel);
   ]
 

@@ -189,14 +189,83 @@ let pattern_env_names pattern =
     | Some c -> Option.to_list (Ccc.Coeff.array_name c)
     | None -> [])
 
+(* Recognition without resource allocation: the transform path serves
+   dense stencils the compiler rejects, so the dense fallthrough needs
+   the pattern even when compilation cannot produce a plan. *)
+let recognize_input ~defstencil ~statement source =
+  try
+    if defstencil then
+      Ccc.Recognize.subroutine
+        (Ccc.Defstencil.to_subroutine (Ccc.Defstencil.parse source))
+    else if statement then
+      Ccc.Recognize.statement (Ccc.Parser.parse_statement source)
+    else Ccc.Recognize.subroutine (Ccc.Parser.parse_subroutine source)
+  with _ -> Error []
+
+let backend_arg =
+  let doc =
+    "Execution backend: $(b,auto) picks compiled multistencil or the \
+     transform (FFT) path by predicted cycles (and falls through to the \
+     transform path when no width compiles), $(b,compiled) forces the \
+     multistencil and keeps dense kernels as resource rejections, \
+     $(b,fft) forces the transform path."
+  in
+  Arg.(value & opt string "auto" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
 let run_cmd =
   let run file defstencil statement fused nodes tuned rows cols iterations
-      simulate jobs trace =
+      simulate jobs backend trace =
     let config = or_die (config_of ~nodes ~tuned) in
     check_jobs jobs;
+    let backend =
+      match Ccc.Exec.backend_of_string backend with
+      | Some b -> b
+      | None ->
+          Printf.eprintf
+            "ccc run: unknown backend %S (one of: auto, compiled, fft)\n"
+            backend;
+          exit 2
+    in
+    if simulate && backend = Ccc.Exec.Force_fft then begin
+      prerr_endline
+        "ccc run: --simulate drives the cycle-accurate compiled path \
+         (use --backend auto or compiled)";
+      exit 2
+    end;
     let source = read_file file in
     let mode = if simulate then Ccc.Exec.Simulate else Ccc.Exec.Fast in
     let obs = obs_of_trace trace in
+    (* The transform path only accepts spatially uniform coefficients,
+       so its synthetic environment keeps the compiled path's source
+       grid and holds every coefficient array at a per-name constant. *)
+    let fft_env ~rows ~cols pattern =
+      let src = Ccc.Pattern.source_var pattern in
+      List.mapi
+        (fun i n ->
+          ( n,
+            if n = src then
+              Ccc.Grid.init ~rows ~cols (fun r c ->
+                  sin (float_of_int ((r * (i + 3)) + c) /. 9.0))
+            else Ccc.Grid.constant ~rows ~cols (0.25 +. (float_of_int i /. 16.0))
+          ))
+        (pattern_env_names pattern)
+    in
+    let run_fft_backend reason pattern =
+      Printf.printf "backend: fft (%s)\n" reason;
+      let env = fft_env ~rows ~cols pattern in
+      let machine = Ccc.machine config in
+      let pool = if jobs > 1 then Some (Ccc.Pool.create ~jobs) else None in
+      Fun.protect ~finally:(fun () -> Option.iter Ccc.Pool.shutdown pool)
+      @@ fun () ->
+      let { Ccc.Exec.output; stats } =
+        Ccc.Exec.run_fft ?obs ?pool ~iterations machine pattern env
+      in
+      let expected = Ccc.Reference.apply pattern env in
+      Format.printf "%a@." Ccc.Stats.pp stats;
+      Printf.printf "max |machine - reference| = %.3e\n"
+        (Ccc.Grid.max_abs_diff expected output);
+      write_trace trace obs
+    in
     if fused then begin
       match Ccc.compile_fortran_statement_multi ?obs config source with
       | Error e ->
@@ -217,19 +286,43 @@ let run_cmd =
     end
     else
       match compile_input ?obs config ~defstencil ~statement source with
+      | Error (Ccc.Resource_error _ as e)
+        when backend <> Ccc.Exec.Force_compiled -> (
+          (* the dense fallthrough: no width fits registers, but the
+             transform path does not care about tap count *)
+          match recognize_input ~defstencil ~statement source with
+          | Ok pattern ->
+              run_fft_backend "auto: no workable compiled width" pattern
+          | Error _ -> die_reject e)
       | Error e ->
           die_reject e
-      | Ok compiled ->
+      | Ok compiled -> (
           let pattern = compiled.Ccc.Compile.pattern in
-          let env = synthetic_env ~rows ~cols (pattern_env_names pattern) in
-          let { Ccc.Exec.output; stats } =
-            Ccc.apply ?obs ~mode ~iterations ~jobs config compiled env
+          let choice =
+            if simulate then `Compiled
+            else
+              Ccc.Exec.select_backend ~backend
+                ~sub_rows:(rows / config.Ccc.Config.node_rows)
+                ~sub_cols:(cols / config.Ccc.Config.node_cols)
+                config (Some compiled)
           in
-          let expected = Ccc.Reference.apply pattern env in
-          Format.printf "%a@." Ccc.Stats.pp stats;
-          Printf.printf "max |machine - reference| = %.3e\n"
-            (Ccc.Grid.max_abs_diff expected output);
-          write_trace trace obs
+          match choice with
+          | `Fft ->
+              run_fft_backend
+                (match backend with
+                | Ccc.Exec.Force_fft -> "forced"
+                | _ -> "auto: model predicts transform cheaper")
+                pattern
+          | `Compiled ->
+              let env = synthetic_env ~rows ~cols (pattern_env_names pattern) in
+              let { Ccc.Exec.output; stats } =
+                Ccc.apply ?obs ~mode ~iterations ~jobs config compiled env
+              in
+              let expected = Ccc.Reference.apply pattern env in
+              Format.printf "%a@." Ccc.Stats.pp stats;
+              Printf.printf "max |machine - reference| = %.3e\n"
+                (Ccc.Grid.max_abs_diff expected output);
+              write_trace trace obs)
   in
   let rows_arg =
     Arg.(value & opt int 64 & info [ "rows" ] ~doc:"Global array rows.")
@@ -251,7 +344,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ defstencil_flag $ statement_flag $ fused_flag
       $ nodes_arg $ tuned_flag $ rows_arg $ cols_arg $ iters_arg
-      $ simulate_flag $ jobs_arg $ trace_arg)
+      $ simulate_flag $ jobs_arg $ backend_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* estimate *)

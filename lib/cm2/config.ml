@@ -23,6 +23,11 @@ type t = {
   frontend_word_cycles : float;
   strength_reduced_frontend : bool;
   tile : int * int;
+  fft_butterfly_cycles : float;
+  fft_pointwise_cycles : float;
+  fft_transpose_passes : int;
+  fft_transpose_cycles_per_word : float;
+  fft_setup_cycles : float;
 }
 
 let effective_call_s t =
@@ -83,6 +88,20 @@ let default =
        not enter the cycle model, so Table-1 calibration is
        unaffected. *)
     tile = (16, 128);
+    (* Transform-path cost constants (PR 10): butterflies and the
+       spectral pointwise product are spread across the nodes like any
+       data-parallel compute; the two transpose passes move the
+       half-plane spectrum between row-major and column-major layout
+       over the grid network; the setup term charges plan lookup and
+       buffer embedding once per call.  Calibrated against the
+       bench/main.exe fft sweep (EXPERIMENTS.md), separate from the
+       frozen Table-1 constants — the compiled path's model is
+       untouched. *)
+    fft_butterfly_cycles = 1.0;
+    fft_pointwise_cycles = 1.0;
+    fft_transpose_passes = 2;
+    fft_transpose_cycles_per_word = 0.25;
+    fft_setup_cycles = 3000.0;
   }
 
 let with_nodes ~rows ~cols t =

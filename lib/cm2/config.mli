@@ -82,6 +82,27 @@ type t = {
           a host execution parameter — it never enters the cycle model
           or the Table-1 calibration.  Calibrated by the
           [bench/main.exe scaling] tile sweep (EXPERIMENTS.md). *)
+  fft_butterfly_cycles : float;
+      (** transform path (PR 10): cycles per radix-2 butterfly of the
+          zero-padded convolution transform, spread across the nodes.
+          Calibrated by the [bench/main.exe fft] sweep; enters only
+          {!Ccc_microcode.Cost.fft_cycles}, never Table 1. *)
+  fft_pointwise_cycles : float;
+      (** cycles per spectral bin of the pointwise coefficient-image
+          product (one complex multiply per bin of the Hermitian
+          half-plane). *)
+  fft_transpose_passes : int;
+      (** grid-network passes needed to re-lay the spectrum between the
+          row and column transforms (forward and inverse: 2). *)
+  fft_transpose_cycles_per_word : float;
+      (** cycles per word of each transpose pass — the transform path's
+          communication term, playing the role
+          {!comm_cycles_per_word} plays for halo exchange. *)
+  fft_setup_cycles : float;
+      (** fixed per-call cost of the transform path: plan lookup,
+          buffer embedding, and output windowing.  Keeps the planner
+          honest at small grids, where the compiled path's short
+          strips beat the transform's fixed costs. *)
 }
 
 val effective_call_s : t -> float

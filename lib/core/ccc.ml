@@ -29,6 +29,7 @@ module Dist = Ccc_runtime.Dist
 module Halo = Ccc_runtime.Halo
 module Pool = Ccc_runtime.Pool
 module Kernel = Ccc_runtime.Kernel
+module Fft = Ccc_runtime.Fft
 module Reference = Ccc_runtime.Reference
 module Exec = Ccc_runtime.Exec
 module Stats = Ccc_runtime.Stats

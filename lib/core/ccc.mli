@@ -73,6 +73,12 @@ module Dist = Ccc_runtime.Dist
 module Halo = Ccc_runtime.Halo
 module Pool = Ccc_runtime.Pool
 module Kernel = Ccc_runtime.Kernel
+
+(** The transform-domain path (PR 10): circular convolution via
+    zero-padded radix-2 transforms, the fifth execution backend for
+    dense kernels the compiled multistencil rejects. *)
+module Fft = Ccc_runtime.Fft
+
 module Reference = Ccc_runtime.Reference
 module Exec = Ccc_runtime.Exec
 module Stats = Ccc_runtime.Stats

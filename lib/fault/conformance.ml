@@ -1,5 +1,6 @@
 module Machine = Ccc_cm2.Machine
 module Exec = Ccc_runtime.Exec
+module Fft = Ccc_runtime.Fft
 module Pool = Ccc_runtime.Pool
 module Grid = Ccc_runtime.Grid
 module Reference = Ccc_runtime.Reference
@@ -22,6 +23,7 @@ type cell = {
 
 type kill = {
   k_pattern : string;
+  k_path : string;
   k_fault : Inject.fault;
   k_jobs : int;
   k_detected : bool;
@@ -53,7 +55,24 @@ let env_for ~seed ~rows ~cols pattern =
     (fun name -> (name, mixed_grid ~seed ~name ~rows ~cols))
     (List.sort_uniq compare (Reference.referenced_arrays pattern))
 
-let paths = [ "reference"; "simulate"; "tapwalk"; "lowered" ]
+(* The transform path only accepts spatially-uniform coefficients
+   (a per-point coefficient field is not a convolution), so its cells
+   run over a second environment: the same hash-mixed source, with
+   every coefficient array held at a constant drawn from the seed and
+   the array name. *)
+let uniform_env_for ~seed ~rows ~cols pattern =
+  let src = Pattern.source_var pattern in
+  List.map
+    (fun name ->
+      if name = src then (name, mixed_grid ~seed ~name ~rows ~cols)
+      else
+        ( name,
+          Grid.constant ~rows ~cols
+            (0.25
+            +. (float_of_int (Hashtbl.hash (seed, name) land 0xFF) /. 256.0)) ))
+    (List.sort_uniq compare (Reference.referenced_arrays pattern))
+
+let paths = [ "reference"; "simulate"; "tapwalk"; "lowered"; "fft" ]
 
 let run_path ~path ~pool ~machine ~kernel ~hooks compiled env =
   let pattern = compiled.Compile.pattern in
@@ -70,6 +89,7 @@ let run_path ~path ~pool ~machine ~kernel ~hooks compiled env =
       (Exec.run ~mode:Exec.Fast ~inner:Exec.Lowered ~kernel ~pool ~hooks
          machine compiled env)
         .Exec.output
+  | "fft" -> (Exec.run_fft ~pool ~hooks machine pattern env).Exec.output
   | _ -> invalid_arg "Conformance.run_path"
 
 let run ?(obs = Obs.disabled) ?(seed = 42) ?(jobs_list = [ 1; 2; 7 ])
@@ -99,15 +119,17 @@ let run ?(obs = Obs.disabled) ?(seed = 42) ?(jobs_list = [ 1; 2; 7 ])
     (fun (pname, pattern) ->
       let env = env_for ~seed ~rows ~cols pattern in
       let oracle = Reference.apply pattern env in
+      let env_u = uniform_env_for ~seed ~rows ~cols pattern in
+      let oracle_u = Reference.apply pattern env_u in
       let compiled =
         match Compile.compile config pattern with
         | Ok c -> c
         | Error rejections -> failwith (Compile.no_workable rejections)
       in
       (* ------------------------------------------------------- *)
-      (* Clean matrix: every compiled width down all four paths, *)
+      (* Clean matrix: every compiled width down all five paths, *)
       (* bit-stable across every jobs value, guards riding along *)
-      (* on the production path with zero findings allowed.      *)
+      (* on the production paths with zero findings allowed.     *)
       Obs.span obs "conform.clean" @@ fun () ->
       List.iter
         (fun plan ->
@@ -122,22 +144,31 @@ let run ?(obs = Obs.disabled) ?(seed = 42) ?(jobs_list = [ 1; 2; 7 ])
               List.iter
                 (fun path ->
                   Metrics.Counter.incr cells_counter;
+                  (* The transform path runs over the uniform
+                     environment and its own oracle; its tolerance is
+                     the same 1e-9 (transform rounding is of order
+                     eps * log P, far below it). *)
+                  let path_env, path_oracle =
+                    if path = "fft" then (env_u, oracle_u) else (env, oracle)
+                  in
                   let watch = Guard.watch pattern in
                   let hooks =
-                    if guarded && path = "lowered" then watch.Guard.hooks
+                    if guarded && (path = "lowered" || path = "fft") then
+                      watch.Guard.hooks
                     else Exec.no_hooks
                   in
                   let note =
                     match
                       run_path ~path ~pool ~machine ~kernel ~hooks restricted
-                        env
+                        path_env
                     with
                     | out ->
-                        if not (Grid.equal_within ~tol:1e-9 out oracle) then
+                        if not (Grid.equal_within ~tol:1e-9 out path_oracle)
+                        then
                           Some
                             (Printf.sprintf
                                "diverges from reference by %g"
-                               (Grid.max_abs_diff out oracle))
+                               (Grid.max_abs_diff out path_oracle))
                         else if !(watch.Guard.caught) <> [] then
                           Some
                             (Printf.sprintf
@@ -173,9 +204,141 @@ let run ?(obs = Obs.disabled) ?(seed = 42) ?(jobs_list = [ 1; 2; 7 ])
             jobs_list)
         compiled.Compile.plans;
       (* ------------------------------------------------------- *)
-      (* Kill matrix: one armed injector per fault x jobs on the *)
-      (* production path (Lowered + cached kernel).              *)
+      (* Kill matrix: one armed injector per fault x jobs on each *)
+      (* production path — Lowered with its cached kernel, and    *)
+      (* the transform path with its cached plan.                 *)
       if with_faults then Obs.span obs "conform.faults" @@ fun () ->
+      (* One injected cell: arm, corrupt, run, detect, recover,
+         report.  [run_faulty] poisons its own cached artifact
+         (kernel or transform plan) and executes the path under the
+         composed hooks; [root_cause] re-proves that artifact the way
+         the engine's ladder would; [recover] is the disarmed clean
+         re-run that must reproduce [clean_ck] bit for bit. *)
+      let kill_sweep ~path ~faults ~env ~clean_ck ~salt ~run_faulty
+          ~root_cause ~recover =
+        List.iteri
+          (fun fi fault ->
+            List.iter
+              (fun jobs ->
+                Metrics.Counter.incr injected_c;
+                let pool = pool_for jobs in
+                let cell_seed =
+                  (seed * 0x9E37) lxor Hashtbl.hash (salt, fi, jobs)
+                in
+                let inj = Inject.arm ~seed:cell_seed ~nodes fault in
+                (* A fresh flight ring per injected cell: the armed
+                   fault, what it did, what caught it and whether the
+                   re-run recovered — the cell's incident report, with a
+                   counting clock so dumps are deterministic. *)
+                let tick = ref 0 in
+                let ring =
+                  Flight.create ~capacity:32
+                    ~clock:(fun () ->
+                      incr tick;
+                      float_of_int !tick)
+                    ()
+                in
+                Flight.record ring Flight.Fault
+                  (Printf.sprintf "armed %s (pattern %s, %s path, jobs %d)"
+                     (Inject.name fault) pname path jobs);
+                let watch = Guard.watch pattern in
+                let hooks =
+                  if guarded then
+                    Exec.compose_hooks (Inject.hooks inj) watch.Guard.hooks
+                  else Inject.hooks inj
+                in
+                let findings = ref [] and crash = ref None in
+                let out =
+                  match run_faulty inj ~pool ~hooks with
+                  | o -> Some o
+                  | exception Inject.Worker_died n ->
+                      crash :=
+                        Some (Printf.sprintf "worker domain died (node %d)" n);
+                      None
+                  | exception Finding.Failed fs ->
+                      findings := fs @ !findings;
+                      None
+                  | exception exn ->
+                      crash := Some (Printexc.to_string exn);
+                      None
+                in
+                findings := !(watch.Guard.caught) @ !findings;
+                if guarded then begin
+                  (match out with
+                  | Some out ->
+                      findings := Guard.check_output pattern env out @ !findings
+                  | None -> ());
+                  (* root-cause step of the ladder: when the output is
+                     wrong but the halo was clean, re-prove the cached
+                     artifact the way the engine would *)
+                  if
+                    !findings <> [] && !(watch.Guard.caught) = []
+                    && !crash = None
+                  then findings := !findings @ root_cause ()
+                end;
+                let detected = !findings <> [] || !crash <> None in
+                (* recovery: the injector is one-shot, so a disarmed
+                   re-run with sound artifacts must reproduce the clean
+                   result bit for bit *)
+                let recovered =
+                  detected
+                  && (match recover inj ~pool with
+                     | out -> Int64.equal (Guard.grid_checksum out) clean_ck
+                     | exception _ -> false)
+                in
+                Metrics.Counter.incr (if detected then detected_c else missed_c);
+                if recovered then Metrics.Counter.incr recovered_c;
+                let detail =
+                  let injected =
+                    match Inject.fired inj with
+                    | Some s -> s
+                    | None -> "injector never fired"
+                  in
+                  let caught =
+                    match (!crash, !findings) with
+                    | Some c, _ -> c
+                    | None, f :: _ ->
+                        Printf.sprintf "finding[%s]"
+                          (Finding.check_name f.Finding.check)
+                    | None, [] -> "undetected"
+                  in
+                  injected ^ "; " ^ caught
+                in
+                (match Inject.fired inj with
+                | Some s ->
+                    Flight.record ring Flight.Fault
+                      (Printf.sprintf "%s fired: %s" (Inject.name fault) s)
+                | None ->
+                    Flight.record ring Flight.Info
+                      (Printf.sprintf "%s never fired" (Inject.name fault)));
+                (match (!crash, !findings) with
+                | Some c, _ ->
+                    Flight.record ring Flight.Guard_trip ("crash: " ^ c)
+                | None, f :: _ ->
+                    Flight.record ring Flight.Guard_trip (Finding.to_string f)
+                | None, [] ->
+                    Flight.record ring Flight.Info "no guard tripped");
+                Flight.record ring
+                  (if recovered then Flight.Info else Flight.Degraded)
+                  (if recovered then "recovered: disarmed re-run bit-identical"
+                   else if detected then "not recovered"
+                   else "UNDETECTED");
+                kills :=
+                  {
+                    k_pattern = pname;
+                    k_path = path;
+                    k_fault = fault;
+                    k_jobs = jobs;
+                    k_detected = detected;
+                    k_recovered = recovered;
+                    k_detail = detail;
+                    k_dump = Flight.dump ring;
+                  }
+                  :: !kills)
+              jobs_list)
+          faults
+      in
+      (* Production path 1: Fast/Lowered with its cached kernel. *)
       let kernel_clean = Kernel.build config compiled in
       let clean_ck =
         Guard.grid_checksum
@@ -183,137 +346,42 @@ let run ?(obs = Obs.disabled) ?(seed = 42) ?(jobs_list = [ 1; 2; 7 ])
               machine compiled env)
              .Exec.output)
       in
-      List.iteri
-        (fun fi fault ->
-          List.iter
-            (fun jobs ->
-              Metrics.Counter.incr injected_c;
-              let pool = pool_for jobs in
-              let cell_seed =
-                (seed * 0x9E37)
-                lxor Hashtbl.hash (pname, fi, jobs)
-              in
-              let inj = Inject.arm ~seed:cell_seed ~nodes fault in
-              (* A fresh flight ring per injected cell: the armed
-                 fault, what it did, what caught it and whether the
-                 re-run recovered — the cell's incident report, with a
-                 counting clock so dumps are deterministic. *)
-              let tick = ref 0 in
-              let ring =
-                Flight.create ~capacity:32
-                  ~clock:(fun () ->
-                    incr tick;
-                    float_of_int !tick)
-                  ()
-              in
-              Flight.record ring Flight.Fault
-                (Printf.sprintf "armed %s (pattern %s, jobs %d)"
-                   (Inject.name fault) pname jobs);
-              let kernel_used = Inject.poison_kernel inj kernel_clean in
-              let watch = Guard.watch pattern in
-              let hooks =
-                if guarded then
-                  Exec.compose_hooks (Inject.hooks inj) watch.Guard.hooks
-                else Inject.hooks inj
-              in
-              let findings = ref [] and crash = ref None in
-              let out =
-                match
-                  Exec.run ~mode:Exec.Fast ~inner:Exec.Lowered
-                    ~kernel:kernel_used ~pool ~hooks machine compiled env
-                with
-                | r -> Some r.Exec.output
-                | exception Inject.Worker_died n ->
-                    crash :=
-                      Some (Printf.sprintf "worker domain died (node %d)" n);
-                    None
-                | exception Finding.Failed fs ->
-                    findings := fs @ !findings;
-                    None
-                | exception exn ->
-                    crash := Some (Printexc.to_string exn);
-                    None
-              in
-              findings := !(watch.Guard.caught) @ !findings;
-              if guarded then begin
-                (match out with
-                | Some out -> findings := Guard.check_output pattern env out @ !findings
-                | None -> ());
-                (* root-cause step of the ladder: when the output is
-                   wrong but the halo was clean, re-prove the cached
-                   kernel the way the engine would *)
-                if !findings <> [] && !(watch.Guard.caught) = [] && !crash = None
-                then
-                  findings :=
-                    !findings @ Guard.check_kernel config compiled kernel_used
-              end;
-              let detected = !findings <> [] || !crash <> None in
-              (* recovery: the injector is one-shot, so a disarmed
-                 re-run with a sound kernel must reproduce the clean
-                 result bit for bit *)
-              let recovered =
-                detected
-                && (match
-                      Exec.run ~mode:Exec.Fast ~inner:Exec.Lowered
-                        ~kernel:kernel_clean ~pool ~hooks:(Inject.hooks inj)
-                        machine compiled env
-                    with
-                   | r ->
-                       Int64.equal (Guard.grid_checksum r.Exec.output) clean_ck
-                   | exception _ -> false)
-              in
-              Metrics.Counter.incr
-                (if detected then detected_c else missed_c);
-              if recovered then Metrics.Counter.incr recovered_c;
-              let detail =
-                let injected =
-                  match Inject.fired inj with
-                  | Some s -> s
-                  | None -> "injector never fired"
-                in
-                let caught =
-                  match (!crash, !findings) with
-                  | Some c, _ -> c
-                  | None, f :: _ ->
-                      Printf.sprintf "finding[%s]"
-                        (Finding.check_name f.Finding.check)
-                  | None, [] -> "undetected"
-                in
-                injected ^ "; " ^ caught
-              in
-              (match Inject.fired inj with
-              | Some s ->
-                  Flight.record ring Flight.Fault
-                    (Printf.sprintf "%s fired: %s" (Inject.name fault) s)
-              | None ->
-                  Flight.record ring Flight.Info
-                    (Printf.sprintf "%s never fired" (Inject.name fault)));
-              (match (!crash, !findings) with
-              | Some c, _ ->
-                  Flight.record ring Flight.Guard_trip ("crash: " ^ c)
-              | None, f :: _ ->
-                  Flight.record ring Flight.Guard_trip
-                    (Finding.to_string f)
-              | None, [] ->
-                  Flight.record ring Flight.Info "no guard tripped");
-              Flight.record ring
-                (if recovered then Flight.Info else Flight.Degraded)
-                (if recovered then "recovered: disarmed re-run bit-identical"
-                 else if detected then "not recovered"
-                 else "UNDETECTED");
-              kills :=
-                {
-                  k_pattern = pname;
-                  k_fault = fault;
-                  k_jobs = jobs;
-                  k_detected = detected;
-                  k_recovered = recovered;
-                  k_detail = detail;
-                  k_dump = Flight.dump ring;
-                }
-                :: !kills)
-            jobs_list)
-        Inject.all)
+      let kernel_used = ref kernel_clean in
+      kill_sweep ~path:"lowered" ~faults:Inject.all ~env ~clean_ck ~salt:pname
+        ~run_faulty:(fun inj ~pool ~hooks ->
+          kernel_used := Inject.poison_kernel inj kernel_clean;
+          (Exec.run ~mode:Exec.Fast ~inner:Exec.Lowered ~kernel:!kernel_used
+             ~pool ~hooks machine compiled env)
+            .Exec.output)
+        ~root_cause:(fun () -> Guard.check_kernel config compiled !kernel_used)
+        ~recover:(fun inj ~pool ->
+          (Exec.run ~mode:Exec.Fast ~inner:Exec.Lowered ~kernel:kernel_clean
+             ~pool ~hooks:(Inject.hooks inj) machine compiled env)
+            .Exec.output);
+      (* Production path 2: the transform plan over the uniform
+         environment, with [Fft.verify] as the root-cause re-proof. *)
+      let plan_clean = Fft.build pattern ~rows ~cols env_u in
+      let clean_ck_fft =
+        Guard.grid_checksum
+          ((Exec.run_fft ~plan:plan_clean machine pattern env_u).Exec.output)
+      in
+      let plan_used = ref plan_clean in
+      kill_sweep ~path:"fft" ~faults:Inject.fft_faults ~env:env_u
+        ~clean_ck:clean_ck_fft
+        ~salt:(pname ^ "/fft")
+        ~run_faulty:(fun inj ~pool ~hooks ->
+          let p = Fft.build pattern ~rows ~cols env_u in
+          Inject.poison_fft inj p;
+          plan_used := p;
+          (Exec.run_fft ~plan:p ~pool ~hooks machine pattern env_u).Exec.output)
+        ~root_cause:(fun () ->
+          match Fft.verify pattern !plan_used with
+          | () -> []
+          | exception Finding.Failed fs -> fs)
+        ~recover:(fun inj ~pool ->
+          (Exec.run_fft ~plan:plan_clean ~pool ~hooks:(Inject.hooks inj)
+             machine pattern env_u)
+            .Exec.output))
     gallery;
   {
     seed;
@@ -357,26 +425,37 @@ let rec pp ppf m =
   else pp_kills ppf m
 
 and pp_kills ppf m =
-  Format.fprintf ppf "fault kills (killed/injected):@.";
-  Format.fprintf ppf "  %-16s" "";
-  List.iter (fun j -> Format.fprintf ppf "%8s" (Printf.sprintf "jobs=%d" j)) m.jobs_list;
-  Format.fprintf ppf "@.";
+  (* one killed/injected table per production path, each over the
+     fault classes that path's sweep actually arms *)
   List.iter
-    (fun fault ->
-      Format.fprintf ppf "  %-16s" (Inject.name fault);
-      List.iter
-        (fun jobs ->
-          let cellk =
-            List.filter
-              (fun k -> k.k_fault = fault && k.k_jobs = jobs)
-              m.kills
-          in
-          let killed = List.filter (fun k -> k.k_detected) cellk in
-          Format.fprintf ppf "%8s"
-            (Printf.sprintf "%d/%d" (List.length killed) (List.length cellk)))
-        m.jobs_list;
-      Format.fprintf ppf "@.")
-    Inject.all;
+    (fun (path, faults) ->
+      if List.exists (fun k -> k.k_path = path) m.kills then begin
+        Format.fprintf ppf "fault kills, %s path (killed/injected):@." path;
+        Format.fprintf ppf "  %-16s" "";
+        List.iter
+          (fun j -> Format.fprintf ppf "%8s" (Printf.sprintf "jobs=%d" j))
+          m.jobs_list;
+        Format.fprintf ppf "@.";
+        List.iter
+          (fun fault ->
+            Format.fprintf ppf "  %-16s" (Inject.name fault);
+            List.iter
+              (fun jobs ->
+                let cellk =
+                  List.filter
+                    (fun k ->
+                      k.k_path = path && k.k_fault = fault && k.k_jobs = jobs)
+                    m.kills
+                in
+                let killed = List.filter (fun k -> k.k_detected) cellk in
+                Format.fprintf ppf "%8s"
+                  (Printf.sprintf "%d/%d" (List.length killed)
+                     (List.length cellk)))
+              m.jobs_list;
+            Format.fprintf ppf "@.")
+          faults
+      end)
+    [ ("lowered", Inject.all); ("fft", Inject.fft_faults) ];
   let injected = List.length m.kills in
   let detected = List.length (List.filter (fun k -> k.k_detected) m.kills) in
   let recovered = List.length (List.filter (fun k -> k.k_recovered) m.kills) in

@@ -1,19 +1,23 @@
 (** The differential conformance harness: every gallery stencil,
-    through every compiled width, down all four execution paths, at
+    through every compiled width, down all five execution paths, at
     several pool sizes — first clean, then under every {!Inject}
     fault class.
 
     The clean matrix is the cross-validation story of the paper made
     exhaustive: the reference evaluator is the oracle, the
-    cycle-accurate simulation and both Fast inner loops must agree
-    with it to 1e-9, and each path must be bit-identical to itself
-    across every [jobs] value.  The in-flight guards
-    ({!Guard.watch}) ride along on the production path, so a clean
+    cycle-accurate simulation, both Fast inner loops and the
+    transform path ({!Ccc_runtime.Fft}) must agree with it to 1e-9,
+    and each path must be bit-identical to itself across every [jobs]
+    value.  The transform path's cells run over a uniform-coefficient
+    environment (a per-point coefficient field is not a convolution);
+    every other path keeps the fully mixed one.  The in-flight guards
+    ({!Guard.watch}) ride along on the production paths, so a clean
     run also proves the guards raise zero false positives.
 
     The kill matrix then arms one injector per
-    (pattern x fault x jobs) cell on the production path
-    (Fast/Lowered with a cached kernel, the engine's configuration)
+    (pattern x path x fault x jobs) cell on each production path —
+    Fast/Lowered with its cached kernel under {!Inject.all}, and the
+    transform path with its cached plan under {!Inject.fft_faults} —
     and requires every fault to be {e killed}: detected as a
     structured finding (or a contained crash), then recovered by a
     disarmed re-run that reproduces the clean result bit for bit.
@@ -23,13 +27,18 @@
 type cell = {
   c_pattern : string;
   c_width : int;
-  c_path : string;  (** ["reference"] / ["simulate"] / ["tapwalk"] / ["lowered"] *)
+  c_path : string;
+      (** ["reference"] / ["simulate"] / ["tapwalk"] / ["lowered"] /
+          ["fft"] *)
   c_jobs : int;
   c_note : string option;  (** [None] when the cell passed *)
 }
 
 type kill = {
   k_pattern : string;
+  k_path : string;
+      (** which production path the fault was injected on:
+          ["lowered"] or ["fft"] *)
   k_fault : Inject.fault;
   k_jobs : int;
   k_detected : bool;
@@ -83,5 +92,5 @@ val passed : matrix -> bool
 
 val pp : Format.formatter -> matrix -> unit
 (** The deterministic summary the [ccc conform] command prints: clean
-    cell tally, the fault x jobs kill table, and a PASS/FAIL verdict
-    line. *)
+    cell tally, one fault x jobs kill table per production path
+    (lowered, then fft), and a PASS/FAIL verdict line. *)

@@ -11,10 +11,14 @@ type fault =
   | Halo_duplicate
   | Phase_skip
   | Kernel_poison
+  | Fft_poison
   | Pool_death
 
 let all =
   [ Bit_flip; Halo_drop; Halo_duplicate; Phase_skip; Kernel_poison; Pool_death ]
+
+let fft_faults =
+  [ Bit_flip; Halo_drop; Halo_duplicate; Phase_skip; Fft_poison; Pool_death ]
 
 let name = function
   | Bit_flip -> "bit-flip"
@@ -22,9 +26,21 @@ let name = function
   | Halo_duplicate -> "halo-duplicate"
   | Phase_skip -> "phase-skip"
   | Kernel_poison -> "kernel-poison"
+  | Fft_poison -> "fft-poison"
   | Pool_death -> "pool-death"
 
-let of_name s = List.find_opt (fun f -> name f = s) all
+let of_name s =
+  List.find_opt
+    (fun f -> name f = s)
+    [
+      Bit_flip;
+      Halo_drop;
+      Halo_duplicate;
+      Phase_skip;
+      Kernel_poison;
+      Fft_poison;
+      Pool_death;
+    ]
 
 exception Worker_died of int
 
@@ -67,6 +83,7 @@ let arm ~seed ~nodes fault =
     | Phase_skip -> 4
     | Kernel_poison -> 5
     | Pool_death -> 6
+    | Fft_poison -> 7
   in
   let rng =
     { state = Int64.logxor (Int64.of_int seed) (Int64.of_int (fault_index * 0x51ED)) }
@@ -204,7 +221,7 @@ let inject_halo t (ctx : Exec.phase_ctx) =
                     by (%d,%d)"
                    node r c r' c')
           | None -> fire t "halo-duplicate: vacuous (uniform border)")
-      | Phase_skip | Kernel_poison | Pool_death -> ())
+      | Phase_skip | Kernel_poison | Fft_poison | Pool_death -> ())
   | _ -> ()
 
 let inject_phase_skip t (ctx : Exec.phase_ctx) =
@@ -256,3 +273,12 @@ let poison_kernel t kernel =
     Kernel.corrupt ~seed kernel
   end
   else kernel
+
+let poison_fft t plan =
+  if t.fault = Fft_poison && !(t.armed) then begin
+    let seed = draw t.rng 0x3FFF in
+    fire t
+      (Printf.sprintf "fft-poison: cached transform spectrum corrupted (seed %d)"
+         seed);
+    Ccc_runtime.Fft.corrupt ~seed plan
+  end

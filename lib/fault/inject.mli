@@ -30,6 +30,11 @@
       kernel comes back with one tap displaced by a word
       ({!Ccc_runtime.Kernel.corrupt}) — silent at specialization
       time, wrong data at run time;
+    - [Fft_poison] — plan-cache corruption on the transform path: a
+      cached {!Ccc_runtime.Fft.plan}'s coefficient spectrum comes
+      back with one tap's value negated while the plan still claims
+      the true value ({!Ccc_runtime.Fft.corrupt}) — invisible to
+      {!Ccc_runtime.Fft.rebind}, wrong at every output point;
     - [Pool_death] — a worker domain dies mid-compute: the victim
       node's inner loop raises {!Worker_died} inside the pool. *)
 type fault =
@@ -38,10 +43,20 @@ type fault =
   | Halo_duplicate
   | Phase_skip
   | Kernel_poison
+  | Fft_poison
   | Pool_death
 
 val all : fault list
-(** Every fault class, in the order above. *)
+(** The six compiled-path fault classes, in the order above (without
+    [Fft_poison], which only makes sense where a transform plan
+    exists): the kill matrix of the lowered execution path. *)
+
+val fft_faults : fault list
+(** The transform-path kill matrix: the four substrate faults shared
+    with {!all} — the transform path consumes the same halo exchange,
+    pooled per-node loops and destination scatter — plus [Fft_poison]
+    in place of [Kernel_poison] (each poisons the artifact its path
+    actually caches). *)
 
 val name : fault -> string
 (** Kebab-case, e.g. ["halo-drop"]. *)
@@ -80,3 +95,9 @@ val poison_kernel : t -> Ccc_runtime.Kernel.t -> Ccc_runtime.Kernel.t
 (** For a [Kernel_poison] injector that is still armed: disarm it and
     return a corrupted copy of the kernel (the poisoned plan-cache
     hit).  Identity for every other case. *)
+
+val poison_fft : t -> Ccc_runtime.Fft.plan -> unit
+(** For an [Fft_poison] injector that is still armed: disarm it and
+    corrupt the plan's cached coefficient spectrum in place
+    ({!Ccc_runtime.Fft.corrupt} with a drawn seed) — the poisoned
+    transform-plan cache hit.  No-op for every other case. *)

@@ -77,3 +77,55 @@ let halfstrip_madds_total config (plan : Plan.t) ~lines =
       (fun acc loads -> acc + slot_madds config loads)
       0 plan.Plan.prologue
     + (lines * line_madds_total config plan)
+
+(* Transform-path cycle term (PR 10).  The formulas mirror the
+   Ccc_runtime.Fft execution pipeline pass for pass: a forward row
+   transform over the frame rows only (the zero rows of the padded
+   buffer need no work), forward and inverse column transforms over the
+   Hermitian half-plane (real input makes the row spectra conjugate
+   symmetric, so only pcols/2 + 1 columns are computed), a pointwise
+   spectral product per half-plane bin, and an inverse row transform
+   over the output-window rows only. *)
+
+let fft_next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let fft_padded ~n ~pad = fft_next_pow2 (n + (2 * pad))
+
+let fft_log2 n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  go 0 1
+
+let fft_butterflies ~rows ~cols ~pad =
+  let prows = fft_padded ~n:rows ~pad and pcols = fft_padded ~n:cols ~pad in
+  let half = (pcols / 2) + 1 in
+  let row_pass n = n * (pcols / 2) * fft_log2 pcols in
+  let col_passes = 2 * half * (prows / 2) * fft_log2 prows in
+  row_pass (rows + (2 * pad)) + col_passes + row_pass rows
+
+let fft_pointwise_bins ~rows ~cols ~pad =
+  let prows = fft_padded ~n:rows ~pad and pcols = fft_padded ~n:cols ~pad in
+  prows * ((pcols / 2) + 1)
+
+let fft_compute_cycles (config : Ccc_cm2.Config.t) ~rows ~cols ~pad =
+  let nodes = float (Ccc_cm2.Config.node_count config) in
+  let butterflies = float (fft_butterflies ~rows ~cols ~pad) in
+  let bins = float (fft_pointwise_bins ~rows ~cols ~pad) in
+  int_of_float
+    (ceil
+       (((butterflies *. config.fft_butterfly_cycles)
+        +. (bins *. config.fft_pointwise_cycles))
+        /. nodes
+       +. config.fft_setup_cycles))
+
+let fft_comm_cycles (config : Ccc_cm2.Config.t) ~rows ~cols ~pad =
+  let nodes = float (Ccc_cm2.Config.node_count config) in
+  let bins = float (fft_pointwise_bins ~rows ~cols ~pad) in
+  config.fft_transpose_passes
+  * int_of_float
+      (ceil (bins /. nodes *. config.fft_transpose_cycles_per_word))
+
+let fft_cycles config ~rows ~cols ~pad =
+  fft_compute_cycles config ~rows ~cols ~pad
+  + fft_comm_cycles config ~rows ~cols ~pad

@@ -49,3 +49,44 @@ val line_words : Plan.t -> int
 
 val halfstrip_words : Plan.t -> lines:int -> int
 (** Dynamic words for a whole half-strip, prologue included. *)
+
+(** {1 Transform-path cycle term (PR 10)}
+
+    The closed-form price of the {!Ccc_runtime.Fft} execution path,
+    the fifth backend: butterflies and spectral pointwise products
+    spread across the nodes, plus transpose passes over the grid
+    network.  [rows]/[cols] are the {e global} grid dimensions and
+    [pad] the stencil's border ([Pattern.max_border]); the formulas
+    mirror the implementation's Hermitian half-plane passes exactly.
+    The planner compares {!fft_cycles} against the compiled
+    multistencil's estimate per request (DESIGN.md section 12); the
+    constants live in {!Ccc_cm2.Config} and are calibrated by
+    [bench/main.exe fft]. *)
+
+val fft_padded : n:int -> pad:int -> int
+(** Per-dimension transform length: smallest power of two >=
+    [n + 2 pad].  Equal to [Ccc_runtime.Fft.padded_size] by
+    construction (a property test asserts it). *)
+
+val fft_butterflies : rows:int -> cols:int -> pad:int -> int
+(** Radix-2 butterflies for one convolution: forward row transforms
+    over the [rows + 2 pad] frame rows, forward and inverse column
+    transforms over the [pcols/2 + 1] half-plane columns, and inverse
+    row transforms over the [rows] output rows. *)
+
+val fft_pointwise_bins : rows:int -> cols:int -> pad:int -> int
+(** Spectral bins of the Hermitian half-plane:
+    [prows * (pcols/2 + 1)] — one complex multiply each, and the word
+    count of each transpose pass. *)
+
+val fft_compute_cycles : Ccc_cm2.Config.t -> rows:int -> cols:int -> pad:int -> int
+(** Node-side cycles: butterflies and pointwise products divided
+    across the nodes, plus the fixed per-call setup term. *)
+
+val fft_comm_cycles : Ccc_cm2.Config.t -> rows:int -> cols:int -> pad:int -> int
+(** Transpose traffic: [fft_transpose_passes] passes of one half-plane
+    word per bin per node at [fft_transpose_cycles_per_word]. *)
+
+val fft_cycles : Ccc_cm2.Config.t -> rows:int -> cols:int -> pad:int -> int
+(** {!fft_compute_cycles} + {!fft_comm_cycles}: the number the planner
+    weighs against the compiled path's comm + compute estimate. *)

@@ -114,7 +114,16 @@ let add_sample buf s =
       Buffer.add_string buf
         (Printf.sprintf "%s_sum%s %s\n" s.family (lbl []) (num h.hsum));
       Buffer.add_string buf
-        (Printf.sprintf "%s_count%s %d\n" s.family (lbl []) h.hcount)
+        (Printf.sprintf "%s_count%s %d\n" s.family (lbl []) h.hcount);
+      (* latency quantiles, estimated from the bucket counts; the
+         estimator reports 0 on an empty histogram, so these lines
+         stay numeric for metrics that have not fired yet *)
+      List.iter
+        (fun (suffix, q) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_%s%s %s\n" s.family suffix (lbl [])
+               (num (h.hquantile q))))
+        [ ("p50", 0.50); ("p95", 0.95); ("p99", 0.99) ]
 
 let render ?(namespace = "ccc") sources =
   let samples =

@@ -4,8 +4,9 @@
     rendering of one or more {!Metrics} registries in the Prometheus
     exposition format — [# TYPE] headers, [family{label="v"} value]
     samples, histograms as cumulative [_bucket]/[_sum]/[_count]
-    series over the fixed log-spaced bucket layout.  [ccc stats]
-    prints exactly this.
+    series over the fixed log-spaced bucket layout plus estimated
+    [_p50]/[_p95]/[_p99] quantile lines (0 when the histogram is
+    empty).  [ccc stats] prints exactly this.
 
     Conventions: registry names are mangled to
     [<namespace>_<name-with-dots-as-underscores>]; names following the

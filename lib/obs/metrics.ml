@@ -175,7 +175,10 @@ module Histogram = struct
      extremes.  Deterministic: a pure function of the sample set. *)
   let quantile h q =
     read h (fun h ->
-        if h.count = 0 then Float.nan
+        (* an empty histogram reports 0, not NaN: renderers format the
+           value straight into pinned text (stats tables, Expo lines)
+           where a "nan" would poison the output *)
+        if h.count = 0 then 0.0
         else begin
           let q = Float.max 0.0 (Float.min 1.0 q) in
           let rank =

@@ -74,9 +74,10 @@ module Histogram : sig
   val quantile : t -> float -> float
   (** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) from
       the bucket counts: linear interpolation inside the bucket the
-      rank lands in, clamped to the observed [\[min, max\]].  [nan]
-      when empty.  Deterministic — a pure function of the sample
-      set. *)
+      rank lands in, clamped to the observed [\[min, max\]].  [0.0]
+      when empty — unlike {!min}/{!mean}, the quantile feeds pinned
+      text renderers where a [nan] would poison the output.
+      Deterministic — a pure function of the sample set. *)
 
   val p50 : t -> float
   val p95 : t -> float

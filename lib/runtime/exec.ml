@@ -400,6 +400,185 @@ let run ?(obs = Obs.disabled) ?(mode = Fast) ?(primitive = Halo.Node_level)
   if obs != Obs.disabled then Stats.record obs.Obs.metrics stats;
   { output; stats }
 
+(* ------------------------------------------------------------------ *)
+(* The transform-domain path (PR 10): the fifth backend.  Same phase
+   structure as [run] — scatter, halo exchange, compute, gather, with
+   the same hook seam at each phase — but the compute phase is one
+   global circular convolution via the cached transform plan instead
+   of per-node strip walking.  The host assembles the global padded
+   frame from the exchanged node temporaries, so halo faults propagate
+   into the transform input exactly as they would into the microcode's
+   reads. *)
+
+let run_fft ?(obs = Obs.disabled) ?(primitive = Halo.Node_level)
+    ?(iterations = 1) ?(pool = Pool.sequential) ?plan ?(hooks = no_hooks)
+    machine pattern env =
+  if iterations < 1 then invalid_arg "Exec.run_fft: iterations < 1";
+  let config = Machine.config machine in
+  Reference.check_env pattern env;
+  let source_grid = Reference.lookup env (Pattern.source_var pattern) in
+  let rows = Grid.rows source_grid and cols = Grid.cols source_grid in
+  (* Resolve the plan before touching node memory: a [Varying] or
+     [Unbound] coefficient must not leave machine state behind.  A
+     caller-supplied (cached) plan is re-bound against this call's
+     environment; when the values already match, the cached spectrum
+     is reused untouched. *)
+  let fplan =
+    match plan with
+    | Some p ->
+        if Fft.rows p <> rows || Fft.cols p <> cols then
+          invalid_arg "Exec.run_fft: plan shape does not match the source";
+        ignore (Fft.rebind p env);
+        p
+    | None -> Fft.plan pattern ~rows ~cols env
+  in
+  let watermark = Machine.alloc_all machine ~words:0 in
+  Obs.span obs "run" @@ fun () ->
+  Fun.protect ~finally:(fun () -> Machine.free_all_after machine watermark)
+  @@ fun () ->
+  Access.set_phase "scatter";
+  let source =
+    Obs.span obs "run.scatter" (fun () ->
+        Dist.scatter ~pool machine source_grid)
+  in
+  let sub_rows = source.Dist.sub_rows and sub_cols = source.Dist.sub_cols in
+  let pad = Pattern.max_border pattern in
+  if pad > sub_rows || pad > sub_cols then
+    raise (too_small pad ~sub_rows ~sub_cols);
+  let dst = Dist.create machine ~sub_rows ~sub_cols in
+  let needs_corners = Pattern.needs_corners pattern in
+  Access.set_phase "halo";
+  let halo =
+    Obs.span obs "run.halo" @@ fun () ->
+    let h =
+      Halo.exchange ~primitive ~pool ~source ~pad
+        ~boundary:(Pattern.boundary pattern)
+        ~needs_corners ()
+    in
+    if Obs.tracing obs then
+      Tr.add_attr obs.Obs.trace "cycles" (Tr.Int h.Halo.cycles);
+    h
+  in
+  hooks.on_phase
+    {
+      phase = "halo";
+      machine;
+      source = Some source;
+      halo = Some halo;
+      dst = Some dst;
+      streams = [||];
+    };
+  Access.set_phase "compute";
+  Obs.span obs "run.compute" (fun () ->
+      (* Assemble the global padded frame from the node temporaries.
+         Each node owns its subgrid's cells plus, on the machine's
+         edge, the adjoining frame cells — which its own halo holds
+         with boundary semantics already applied (wraparound values or
+         the end-off fill).  When corner sections were skipped, the
+         frame's corner blocks are zeroed rather than read: with no
+         diagonal taps their coefficients are zero (including under
+         the transform's mod-P aliasing — a corner cell can only reach
+         an output point at a doubly-negative offset), so zeros are
+         exact where the exchanged NaN poison would destroy the whole
+         spectrum. *)
+      let frame_rows = rows + (2 * pad) and frame_cols = cols + (2 * pad) in
+      let frame = Grid.create ~rows:frame_rows ~cols:frame_cols in
+      let fraw = Grid.raw frame in
+      let base = halo.Halo.padded.Memory.base in
+      let hpcols = halo.Halo.padded_cols in
+      let geometry = Machine.geometry machine in
+      let grows = Ccc_cm2.Geometry.rows geometry in
+      let gcols = Ccc_cm2.Geometry.cols geometry in
+      Pool.iter pool (Machine.node_count machine) (fun node ->
+          hooks.on_compute_node node;
+          Access.read "halo.node" (Dist.probe_slot machine node);
+          let mem = Machine.memory machine node in
+          let node_r, node_c = Ccc_cm2.Geometry.coord_of_node geometry node in
+          let r_lo = if node_r = 0 then -pad else node_r * sub_rows in
+          let r_hi =
+            if node_r = grows - 1 then rows + pad else (node_r + 1) * sub_rows
+          in
+          let c_lo = if node_c = 0 then -pad else node_c * sub_cols in
+          let c_hi =
+            if node_c = gcols - 1 then cols + pad else (node_c + 1) * sub_cols
+          in
+          for r0 = r_lo to r_hi - 1 do
+            let lr = r0 - (node_r * sub_rows) in
+            for c0 = c_lo to c_hi - 1 do
+              let lc = c0 - (node_c * sub_cols) in
+              let corner =
+                (r0 < 0 || r0 >= rows) && (c0 < 0 || c0 >= cols)
+              in
+              let v =
+                if corner && not needs_corners then 0.0
+                else
+                  Memory.read mem
+                    (base + ((lr + pad) * hpcols) + (lc + pad))
+              in
+              fraw.(((r0 + pad) * frame_cols) + (c0 + pad)) <- v
+            done
+          done);
+      let out = Fft.execute ~pool fplan ~padded:frame in
+      Dist.scatter_into ~pool dst out);
+  hooks.on_phase
+    {
+      phase = "compute";
+      machine;
+      source = None;
+      halo = Some halo;
+      dst = Some dst;
+      streams = [||];
+    };
+  Access.set_phase "gather";
+  let output = Obs.span obs "run.gather" (fun () -> Dist.gather ~pool dst) in
+  let fft_madds =
+    4
+    * (Cost.fft_butterflies ~rows ~cols ~pad
+      + Cost.fft_pointwise_bins ~rows ~cols ~pad)
+  in
+  let stats =
+    build_stats config ~iterations
+      ~comm_cycles:(halo.Halo.cycles + Cost.fft_comm_cycles config ~rows ~cols ~pad)
+      ~call_s:(Config.effective_call_s config)
+      ~compute_cycles:(Cost.fft_compute_cycles config ~rows ~cols ~pad)
+      ~madds:fft_madds ~frontend_stall_s:0.0
+      ~flops_per_point:(Pattern.useful_flops_per_point pattern)
+      ~global_points:(rows * cols) ~strip_widths:[]
+      ~corners_skipped:(not needs_corners)
+  in
+  if Obs.tracing obs then
+    Tr.emit obs.Obs.trace
+      ~attrs:[ ("seconds", Tr.Float stats.Stats.frontend_s) ]
+      "run.frontend";
+  if obs != Obs.disabled then Stats.record obs.Obs.metrics stats;
+  { output; stats }
+
+let estimate_fft ?(primitive = Halo.Node_level) ?(iterations = 1) ~sub_rows
+    ~sub_cols config pattern =
+  if iterations < 1 then invalid_arg "Exec.estimate_fft: iterations < 1";
+  let pad = Pattern.max_border pattern in
+  if pad > sub_rows || pad > sub_cols then
+    raise (too_small pad ~sub_rows ~sub_cols);
+  let rows = sub_rows * config.Config.node_rows
+  and cols = sub_cols * config.Config.node_cols in
+  let needs_corners = Pattern.needs_corners pattern in
+  let comm_cycles =
+    Halo.cycles_model ~primitive ~sub_rows ~sub_cols ~pad
+      ~corners:needs_corners config
+    + Cost.fft_comm_cycles config ~rows ~cols ~pad
+  in
+  build_stats config ~iterations ~comm_cycles
+    ~call_s:(Config.effective_call_s config)
+    ~compute_cycles:(Cost.fft_compute_cycles config ~rows ~cols ~pad)
+    ~madds:
+      (4
+      * (Cost.fft_butterflies ~rows ~cols ~pad
+        + Cost.fft_pointwise_bins ~rows ~cols ~pad))
+    ~frontend_stall_s:0.0
+    ~flops_per_point:(Pattern.useful_flops_per_point pattern)
+    ~global_points:(rows * cols) ~strip_widths:[]
+    ~corners_skipped:(not needs_corners)
+
 let trace ?width ?(lines = 3) (config : Config.t) compiled =
   let plan, how =
     match width with
@@ -1111,6 +1290,48 @@ let estimate ?(primitive = Halo.Node_level) ?(iterations = 1) ~sub_rows
     ~strip_widths:(List.map (fun (s : Stripmine.strip) ->
          s.plan.Plan.width) strips)
     ~corners_skipped:(not needs_corners)
+
+type backend = Auto | Force_compiled | Force_fft
+
+let backend_of_string = function
+  | "auto" -> Some Auto
+  | "compiled" -> Some Force_compiled
+  | "fft" -> Some Force_fft
+  | _ -> None
+
+let backend_name = function
+  | Auto -> "auto"
+  | Force_compiled -> "compiled"
+  | Force_fft -> "fft"
+
+(* The planner: a pure function of the configuration, the compiled
+   plans (if any) and the grid shape, so the choice is deterministic
+   and testable without a machine.  The compiled side prices with
+   [estimate] (the Table-1-calibrated model), the transform side with
+   [Cost.fft_cycles]; ties go to the compiled path, whose results are
+   bit-identical to the simulator. *)
+let select_backend ?(backend = Auto) ~sub_rows ~sub_cols config compiled =
+  match (backend, compiled) with
+  | Force_compiled, _ -> `Compiled
+  | Force_fft, _ -> `Fft
+  | Auto, None -> `Fft
+  | Auto, Some c -> (
+      match estimate ~sub_rows ~sub_cols config c with
+      | exception Too_small _ ->
+          (* Neither path fits a subgrid smaller than the border; defer
+             to the compiled path so the run reports the [Too_small]
+             diagnosis rather than pricing an impossible transform. *)
+          `Compiled
+      | s ->
+          let pattern = c.Compile.pattern in
+          let pad = Pattern.max_border pattern in
+          let rows = sub_rows * config.Config.node_rows
+          and cols = sub_cols * config.Config.node_cols in
+          if
+            s.Stats.comm_cycles + s.Stats.compute_cycles
+            <= Cost.fft_cycles config ~rows ~cols ~pad
+          then `Compiled
+          else `Fft)
 
 (* ------------------------------------------------------------------ *)
 (* Per-phase cycle attribution: Table 1 as live telemetry. *)

@@ -134,6 +134,82 @@ val run_padded :
     divisibility requirement stands and this raises
     [Invalid_argument]. *)
 
+(** {1 The transform-domain path (PR 10)}
+
+    The fifth backend: one global circular convolution through
+    {!Fft} instead of per-node strip walking.  Same phase structure
+    and hook seam as {!run} — scatter, halo exchange (["halo"] hook),
+    compute (["compute"] hook, {!hooks.on_compute_node} once per node
+    while the global padded frame is assembled from that node's
+    exchanged temporaries), gather — so the fault injectors and guards
+    of [Ccc_fault] ride unchanged.  Statistics are priced by
+    {!Ccc_microcode.Cost.fft_cycles}'s compute and transpose terms
+    plus the real halo cycles. *)
+
+val run_fft :
+  ?obs:Ccc_obs.Obs.t ->
+  ?primitive:Halo.primitive ->
+  ?iterations:int ->
+  ?pool:Pool.t ->
+  ?plan:Fft.plan ->
+  ?hooks:hooks ->
+  Ccc_cm2.Machine.t ->
+  Ccc_stencil.Pattern.t ->
+  Reference.env ->
+  result
+(** Execute one stencil as a transform-domain convolution.  Takes the
+    pattern directly — no compilation is needed, which is the point:
+    dense kernels the compiler rejects still run here.  [plan]
+    supplies a cached transform plan (the engine's), re-bound against
+    this call's coefficient values before use; when absent a plan is
+    built on the fly (unverified, like {!run}'s on-the-fly kernel —
+    use {!Fft.build} for the verifying variant).  Raises
+    {!Fft.Varying} on a spatially non-uniform coefficient and
+    {!Too_small} when the border exceeds the subgrid.  Output is
+    bit-identical across jobs values, and 1e-9-close (not
+    bit-identical) to the direct paths. *)
+
+val estimate_fft :
+  ?primitive:Halo.primitive ->
+  ?iterations:int ->
+  sub_rows:int ->
+  sub_cols:int ->
+  Ccc_cm2.Config.t ->
+  Ccc_stencil.Pattern.t ->
+  Stats.t
+(** {!estimate}'s transform-path counterpart: the statistics
+    {!run_fft} would report for the given per-node subgrid shape,
+    with the halo term from {!Halo.cycles_model}. *)
+
+(** {1 Backend selection}
+
+    The per-request planner of the serve plane: compiled multistencil
+    or transform path, by predicted cycles. *)
+
+type backend = Auto | Force_compiled | Force_fft
+
+val backend_of_string : string -> backend option
+(** ["auto"], ["compiled"], ["fft"] — the CLI's [--backend] values. *)
+
+val backend_name : backend -> string
+
+val select_backend :
+  ?backend:backend ->
+  sub_rows:int ->
+  sub_cols:int ->
+  Ccc_cm2.Config.t ->
+  Ccc_compiler.Compile.t option ->
+  [ `Compiled | `Fft ]
+(** Choose the execution path for one request: a pure, deterministic
+    function of the configuration, the compiled plans (or [None] when
+    compilation was rejected) and the grid shape.  Under [Auto] the
+    compiled path is priced by {!estimate} and the transform path by
+    {!Ccc_microcode.Cost.fft_cycles}; ties go to the compiled path,
+    whose results are bit-identical to the simulator.  [Auto] with no
+    compiled plans is the dense-kernel fallthrough: [`Fft] instead of
+    a resource rejection.  The caller remains responsible for FFT
+    eligibility (spatially uniform coefficients). *)
+
 (** {1 Arena-backed execution}
 
     {!run} allocates and releases every temporary per call — the

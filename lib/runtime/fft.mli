@@ -1,0 +1,143 @@
+(** Transform-domain convolution: the fifth execution path.
+
+    The compiled multistencil is O(taps) per point, so the compiler —
+    like the paper's (section 6) — rejects dense kernels whose
+    register demand exceeds the file (cross9 and diamond13 at width
+    8).  This module computes the same stencil as a circular
+    convolution via zero-padded transforms: a hand-written iterative
+    radix-2 FFT (no dependencies), a pointwise spectral product
+    against a cached transformed coefficient image, and an inverse
+    transform.  Cost is O(P log P) in the padded size P, independent
+    of tap count — the crossover against the compiled path is
+    predicted by {!Ccc_microcode.Cost.fft_cycles} and measured by
+    [bench/main.exe fft] (DESIGN.md section 12).
+
+    The transform path is only valid when every coefficient is
+    spatially uniform: [Reference.apply] evaluates [Coeff.Array]
+    coefficients per output point, and a per-point coefficient field
+    is not a convolution.  {!plan} enforces this with a bit-exact
+    uniformity check and raises {!Varying} otherwise; [Scalar] and
+    [One] coefficients always qualify.
+
+    Tolerance policy: transform-domain results carry rounding of the
+    order of machine epsilon times [log P], so equality against the
+    direct paths is 1e-9-close, not bit-identical.  Within the FFT
+    path itself, results are bit-identical for every [jobs] value:
+    the row and column passes of {!execute} give each worker a
+    disjoint strip and derive every twiddle factor as a pure function
+    of (length, index). *)
+
+type plan
+(** A planned transform for one (pattern, grid shape) pair: padded
+    power-of-two dimensions, the forward-transformed coefficient
+    image, and the resolved coefficient values it was built from.
+    Plans are cached by {!Ccc_service.Engine} under the same
+    fingerprint key as compiled plans; {!rebind} keeps a cached plan
+    sound when a hit arrives with different coefficient values. *)
+
+exception Varying of string
+(** Raised by {!plan} when the named coefficient array is not
+    spatially uniform — the stencil is not a convolution and the
+    transform path must refuse it. *)
+
+(** {1 Transform primitives} (exposed for the unit suite) *)
+
+val next_pow2 : int -> int
+(** Smallest power of two >= [n] (and >= 1). *)
+
+val padded_size : n:int -> pad:int -> int
+(** Per-dimension padded transform length: the smallest power of two
+    >= [n + 2 * pad].  With kernel extent [k = 2 * pad + 1] this
+    satisfies the classical [>= n + k - 1] linear-convolution bound. *)
+
+val bit_reverse : bits:int -> int -> int
+(** [bit_reverse ~bits i] reverses the low [bits] bits of [i] — the
+    input permutation of the iterative transform. *)
+
+val twiddle : n:int -> k:int -> float * float
+(** The forward root of unity [e^(-2 pi i k / n)] as (re, im).
+    Computed on demand as a pure function of [(n, k)] so every worker
+    derives bit-identical factors. *)
+
+val fft : inverse:bool -> float array -> float array -> unit
+(** In-place radix-2 transform of the complex sequence [(re, im)].
+    Length must be a power of two ([Invalid_argument] otherwise).
+    The inverse applies conjugate twiddles and the [1/n] scale, so
+    [fft ~inverse:false] then [fft ~inverse:true] is the identity to
+    around 1e-12 on O(1) data. *)
+
+(** {1 Planning} *)
+
+val plan : Ccc_stencil.Pattern.t -> rows:int -> cols:int -> Reference.env -> plan
+(** Resolve every coefficient to its uniform value (raises {!Varying}
+    on a non-uniform [Array] coefficient, [Reference.Unbound] on a
+    missing one), place the taps into a padded-size kernel image
+    ([image[(-dr) mod P_r][(-dc) mod P_c] = c]), and forward-transform
+    it.  The environment's grids must be [rows] x [cols]. *)
+
+val build : Ccc_stencil.Pattern.t -> rows:int -> cols:int -> Reference.env -> plan
+(** {!plan}, then verify the plan end-to-end: run {!execute} over a
+    deterministic sandbox source and compare against
+    [Reference.apply] to 1e-9.  Raises
+    [Ccc_analysis.Finding.Failed] with an [Output_integrity] finding
+    on mismatch — the transform-path analogue of {!Kernel.build}'s
+    sandbox proof, run once per plan-cache miss. *)
+
+val rebind : plan -> Reference.env -> bool
+(** Re-resolve the coefficient values against a new environment (same
+    uniformity rules).  When any value differs from the cached ones,
+    re-transform {e only} the coefficient image in place and return
+    [true]; when all match, the cached spectrum is already sound and
+    the plan is untouched ([false]).  This is what keeps
+    content-addressed cache hits sound: the fingerprint identifies
+    coefficient {e names}, not values. *)
+
+val verify : Ccc_stencil.Pattern.t -> plan -> unit
+(** The sandbox proof of {!build} alone, for revalidating a cached
+    plan suspected of corruption (the [Ccc_fault] recompile rung).
+    Raises [Ccc_analysis.Finding.Failed] on mismatch. *)
+
+(** {1 Introspection} *)
+
+val pad : plan -> int
+val rows : plan -> int
+val cols : plan -> int
+
+val padded_rows : plan -> int
+(** [padded_size ~n:(rows p) ~pad:(pad p)]. *)
+
+val padded_cols : plan -> int
+val coeff_values : plan -> float array
+(** The resolved per-tap values, in pattern (tap) order. *)
+
+val bias_value : plan -> float option
+
+(** {1 Execution} *)
+
+val execute : ?pool:Pool.t -> plan -> padded:Grid.t -> Grid.t
+(** Convolve one halo-padded source: [padded] is the
+    [(rows + 2 pad) x (cols + 2 pad)] array with boundary semantics
+    already applied to the frame (exactly what {!Halo.exchange}
+    assembles per node — {!Exec} stitches the global one from the
+    exchanged node temporaries, so halo faults propagate into the
+    transform input).  Embeds it in the padded-size complex buffer,
+    transforms, multiplies by the cached coefficient spectrum,
+    inverse-transforms, and reads the [rows x cols] window at offset
+    [pad] plus the bias.  Bit-identical for every [jobs] value. *)
+
+val convolve : ?pool:Pool.t -> Ccc_stencil.Pattern.t -> Reference.env -> Grid.t
+(** One-shot host-side convolution: {!plan} for the environment's
+    shape, assemble the padded source from the pattern's boundary
+    semantics, {!execute}.  The pure-math oracle the property suite
+    compares against [Reference.apply]. *)
+
+val corrupt : ?seed:int -> plan -> unit
+(** Deterministically corrupt the cached coefficient spectrum: rebuild
+    it with one usable tap's value negated (chosen by [seed] through a
+    private splitmix64 stream, as {!Kernel.corrupt}) while the plan's
+    recorded values still claim the true one.  The corruption is
+    global — an O(coefficient) error at every output point — and
+    persistent: {!rebind} against the same environment sees matching
+    values and re-transforms nothing, exactly the lie a poisoned
+    plan-cache entry tells.  {!verify} rejects it.  Fault injection
+    only. *)

@@ -51,5 +51,9 @@ let pp ppf t =
     t.iterations t.nodes (t.clock_hz /. 1e6) t.comm_cycles t.compute_cycles
     (t.frontend_s *. 1e6) (elapsed_s t) (mflops t) (gflops t)
     (extrapolate t ~nodes:2048)
-    (String.concat "+" (List.map string_of_int t.strip_widths))
+    (* the transform path mines no strips: render "-" rather than an
+       empty field *)
+    (match t.strip_widths with
+    | [] -> "-"
+    | ws -> String.concat "+" (List.map string_of_int ws))
     (if t.corners_skipped then ", corner exchange skipped" else "")

@@ -4,6 +4,8 @@ module Pattern = Ccc_stencil.Pattern
 module Boundary = Ccc_stencil.Boundary
 module Compile = Ccc_compiler.Compile
 module Exec = Ccc_runtime.Exec
+module Fft = Ccc_runtime.Fft
+module Grid = Ccc_runtime.Grid
 module Stats = Ccc_runtime.Stats
 module Kernel = Ccc_runtime.Kernel
 module Pool = Ccc_runtime.Pool
@@ -34,10 +36,19 @@ let error_to_string = Outcome.reject_to_string
    reference evaluator and the cycle-accurate interpreter) and then
    reused verbatim across rebind hits: rebinding retargets coefficient
    and variable names only, never tap offsets, bias arity or stream
-   count — exactly the data the lowering depends on. *)
+   count — exactly the data the lowering depends on.
+
+   Since PR 10 an entry caches the compilation *result*, not just
+   successes: a dense stencil the compiler rejects is remembered with
+   its per-width findings, so every subsequent request falls through
+   to the transform path without re-running the scheduler.  The entry
+   also carries one standing {!Fft.plan} (like the arena, one standing
+   shape: a shape change rebuilds it) together with the array names it
+   was resolved from — a hit under renamed arrays rebuilds rather than
+   trusting names the fingerprint deliberately canonicalizes away. *)
 type entry = {
-  compiled : Compile.t;
-  kernel : Kernel.t;
+  compiled : (Compile.t * Kernel.t, (int * Finding.t) list) result;
+  mutable fft : (string list * Fft.plan) option;
   mutable last_used : int;
 }
 
@@ -53,6 +64,12 @@ type settings = {
   tile : (int * int) option;
       (* kernel tile geometry forwarded to every Exec call; [None]
          defers to the machine config's calibrated default *)
+  backend : Exec.backend;
+      (* Auto picks compiled vs transform per request by predicted
+         cycles; Force_* pins one path for ablation runs *)
+  widths : int list option;
+      (* multistencil widths offered to the compiler; [None] defers to
+         [Compile.candidate_widths] *)
 }
 
 let default_settings =
@@ -63,6 +80,8 @@ let default_settings =
     queue_depth = 64;
     tenants = 16;
     tile = None;
+    backend = Exec.Auto;
+    widths = None;
   }
 
 type t = {
@@ -95,6 +114,10 @@ type t = {
   arena_reuses : Metrics.Gauge.t;
   arena_rebuilds : Metrics.Gauge.t;
   kernel_verifies : Metrics.Counter.t;
+  fft_runs : Metrics.Counter.t;
+  fft_builds : Metrics.Counter.t;
+  fft_rebinds : Metrics.Counter.t;
+  fft_per_call : Metrics.Histogram.t;
   guard_detections : Metrics.Counter.t;
   guard_retries : Metrics.Counter.t;
   guard_recompiles : Metrics.Counter.t;
@@ -115,6 +138,9 @@ type stats = {
   compiles : int;
   runs : int;
   batches : int;
+  fft_runs : int;
+  fft_builds : int;
+  fft_rebinds : int;
   arena_reuses : int;
   arena_rebuilds : int;
   comm_cycles : int;
@@ -173,6 +199,10 @@ let create ?obs ?flight ?capacity ?jobs ?memory_words ?settings config =
     arena_reuses = Metrics.gauge m "engine.arena.reuses";
     arena_rebuilds = Metrics.gauge m "engine.arena.rebuilds";
     kernel_verifies = Metrics.counter m "engine.kernel.verifies";
+    fft_runs = Metrics.counter m "engine.fft.runs";
+    fft_builds = Metrics.counter m "engine.fft.builds";
+    fft_rebinds = Metrics.counter m "engine.fft.rebinds";
+    fft_per_call = Metrics.histogram m "engine.fft.compute_cycles_per_call";
     guard_detections = Metrics.counter m "engine.guard.detections";
     guard_retries = Metrics.counter m "engine.guard.retries";
     guard_recompiles = Metrics.counter m "engine.guard.recompiles";
@@ -223,6 +253,9 @@ let stats (t : t) : stats =
     compiles = Metrics.Counter.value t.compiles;
     runs = Metrics.Counter.value t.runs;
     batches = Metrics.Counter.value t.batches;
+    fft_runs = Metrics.Counter.value t.fft_runs;
+    fft_builds = Metrics.Counter.value t.fft_builds;
+    fft_rebinds = Metrics.Counter.value t.fft_rebinds;
     arena_reuses = Exec.Arena.reuses t.arena;
     arena_rebuilds = Exec.Arena.rebuilds t.arena;
     comm_cycles = Metrics.Counter.value t.comm_cycles;
@@ -254,11 +287,13 @@ let pp_stats ppf (s : stats) =
     "engine: %d jobs, queue depth %d, %d tenants@\n\
      plan cache: %d hits, %d misses, %d evictions (%d/%d entries)@\n\
      compiles: %d  runs: %d  batches: %d@\n\
+     fft: %d runs, %d builds, %d rebinds@\n\
      arena: %d reuses, %d rebuilds@\n\
      accumulated: comm %d cycles, compute %d cycles, front end %.6f s"
     s.jobs s.queue_depth s.tenants s.hits s.misses s.evictions s.entries
-    s.capacity s.compiles s.runs s.batches s.arena_reuses s.arena_rebuilds
-    s.comm_cycles s.compute_cycles s.frontend_s;
+    s.capacity s.compiles s.runs s.batches s.fft_runs s.fft_builds
+    s.fft_rebinds s.arena_reuses s.arena_rebuilds s.comm_cycles
+    s.compute_cycles s.frontend_s;
   (match s.per_call_compute with
   | None -> ()
   | Some (min, mean, max) ->
@@ -290,7 +325,12 @@ let evict_lru t =
       Log.info (fun m -> m "plan cache eviction: %s" key)
   | None -> ()
 
-let compile_entry t pattern =
+(* Find or create the cache entry for [pattern].  Both outcomes of
+   the scheduler are cached: a success with its verified kernel, and a
+   rejection with its per-width findings — the latter so a dense
+   stencil that falls through to the transform path pays the scheduler
+   exactly once, then hits like any other plan. *)
+let lookup_entry t pattern =
   Access.set_phase "compile";
   let fp = Fingerprint.pattern pattern in
   let key = fp ^ "|" ^ t.config_fp in
@@ -302,31 +342,43 @@ let compile_entry t pattern =
       Access.write "engine.tick" t.eid;
       entry.last_used <- t.tick;
       Log.debug (fun m -> m "plan cache hit: %s" fp);
-      (* A hit may carry different coefficient or variable names than
-         the cached compilation; rebind retargets the plans without
-         redoing any scheduling, and the verified kernel carries over
-         unchanged (it depends only on tap geometry and stream count,
-         which the fingerprint pins). *)
-      Ok (Compile.rebind entry.compiled pattern, entry.kernel)
-  | None -> (
+      entry
+  | None ->
       Access.read "engine.cache" t.eid;
       Metrics.Counter.incr t.misses;
       Log.debug (fun m -> m "plan cache miss: %s" fp);
-      match Compile.compile ~obs:t.obs t.config pattern with
-      | Error rejections ->
-          Log.warn (fun m ->
-              m "stencil %s rejected: %s" fp (Compile.no_workable rejections));
-          Error (Resource_error rejections)
-      | Ok compiled ->
-          Metrics.Counter.incr t.compiles;
-          let kernel = Kernel.build t.config compiled in
-          Metrics.Counter.incr t.kernel_verifies;
-          if Hashtbl.length t.cache >= t.settings.capacity then evict_lru t;
-          t.tick <- t.tick + 1;
-          Access.write "engine.tick" t.eid;
-          Hashtbl.add t.cache key { compiled; kernel; last_used = t.tick };
-          Access.write "engine.cache" t.eid;
-          Ok (compiled, kernel))
+      let compiled =
+        match
+          Compile.compile ~obs:t.obs ?widths:t.settings.widths t.config pattern
+        with
+        | Error rejections ->
+            Log.warn (fun m ->
+                m "stencil %s rejected: %s" fp (Compile.no_workable rejections));
+            Error rejections
+        | Ok compiled ->
+            Metrics.Counter.incr t.compiles;
+            let kernel = Kernel.build t.config compiled in
+            Metrics.Counter.incr t.kernel_verifies;
+            Ok (compiled, kernel)
+      in
+      if Hashtbl.length t.cache >= t.settings.capacity then evict_lru t;
+      t.tick <- t.tick + 1;
+      Access.write "engine.tick" t.eid;
+      let entry = { compiled; fft = None; last_used = t.tick } in
+      Hashtbl.add t.cache key entry;
+      Access.write "engine.cache" t.eid;
+      entry
+
+(* A hit may carry different coefficient or variable names than the
+   cached compilation; rebind retargets the plans without redoing any
+   scheduling, and the verified kernel carries over unchanged (it
+   depends only on tap geometry and stream count, which the
+   fingerprint pins). *)
+let compile_entry t pattern =
+  let entry = lookup_entry t pattern in
+  match entry.compiled with
+  | Ok (compiled, kernel) -> Ok (Compile.rebind compiled pattern, kernel)
+  | Error rejections -> Error (Resource_error rejections)
 
 let compile t pattern =
   check_owner t "compile";
@@ -358,23 +410,113 @@ let warn_rejection pattern e =
       m "stencil %s rejected: %s" (Fingerprint.pattern pattern)
         (error_to_string e))
 
+(* Global grid shape of the request, read off the bound source array
+   (raises [Reference.Unbound] like the execution paths themselves). *)
+let grid_shape pattern env =
+  let src = Reference.lookup env (Pattern.source_var pattern) in
+  (Grid.rows src, Grid.cols src)
+
+(* Pick the execution path for this request: the settings' pinned
+   backend, or — under [Auto] — whichever of the compiled and
+   transform cycle models predicts fewer cycles for this shape
+   (ties to compiled; a rejected stencil falls through to the
+   transform).  Pure and deterministic given (settings, config,
+   shape, compilation result). *)
+let select (t : t) entry ~rows ~cols =
+  let sub_rows = rows / t.config.Config.node_rows
+  and sub_cols = cols / t.config.Config.node_cols in
+  let compiled =
+    match entry.compiled with Ok (c, _) -> Some c | Error _ -> None
+  in
+  Exec.select_backend ~backend:t.settings.backend ~sub_rows ~sub_cols t.config
+    compiled
+
+(* The entry's standing transform plan, resolved for this request:
+   reuse when the shape and array names match (re-transforming only
+   the coefficient image when values changed — counted as a rebind),
+   rebuild otherwise.  Raises [Fft.Varying] on a non-uniform
+   coefficient and [Finding.Failed] if the fresh plan fails its
+   sandbox proof. *)
+let fft_plan_for (t : t) entry pattern ~rows ~cols env =
+  let names = Reference.referenced_arrays pattern in
+  match entry.fft with
+  | Some (cached_names, plan)
+    when cached_names = names && Fft.rows plan = rows && Fft.cols plan = cols
+    ->
+      if Fft.rebind plan env then Metrics.Counter.incr t.fft_rebinds;
+      plan
+  | _ ->
+      let plan = Fft.build pattern ~rows ~cols env in
+      Metrics.Counter.incr t.fft_builds;
+      entry.fft <- Some (names, plan);
+      Access.write "engine.cache" t.eid;
+      plan
+
+let record_fft (t : t) (result : Exec.result) =
+  Metrics.Counter.incr t.runs;
+  Metrics.Counter.incr t.fft_runs;
+  record t result.Exec.stats;
+  Metrics.Histogram.observe t.fft_per_call
+    (float_of_int result.Exec.stats.Stats.compute_cycles)
+
+let rejections_of entry =
+  match entry.compiled with Error r -> r | Ok _ -> []
+
 let run ?mode ?iterations t pattern env =
   check_owner t "run";
-  match compile_entry t pattern with
-  | Error _ as e -> e
-  | Ok (compiled, kernel) -> (
-      match
-        Exec.run_arena ~obs:t.obs ?mode ?iterations ~pool:t.pool ~kernel
-          ?tile:t.settings.tile t.arena compiled env
-      with
-      | result ->
-          Metrics.Counter.incr t.runs;
-          record t result.Exec.stats;
-          Ok result
-      | exception Exec.Too_small m ->
-          let e = Too_small m in
+  let entry = lookup_entry t pattern in
+  let run_compiled (compiled, kernel) =
+    match
+      Exec.run_arena ~obs:t.obs ?mode ?iterations ~pool:t.pool ~kernel
+        ?tile:t.settings.tile t.arena compiled env
+    with
+    | result ->
+        Metrics.Counter.incr t.runs;
+        record t result.Exec.stats;
+        Ok result
+    | exception Exec.Too_small m ->
+        let e = Too_small m in
+        warn_rejection pattern e;
+        Error e
+  in
+  let compiled =
+    match entry.compiled with
+    | Ok (c, k) -> Some (Compile.rebind c pattern, k)
+    | Error _ -> None
+  in
+  let rows, cols = grid_shape pattern env in
+  match select t entry ~rows ~cols with
+  | `Compiled -> (
+      match compiled with
+      | Some ck -> run_compiled ck
+      | None ->
+          let e = Resource_error (rejections_of entry) in
           warn_rejection pattern e;
           Error e)
+  | `Fft -> (
+      match fft_plan_for t entry pattern ~rows ~cols env with
+      | plan -> (
+          match
+            Exec.run_fft ~obs:t.obs ?iterations ~pool:t.pool ~plan t.machine
+              pattern env
+          with
+          | result ->
+              record_fft t result;
+              Ok result
+          | exception Exec.Too_small m ->
+              let e = Too_small m in
+              warn_rejection pattern e;
+              Error e)
+      | exception Fft.Varying _ -> (
+          (* Spatially-varying coefficients are not a convolution: the
+             transform path refuses them, so serve the compiled plan
+             when one exists and report the rejection otherwise. *)
+          match compiled with
+          | Some ck -> run_compiled ck
+          | None ->
+              let e = Resource_error (rejections_of entry) in
+              warn_rejection pattern e;
+              Error e))
 
 let run_statement ?mode ?iterations t source env =
   match recognize_statement source with
@@ -406,106 +548,195 @@ let outcome_of_guarded ~fingerprint = function
 let run_guarded ?mode ?iterations ?(inject = Exec.no_hooks) ?(max_retries = 2)
     t pattern env =
   check_owner t "run_guarded";
-  match compile_entry t pattern with
-  | Error _ as e -> e
-  | Ok (compiled0, kernel0) -> (
-      let attempt compiled kernel =
-        let watch = Guard.watch pattern in
-        let hooks = Exec.compose_hooks inject watch.Guard.hooks in
+  let entry = lookup_entry t pattern in
+  let compiled_pair =
+    match entry.compiled with
+    | Ok (c, k) -> Some (Compile.rebind c pattern, k)
+    | Error _ -> None
+  in
+  let retries = ref 0 in
+  let note_detection fs =
+    Metrics.Counter.incr t.guard_detections;
+    let first_finding =
+      match fs with f :: _ -> Finding.to_string f | [] -> "unknown"
+    in
+    Option.iter
+      (fun ring ->
+        Flight.record ring Flight.Guard_trip
+          (Fingerprint.pattern pattern ^ ": " ^ first_finding))
+      t.flight;
+    Log.warn (fun m ->
+        m "guard detected a fault (%s): %s" (Fingerprint.pattern pattern)
+          first_finding)
+  in
+  let degrade findings recompiled =
+    Metrics.Counter.incr t.guard_degraded;
+    Option.iter
+      (fun ring ->
+        Flight.record ring Flight.Degraded
+          (Printf.sprintf "%s: reference path after %d retries"
+             (Fingerprint.pattern pattern) !retries))
+      t.flight;
+    Log.warn (fun m ->
+        m "degrading %s to the reference path after %d retries"
+          (Fingerprint.pattern pattern) !retries);
+    let output = Reference.apply pattern env in
+    Ok (Degraded { output; findings; retries = !retries; recompiled })
+  in
+  let guarded run_path =
+    let watch = Guard.watch pattern in
+    let hooks = Exec.compose_hooks inject watch.Guard.hooks in
+    match run_path hooks with
+    | result -> (
         match
-          Exec.run_arena ~obs:t.obs ?mode ?iterations ~pool:t.pool ~kernel
-            ?tile:t.settings.tile ~hooks t.arena compiled env
+          !(watch.Guard.caught) @ Guard.check_output pattern env result.Exec.output
         with
-        | result -> (
-            match
-              !(watch.Guard.caught) @ Guard.check_output pattern env result.Exec.output
-            with
-            | [] -> `Ok result
-            | fs -> `Faulty fs)
-        | exception Exec.Too_small m -> `Too_small m
-        | exception Finding.Failed fs -> `Faulty fs
-        | exception exn ->
-            `Faulty
-              [
-                Finding.makef Finding.Output_integrity
-                  "guarded run crashed: %s" (Printexc.to_string exn);
-              ]
-      in
-      let retries = ref 0 in
-      let rec ladder compiled kernel budget acc recompiled =
-        match attempt compiled kernel with
-        | `Ok result ->
-            Metrics.Counter.incr t.runs;
-            record t result.Exec.stats;
-            Ok (Completed result)
-        | `Too_small m ->
-            let e = Too_small m in
-            warn_rejection pattern e;
-            Error e
-        | `Faulty fs -> (
-            Metrics.Counter.incr t.guard_detections;
-            let first_finding =
-              match fs with
-              | f :: _ -> Finding.to_string f
-              | [] -> "unknown"
-            in
-            Option.iter
-              (fun ring ->
-                Flight.record ring Flight.Guard_trip
-                  (Fingerprint.pattern pattern ^ ": " ^ first_finding))
-              t.flight;
-            Log.warn (fun m ->
-                m "guard detected a fault (%s): %s"
-                  (Fingerprint.pattern pattern) first_finding);
-            let acc = acc @ fs in
-            if budget > 0 then begin
-              Metrics.Counter.incr t.guard_retries;
-              incr retries;
-              ladder compiled kernel (budget - 1) acc recompiled
-            end
-            else if not recompiled then begin
-              (* Root-cause the cached artifacts before replacing
-                 them: the sandbox re-proof of the kernel and the
-                 dataflow verifier over every cached plan. *)
-              let diagnosis =
-                Guard.check_kernel t.config compiled kernel
-                @ Guard.revalidate t.config compiled
-              in
+        | [] -> `Ok result
+        | fs -> `Faulty fs)
+    | exception Exec.Too_small m -> `Too_small m
+    | exception Finding.Failed fs -> `Faulty fs
+    | exception exn ->
+        `Faulty
+          [
+            Finding.makef Finding.Output_integrity "guarded run crashed: %s"
+              (Printexc.to_string exn);
+          ]
+  in
+  let attempt compiled kernel =
+    guarded (fun hooks ->
+        Exec.run_arena ~obs:t.obs ?mode ?iterations ~pool:t.pool ~kernel
+          ?tile:t.settings.tile ~hooks t.arena compiled env)
+  in
+  let rec ladder compiled kernel budget acc recompiled =
+    match attempt compiled kernel with
+    | `Ok result ->
+        Metrics.Counter.incr t.runs;
+        record t result.Exec.stats;
+        Ok (Completed result)
+    | `Too_small m ->
+        let e = Too_small m in
+        warn_rejection pattern e;
+        Error e
+    | `Faulty fs -> (
+        note_detection fs;
+        let acc = acc @ fs in
+        if budget > 0 then begin
+          Metrics.Counter.incr t.guard_retries;
+          incr retries;
+          ladder compiled kernel (budget - 1) acc recompiled
+        end
+        else if not recompiled then begin
+          (* Root-cause the cached artifacts before replacing
+             them: the sandbox re-proof of the kernel and the
+             dataflow verifier over every cached plan. *)
+          let diagnosis =
+            Guard.check_kernel t.config compiled kernel
+            @ Guard.revalidate t.config compiled
+          in
+          Metrics.Counter.incr t.kernel_verifies;
+          Metrics.Counter.incr t.guard_recompiles;
+          match
+            Compile.compile ~obs:t.obs ?widths:t.settings.widths t.config
+              pattern
+          with
+          | Error _ -> degrade (acc @ diagnosis) recompiled
+          | Ok fresh ->
+              Metrics.Counter.incr t.compiles;
+              let fresh_kernel = Kernel.build t.config fresh in
               Metrics.Counter.incr t.kernel_verifies;
-              Metrics.Counter.incr t.guard_recompiles;
-              match Compile.compile ~obs:t.obs t.config pattern with
-              | Error _ -> degrade (acc @ diagnosis) recompiled
-              | Ok fresh ->
-                  Metrics.Counter.incr t.compiles;
-                  let fresh_kernel = Kernel.build t.config fresh in
-                  Metrics.Counter.incr t.kernel_verifies;
-                  let key = Fingerprint.pattern pattern ^ "|" ^ t.config_fp in
-                  t.tick <- t.tick + 1;
-                  Access.write "engine.tick" t.eid;
-                  Hashtbl.replace t.cache key
-                    { compiled = fresh; kernel = fresh_kernel; last_used = t.tick };
-                  Access.write "engine.cache" t.eid;
-                  ladder fresh fresh_kernel 0 (acc @ diagnosis) true
-            end
-            else degrade acc recompiled)
-      and degrade findings recompiled =
-        Metrics.Counter.incr t.guard_degraded;
-        Option.iter
-          (fun ring ->
-            Flight.record ring Flight.Degraded
-              (Printf.sprintf "%s: reference path after %d retries"
-                 (Fingerprint.pattern pattern) !retries))
-          t.flight;
-        Log.warn (fun m ->
-            m "degrading %s to the reference path after %d retries"
-              (Fingerprint.pattern pattern) !retries);
-        let output = Reference.apply pattern env in
-        Ok (Degraded { output; findings; retries = !retries; recompiled })
-      in
-      match ladder compiled0 kernel0 max_retries [] false with
-      | exception Reference.Unbound name ->
-          Error (Parse_error (Printf.sprintf "unbound array %s" name))
-      | r -> r)
+              let key = Fingerprint.pattern pattern ^ "|" ^ t.config_fp in
+              t.tick <- t.tick + 1;
+              Access.write "engine.tick" t.eid;
+              Hashtbl.replace t.cache key
+                {
+                  compiled = Ok (fresh, fresh_kernel);
+                  fft = entry.fft;
+                  last_used = t.tick;
+                };
+              Access.write "engine.cache" t.eid;
+              ladder fresh fresh_kernel 0 (acc @ diagnosis) true
+        end
+        else degrade acc recompiled)
+  in
+  (* The transform-path ladder mirrors the compiled one rung for rung:
+     bounded same-plan retries, then {!Fft.verify} as the root-cause
+     re-proof of the cached spectrum with a fresh {!Fft.build}
+     replacing it, and finally the same degradation to the host
+     reference evaluator. *)
+  let attempt_fft plan =
+    guarded (fun hooks ->
+        Exec.run_fft ~obs:t.obs ?iterations ~pool:t.pool ~plan ~hooks
+          t.machine pattern env)
+  in
+  let rec fft_ladder ~rows ~cols plan budget acc rebuilt =
+    match attempt_fft plan with
+    | `Ok result ->
+        record_fft t result;
+        Ok (Completed result)
+    | `Too_small m ->
+        let e = Too_small m in
+        warn_rejection pattern e;
+        Error e
+    | `Faulty fs -> (
+        note_detection fs;
+        let acc = acc @ fs in
+        if budget > 0 then begin
+          Metrics.Counter.incr t.guard_retries;
+          incr retries;
+          fft_ladder ~rows ~cols plan (budget - 1) acc rebuilt
+        end
+        else if not rebuilt then begin
+          let diagnosis =
+            match Fft.verify pattern plan with
+            | () -> []
+            | exception Finding.Failed fs -> fs
+          in
+          Metrics.Counter.incr t.guard_recompiles;
+          match Fft.build pattern ~rows ~cols env with
+          | fresh ->
+              Metrics.Counter.incr t.fft_builds;
+              entry.fft <- Some (Reference.referenced_arrays pattern, fresh);
+              Access.write "engine.cache" t.eid;
+              fft_ladder ~rows ~cols fresh 0 (acc @ diagnosis) true
+          | exception Finding.Failed fs2 ->
+              degrade (acc @ diagnosis @ fs2) rebuilt
+        end
+        else degrade acc rebuilt)
+  in
+  let dispatch () =
+    let rows, cols = grid_shape pattern env in
+    match select t entry ~rows ~cols with
+    | `Compiled -> (
+        match compiled_pair with
+        | Some (c, k) -> ladder c k max_retries [] false
+        | None ->
+            let e = Resource_error (rejections_of entry) in
+            warn_rejection pattern e;
+            Error e)
+    | `Fft -> (
+        match fft_plan_for t entry pattern ~rows ~cols env with
+        | plan -> fft_ladder ~rows ~cols plan max_retries [] false
+        | exception Fft.Varying _ -> (
+            match compiled_pair with
+            | Some (c, k) -> ladder c k max_retries [] false
+            | None ->
+                let e = Resource_error (rejections_of entry) in
+                warn_rejection pattern e;
+                Error e)
+        | exception Finding.Failed fs ->
+            (* The fresh plan failed its own sandbox proof: fall back
+               to the compiled plan when one exists, else the guarded
+               contract still holds — degrade, never crash. *)
+            (match compiled_pair with
+            | Some (c, k) -> ladder c k max_retries fs false
+            | None ->
+                Metrics.Counter.incr t.guard_detections;
+                degrade fs false))
+  in
+  match dispatch () with
+  | exception Reference.Unbound name ->
+      Error (Parse_error (Printf.sprintf "unbound array %s" name))
+  | r -> r
 
 let check_batch patterns =
   match patterns with

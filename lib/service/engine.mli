@@ -66,6 +66,23 @@ type settings = {
           every run of this engine; [None] (the default) defers to
           {!Ccc_cm2.Config.t}[.tile].  Purely a host-side execution
           parameter: results are bit-identical at every geometry. *)
+  backend : Ccc_runtime.Exec.backend;
+      (** execution-path policy for {!run} and {!run_guarded}
+          (default [Auto]): [Auto] picks compiled vs transform per
+          request by predicted cycles
+          ({!Ccc_runtime.Exec.select_backend}), with a stencil the
+          compiler rejects falling through to the transform path
+          instead of [Resource_error]; [Force_compiled] and
+          [Force_fft] pin one path for ablation runs.  Batches are
+          always compiled: the shared-halo-exchange contract of
+          {!run_batch} has no transform analogue. *)
+  widths : int list option;
+      (** multistencil widths offered to the compiler; [None] (the
+          default) defers to
+          {!Ccc_compiler.Compile.candidate_widths}.  Restricting to
+          [[8]] reproduces the paper's section-6 rejections (cross9,
+          diamond13) inside a serving engine, where [Auto] then
+          serves them from the transform path. *)
 }
 
 val default_settings : settings
@@ -148,13 +165,21 @@ val compile : t -> Ccc_stencil.Pattern.t -> (Ccc_compiler.Compile.t, error) resu
 (** Compile through the plan cache: a hit reuses the cached schedules
     verbatim (rebound to the request's coefficient names); a miss
     compiles, caches, and evicts the least recently used entry when
-    the cache is full.  Failed compilations are not cached.  Each
-    cached entry also carries the statement's lowered
-    {!Ccc_runtime.Kernel}, built and verified once at miss time
-    (against both {!Ccc_runtime.Reference.apply} and the
+    the cache is full.  Each cached entry also carries the statement's
+    lowered {!Ccc_runtime.Kernel}, built and verified once at miss
+    time (against both {!Ccc_runtime.Reference.apply} and the
     cycle-accurate interpreter) and served to every subsequent run —
     sound across rebinds, which retarget names but never tap offsets,
-    stream count or bias arity. *)
+    stream count or bias arity.
+
+    Since PR 10 rejections are cached too: a dense stencil no width
+    fits is remembered with its per-width findings, so this still
+    returns [Error (Resource_error _)] on every call but runs the
+    scheduler only once; {!run} and {!run_guarded} serve such entries
+    from the transform path under the [Auto] backend.  Each entry may
+    additionally hold one standing {!Ccc_runtime.Fft.plan} for the
+    transform path (one shape at a time, like the arena), counted
+    under [engine.fft.builds] / [engine.fft.rebinds]. *)
 
 val compile_statement : t -> string -> (Ccc_compiler.Compile.t, error) result
 (** Parse and recognize one bare Fortran assignment, then {!compile}. *)
@@ -177,9 +202,17 @@ val run :
   Ccc_runtime.Reference.env ->
   (Ccc_runtime.Exec.result, error) result
 (** Compile through the cache and execute against the arena's standing
-    regions.  The output is bit-identical to
+    regions.  The backend policy in {!settings} decides the path: on
+    the compiled path the output is bit-identical to
     {!Ccc_runtime.Exec.run} on a fresh machine, and so are the
-    statistics. *)
+    statistics; on the transform path it is
+    {!Ccc_runtime.Exec.run_fft} against the engine's machine and the
+    entry's standing plan (1e-9-close to the direct paths,
+    bit-identical across [jobs]; [mode] is ignored — there is no
+    microcode to interpret).  A pattern with spatially-varying
+    coefficients is not a convolution: the transform path refuses it
+    and the engine falls back to the compiled plan when one exists,
+    [Error (Resource_error _)] otherwise. *)
 
 val run_statement :
   ?mode:Ccc_runtime.Exec.mode ->
@@ -249,7 +282,15 @@ val run_guarded :
     injector here; [max_retries] (default 2) bounds the same-kernel
     rung of the ladder.  On a clean substrate the guarded run costs
     one halo recomputation and one reference evaluation per call and
-    always returns [Completed]. *)
+    always returns [Completed].
+
+    When the backend policy routes a request to the transform path,
+    the ladder is mirrored rung for rung: bounded same-plan retries,
+    then {!Ccc_runtime.Fft.verify} as the root-cause re-proof of the
+    cached spectrum (a corrupted plan fails it and is replaced by a
+    fresh {!Ccc_runtime.Fft.build}, counted under
+    [engine.guard.recompiles] and [engine.fft.builds]), and finally
+    the same degradation to the host reference evaluator. *)
 
 val run_batch :
   ?mode:Ccc_runtime.Exec.mode ->
@@ -282,8 +323,15 @@ type stats = {
   entries : int;  (** live cache entries *)
   capacity : int;
   compiles : int;  (** successful compilations = misses that compiled *)
-  runs : int;  (** single-statement executions *)
+  runs : int;  (** single-statement executions (either path) *)
   batches : int;  (** batched executions *)
+  fft_runs : int;  (** executions served by the transform path *)
+  fft_builds : int;
+      (** transform plans built and sandbox-proved (misses, shape or
+          renaming changes, and guard-ladder rebuilds) *)
+  fft_rebinds : int;
+      (** cache hits whose coefficient values changed, re-transforming
+          only the coefficient image *)
   arena_reuses : int;  (** calls served from the standing regions *)
   arena_rebuilds : int;  (** first call and every shape change *)
   comm_cycles : int;  (** accumulated halo-exchange cycles *)
@@ -303,7 +351,8 @@ val stats : t -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
 (** Renders {!stats} in a stable field order — identity line (jobs,
-    queue depth, tenants), plan cache, work counts, arena, accumulated
-    cycles, per-call histogram — shared with the serve scheduler's
-    stats printer, which prints its own identity/admission/work lines
-    in the same discipline and embeds this table per shard. *)
+    queue depth, tenants), plan cache, work counts, transform path,
+    arena, accumulated cycles, per-call histogram — shared with the
+    serve scheduler's stats printer, which prints its own
+    identity/admission/work lines in the same discipline and embeds
+    this table per shard. *)

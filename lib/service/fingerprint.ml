@@ -37,7 +37,7 @@ let pattern p =
 
 let config (c : Ccc_cm2.Config.t) =
   Printf.sprintf
-    "%d,%d,%.17g,%d,%b,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.17g,%.17g,%.17g,%b"
+    "%d,%d,%.17g,%d,%b,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.17g,%.17g,%.17g,%b,%.17g,%.17g,%d,%.17g,%.17g"
     c.node_rows c.node_cols c.clock_hz c.fpu_registers c.single_precision
     c.madd_add_latency c.madd_writeback_latency c.load_latency
     c.static_issue_cycles c.memory_op_cycles c.madd_issue_cycles
@@ -45,6 +45,7 @@ let config (c : Ccc_cm2.Config.t) =
     c.pipe_reversal_cycles c.line_overhead_cycles c.halfstrip_startup_cycles
     c.scratch_memory_words c.comm_cycles_per_word c.legacy_comm_cycles_per_word
     c.frontend_call_overhead_s c.frontend_dispatch_s c.frontend_word_cycles
-    c.strength_reduced_frontend
+    c.strength_reduced_frontend c.fft_butterfly_cycles c.fft_pointwise_cycles
+    c.fft_transpose_passes c.fft_transpose_cycles_per_word c.fft_setup_cycles
 
 let key c p = pattern p ^ "|" ^ config c

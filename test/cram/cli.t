@@ -78,6 +78,7 @@ standing arena, and --stats prints the engine counters.
   engine: 1 jobs, queue depth 64, 16 tenants
   plan cache: 7 hits, 2 misses, 0 evictions (2/32 entries)
   compiles: 2  runs: 0  batches: 3
+  fft: 0 runs, 0 builds, 0 rebinds
   arena: 2 reuses, 1 rebuilds
   accumulated: comm 240 cycles, compute 6264 cycles, front end 0.006451 s
   per call: compute min 2088, mean 2088, max 2088 cycles
@@ -121,6 +122,42 @@ sequential run, bit for bit.
   elapsed 0.0018 s, 5.0 Mflops (0.01 Gflops; 0.64 Gflops on 2048 nodes)
   strips 8, corner exchange skipped
   max |machine - reference| = 0.000e+00
+
+The transform-domain backend: --backend fft forces the FFT path (its
+synthetic coefficient arrays are held spatially uniform — a per-point
+coefficient field is not a convolution), and the result stays within
+transform rounding of the reference oracle.
+
+  $ ../../bin/ccc_cli.exe run cross5.f --rows 32 --cols 32 --backend fft
+  backend: fft (forced)
+  1 iteration(s) on 16 nodes @ 7.0 MHz
+  comm 130 + compute 4716 cycles/iter, front end 1500 us/iter
+  elapsed 0.0022 s, 4.2 Mflops (0.00 Gflops; 0.54 Gflops on 2048 nodes)
+  strips -, corner exchange skipped
+  max |machine - reference| = 1.332e-15
+
+A dense kernel no width can register-allocate is still a compile-time
+resource rejection (the section-6 feedback loop)...
+
+  $ ../../bin/ccc_cli.exe compile gauss7.f
+  resource limits: no workable multistencil width: width 8: register pressure: 98 data registers needed, 31 available; width 4: register pressure: 70 data registers needed, 31 available; width 2: register pressure: 56 data registers needed, 31 available; width 1: register pressure: 49 data registers needed, 31 available
+  [1]
+
+...and --backend compiled keeps it one at run time, but the default
+auto policy notices the rejection and falls through to the transform
+path instead of saying no.
+
+  $ ../../bin/ccc_cli.exe run gauss7.f --rows 32 --cols 32 --backend compiled
+  resource limits: no workable multistencil width: width 8: register pressure: 98 data registers needed, 31 available; width 4: register pressure: 70 data registers needed, 31 available; width 2: register pressure: 56 data registers needed, 31 available; width 1: register pressure: 49 data registers needed, 31 available
+  [1]
+
+  $ ../../bin/ccc_cli.exe run gauss7.f --rows 32 --cols 32
+  backend: fft (auto: no workable compiled width)
+  1 iteration(s) on 16 nodes @ 7.0 MHz
+  comm 402 + compute 4764 cycles/iter, front end 1500 us/iter
+  elapsed 0.0022 s, 44.4 Mflops (0.04 Gflops; 5.68 Gflops on 2048 nodes)
+  strips -
+  max |machine - reference| = 1.066e-14
 
 The issue trace's header names the plan width it actually selected —
 the widest available when none is requested, or the requested one.
@@ -210,8 +247,8 @@ seed-driven fault injection.  Deterministic for a fixed seed.
 
   $ ../../bin/ccc_cli.exe conform --seed 42
   conformance: seed 42, guarded, jobs {1,2,7}
-  clean: 216/216 cells ok (5 patterns, 18 compiled widths, 4 paths)
-  fault kills (killed/injected):
+  clean: 270/270 cells ok (5 patterns, 18 compiled widths, 5 paths)
+  fault kills, lowered path (killed/injected):
                       jobs=1  jobs=2  jobs=7
     bit-flip             5/5     5/5     5/5
     halo-drop            5/5     5/5     5/5
@@ -219,7 +256,15 @@ seed-driven fault injection.  Deterministic for a fixed seed.
     phase-skip           5/5     5/5     5/5
     kernel-poison        5/5     5/5     5/5
     pool-death           5/5     5/5     5/5
-  injected 90: detected 90, recovered 90, missed 0
+  fault kills, fft path (killed/injected):
+                      jobs=1  jobs=2  jobs=7
+    bit-flip             5/5     5/5     5/5
+    halo-drop            5/5     5/5     5/5
+    halo-duplicate       5/5     5/5     5/5
+    phase-skip           5/5     5/5     5/5
+    fft-poison           5/5     5/5     5/5
+    pool-death           5/5     5/5     5/5
+  injected 180: detected 180, recovered 180, missed 0
   conformance: PASS
 
 With the guards disabled (the negative control) every
@@ -229,8 +274,8 @@ exits nonzero.
 
   $ ../../bin/ccc_cli.exe conform --seed 42 --unguarded
   conformance: seed 42, unguarded, jobs {1,2,7}
-  clean: 216/216 cells ok (5 patterns, 18 compiled widths, 4 paths)
-  fault kills (killed/injected):
+  clean: 270/270 cells ok (5 patterns, 18 compiled widths, 5 paths)
+  fault kills, lowered path (killed/injected):
                       jobs=1  jobs=2  jobs=7
     bit-flip             0/5     0/5     0/5
     halo-drop            0/5     0/5     0/5
@@ -238,8 +283,16 @@ exits nonzero.
     phase-skip           0/5     0/5     0/5
     kernel-poison        0/5     0/5     0/5
     pool-death           5/5     5/5     5/5
-  injected 90: detected 15, recovered 15, missed 75
-  conformance: FAIL (75 injected faults escaped undetected)
+  fault kills, fft path (killed/injected):
+                      jobs=1  jobs=2  jobs=7
+    bit-flip             0/5     0/5     0/5
+    halo-drop            0/5     0/5     0/5
+    halo-duplicate       0/5     0/5     0/5
+    phase-skip           0/5     0/5     0/5
+    fft-poison           0/5     0/5     0/5
+    pool-death           5/5     5/5     5/5
+  injected 180: detected 30, recovered 30, missed 150
+  conformance: FAIL (150 injected faults escaped undetected)
   [1]
 
 The domain-safety analyzer: the instrumented clean sweep replays the
@@ -247,7 +300,7 @@ conformance clean matrix with the shared-state probes live and must
 come back finding-free.
 
   $ ../../bin/ccc_cli.exe race --seed 42 --jobs 2
-  domain-safety: 74297 access events from 144 clean cells (jobs 1,2) and a 4-request serve session
+  domain-safety: 93616 access events from 180 clean cells (jobs 1,2) and a 4-request serve session
   race: PASS (0 findings)
 
 Every seeded concurrency mutation must be killed with a
@@ -302,6 +355,7 @@ shed at admission, both with structured outcomes.
     engine: 1 jobs, queue depth 64, 16 tenants
     plan cache: 0 hits, 2 misses, 0 evictions (2/32 entries)
     compiles: 2  runs: 2  batches: 0
+    fft: 0 runs, 0 builds, 0 rebinds
     arena: 0 reuses, 2 rebuilds
     accumulated: comm 320 cycles, compute 2912 cycles, front end 0.003882 s
     per call: compute min 1320, mean 1456, max 1592 cycles
@@ -310,6 +364,7 @@ shed at admission, both with structured outcomes.
     engine: 1 jobs, queue depth 64, 16 tenants
     plan cache: 0 hits, 3 misses, 0 evictions (3/32 entries)
     compiles: 3  runs: 1  batches: 1
+    fft: 0 runs, 0 builds, 0 rebinds
     arena: 0 reuses, 2 rebuilds
     accumulated: comm 160 cycles, compute 2266 cycles, front end 0.003671 s
     per call: compute min 1004, mean 1133, max 1262 cycles
@@ -375,17 +430,45 @@ engine's registry under its shard label.
   ccc_engine_compute_cycles_per_call_bucket{shard="0",le="+Inf"} 2
   ccc_engine_compute_cycles_per_call_sum{shard="0"} 2912
   ccc_engine_compute_cycles_per_call_count{shard="0"} 2
+  ccc_engine_compute_cycles_per_call_p50{shard="0"} 1536
+  ccc_engine_compute_cycles_per_call_p95{shard="0"} 1592
+  ccc_engine_compute_cycles_per_call_p99{shard="0"} 1592
   ccc_engine_compute_cycles_per_call_bucket{shard="1",le="1024"} 1
   ccc_engine_compute_cycles_per_call_bucket{shard="1",le="2048"} 2
   ccc_engine_compute_cycles_per_call_bucket{shard="1",le="+Inf"} 2
   ccc_engine_compute_cycles_per_call_sum{shard="1"} 2266
   ccc_engine_compute_cycles_per_call_count{shard="1"} 2
+  ccc_engine_compute_cycles_per_call_p50{shard="1"} 1024
+  ccc_engine_compute_cycles_per_call_p95{shard="1"} 1262
+  ccc_engine_compute_cycles_per_call_p99{shard="1"} 1262
   # TYPE ccc_engine_cycles_comm counter
   ccc_engine_cycles_comm{shard="0"} 320
   ccc_engine_cycles_comm{shard="1"} 160
   # TYPE ccc_engine_cycles_compute counter
   ccc_engine_cycles_compute{shard="0"} 2912
   ccc_engine_cycles_compute{shard="1"} 2266
+  # TYPE ccc_engine_fft_builds counter
+  ccc_engine_fft_builds{shard="0"} 0
+  ccc_engine_fft_builds{shard="1"} 0
+  # TYPE ccc_engine_fft_compute_cycles_per_call histogram
+  ccc_engine_fft_compute_cycles_per_call_bucket{shard="0",le="+Inf"} 0
+  ccc_engine_fft_compute_cycles_per_call_sum{shard="0"} 0
+  ccc_engine_fft_compute_cycles_per_call_count{shard="0"} 0
+  ccc_engine_fft_compute_cycles_per_call_p50{shard="0"} 0
+  ccc_engine_fft_compute_cycles_per_call_p95{shard="0"} 0
+  ccc_engine_fft_compute_cycles_per_call_p99{shard="0"} 0
+  ccc_engine_fft_compute_cycles_per_call_bucket{shard="1",le="+Inf"} 0
+  ccc_engine_fft_compute_cycles_per_call_sum{shard="1"} 0
+  ccc_engine_fft_compute_cycles_per_call_count{shard="1"} 0
+  ccc_engine_fft_compute_cycles_per_call_p50{shard="1"} 0
+  ccc_engine_fft_compute_cycles_per_call_p95{shard="1"} 0
+  ccc_engine_fft_compute_cycles_per_call_p99{shard="1"} 0
+  # TYPE ccc_engine_fft_rebinds counter
+  ccc_engine_fft_rebinds{shard="0"} 0
+  ccc_engine_fft_rebinds{shard="1"} 0
+  # TYPE ccc_engine_fft_runs counter
+  ccc_engine_fft_runs{shard="0"} 0
+  ccc_engine_fft_runs{shard="1"} 0
   # TYPE ccc_engine_frontend_s gauge
   ccc_engine_frontend_s{shard="0"} 0.00388183
   ccc_engine_frontend_s{shard="1"} 0.00367074
@@ -415,11 +498,17 @@ engine's registry under its shard label.
   ccc_run_compute_cycles_per_call_bucket{shard="0",le="+Inf"} 2
   ccc_run_compute_cycles_per_call_sum{shard="0"} 2912
   ccc_run_compute_cycles_per_call_count{shard="0"} 2
+  ccc_run_compute_cycles_per_call_p50{shard="0"} 1536
+  ccc_run_compute_cycles_per_call_p95{shard="0"} 1592
+  ccc_run_compute_cycles_per_call_p99{shard="0"} 1592
   ccc_run_compute_cycles_per_call_bucket{shard="1",le="1024"} 1
   ccc_run_compute_cycles_per_call_bucket{shard="1",le="2048"} 2
   ccc_run_compute_cycles_per_call_bucket{shard="1",le="+Inf"} 2
   ccc_run_compute_cycles_per_call_sum{shard="1"} 2266
   ccc_run_compute_cycles_per_call_count{shard="1"} 2
+  ccc_run_compute_cycles_per_call_p50{shard="1"} 1024
+  ccc_run_compute_cycles_per_call_p95{shard="1"} 1262
+  ccc_run_compute_cycles_per_call_p99{shard="1"} 1262
   # TYPE ccc_run_cycles_comm counter
   ccc_run_cycles_comm{shard="0"} 320
   ccc_run_cycles_comm{shard="1"} 160
@@ -453,6 +542,9 @@ engine's registry under its shard label.
   ccc_serve_queued_us_bucket{le="+Inf"} 8
   ccc_serve_queued_us_sum 96
   ccc_serve_queued_us_count 8
+  ccc_serve_queued_us_p50 12
+  ccc_serve_queued_us_p95 19
+  ccc_serve_queued_us_p99 19
   # TYPE ccc_serve_refused counter
   ccc_serve_refused 1
   # TYPE ccc_serve_service_us histogram
@@ -460,6 +552,9 @@ engine's registry under its shard label.
   ccc_serve_service_us_bucket{le="+Inf"} 8
   ccc_serve_service_us_sum 0
   ccc_serve_service_us_count 8
+  ccc_serve_service_us_p50 0
+  ccc_serve_service_us_p95 0
+  ccc_serve_service_us_p99 0
   # TYPE ccc_serve_shed counter
   ccc_serve_shed 1
   # TYPE ccc_serve_tenant_admitted counter

@@ -1,0 +1,52 @@
+SUBROUTINE GAUSS7 (R, X)
+REAL, ARRAY(:,:) :: R, X
+R = 0.029729 * CSHIFT(CSHIFT(X, 1, -3), 2, -3) &
+  + 0.078940 * CSHIFT(CSHIFT(X, 1, -3), 2, -2) &
+  + 0.141830 * CSHIFT(CSHIFT(X, 1, -3), 2, -1) &
+  + 0.172422 * CSHIFT(X, 1, -3) &
+  + 0.141830 * CSHIFT(CSHIFT(X, 1, -3), 2, +1) &
+  + 0.078940 * CSHIFT(CSHIFT(X, 1, -3), 2, +2) &
+  + 0.029729 * CSHIFT(CSHIFT(X, 1, -3), 2, +3) &
+  + 0.078940 * CSHIFT(CSHIFT(X, 1, -2), 2, -3) &
+  + 0.209611 * CSHIFT(CSHIFT(X, 1, -2), 2, -2) &
+  + 0.376603 * CSHIFT(CSHIFT(X, 1, -2), 2, -1) &
+  + 0.457833 * CSHIFT(X, 1, -2) &
+  + 0.376603 * CSHIFT(CSHIFT(X, 1, -2), 2, +1) &
+  + 0.209611 * CSHIFT(CSHIFT(X, 1, -2), 2, +2) &
+  + 0.078940 * CSHIFT(CSHIFT(X, 1, -2), 2, +3) &
+  + 0.141830 * CSHIFT(CSHIFT(X, 1, -1), 2, -3) &
+  + 0.376603 * CSHIFT(CSHIFT(X, 1, -1), 2, -2) &
+  + 0.676634 * CSHIFT(CSHIFT(X, 1, -1), 2, -1) &
+  + 0.822578 * CSHIFT(X, 1, -1) &
+  + 0.676634 * CSHIFT(CSHIFT(X, 1, -1), 2, +1) &
+  + 0.376603 * CSHIFT(CSHIFT(X, 1, -1), 2, +2) &
+  + 0.141830 * CSHIFT(CSHIFT(X, 1, -1), 2, +3) &
+  + 0.172422 * CSHIFT(X, 2, -3) &
+  + 0.457833 * CSHIFT(X, 2, -2) &
+  + 0.822578 * CSHIFT(X, 2, -1) &
+  + 1.000000 * X &
+  + 0.822578 * CSHIFT(X, 2, +1) &
+  + 0.457833 * CSHIFT(X, 2, +2) &
+  + 0.172422 * CSHIFT(X, 2, +3) &
+  + 0.141830 * CSHIFT(CSHIFT(X, 1, +1), 2, -3) &
+  + 0.376603 * CSHIFT(CSHIFT(X, 1, +1), 2, -2) &
+  + 0.676634 * CSHIFT(CSHIFT(X, 1, +1), 2, -1) &
+  + 0.822578 * CSHIFT(X, 1, +1) &
+  + 0.676634 * CSHIFT(CSHIFT(X, 1, +1), 2, +1) &
+  + 0.376603 * CSHIFT(CSHIFT(X, 1, +1), 2, +2) &
+  + 0.141830 * CSHIFT(CSHIFT(X, 1, +1), 2, +3) &
+  + 0.078940 * CSHIFT(CSHIFT(X, 1, +2), 2, -3) &
+  + 0.209611 * CSHIFT(CSHIFT(X, 1, +2), 2, -2) &
+  + 0.376603 * CSHIFT(CSHIFT(X, 1, +2), 2, -1) &
+  + 0.457833 * CSHIFT(X, 1, +2) &
+  + 0.376603 * CSHIFT(CSHIFT(X, 1, +2), 2, +1) &
+  + 0.209611 * CSHIFT(CSHIFT(X, 1, +2), 2, +2) &
+  + 0.078940 * CSHIFT(CSHIFT(X, 1, +2), 2, +3) &
+  + 0.029729 * CSHIFT(CSHIFT(X, 1, +3), 2, -3) &
+  + 0.078940 * CSHIFT(CSHIFT(X, 1, +3), 2, -2) &
+  + 0.141830 * CSHIFT(CSHIFT(X, 1, +3), 2, -1) &
+  + 0.172422 * CSHIFT(X, 1, +3) &
+  + 0.141830 * CSHIFT(CSHIFT(X, 1, +3), 2, +1) &
+  + 0.078940 * CSHIFT(CSHIFT(X, 1, +3), 2, +2) &
+  + 0.029729 * CSHIFT(CSHIFT(X, 1, +3), 2, +3)
+END

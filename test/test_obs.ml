@@ -231,8 +231,12 @@ let rec increasing = function
 
 let test_histogram_quantiles () =
   let h = Metrics.Histogram.create () in
-  Alcotest.(check bool) "empty quantile is nan" true
-    (Float.is_nan (Metrics.Histogram.quantile h 0.5));
+  (* empty reports 0, not nan: quantiles feed pinned text renderers
+     (stats tables, Expo lines) where a "nan" would poison output *)
+  Alcotest.(check (float 0.0)) "empty quantile is 0" 0.0
+    (Metrics.Histogram.quantile h 0.5);
+  Alcotest.(check (float 0.0)) "empty p50 is 0" 0.0 (Metrics.Histogram.p50 h);
+  Alcotest.(check (float 0.0)) "empty p99 is 0" 0.0 (Metrics.Histogram.p99 h);
   for v = 1 to 100 do
     Metrics.Histogram.observe h (float_of_int v)
   done;

@@ -523,6 +523,90 @@ let prop_degenerate_paths_agree =
           && Grid.max_abs_diff expected lowered < 1e-9
           && Grid.max_abs_diff tapwalk lowered = 0.0)
 
+(* ------------------------------------------------------------------ *)
+(* The transform-domain path: FFT convolution against the reference
+   oracle, the cost-model-driven backend choice, and pooled
+   bit-stability.  The transform path only accepts spatially uniform
+   coefficients, so its environments flatten every coefficient array
+   to its corner value while the source grid stays fully mixed. *)
+
+let uniform_env_of_pattern ~rows ~cols p =
+  let src = Pattern.source_var p in
+  List.map
+    (fun (name, g) ->
+      if name = src then (name, g)
+      else (name, Grid.constant ~rows ~cols (Grid.get g 0 0)))
+    (env_of_pattern ~rows ~cols p)
+
+let prop_fft_matches_reference =
+  (* includes the degenerate corners: single taps, lines, all-zero
+     coefficients, EOSHIFT-only borders — and non-square,
+     non-power-of-two shapes, which exercise the padding logic *)
+  Q.Test.make ~name:"fft convolution = reference evaluation"
+    ~count:(60 * long_factor) ~print:print_pattern
+    (Gen.oneof [ gen_pattern; gen_degenerate ])
+    (fun p ->
+      let rows = 24 and cols = 20 in
+      let env = uniform_env_of_pattern ~rows ~cols p in
+      let expected = Ccc.Reference.apply p env in
+      let out = Ccc.Fft.convolve p env in
+      let pad = Pattern.max_border p in
+      Grid.max_abs_diff expected out < 1e-9
+      && Ccc.Cost.fft_padded ~n:rows ~pad = Ccc.Fft.padded_size ~n:rows ~pad
+      && Ccc.Cost.fft_padded ~n:cols ~pad = Ccc.Fft.padded_size ~n:cols ~pad)
+
+let prop_backend_choice_follows_cost =
+  (* the planner is a pure function: same inputs, same choice — and on
+     either side of the crossover it must agree with pricing the
+     compiled side by [estimate] and the transform side by
+     [Cost.fft_cycles], ties to compiled *)
+  let gen = Gen.tup2 gen_pattern (Gen.oneofl [ 4; 8; 16; 64; 256 ]) in
+  Q.Test.make
+    ~name:"backend selection: deterministic, priced by the cost model"
+    ~count:(60 * long_factor)
+    ~print:(fun (p, sub) -> Printf.sprintf "sub %d: %s" sub (print_pattern p))
+    gen
+    (fun (p, sub) ->
+      let compiled =
+        match Ccc.compile_pattern config p with
+        | Ok c -> Some c
+        | Error _ -> None
+      in
+      let choose () =
+        Exec.select_backend ~sub_rows:sub ~sub_cols:sub config compiled
+      in
+      let choice = choose () in
+      choice = choose ()
+      &&
+      match compiled with
+      | None -> choice = `Fft
+      | Some c -> (
+          match Exec.estimate ~sub_rows:sub ~sub_cols:sub config c with
+          | exception Exec.Too_small _ -> choice = `Compiled
+          | s ->
+              let pad = Pattern.max_border p in
+              let rows = sub * config.Ccc.Config.node_rows
+              and cols = sub * config.Ccc.Config.node_cols in
+              let fft = Ccc.Cost.fft_cycles config ~rows ~cols ~pad in
+              let direct = s.Stats.comm_cycles + s.Stats.compute_cycles in
+              choice = (if direct <= fft then `Compiled else `Fft)))
+
+let prop_fft_pool_bit_identical =
+  Q.Test.make ~name:"fft path bit-identical across pool sizes" ~count:15
+    ~print:print_pattern gen_pattern (fun p ->
+      let rows = 4 * 6 and cols = 4 * 6 in
+      let env = uniform_env_of_pattern ~rows ~cols p in
+      let run ?pool () =
+        (Exec.run_fft ?pool (Ccc.machine config) p env).Exec.output
+      in
+      let seq = run () in
+      Grid.max_abs_diff (Ccc.Reference.apply p env) seq < 1e-9
+      && List.for_all
+           (fun jobs ->
+             let pool = List.assoc jobs pools in
+             bit_identical seq (run ~pool ()))
+           [ 2; 7 ])
+
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
@@ -547,6 +631,13 @@ let () =
           ] );
       ( "communication",
         List.map to_alcotest [ prop_halo_is_global_circular ] );
+      ( "transform",
+        List.map to_alcotest
+          [
+            prop_fft_matches_reference;
+            prop_backend_choice_follows_cost;
+            prop_fft_pool_bit_identical;
+          ] );
       ( "fused",
         List.map to_alcotest
           [ prop_fused_matches_reference; prop_fused_simulate_matches_reference ]

@@ -496,14 +496,14 @@ let test_metrics_stress () =
 
 let test_conformance_clean_instrumented () =
   (* The whole clean conformance matrix — every gallery stencil at
-     every compiled width down all four paths at jobs {1, 2, 7} —
+     every compiled width down all five paths at jobs {1, 2, 7} —
      under instrumentation, finding-free. *)
   Access.enable ();
   let matrix = Ccc.Conformance.run ~with_faults:false config in
   Access.disable ();
   Alcotest.(check int) "no failed cells" 0
     (Ccc.Conformance.clean_failures matrix);
-  Alcotest.(check int) "216 clean cells" 216
+  Alcotest.(check int) "270 clean cells" 270
     (List.length matrix.Ccc.Conformance.cells);
   assert_clean "instrumented conformance clean matrix" (Access.events ())
 
